@@ -1,0 +1,276 @@
+// Command xsltbench regenerates the tables behind the paper's evaluation
+// figures (§5):
+//
+//	xsltbench -fig 2          # Figure 2: dbonerow, rewrite vs no-rewrite across sizes
+//	xsltbench -fig 3          # Figure 3: avts/chart/metric/total
+//	xsltbench -inline-stats   # the "23 out of 40 cases fully inline" statistic
+//	xsltbench -all            # everything
+//
+// Times are medians over -reps runs of each configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/clobstore"
+	"repro/internal/core"
+	"repro/internal/relstore"
+	"repro/internal/sqlxml"
+	"repro/internal/xq2sql"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+	"repro/internal/xsltmark"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (2 or 3)")
+	inlineStats := flag.Bool("inline-stats", false, "print the inline-coverage statistic")
+	storage := flag.Bool("storage", false, "print the §7.4 storage-model comparison")
+	all := flag.Bool("all", false, "run every experiment")
+	reps := flag.Int("reps", 5, "repetitions per configuration (median reported)")
+	scale := flag.Int("scale", 1, "multiply workload sizes by this factor")
+	flag.Parse()
+
+	ran := false
+	if *all || *fig == 2 {
+		figure2(*reps, *scale)
+		ran = true
+	}
+	if *all || *fig == 3 {
+		figure3(*reps, *scale)
+		ran = true
+	}
+	if *all || *inlineStats {
+		inlineCoverage()
+		ran = true
+	}
+	if *all || *storage {
+		storageModels(*reps, *scale)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// bench builds a database-backed case at size n and returns both paths.
+type paths struct {
+	rewrite   func() error
+	noRewrite func() error
+	bytes     int // serialized document size, the paper's X axis
+}
+
+func load(name string, n int) (*paths, error) {
+	c := xsltmark.ByName(name)
+	if c == nil || c.Rel == nil {
+		return nil, fmt.Errorf("case %q is not database-backed", name)
+	}
+	db := relstore.NewDB()
+	if err := c.Rel.Setup(db, n); err != nil {
+		return nil, err
+	}
+	for table, cols := range c.Rel.IndexCols {
+		for _, col := range cols {
+			if err := db.Table(table).CreateIndex(col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	exec := sqlxml.NewExecutor(db)
+	view := c.Rel.View()
+	schema, err := exec.DeriveSchema(view)
+	if err != nil {
+		return nil, err
+	}
+	sheet := xslt.MustParseStylesheet(c.Stylesheet)
+	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := xq2sql.Translate(res.Module, view)
+	if err != nil {
+		return nil, err
+	}
+	return &paths{
+		rewrite: func() error {
+			_, err := exec.ExecQuery(plan)
+			return err
+		},
+		noRewrite: func() error {
+			rows, err := exec.MaterializeView(view)
+			if err != nil {
+				return err
+			}
+			eng := xslt.New(sheet)
+			for _, row := range rows {
+				if _, err := eng.Transform(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		bytes: len(c.Gen(n)),
+	}, nil
+}
+
+func median(reps int, f func() error) time.Duration {
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+func figure2(reps, scale int) {
+	fmt.Println("Figure 2 — dbonerow: XSLT rewrite vs no-rewrite across document sizes")
+	fmt.Println("(paper: 8M/16M/32M/64M stored docs; here: generated sales rows)")
+	fmt.Printf("%-10s %-12s %-14s %-14s %-8s\n", "rows", "doc-bytes", "rewrite", "no-rewrite", "speedup")
+	for _, n := range []int{2000 * scale, 4000 * scale, 8000 * scale, 16000 * scale} {
+		p, err := load("dbonerow", n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := median(reps, p.rewrite)
+		nr := median(reps, p.noRewrite)
+		fmt.Printf("%-10d %-12d %-14s %-14s %.0fx\n", n, p.bytes, r, nr, float64(nr)/float64(r))
+	}
+	fmt.Println()
+}
+
+func figure3(reps, scale int) {
+	fmt.Println("Figure 3 — avts/chart/metric/total: rewrite vs no-rewrite (no value index)")
+	fmt.Printf("%-10s %-14s %-14s %-8s\n", "case", "rewrite", "no-rewrite", "speedup")
+	for _, name := range []string{"avts", "chart", "metric", "total"} {
+		p, err := load(name, 4000*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := median(reps, p.rewrite)
+		nr := median(reps, p.noRewrite)
+		fmt.Printf("%-10s %-14s %-14s %.0fx\n", name, r, nr, float64(nr)/float64(r))
+	}
+	fmt.Println()
+}
+
+// storageModels reproduces the §7.4 study: the Example 1 workload over the
+// three physical storage models.
+func storageModels(reps, scale int) {
+	fmt.Println("Storage models (§7.4) — Example 1 stylesheet over many dept documents")
+	nDepts := 200 * scale
+	db := relstore.NewDB()
+	if err := sqlxml.SetupDeptEmp(db); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for d := 1000; d < 1000+nDepts; d++ {
+		_, _ = db.Table("dept").Insert(int64(d), fmt.Sprintf("D%d", d), "CITY")
+		for e := 0; e < 20; e++ {
+			_, _ = db.Table("emp").Insert(int64(d*100+e), fmt.Sprintf("E%d", e), "STAFF",
+				int64(500+(e*397)%4500), int64(d))
+		}
+	}
+	_ = db.Table("emp").CreateIndex("sal")
+	_ = db.Table("emp").CreateIndex("deptno")
+	exec := sqlxml.NewExecutor(db)
+	view := sqlxml.DeptEmpView()
+	schema, err := exec.DeriveSchema(view)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	plan, err := xq2sql.Translate(res.Module, view)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	store := clobstore.New()
+	docs, err := exec.MaterializeView(view)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, doc := range docs {
+		if _, err := store.Add(doc.String()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	eng := xslt.New(sheet)
+
+	rows := []struct {
+		name string
+		f    func() error
+	}{
+		{"object-relational", func() error { _, err := exec.ExecQuery(plan); return err }},
+		{"tree", func() error {
+			for id := 0; id < store.Len(); id++ {
+				doc, err := store.Tree(id)
+				if err != nil {
+					return err
+				}
+				if _, err := eng.Transform(doc); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"clob", func() error {
+			for id := 0; id < store.Len(); id++ {
+				doc, err := store.ParseDoc(id)
+				if err != nil {
+					return err
+				}
+				if _, err := eng.Transform(doc); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	fmt.Printf("%-20s %s\n", "storage", "time")
+	for _, r := range rows {
+		fmt.Printf("%-20s %v\n", r.name, median(reps, r.f))
+	}
+	fmt.Println()
+}
+
+func inlineCoverage() {
+	fmt.Println("Inline coverage — XSLT→XQuery full-inline rate over the 40-case suite")
+	inlined := 0
+	var noninline []string
+	for _, c := range xsltmark.All() {
+		sheet := xslt.MustParseStylesheet(c.Stylesheet)
+		schema := xschema.MustParseCompact(c.Schema)
+		res, err := core.Rewrite(sheet, schema, core.ModeAuto)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		if res.Inlined {
+			inlined++
+		} else {
+			noninline = append(noninline, c.Name)
+		}
+	}
+	fmt.Printf("fully inlined: %d / 40 (paper reports 23/40)\n", inlined)
+	fmt.Printf("non-inline (recursive): %v\n\n", noninline)
+}

@@ -1,0 +1,203 @@
+// Command xsltdb is the interactive face of the library:
+//
+//	xsltdb transform -xml doc.xml -xsl sheet.xsl
+//	    apply a stylesheet functionally (the XMLTransform() baseline)
+//
+//	xsltdb rewrite -xsl sheet.xsl -schema schema.txt [-show xquery|notes]
+//	    compile a stylesheet to XQuery via partial evaluation (§3-4)
+//
+//	xsltdb demo
+//	    run the paper's Example 1 and Example 2 end to end, printing the
+//	    intermediate XQuery (Table 8), the SQL/XML plan (Tables 7/11) and
+//	    the physical access paths
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	xsltdb "repro"
+	"repro/internal/core"
+	"repro/internal/sqlxml"
+	"repro/internal/xmltree"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "transform":
+		cmdTransform(os.Args[2:])
+	case "rewrite":
+		cmdRewrite(os.Args[2:])
+	case "demo":
+		cmdDemo()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xsltdb transform|rewrite|demo [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xsltdb:", err)
+	os.Exit(1)
+}
+
+func cmdTransform(args []string) {
+	fs := flag.NewFlagSet("transform", flag.ExitOnError)
+	xmlPath := fs.String("xml", "", "input XML document")
+	xslPath := fs.String("xsl", "", "stylesheet")
+	_ = fs.Parse(args)
+	if *xmlPath == "" || *xslPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	xmlText, err := os.ReadFile(*xmlPath)
+	if err != nil {
+		fatal(err)
+	}
+	xslText, err := os.ReadFile(*xslPath)
+	if err != nil {
+		fatal(err)
+	}
+	// xsl:include hrefs resolve relative to the stylesheet's directory.
+	sheet, err := xslt.ParseStylesheetWithResolver(string(xslText), fileResolver(filepath.Dir(*xslPath)))
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := xmltree.Parse(string(xmlText))
+	if err != nil {
+		fatal(err)
+	}
+	out, err := xslt.New(sheet).TransformToString(doc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+}
+
+// fileResolver loads xsl:include targets from disk, relative to dir.
+func fileResolver(dir string) xslt.Resolver {
+	return func(href string) (string, error) {
+		b, err := os.ReadFile(filepath.Join(dir, href))
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+}
+
+func cmdRewrite(args []string) {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	xslPath := fs.String("xsl", "", "stylesheet")
+	schemaPath := fs.String("schema", "", "compact schema of the input")
+	notes := fs.Bool("notes", false, "also print the optimizations applied and the partial-evaluation trace")
+	_ = fs.Parse(args)
+	if *xslPath == "" || *schemaPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	xslText, err := os.ReadFile(*xslPath)
+	if err != nil {
+		fatal(err)
+	}
+	schemaText, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fatal(err)
+	}
+	sheet, err := xslt.ParseStylesheetWithResolver(string(xslText), fileResolver(filepath.Dir(*xslPath)))
+	if err != nil {
+		fatal(err)
+	}
+	schema, err := xschema.ParseCompact(string(schemaText))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(: mode: %s, fully inlined: %v :)\n%s\n", res.Mode, res.Inlined, res.Module.String())
+	if *notes {
+		fmt.Println("\n-- optimizations applied --")
+		for _, n := range res.Notes {
+			fmt.Println(" -", n)
+		}
+		if res.PE != nil {
+			fmt.Println("\n-- partial-evaluation trace --")
+			fmt.Print(res.PE.Describe())
+		}
+	}
+}
+
+func cmdDemo() {
+	db := xsltdb.NewDatabase()
+	if err := sqlxml.SetupDeptEmp(db.Rel()); err != nil {
+		fatal(err)
+	}
+	if err := db.CreateXMLView(sqlxml.DeptEmpView()); err != nil {
+		fatal(err)
+	}
+	if err := db.CreateIndex("emp", "sal"); err != nil {
+		fatal(err)
+	}
+	if err := db.CreateIndex("emp", "deptno"); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("== Example 1: XMLTransform(dept_emp.dept_content, <stylesheet>) ==")
+	fmt.Println()
+	fmt.Println("-- the dept_emp view (paper Table 3) --")
+	fmt.Println(sqlxml.DeptEmpView().SQL())
+	fmt.Println()
+
+	ct, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.CompileOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("-- XQuery from XSLT rewrite (paper Table 8) --")
+	fmt.Println(ct.XQuery())
+	fmt.Println()
+	fmt.Println("-- SQL/XML after XQuery rewrite (paper Table 7) --")
+	fmt.Println(ct.SQL())
+	fmt.Println()
+	fmt.Println("-- physical plan --")
+	fmt.Println(ct.ExplainPlan())
+	fmt.Println()
+	rows, err := ct.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("-- result rows (paper Table 6) --")
+	for i, r := range rows {
+		fmt.Printf("row %d: %s\n", i+1, r)
+	}
+	fmt.Println()
+
+	fmt.Println("== Example 2: XQuery over the XSLT view (combined optimisation) ==")
+	ct2, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.CompileOptions{
+		OuterPath: []string{"table", "tr"},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("-- optimal SQL/XML (paper Table 11) --")
+	fmt.Println(ct2.SQL())
+	fmt.Println()
+	rows2, err := ct2.Run()
+	if err != nil {
+		fatal(err)
+	}
+	for i, r := range rows2 {
+		fmt.Printf("row %d: %s\n", i+1, r)
+	}
+}

@@ -1,0 +1,87 @@
+package xsltdb_test
+
+import (
+	"fmt"
+	"log"
+
+	xsltdb "repro"
+)
+
+// ExampleTransform applies a stylesheet functionally to standalone XML —
+// the XMLTransform() baseline.
+func ExampleTransform() {
+	out, err := xsltdb.Transform(
+		`<order id="7"><item>widget</item></order>`,
+		`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+			<xsl:template match="order"><receipt no="{@id}"><xsl:value-of select="item"/></receipt></xsl:template>
+		</xsl:stylesheet>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output: <receipt no="7">widget</receipt>
+}
+
+// ExampleRewriteToXQuery compiles a stylesheet against a compact schema and
+// prints whether the paper's partial-evaluation pipeline fully inlined it.
+func ExampleRewriteToXQuery() {
+	schema := `
+order := item*
+item  := #text
+`
+	_, inlined, err := xsltdb.RewriteToXQuery(
+		`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+			<xsl:template match="order"><list><xsl:apply-templates select="item"/></list></xsl:template>
+			<xsl:template match="item"><li><xsl:value-of select="."/></li></xsl:template>
+		</xsl:stylesheet>`, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fully inlined:", inlined)
+	// Output: fully inlined: true
+}
+
+// ExampleDatabase_CompileTransform runs the full pipeline: relational data,
+// an XMLType view, and a stylesheet executed as a SQL/XML plan.
+func ExampleDatabase_CompileTransform() {
+	db := xsltdb.NewDatabase()
+	if err := db.CreateTable("cities",
+		xsltdb.TableColumn{Name: "name", Type: xsltdb.StringCol},
+		xsltdb.TableColumn{Name: "pop", Type: xsltdb.IntCol}); err != nil {
+		log.Fatal(err)
+	}
+	_ = db.Insert("cities", "Seoul", int64(10))
+	_ = db.Insert("cities", "Busan", int64(3))
+	_ = db.CreateTable("world", xsltdb.TableColumn{Name: "id", Type: xsltdb.IntCol})
+	_ = db.Insert("world", int64(1))
+	_ = db.CreateXMLView(&xsltdb.ViewDef{
+		Name:  "atlas",
+		Table: "world",
+		Body: &xsltdb.XMLElement{Name: "atlas", Children: []xsltdb.XMLExpr{
+			&xsltdb.XMLAgg{Sub: &xsltdb.SubQuery{
+				Table: "cities",
+				Body: &xsltdb.XMLElement{Name: "city", Children: []xsltdb.XMLExpr{
+					&xsltdb.XMLElement{Name: "name", Children: []xsltdb.XMLExpr{&xsltdb.XMLColumn{Name: "name"}}},
+					&xsltdb.XMLElement{Name: "pop", Children: []xsltdb.XMLExpr{&xsltdb.XMLColumn{Name: "pop"}}},
+				}},
+			}},
+		}},
+	})
+
+	ct, err := db.CompileTransform("atlas", `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+		<xsl:template match="atlas"><big><xsl:apply-templates select="city[pop > 5]"/></big></xsl:template>
+		<xsl:template match="city"><c><xsl:value-of select="name"/></c></xsl:template>
+	</xsl:stylesheet>`, xsltdb.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := ct.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ct.Strategy())
+	fmt.Println(rows[0])
+	// Output:
+	// sql-rewrite
+	// <big><c>Seoul</c></big>
+}

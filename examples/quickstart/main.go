@@ -1,0 +1,76 @@
+// Quickstart: store relational data, expose it as an XMLType view, and run
+// an XSLT transformation that executes as a SQL/XML plan with index access.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xsltdb "repro"
+)
+
+func main() {
+	db := xsltdb.NewDatabase()
+
+	// 1. A relational table.
+	must(db.CreateTable("books",
+		xsltdb.TableColumn{Name: "id", Type: xsltdb.IntCol},
+		xsltdb.TableColumn{Name: "title", Type: xsltdb.StringCol},
+		xsltdb.TableColumn{Name: "price", Type: xsltdb.IntCol},
+	))
+	must(db.Insert("books", int64(1), "The Art of Computer Programming", int64(250)))
+	must(db.Insert("books", int64(2), "A Pattern Language", int64(65)))
+	must(db.Insert("books", int64(3), "Transaction Processing", int64(120)))
+	must(db.CreateIndex("books", "price"))
+
+	// 2. An XMLType view over it (one document per... here: one document,
+	//    via a single-row driving table).
+	must(db.CreateTable("shelf", xsltdb.TableColumn{Name: "shelfid", Type: xsltdb.IntCol}))
+	must(db.Insert("shelf", int64(1)))
+	must(db.CreateXMLView(&xsltdb.ViewDef{
+		Name:  "library",
+		Table: "shelf",
+		Body: &xsltdb.XMLElement{Name: "library", Children: []xsltdb.XMLExpr{
+			&xsltdb.XMLAgg{Sub: &xsltdb.SubQuery{
+				Table: "books",
+				Body: &xsltdb.XMLElement{Name: "book", Children: []xsltdb.XMLExpr{
+					&xsltdb.XMLElement{Name: "title", Children: []xsltdb.XMLExpr{&xsltdb.XMLColumn{Name: "title"}}},
+					&xsltdb.XMLElement{Name: "price", Children: []xsltdb.XMLExpr{&xsltdb.XMLColumn{Name: "price"}}},
+				}},
+			}},
+		}},
+	}))
+
+	// 3. An XSLT stylesheet: expensive books as an HTML list.
+	const stylesheet = `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	<xsl:template match="library">
+		<ul><xsl:apply-templates select="book[price > 100]"/></ul>
+	</xsl:template>
+	<xsl:template match="book">
+		<li><xsl:value-of select="title"/> ($<xsl:value-of select="price"/>)</li>
+	</xsl:template>
+</xsl:stylesheet>`
+
+	// 4. Compile: the stylesheet becomes XQuery, then a SQL/XML plan.
+	ct, err := db.CompileTransform("library", stylesheet, xsltdb.CompileOptions{})
+	must(err)
+
+	fmt.Println("strategy:", ct.Strategy()) // sql-rewrite
+	fmt.Println("plan:")
+	fmt.Println(ct.ExplainPlan()) // INDEX RANGE SCAN books(price) ...
+	fmt.Println()
+
+	rows, err := ct.Run()
+	must(err)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

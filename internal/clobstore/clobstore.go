@@ -1,0 +1,198 @@
+// Package clobstore implements the alternative XMLType storage models the
+// paper's §7.4 proposes to study: CLOB storage (documents kept as
+// serialized text, parsed on access) with an optional path/value index, and
+// tree storage (documents kept pre-parsed). Together with the
+// object-relational storage of internal/sqlxml, these are the three
+// physical models whose XSLT cost the storage ablation benchmark compares.
+package clobstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/relstore"
+	"repro/internal/xmltree"
+)
+
+// DocStore holds a collection of XMLType documents.
+type DocStore struct {
+	docs []string
+	// trees caches parsed documents (tree storage); nil entries are
+	// not yet parsed.
+	trees []*xmltree.Node
+	// pathIndexes maps a slash path ("/dept/employees/emp/sal") to a
+	// B-tree of leaf values → document ids.
+	pathIndexes map[string]*relstore.BTree
+
+	// Parses counts on-demand document parses (the CLOB storage cost).
+	Parses int64
+}
+
+// New returns an empty store.
+func New() *DocStore {
+	return &DocStore{pathIndexes: map[string]*relstore.BTree{}}
+}
+
+// Add validates and stores one document, returning its id.
+func (s *DocStore) Add(xmlText string) (int, error) {
+	if _, err := xmltree.Parse(xmlText); err != nil {
+		return 0, fmt.Errorf("clobstore: %w", err)
+	}
+	id := len(s.docs)
+	s.docs = append(s.docs, xmlText)
+	s.trees = append(s.trees, nil)
+	// Maintain existing indexes.
+	for path, idx := range s.pathIndexes {
+		doc, err := xmltree.Parse(xmlText)
+		if err != nil {
+			return 0, err
+		}
+		indexDoc(idx, path, doc, id)
+	}
+	return id, nil
+}
+
+// Len reports the number of stored documents.
+func (s *DocStore) Len() int { return len(s.docs) }
+
+// Text returns the serialized form of document id (CLOB access).
+func (s *DocStore) Text(id int) string { return s.docs[id] }
+
+// ParseDoc parses document id afresh — the CLOB storage access path.
+func (s *DocStore) ParseDoc(id int) (*xmltree.Node, error) {
+	atomic.AddInt64(&s.Parses, 1)
+	return xmltree.Parse(s.docs[id])
+}
+
+// Tree returns the cached DOM of document id, parsing once — the tree
+// storage access path.
+func (s *DocStore) Tree(id int) (*xmltree.Node, error) {
+	if s.trees[id] == nil {
+		doc, err := s.ParseDoc(id)
+		if err != nil {
+			return nil, err
+		}
+		s.trees[id] = doc
+	}
+	return s.trees[id], nil
+}
+
+// CreatePathIndex builds a path/value index over the leaf values at the
+// given slash path (e.g. "/table/row/id"). Numeric leaf values index as
+// int64 so range predicates compare numerically.
+func (s *DocStore) CreatePathIndex(path string) error {
+	if !strings.HasPrefix(path, "/") {
+		return fmt.Errorf("clobstore: path %q must be absolute", path)
+	}
+	if _, dup := s.pathIndexes[path]; dup {
+		return nil
+	}
+	idx := relstore.NewBTree()
+	for id := range s.docs {
+		doc, err := s.ParseDoc(id)
+		if err != nil {
+			return err
+		}
+		indexDoc(idx, path, doc, id)
+	}
+	s.pathIndexes[path] = idx
+	return nil
+}
+
+// indexDoc adds every leaf value at path in doc to idx under docID.
+func indexDoc(idx *relstore.BTree, path string, doc *xmltree.Node, docID int) {
+	for _, leaf := range nodesAtPath(doc, path) {
+		idx.Insert(indexKey(leaf.StringValue()), docID)
+	}
+}
+
+// indexKey types a leaf value: integers index numerically.
+func indexKey(v string) relstore.Value {
+	if n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
+		return n
+	}
+	return v
+}
+
+// nodesAtPath walks a simple child path.
+func nodesAtPath(doc *xmltree.Node, path string) []*xmltree.Node {
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	current := []*xmltree.Node{doc}
+	for _, name := range parts {
+		var next []*xmltree.Node
+		for _, n := range current {
+			next = append(next, n.ChildElements(name)...)
+		}
+		current = next
+		if len(current) == 0 {
+			break
+		}
+	}
+	return current
+}
+
+// SelectDocs returns the ids of documents containing a value at path that
+// satisfies pred (op against pred.Val; pred.Col is ignored). With an index
+// on the path this is a B-tree range; otherwise every document is parsed
+// and scanned.
+func (s *DocStore) SelectDocs(path string, pred relstore.Pred) ([]int, bool, error) {
+	if idx, ok := s.pathIndexes[path]; ok && pred.Op != relstore.CmpNe {
+		lo, hi := bounds(pred)
+		seen := map[int]bool{}
+		var out []int
+		idx.Range(lo, hi, func(_ relstore.Value, rows []int) bool {
+			for _, id := range rows {
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
+			}
+			return true
+		})
+		sortInts(out)
+		return out, true, nil
+	}
+	// Full scan: parse everything.
+	var out []int
+	for id := range s.docs {
+		doc, err := s.ParseDoc(id)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, leaf := range nodesAtPath(doc, path) {
+			if pred.Matches(indexKey(leaf.StringValue())) {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out, false, nil
+}
+
+func bounds(p relstore.Pred) (lo, hi relstore.Bound) {
+	lo, hi = relstore.UnboundedBound, relstore.UnboundedBound
+	switch p.Op {
+	case relstore.CmpEq:
+		lo = relstore.Bound{Value: p.Val, Inclusive: true}
+		hi = lo
+	case relstore.CmpLt:
+		hi = relstore.Bound{Value: p.Val}
+	case relstore.CmpLe:
+		hi = relstore.Bound{Value: p.Val, Inclusive: true}
+	case relstore.CmpGt:
+		lo = relstore.Bound{Value: p.Val}
+	case relstore.CmpGe:
+		lo = relstore.Bound{Value: p.Val, Inclusive: true}
+	}
+	return lo, hi
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

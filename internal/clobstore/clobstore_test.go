@@ -1,0 +1,156 @@
+package clobstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relstore"
+)
+
+func fill(t *testing.T, n int) *DocStore {
+	t.Helper()
+	s := New()
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf("<dept><no>%d</no><emps><emp><sal>%d</sal></emp><emp><sal>%d</sal></emp></emps></dept>",
+			i, 1000+i, 2000+i)
+		if _, err := s.Add(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAddAndAccess(t *testing.T) {
+	s := fill(t, 5)
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if _, err := s.Add("<bad"); err == nil {
+		t.Fatal("malformed doc should be rejected")
+	}
+	doc, err := s.ParseDoc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.DocumentElement().FirstChildElement("no").StringValue() != "2" {
+		t.Fatal("wrong doc")
+	}
+}
+
+func TestTreeCaching(t *testing.T) {
+	s := fill(t, 3)
+	before := s.Parses
+	t1, err := s.Tree(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := s.Tree(1)
+	if t1 != t2 {
+		t.Fatal("tree storage must cache the DOM")
+	}
+	if s.Parses != before+1 {
+		t.Fatalf("tree access should parse once, parsed %d", s.Parses-before)
+	}
+	// CLOB access parses every time.
+	_, _ = s.ParseDoc(1)
+	_, _ = s.ParseDoc(1)
+	if s.Parses != before+3 {
+		t.Fatalf("CLOB access should parse per call: %d", s.Parses-before)
+	}
+}
+
+func TestPathIndexSelect(t *testing.T) {
+	s := fill(t, 100)
+	if err := s.CreatePathIndex("/dept/no"); err != nil {
+		t.Fatal(err)
+	}
+	parsesBefore := s.Parses
+
+	ids, usedIndex, err := s.SelectDocs("/dept/no", relstore.Pred{Op: relstore.CmpEq, Val: int64(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usedIndex {
+		t.Fatal("index should be used")
+	}
+	if len(ids) != 1 || ids[0] != 42 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if s.Parses != parsesBefore {
+		t.Fatal("indexed selection must not parse documents")
+	}
+
+	// Range predicate.
+	ids, _, err = s.SelectDocs("/dept/no", relstore.Pred{Op: relstore.CmpGe, Val: int64(97)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("range ids = %v", ids)
+	}
+
+	// Unindexed path: full scan parses everything.
+	ids, usedIndex, err = s.SelectDocs("/dept/emps/emp/sal", relstore.Pred{Op: relstore.CmpGt, Val: int64(2095)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedIndex {
+		t.Fatal("no index on sal path")
+	}
+	if len(ids) != 4 { // sal 2096..2099
+		t.Fatalf("scan ids = %v", ids)
+	}
+	if s.Parses == parsesBefore {
+		t.Fatal("full scan must parse")
+	}
+}
+
+func TestMultiValuePathIndex(t *testing.T) {
+	s := fill(t, 10)
+	if err := s.CreatePathIndex("/dept/emps/emp/sal"); err != nil {
+		t.Fatal(err)
+	}
+	// Doc i has sals 1000+i and 2000+i; select docs with any sal < 1003.
+	ids, used, err := s.SelectDocs("/dept/emps/emp/sal", relstore.Pred{Op: relstore.CmpLt, Val: int64(1003)})
+	if err != nil || !used {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Index stays correct for documents added after creation.
+	if _, err := s.Add("<dept><no>99</no><emps><emp><sal>1</sal></emp></emps></dept>"); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, _ = s.SelectDocs("/dept/emps/emp/sal", relstore.Pred{Op: relstore.CmpEq, Val: int64(1)})
+	if len(ids) != 1 || ids[0] != 10 {
+		t.Fatalf("post-add index wrong: %v", ids)
+	}
+}
+
+func TestCreatePathIndexErrors(t *testing.T) {
+	s := fill(t, 2)
+	if err := s.CreatePathIndex("relative/path"); err == nil {
+		t.Fatal("relative path should be rejected")
+	}
+	if err := s.CreatePathIndex("/dept/no"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := s.CreatePathIndex("/dept/no"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringIndexKeys(t *testing.T) {
+	s := New()
+	_, _ = s.Add("<r><k>alpha</k></r>")
+	_, _ = s.Add("<r><k>beta</k></r>")
+	if err := s.CreatePathIndex("/r/k"); err != nil {
+		t.Fatal(err)
+	}
+	ids, used, err := s.SelectDocs("/r/k", relstore.Pred{Op: relstore.CmpEq, Val: "beta"})
+	if err != nil || !used || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("string key select: %v %v %v", ids, used, err)
+	}
+}

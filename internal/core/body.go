@@ -1,0 +1,633 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+)
+
+// applyHost is implemented by each generation mode; it decides what an
+// apply-templates or call-template instruction turns into.
+type applyHost interface {
+	compileApply(at *xslt.ApplyTemplates, env bodyEnv) (xquery.Expr, error)
+	compileCall(ct *xslt.CallTemplate, env bodyEnv) (xquery.Expr, error)
+}
+
+// bodyEnv is the compilation context of a sequence constructor.
+type bodyEnv struct {
+	conv convEnv
+	// decl is the schema declaration of the context element, when known
+	// (inline mode); nil otherwise.
+	decl *xschema.ElemDecl
+	// rtfVars records variables bound to result tree fragments, whose
+	// copy-of unwraps the fragment wrapper.
+	rtfVars map[string]bool
+	// overrides carries with-param values (by stylesheet parameter name)
+	// into an inlined template's parameter binding.
+	overrides map[string]xquery.Expr
+}
+
+func (e bodyEnv) withCtx(ctx xquery.Expr, decl *xschema.ElemDecl) bodyEnv {
+	e.conv.ctx = ctx
+	e.conv.current = ctx
+	e.conv.posVar = ""
+	e.conv.sizeVar = ""
+	e.decl = decl
+	return e
+}
+
+// markRTF returns a copy of env with name registered as an RTF variable.
+func (e bodyEnv) markRTF(name string) bodyEnv {
+	e.rtfVars = copySet(e.rtfVars)
+	e.rtfVars[name] = true
+	return e
+}
+
+// varGen issues fresh $varNNN names in the style of the paper's Table 8.
+type varGen struct{ n int }
+
+func (g *varGen) fresh() string {
+	g.n++
+	return fmt.Sprintf("var%03d", g.n)
+}
+
+// bodyCompiler translates instruction sequences to XQuery expressions.
+type bodyCompiler struct {
+	host applyHost
+	vars *varGen
+	// notes accumulate human-readable records of applied optimizations.
+	notes *[]string
+}
+
+func (bc *bodyCompiler) note(format string, args ...any) {
+	if bc.notes != nil {
+		*bc.notes = append(*bc.notes, fmt.Sprintf(format, args...))
+	}
+}
+
+// rtfWrapperName wraps result-tree-fragment variable values.
+const rtfWrapperName = "xdb-rtf"
+
+// compileSeq compiles a sequence constructor into one expression.
+// directContent marks compilation for the immediate children of an element
+// constructor (literal text may stay literal there).
+func (bc *bodyCompiler) compileSeq(body []xslt.Instruction, env bodyEnv, directContent bool) (xquery.Expr, error) {
+	items, err := bc.compileItems(body, env, directContent)
+	if err != nil {
+		return nil, err
+	}
+	switch len(items) {
+	case 0:
+		return xquery.EmptySeq{}, nil
+	case 1:
+		return items[0], nil
+	default:
+		return &xquery.Sequence{Items: items}, nil
+	}
+}
+
+// compileItems compiles each instruction; xsl:variable rebinds the tail of
+// the list under a let.
+func (bc *bodyCompiler) compileItems(body []xslt.Instruction, env bodyEnv, directContent bool) ([]xquery.Expr, error) {
+	var items []xquery.Expr
+	for i, instr := range body {
+		if dv, ok := instr.(*xslt.DeclareVar); ok {
+			letExpr, err := bc.compileVarBinding(dv.Def, body[i+1:], env, directContent)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, letExpr)
+			return items, nil
+		}
+		e, err := bc.compileInstr(instr, env, directContent)
+		if err != nil {
+			return nil, err
+		}
+		if e != nil {
+			items = append(items, e)
+		}
+	}
+	return items, nil
+}
+
+// compileVarBinding compiles `xsl:variable` + the remaining instructions
+// into `let $v := value return (rest)`.
+func (bc *bodyCompiler) compileVarBinding(def *xslt.VarDef, rest []xslt.Instruction, env bodyEnv, directContent bool) (xquery.Expr, error) {
+	name := userVarName(def.Name)
+	var value xquery.Expr
+	isRTF := false
+	switch {
+	case def.Select != nil:
+		v, err := convertExpr(def.Select, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		value = v
+	case len(def.Body) > 0:
+		inner, err := bc.compileSeq(def.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		// Result tree fragments become a wrapper element whose string
+		// value matches; copy-of unwraps with /node().
+		value = &xquery.CompElem{Name: xquery.StringLit(rtfWrapperName), Body: inner}
+		isRTF = true
+	default:
+		value = xquery.StringLit("")
+	}
+	tailEnv := env
+	if isRTF {
+		tailEnv.rtfVars = copySet(env.rtfVars)
+		tailEnv.rtfVars[name] = true
+	}
+	ret, err := bc.compileSeq(rest, tailEnv, directContent)
+	if err != nil {
+		return nil, err
+	}
+	return &xquery.FLWOR{
+		Clauses: []xquery.Clause{{Kind: xquery.ClauseLet, Var: name, In: value}},
+		Return:  ret,
+	}, nil
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// userVarName maps stylesheet variable names into the generated query's
+// namespace, avoiding collisions with $varNNN.
+func userVarName(name string) string { return "u-" + name }
+
+func (bc *bodyCompiler) compileInstr(instr xslt.Instruction, env bodyEnv, directContent bool) (xquery.Expr, error) {
+	switch in := instr.(type) {
+	case *xslt.Text:
+		return bc.textExpr(in.Data, directContent), nil
+	case *xslt.MakeText:
+		return bc.textExpr(in.Data, directContent), nil
+
+	case *xslt.ValueOf:
+		sel, err := convertExpr(in.Select, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		if directContent {
+			return stringOf(sel), nil
+		}
+		return &xquery.CompText{Body: stringOf(sel)}, nil
+
+	case *xslt.LiteralElement:
+		el := &xquery.DirectElem{Name: in.QName}
+		for _, a := range in.Attrs {
+			parts, err := bc.avtParts(a.Value, env)
+			if err != nil {
+				return nil, err
+			}
+			el.Attrs = append(el.Attrs, xquery.DirectAttr{Name: a.QName, Parts: parts})
+		}
+		kids, err := bc.compileItems(in.Body, env, true)
+		if err != nil {
+			return nil, err
+		}
+		el.Children = kids
+		return el, nil
+
+	case *xslt.MakeElement:
+		name, err := bc.avtExpr(in.Name, env)
+		if err != nil {
+			return nil, err
+		}
+		body, err := bc.compileSeq(in.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.CompElem{Name: name, Body: body}, nil
+
+	case *xslt.MakeAttribute:
+		name, err := bc.avtExpr(in.Name, env)
+		if err != nil {
+			return nil, err
+		}
+		body, err := bc.compileSeq(in.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		// Attribute value is the string value of the body.
+		return &xquery.CompAttr{Name: name, Body: stringJoinValue(body)}, nil
+
+	case *xslt.MakeComment:
+		body, err := bc.compileSeq(in.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.CompComment{Body: stringJoinValue(body)}, nil
+
+	case *xslt.MakePI:
+		name, err := bc.avtExpr(in.Name, env)
+		if err != nil {
+			return nil, err
+		}
+		body, err := bc.compileSeq(in.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.CompPI{Name: name, Body: stringJoinValue(body)}, nil
+
+	case *xslt.If:
+		cond, err := convertExpr(in.Test, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		then, err := bc.compileSeq(in.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.IfExpr{Cond: cond, Then: then, Else: xquery.EmptySeq{}}, nil
+
+	case *xslt.Choose:
+		return bc.compileChoose(in, env)
+
+	case *xslt.ForEach:
+		return bc.compileForEach(in, env)
+
+	case *xslt.ApplyTemplates:
+		return bc.host.compileApply(in, env)
+
+	case *xslt.CallTemplate:
+		return bc.host.compileCall(in, env)
+
+	case *xslt.CopyOf:
+		sel, err := convertExpr(in.Select, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		// RTF variables unwrap their fragment wrapper.
+		if v, ok := xquery.Unwrap(sel).(xquery.VarRef); ok && env.rtfVars[string(v)] {
+			return nodeStep(sel), nil
+		}
+		return sel, nil
+
+	case *xslt.Copy:
+		return bc.compileCopy(in, env)
+
+	case *xslt.NumberInstr:
+		return bc.compileNumber(in, env, directContent)
+
+	case *xslt.Message:
+		bc.note("xsl:message dropped from the rewritten query")
+		return nil, nil
+
+	case *xslt.DeclareVar:
+		// Handled by compileItems; reaching here means a variable is the
+		// last instruction — it binds nothing.
+		return nil, nil
+	}
+	return nil, convErrf("cannot rewrite instruction %T", instr)
+}
+
+func (bc *bodyCompiler) textExpr(data string, directContent bool) xquery.Expr {
+	if directContent {
+		return xquery.TextLit(data)
+	}
+	return &xquery.CompText{Body: xquery.StringLit(data)}
+}
+
+// stringJoinValue turns a content expression into its XSLT string value:
+// the concatenation (no separators) of the string values of the items.
+// Common single-item shapes simplify so the result stays lowerable.
+func stringJoinValue(body xquery.Expr) xquery.Expr {
+	switch x := xquery.Unwrap(body).(type) {
+	case xquery.EmptySeq:
+		return xquery.StringLit("")
+	case xquery.StringLit:
+		return x
+	case *xquery.CompText:
+		// A single text node's string value is its content expression.
+		return x.Body
+	case *xquery.FuncCall:
+		if x.Name == "fn:string" || x.Name == "fn:concat" {
+			return x
+		}
+	case *xquery.Sequence:
+		// A sequence of text/string items concatenates via fn:concat.
+		args := make([]xquery.Expr, 0, len(x.Items))
+		for _, it := range x.Items {
+			switch itx := xquery.Unwrap(it).(type) {
+			case xquery.StringLit:
+				args = append(args, itx)
+			case *xquery.CompText:
+				args = append(args, itx.Body)
+			default:
+				args = nil
+			}
+			if args == nil {
+				break
+			}
+		}
+		if args != nil && len(args) >= 2 {
+			return &xquery.FuncCall{Name: "fn:concat", Args: args}
+		}
+	}
+	return &xquery.FuncCall{Name: "fn:string-join", Args: []xquery.Expr{
+		flworOver(body), xquery.StringLit(""),
+	}}
+}
+
+// flworOver maps fn:string over each item of e: for $x in e return
+// fn:string($x).
+func flworOver(e xquery.Expr) xquery.Expr {
+	return &xquery.FLWOR{
+		Clauses: []xquery.Clause{{Kind: xquery.ClauseFor, Var: "xdb-s", In: e}},
+		Return:  stringOf(xquery.VarRef("xdb-s")),
+	}
+}
+
+func (bc *bodyCompiler) compileChoose(ch *xslt.Choose, env bodyEnv) (xquery.Expr, error) {
+	var out xquery.Expr = xquery.EmptySeq{}
+	if len(ch.Otherwise) > 0 {
+		e, err := bc.compileSeq(ch.Otherwise, env, false)
+		if err != nil {
+			return nil, err
+		}
+		out = e
+	}
+	for i := len(ch.Whens) - 1; i >= 0; i-- {
+		w := ch.Whens[i]
+		cond, err := convertExpr(w.Test, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		then, err := bc.compileSeq(w.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		out = &xquery.IfExpr{Cond: cond, Then: then, Else: out}
+	}
+	return out, nil
+}
+
+func (bc *bodyCompiler) compileForEach(fe *xslt.ForEach, env bodyEnv) (xquery.Expr, error) {
+	sel, err := convertExpr(fe.Select, env.conv)
+	if err != nil {
+		return nil, err
+	}
+	v := bc.vars.fresh()
+	inner := env.withCtx(xquery.VarRef(v), bc.resolveDecl(env, fe.Select))
+
+	fl := &xquery.FLWOR{}
+	needPos := usesPositionOrLast(fe.Body)
+	cl := xquery.Clause{Kind: xquery.ClauseFor, Var: v, In: sel}
+	if needPos {
+		cl.At = v + "-pos"
+		inner.conv.posVar = cl.At
+		// last(): bind the count once, outside the loop.
+		sizeVar := v + "-size"
+		inner.conv.sizeVar = sizeVar
+		fl.Clauses = append(fl.Clauses, xquery.Clause{
+			Kind: xquery.ClauseLet, Var: sizeVar,
+			In: &xquery.FuncCall{Name: "fn:count", Args: []xquery.Expr{sel}},
+		})
+	}
+	fl.Clauses = append(fl.Clauses, cl)
+	for _, sk := range fe.Sorts {
+		keyEnv := inner.conv
+		key, err := convertExpr(sk.Select, keyEnv)
+		if err != nil {
+			return nil, err
+		}
+		if sk.Numeric {
+			key = &xquery.FuncCall{Name: "fn:number", Args: []xquery.Expr{key}}
+		} else {
+			key = stringOf(key)
+		}
+		fl.Order = append(fl.Order, xquery.OrderKey{Expr: key, Descending: sk.Descending})
+	}
+	ret, err := bc.compileSeq(fe.Body, inner, false)
+	if err != nil {
+		return nil, err
+	}
+	fl.Return = ret
+	return fl, nil
+}
+
+// resolveDecl follows a simple child path from the current declaration to
+// find the declaration of selected elements; nil when unknown.
+func (bc *bodyCompiler) resolveDecl(env bodyEnv, sel xpath.Expr) *xschema.ElemDecl {
+	if env.decl == nil {
+		return nil
+	}
+	p, ok := sel.(*xpath.PathExpr)
+	if !ok || p.Abs || p.Start != nil {
+		return nil
+	}
+	cur := env.decl
+	for _, s := range p.Steps {
+		if s.Axis != xpath.AxisChild || s.Test.Kind != xpath.TestName {
+			return nil
+		}
+		part := cur.Particle(s.Test.Name)
+		if part == nil {
+			return nil
+		}
+		cur = part.Child
+	}
+	return cur
+}
+
+// compileCopy lowers xsl:copy to a kind dispatch over the context node.
+func (bc *bodyCompiler) compileCopy(cp *xslt.Copy, env bodyEnv) (xquery.Expr, error) {
+	ctx := contextItemExpr(env.conv)
+	body, err := bc.compileSeq(cp.Body, env, false)
+	if err != nil {
+		return nil, err
+	}
+	nameOf := &xquery.FuncCall{Name: "fn:name", Args: []xquery.Expr{ctx}}
+	elem := &xquery.CompElem{Name: nameOf, Body: body}
+	text := &xquery.CompText{Body: stringOf(ctx)}
+	attr := &xquery.CompAttr{Name: nameOf, Body: stringOf(ctx)}
+	comment := &xquery.CompComment{Body: stringOf(ctx)}
+	pi := &xquery.CompPI{Name: nameOf, Body: stringOf(ctx)}
+
+	isKind := func(k xquery.SeqTypeKind) xquery.Expr {
+		return &xquery.InstanceOf{X: ctx, Type: xquery.SeqType{Kind: k}}
+	}
+	return &xquery.IfExpr{
+		Cond: isKind(xquery.SeqTypeElement), Then: elem,
+		Else: &xquery.IfExpr{
+			Cond: isKind(xquery.SeqTypeText), Then: text,
+			Else: &xquery.IfExpr{
+				Cond: isKind(xquery.SeqTypeAttribute), Then: attr,
+				Else: &xquery.IfExpr{
+					Cond: isKind(xquery.SeqTypeComment), Then: comment,
+					Else: &xquery.IfExpr{
+						Cond: isKind(xquery.SeqTypePI), Then: pi,
+						Else: body, // document node: content only
+					},
+				},
+			},
+		},
+	}, nil
+}
+
+// compileNumber lowers xsl:number.
+func (bc *bodyCompiler) compileNumber(n *xslt.NumberInstr, env bodyEnv, directContent bool) (xquery.Expr, error) {
+	if n.Value != nil {
+		v, err := convertExpr(n.Value, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		s := stringOf(&xquery.FuncCall{Name: "fn:number", Args: []xquery.Expr{v}})
+		if directContent {
+			return s, nil
+		}
+		return &xquery.CompText{Body: s}, nil
+	}
+	ctx := contextItemExpr(env.conv)
+	// count(preceding-sibling nodes with the same name) + 1
+	precedingSame := &xquery.Path{Base: ctx, Steps: []*xquery.Step{{
+		Axis: xpath.AxisPrecedingSibling,
+		Test: xpath.NodeTest{Kind: xpath.TestAnyName},
+		Preds: []xquery.Expr{&xquery.Binary{
+			Op: xquery.OpEq,
+			L:  &xquery.FuncCall{Name: "fn:local-name"},
+			R:  &xquery.FuncCall{Name: "fn:local-name", Args: []xquery.Expr{ctx}},
+		}},
+	}}}
+	count := &xquery.FuncCall{Name: "fn:count", Args: []xquery.Expr{precedingSame}}
+	s := stringOf(&xquery.Binary{Op: xquery.OpAdd, L: count, R: xquery.NumberLit(1)})
+	if directContent {
+		return s, nil
+	}
+	return &xquery.CompText{Body: s}, nil
+}
+
+// avtParts converts an attribute value template into direct-attribute
+// parts.
+func (bc *bodyCompiler) avtParts(a *xslt.AVT, env bodyEnv) ([]xquery.AttrValuePart, error) {
+	var parts []xquery.AttrValuePart
+	for _, p := range a.Parts {
+		if p.Expr == nil {
+			parts = append(parts, xquery.AttrValuePart{Text: p.Text})
+			continue
+		}
+		e, err := convertExpr(p.Expr, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, xquery.AttrValuePart{Expr: stringOf(e)})
+	}
+	return parts, nil
+}
+
+// avtExpr converts an AVT into a single string expression.
+func (bc *bodyCompiler) avtExpr(a *xslt.AVT, env bodyEnv) (xquery.Expr, error) {
+	if a.IsLiteral() {
+		return xquery.StringLit(a.LiteralValue()), nil
+	}
+	var args []xquery.Expr
+	for _, p := range a.Parts {
+		if p.Expr == nil {
+			args = append(args, xquery.StringLit(p.Text))
+			continue
+		}
+		e, err := convertExpr(p.Expr, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, stringOf(e))
+	}
+	if len(args) == 1 {
+		return args[0], nil
+	}
+	return &xquery.FuncCall{Name: "fn:concat", Args: args}, nil
+}
+
+// usesPositionOrLast reports whether any expression in the body calls
+// position() or last() in the immediate context (not inside nested
+// for-each, whose own loops provide the context).
+func usesPositionOrLast(body []xslt.Instruction) bool {
+	found := false
+	var checkExpr func(e xpath.Expr)
+	checkExpr = func(e xpath.Expr) {
+		if e == nil || found {
+			return
+		}
+		switch x := e.(type) {
+		case *xpath.FuncExpr:
+			name := x.Name
+			if name == "position" || name == "last" || name == "fn:position" || name == "fn:last" {
+				found = true
+				return
+			}
+			for _, a := range x.Args {
+				checkExpr(a)
+			}
+		case *xpath.BinaryExpr:
+			checkExpr(x.L)
+			checkExpr(x.R)
+		case *xpath.NegExpr:
+			checkExpr(x.X)
+		case *xpath.PathExpr:
+			checkExpr(x.Start)
+			// Predicates establish their own context; skip them.
+		}
+	}
+	var walk func([]xslt.Instruction)
+	walk = func(instrs []xslt.Instruction) {
+		for _, in := range instrs {
+			if found {
+				return
+			}
+			switch x := in.(type) {
+			case *xslt.ValueOf:
+				checkExpr(x.Select)
+			case *xslt.CopyOf:
+				checkExpr(x.Select)
+			case *xslt.If:
+				checkExpr(x.Test)
+				walk(x.Body)
+			case *xslt.Choose:
+				for _, w := range x.Whens {
+					checkExpr(w.Test)
+					walk(w.Body)
+				}
+				walk(x.Otherwise)
+			case *xslt.LiteralElement:
+				for _, a := range x.Attrs {
+					for _, p := range a.Value.Parts {
+						checkExpr(p.Expr)
+					}
+				}
+				walk(x.Body)
+			case *xslt.MakeElement:
+				walk(x.Body)
+			case *xslt.MakeAttribute:
+				walk(x.Body)
+			case *xslt.MakeComment:
+				walk(x.Body)
+			case *xslt.MakePI:
+				walk(x.Body)
+			case *xslt.Copy:
+				walk(x.Body)
+			case *xslt.DeclareVar:
+				checkExpr(x.Def.Select)
+				walk(x.Def.Body)
+			case *xslt.ApplyTemplates:
+				checkExpr(x.Select)
+			case *xslt.ForEach:
+				checkExpr(x.Select)
+				// The nested loop provides its own position context.
+			case *xslt.NumberInstr:
+				checkExpr(x.Value)
+			}
+		}
+	}
+	walk(body)
+	return found
+}

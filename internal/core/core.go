@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pe"
+	"repro/internal/xquery"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+)
+
+// Mode selects the XSLT→XQuery generation strategy.
+type Mode uint8
+
+// Generation modes.
+const (
+	// ModeAuto follows the paper: builtin-only compaction, else inline when
+	// the execution graph is acyclic, else non-inline.
+	ModeAuto Mode = iota
+	// ModeStraightforward is the Fokoue et al. [9] baseline (no schema
+	// needed, no partial evaluation).
+	ModeStraightforward
+	// ModeInline forces full inlining (fails when recursion is present).
+	ModeInline
+	// ModeNonInline forces function-per-template generation using PE
+	// information.
+	ModeNonInline
+	// ModePartialInline implements the paper's §7.2 future work: functions
+	// only for templates on recursion cycles; everything else inlines at
+	// its activation sites.
+	ModePartialInline
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeStraightforward:
+		return "straightforward"
+	case ModeInline:
+		return "inline"
+	case ModeNonInline:
+		return "non-inline"
+	case ModePartialInline:
+		return "partial-inline"
+	}
+	return "?"
+}
+
+// Result is a completed rewrite.
+type Result struct {
+	// Module is the generated XQuery. The query expects the input document
+	// as the initial context item (the XMLQuery(... PASSING doc) value).
+	Module *xquery.Module
+	// Mode is the strategy actually used (informative when ModeAuto).
+	Mode Mode
+	// Inlined reports full inlining (no function calls), the statistic the
+	// paper's §5 reports as "23 out of 40".
+	Inlined bool
+	// PE is the partial-evaluation result (nil in straightforward mode).
+	PE *pe.Result
+	// Notes lists applied optimizations (template inlining, cardinality
+	// decisions, parent-axis eliminations, dead-template removals).
+	Notes []string
+}
+
+// Rewrite compiles the stylesheet into XQuery. schema may be nil only for
+// ModeStraightforward.
+func Rewrite(sheet *xslt.Stylesheet, schema *xschema.Schema, mode Mode) (*Result, error) {
+	if mode == ModeStraightforward {
+		return rewriteStraightforward(sheet)
+	}
+	if schema == nil {
+		return nil, convErrf("modes other than straightforward require the input schema (§3.2)")
+	}
+	peRes, err := pe.Evaluate(sheet, schema)
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case ModeInline:
+		if peRes.Recursive {
+			return nil, convErrf("inline mode impossible: %s", peRes.RecursionReason)
+		}
+		return rewriteInline(peRes)
+	case ModeNonInline:
+		return rewriteNonInline(peRes, false)
+	case ModePartialInline:
+		return rewriteNonInline(peRes, true)
+	default: // ModeAuto, §4.4 (+ §7.2 partial inline for the recursive case)
+		if peRes.BuiltinOnly {
+			return rewriteBuiltinOnly(peRes)
+		}
+		if peRes.Recursive {
+			if res, err := rewriteNonInline(peRes, true); err == nil {
+				return res, nil
+			}
+			// Partial inlining can hit edge cases the trace missed; the
+			// pure non-inline translation is always available.
+			return rewriteNonInline(peRes, false)
+		}
+		return rewriteInline(peRes)
+	}
+}
+
+// rewriteBuiltinOnly emits the compact built-in-template-only query of
+// §3.6 / Table 21: join the string values of all descendant text nodes.
+func rewriteBuiltinOnly(peRes *pe.Result) (*Result, error) {
+	m := &xquery.Module{
+		Vars: []*xquery.VarDecl{{Name: "var000", Init: xquery.ContextItem{}}},
+	}
+	loopVar := "var002" // Table 21 numbering
+	inner := &xquery.FLWOR{
+		Clauses: []xquery.Clause{{
+			Kind: xquery.ClauseFor, Var: loopVar,
+			In: descendantTextPath(xquery.VarRef("var000")),
+		}},
+		Return: stringOf(xquery.VarRef(loopVar)),
+	}
+	m.Body = &xquery.Annotated{
+		Comment: "builtin template",
+		X: &xquery.CompText{Body: &xquery.FuncCall{
+			Name: "fn:string-join",
+			Args: []xquery.Expr{inner, xquery.StringLit("")},
+		}},
+	}
+	return &Result{
+		Module:  m,
+		Mode:    ModeInline,
+		Inlined: true,
+		PE:      peRes,
+		Notes:   []string{"builtin-template-only compaction (§3.6, Table 21)"},
+	}, nil
+}
+
+func descendantTextPath(base xquery.Expr) xquery.Expr {
+	return &xquery.Path{Base: base, Steps: []*xquery.Step{
+		dosNodeStep(),
+		textTestStep(),
+	}}
+}
+
+// templatesByPrecedence orders templates for dispatch chains: highest
+// priority first, later document order first within a priority.
+func templatesByPrecedence(ts []*xslt.Template) []*xslt.Template {
+	out := append([]*xslt.Template{}, ts...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Index > out[j].Index
+	})
+	return out
+}
+
+// matchTemplates returns the match-pattern templates of the sheet for the
+// given mode, in dispatch order.
+func matchTemplates(sheet *xslt.Stylesheet, mode string) []*xslt.Template {
+	var ts []*xslt.Template
+	for _, t := range sheet.Templates {
+		if t.Match != nil && t.Mode == mode {
+			ts = append(ts, t)
+		}
+	}
+	return templatesByPrecedence(ts)
+}
+
+// modesOf returns every mode used by match templates, "" first.
+func modesOf(sheet *xslt.Stylesheet) []string {
+	seen := map[string]bool{"": true}
+	out := []string{""}
+	for _, t := range sheet.Templates {
+		if t.Match != nil && !seen[t.Mode] {
+			seen[t.Mode] = true
+			out = append(out, t.Mode)
+		}
+	}
+	return out
+}
+
+// funcNameForTemplate builds the local:* function name for a template.
+func funcNameForTemplate(t *xslt.Template) string {
+	if t.Name != "" {
+		return "local:named-" + sanitizeNCName(t.Name)
+	}
+	return fmt.Sprintf("local:template-%d", t.Index)
+}
+
+func applyFuncName(mode string) string {
+	if mode == "" {
+		return "local:apply"
+	}
+	return "local:apply-" + sanitizeNCName(mode)
+}
+
+func builtinFuncName(mode string) string {
+	if mode == "" {
+		return "local:builtin"
+	}
+	return "local:builtin-" + sanitizeNCName(mode)
+}
+
+func sanitizeNCName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "x"
+	}
+	return string(out)
+}

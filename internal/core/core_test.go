@@ -1,0 +1,778 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+)
+
+const deptSchema = `
+dept      := dname, loc, employees
+employees := emp*
+emp       := empno:int, ename, sal:int
+`
+
+func wrap(body string) string {
+	return `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">` + body + `</xsl:stylesheet>`
+}
+
+// nows strips whitespace differences for golden comparisons.
+func nows(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	return strings.ReplaceAll(s, "> <", "><")
+}
+
+// rewriteFor compiles a stylesheet against a schema in the given mode.
+func rewriteFor(t *testing.T, stylesheet, schema string, mode Mode) *Result {
+	t.Helper()
+	sheet, err := xslt.ParseStylesheet(stylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s *xschema.Schema
+	if schema != "" {
+		s, err = xschema.ParseCompact(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Rewrite(sheet, s, mode)
+	if err != nil {
+		t.Fatalf("Rewrite(%v): %v", mode, err)
+	}
+	return res
+}
+
+// runQuery executes a generated module over a document.
+func runQuery(t *testing.T, m *xquery.Module, doc *xmltree.Node) string {
+	t.Helper()
+	out, err := xquery.EvalModule(m, xquery.NewEnv(xquery.Item(doc)))
+	if err != nil {
+		t.Fatalf("generated query failed: %v\nquery:\n%s", err, m.String())
+	}
+	return xquery.SerializeSeq(out)
+}
+
+// interpOut runs the reference XSLT interpreter.
+func interpOut(t *testing.T, stylesheet string, doc *xmltree.Node) string {
+	t.Helper()
+	sheet := xslt.MustParseStylesheet(stylesheet)
+	out, err := xslt.New(sheet).TransformToString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func parseDoc(t *testing.T, src string) *xmltree.Node {
+	t.Helper()
+	d, err := xmltree.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// stripInputWS removes whitespace-only text nodes: schema-generated inputs
+// have none, and the rewrite (specialized to the schema) legitimately drops
+// them while the functional interpreter copies them.
+func stripInputWS(doc *xmltree.Node) *xmltree.Node {
+	var strip func(n *xmltree.Node)
+	strip = func(n *xmltree.Node) {
+		kept := n.Children[:0]
+		for _, c := range n.Children {
+			if c.Kind == xmltree.TextNode && strings.TrimSpace(c.Data) == "" {
+				continue
+			}
+			strip(c)
+			kept = append(kept, c)
+		}
+		n.Children = kept
+	}
+	strip(doc)
+	doc.Renumber()
+	return doc
+}
+
+// equivCase checks interpreter-vs-rewrite equivalence in every applicable
+// mode.
+func equivCase(t *testing.T, name, stylesheet, schema, input string, modes ...Mode) {
+	t.Helper()
+	doc := stripInputWS(parseDoc(t, input))
+	want := interpOut(t, stylesheet, doc)
+	if len(modes) == 0 {
+		modes = []Mode{ModeStraightforward, ModeInline, ModeNonInline, ModeAuto}
+	}
+	for _, mode := range modes {
+		t.Run(name+"/"+mode.String(), func(t *testing.T) {
+			res := rewriteFor(t, stylesheet, schema, mode)
+			got := runQuery(t, res.Module, doc)
+			if nows(got) != nows(want) {
+				t.Fatalf("mode %v diverges from interpreter:\n got:  %s\n want: %s\nquery:\n%s",
+					mode, nows(got), nows(want), res.Module.String())
+			}
+		})
+	}
+}
+
+// TestExample1AllModes is the repository's most important test: the paper's
+// Example 1 produces Table 6 through every translation mode.
+func TestExample1AllModes(t *testing.T) {
+	equivCase(t, "row1", xslt.PaperStylesheet, deptSchema, xslt.PaperDeptRow1)
+	equivCase(t, "row2", xslt.PaperStylesheet, deptSchema, xslt.PaperDeptRow2)
+}
+
+// TestExample1RewriteShape checks the generated inline query against the
+// structure of paper Table 8.
+func TestExample1RewriteShape(t *testing.T) {
+	res := rewriteFor(t, xslt.PaperStylesheet, deptSchema, ModeInline)
+	q := res.Module.String()
+
+	for _, frag := range []string{
+		"declare variable $var000 := .;",
+		"(: builtin template :)",
+		"$var000/dept",
+		`(: <xsl:template match="dept"> :)`,
+		"<H1>HIGHLY PAID DEPT EMPLOYEES</H1>",
+		`(: <xsl:template match="dname"> :)`,
+		`(: <xsl:template match="loc"> :)`,
+		`(: <xsl:template match="employees"> :)`,
+		"emp[sal > 2000]",
+		`(: <xsl:template match="emp"> :)`,
+		"<td>",
+		"fn:string(",
+	} {
+		if !strings.Contains(q, frag) {
+			t.Errorf("generated query missing %q:\n%s", frag, q)
+		}
+	}
+	// Table 8's key property: full inlining — no function declarations, no
+	// conditional dispatch.
+	if len(res.Module.Funcs) != 0 {
+		t.Fatalf("inline mode must not declare functions, got %d", len(res.Module.Funcs))
+	}
+	if !res.Inlined {
+		t.Fatal("Inlined flag must be set")
+	}
+	// emp iterates (repeating), dname binds with let (single): Table 15.
+	if !strings.Contains(q, "for $") || !strings.Contains(q, "let $") {
+		t.Fatal("expected both for and let clauses (cardinality-driven)")
+	}
+	// The dead text() template must not be inlined (§3.7).
+	if strings.Contains(q, `match="text()"`) {
+		t.Fatal("dead text() template should be eliminated (§3.7)")
+	}
+	// The generated query re-parses.
+	if _, err := xquery.Parse(q); err != nil {
+		t.Fatalf("generated query does not re-parse: %v\n%s", err, q)
+	}
+}
+
+// TestStraightforwardShape checks the [9]-baseline structure: functions and
+// dispatch chains.
+func TestStraightforwardShape(t *testing.T) {
+	res := rewriteFor(t, xslt.PaperStylesheet, "", ModeStraightforward)
+	q := res.Module.String()
+	if len(res.Module.Funcs) == 0 {
+		t.Fatal("straightforward mode must declare functions")
+	}
+	for _, frag := range []string{
+		"declare function local:template-",
+		"declare function local:apply",
+		"declare function local:builtin",
+		"instance of element(dept)",
+		"instance of text()",
+	} {
+		if !strings.Contains(q, frag) {
+			t.Errorf("straightforward query missing %q", frag)
+		}
+	}
+	if res.Inlined {
+		t.Fatal("straightforward mode is never inlined")
+	}
+}
+
+func TestModelGroupSequence(t *testing.T) {
+	// Table 14: sequence model group — no conditionals at all.
+	sheet := wrap(`
+		<xsl:template match="dept"><xsl:apply-templates/></xsl:template>
+		<xsl:template match="dname"><D><xsl:value-of select="."/></D></xsl:template>
+		<xsl:template match="loc"><L><xsl:value-of select="."/></L></xsl:template>
+		<xsl:template match="employees"><E/></xsl:template>
+	`)
+	res := rewriteFor(t, sheet, deptSchema, ModeInline)
+	q := res.Module.String()
+	if strings.Contains(q, "if (") {
+		t.Fatalf("sequence group must compile without conditionals (Table 14):\n%s", q)
+	}
+	equivCase(t, "seq", sheet, deptSchema, xslt.PaperDeptRow1, ModeInline)
+}
+
+func TestModelGroupChoice(t *testing.T) {
+	// Table 13: choice model group — existence conditionals, no iteration.
+	schema := `
+doc     := payload
+payload := xml | json
+xml     := #text
+json    := #text
+`
+	sheet := wrap(`
+		<xsl:template match="xml"><X/></xsl:template>
+		<xsl:template match="json"><J/></xsl:template>
+	`)
+	res := rewriteFor(t, sheet, schema, ModeInline)
+	q := res.Module.String()
+	if !strings.Contains(q, "if (") {
+		t.Fatalf("choice group should produce existence conditionals (Table 13):\n%s", q)
+	}
+	equivCase(t, "choice-xml", sheet, schema, `<doc><payload><xml>a</xml></payload></doc>`, ModeInline)
+	equivCase(t, "choice-json", sheet, schema, `<doc><payload><json>b</json></payload></doc>`, ModeInline)
+}
+
+func TestModelGroupAll(t *testing.T) {
+	// Table 12: all model group — iterate node() with instance-of chain.
+	schema := `
+doc  := meta & data
+meta := #text
+data := #text
+`
+	sheet := wrap(`
+		<xsl:template match="meta"><M/></xsl:template>
+		<xsl:template match="data"><D/></xsl:template>
+	`)
+	res := rewriteFor(t, sheet, schema, ModeInline)
+	q := res.Module.String()
+	if !strings.Contains(q, "instance of element(meta)") {
+		t.Fatalf("all group should dispatch by instance-of (Table 12):\n%s", q)
+	}
+	equivCase(t, "all", sheet, schema, `<doc><meta>m</meta><data>d</data></doc>`, ModeInline)
+	// Order may vary with "all": check reversed input too.
+	equivCase(t, "all-rev", sheet, schema, `<doc><data>d</data><meta>m</meta></doc>`, ModeInline)
+}
+
+func TestCardinalityForVsLet(t *testing.T) {
+	// Table 15: emp* iterates with FOR; dname binds with LET.
+	res := rewriteFor(t, xslt.PaperStylesheet, deptSchema, ModeInline)
+	forNote, letNote := false, false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "FOR clause for") {
+			forNote = true
+		}
+		if strings.Contains(n, "LET clause for") {
+			letNote = true
+		}
+	}
+	if !forNote || !letNote {
+		t.Fatalf("cardinality notes missing: %v", res.Notes)
+	}
+}
+
+// TestParentAxisElimination reproduces Tables 16-17: with the schema, the
+// parent-axis existence test for emp/empno vanishes; without it (the
+// straightforward baseline), the test is emitted.
+func TestParentAxisElimination(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="emp/empno"><N><xsl:value-of select="."/></N></xsl:template>
+	`)
+	// Straightforward (no schema): parent test present.
+	sf := rewriteFor(t, sheet, "", ModeStraightforward)
+	if !strings.Contains(sf.Module.String(), "parent::emp") {
+		t.Fatalf("baseline should test parent::emp (Table 17):\n%s", sf.Module.String())
+	}
+	// Non-inline with schema: parent test eliminated.
+	ni := rewriteFor(t, sheet, deptSchema, ModeNonInline)
+	if strings.Contains(ni.Module.String(), "parent::emp") {
+		t.Fatalf("schema-backed rewrite must drop parent::emp (§3.5):\n%s", ni.Module.String())
+	}
+	noted := false
+	for _, n := range ni.Notes {
+		if strings.Contains(n, "parent-axis") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("elimination should be noted: %v", ni.Notes)
+	}
+	equivCase(t, "empno", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+// TestPredicatePatternKept reproduces Tables 18-19: a value predicate in a
+// match pattern survives as a runtime conditional, while the parent test is
+// still removed.
+func TestPredicatePatternKept(t *testing.T) {
+	// The predicate template appears LAST so it wins the equal-priority tie
+	// (XSLT 1.0 recovery picks the later template); Table 18 lists the
+	// templates in the opposite order but clearly intends the predicate
+	// template to fire when its predicate holds.
+	sheet := wrap(`
+		<xsl:template match="emp/empno"><N><xsl:value-of select="."/></N></xsl:template>
+		<xsl:template match="emp/empno[. = 7782]"><STAR/></xsl:template>
+	`)
+	res := rewriteFor(t, sheet, deptSchema, ModeInline)
+	q := res.Module.String()
+	if !strings.Contains(q, "7782") {
+		t.Fatalf("value predicate must survive (Table 19):\n%s", q)
+	}
+	if strings.Contains(q, "parent::emp") {
+		t.Fatalf("parent test must still be removed (Table 19):\n%s", q)
+	}
+	equivCase(t, "pred", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+// TestBuiltinOnlyCompaction reproduces Tables 20-21.
+func TestBuiltinOnlyCompaction(t *testing.T) {
+	res := rewriteFor(t, wrap(""), deptSchema, ModeAuto)
+	q := res.Module.String()
+	if !strings.Contains(q, "fn:string-join") || !strings.Contains(q, "//text()") {
+		t.Fatalf("builtin-only compaction missing (Table 21):\n%s", q)
+	}
+	if !res.Inlined {
+		t.Fatal("builtin-only is fully inlined")
+	}
+	equivCase(t, "builtin-only", wrap(""), deptSchema, xslt.PaperDeptRow1, ModeAuto)
+}
+
+// TestAutoFallsBackToNonInline: recursion forces non-inline.
+func TestAutoFallsBackToNonInline(t *testing.T) {
+	schema := `
+section := title, section*
+title   := #text
+`
+	sheet := wrap(`
+		<xsl:template match="section"><s><xsl:value-of select="title"/><xsl:apply-templates select="section"/></s></xsl:template>
+		<xsl:template match="/"><xsl:apply-templates select="section"/></xsl:template>
+	`)
+	res := rewriteFor(t, sheet, schema, ModeAuto)
+	if res.Mode != ModePartialInline && res.Mode != ModeNonInline {
+		t.Fatalf("recursive schema should select a function-bearing mode, got %v", res.Mode)
+	}
+	if len(res.Module.Funcs) == 0 {
+		t.Fatal("recursive rewrite declares functions")
+	}
+	// Inline mode must refuse.
+	sheetP := xslt.MustParseStylesheet(sheet)
+	s := xschema.MustParseCompact(schema)
+	if _, err := Rewrite(sheetP, s, ModeInline); err == nil {
+		t.Fatal("forced inline on recursion should fail")
+	}
+	equivCase(t, "recursive", sheet, schema,
+		`<section><title>a</title><section><title>b</title></section><section><title>c</title></section></section>`,
+		ModeNonInline, ModePartialInline, ModeAuto, ModeStraightforward)
+}
+
+func TestDeadTemplateElimination(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept"><D><xsl:apply-templates select="dname"/></D></xsl:template>
+		<xsl:template match="dname"><xsl:value-of select="."/></xsl:template>
+		<xsl:template match="neverused"><DEAD/></xsl:template>
+	`)
+	res := rewriteFor(t, sheet, deptSchema, ModeInline)
+	if strings.Contains(res.Module.String(), "DEAD") {
+		t.Fatal("dead template body must not appear (§3.7)")
+	}
+	ni := rewriteFor(t, sheet, deptSchema, ModeNonInline)
+	if strings.Contains(ni.Module.String(), "DEAD") {
+		t.Fatal("non-inline mode must drop dead templates too (§3.7)")
+	}
+	// Straightforward keeps everything (the baseline's weakness).
+	sf := rewriteFor(t, sheet, "", ModeStraightforward)
+	if !strings.Contains(sf.Module.String(), "DEAD") {
+		t.Fatal("baseline keeps dead templates")
+	}
+}
+
+func TestGeneratedQueriesReparse(t *testing.T) {
+	cases := []struct{ sheet, schema string }{
+		{xslt.PaperStylesheet, deptSchema},
+		{wrap(""), deptSchema},
+		{wrap(`<xsl:template match="dept"><xsl:for-each select="employees/emp"><e><xsl:value-of select="ename"/></e></xsl:for-each></xsl:template>`), deptSchema},
+	}
+	for _, tc := range cases {
+		for _, mode := range []Mode{ModeStraightforward, ModeAuto} {
+			res := rewriteFor(t, tc.sheet, tc.schema, mode)
+			src := res.Module.String()
+			if _, err := xquery.Parse(src); err != nil {
+				t.Errorf("mode %v output does not re-parse: %v\n%s", mode, err, src)
+			}
+		}
+	}
+}
+
+func TestForEachConstructs(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept">
+			<out>
+			<xsl:for-each select="employees/emp">
+				<xsl:sort select="sal" data-type="number" order="descending"/>
+				<e pos="{position()}"><xsl:value-of select="ename"/></e>
+			</xsl:for-each>
+			</out>
+		</xsl:template>
+	`)
+	equivCase(t, "foreach-sort", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+func TestVariablesAndChoose(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept">
+			<xsl:variable name="n" select="count(employees/emp)"/>
+			<xsl:choose>
+				<xsl:when test="$n > 1"><big n="{$n}"/></xsl:when>
+				<xsl:otherwise><small/></xsl:otherwise>
+			</xsl:choose>
+		</xsl:template>
+	`)
+	equivCase(t, "var-choose", sheet, deptSchema, xslt.PaperDeptRow1)
+	equivCase(t, "var-choose-small", sheet, deptSchema, xslt.PaperDeptRow2)
+}
+
+func TestCallTemplateRewrite(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept">
+			<xsl:call-template name="header"><xsl:with-param name="title" select="string(dname)"/></xsl:call-template>
+		</xsl:template>
+		<xsl:template name="header">
+			<xsl:param name="title" select="'untitled'"/>
+			<h1><xsl:value-of select="$title"/></h1>
+		</xsl:template>
+	`)
+	equivCase(t, "call", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+func TestAttributeValueTemplates(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="emp"><td data="{empno}-{ename}">x</td></xsl:template>
+		<xsl:template match="dept"><xsl:apply-templates select="employees/emp"/></xsl:template>
+	`)
+	equivCase(t, "avt", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+func TestElementAttributeConstructors(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="emp">
+			<xsl:element name="employee">
+				<xsl:attribute name="id"><xsl:value-of select="empno"/></xsl:attribute>
+				<xsl:value-of select="ename"/>
+			</xsl:element>
+		</xsl:template>
+		<xsl:template match="dept"><xsl:apply-templates select="employees/emp"/></xsl:template>
+	`)
+	equivCase(t, "constructors", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+func TestCopyOfRewrite(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept"><wrap><xsl:copy-of select="employees"/></wrap></xsl:template>
+	`)
+	equivCase(t, "copy-of", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+func TestInlineNotesMentionInlining(t *testing.T) {
+	res := rewriteFor(t, xslt.PaperStylesheet, deptSchema, ModeInline)
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "inlined template") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes: %v", res.Notes)
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	sheet := xslt.MustParseStylesheet(wrap(`<xsl:template match="/">x</xsl:template>`))
+	if _, err := Rewrite(sheet, nil, ModeAuto); err == nil {
+		t.Fatal("auto mode requires a schema")
+	}
+	if _, err := Rewrite(sheet, nil, ModeInline); err == nil {
+		t.Fatal("inline mode requires a schema")
+	}
+}
+
+func TestGlobalParams(t *testing.T) {
+	sheet := wrap(`
+		<xsl:param name="threshold" select="2000"/>
+		<xsl:template match="dept"><n><xsl:value-of select="count(employees/emp[sal > $threshold])"/></n></xsl:template>
+	`)
+	equivCase(t, "global-param", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+func TestModesRewrite(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept"><xsl:apply-templates select="dname"/>|<xsl:apply-templates select="dname" mode="loud"/></xsl:template>
+		<xsl:template match="dname"><xsl:value-of select="."/></xsl:template>
+		<xsl:template match="dname" mode="loud">[<xsl:value-of select="."/>]</xsl:template>
+	`)
+	equivCase(t, "modes", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+// TestPartialInlineShape (§7.2 future work, implemented): with recursion
+// present, only the templates on cycles stay functions; acyclic templates
+// inline at their activation sites.
+func TestPartialInlineShape(t *testing.T) {
+	schema := `
+doc     := header, section*
+header  := #text
+section := title, section*
+title   := #text
+`
+	sheet := wrap(`
+		<xsl:template match="doc"><d><xsl:apply-templates select="header"/><xsl:apply-templates select="section"/></d></xsl:template>
+		<xsl:template match="header"><h><xsl:value-of select="."/></h></xsl:template>
+		<xsl:template match="section"><s><xsl:value-of select="title"/><xsl:apply-templates select="section"/></s></xsl:template>
+	`)
+	full := rewriteFor(t, sheet, schema, ModeNonInline)
+	part := rewriteFor(t, sheet, schema, ModePartialInline)
+	if part.Mode != ModePartialInline {
+		t.Fatalf("mode = %v", part.Mode)
+	}
+	if len(part.Module.Funcs) >= len(full.Module.Funcs) {
+		t.Fatalf("partial inline should declare fewer functions: %d vs %d",
+			len(part.Module.Funcs), len(full.Module.Funcs))
+	}
+	// The recursive section template must still be a function.
+	found := false
+	for _, f := range part.Module.Funcs {
+		if strings.Contains(f.Body.String(), `match="section"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recursive template must stay a function")
+	}
+	// The header template must NOT be a function (inlined).
+	for _, f := range part.Module.Funcs {
+		if strings.Contains(f.Body.String(), `match="header"`) && !strings.Contains(f.Body.String(), "builtin") {
+			t.Fatal("acyclic header template should be inlined")
+		}
+	}
+	noted := false
+	for _, n := range part.Notes {
+		if strings.Contains(n, "partial inline") || strings.Contains(n, "partially inlined") {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Fatalf("partial inlining should be noted: %v", part.Notes)
+	}
+	input := `<doc><header>H</header><section><title>a</title><section><title>b</title></section></section></doc>`
+	equivCase(t, "partial", sheet, schema, input, ModeNonInline, ModePartialInline, ModeAuto)
+}
+
+// TestDeriveOutputSchema types the paper's Example 1 rewrite output: the
+// HTML shape of Table 6.
+func TestDeriveOutputSchema(t *testing.T) {
+	res := rewriteFor(t, xslt.PaperStylesheet, deptSchema, ModeInline)
+	// Example 1's output has multiple root elements (H1, H2s, table) — not
+	// a single-rooted document.
+	if _, err := DeriveOutputSchema(res.Module); err == nil {
+		t.Fatal("multi-root output should refuse static typing")
+	}
+
+	// A single-rooted stylesheet types cleanly.
+	sheet := wrap(`
+		<xsl:template match="dept">
+			<report title="{dname}">
+				<xsl:for-each select="employees/emp"><row id="{empno}"><xsl:value-of select="ename"/></row></xsl:for-each>
+				<total><xsl:value-of select="sum(employees/emp/sal)"/></total>
+			</report>
+		</xsl:template>
+	`)
+	res2 := rewriteFor(t, sheet, deptSchema, ModeInline)
+	out, err := DeriveOutputSchema(res2.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Root.Name != "report" {
+		t.Fatalf("root = %q", out.Root.Name)
+	}
+	row := out.Root.Particle("row")
+	if row == nil || !row.Repeating() {
+		t.Fatal("row should repeat (for-loop)")
+	}
+	total := out.Root.Particle("total")
+	if total == nil || total.Repeating() {
+		t.Fatal("total should be single")
+	}
+	if out.Lookup("row").Attr("id") == nil || out.Root.Attr("title") == nil {
+		t.Fatal("attributes missing from typed output")
+	}
+	if out.Lookup("total").Group != xschema.GroupText {
+		t.Fatal("total should be a text leaf")
+	}
+}
+
+// TestRewriteChained composes two stylesheets: stage2 runs over stage1's
+// OUTPUT, rewritten against the statically-derived schema (§3.2 bullet 4).
+// The chained rewrite must equal interpreting both stages functionally.
+func TestRewriteChained(t *testing.T) {
+	stage1Src := wrap(`
+		<xsl:template match="dept">
+			<report>
+				<xsl:for-each select="employees/emp"><row><xsl:value-of select="sal"/></row></xsl:for-each>
+			</report>
+		</xsl:template>
+	`)
+	stage2Src := wrap(`
+		<xsl:template match="report"><count n="{count(row)}"><xsl:apply-templates select="row[. > 2000]"/></count></xsl:template>
+		<xsl:template match="row"><rich><xsl:value-of select="."/></rich></xsl:template>
+	`)
+	stage1 := rewriteFor(t, stage1Src, deptSchema, ModeInline)
+	stage2Sheet := xslt.MustParseStylesheet(stage2Src)
+	stage2, err := RewriteChained(stage1, stage2Sheet, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stage2.Inlined {
+		t.Fatal("chained stage should inline")
+	}
+
+	// Reference: interpret stage1 then stage2.
+	doc := stripInputWS(parseDoc(t, xslt.PaperDeptRow1))
+	mid, err := xslt.New(xslt.MustParseStylesheet(stage1Src)).Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := xslt.New(stage2Sheet).TransformToString(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pipeline: stage1 rewrite → evaluate → stage2 rewrite → evaluate.
+	midSeq, err := xquery.EvalModule(stage1.Module, xquery.NewEnv(xquery.Item(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	midDoc := parseDoc(t, xquery.SerializeSeq(midSeq))
+	got := runQuery(t, stage2.Module, midDoc)
+	if nows(got) != nows(want) {
+		t.Fatalf("chained rewrite diverges:\n got:  %s\n want: %s", nows(got), nows(want))
+	}
+}
+
+// TestInlineSortedApply covers apply-templates + xsl:sort in inline mode.
+func TestInlineSortedApply(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="employees"><xsl:apply-templates select="emp"><xsl:sort select="sal" data-type="number" order="descending"/></xsl:apply-templates></xsl:template>
+		<xsl:template match="emp"><e><xsl:value-of select="sal"/></e></xsl:template>
+		<xsl:template match="dept"><xsl:apply-templates select="employees"/></xsl:template>
+	`)
+	equivCase(t, "sorted-apply", sheet, deptSchema, xslt.PaperDeptRow1, ModeInline, ModeStraightforward)
+}
+
+// TestInlineTextLeafChildren covers apply-templates descending into a text
+// leaf (the text() template inlines against $ctx/text()).
+func TestInlineTextLeafChildren(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dname"><n><xsl:apply-templates/></n></xsl:template>
+		<xsl:template match="text()"><t><xsl:value-of select="."/></t></xsl:template>
+		<xsl:template match="dept"><xsl:apply-templates select="dname"/></xsl:template>
+	`)
+	equivCase(t, "text-leaf", sheet, deptSchema, xslt.PaperDeptRow1, ModeInline)
+	// And the builtin-text path (no text template).
+	sheet2 := wrap(`
+		<xsl:template match="dname"><n><xsl:apply-templates/></n></xsl:template>
+		<xsl:template match="dept"><xsl:apply-templates select="dname"/></xsl:template>
+	`)
+	equivCase(t, "text-leaf-builtin", sheet2, deptSchema, xslt.PaperDeptRow1, ModeInline)
+}
+
+// TestCopyRewrite covers xsl:copy through the rewriter in a non-recursive
+// setting.
+func TestCopyRewrite(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept"><wrap><xsl:for-each select="dname"><xsl:copy><xsl:value-of select="."/></xsl:copy></xsl:for-each></wrap></xsl:template>
+	`)
+	equivCase(t, "copy", sheet, deptSchema, xslt.PaperDeptRow1, ModeInline, ModeStraightforward)
+}
+
+// TestNumberRewrite covers xsl:number in both forms through the rewriter.
+func TestNumberRewrite(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept">
+			<n><xsl:number value="6 * 7"/></n>
+			<xsl:for-each select="employees/emp"><p><xsl:number/></p></xsl:for-each>
+		</xsl:template>
+	`)
+	equivCase(t, "number", sheet, deptSchema, xslt.PaperDeptRow1, ModeInline, ModeStraightforward)
+}
+
+// TestComputedNamesAndStringJoin covers multi-part AVT names and
+// comment/PI bodies that need string-join semantics.
+func TestComputedNamesAndStringJoin(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="emp">
+			<xsl:element name="e{empno}">
+				<xsl:comment>pay <xsl:value-of select="sal"/> for <xsl:value-of select="ename"/></xsl:comment>
+				<xsl:processing-instruction name="p{empno}">x</xsl:processing-instruction>
+			</xsl:element>
+		</xsl:template>
+		<xsl:template match="dept"><d><xsl:apply-templates select="employees/emp"/></d></xsl:template>
+	`)
+	equivCase(t, "computed-names", sheet, deptSchema, xslt.PaperDeptRow1, ModeInline, ModeStraightforward)
+}
+
+// TestStraightforwardWithParamsAndSorts covers the [9]-baseline's inline
+// dispatch (apply with with-param) and sorted apply.
+func TestStraightforwardWithParamsAndSorts(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept">
+			<xsl:apply-templates select="employees/emp">
+				<xsl:sort select="sal" data-type="number"/>
+				<xsl:with-param name="tag" select="'P'"/>
+			</xsl:apply-templates>
+		</xsl:template>
+		<xsl:template match="emp"><xsl:param name="tag" select="'D'"/><e t="{$tag}"><xsl:value-of select="sal"/></e></xsl:template>
+	`)
+	equivCase(t, "sf-params", sheet, deptSchema, xslt.PaperDeptRow1, ModeStraightforward, ModeInline)
+}
+
+// TestGlobalRTFVariable covers globalInit's result-tree-fragment branch in
+// every generator.
+func TestGlobalRTFVariable(t *testing.T) {
+	sheet := wrap(`
+		<xsl:variable name="banner"><b>HEADER</b></xsl:variable>
+		<xsl:template match="dept"><out><xsl:copy-of select="$banner"/><xsl:value-of select="dname"/></out></xsl:template>
+	`)
+	equivCase(t, "global-rtf", sheet, deptSchema, xslt.PaperDeptRow1)
+}
+
+// TestUnconvertibleConstructs: functions without XQuery mappings surface as
+// rewrite errors (callers fall back).
+func TestUnconvertibleConstructs(t *testing.T) {
+	sheet := xslt.MustParseStylesheet(wrap(`
+		<xsl:key name="k" match="emp" use="sal"/>
+		<xsl:template match="dept"><xsl:value-of select="count(key('k', '2450'))"/></xsl:template>
+	`))
+	schema := xschema.MustParseCompact(deptSchema)
+	if _, err := Rewrite(sheet, schema, ModeAuto); err == nil {
+		t.Fatal("key() has no XQuery mapping; rewrite must fail loudly")
+	}
+	// position() at template top level has no context in function modes.
+	sheet2 := xslt.MustParseStylesheet(wrap(`<xsl:template match="emp"><xsl:value-of select="position()"/></xsl:template>`))
+	if _, err := Rewrite(sheet2, nil, ModeStraightforward); err == nil {
+		t.Fatal("top-level position() should fail in straightforward mode")
+	}
+}
+
+// TestStaticTypeComputedElement covers typeNamedBody via xsl:element.
+func TestStaticTypeComputedElement(t *testing.T) {
+	sheet := wrap(`
+		<xsl:template match="dept">
+			<xsl:element name="wrapper"><inner><xsl:value-of select="dname"/></inner></xsl:element>
+		</xsl:template>
+	`)
+	res := rewriteFor(t, sheet, deptSchema, ModeInline)
+	out, err := DeriveOutputSchema(res.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Root.Name != "wrapper" || out.Root.Particle("inner") == nil {
+		t.Fatalf("typed output wrong: %s", out.String())
+	}
+}

@@ -1,0 +1,733 @@
+package core
+
+import (
+	"repro/internal/pe"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+)
+
+// rewriteInline is the paper's headline generation mode (§3.3-3.7, §4.4):
+// the template execution graph is acyclic, so every activated template body
+// inlines at its activation site; no XQuery functions are generated at all.
+func rewriteInline(peRes *pe.Result) (*Result, error) {
+	r := &inliner{
+		pe:    peRes,
+		sheet: peRes.Sheet,
+		vars:  &varGen{},
+	}
+	r.bc = &bodyCompiler{host: r, vars: r.vars, notes: &r.notes}
+
+	m := &xquery.Module{
+		Vars: []*xquery.VarDecl{{Name: "var000", Init: xquery.ContextItem{}}},
+	}
+	baseEnv := bodyEnv{
+		conv: convEnv{
+			root:      xquery.VarRef("var000"),
+			renameVar: userVarName,
+		},
+		rtfVars: map[string]bool{},
+	}
+	docEnv := baseEnv.withCtx(xquery.VarRef("var000"), nil)
+
+	for _, def := range r.sheet.GlobalVars {
+		init, err := r.globalInit(def, docEnv)
+		if err != nil {
+			return nil, err
+		}
+		if def.Select == nil && len(def.Body) > 0 {
+			docEnv = docEnv.markRTF(userVarName(def.Name))
+		}
+		m.Vars = append(m.Vars, &xquery.VarDecl{Name: userVarName(def.Name), Init: init})
+	}
+
+	// The initial application: dispatch on the document node's own entry.
+	// (RootEntries also records deeper builtin-descent activations, which
+	// are regenerated structurally via the schema.)
+	body, err := r.inlineRoot(docEnv)
+	if err != nil {
+		return nil, err
+	}
+	m.Body = &xquery.Annotated{Comment: "builtin template", X: body}
+
+	// §3.7: report eliminated templates.
+	for _, t := range r.sheet.Templates {
+		if t.Match != nil && !r.pe.Instantiated[t] {
+			r.note("removed non-instantiated template %s (§3.7)", t)
+		}
+	}
+
+	return &Result{Module: m, Mode: ModeInline, Inlined: true, PE: peRes, Notes: r.notes}, nil
+}
+
+type inliner struct {
+	pe    *pe.Result
+	sheet *xslt.Stylesheet
+	vars  *varGen
+	bc    *bodyCompiler
+	notes []string
+	// depth guards against unexpected inlining runaway.
+	depth int
+}
+
+func (r *inliner) note(format string, args ...any) { r.bc.note(format, args...) }
+
+func (r *inliner) globalInit(def *xslt.VarDef, env bodyEnv) (xquery.Expr, error) {
+	switch {
+	case def.Select != nil:
+		return convertExpr(def.Select, env.conv)
+	case len(def.Body) > 0:
+		inner, err := r.bc.compileSeq(def.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.CompElem{Name: xquery.StringLit(rtfWrapperName), Body: inner}, nil
+	default:
+		return xquery.StringLit(""), nil
+	}
+}
+
+// inlineRoot generates the initial application to the document node.
+func (r *inliner) inlineRoot(docEnv bodyEnv) (xquery.Expr, error) {
+	for _, e := range r.pe.RootEntries {
+		if e.Kind != xmltree.DocumentNode {
+			continue
+		}
+		if e.Template != nil {
+			return r.inlineTemplateBody(e.Template, docEnv)
+		}
+		break
+	}
+	// Builtin on the document: descend into the schema root element.
+	if r.pe.Schema.Root == nil {
+		return xquery.EmptySeq{}, nil
+	}
+	rootName := r.pe.Schema.Root.Name
+	entries := []pe.CallEntry{{
+		Kind:     xmltree.ElementNode,
+		Name:     rootName,
+		Template: r.staticWinner(rootName, ""),
+		Decl:     r.pe.Schema.Root,
+	}}
+	return r.inlineChildren(entries, docEnv, nil)
+}
+
+// selector describes how the entries of an apply site were selected, which
+// drives code shape (children of the context vs an explicit path).
+type selector interface{ isSelector() }
+
+// childrenSelector: <xsl:apply-templates/> with no select.
+type childrenSelector struct{}
+
+// exprSelector: an explicit select expression (already converted).
+type exprSelector struct{ expr xquery.Expr }
+
+func (childrenSelector) isSelector() {}
+func (exprSelector) isSelector()     {}
+
+// compileApply (applyHost) for inline mode: replace the instruction with
+// the inlined bodies of the templates its trace-call-list activated.
+func (r *inliner) compileApply(at *xslt.ApplyTemplates, env bodyEnv) (xquery.Expr, error) {
+	entries := r.pe.EntriesFor(at)
+	// with-param values evaluate in the caller's context and override the
+	// inlined templates' parameter defaults.
+	overrides, err := r.evalWithParams(at.Params, env)
+	if err != nil {
+		return nil, err
+	}
+	env.overrides = overrides
+	if len(at.Sorts) > 0 {
+		return r.inlineSorted(at, entries, env)
+	}
+	if at.Select == nil {
+		return r.inlineEntries(entries, env, childrenSelector{})
+	}
+	sel, err := convertExpr(at.Select, env.conv)
+	if err != nil {
+		return nil, err
+	}
+	return r.inlineEntries(entries, env, exprSelector{expr: sel})
+}
+
+// evalWithParams compiles with-param values in the caller context.
+func (r *inliner) evalWithParams(params []*xslt.VarDef, env bodyEnv) (map[string]xquery.Expr, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	out := map[string]xquery.Expr{}
+	for _, p := range params {
+		switch {
+		case p.Select != nil:
+			v, err := convertExpr(p.Select, env.conv)
+			if err != nil {
+				return nil, err
+			}
+			out[p.Name] = v
+		case len(p.Body) > 0:
+			inner, err := r.bc.compileSeq(p.Body, env, false)
+			if err != nil {
+				return nil, err
+			}
+			out[p.Name] = &xquery.CompElem{Name: xquery.StringLit(rtfWrapperName), Body: inner}
+		default:
+			out[p.Name] = xquery.StringLit("")
+		}
+	}
+	return out, nil
+}
+
+// inlineSorted handles apply-templates with xsl:sort: the selected nodes
+// are ordered first, then dispatched.
+func (r *inliner) inlineSorted(at *xslt.ApplyTemplates, entries []pe.CallEntry, env bodyEnv) (xquery.Expr, error) {
+	var sel xquery.Expr
+	if at.Select == nil {
+		sel = nodeStep(contextItemExpr(env.conv))
+	} else {
+		var err error
+		sel, err = convertExpr(at.Select, env.conv)
+		if err != nil {
+			return nil, err
+		}
+	}
+	v := r.vars.fresh()
+	fl := &xquery.FLWOR{Clauses: []xquery.Clause{{Kind: xquery.ClauseFor, Var: v, In: sel}}}
+	inner := env.withCtx(xquery.VarRef(v), nil)
+	for _, sk := range at.Sorts {
+		key, err := convertExpr(sk.Select, inner.conv)
+		if err != nil {
+			return nil, err
+		}
+		if sk.Numeric {
+			key = &xquery.FuncCall{Name: "fn:number", Args: []xquery.Expr{key}}
+		} else {
+			key = stringOf(key)
+		}
+		fl.Order = append(fl.Order, xquery.OrderKey{Expr: key, Descending: sk.Descending})
+	}
+	ret, err := r.dispatchChain(entries, v, at.Mode, inner)
+	if err != nil {
+		return nil, err
+	}
+	fl.Return = ret
+	return fl, nil
+}
+
+// inlineEntries generates specialized code for one apply site given its
+// trace-call-list.
+func (r *inliner) inlineEntries(entries []pe.CallEntry, env bodyEnv, sel selector) (xquery.Expr, error) {
+	r.depth++
+	defer func() { r.depth-- }()
+	if r.depth > 512 {
+		return nil, convErrf("inlining exceeded depth bound (execution graph should be acyclic)")
+	}
+	if len(entries) == 0 {
+		return xquery.EmptySeq{}, nil
+	}
+
+	switch s := sel.(type) {
+	case exprSelector:
+		return r.inlineSelected(entries, env, s.expr)
+	default: // childrenSelector
+		return r.inlineChildren(entries, env, env.decl)
+	}
+}
+
+// inlineChildren implements §3.4: children template instantiation driven by
+// the model group and cardinality information.
+func (r *inliner) inlineChildren(entries []pe.CallEntry, env bodyEnv, decl *xschema.ElemDecl) (xquery.Expr, error) {
+	ctx := contextItemExpr(env.conv)
+
+	// Text-leaf context: children are text nodes.
+	if decl != nil && decl.Group == xschema.GroupText {
+		return r.inlineTextChildren(entries, env)
+	}
+
+	// Group entries by element name (first entry wins per name; builtin
+	// entries keep Template nil).
+	byName, order := entriesByName(entries)
+
+	if decl == nil {
+		// Document root or unknown structure: one LET per distinct name
+		// (document roots are unique; unknown falls back to ordered lets).
+		var items []xquery.Expr
+		for _, name := range order {
+			e, err := r.bindAndInline(childStep(ctx, name), name, byName[name], env, false)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, e)
+		}
+		return seqOf(items), nil
+	}
+
+	switch decl.Group {
+	case xschema.GroupSeq:
+		// Table 14/15: inline in schema order; FOR for repeating
+		// particles, LET otherwise.
+		var items []xquery.Expr
+		for _, part := range decl.Children {
+			name := part.Child.Name
+			es, ok := byName[name]
+			if !ok {
+				continue // child never activated anything at this site
+			}
+			repeating := part.Repeating()
+			if repeating {
+				r.note("FOR clause for repeating child %s of %s (cardinality, Table 15)", name, decl.Name)
+			} else {
+				r.note("LET clause for single child %s of %s (cardinality, Table 15)", name, decl.Name)
+			}
+			e, err := r.bindAndInline(childStep(ctx, name), name, es, env, repeating)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, e)
+		}
+		r.note("sequence model group of %s inlined without conditional tests (Table 14)", decl.Name)
+		return seqOf(items), nil
+
+	case xschema.GroupChoice:
+		// Table 13: if ($c/a) then ... else if ($c/b) then ...
+		r.note("choice model group of %s inlined as existence conditionals (Table 13)", decl.Name)
+		var out xquery.Expr = xquery.EmptySeq{}
+		for i := len(decl.Children) - 1; i >= 0; i-- {
+			part := decl.Children[i]
+			name := part.Child.Name
+			es, ok := byName[name]
+			if !ok {
+				continue
+			}
+			e, err := r.bindAndInline(childStep(ctx, name), name, es, env, part.Repeating())
+			if err != nil {
+				return nil, err
+			}
+			out = &xquery.IfExpr{Cond: childStep(ctx, name), Then: e, Else: out}
+		}
+		return out, nil
+
+	default: // GroupAll or anything unordered — Table 12
+		r.note("all model group of %s inlined as instance-of dispatch (Table 12)", decl.Name)
+		v := r.vars.fresh()
+		inner := env.withCtx(xquery.VarRef(v), nil)
+		chain, err := r.instanceChain(order, byName, v, inner)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.FLWOR{
+			Clauses: []xquery.Clause{{Kind: xquery.ClauseFor, Var: v, In: nodeStep(ctx)}},
+			Return:  chain,
+		}, nil
+	}
+}
+
+// inlineTextChildren handles apply-templates over a text leaf's content.
+func (r *inliner) inlineTextChildren(entries []pe.CallEntry, env bodyEnv) (xquery.Expr, error) {
+	ctx := contextItemExpr(env.conv)
+	for _, e := range entries {
+		if e.Kind != xmltree.TextNode {
+			continue
+		}
+		if e.Builtin() {
+			// Built-in text rule: copy the string value.
+			return &xquery.CompText{Body: stringOf(ctx)}, nil
+		}
+		// Inline the text template with the text node as context.
+		v := r.vars.fresh()
+		inner := env.withCtx(xquery.VarRef(v), nil)
+		body, err := r.inlineTemplateBody(e.Template, inner)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.FLWOR{
+			Clauses: []xquery.Clause{{Kind: xquery.ClauseLet, Var: v, In: textStep(ctx)}},
+			Return:  body,
+		}, nil
+	}
+	return xquery.EmptySeq{}, nil
+}
+
+// bindAndInline binds path to a fresh variable (FOR when repeating, LET
+// otherwise) and inlines the dispatch for the entries of one element name.
+func (r *inliner) bindAndInline(path xquery.Expr, name string, entries []pe.CallEntry, env bodyEnv, repeating bool) (xquery.Expr, error) {
+	v := r.vars.fresh()
+	decl := r.pe.Schema.Lookup(name)
+	inner := env.withCtx(xquery.VarRef(v), decl)
+
+	ret, err := r.dispatchForName(name, entries, v, inner)
+	if err != nil {
+		return nil, err
+	}
+	kind := xquery.ClauseLet
+	if repeating {
+		kind = xquery.ClauseFor
+	}
+	return &xquery.FLWOR{
+		Clauses: []xquery.Clause{{Kind: kind, Var: v, In: path}},
+		Return:  ret,
+	}, nil
+}
+
+// inlineSelected handles an explicit select expression.
+func (r *inliner) inlineSelected(entries []pe.CallEntry, env bodyEnv, sel xquery.Expr) (xquery.Expr, error) {
+	byName, order := entriesByName(entries)
+
+	// Cardinality: LET is only safe when the select cannot yield more than
+	// one node. With a single activated element name whose schema particle
+	// repeats (or unknown), use FOR.
+	if len(order) == 1 && len(byName[order[0]]) >= 1 {
+		name := order[0]
+		entry := byName[name][0]
+		repeating := true
+		if entry.Kind == xmltree.ElementNode && !entry.Info.Unbounded && entry.Decl != nil {
+			repeating = false
+		}
+		if repeating {
+			r.note("FOR clause for selected %s (repeating, Table 15)", name)
+		} else {
+			r.note("LET clause for selected %s (at most one occurrence, Table 15)", name)
+		}
+		// Parenthesized select, as in Table 8's
+		// `for $var005 in ($var003/emp[sal > 2000])`.
+		return r.bindAndInline(sel, name, byName[name], env, repeating)
+	}
+
+	// Multiple possible names/kinds: iterate and dispatch by instance-of.
+	v := r.vars.fresh()
+	inner := env.withCtx(xquery.VarRef(v), nil)
+	chain, err := r.instanceChain(order, byName, v, inner)
+	if err != nil {
+		return nil, err
+	}
+	return &xquery.FLWOR{
+		Clauses: []xquery.Clause{{Kind: xquery.ClauseFor, Var: v, In: sel}},
+		Return:  chain,
+	}, nil
+}
+
+// instanceChain builds if ($v instance of element(a)) then <inline a> else
+// if ... across the element names of a call list (Table 12's shape).
+func (r *inliner) instanceChain(order []string, byName map[string][]pe.CallEntry, v string, env bodyEnv) (xquery.Expr, error) {
+	var out xquery.Expr = xquery.EmptySeq{}
+	for i := len(order) - 1; i >= 0; i-- {
+		name := order[i]
+		envN := env
+		envN.decl = r.pe.Schema.Lookup(name)
+		body, err := r.dispatchForName(name, byName[name], v, envN)
+		if err != nil {
+			return nil, err
+		}
+		if name == "#text" {
+			out = &xquery.IfExpr{
+				Cond: &xquery.InstanceOf{X: xquery.VarRef(v), Type: xquery.SeqType{Kind: xquery.SeqTypeText}},
+				Then: body, Else: out,
+			}
+			continue
+		}
+		out = &xquery.IfExpr{
+			Cond: &xquery.InstanceOf{X: xquery.VarRef(v), Type: xquery.SeqType{Kind: xquery.SeqTypeElement, Name: name}},
+			Then: body,
+			Else: out,
+		}
+	}
+	return out, nil
+}
+
+// dispatchForName generates the code handling one element name at one apply
+// site. Normally the trace names a single winning template; when
+// higher-priority templates with value predicates also match structurally
+// (Tables 18-19), a conditional chain tests them in priority order.
+func (r *inliner) dispatchForName(name string, entries []pe.CallEntry, candVar string, env bodyEnv) (xquery.Expr, error) {
+	if len(entries) == 0 {
+		return xquery.EmptySeq{}, nil
+	}
+	entry := entries[0]
+	if entry.Kind == xmltree.TextNode {
+		if entry.Builtin() {
+			return &xquery.CompText{Body: stringOf(xquery.VarRef(candVar))}, nil
+		}
+		return r.inlineTemplateBody(entry.Template, env)
+	}
+
+	// Dispatch plan: conditional templates in precedence order, then the
+	// first unconditional winner (or builtin).
+	mode := ""
+	if entry.Template != nil {
+		mode = entry.Template.Mode
+	}
+	conds, final := dispatchPlan(r.sheet, name, mode)
+
+	// Fast path: single unconditional winner (or builtin).
+	if len(conds) == 0 {
+		if final == nil {
+			return r.inlineBuiltinElement(env)
+		}
+		return r.inlineTemplateBody(final, env)
+	}
+
+	// Conditional chain (Table 19): predicates are kept, parent-axis tests
+	// removed where the schema guarantees them.
+	var out xquery.Expr
+	if final == nil {
+		e, err := r.inlineBuiltinElement(env)
+		if err != nil {
+			return nil, err
+		}
+		out = e
+	} else {
+		e, err := r.inlineTemplateBody(final, env)
+		if err != nil {
+			return nil, err
+		}
+		out = e
+	}
+	for i := len(conds) - 1; i >= 0; i-- {
+		t := conds[i]
+		cond, err := patternCondition(t.Match, candVar, r.pe.Schema, r.bc, env.conv)
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.inlineTemplateBody(t, env)
+		if err != nil {
+			return nil, err
+		}
+		out = &xquery.IfExpr{Cond: cond, Then: body, Else: out}
+		r.note("kept value-predicate test for template %s (Tables 18-19)", t)
+	}
+	return out, nil
+}
+
+// dispatchPlan computes, for an element name in a mode, the templates whose
+// value predicates must be tested at run time (in precedence order) and the
+// unconditional template that ends the chain (nil = builtin rules). This is
+// the Tables 18-19 machinery: structure selected the candidates, values
+// still need testing.
+func dispatchPlan(sheet *xslt.Stylesheet, name, mode string) (conds []*xslt.Template, final *xslt.Template) {
+	for _, t := range matchTemplates(sheet, mode) {
+		if !patternNameMatches(t.Match, name) {
+			continue
+		}
+		if isUnconditionalFor(t.Match) {
+			return conds, t
+		}
+		conds = append(conds, t)
+	}
+	return conds, nil
+}
+
+// patternNameMatches reports whether any alternative's final step could
+// match an element with the given name.
+func patternNameMatches(pat *xpath.Pattern, name string) bool {
+	if pat == nil {
+		return false
+	}
+	for _, alt := range pat.Alternatives {
+		if len(alt.Steps) == 0 {
+			continue
+		}
+		last := alt.Steps[len(alt.Steps)-1]
+		if last.Axis == xpath.AxisAttribute {
+			continue
+		}
+		switch last.Test.Kind {
+		case xpath.TestName:
+			if last.Test.Name == name {
+				return true
+			}
+		case xpath.TestAnyName, xpath.TestNode:
+			return true
+		}
+	}
+	return false
+}
+
+// inlineTemplateBody inlines one template's body with the current context
+// (§3.3: template instantiation inline).
+func (r *inliner) inlineTemplateBody(t *xslt.Template, env bodyEnv) (xquery.Expr, error) {
+	r.depth++
+	defer func() { r.depth-- }()
+	if r.depth > 512 {
+		return nil, convErrf("inlining exceeded depth bound")
+	}
+	// Template params take their defaults when inlined via apply without
+	// with-param; bind them as lets.
+	// Params bind before the body; with-param overrides arrive through
+	// env.overrides (evaluated in the caller's context by compileApply).
+	overrides := env.overrides
+	bodyEnv := env
+	bodyEnv.overrides = nil
+	body, err := r.bc.compileSeq(t.Body, bodyEnv, false)
+	if err != nil {
+		return nil, convErrf("template %s: %v", t, err)
+	}
+	if len(t.Params) > 0 {
+		body, err = r.wrapParams(t.Params, overrides, body, bodyEnv)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.note("inlined template %s (§3.3)", t)
+	return &xquery.Annotated{Comment: "<xsl:template " + describeTemplate(t) + ">", X: body}, nil
+}
+
+// wrapParams binds template parameters as lets around the body; overrides
+// maps param names to explicitly-passed values.
+func (r *inliner) wrapParams(params []*xslt.VarDef, overrides map[string]xquery.Expr, body xquery.Expr, env bodyEnv) (xquery.Expr, error) {
+	fl := &xquery.FLWOR{Return: body}
+	for _, p := range params {
+		var val xquery.Expr
+		if v, ok := overrides[p.Name]; ok {
+			val = v
+		} else {
+			switch {
+			case p.Select != nil:
+				v, err := convertExpr(p.Select, env.conv)
+				if err != nil {
+					return nil, err
+				}
+				val = v
+			case len(p.Body) > 0:
+				inner, err := r.bc.compileSeq(p.Body, env, false)
+				if err != nil {
+					return nil, err
+				}
+				val = &xquery.CompElem{Name: xquery.StringLit(rtfWrapperName), Body: inner}
+			default:
+				val = xquery.StringLit("")
+			}
+		}
+		fl.Clauses = append(fl.Clauses, xquery.Clause{Kind: xquery.ClauseLet, Var: userVarName(p.Name), In: val})
+	}
+	return fl, nil
+}
+
+// inlineBuiltinElement inlines the built-in rule for an element context:
+// recurse into the children per the schema (the paper's "default built-in
+// template ... inlined multiple times via partial evaluation").
+func (r *inliner) inlineBuiltinElement(env bodyEnv) (xquery.Expr, error) {
+	if env.decl == nil {
+		// No structure known: copy descendant text (what the builtin rules
+		// reduce to when no template ever matches below).
+		return &xquery.CompText{Body: &xquery.FuncCall{
+			Name: "fn:string",
+			Args: []xquery.Expr{contextItemExpr(env.conv)},
+		}}, nil
+	}
+	if env.decl.Group == xschema.GroupText {
+		return &xquery.CompText{Body: stringOf(contextItemExpr(env.conv))}, nil
+	}
+	// Synthesize a children application: which templates would fire for
+	// each child? Derive from the schema + stylesheet statically, since
+	// builtin descent does not own a trace id.
+	var entries []pe.CallEntry
+	for _, part := range env.decl.Children {
+		tmpl := r.staticWinner(part.Child.Name, "")
+		entries = append(entries, pe.CallEntry{
+			Kind:     xmltree.ElementNode,
+			Name:     part.Child.Name,
+			Template: tmpl,
+			Decl:     part.Child,
+		})
+		if tmpl != nil {
+			// Mirror the trace bookkeeping.
+			r.pe.Instantiated[tmpl] = true
+		}
+	}
+	return r.inlineChildren(entries, env, env.decl)
+}
+
+// staticWinner finds the template that would win for an element of the
+// given name when all value predicates hold, or nil for builtin.
+func (r *inliner) staticWinner(name, mode string) *xslt.Template {
+	conds, final := dispatchPlan(r.sheet, name, mode)
+	if len(conds) > 0 {
+		return conds[0]
+	}
+	return final
+}
+
+// compileCall (applyHost) for inline mode: inline the named template's body
+// directly (§3.3 covers call-template too).
+func (r *inliner) compileCall(ct *xslt.CallTemplate, env bodyEnv) (xquery.Expr, error) {
+	var target *xslt.Template
+	for _, t := range r.sheet.Templates {
+		if t.Name == ct.Name {
+			target = t
+			break
+		}
+	}
+	if target == nil {
+		return nil, convErrf("call-template: no template named %q", ct.Name)
+	}
+	overrides := map[string]xquery.Expr{}
+	for _, p := range ct.Params {
+		switch {
+		case p.Select != nil:
+			v, err := convertExpr(p.Select, env.conv)
+			if err != nil {
+				return nil, err
+			}
+			overrides[p.Name] = v
+		case len(p.Body) > 0:
+			inner, err := r.bc.compileSeq(p.Body, env, false)
+			if err != nil {
+				return nil, err
+			}
+			overrides[p.Name] = &xquery.CompElem{Name: xquery.StringLit(rtfWrapperName), Body: inner}
+		default:
+			overrides[p.Name] = xquery.StringLit("")
+		}
+	}
+	body, err := r.bc.compileSeq(target.Body, env, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(target.Params) > 0 {
+		body, err = r.wrapParams(target.Params, overrides, body, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.note("inlined called template %q (§3.3)", ct.Name)
+	return &xquery.Annotated{Comment: `<xsl:call-template name="` + ct.Name + `">`, X: body}, nil
+}
+
+// entriesByName groups a call list by element name (text entries under
+// "#text"), preserving first-seen order.
+func entriesByName(entries []pe.CallEntry) (map[string][]pe.CallEntry, []string) {
+	byName := map[string][]pe.CallEntry{}
+	var order []string
+	for _, e := range entries {
+		key := e.Name
+		if e.Kind == xmltree.TextNode {
+			key = "#text"
+		} else if e.Kind != xmltree.ElementNode {
+			continue // comments/PIs produce nothing in any mode
+		}
+		if _, ok := byName[key]; !ok {
+			order = append(order, key)
+		}
+		byName[key] = append(byName[key], e)
+	}
+	return byName, order
+}
+
+func seqOf(items []xquery.Expr) xquery.Expr {
+	switch len(items) {
+	case 0:
+		return xquery.EmptySeq{}
+	case 1:
+		return items[0]
+	default:
+		return &xquery.Sequence{Items: items}
+	}
+}
+
+// dispatchChain dispatches a mixed set of entries over a bound candidate
+// variable (used under sorted applies).
+func (r *inliner) dispatchChain(entries []pe.CallEntry, candVar, mode string, env bodyEnv) (xquery.Expr, error) {
+	byName, order := entriesByName(entries)
+	_ = mode
+	return r.instanceChain(order, byName, candVar, env)
+}

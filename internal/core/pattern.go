@@ -1,0 +1,226 @@
+package core
+
+import (
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+	"repro/internal/xschema"
+)
+
+// patternCondition compiles an XSLT match pattern into an XQuery boolean
+// condition over the candidate variable (the reversed-evaluation scheme of
+// [6]/[9]): the candidate must pass the last step's kind/name test and its
+// predicates; earlier steps become parent/ancestor existence tests.
+//
+// When a schema is supplied, parent-axis tests that the schema guarantees
+// are removed (§3.5, Tables 16-19): if "empno" can only occur under "emp",
+// the pattern "emp/empno" needs no fn:exists($c/parent::emp) conjunct.
+func patternCondition(pat *xpath.Pattern, candVar string, schema *xschema.Schema, bc *bodyCompiler, env convEnv) (xquery.Expr, error) {
+	var alts []xquery.Expr
+	for _, alt := range pat.Alternatives {
+		cond, err := altCondition(alt, candVar, schema, bc, env)
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, cond)
+	}
+	return orAll(alts), nil
+}
+
+func altCondition(alt *xpath.PathPattern, candVar string, schema *xschema.Schema, bc *bodyCompiler, env convEnv) (xquery.Expr, error) {
+	cand := xquery.VarRef(candVar)
+	if len(alt.Steps) == 0 {
+		// Pattern "/": candidate is the document node — the initial
+		// context only; approximate as "has no parent".
+		return &xquery.FuncCall{Name: "fn:empty", Args: []xquery.Expr{
+			parentPath(cand, xpath.NodeTest{Kind: xpath.TestNode}),
+		}}, nil
+	}
+
+	var conds []xquery.Expr
+	last := alt.Steps[len(alt.Steps)-1]
+
+	// Kind/name test on the candidate itself.
+	if t, ok := kindTest(last); ok {
+		conds = append(conds, &xquery.InstanceOf{X: cand, Type: t})
+	}
+
+	// Predicates of the last step.
+	for _, pred := range last.Preds {
+		pc, err := stepPredicate(cand, pred, env)
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, pc)
+	}
+
+	// Ancestor chain, right to left, built as a growing reverse path.
+	candName := ""
+	if last.Test.Kind == xpath.TestName {
+		candName = last.Test.Name
+	}
+	chain := xquery.Expr(cand)
+	childName := candName
+	guaranteed := schema != nil
+	for i := len(alt.Steps) - 2; i >= 0; i-- {
+		step := alt.Steps[i]
+		ancestorSep := alt.Ancestor[i+1] // how step i+1 attaches to step i
+		axis := xpath.AxisParent
+		if ancestorSep {
+			axis = xpath.AxisAncestor
+		}
+		chain = &xquery.Path{Base: chain, Steps: []*xquery.Step{{
+			Axis: axis, Test: step.Test,
+		}}}
+		// Predicates on ancestor steps evaluate with the ancestor as
+		// context.
+		needTest := true
+		if guaranteed && !ancestorSep && step.Test.Kind == xpath.TestName && len(step.Preds) == 0 && childName != "" {
+			if schema.OnlyParent(childName) == step.Test.Name {
+				needTest = false
+				bc.note("removed parent-axis test parent::%s for %s (schema-guaranteed, §3.5)", step.Test.Name, childName)
+			}
+		}
+		if len(step.Preds) > 0 {
+			withPreds := chain.(*xquery.Path)
+			for _, pred := range step.Preds {
+				cp, err := convertExpr(pred, env.inPredicate())
+				if err != nil {
+					return nil, err
+				}
+				withPreds.Steps[len(withPreds.Steps)-1].Preds = append(withPreds.Steps[len(withPreds.Steps)-1].Preds, cp)
+			}
+			needTest = true
+		}
+		if needTest {
+			conds = append(conds, existsOf(chain))
+		}
+		if step.Test.Kind == xpath.TestName {
+			childName = step.Test.Name
+		} else {
+			childName = ""
+		}
+		if ancestorSep {
+			guaranteed = false // ancestors beyond // are not tracked
+		}
+	}
+
+	// Root anchoring: "/a/b" requires the chain to end at the document.
+	if alt.Root && !alt.Ancestor[0] {
+		rootGuaranteed := false
+		if schema != nil && schema.Root != nil {
+			top := alt.Steps[0]
+			if top.Test.Kind == xpath.TestName && top.Test.Name == schema.Root.Name && len(alt.Steps) >= 1 {
+				rootGuaranteed = true
+				bc.note("removed document-root test for /%s (schema root, §3.5)", top.Test.Name)
+			}
+		}
+		if !rootGuaranteed {
+			// The element at the top of the chain must have no element
+			// parent.
+			top := chain
+			conds = append(conds, &xquery.FuncCall{Name: "fn:empty", Args: []xquery.Expr{
+				parentPath(top, xpath.NodeTest{Kind: xpath.TestAnyName}),
+			}})
+		}
+	}
+
+	return andAll(conds), nil
+}
+
+// stepPredicate compiles one pattern predicate on the candidate: a numeric
+// literal becomes a sibling-position equation; anything else becomes
+// fn:exists(($c)[pred]).
+func stepPredicate(cand xquery.Expr, pred xpath.Expr, env convEnv) (xquery.Expr, error) {
+	if num, ok := pred.(xpath.NumberExpr); ok {
+		// position among like-named preceding siblings + 1 == num
+		precedingSame := &xquery.Path{Base: cand, Steps: []*xquery.Step{{
+			Axis: xpath.AxisPrecedingSibling,
+			Test: xpath.NodeTest{Kind: xpath.TestAnyName},
+			Preds: []xquery.Expr{&xquery.Binary{
+				Op: xquery.OpEq,
+				L:  &xquery.FuncCall{Name: "fn:local-name"},
+				R:  &xquery.FuncCall{Name: "fn:local-name", Args: []xquery.Expr{cand}},
+			}},
+		}}}
+		count := &xquery.FuncCall{Name: "fn:count", Args: []xquery.Expr{precedingSame}}
+		return &xquery.Binary{
+			Op: xquery.OpEq,
+			L:  &xquery.Binary{Op: xquery.OpAdd, L: count, R: xquery.NumberLit(1)},
+			R:  xquery.NumberLit(float64(num)),
+		}, nil
+	}
+	cp, err := convertExpr(pred, env.inPredicate())
+	if err != nil {
+		return nil, err
+	}
+	return existsOf(&xquery.Filter{Base: cand, Preds: []xquery.Expr{cp}}), nil
+}
+
+// kindTest maps a pattern's final node test to an XQuery sequence type.
+// ok=false means the test is trivially true (node()).
+func kindTest(step *xpath.Step) (xquery.SeqType, bool) {
+	isAttr := step.Axis == xpath.AxisAttribute
+	switch step.Test.Kind {
+	case xpath.TestName:
+		if isAttr {
+			return xquery.SeqType{Kind: xquery.SeqTypeAttribute, Name: step.Test.Name}, true
+		}
+		return xquery.SeqType{Kind: xquery.SeqTypeElement, Name: step.Test.Name}, true
+	case xpath.TestAnyName, xpath.TestNSName:
+		if isAttr {
+			return xquery.SeqType{Kind: xquery.SeqTypeAttribute}, true
+		}
+		return xquery.SeqType{Kind: xquery.SeqTypeElement}, true
+	case xpath.TestText:
+		return xquery.SeqType{Kind: xquery.SeqTypeText}, true
+	case xpath.TestComment:
+		return xquery.SeqType{Kind: xquery.SeqTypeComment}, true
+	case xpath.TestPI:
+		return xquery.SeqType{Kind: xquery.SeqTypePI}, true
+	default: // node()
+		return xquery.SeqType{}, false
+	}
+}
+
+func parentPath(base xquery.Expr, test xpath.NodeTest) xquery.Expr {
+	return &xquery.Path{Base: base, Steps: []*xquery.Step{{
+		Axis: xpath.AxisParent, Test: test,
+	}}}
+}
+
+func andAll(conds []xquery.Expr) xquery.Expr {
+	if len(conds) == 0 {
+		return &xquery.FuncCall{Name: "fn:true"}
+	}
+	out := conds[0]
+	for _, c := range conds[1:] {
+		out = &xquery.Binary{Op: xquery.OpAnd, L: out, R: c}
+	}
+	return out
+}
+
+func orAll(conds []xquery.Expr) xquery.Expr {
+	if len(conds) == 0 {
+		return &xquery.FuncCall{Name: "fn:false"}
+	}
+	out := conds[0]
+	for _, c := range conds[1:] {
+		out = &xquery.Binary{Op: xquery.OpOr, L: out, R: c}
+	}
+	return out
+}
+
+// isUnconditionalFor reports whether the pattern's last step has no
+// predicates — i.e. once the kind/name test passes, the template always
+// fires (used to terminate dispatch chains, Tables 18-19).
+func isUnconditionalFor(pat *xpath.Pattern) bool {
+	for _, alt := range pat.Alternatives {
+		if len(alt.Steps) == 0 {
+			return true
+		}
+		if len(alt.Steps[len(alt.Steps)-1].Preds) == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"repro/internal/xquery"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+)
+
+// DeriveOutputSchema computes the structural schema of the XML a rewritten
+// query constructs — the paper's §3.2 fourth source of structural
+// information: "if the input XMLType is computed from another XSLT
+// transform ... derive the structural information of the XSLT result based
+// on the static typing result of the equivalent XQuery query."
+//
+// The typer covers the constructor shapes the inline rewriter emits. The
+// result must have a single root element; other shapes (multiple roots,
+// dynamic element names) return an error and callers fall back to
+// functional evaluation for the downstream stage.
+func DeriveOutputSchema(m *xquery.Module) (*xschema.Schema, error) {
+	s := xschema.NewSchema()
+	roots, err := typeExpr(s, m.Body, cardOne)
+	if err != nil {
+		return nil, err
+	}
+	var elems []*typedChild
+	for _, r := range roots {
+		if r.decl != nil {
+			elems = append(elems, r)
+		}
+	}
+	if len(elems) != 1 {
+		return nil, convErrf("static typing: output has %d root elements (need exactly 1)", len(elems))
+	}
+	s.Root = elems[0].decl
+	return s, nil
+}
+
+// cardinality of a typed output slot.
+type cardinality uint8
+
+const (
+	cardOne cardinality = iota
+	cardOptional
+	cardMany
+)
+
+func (c cardinality) particle(d *xschema.ElemDecl) *xschema.Particle {
+	switch c {
+	case cardOptional:
+		return &xschema.Particle{Child: d, Min: 0, Max: 1}
+	case cardMany:
+		return &xschema.Particle{Child: d, Min: 0, Max: xschema.Unbounded}
+	default:
+		return &xschema.Particle{Child: d, Min: 1, Max: 1}
+	}
+}
+
+// typedChild is one produced output item: an element decl, or text.
+type typedChild struct {
+	decl *xschema.ElemDecl // nil for text output
+	card cardinality
+}
+
+// typeExpr walks a constructor-shaped expression and returns the items it
+// can produce, each with its cardinality.
+func typeExpr(s *xschema.Schema, e xquery.Expr, card cardinality) ([]*typedChild, error) {
+	switch x := e.(type) {
+	case nil, xquery.EmptySeq:
+		return nil, nil
+	case *xquery.Annotated:
+		return typeExpr(s, x.X, card)
+	case *xquery.Sequence:
+		var out []*typedChild
+		for _, item := range x.Items {
+			sub, err := typeExpr(s, item, card)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case xquery.TextLit, xquery.StringLit, xquery.NumberLit, *xquery.CompText, *xquery.FuncCall:
+		return []*typedChild{{decl: nil, card: card}}, nil
+	case *xquery.DirectElem:
+		d, err := typeElem(s, x)
+		if err != nil {
+			return nil, err
+		}
+		return []*typedChild{{decl: d, card: card}}, nil
+	case *xquery.CompElem:
+		name, ok := xquery.Unwrap(x.Name).(xquery.StringLit)
+		if !ok {
+			return nil, convErrf("static typing: computed element name is dynamic")
+		}
+		d, err := typeNamedBody(s, string(name), x.Body)
+		if err != nil {
+			return nil, err
+		}
+		return []*typedChild{{decl: d, card: card}}, nil
+	case *xquery.FLWOR:
+		inner := card
+		for _, cl := range x.Clauses {
+			if cl.Kind == xquery.ClauseFor {
+				inner = cardMany
+			}
+		}
+		if x.Where != nil && inner == cardOne {
+			inner = cardOptional
+		}
+		return typeExpr(s, x.Return, inner)
+	case *xquery.IfExpr:
+		thenC, err := typeExpr(s, x.Then, weaken(card))
+		if err != nil {
+			return nil, err
+		}
+		elseC, err := typeExpr(s, x.Else, weaken(card))
+		if err != nil {
+			return nil, err
+		}
+		return append(thenC, elseC...), nil
+	case *xquery.Path, xquery.VarRef, xquery.ContextItem:
+		// Copied source nodes: their structure is not statically known.
+		return nil, convErrf("static typing: node-copying expression %T has unknown structure", e)
+	}
+	return nil, convErrf("static typing: unsupported expression %T", e)
+}
+
+// weaken makes a slot optional (conditional branches).
+func weaken(c cardinality) cardinality {
+	if c == cardMany {
+		return cardMany
+	}
+	return cardOptional
+}
+
+func typeElem(s *xschema.Schema, el *xquery.DirectElem) (*xschema.ElemDecl, error) {
+	d := s.Declare(el.Name)
+	for _, a := range el.Attrs {
+		if d.Attr(a.Name) == nil {
+			d.Attrs = append(d.Attrs, &xschema.AttrDecl{Name: a.Name, Type: xschema.TypeString})
+		}
+	}
+	return typeContentInto(s, d, el.Children)
+}
+
+func typeNamedBody(s *xschema.Schema, name string, body xquery.Expr) (*xschema.ElemDecl, error) {
+	d := s.Declare(name)
+	var kids []xquery.Expr
+	if body != nil {
+		if seq, ok := xquery.Unwrap(body).(*xquery.Sequence); ok {
+			kids = seq.Items
+		} else {
+			kids = []xquery.Expr{body}
+		}
+	}
+	return typeContentInto(s, d, kids)
+}
+
+func typeContentInto(s *xschema.Schema, d *xschema.ElemDecl, kids []xquery.Expr) (*xschema.ElemDecl, error) {
+	var children []*xschema.Particle
+	isText := false
+	for _, c := range kids {
+		// Computed attributes attach to the element.
+		if ca, ok := xquery.Unwrap(c).(*xquery.CompAttr); ok {
+			if name, okn := xquery.Unwrap(ca.Name).(xquery.StringLit); okn {
+				if d.Attr(string(name)) == nil {
+					d.Attrs = append(d.Attrs, &xschema.AttrDecl{Name: string(name), Type: xschema.TypeString})
+				}
+				continue
+			}
+			return nil, convErrf("static typing: dynamic attribute name on %s", d.Name)
+		}
+		items, err := typeExpr(s, c, cardOne)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			if it.decl == nil {
+				isText = true
+				continue
+			}
+			children = append(children, it.card.particle(it.decl))
+		}
+	}
+	switch {
+	case len(children) > 0 && isText:
+		return nil, convErrf("static typing: element %q mixes text and element content", d.Name)
+	case len(children) > 0:
+		d.Group = xschema.GroupSeq
+		d.Children = children
+	case isText:
+		d.Group = xschema.GroupText
+		d.Type = xschema.TypeString
+	default:
+		d.Group = xschema.GroupEmpty
+	}
+	return d, nil
+}
+
+// RewriteChained rewrites stage2 against the statically-typed OUTPUT of an
+// already-rewritten stage1 — the paper's recursive XSLT-over-XSLT case
+// (§3.2). The result is a query to run against stage1's output documents.
+func RewriteChained(stage1 *Result, stage2 *xslt.Stylesheet, mode Mode) (*Result, error) {
+	schema, err := DeriveOutputSchema(stage1.Module)
+	if err != nil {
+		return nil, err
+	}
+	return Rewrite(stage2, schema, mode)
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"repro/internal/xquery"
+	"repro/internal/xslt"
+)
+
+// rewriteStraightforward implements the Fokoue et al. [9] translation used
+// as the paper's comparison baseline (§3.1): every template becomes an
+// XQuery function, every apply-templates becomes a sequential conditional
+// dispatch over ALL templates of the mode, and the built-in rules become a
+// recursive helper function. No structural information is used.
+func rewriteStraightforward(sheet *xslt.Stylesheet) (*Result, error) {
+	r := &sfRewriter{
+		sheet:     sheet,
+		vars:      &varGen{},
+		globalRTF: map[string]bool{},
+	}
+	r.bc = &bodyCompiler{host: r, vars: r.vars, notes: &r.notes}
+
+	m := &xquery.Module{
+		Vars: []*xquery.VarDecl{{Name: "var000", Init: xquery.ContextItem{}}},
+	}
+
+	baseEnv := r.baseEnv()
+
+	// Global variables/params.
+	for _, def := range sheet.GlobalVars {
+		init, err := r.globalInit(def, baseEnv)
+		if err != nil {
+			return nil, err
+		}
+		if def.Select == nil && len(def.Body) > 0 {
+			baseEnv = baseEnv.markRTF(userVarName(def.Name))
+			r.globalRTF[userVarName(def.Name)] = true
+		}
+		m.Vars = append(m.Vars, &xquery.VarDecl{Name: userVarName(def.Name), Init: init})
+	}
+
+	// One function per template (named or matching).
+	for _, t := range sheet.Templates {
+		fn, err := r.templateFunc(t)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, fn)
+	}
+
+	// Dispatch + builtin functions per mode.
+	for _, mode := range modesOf(sheet) {
+		applyFn, err := r.applyFunc(mode)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, applyFn, r.builtinFunc(mode))
+	}
+
+	// Main body: apply the default mode to the input document.
+	m.Body = &xquery.FuncCall{Name: applyFuncName(""), Args: []xquery.Expr{xquery.VarRef("var000")}}
+
+	return &Result{Module: m, Mode: ModeStraightforward, Inlined: false, Notes: r.notes}, nil
+}
+
+type sfRewriter struct {
+	sheet *xslt.Stylesheet
+	vars  *varGen
+	bc    *bodyCompiler
+	notes []string
+	// globalRTF records global variables bound to result tree fragments.
+	globalRTF map[string]bool
+}
+
+func (r *sfRewriter) baseEnv() bodyEnv {
+	rtf := map[string]bool{}
+	for name := range r.globalRTF {
+		rtf[name] = true
+	}
+	return bodyEnv{
+		conv: convEnv{
+			root:      xquery.VarRef("var000"),
+			renameVar: userVarName,
+		},
+		rtfVars: rtf,
+	}
+}
+
+func (r *sfRewriter) globalInit(def *xslt.VarDef, env bodyEnv) (xquery.Expr, error) {
+	docEnv := env.withCtx(xquery.VarRef("var000"), nil)
+	switch {
+	case def.Select != nil:
+		return convertExpr(def.Select, docEnv.conv)
+	case len(def.Body) > 0:
+		inner, err := r.bc.compileSeq(def.Body, docEnv, false)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.CompElem{Name: xquery.StringLit(rtfWrapperName), Body: inner}, nil
+	default:
+		return xquery.StringLit(""), nil
+	}
+}
+
+// templateFunc compiles one template into `declare function local:...($c,
+// $params...)`.
+func (r *sfRewriter) templateFunc(t *xslt.Template) (*xquery.FuncDecl, error) {
+	fn := &xquery.FuncDecl{Name: funcNameForTemplate(t), Params: []string{"c"}}
+	env := r.baseEnv().withCtx(xquery.VarRef("c"), nil)
+	for _, p := range t.Params {
+		fn.Params = append(fn.Params, userVarName(p.Name))
+	}
+	body, err := r.bc.compileSeq(t.Body, env, false)
+	if err != nil {
+		return nil, convErrf("template %s: %v", t, err)
+	}
+	fn.Body = &xquery.Annotated{Comment: "<xsl:template " + describeTemplate(t) + ">", X: body}
+	return fn, nil
+}
+
+func describeTemplate(t *xslt.Template) string {
+	switch {
+	case t.MatchSrc != "" && t.Name != "":
+		return `match="` + t.MatchSrc + `" name="` + t.Name + `"`
+	case t.MatchSrc != "":
+		return `match="` + t.MatchSrc + `"`
+	default:
+		return `name="` + t.Name + `"`
+	}
+}
+
+// applyFunc builds the sequential dispatch function for a mode: a for over
+// the node argument with an if/else chain testing every template's pattern
+// — exactly the inefficiency the paper's §3.1 describes.
+func (r *sfRewriter) applyFunc(mode string) (*xquery.FuncDecl, error) {
+	fn := &xquery.FuncDecl{Name: applyFuncName(mode), Params: []string{"nodes"}}
+	candVar := "c"
+	env := r.baseEnv().withCtx(xquery.VarRef(candVar), nil)
+
+	// else-branch bottom: the builtin rules.
+	var chain xquery.Expr = &xquery.FuncCall{
+		Name: builtinFuncName(mode),
+		Args: []xquery.Expr{xquery.VarRef(candVar)},
+	}
+	ts := matchTemplates(r.sheet, mode)
+	for i := len(ts) - 1; i >= 0; i-- {
+		t := ts[i]
+		cond, err := patternCondition(t.Match, candVar, nil, r.bc, env.conv)
+		if err != nil {
+			return nil, convErrf("pattern %q: %v", t.MatchSrc, err)
+		}
+		call := &xquery.FuncCall{Name: funcNameForTemplate(t), Args: []xquery.Expr{xquery.VarRef(candVar)}}
+		args, err := r.defaultParamArgs(t, env)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, args...)
+		chain = &xquery.IfExpr{Cond: cond, Then: call, Else: chain}
+	}
+	fn.Body = &xquery.FLWOR{
+		Clauses: []xquery.Clause{{Kind: xquery.ClauseFor, Var: candVar, In: xquery.VarRef("nodes")}},
+		Return:  chain,
+	}
+	return fn, nil
+}
+
+// defaultParamArgs computes default-value expressions for a template's
+// parameters (evaluated with the candidate as context).
+func (r *sfRewriter) defaultParamArgs(t *xslt.Template, env bodyEnv) ([]xquery.Expr, error) {
+	var args []xquery.Expr
+	for _, p := range t.Params {
+		switch {
+		case p.Select != nil:
+			e, err := convertExpr(p.Select, env.conv)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+		case len(p.Body) > 0:
+			inner, err := r.bc.compileSeq(p.Body, env, false)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, &xquery.CompElem{Name: xquery.StringLit(rtfWrapperName), Body: inner})
+		default:
+			args = append(args, xquery.StringLit(""))
+		}
+	}
+	return args, nil
+}
+
+// builtinFunc encodes the XSLT built-in rules for a mode.
+func (r *sfRewriter) builtinFunc(mode string) *xquery.FuncDecl {
+	c := xquery.VarRef("c")
+	isKind := func(k xquery.SeqTypeKind) xquery.Expr {
+		return &xquery.InstanceOf{X: c, Type: xquery.SeqType{Kind: k}}
+	}
+	descend := &xquery.FuncCall{Name: applyFuncName(mode), Args: []xquery.Expr{nodeStep(c)}}
+	body := &xquery.IfExpr{
+		Cond: isKind(xquery.SeqTypeText),
+		Then: &xquery.CompText{Body: stringOf(c)},
+		Else: &xquery.IfExpr{
+			Cond: isKind(xquery.SeqTypeAttribute),
+			Then: &xquery.CompText{Body: stringOf(c)},
+			Else: &xquery.IfExpr{
+				Cond: &xquery.Binary{Op: xquery.OpOr,
+					L: isKind(xquery.SeqTypeComment),
+					R: isKind(xquery.SeqTypePI)},
+				Then: xquery.EmptySeq{},
+				Else: descend, // element or document: apply to children
+			},
+		},
+	}
+	return &xquery.FuncDecl{
+		Name:   builtinFuncName(mode),
+		Params: []string{"c"},
+		Body:   &xquery.Annotated{Comment: "builtin template rules", X: body},
+	}
+}
+
+// compileApply (applyHost): dispatch through the mode's apply function, or
+// an inline chain when with-params are present.
+func (r *sfRewriter) compileApply(at *xslt.ApplyTemplates, env bodyEnv) (xquery.Expr, error) {
+	sel, err := r.applySelect(at, env)
+	if err != nil {
+		return nil, err
+	}
+	sel, err = r.applySorts(sel, at.Sorts, env)
+	if err != nil {
+		return nil, err
+	}
+	if len(at.Params) == 0 {
+		return &xquery.FuncCall{Name: applyFuncName(at.Mode), Args: []xquery.Expr{sel}}, nil
+	}
+	// with-param: inline dispatch chain at the call site, passing matching
+	// parameter values by name.
+	wp := map[string]xquery.Expr{}
+	for _, p := range at.Params {
+		v, err := r.paramValue(p, env)
+		if err != nil {
+			return nil, err
+		}
+		wp[p.Name] = v
+	}
+	candVar := r.vars.fresh()
+	candEnv := env.withCtx(xquery.VarRef(candVar), nil)
+	var chain xquery.Expr = &xquery.FuncCall{Name: builtinFuncName(at.Mode), Args: []xquery.Expr{xquery.VarRef(candVar)}}
+	ts := matchTemplates(r.sheet, at.Mode)
+	for i := len(ts) - 1; i >= 0; i-- {
+		t := ts[i]
+		cond, err := patternCondition(t.Match, candVar, nil, r.bc, candEnv.conv)
+		if err != nil {
+			return nil, err
+		}
+		call := &xquery.FuncCall{Name: funcNameForTemplate(t), Args: []xquery.Expr{xquery.VarRef(candVar)}}
+		for _, p := range t.Params {
+			if v, ok := wp[p.Name]; ok {
+				call.Args = append(call.Args, v)
+				continue
+			}
+			defArgs, err := r.defaultParamArgs(&xslt.Template{Params: []*xslt.VarDef{p}}, candEnv)
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, defArgs[0])
+		}
+		chain = &xquery.IfExpr{Cond: cond, Then: call, Else: chain}
+	}
+	return &xquery.FLWOR{
+		Clauses: []xquery.Clause{{Kind: xquery.ClauseFor, Var: candVar, In: sel}},
+		Return:  chain,
+	}, nil
+}
+
+func (r *sfRewriter) applySelect(at *xslt.ApplyTemplates, env bodyEnv) (xquery.Expr, error) {
+	if at.Select == nil {
+		return nodeStep(contextItemExpr(env.conv)), nil
+	}
+	return convertExpr(at.Select, env.conv)
+}
+
+// applySorts wraps the selection in an ordering FLWOR when xsl:sort is
+// present.
+func (r *sfRewriter) applySorts(sel xquery.Expr, sorts []xslt.SortKey, env bodyEnv) (xquery.Expr, error) {
+	if len(sorts) == 0 {
+		return sel, nil
+	}
+	v := r.vars.fresh()
+	inner := env.withCtx(xquery.VarRef(v), nil)
+	fl := &xquery.FLWOR{
+		Clauses: []xquery.Clause{{Kind: xquery.ClauseFor, Var: v, In: sel}},
+		Return:  xquery.VarRef(v),
+	}
+	for _, sk := range sorts {
+		key, err := convertExpr(sk.Select, inner.conv)
+		if err != nil {
+			return nil, err
+		}
+		if sk.Numeric {
+			key = &xquery.FuncCall{Name: "fn:number", Args: []xquery.Expr{key}}
+		} else {
+			key = stringOf(key)
+		}
+		fl.Order = append(fl.Order, xquery.OrderKey{Expr: key, Descending: sk.Descending})
+	}
+	return fl, nil
+}
+
+func (r *sfRewriter) paramValue(p *xslt.VarDef, env bodyEnv) (xquery.Expr, error) {
+	switch {
+	case p.Select != nil:
+		return convertExpr(p.Select, env.conv)
+	case len(p.Body) > 0:
+		inner, err := r.bc.compileSeq(p.Body, env, false)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.CompElem{Name: xquery.StringLit(rtfWrapperName), Body: inner}, nil
+	default:
+		return xquery.StringLit(""), nil
+	}
+}
+
+// compileCall (applyHost): direct function invocation.
+func (r *sfRewriter) compileCall(ct *xslt.CallTemplate, env bodyEnv) (xquery.Expr, error) {
+	var target *xslt.Template
+	for _, t := range r.sheet.Templates {
+		if t.Name == ct.Name {
+			target = t
+			break
+		}
+	}
+	if target == nil {
+		return nil, convErrf("call-template: no template named %q", ct.Name)
+	}
+	wp := map[string]xquery.Expr{}
+	for _, p := range ct.Params {
+		v, err := r.paramValue(p, env)
+		if err != nil {
+			return nil, err
+		}
+		wp[p.Name] = v
+	}
+	call := &xquery.FuncCall{Name: funcNameForTemplate(target), Args: []xquery.Expr{contextItemExpr(env.conv)}}
+	for _, p := range target.Params {
+		if v, ok := wp[p.Name]; ok {
+			call.Args = append(call.Args, v)
+			continue
+		}
+		v, err := r.paramValue(p, env)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, v)
+	}
+	return call, nil
+}

@@ -1,0 +1,309 @@
+// Package core implements the paper's primary contribution: rewriting XSLT
+// stylesheets into XQuery (§3-4). Three generation modes are provided:
+//
+//   - ModeStraightforward — the Fokoue et al. [9] baseline: one XQuery
+//     function per template, apply-templates becomes a sequential
+//     conditional-dispatch chain over all templates;
+//   - ModeInline — the paper's partial-evaluation-driven full inlining
+//     (§3.3-3.7, Table 8): template bodies are inlined at their activation
+//     sites, children instantiation is specialized by model group and
+//     cardinality, dead templates vanish, parent-axis tests are removed
+//     when the schema guarantees them;
+//   - ModeNonInline — used when the template execution graph is recursive:
+//     one function per *instantiated* template, dispatch chains restricted
+//     to each site's trace-call-list.
+//
+// ModeAuto picks per the paper: builtin-only compaction when no user
+// template is ever activated, inline when the execution graph is acyclic,
+// non-inline otherwise.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+)
+
+// convEnv is the static context of an XPath→XQuery conversion.
+type convEnv struct {
+	// ctx is the expression denoting the context item ($varNNN); nil means
+	// "the dynamic context item" (inside predicates).
+	ctx xquery.Expr
+	// root is the variable holding the input document ($var000), used for
+	// absolute paths; nil forbids absolute paths.
+	root xquery.Expr
+	// posVar/sizeVar hold the names of variables carrying the context
+	// position and size, when the enclosing construct provides them.
+	posVar  string
+	sizeVar string
+	// current is the expression for XSLT's current() (the nearest template
+	// or for-each context).
+	current xquery.Expr
+	// renameVar maps user variable names to generated names.
+	renameVar func(string) string
+}
+
+// inPredicate returns the environment for expressions inside a predicate,
+// where the context item/position/size come from the dynamic context.
+func (e convEnv) inPredicate() convEnv {
+	e.ctx = nil
+	e.posVar = ""
+	e.sizeVar = ""
+	return e
+}
+
+// ConvError reports an XSLT construct that cannot be rewritten.
+type ConvError struct{ Msg string }
+
+func (e *ConvError) Error() string { return "core: " + e.Msg }
+
+func convErrf(format string, args ...any) error {
+	return &ConvError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// convertExpr translates an XPath 1.0 expression into an XQuery expression
+// under env.
+func convertExpr(e xpath.Expr, env convEnv) (xquery.Expr, error) {
+	switch x := e.(type) {
+	case xpath.NumberExpr:
+		return xquery.NumberLit(float64(x)), nil
+	case xpath.StringExpr:
+		return xquery.StringLit(string(x)), nil
+	case xpath.VarExpr:
+		name := string(x)
+		if env.renameVar != nil {
+			name = env.renameVar(name)
+		}
+		return xquery.VarRef(name), nil
+	case *xpath.NegExpr:
+		inner, err := convertExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.Neg{X: inner}, nil
+	case *xpath.BinaryExpr:
+		op, err := convertOp(x.Op)
+		if err != nil {
+			return nil, err
+		}
+		l, err := convertExpr(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := convertExpr(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return &xquery.Binary{Op: op, L: l, R: r}, nil
+	case *xpath.FuncExpr:
+		return convertFunc(x, env)
+	case *xpath.PathExpr:
+		return convertPath(x, env)
+	}
+	return nil, convErrf("cannot convert %T expression", e)
+}
+
+func convertOp(op xpath.BinaryOp) (xquery.BinOp, error) {
+	switch op {
+	case xpath.OpOr:
+		return xquery.OpOr, nil
+	case xpath.OpAnd:
+		return xquery.OpAnd, nil
+	case xpath.OpEq:
+		return xquery.OpEq, nil
+	case xpath.OpNeq:
+		return xquery.OpNe, nil
+	case xpath.OpLt:
+		return xquery.OpLt, nil
+	case xpath.OpLe:
+		return xquery.OpLe, nil
+	case xpath.OpGt:
+		return xquery.OpGt, nil
+	case xpath.OpGe:
+		return xquery.OpGe, nil
+	case xpath.OpAdd:
+		return xquery.OpAdd, nil
+	case xpath.OpSub:
+		return xquery.OpSub, nil
+	case xpath.OpMul:
+		return xquery.OpMul, nil
+	case xpath.OpDiv:
+		return xquery.OpDiv, nil
+	case xpath.OpMod:
+		return xquery.OpMod, nil
+	case xpath.OpUnion:
+		return xquery.OpUnion, nil
+	}
+	return 0, convErrf("no XQuery operator for %v", op)
+}
+
+// convertFunc maps XPath core functions to their XQuery spellings.
+func convertFunc(f *xpath.FuncExpr, env convEnv) (xquery.Expr, error) {
+	name := strings.TrimPrefix(f.Name, "fn:")
+	switch name {
+	case "position":
+		if env.posVar != "" {
+			return xquery.VarRef(env.posVar), nil
+		}
+		if env.ctx == nil {
+			return &xquery.FuncCall{Name: "fn:position"}, nil // predicate ctx
+		}
+		return nil, convErrf("position() has no context here (use for-each or a positional variable)")
+	case "last":
+		if env.sizeVar != "" {
+			return xquery.VarRef(env.sizeVar), nil
+		}
+		if env.ctx == nil {
+			return &xquery.FuncCall{Name: "fn:last"}, nil
+		}
+		return nil, convErrf("last() has no context here")
+	case "current":
+		if env.current != nil {
+			return env.current, nil
+		}
+		if env.ctx != nil {
+			return env.ctx, nil
+		}
+		return nil, convErrf("current() has no context here")
+	}
+
+	args := make([]xquery.Expr, 0, len(f.Args))
+	for _, a := range f.Args {
+		ca, err := convertExpr(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, ca)
+	}
+
+	// Context-defaulting functions get the context item made explicit.
+	switch name {
+	case "string", "number", "string-length", "normalize-space", "name", "local-name", "namespace-uri":
+		if len(args) == 0 {
+			args = append(args, contextItemExpr(env))
+		}
+	}
+	switch name {
+	case "string", "concat", "starts-with", "contains", "substring-before",
+		"substring-after", "substring", "string-length", "normalize-space",
+		"translate", "boolean", "not", "true", "false", "number", "sum",
+		"floor", "ceiling", "round", "count", "name", "local-name",
+		"namespace-uri":
+		return &xquery.FuncCall{Name: "fn:" + name, Args: args}, nil
+	}
+	return nil, convErrf("function %s() has no XQuery mapping", f.Name)
+}
+
+func contextItemExpr(env convEnv) xquery.Expr {
+	if env.ctx != nil {
+		return env.ctx
+	}
+	return xquery.ContextItem{}
+}
+
+func convertPath(p *xpath.PathExpr, env convEnv) (xquery.Expr, error) {
+	out := &xquery.Path{}
+	switch {
+	case p.Start != nil:
+		base, err := convertExpr(p.Start, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.StartPreds) > 0 {
+			f := &xquery.Filter{Base: base}
+			for _, pr := range p.StartPreds {
+				cp, err := convertExpr(pr, env.inPredicate())
+				if err != nil {
+					return nil, err
+				}
+				f.Preds = append(f.Preds, cp)
+			}
+			base = f
+		}
+		out.Base = base
+	case p.Abs:
+		if env.root == nil {
+			return nil, convErrf("absolute path %q outside a document context", p.String())
+		}
+		// $var000 is bound to the input document node, so absolute paths
+		// become $var000-relative paths.
+		out.Base = env.root
+	default:
+		if env.ctx != nil {
+			out.Base = env.ctx
+		}
+		// else: leave relative — evaluated against the dynamic context
+		// item (predicate position).
+	}
+	for _, s := range p.Steps {
+		// self::node() without predicates is the identity step; dropping
+		// it keeps output like "$v/." out of the generated query.
+		if s.Axis == xpath.AxisSelf && s.Test.Kind == xpath.TestNode && len(s.Preds) == 0 {
+			continue
+		}
+		qs := &xquery.Step{Axis: s.Axis, Test: s.Test}
+		for _, pr := range s.Preds {
+			cp, err := convertExpr(pr, env.inPredicate())
+			if err != nil {
+				return nil, err
+			}
+			qs.Preds = append(qs.Preds, cp)
+		}
+		out.Steps = append(out.Steps, qs)
+	}
+	if out.Base != nil && len(out.Steps) == 0 {
+		return out.Base, nil
+	}
+	if out.Base == nil && !out.Abs && len(out.Steps) == 0 {
+		// The whole path reduced to the context item (e.g. "." or "self::node()").
+		return xquery.ContextItem{}, nil
+	}
+	if out.Base == nil && !out.Abs && len(out.Steps) == 1 &&
+		out.Steps[0].Axis == xpath.AxisSelf && out.Steps[0].Test.Kind == xpath.TestNode && len(out.Steps[0].Preds) == 0 {
+		return xquery.ContextItem{}, nil
+	}
+	return out, nil
+}
+
+// stringOf wraps an expression in fn:string.
+func stringOf(e xquery.Expr) xquery.Expr {
+	return &xquery.FuncCall{Name: "fn:string", Args: []xquery.Expr{e}}
+}
+
+// existsOf wraps an expression in fn:exists.
+func existsOf(e xquery.Expr) xquery.Expr {
+	return &xquery.FuncCall{Name: "fn:exists", Args: []xquery.Expr{e}}
+}
+
+// childStep builds a child::name step path from base.
+func childStep(base xquery.Expr, name string) *xquery.Path {
+	return &xquery.Path{Base: base, Steps: []*xquery.Step{{
+		Axis: xpath.AxisChild, Test: xpath.NodeTest{Kind: xpath.TestName, Name: name},
+	}}}
+}
+
+// textStep builds base/text().
+func textStep(base xquery.Expr) *xquery.Path {
+	return &xquery.Path{Base: base, Steps: []*xquery.Step{{
+		Axis: xpath.AxisChild, Test: xpath.NodeTest{Kind: xpath.TestText},
+	}}}
+}
+
+// nodeStep builds base/node().
+func nodeStep(base xquery.Expr) *xquery.Path {
+	return &xquery.Path{Base: base, Steps: []*xquery.Step{{
+		Axis: xpath.AxisChild, Test: xpath.NodeTest{Kind: xpath.TestNode},
+	}}}
+}
+
+// dosNodeStep is descendant-or-self::node() (the '//' abbreviation).
+func dosNodeStep() *xquery.Step {
+	return &xquery.Step{Axis: xpath.AxisDescendantOrSelf, Test: xpath.NodeTest{Kind: xpath.TestNode}}
+}
+
+// textTestStep is child::text().
+func textTestStep() *xquery.Step {
+	return &xquery.Step{Axis: xpath.AxisChild, Test: xpath.NodeTest{Kind: xpath.TestText}}
+}

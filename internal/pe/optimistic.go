@@ -1,0 +1,253 @@
+package pe
+
+import (
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+// optimisticSheet returns a deep copy of the stylesheet transformed for the
+// sample run:
+//   - value-dependent predicates in every XPath expression become true()
+//     (structure-only predicates like [empno] survive);
+//   - xsl:if executes its body unconditionally;
+//   - xsl:choose executes every branch (when bodies and otherwise);
+//   - sort keys are dropped (order is irrelevant to the trace).
+//
+// The copy preserves template order/indexes so trace ids and template
+// identities line up with the original stylesheet.
+func optimisticSheet(sheet *xslt.Stylesheet) *xslt.Stylesheet {
+	out := &xslt.Stylesheet{
+		Version:       sheet.Version,
+		OutputMethod:  sheet.OutputMethod,
+		Source:        sheet.Source,
+		Keys:          sheet.Keys,
+		StripSpace:    sheet.StripSpace,
+		PreserveSpace: sheet.PreserveSpace,
+	}
+	for _, def := range sheet.GlobalVars {
+		out.GlobalVars = append(out.GlobalVars, optimisticVarDef(def))
+	}
+	for _, t := range sheet.Templates {
+		nt := &xslt.Template{
+			Match:    optimisticPattern(t.Match),
+			MatchSrc: t.MatchSrc,
+			Name:     t.Name,
+			Mode:     t.Mode,
+			Priority: t.Priority,
+			Index:    t.Index,
+		}
+		for _, p := range t.Params {
+			nt.Params = append(nt.Params, optimisticVarDef(p))
+		}
+		nt.Body = optimisticSeq(t.Body)
+		out.Templates = append(out.Templates, nt)
+	}
+	return out
+}
+
+func optimisticVarDef(def *xslt.VarDef) *xslt.VarDef {
+	return &xslt.VarDef{
+		Name:    def.Name,
+		Select:  optimisticExpr(def.Select),
+		Body:    optimisticSeq(def.Body),
+		IsParam: def.IsParam,
+	}
+}
+
+func optimisticSeq(body []xslt.Instruction) []xslt.Instruction {
+	var out []xslt.Instruction
+	for _, in := range body {
+		out = append(out, optimisticInstr(in)...)
+	}
+	return out
+}
+
+// optimisticInstr may expand one instruction into several (choose →
+// all branches).
+func optimisticInstr(instr xslt.Instruction) []xslt.Instruction {
+	switch in := instr.(type) {
+	case *xslt.Text, *xslt.MakeText, *xslt.NumberInstr:
+		return []xslt.Instruction{instr}
+	case *xslt.ValueOf:
+		return []xslt.Instruction{&xslt.ValueOf{Select: optimisticExpr(in.Select)}}
+	case *xslt.CopyOf:
+		return []xslt.Instruction{&xslt.CopyOf{Select: optimisticExpr(in.Select)}}
+	case *xslt.LiteralElement:
+		return []xslt.Instruction{&xslt.LiteralElement{
+			QName: in.QName, Attrs: in.Attrs, Body: optimisticSeq(in.Body),
+		}}
+	case *xslt.MakeElement:
+		return []xslt.Instruction{&xslt.MakeElement{Name: in.Name, Body: optimisticSeq(in.Body)}}
+	case *xslt.MakeAttribute:
+		return []xslt.Instruction{&xslt.MakeAttribute{Name: in.Name, Body: optimisticSeq(in.Body)}}
+	case *xslt.MakeComment:
+		return []xslt.Instruction{&xslt.MakeComment{Body: optimisticSeq(in.Body)}}
+	case *xslt.MakePI:
+		return []xslt.Instruction{&xslt.MakePI{Name: in.Name, Body: optimisticSeq(in.Body)}}
+	case *xslt.Copy:
+		return []xslt.Instruction{&xslt.Copy{Body: optimisticSeq(in.Body)}}
+	case *xslt.DeclareVar:
+		return []xslt.Instruction{&xslt.DeclareVar{Def: optimisticVarDef(in.Def)}}
+	case *xslt.ApplyTemplates:
+		cp := &xslt.ApplyTemplates{
+			Select:  optimisticExpr(in.Select),
+			Mode:    in.Mode,
+			TraceID: in.TraceID,
+		}
+		for _, p := range in.Params {
+			cp.Params = append(cp.Params, optimisticVarDef(p))
+		}
+		return []xslt.Instruction{cp}
+	case *xslt.CallTemplate:
+		cp := &xslt.CallTemplate{Name: in.Name}
+		for _, p := range in.Params {
+			cp.Params = append(cp.Params, optimisticVarDef(p))
+		}
+		return []xslt.Instruction{cp}
+	case *xslt.ForEach:
+		return []xslt.Instruction{&xslt.ForEach{
+			Select: optimisticExpr(in.Select),
+			Body:   optimisticSeq(in.Body),
+		}}
+	case *xslt.If:
+		// Execute unconditionally so nested apply-templates are traced.
+		return []xslt.Instruction{branchBox(optimisticSeq(in.Body))}
+	case *xslt.Choose:
+		var out []xslt.Instruction
+		for _, w := range in.Whens {
+			out = append(out, branchBox(optimisticSeq(w.Body)))
+		}
+		if len(in.Otherwise) > 0 {
+			out = append(out, branchBox(optimisticSeq(in.Otherwise)))
+		}
+		return out
+	case *xslt.Message:
+		// Keep the body (it may contain apply-templates) but never
+		// terminate; the message text itself is irrelevant to the trace.
+		return []xslt.Instruction{branchBox(optimisticSeq(in.Body))}
+	}
+	return []xslt.Instruction{instr}
+}
+
+// branchBox wraps a speculatively-executed branch body in a scratch
+// element so instructions that are position-sensitive in the output
+// (xsl:attribute after content, for example) cannot abort the sample run
+// when several mutually-exclusive branches execute back to back.
+func branchBox(body []xslt.Instruction) xslt.Instruction {
+	return &xslt.LiteralElement{QName: "pe-branch", Body: body}
+}
+
+// optimisticExpr rewrites an XPath expression for the sample run: every
+// value-dependent predicate becomes true(); structural predicates survive.
+func optimisticExpr(e xpath.Expr) xpath.Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *xpath.PathExpr:
+		cp := &xpath.PathExpr{Abs: x.Abs, Start: optimisticExpr(x.Start)}
+		cp.StartPreds = optimisticPreds(x.StartPreds)
+		for _, s := range x.Steps {
+			cp.Steps = append(cp.Steps, &xpath.Step{
+				Axis: s.Axis, Test: s.Test, Preds: optimisticPreds(s.Preds),
+			})
+		}
+		return cp
+	case *xpath.BinaryExpr:
+		if x.Op == xpath.OpUnion {
+			return &xpath.BinaryExpr{Op: x.Op, L: optimisticExpr(x.L), R: optimisticExpr(x.R)}
+		}
+		return e
+	case *xpath.FuncExpr:
+		cp := &xpath.FuncExpr{Name: x.Name}
+		for _, a := range x.Args {
+			cp.Args = append(cp.Args, optimisticExpr(a))
+		}
+		return cp
+	}
+	return e
+}
+
+func optimisticPreds(preds []xpath.Expr) []xpath.Expr {
+	var out []xpath.Expr
+	for _, p := range preds {
+		if IsStructural(p) {
+			out = append(out, optimisticExpr(p))
+		} else {
+			out = append(out, &xpath.FuncExpr{Name: "true"})
+		}
+	}
+	return out
+}
+
+// IsStructural reports whether an XPath expression depends only on document
+// structure (element/attribute existence), never on text values or
+// positions. Structural predicates can be decided on the sample document;
+// everything else must be assumed true during partial evaluation (§4.3).
+func IsStructural(e xpath.Expr) bool {
+	switch x := e.(type) {
+	case *xpath.PathExpr:
+		if x.Start != nil && !IsStructural(x.Start) {
+			return false
+		}
+		for _, p := range x.StartPreds {
+			if !IsStructural(p) {
+				return false
+			}
+		}
+		for _, s := range x.Steps {
+			if s.Test.Kind == xpath.TestText {
+				return false // existence of text is value-adjacent; be safe
+			}
+			for _, p := range s.Preds {
+				if !IsStructural(p) {
+					return false
+				}
+			}
+		}
+		return true
+	case *xpath.BinaryExpr:
+		switch x.Op {
+		case xpath.OpAnd, xpath.OpOr, xpath.OpUnion:
+			return IsStructural(x.L) && IsStructural(x.R)
+		}
+		return false // comparisons and arithmetic depend on values
+	case *xpath.FuncExpr:
+		switch x.Name {
+		case "not", "boolean":
+			return len(x.Args) == 1 && IsStructural(x.Args[0])
+		case "true", "false":
+			return true
+		}
+		return false
+	case xpath.NumberExpr:
+		return false // positional predicate
+	case xpath.StringExpr:
+		return false
+	case xpath.VarExpr:
+		return false
+	case *xpath.NegExpr:
+		return false
+	}
+	return false
+}
+
+// optimisticPattern rewrites a match pattern's predicates optimistically.
+// Patterns share the step representation, so predicates are replaced in a
+// deep copy of each alternative.
+func optimisticPattern(p *xpath.Pattern) *xpath.Pattern {
+	if p == nil {
+		return nil
+	}
+	// Re-parse the source and transform: simplest faithful deep copy.
+	cp, err := xpath.ParsePattern(p.String())
+	if err != nil {
+		return p
+	}
+	for _, alt := range cp.Alternatives {
+		for _, s := range alt.Steps {
+			s.Preds = optimisticPreds(s.Preds)
+		}
+	}
+	return cp
+}

@@ -1,0 +1,259 @@
+// Package relstore is the relational substrate: typed in-memory tables,
+// B-tree secondary indexes, and Volcano-style (iterator-based pull mode,
+// Graefe [10]) physical operators with index-vs-scan access-path selection.
+//
+// The paper's evaluation hinges on the rewritten SQL/XML query using "the
+// B-tree index to compute the predicate" while the functional XSLT path
+// materializes documents and walks them; this package provides exactly that
+// machinery.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is a column value: int64, float64 or string. The zero Value (nil)
+// is SQL NULL.
+type Value any
+
+// CompareValues orders two values of the same column type. NULL sorts
+// before everything. Cross-type comparisons coerce numerics.
+func CompareValues(a, b Value) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			}
+			return 0
+		case float64:
+			return compareFloats(float64(x), y)
+		}
+	case float64:
+		switch y := b.(type) {
+		case float64:
+			return compareFloats(x, y)
+		case int64:
+			return compareFloats(x, float64(y))
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			}
+			return 0
+		}
+	}
+	// Incomparable types order by type name for determinism.
+	ta, tb := fmt.Sprintf("%T", a), fmt.Sprintf("%T", b)
+	switch {
+	case ta < tb:
+		return -1
+	case ta > tb:
+		return 1
+	}
+	return 0
+}
+
+func compareFloats(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+// btree degree: max keys per node. 64 keeps nodes cache-friendly while
+// exercising real splits in tests.
+const btreeMaxKeys = 64
+
+// BTree is a B-tree mapping column values to posting lists of row ids.
+// Duplicate keys accumulate row ids on one entry.
+type BTree struct {
+	root *btNode
+	size int // distinct keys
+}
+
+type btEntry struct {
+	key  Value
+	rows []int
+}
+
+type btNode struct {
+	entries  []btEntry
+	children []*btNode // nil for leaves; else len(entries)+1
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btNode{}}
+}
+
+// Len returns the number of distinct keys.
+func (t *BTree) Len() int { return t.size }
+
+func (n *btNode) isLeaf() bool { return n.children == nil }
+
+// findKey locates key in the node's entries: the index and whether it was
+// found.
+func (n *btNode) findKey(key Value) (int, bool) {
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return CompareValues(n.entries[i].key, key) >= 0
+	})
+	if i < len(n.entries) && CompareValues(n.entries[i].key, key) == 0 {
+		return i, true
+	}
+	return i, false
+}
+
+// Insert adds rowID under key.
+func (t *BTree) Insert(key Value, rowID int) {
+	if len(t.root.entries) == btreeMaxKeys {
+		old := t.root
+		t.root = &btNode{children: []*btNode{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insertNonFull(key, rowID) {
+		t.size++
+	}
+}
+
+// insertNonFull inserts into a node known to have room, returning whether a
+// new distinct key was created.
+func (n *btNode) insertNonFull(key Value, rowID int) bool {
+	i, found := n.findKey(key)
+	if found {
+		n.entries[i].rows = append(n.entries[i].rows, rowID)
+		return false
+	}
+	if n.isLeaf() {
+		n.entries = append(n.entries, btEntry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = btEntry{key: key, rows: []int{rowID}}
+		return true
+	}
+	if len(n.children[i].entries) == btreeMaxKeys {
+		n.splitChild(i)
+		cmp := CompareValues(key, n.entries[i].key)
+		if cmp == 0 {
+			n.entries[i].rows = append(n.entries[i].rows, rowID)
+			return false
+		}
+		if cmp > 0 {
+			i++
+		}
+	}
+	return n.children[i].insertNonFull(key, rowID)
+}
+
+// splitChild splits the full child at index i, hoisting its median entry.
+func (n *btNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeMaxKeys / 2
+	median := child.entries[mid]
+
+	right := &btNode{entries: append([]btEntry{}, child.entries[mid+1:]...)}
+	if !child.isLeaf() {
+		right.children = append([]*btNode{}, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+
+	n.entries = append(n.entries, btEntry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Lookup returns the row ids stored under key (nil when absent).
+func (t *BTree) Lookup(key Value) []int {
+	n := t.root
+	for {
+		i, found := n.findKey(key)
+		if found {
+			return n.entries[i].rows
+		}
+		if n.isLeaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+}
+
+// Bound is one end of a range scan.
+type Bound struct {
+	Value     Value
+	Inclusive bool
+	// Unbounded marks an open end.
+	Unbounded bool
+}
+
+// Unbounded is the open bound.
+var UnboundedBound = Bound{Unbounded: true}
+
+// Range calls fn for each (key, rows) pair with lo <= key <= hi (subject to
+// inclusivity) in ascending key order; fn returning false stops the scan.
+func (t *BTree) Range(lo, hi Bound, fn func(key Value, rows []int) bool) {
+	t.root.rangeScan(lo, hi, fn)
+}
+
+// AscendAll visits every key in order.
+func (t *BTree) AscendAll(fn func(key Value, rows []int) bool) {
+	t.Range(UnboundedBound, UnboundedBound, fn)
+}
+
+func (n *btNode) rangeScan(lo, hi Bound, fn func(Value, []int) bool) bool {
+	start := 0
+	if !lo.Unbounded {
+		start = sort.Search(len(n.entries), func(i int) bool {
+			c := CompareValues(n.entries[i].key, lo.Value)
+			if lo.Inclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	for i := start; i <= len(n.entries); i++ {
+		if !n.isLeaf() {
+			if !n.children[i].rangeScan(lo, hi, fn) {
+				return false
+			}
+		}
+		if i == len(n.entries) {
+			break
+		}
+		e := n.entries[i]
+		if !hi.Unbounded {
+			c := CompareValues(e.key, hi.Value)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				return false
+			}
+		}
+		if !fn(e.key, e.rows) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,278 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats counts physical work done by operators; the benchmark harness reads
+// these to show that the rewrite path touches fewer rows.
+type Stats struct {
+	RowsScanned int64 // heap rows visited by full scans
+	IndexProbes int64 // B-tree descents
+	RowsEmitted int64
+}
+
+// Add accumulates other into s (atomically).
+func (s *Stats) Add(other *Stats) {
+	atomic.AddInt64(&s.RowsScanned, atomic.LoadInt64(&other.RowsScanned))
+	atomic.AddInt64(&s.IndexProbes, atomic.LoadInt64(&other.IndexProbes))
+	atomic.AddInt64(&s.RowsEmitted, atomic.LoadInt64(&other.RowsEmitted))
+}
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String returns the SQL spelling.
+func (op CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// Pred is a simple column-vs-constant predicate; conjunctions are slices.
+type Pred struct {
+	Col string
+	Op  CmpOp
+	Val Value
+}
+
+// String renders the predicate in SQL style.
+func (p Pred) String() string {
+	v := p.Val
+	if s, ok := v.(string); ok {
+		v = "'" + s + "'"
+	}
+	return fmt.Sprintf("%s %s %v", p.Col, p.Op, v)
+}
+
+// Matches evaluates the predicate against a cell value.
+func (p Pred) Matches(cell Value) bool {
+	if cell == nil || p.Val == nil {
+		return false // SQL three-valued logic: NULL never matches
+	}
+	c := CompareValues(cell, p.Val)
+	switch p.Op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Iterator is the Volcano pull interface: Next returns row ids of the
+// underlying table until exhaustion.
+type Iterator interface {
+	// Next returns the next row id, or ok=false at end of stream.
+	Next() (rowID int, ok bool)
+	// Reset rewinds to the start.
+	Reset()
+	// Explain describes the physical operator.
+	Explain() string
+}
+
+// scanIter is a full table scan with residual predicates.
+type scanIter struct {
+	table *Table
+	preds []Pred
+	pos   int
+	stats *Stats
+}
+
+func (s *scanIter) Next() (int, bool) {
+	for {
+		s.table.mu.RLock()
+		n := len(s.table.rows)
+		s.table.mu.RUnlock()
+		if s.pos >= n {
+			return 0, false
+		}
+		id := s.pos
+		s.pos++
+		if s.stats != nil {
+			atomic.AddInt64(&s.stats.RowsScanned, 1)
+		}
+		if rowMatches(s.table, id, s.preds) {
+			if s.stats != nil {
+				atomic.AddInt64(&s.stats.RowsEmitted, 1)
+			}
+			return id, true
+		}
+	}
+}
+
+func (s *scanIter) Reset() { s.pos = 0 }
+
+func (s *scanIter) Explain() string {
+	if len(s.preds) == 0 {
+		return fmt.Sprintf("TABLE SCAN %s", s.table.Name)
+	}
+	return fmt.Sprintf("TABLE SCAN %s FILTER %s", s.table.Name, predsString(s.preds))
+}
+
+// indexIter drives a B-tree range and applies residual predicates.
+type indexIter struct {
+	table    *Table
+	indexCol string
+	lo, hi   Bound
+	residual []Pred
+
+	ids   []int
+	pos   int
+	run   bool
+	stats *Stats
+}
+
+func (it *indexIter) materialize() {
+	idx := it.table.Index(it.indexCol)
+	it.ids = it.ids[:0]
+	if it.stats != nil {
+		atomic.AddInt64(&it.stats.IndexProbes, 1)
+	}
+	idx.Range(it.lo, it.hi, func(_ Value, rows []int) bool {
+		it.ids = append(it.ids, rows...)
+		return true
+	})
+	sort.Ints(it.ids) // row-id order ≈ heap order for stable output
+	it.run = true
+}
+
+func (it *indexIter) Next() (int, bool) {
+	if !it.run {
+		it.materialize()
+	}
+	for it.pos < len(it.ids) {
+		id := it.ids[it.pos]
+		it.pos++
+		if rowMatches(it.table, id, it.residual) {
+			if it.stats != nil {
+				atomic.AddInt64(&it.stats.RowsEmitted, 1)
+			}
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func (it *indexIter) Reset() { it.pos = 0 }
+
+func (it *indexIter) Explain() string {
+	rng := describeRange(it.indexCol, it.lo, it.hi)
+	if len(it.residual) == 0 {
+		return fmt.Sprintf("INDEX RANGE SCAN %s(%s) %s", it.table.Name, it.indexCol, rng)
+	}
+	return fmt.Sprintf("INDEX RANGE SCAN %s(%s) %s FILTER %s", it.table.Name, it.indexCol, rng, predsString(it.residual))
+}
+
+func describeRange(col string, lo, hi Bound) string {
+	switch {
+	case !lo.Unbounded && !hi.Unbounded && lo.Inclusive && hi.Inclusive && CompareValues(lo.Value, hi.Value) == 0:
+		return fmt.Sprintf("%s = %v", col, lo.Value)
+	case lo.Unbounded && hi.Unbounded:
+		return "(full)"
+	default:
+		var parts []string
+		if !lo.Unbounded {
+			op := ">"
+			if lo.Inclusive {
+				op = ">="
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %v", col, op, lo.Value))
+		}
+		if !hi.Unbounded {
+			op := "<"
+			if hi.Inclusive {
+				op = "<="
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %v", col, op, hi.Value))
+		}
+		return strings.Join(parts, " AND ")
+	}
+}
+
+func predsString(preds []Pred) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+func rowMatches(t *Table, id int, preds []Pred) bool {
+	for _, p := range preds {
+		if !p.Matches(t.Value(id, p.Col)) {
+			return false
+		}
+	}
+	return true
+}
+
+// AccessPath plans the physical access for a conjunction of predicates:
+// an index range scan when an indexed column has a sargable predicate,
+// otherwise a full scan. This is the "standard relational optimizer can
+// select the index on the sal column" step of the paper (§2.1).
+func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
+	best := -1
+	for i, p := range preds {
+		if p.Op == CmpNe || p.Val == nil {
+			continue // not sargable
+		}
+		if !t.HasIndex(p.Col) {
+			continue
+		}
+		// Prefer equality probes over ranges.
+		if best == -1 || (preds[i].Op == CmpEq && preds[best].Op != CmpEq) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return &scanIter{table: t, preds: preds, stats: stats}
+	}
+	p := preds[best]
+	var residual []Pred
+	for i, q := range preds {
+		if i != best {
+			residual = append(residual, q)
+		}
+	}
+	lo, hi := UnboundedBound, UnboundedBound
+	switch p.Op {
+	case CmpEq:
+		lo = Bound{Value: p.Val, Inclusive: true}
+		hi = lo
+	case CmpLt:
+		hi = Bound{Value: p.Val}
+	case CmpLe:
+		hi = Bound{Value: p.Val, Inclusive: true}
+	case CmpGt:
+		lo = Bound{Value: p.Val}
+	case CmpGe:
+		lo = Bound{Value: p.Val, Inclusive: true}
+	}
+	return &indexIter{table: t, indexCol: p.Col, lo: lo, hi: hi, residual: residual, stats: stats}
+}
+
+// FullScan returns an unconditional scan (used when the caller needs every
+// row, e.g. view materialization).
+func FullScan(t *Table, stats *Stats) Iterator {
+	return &scanIter{table: t, stats: stats}
+}

@@ -1,0 +1,396 @@
+// Package sqlxml implements the SQL/XML publishing layer: the standard
+// generation functions (XMLElement, XMLAttributes, XMLAgg, XMLConcat, plus
+// scalar aggregates) as an operator tree, XMLType views over relational
+// tables (paper Table 3), and executable SQL/XML queries (paper Tables 7
+// and 11) that pick B-tree access paths through internal/relstore.
+package sqlxml
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/relstore"
+	"repro/internal/xmltree"
+)
+
+// XMLExpr produces XML content from one row of a driving table.
+type XMLExpr interface {
+	// SQL renders the expression in SQL/XML syntax for EXPLAIN output and
+	// documentation golden tests.
+	SQL() string
+}
+
+// Element is XMLElement(name, attrs..., children...).
+type Element struct {
+	Name     string
+	Attrs    []Attr
+	Children []XMLExpr
+}
+
+// Attr is one XMLAttributes entry; the value is a column reference or
+// literal.
+type Attr struct {
+	Name  string
+	Value XMLExpr // Column or Literal
+}
+
+// Column emits the row's column value as text content.
+type Column struct{ Name string }
+
+// Literal emits constant text.
+type Literal struct{ Text string }
+
+// Concat is XMLConcat(items...): the children concatenated.
+type Concat struct{ Items []XMLExpr }
+
+// Agg is XMLAgg over a correlated scalar subquery: for each matching row of
+// the inner table, Body is constructed; results concatenate in order.
+type Agg struct{ Sub *SubQuery }
+
+// ScalarAgg is a SQL aggregate (COUNT/SUM/AVG/MIN/MAX) over a correlated
+// subquery, emitted as text content.
+type ScalarAgg struct {
+	Fn  string // "count", "sum", "avg", "min", "max"
+	Col string // aggregated column ("" for count(*))
+	Sub *SubQuery
+}
+
+// Cond is a conditional constructor (SQL CASE WHEN over the current row):
+// when every predicate holds for the row, Then is constructed, else Else.
+type Cond struct {
+	Preds []relstore.Pred
+	Then  XMLExpr
+	Else  XMLExpr // may be nil
+}
+
+// SQL renders the conditional as CASE WHEN.
+func (c *Cond) SQL() string {
+	var conds []string
+	for _, p := range c.Preds {
+		conds = append(conds, strings.ToUpper(p.String()))
+	}
+	out := "CASE WHEN " + strings.Join(conds, " AND ") + " THEN " + c.Then.SQL()
+	if c.Else != nil {
+		out += " ELSE " + c.Else.SQL()
+	}
+	return out + " END"
+}
+
+// SubQuery is a correlated subquery over an inner table.
+type SubQuery struct {
+	Table string
+	// Correlation predicate inner.CorrInner = outer.CorrOuter; both empty
+	// for an uncorrelated subquery.
+	CorrInner string
+	CorrOuter string
+	// Where holds additional constant predicates (candidates for index
+	// access).
+	Where []relstore.Pred
+	// OrderBy optionally orders inner rows by a column.
+	OrderBy    string
+	Descending bool
+	// Body is evaluated per inner row (for Agg).
+	Body XMLExpr
+}
+
+// SQL renders the element constructor.
+func (e *Element) SQL() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("%q", e.Name))
+	if len(e.Attrs) > 0 {
+		var as []string
+		for _, a := range e.Attrs {
+			as = append(as, fmt.Sprintf("%s AS %q", a.Value.SQL(), a.Name))
+		}
+		parts = append(parts, "XMLAttributes("+strings.Join(as, ", ")+")")
+	}
+	for _, c := range e.Children {
+		parts = append(parts, c.SQL())
+	}
+	return "XMLElement(" + strings.Join(parts, ", ") + ")"
+}
+
+// SQL renders the column reference.
+func (c *Column) SQL() string { return strings.ToUpper(c.Name) }
+
+// SQL renders the literal.
+func (l *Literal) SQL() string { return "'" + strings.ReplaceAll(l.Text, "'", "''") + "'" }
+
+// SQL renders XMLConcat.
+func (c *Concat) SQL() string {
+	parts := make([]string, len(c.Items))
+	for i, it := range c.Items {
+		parts[i] = it.SQL()
+	}
+	return "XMLConcat(" + strings.Join(parts, ", ") + ")"
+}
+
+// SQL renders the correlated XMLAgg subquery.
+func (a *Agg) SQL() string {
+	return "(SELECT XMLAgg(" + a.Sub.Body.SQL() + ")" + a.Sub.fromWhereSQL() + ")"
+}
+
+// SQL renders the scalar aggregate subquery.
+func (s *ScalarAgg) SQL() string {
+	col := "*"
+	if s.Col != "" {
+		col = strings.ToUpper(s.Col)
+	}
+	return "(SELECT " + strings.ToUpper(s.Fn) + "(" + col + ")" + s.Sub.fromWhereSQL() + ")"
+}
+
+func (q *SubQuery) fromWhereSQL() string {
+	var sb strings.Builder
+	sb.WriteString(" FROM " + strings.ToUpper(q.Table))
+	var conds []string
+	for _, p := range q.Where {
+		conds = append(conds, strings.ToUpper(p.String()))
+	}
+	if q.CorrInner != "" {
+		conds = append(conds, strings.ToUpper(q.CorrInner)+" = OUTER."+strings.ToUpper(q.CorrOuter))
+	}
+	if len(conds) > 0 {
+		sb.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	if q.OrderBy != "" {
+		sb.WriteString(" ORDER BY " + strings.ToUpper(q.OrderBy))
+		if q.Descending {
+			sb.WriteString(" DESC")
+		}
+	}
+	return sb.String()
+}
+
+// evalContext carries the execution state while constructing XML for a row.
+type evalContext struct {
+	db    *relstore.DB
+	stats *relstore.Stats
+}
+
+// evalInto appends the XML produced by expr for (table,rowID) to parent.
+func (ec *evalContext) evalInto(parent *xmltree.Node, expr XMLExpr, table *relstore.Table, rowID int) error {
+	switch e := expr.(type) {
+	case *Literal:
+		appendText(parent, e.Text)
+		return nil
+	case *Column:
+		v := table.Value(rowID, e.Name)
+		if v != nil {
+			appendText(parent, valueText(v))
+		}
+		return nil
+	case *Element:
+		el := xmltree.NewElement(e.Name)
+		for _, a := range e.Attrs {
+			val, err := ec.scalarText(a.Value, table, rowID)
+			if err != nil {
+				return err
+			}
+			el.SetAttr(a.Name, val)
+		}
+		for _, c := range e.Children {
+			if err := ec.evalInto(el, c, table, rowID); err != nil {
+				return err
+			}
+		}
+		el.Parent = parent
+		parent.Children = append(parent.Children, el)
+		return nil
+	case *Concat:
+		for _, it := range e.Items {
+			if err := ec.evalInto(parent, it, table, rowID); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Agg:
+		inner, ids, err := ec.subqueryRows(e.Sub, table, rowID)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			if err := ec.evalInto(parent, e.Sub.Body, inner, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ScalarAgg:
+		inner, ids, err := ec.subqueryRows(e.Sub, table, rowID)
+		if err != nil {
+			return err
+		}
+		appendText(parent, scalarAggText(e, inner, ids))
+		return nil
+	case *Cond:
+		holds := true
+		for _, p := range e.Preds {
+			if !p.Matches(table.Value(rowID, p.Col)) {
+				holds = false
+				break
+			}
+		}
+		if holds {
+			return ec.evalInto(parent, e.Then, table, rowID)
+		}
+		if e.Else != nil {
+			return ec.evalInto(parent, e.Else, table, rowID)
+		}
+		return nil
+	}
+	return fmt.Errorf("sqlxml: unhandled expression %T", expr)
+}
+
+func scalarAggText(e *ScalarAgg, inner *relstore.Table, ids []int) string {
+	switch e.Fn {
+	case "count":
+		return fmt.Sprintf("%d", len(ids))
+	default:
+		var total float64
+		var count int
+		var best relstore.Value
+		for _, id := range ids {
+			v := inner.Value(id, e.Col)
+			if v == nil {
+				continue
+			}
+			count++
+			total += toF(v)
+			if best == nil ||
+				(e.Fn == "min" && relstore.CompareValues(v, best) < 0) ||
+				(e.Fn == "max" && relstore.CompareValues(v, best) > 0) {
+				best = v
+			}
+		}
+		switch e.Fn {
+		case "sum":
+			return trimFloat(total)
+		case "avg":
+			if count == 0 {
+				return ""
+			}
+			return trimFloat(total / float64(count))
+		case "min", "max":
+			if best == nil {
+				return ""
+			}
+			return valueText(best)
+		}
+	}
+	return ""
+}
+
+func toF(v relstore.Value) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	case string:
+		f, _ := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		return f
+	}
+	return 0
+}
+
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// scalarText evaluates a scalar-producing expression (Column, Literal,
+// ScalarAgg, or a Concat of those) to a string.
+func (ec *evalContext) scalarText(expr XMLExpr, table *relstore.Table, rowID int) (string, error) {
+	switch e := expr.(type) {
+	case *Literal:
+		return e.Text, nil
+	case *Column:
+		return valueText(table.Value(rowID, e.Name)), nil
+	case *ScalarAgg:
+		inner, ids, err := ec.subqueryRows(e.Sub, table, rowID)
+		if err != nil {
+			return "", err
+		}
+		return scalarAggText(e, inner, ids), nil
+	case *Concat:
+		var sb strings.Builder
+		for _, it := range e.Items {
+			s, err := ec.scalarText(it, table, rowID)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(s)
+		}
+		return sb.String(), nil
+	}
+	return "", fmt.Errorf("sqlxml: attribute value must be scalar, got %T", expr)
+}
+
+// subqueryRows plans and runs the subquery for one outer row, returning the
+// inner table and the selected row ids (ordered).
+func (ec *evalContext) subqueryRows(sub *SubQuery, outer *relstore.Table, outerRow int) (*relstore.Table, []int, error) {
+	inner := ec.db.Table(sub.Table)
+	if inner == nil {
+		return nil, nil, fmt.Errorf("sqlxml: unknown table %q", sub.Table)
+	}
+	preds := append([]relstore.Pred{}, sub.Where...)
+	if sub.CorrInner != "" {
+		ov := outer.Value(outerRow, sub.CorrOuter)
+		preds = append(preds, relstore.Pred{Col: sub.CorrInner, Op: relstore.CmpEq, Val: ov})
+	}
+	it := relstore.AccessPath(inner, preds, ec.stats)
+	var ids []int
+	for {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, id)
+	}
+	if sub.OrderBy != "" {
+		sortByCol(inner, ids, sub.OrderBy, sub.Descending)
+	}
+	return inner, ids, nil
+}
+
+func appendText(parent *xmltree.Node, data string) {
+	if data == "" {
+		return
+	}
+	if n := len(parent.Children); n > 0 && parent.Children[n-1].Kind == xmltree.TextNode {
+		parent.Children[n-1].Data += data
+		return
+	}
+	t := xmltree.NewText(data)
+	t.Parent = parent
+	parent.Children = append(parent.Children, t)
+}
+
+func valueText(v relstore.Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		return trimFloat(x)
+	}
+	return fmt.Sprint(v)
+}
+
+func sortByCol(t *relstore.Table, ids []int, col string, desc bool) {
+	lessAsc := func(a, b int) bool {
+		return relstore.CompareValues(t.Value(a, col), t.Value(b, col)) < 0
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		if desc {
+			return lessAsc(ids[j], ids[i])
+		}
+		return lessAsc(ids[i], ids[j])
+	})
+}

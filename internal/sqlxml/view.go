@@ -1,0 +1,419 @@
+package sqlxml
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/relstore"
+	"repro/internal/xmltree"
+	"repro/internal/xschema"
+)
+
+// ViewDef is an XMLType view over a relational table (paper Table 3):
+// one XMLType instance per driving-table row, constructed by Body.
+type ViewDef struct {
+	Name  string
+	Table string
+	Body  XMLExpr
+}
+
+// SQL renders the CREATE VIEW statement.
+func (v *ViewDef) SQL() string {
+	return fmt.Sprintf("CREATE VIEW %s AS\nSELECT\n%s AS %s_content\nFROM %s",
+		v.Name, indentSQL(v.Body.SQL()), v.Name, v.Table)
+}
+
+func indentSQL(s string) string { return "  " + strings.ReplaceAll(s, "\n", "\n  ") }
+
+// Query is an executable SQL/XML query: for each driving-table row passing
+// Where, emit the XML produced by Body. The rewriter lowers XQuery to this
+// form (paper Tables 7 and 11).
+type Query struct {
+	Table string
+	Where []relstore.Pred
+	Body  XMLExpr
+}
+
+// SQL renders the query.
+func (q *Query) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(q.Body.SQL())
+	sb.WriteString("\nFROM " + strings.ToUpper(q.Table))
+	if len(q.Where) > 0 {
+		var conds []string
+		for _, p := range q.Where {
+			conds = append(conds, strings.ToUpper(p.String()))
+		}
+		sb.WriteString("\nWHERE " + strings.Join(conds, " AND "))
+	}
+	return sb.String()
+}
+
+// Executor runs views and queries against a relstore database.
+type Executor struct {
+	DB *relstore.DB
+	// Stats accumulates physical-operator counters across executions.
+	Stats relstore.Stats
+}
+
+// NewExecutor returns an executor over db.
+func NewExecutor(db *relstore.DB) *Executor {
+	return &Executor{DB: db}
+}
+
+// MaterializeView builds the XMLType instance for every row of the view's
+// driving table (the paper's "functional evaluation" input path: the XML
+// must be materialized before XSLT can run on it). Each result is a
+// document node.
+func (e *Executor) MaterializeView(v *ViewDef) ([]*xmltree.Node, error) {
+	t := e.DB.Table(v.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
+	}
+	ec := &evalContext{db: e.DB, stats: &e.Stats}
+	var out []*xmltree.Node
+	it := relstore.FullScan(t, &e.Stats)
+	for {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
+		doc := xmltree.NewDocument()
+		if err := ec.evalInto(doc, v.Body, t, id); err != nil {
+			return nil, err
+		}
+		doc.Renumber()
+		out = append(out, doc)
+	}
+	return out, nil
+}
+
+// MaterializeRow builds the XMLType instance for a single driving row.
+func (e *Executor) MaterializeRow(v *ViewDef, rowID int) (*xmltree.Node, error) {
+	t := e.DB.Table(v.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
+	}
+	ec := &evalContext{db: e.DB, stats: &e.Stats}
+	doc := xmltree.NewDocument()
+	if err := ec.evalInto(doc, v.Body, t, rowID); err != nil {
+		return nil, err
+	}
+	doc.Renumber()
+	return doc, nil
+}
+
+// ExecQuery runs a SQL/XML query: one result fragment per qualifying row of
+// the driving table. The access path uses indexes when available.
+func (e *Executor) ExecQuery(q *Query) ([]*xmltree.Node, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
+	}
+	ec := &evalContext{db: e.DB, stats: &e.Stats}
+	it := relstore.AccessPath(t, q.Where, &e.Stats)
+	var out []*xmltree.Node
+	for {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
+		doc := xmltree.NewDocument()
+		if err := ec.evalInto(doc, q.Body, t, id); err != nil {
+			return nil, err
+		}
+		doc.Renumber()
+		out = append(out, doc)
+	}
+	return out, nil
+}
+
+// ExplainQuery describes the physical plan: the driving access path plus
+// each nested subquery's access path.
+func (e *Executor) ExplainQuery(q *Query) string {
+	var sb strings.Builder
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return "unknown table " + q.Table
+	}
+	sb.WriteString(relstore.AccessPath(t, q.Where, nil).Explain())
+	explainSubqueries(e.DB, q.Body, &sb, "  ")
+	return sb.String()
+}
+
+func explainSubqueries(db *relstore.DB, expr XMLExpr, sb *strings.Builder, pad string) {
+	switch x := expr.(type) {
+	case *Element:
+		for _, c := range x.Children {
+			explainSubqueries(db, c, sb, pad)
+		}
+	case *Concat:
+		for _, c := range x.Items {
+			explainSubqueries(db, c, sb, pad)
+		}
+	case *Agg:
+		explainSub(db, x.Sub, sb, pad)
+	case *ScalarAgg:
+		explainSub(db, x.Sub, sb, pad)
+	}
+}
+
+func explainSub(db *relstore.DB, sub *SubQuery, sb *strings.Builder, pad string) {
+	inner := db.Table(sub.Table)
+	if inner == nil {
+		return
+	}
+	preds := append([]relstore.Pred{}, sub.Where...)
+	if sub.CorrInner != "" {
+		// Correlation value is per-row; plan with a placeholder.
+		preds = append(preds, relstore.Pred{Col: sub.CorrInner, Op: relstore.CmpEq, Val: int64(0)})
+	}
+	sb.WriteString("\n" + pad + "-> " + relstore.AccessPath(inner, preds, nil).Explain())
+	if sub.CorrInner != "" {
+		sb.WriteString(" (correlated: " + sub.CorrInner + " = outer." + sub.CorrOuter + ")")
+	}
+	if sub.Body != nil {
+		explainSubqueries(db, sub.Body, sb, pad+"  ")
+	}
+}
+
+// DeriveSchema computes the structural schema of the view's XMLType output
+// (paper §3.2: "we can get the XML structural information from the
+// underlying relational or object relational schema").
+func (e *Executor) DeriveSchema(v *ViewDef) (*xschema.Schema, error) {
+	t := e.DB.Table(v.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
+	}
+	s := xschema.NewSchema()
+	root, err := deriveElem(e.DB, s, v.Body, t)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("sqlxml: view %q body must be a single XMLElement", v.Name)
+	}
+	s.Root = root
+	return s, nil
+}
+
+// deriveElem maps an XMLExpr to an element declaration (for Element) or
+// returns nil for non-element expressions.
+func deriveElem(db *relstore.DB, s *xschema.Schema, expr XMLExpr, t *relstore.Table) (*xschema.ElemDecl, error) {
+	el, ok := expr.(*Element)
+	if !ok {
+		return nil, nil
+	}
+	decl := s.Declare(el.Name)
+	for _, a := range el.Attrs {
+		at := xschema.TypeString
+		if c, ok := a.Value.(*Column); ok {
+			at = colSchemaType(t, c.Name)
+		}
+		if decl.Attr(a.Name) == nil {
+			decl.Attrs = append(decl.Attrs, &xschema.AttrDecl{Name: a.Name, Type: at})
+		}
+	}
+	// Classify content.
+	var children []*xschema.Particle
+	isText := false
+	textType := xschema.TypeString
+	var walk func(kids []XMLExpr) error
+	walk = func(kids []XMLExpr) error {
+		for _, k := range kids {
+			switch c := k.(type) {
+			case *Element:
+				kd, err := deriveElem(db, s, c, t)
+				if err != nil {
+					return err
+				}
+				children = append(children, &xschema.Particle{Child: kd, Min: 1, Max: 1})
+			case *Column:
+				isText = true
+				textType = colSchemaType(t, c.Name)
+			case *Literal:
+				isText = true
+			case *ScalarAgg:
+				isText = true
+				if c.Fn != "count" {
+					textType = xschema.TypeFloat
+				} else {
+					textType = xschema.TypeInt
+				}
+			case *Concat:
+				if err := walk(c.Items); err != nil {
+					return err
+				}
+			case *Agg:
+				innerT := db.Table(c.Sub.Table)
+				if innerT == nil {
+					return fmt.Errorf("sqlxml: unknown table %q", c.Sub.Table)
+				}
+				kd, err := deriveElem(db, s, c.Sub.Body, innerT)
+				if err != nil {
+					return err
+				}
+				if kd == nil {
+					return fmt.Errorf("sqlxml: XMLAgg body must be an XMLElement")
+				}
+				// Aggregated rows repeat 0..unbounded.
+				children = append(children, &xschema.Particle{Child: kd, Min: 0, Max: xschema.Unbounded})
+			}
+		}
+		return nil
+	}
+	if err := walk(el.Children); err != nil {
+		return nil, err
+	}
+	switch {
+	case len(children) > 0 && isText:
+		// Mixed content cannot be captured by the structural schema model
+		// (an element is either a typed leaf or a compositor); rewriting
+		// against it would silently drop the text. Refuse, so the caller
+		// falls back to functional evaluation.
+		return nil, fmt.Errorf("sqlxml: element %q mixes text and element content; mixed content is not rewritable", el.Name)
+	case len(children) > 0:
+		decl.Group = xschema.GroupSeq
+		decl.Children = children
+	case isText:
+		decl.Group = xschema.GroupText
+		decl.Type = textType
+	default:
+		decl.Group = xschema.GroupEmpty
+	}
+	return decl, nil
+}
+
+func colSchemaType(t *relstore.Table, col string) xschema.Type {
+	ct, ok := t.ColType(col)
+	if !ok {
+		return xschema.TypeString
+	}
+	switch ct {
+	case relstore.IntCol:
+		return xschema.TypeInt
+	case relstore.FloatCol:
+		return xschema.TypeFloat
+	default:
+		return xschema.TypeString
+	}
+}
+
+// DeptEmpView constructs the paper's Table 3 view over dept/emp tables;
+// shared by tests, examples and the benchmark harness.
+func DeptEmpView() *ViewDef {
+	return &ViewDef{
+		Name:  "dept_emp",
+		Table: "dept",
+		Body: &Element{Name: "dept", Children: []XMLExpr{
+			&Element{Name: "dname", Children: []XMLExpr{&Column{Name: "dname"}}},
+			&Element{Name: "loc", Children: []XMLExpr{&Column{Name: "loc"}}},
+			&Element{Name: "employees", Children: []XMLExpr{
+				&Agg{Sub: &SubQuery{
+					Table:     "emp",
+					CorrInner: "deptno",
+					CorrOuter: "deptno",
+					Body: &Element{Name: "emp", Children: []XMLExpr{
+						&Element{Name: "empno", Children: []XMLExpr{&Column{Name: "empno"}}},
+						&Element{Name: "ename", Children: []XMLExpr{&Column{Name: "ename"}}},
+						&Element{Name: "sal", Children: []XMLExpr{&Column{Name: "sal"}}},
+					}},
+				}},
+			}},
+		}},
+	}
+}
+
+// SetupDeptEmp creates and populates the paper's dept/emp tables (Tables 1
+// and 2) in db.
+func SetupDeptEmp(db *relstore.DB) error {
+	dept, err := db.CreateTable("dept",
+		relstore.Column{Name: "deptno", Type: relstore.IntCol},
+		relstore.Column{Name: "dname", Type: relstore.StringCol},
+		relstore.Column{Name: "loc", Type: relstore.StringCol})
+	if err != nil {
+		return err
+	}
+	emp, err := db.CreateTable("emp",
+		relstore.Column{Name: "empno", Type: relstore.IntCol},
+		relstore.Column{Name: "ename", Type: relstore.StringCol},
+		relstore.Column{Name: "job", Type: relstore.StringCol},
+		relstore.Column{Name: "sal", Type: relstore.IntCol},
+		relstore.Column{Name: "deptno", Type: relstore.IntCol})
+	if err != nil {
+		return err
+	}
+	rows := [][]relstore.Value{
+		{int64(10), "ACCOUNTING", "NEW YORK"},
+		{int64(40), "OPERATIONS", "BOSTON"},
+	}
+	for _, r := range rows {
+		if _, err := dept.Insert(r...); err != nil {
+			return err
+		}
+	}
+	empRows := [][]relstore.Value{
+		{int64(7782), "CLARK", "MANAGER", int64(2450), int64(10)},
+		{int64(7934), "MILLER", "CLERK", int64(1300), int64(10)},
+		{int64(7954), "SMITH", "VP", int64(4900), int64(40)},
+	}
+	for _, r := range empRows {
+		if _, err := emp.Insert(r...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExecQueryParallel runs the query with row-level parallelism across
+// workers goroutines (the paper notes the rewritten SQL/XML "can be
+// efficiently executed by the underlying RDBMS aggregation process in
+// parallel manner"). Results keep driving-row order. workers < 2 falls back
+// to the serial path.
+func (e *Executor) ExecQueryParallel(q *Query, workers int) ([]*xmltree.Node, error) {
+	if workers < 2 {
+		return e.ExecQuery(q)
+	}
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
+	}
+	it := relstore.AccessPath(t, q.Where, &e.Stats)
+	var ids []int
+	for {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, id)
+	}
+	out := make([]*xmltree.Node, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, id := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ec := &evalContext{db: e.DB, stats: &e.Stats}
+			doc := xmltree.NewDocument()
+			if err := ec.evalInto(doc, q.Body, t, id); err != nil {
+				errs[i] = err
+				return
+			}
+			doc.Renumber()
+			out[i] = doc
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,447 @@
+// Package xmltree implements the XML data model used throughout the
+// repository: a mutable DOM-like tree with parent links, document order,
+// namespace-aware names, a hand-written parser and a serializer.
+//
+// The standard library encoding/xml package is deliberately not used for the
+// tree: XPath evaluation needs parent pointers, stable document order,
+// attribute nodes that participate in axes, and cheap structural sharing,
+// none of which encoding/xml's token model provides directly.
+package xmltree
+
+import (
+	"sort"
+	"strings"
+)
+
+// NodeKind identifies the kind of a Node. The set mirrors the XPath 1.0 data
+// model (root, element, attribute, text, comment, processing instruction).
+type NodeKind uint8
+
+// Node kinds.
+const (
+	DocumentNode NodeKind = iota // the root of a tree (XPath "root node")
+	ElementNode
+	AttributeNode
+	TextNode
+	CommentNode
+	ProcInstNode
+)
+
+// String returns the conventional name of the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case DocumentNode:
+		return "document"
+	case ElementNode:
+		return "element"
+	case AttributeNode:
+		return "attribute"
+	case TextNode:
+		return "text"
+	case CommentNode:
+		return "comment"
+	case ProcInstNode:
+		return "processing-instruction"
+	}
+	return "unknown"
+}
+
+// Node is a single node in an XML tree. All node kinds share this struct;
+// fields that do not apply to a kind are left at their zero values.
+//
+// Document order is tracked with the ord field, assigned monotonically when
+// nodes are attached to a document. Nodes constructed detached get an order
+// assigned when first attached (or when Renumber is called on the root).
+type Node struct {
+	Kind NodeKind
+
+	// Name is the local name for elements and attributes, and the target
+	// for processing instructions. Empty for document, text and comment
+	// nodes.
+	Name string
+	// Prefix is the namespace prefix as written in the source ("xsl" in
+	// <xsl:template>). The empty string means no prefix.
+	Prefix string
+	// NamespaceURI is the resolved namespace URI, when the parser (or the
+	// caller) resolved one.
+	NamespaceURI string
+
+	// Data holds the text of text/comment nodes, the value of attribute
+	// nodes, and the content of processing instructions.
+	Data string
+
+	Parent   *Node
+	Children []*Node
+	// Attrs holds attribute nodes (Kind == AttributeNode). Namespace
+	// declarations (xmlns, xmlns:*) are kept here too so round-tripping
+	// preserves them; XPath's attribute axis skips them.
+	Attrs []*Node
+
+	ord int
+}
+
+// QName returns the qualified name as written in the source document:
+// "prefix:local" or just "local" when there is no prefix.
+func (n *Node) QName() string {
+	if n.Prefix != "" {
+		return n.Prefix + ":" + n.Name
+	}
+	return n.Name
+}
+
+// Root returns the topmost ancestor of n (the document node for attached
+// trees, or the highest parentless node for detached fragments).
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Document returns the owning document node, or nil when the node belongs to
+// a detached fragment whose root is not a DocumentNode.
+func (n *Node) Document() *Node {
+	r := n.Root()
+	if r.Kind == DocumentNode {
+		return r
+	}
+	return nil
+}
+
+// DocumentElement returns the first element child of a document node,
+// or nil. For convenience it may be called on any node; it operates on the
+// node's root.
+func (n *Node) DocumentElement() *Node {
+	r := n.Root()
+	for _, c := range r.Children {
+		if c.Kind == ElementNode {
+			return c
+		}
+	}
+	return nil
+}
+
+// NewDocument returns a fresh empty document node.
+func NewDocument() *Node {
+	return &Node{Kind: DocumentNode}
+}
+
+// NewElement returns a detached element node with the given qualified name
+// ("pfx:local" or "local").
+func NewElement(qname string) *Node {
+	pfx, local := splitQName(qname)
+	return &Node{Kind: ElementNode, Prefix: pfx, Name: local}
+}
+
+// NewText returns a detached text node with the given character data.
+func NewText(data string) *Node {
+	return &Node{Kind: TextNode, Data: data}
+}
+
+// NewComment returns a detached comment node.
+func NewComment(data string) *Node {
+	return &Node{Kind: CommentNode, Data: data}
+}
+
+// NewProcInst returns a detached processing-instruction node.
+func NewProcInst(target, data string) *Node {
+	return &Node{Kind: ProcInstNode, Name: target, Data: data}
+}
+
+// NewAttr returns a detached attribute node.
+func NewAttr(qname, value string) *Node {
+	pfx, local := splitQName(qname)
+	return &Node{Kind: AttributeNode, Prefix: pfx, Name: local, Data: value}
+}
+
+func splitQName(qname string) (prefix, local string) {
+	if i := strings.IndexByte(qname, ':'); i >= 0 {
+		return qname[:i], qname[i+1:]
+	}
+	return "", qname
+}
+
+// AppendChild attaches c as the last child of n and assigns document order.
+// Appending a DocumentNode splices its children instead (document nodes can
+// never be children). Appending a node that already has a parent detaches a
+// shallow copy rather than moving it, keeping the source tree intact.
+func (n *Node) AppendChild(c *Node) {
+	if c == nil {
+		return
+	}
+	if c.Kind == DocumentNode {
+		for _, gc := range c.Children {
+			n.AppendChild(gc)
+		}
+		return
+	}
+	if c.Kind == AttributeNode {
+		n.SetAttrNode(c)
+		return
+	}
+	if c.Parent != nil {
+		c = c.Clone()
+	}
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// SetAttrNode attaches an attribute node to element n, replacing any
+// existing attribute with the same qualified name.
+func (n *Node) SetAttrNode(a *Node) {
+	if a.Parent != nil {
+		a = a.Clone()
+	}
+	a.Parent = n
+	for i, old := range n.Attrs {
+		if old.Name == a.Name && old.Prefix == a.Prefix {
+			n.Attrs[i] = a
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, a)
+}
+
+// SetAttr sets (or replaces) attribute qname to value on element n.
+func (n *Node) SetAttr(qname, value string) {
+	n.SetAttrNode(NewAttr(qname, value))
+}
+
+// Attr returns the value of the named attribute and whether it was present.
+// The name is matched against the qualified name as written.
+func (n *Node) Attr(qname string) (string, bool) {
+	pfx, local := splitQName(qname)
+	for _, a := range n.Attrs {
+		if a.Name == local && a.Prefix == pfx {
+			return a.Data, true
+		}
+	}
+	return "", false
+}
+
+// AttrValue returns the value of the named attribute, or "" when absent.
+func (n *Node) AttrValue(qname string) string {
+	v, _ := n.Attr(qname)
+	return v
+}
+
+// StringValue returns the XPath string-value of the node: the concatenation
+// of all descendant text for documents and elements; the stored data for
+// attributes, text, comments and processing instructions.
+func (n *Node) StringValue() string {
+	switch n.Kind {
+	case AttributeNode, TextNode, CommentNode, ProcInstNode:
+		return n.Data
+	}
+	var sb strings.Builder
+	n.appendText(&sb)
+	return sb.String()
+}
+
+func (n *Node) appendText(sb *strings.Builder) {
+	for _, c := range n.Children {
+		switch c.Kind {
+		case TextNode:
+			sb.WriteString(c.Data)
+		case ElementNode:
+			c.appendText(sb)
+		}
+	}
+}
+
+// Clone returns a deep copy of the node (and its subtree) with no parent.
+func (n *Node) Clone() *Node {
+	cp := &Node{
+		Kind:         n.Kind,
+		Name:         n.Name,
+		Prefix:       n.Prefix,
+		NamespaceURI: n.NamespaceURI,
+		Data:         n.Data,
+	}
+	if len(n.Attrs) > 0 {
+		cp.Attrs = make([]*Node, len(n.Attrs))
+		for i, a := range n.Attrs {
+			ac := a.Clone()
+			ac.Parent = cp
+			cp.Attrs[i] = ac
+		}
+	}
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cc := c.Clone()
+			cc.Parent = cp
+			cp.Children[i] = cc
+		}
+	}
+	return cp
+}
+
+// Renumber assigns fresh document-order indexes across the whole tree rooted
+// at n's root. It must be called before order-sensitive operations on trees
+// assembled out of order; the parser and the builders in this repository
+// always produce trees in document order, so most callers never need it.
+func (n *Node) Renumber() {
+	ctr := 1 // 0 is reserved for "unassigned"
+	var walk func(x *Node)
+	walk = func(x *Node) {
+		x.ord = ctr
+		ctr++
+		for _, a := range x.Attrs {
+			a.ord = ctr
+			ctr++
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n.Root())
+}
+
+// Ord reports the node's document-order index (valid after parsing or after
+// Renumber).
+func (n *Node) Ord() int { return n.ord }
+
+// CompareOrder reports -1, 0 or +1 as a precedes, equals, or follows b in
+// document order. Nodes from different trees compare by pointer identity of
+// their roots (stable but arbitrary), matching XPath's implementation-defined
+// cross-document ordering.
+//
+// Fast path: when both nodes carry distinct Renumber-assigned indexes
+// (ord > 0), the comparison is O(1). Every tree in this repository is
+// renumbered after its last mutation (parsers, output builders and
+// constructors all do), so the structural fallback only runs for freshly
+// assembled fragments.
+func CompareOrder(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := a.Root(), b.Root()
+	if ra != rb {
+		// Arbitrary but stable cross-tree ordering.
+		if ra.ord != rb.ord {
+			if ra.ord < rb.ord {
+				return -1
+			}
+			return 1
+		}
+		return -1
+	}
+	if a.ord > 0 && b.ord > 0 && a.ord != b.ord {
+		if a.ord < b.ord {
+			return -1
+		}
+		return 1
+	}
+	// Same tree without usable indexes: compare by path from root.
+	pa := pathTo(a)
+	pb := pathTo(b)
+	for i := 0; i < len(pa) && i < len(pb); i++ {
+		if pa[i] != pb[i] {
+			if pa[i] < pb[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(pa) < len(pb) {
+		return -1 // ancestor precedes descendant
+	}
+	if len(pa) > len(pb) {
+		return 1
+	}
+	return 0
+}
+
+// pathTo returns the child-index path from the root to n. Attributes sort
+// just after their owner element and before its children, in attribute-list
+// order, encoded as a large negative offset step.
+func pathTo(n *Node) []int {
+	var rev []int
+	for n.Parent != nil {
+		p := n.Parent
+		idx := -1
+		if n.Kind == AttributeNode {
+			for i, a := range p.Attrs {
+				if a == n {
+					idx = -len(p.Attrs) + i // attributes precede children
+					break
+				}
+			}
+		} else {
+			for i, c := range p.Children {
+				if c == n {
+					idx = i
+					break
+				}
+			}
+		}
+		rev = append(rev, idx)
+		n = p
+	}
+	// reverse
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// SortDocOrder sorts nodes into document order in place and removes
+// duplicates, returning the (possibly shorter) slice.
+func SortDocOrder(nodes []*Node) []*Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		return CompareOrder(nodes[i], nodes[j]) < 0
+	})
+	out := nodes[:1]
+	for _, n := range nodes[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ElementsByName returns all descendant elements (in document order) whose
+// local name equals name.
+func (n *Node) ElementsByName(name string) []*Node {
+	var out []*Node
+	var walk func(x *Node)
+	walk = func(x *Node) {
+		for _, c := range x.Children {
+			if c.Kind == ElementNode {
+				if c.Name == name {
+					out = append(out, c)
+				}
+				walk(c)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// FirstChildElement returns the first element child with the given local
+// name, or nil.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildElements returns element children; when name is non-empty only those
+// with a matching local name.
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

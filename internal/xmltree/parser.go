@@ -1,0 +1,480 @@
+package xmltree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError describes a failure while parsing an XML document, with the
+// byte offset and 1-based line of the failure.
+type ParseError struct {
+	Offset int
+	Line   int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xmltree: parse error at line %d (offset %d): %s", e.Line, e.Offset, e.Msg)
+}
+
+// Parse parses a complete XML document and returns its document node.
+//
+// The parser is a non-validating, namespace-aware XML 1.0 subset parser:
+// elements, attributes, character data, CDATA sections, comments, processing
+// instructions, the XML declaration, the five predefined entities and
+// numeric character references. DOCTYPE declarations are skipped without
+// being interpreted (no external entities are ever fetched).
+func Parse(src string) (*Node, error) {
+	p := &parser{src: src, nsStack: []map[string]string{{
+		"xml": "http://www.w3.org/XML/1998/namespace",
+	}}}
+	doc := NewDocument()
+	if err := p.parseInto(doc, true); err != nil {
+		return nil, err
+	}
+	if doc.DocumentElement() == nil {
+		return nil, p.errAt(0, "document has no root element")
+	}
+	doc.Renumber()
+	return doc, nil
+}
+
+// ParseFragment parses a sequence of XML content items (elements, text,
+// comments, PIs) that need not be a well-formed single-rooted document. The
+// result is a document node whose children are the parsed items.
+func ParseFragment(src string) (*Node, error) {
+	p := &parser{src: src, allowBareText: true, nsStack: []map[string]string{{
+		"xml": "http://www.w3.org/XML/1998/namespace",
+	}}}
+	doc := NewDocument()
+	if err := p.parseInto(doc, true); err != nil {
+		return nil, err
+	}
+	doc.Renumber()
+	return doc, nil
+}
+
+type parser struct {
+	src           string
+	pos           int
+	allowBareText bool
+	nsStack       []map[string]string
+}
+
+func (p *parser) errAt(off int, format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:off], "\n")
+	return &ParseError{Offset: off, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.errAt(p.pos, format, args...)
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) hasPrefix(s string) bool {
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) lookupNS(prefix string) (string, bool) {
+	for i := len(p.nsStack) - 1; i >= 0; i-- {
+		if uri, ok := p.nsStack[i][prefix]; ok {
+			return uri, true
+		}
+	}
+	return "", false
+}
+
+// parseInto parses content items into parent until EOF (topLevel) or until a
+// closing tag is seen (the closing tag itself is left for the caller).
+func (p *parser) parseInto(parent *Node, topLevel bool) error {
+	var textStart = -1
+	flushText := func(end int) error {
+		if textStart < 0 {
+			return nil
+		}
+		raw := p.src[textStart:end]
+		off := textStart
+		textStart = -1
+		if raw == "" {
+			return nil
+		}
+		text, err := expandEntities(raw)
+		if err != nil {
+			return p.errAt(off, "%s", err)
+		}
+		if topLevel && !p.allowBareText {
+			if strings.TrimSpace(text) == "" {
+				return nil // whitespace between top-level constructs
+			}
+			return p.errAt(off, "character data outside the root element")
+		}
+		parent.Children = append(parent.Children, &Node{Kind: TextNode, Data: text, Parent: parent})
+		return nil
+	}
+
+	for !p.eof() {
+		if p.peek() != '<' {
+			if textStart < 0 {
+				textStart = p.pos
+			}
+			p.pos++
+			continue
+		}
+		if err := flushText(p.pos); err != nil {
+			return err
+		}
+		switch {
+		case p.hasPrefix("<?"):
+			if err := p.parsePI(parent); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!--"):
+			if err := p.parseComment(parent); err != nil {
+				return err
+			}
+		case p.hasPrefix("<![CDATA["):
+			if err := p.parseCDATA(parent); err != nil {
+				return err
+			}
+		case p.hasPrefix("<!DOCTYPE"), p.hasPrefix("<!doctype"):
+			if err := p.skipDoctype(); err != nil {
+				return err
+			}
+		case p.hasPrefix("</"):
+			if topLevel {
+				return p.errf("unexpected closing tag at top level")
+			}
+			return nil
+		default:
+			if err := p.parseElement(parent); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushText(p.pos); err != nil {
+		return err
+	}
+	if !topLevel {
+		return p.errf("unexpected end of input inside element <%s>", parent.QName())
+	}
+	return nil
+}
+
+func (p *parser) parsePI(parent *Node) error {
+	start := p.pos
+	p.pos += 2 // <?
+	end := strings.Index(p.src[p.pos:], "?>")
+	if end < 0 {
+		return p.errAt(start, "unterminated processing instruction")
+	}
+	content := p.src[p.pos : p.pos+end]
+	p.pos += end + 2
+	target := content
+	data := ""
+	if i := strings.IndexAny(content, " \t\r\n"); i >= 0 {
+		target = content[:i]
+		data = strings.TrimLeft(content[i:], " \t\r\n")
+	}
+	if strings.EqualFold(target, "xml") {
+		return nil // XML declaration: accepted and ignored
+	}
+	if !validQName(target) || strings.ContainsRune(target, ':') {
+		return p.errAt(start, "invalid processing-instruction target %q", target)
+	}
+	parent.Children = append(parent.Children, &Node{Kind: ProcInstNode, Name: target, Data: data, Parent: parent})
+	return nil
+}
+
+func (p *parser) parseComment(parent *Node) error {
+	start := p.pos
+	p.pos += 4 // <!--
+	end := strings.Index(p.src[p.pos:], "-->")
+	if end < 0 {
+		return p.errAt(start, "unterminated comment")
+	}
+	data := p.src[p.pos : p.pos+end]
+	p.pos += end + 3
+	parent.Children = append(parent.Children, &Node{Kind: CommentNode, Data: data, Parent: parent})
+	return nil
+}
+
+func (p *parser) parseCDATA(parent *Node) error {
+	start := p.pos
+	p.pos += len("<![CDATA[")
+	end := strings.Index(p.src[p.pos:], "]]>")
+	if end < 0 {
+		return p.errAt(start, "unterminated CDATA section")
+	}
+	data := p.src[p.pos : p.pos+end]
+	p.pos += end + 3
+	// Merge with a preceding text node to preserve XPath's text-node model.
+	if n := len(parent.Children); n > 0 && parent.Children[n-1].Kind == TextNode {
+		parent.Children[n-1].Data += data
+		return nil
+	}
+	parent.Children = append(parent.Children, &Node{Kind: TextNode, Data: data, Parent: parent})
+	return nil
+}
+
+func (p *parser) skipDoctype() error {
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case '<':
+			depth++
+		case '>':
+			depth--
+			if depth == 0 {
+				p.pos++
+				return nil
+			}
+		case '[':
+			// Internal subset: skip to matching ].
+			end := strings.IndexByte(p.src[p.pos:], ']')
+			if end < 0 {
+				return p.errAt(start, "unterminated DOCTYPE internal subset")
+			}
+			p.pos += end
+		}
+		p.pos++
+	}
+	return p.errAt(start, "unterminated DOCTYPE")
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' ||
+		(r >= 'A' && r <= 'Z') || (r >= 'a' && r <= 'z') || r > 127
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || (r >= '0' && r <= '9')
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+	if sz == 0 || !isNameStart(r) {
+		return "", p.errf("expected a name")
+	}
+	p.pos += sz
+	for !p.eof() {
+		r, sz = utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		p.pos += sz
+	}
+	return p.src[start:p.pos], nil
+}
+
+// validQName enforces namespace-well-formedness: at most one colon, with
+// non-empty parts on both sides.
+func validQName(qname string) bool {
+	first := strings.IndexByte(qname, ':')
+	if first < 0 {
+		return qname != ""
+	}
+	if first == 0 || first == len(qname)-1 {
+		return false
+	}
+	return strings.IndexByte(qname[first+1:], ':') < 0
+}
+
+func (p *parser) parseElement(parent *Node) error {
+	start := p.pos
+	p.pos++ // <
+	qname, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	if !validQName(qname) {
+		return p.errAt(start, "invalid element name %q", qname)
+	}
+	elem := NewElement(qname)
+	elem.Parent = parent
+
+	ns := map[string]string{}
+	p.nsStack = append(p.nsStack, ns)
+	defer func() { p.nsStack = p.nsStack[:len(p.nsStack)-1] }()
+
+	// Attributes.
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return p.errAt(start, "unterminated start tag <%s>", qname)
+		}
+		c := p.peek()
+		if c == '>' || c == '/' {
+			break
+		}
+		aname, err := p.parseName()
+		if err != nil {
+			return err
+		}
+		if !validQName(aname) {
+			return p.errf("invalid attribute name %q", aname)
+		}
+		p.skipSpace()
+		if p.peek() != '=' {
+			return p.errf("expected '=' after attribute name %q", aname)
+		}
+		p.pos++
+		p.skipSpace()
+		quote := p.peek()
+		if quote != '"' && quote != '\'' {
+			return p.errf("expected quoted attribute value for %q", aname)
+		}
+		p.pos++
+		vstart := p.pos
+		end := strings.IndexByte(p.src[p.pos:], quote)
+		if end < 0 {
+			return p.errAt(vstart, "unterminated attribute value for %q", aname)
+		}
+		raw := p.src[p.pos : p.pos+end]
+		p.pos += end + 1
+		val, err := expandEntities(raw)
+		if err != nil {
+			return p.errAt(vstart, "%s", err)
+		}
+		attr := NewAttr(aname, val)
+		attr.Parent = elem
+		for _, a := range elem.Attrs {
+			if a.Name == attr.Name && a.Prefix == attr.Prefix {
+				return p.errf("duplicate attribute %q on <%s>", aname, qname)
+			}
+		}
+		elem.Attrs = append(elem.Attrs, attr)
+		// Record namespace declarations.
+		if attr.Prefix == "" && attr.Name == "xmlns" {
+			ns[""] = val
+		} else if attr.Prefix == "xmlns" {
+			ns[attr.Name] = val
+		}
+	}
+
+	// Resolve namespaces for the element and its attributes.
+	if uri, ok := p.lookupNS(elem.Prefix); ok {
+		elem.NamespaceURI = uri
+	} else if elem.Prefix != "" {
+		return p.errAt(start, "undeclared namespace prefix %q", elem.Prefix)
+	}
+	for _, a := range elem.Attrs {
+		if a.Prefix != "" && a.Prefix != "xmlns" {
+			if uri, ok := p.lookupNS(a.Prefix); ok {
+				a.NamespaceURI = uri
+			} else {
+				return p.errAt(start, "undeclared namespace prefix %q", a.Prefix)
+			}
+		}
+	}
+
+	selfClosing := false
+	if p.peek() == '/' {
+		selfClosing = true
+		p.pos++
+	}
+	if p.peek() != '>' {
+		return p.errf("expected '>' to close tag <%s>", qname)
+	}
+	p.pos++
+
+	parent.Children = append(parent.Children, elem)
+
+	if selfClosing {
+		return nil
+	}
+	if err := p.parseInto(elem, false); err != nil {
+		return err
+	}
+	// Closing tag.
+	if !p.hasPrefix("</") {
+		return p.errf("expected closing tag for <%s>", qname)
+	}
+	p.pos += 2
+	cname, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	if cname != qname {
+		return p.errf("mismatched closing tag </%s>, expected </%s>", cname, qname)
+	}
+	p.skipSpace()
+	if p.peek() != '>' {
+		return p.errf("expected '>' in closing tag </%s>", cname)
+	}
+	p.pos++
+	return nil
+}
+
+// expandEntities replaces the predefined entities and numeric character
+// references in raw text.
+func expandEntities(s string) (string, error) {
+	if !strings.ContainsRune(s, '&') {
+		return s, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 {
+			return "", fmt.Errorf("unterminated entity reference")
+		}
+		ent := s[i+1 : i+end]
+		i += end + 1
+		switch {
+		case ent == "lt":
+			sb.WriteByte('<')
+		case ent == "gt":
+			sb.WriteByte('>')
+		case ent == "amp":
+			sb.WriteByte('&')
+		case ent == "apos":
+			sb.WriteByte('\'')
+		case ent == "quot":
+			sb.WriteByte('"')
+		case strings.HasPrefix(ent, "#x"), strings.HasPrefix(ent, "#X"):
+			v, err := strconv.ParseInt(ent[2:], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad character reference &%s;", ent)
+			}
+			sb.WriteRune(rune(v))
+		case strings.HasPrefix(ent, "#"):
+			v, err := strconv.ParseInt(ent[1:], 10, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad character reference &%s;", ent)
+			}
+			sb.WriteRune(rune(v))
+		default:
+			return "", fmt.Errorf("unknown entity &%s;", ent)
+		}
+	}
+	return sb.String(), nil
+}

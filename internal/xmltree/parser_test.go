@@ -1,0 +1,310 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimpleDocument(t *testing.T) {
+	doc := mustParse(t, `<?xml version="1.0"?><dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc></dept>`)
+	root := doc.DocumentElement()
+	if root.Name != "dept" {
+		t.Fatalf("root = %q", root.Name)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d", len(root.Children))
+	}
+	if root.Children[0].StringValue() != "ACCOUNTING" {
+		t.Fatal("dname text wrong")
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := mustParse(t, `<table border="2" width='90%'><td/></table>`)
+	e := doc.DocumentElement()
+	if v, _ := e.Attr("border"); v != "2" {
+		t.Fatalf("border=%q", v)
+	}
+	if v, _ := e.Attr("width"); v != "90%" {
+		t.Fatalf("width=%q", v)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := mustParse(t, `<p a="&lt;&quot;&amp;">x &gt; y &amp; z &#65;&#x42;</p>`)
+	e := doc.DocumentElement()
+	if v, _ := e.Attr("a"); v != `<"&` {
+		t.Fatalf("attr entities: %q", v)
+	}
+	if got := e.StringValue(); got != "x > y & z AB" {
+		t.Fatalf("text entities: %q", got)
+	}
+}
+
+func TestParseCDATAMergesWithText(t *testing.T) {
+	doc := mustParse(t, `<p>ab<![CDATA[<raw> & stuff]]>cd</p>`)
+	e := doc.DocumentElement()
+	if len(e.Children) != 2 {
+		t.Fatalf("children = %d (CDATA should merge into preceding text)", len(e.Children))
+	}
+	if e.StringValue() != "ab<raw> & stuffcd" {
+		t.Fatalf("string value = %q", e.StringValue())
+	}
+}
+
+func TestParseCommentsAndPIs(t *testing.T) {
+	doc := mustParse(t, `<!-- top --><r><!-- in --><?target some data?></r>`)
+	if len(doc.Children) != 2 {
+		t.Fatalf("doc children = %d", len(doc.Children))
+	}
+	r := doc.DocumentElement()
+	if r.Children[0].Kind != CommentNode || r.Children[0].Data != " in " {
+		t.Fatal("comment wrong")
+	}
+	pi := r.Children[1]
+	if pi.Kind != ProcInstNode || pi.Name != "target" || pi.Data != "some data" {
+		t.Fatalf("PI wrong: %+v", pi)
+	}
+}
+
+func TestParseNamespaces(t *testing.T) {
+	doc := mustParse(t, `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform" version="1.0">
+		<xsl:template match="dept"><H1>x</H1></xsl:template>
+	</xsl:stylesheet>`)
+	ss := doc.DocumentElement()
+	if ss.NamespaceURI != "http://www.w3.org/1999/XSL/Transform" {
+		t.Fatalf("ns = %q", ss.NamespaceURI)
+	}
+	tmpl := ss.FirstChildElement("template")
+	if tmpl == nil || tmpl.NamespaceURI != ss.NamespaceURI {
+		t.Fatal("template namespace not inherited from declaration")
+	}
+	h1 := tmpl.FirstChildElement("H1")
+	if h1.NamespaceURI != "" {
+		t.Fatalf("H1 should have no namespace, got %q", h1.NamespaceURI)
+	}
+}
+
+func TestParseDefaultNamespace(t *testing.T) {
+	doc := mustParse(t, `<a xmlns="urn:x"><b/><c xmlns=""><d/></c></a>`)
+	a := doc.DocumentElement()
+	if a.NamespaceURI != "urn:x" || a.FirstChildElement("b").NamespaceURI != "urn:x" {
+		t.Fatal("default namespace not applied")
+	}
+	c := a.FirstChildElement("c")
+	if c.NamespaceURI != "" || c.FirstChildElement("d").NamespaceURI != "" {
+		t.Fatal("default namespace undeclaration not honored")
+	}
+}
+
+func TestParseSelfClosing(t *testing.T) {
+	doc := mustParse(t, `<r><empty/><e a="1"/></r>`)
+	r := doc.DocumentElement()
+	if len(r.Children) != 2 || len(r.Children[0].Children) != 0 {
+		t.Fatal("self-closing parse wrong")
+	}
+}
+
+func TestParseDoctypeSkipped(t *testing.T) {
+	doc := mustParse(t, `<!DOCTYPE html [ <!ENTITY x "y"> ]><html><body/></html>`)
+	if doc.DocumentElement().Name != "html" {
+		t.Fatal("doctype not skipped")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<a>`,
+		`<a></b>`,
+		`<a x=1/>`,
+		`<a x="1" x="2"/>`,
+		`<a><b></a></b>`,
+		`text only`,
+		`<a/>trailing`,
+		`<a>&undefined;</a>`,
+		`<a>&#xZZ;</a>`,
+		`<pfx:a/>`,
+		`<a><!-- unterminated </a>`,
+		`<a><![CDATA[ unterminated </a>`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse("<a>\n<b>\n</a>")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line < 2 {
+		t.Fatalf("line = %d, want >= 2", pe.Line)
+	}
+}
+
+func TestParseFragment(t *testing.T) {
+	frag, err := ParseFragment(`text <a/> more <b>x</b>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frag.Children) != 4 {
+		t.Fatalf("fragment children = %d", len(frag.Children))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		`<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc></dept>`,
+		`<table border="2"><td><b>EmpNo</b></td></table>`,
+		`<r>a&amp;b&lt;c</r>`,
+		`<r><!--comment--><?pi data?><e/></r>`,
+		`<x:r xmlns:x="urn:q"><x:c a="v"/></x:r>`,
+	}
+	for _, src := range srcs {
+		doc := mustParse(t, src)
+		out := doc.String()
+		out = strings.TrimPrefix(out, `<?xml version="1.0"?>`)
+		doc2 := mustParse(t, out)
+		if doc2.String() != doc.String() {
+			t.Errorf("round trip diverged:\n src: %s\n out: %s\n re:  %s", src, out, doc2.String())
+		}
+	}
+}
+
+// TestQuickTextRoundTrip property: any text content survives
+// escape→parse→string-value unchanged.
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		// Strip control chars that XML cannot represent.
+		clean := strings.Map(func(r rune) rune {
+			if r == 0x9 || r == 0xA || r == 0xD || (r >= 0x20 && r != 0xFFFE && r != 0xFFFF && (r < 0xD800 || r > 0xDFFF)) {
+				return r
+			}
+			return -1
+		}, s)
+		// Normalize \r which XML parsers fold into \n per spec; ours keeps
+		// raw bytes, so just avoid it in the property.
+		clean = strings.ReplaceAll(clean, "\r", "")
+		doc, err := Parse("<t>" + EscapeText(clean) + "</t>")
+		if err != nil {
+			return false
+		}
+		return doc.DocumentElement().StringValue() == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAttrRoundTrip property: attribute values survive
+// escape→parse→value unchanged.
+func TestQuickAttrRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r == 0x9 || r == 0xA || (r >= 0x20 && r != 0xFFFE && r != 0xFFFF && (r < 0xD800 || r > 0xDFFF)) {
+				return r
+			}
+			return -1
+		}, s)
+		doc, err := Parse(`<t a="` + EscapeAttr(clean) + `"/>`)
+		if err != nil {
+			return false
+		}
+		v, _ := doc.DocumentElement().Attr("a")
+		return v == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrettySerialization(t *testing.T) {
+	doc := mustParse(t, `<dept><dname>A</dname><employees><emp><empno>1</empno></emp></employees></dept>`)
+	got := doc.Pretty()
+	if !strings.Contains(got, "\n  <dname>A</dname>") {
+		t.Fatalf("pretty output missing indentation:\n%s", got)
+	}
+	// Pretty output adds inter-element whitespace but must not disturb the
+	// text content of text-bearing elements.
+	re := mustParse(t, got)
+	strip := func(s string) string {
+		return strings.Join(strings.Fields(s), "")
+	}
+	if strip(re.DocumentElement().StringValue()) != strip(doc.DocumentElement().StringValue()) {
+		t.Fatal("pretty print changed text content")
+	}
+	if re.DocumentElement().ElementsByName("dname")[0].StringValue() != "A" {
+		t.Fatal("pretty print injected whitespace into a text element")
+	}
+}
+
+// TestQuickParserNeverPanics mutates valid documents randomly; Parse must
+// return cleanly (error or document) without panicking.
+func TestQuickParserNeverPanics(t *testing.T) {
+	base := []string{
+		`<dept><dname>ACCOUNTING</dname><employees><emp sal="2450"/></employees></dept>`,
+		`<?xml version="1.0"?><a x="1"><!--c--><![CDATA[raw]]><b>&amp;</b></a>`,
+		`<x:r xmlns:x="urn:q"><x:c/></x:r>`,
+	}
+	junk := []byte(`<>&"'/!?=[]-x0;`)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := []byte(base[rng.Intn(len(base))])
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			switch rng.Intn(3) {
+			case 0: // mutate
+				src[rng.Intn(len(src))] = junk[rng.Intn(len(junk))]
+			case 1: // delete
+				p := rng.Intn(len(src))
+				src = append(src[:p], src[p+1:]...)
+			case 2: // insert
+				p := rng.Intn(len(src) + 1)
+				src = append(src[:p], append([]byte{junk[rng.Intn(len(junk))]}, src[p:]...)...)
+			}
+			if len(src) == 0 {
+				break
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("seed %d: Parse panicked on %q: %v", seed, src, r)
+			}
+		}()
+		doc, err := Parse(string(src))
+		if err == nil && doc != nil {
+			// A successful parse must serialize and re-parse.
+			if _, err2 := Parse(strings.TrimPrefix(doc.String(), `<?xml version="1.0"?>`)); err2 != nil {
+				t.Errorf("seed %d: round trip of mutated doc failed: %v", seed, err2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	bad := []string{
+		`<:/>`,
+		`<:x/>`,
+		`<x:/>`,
+		`<a:b:c/>`,
+		`<e :a="1"/>`,
+		`<e a:="1"/>`,
+		`<r><?: data?></r>`,
+		`<r><?a:b data?></r>`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should reject invalid name", src)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package xmltree
+
+import (
+	"strings"
+)
+
+// SerializeOptions control how a tree is rendered back to XML text.
+type SerializeOptions struct {
+	// Indent, when non-empty, pretty-prints the output using the given
+	// unit of indentation. Text content suppresses indentation inside its
+	// parent element so mixed content round-trips unchanged.
+	Indent string
+	// OmitDecl suppresses the leading <?xml ...?> declaration that is
+	// otherwise emitted for document nodes.
+	OmitDecl bool
+}
+
+// String serializes the subtree rooted at n with default options
+// (no indentation, declaration emitted for documents).
+func (n *Node) String() string {
+	var sb strings.Builder
+	n.Serialize(&sb, SerializeOptions{})
+	return sb.String()
+}
+
+// Pretty serializes the subtree with two-space indentation and no XML
+// declaration; convenient for golden tests and examples.
+func (n *Node) Pretty() string {
+	var sb strings.Builder
+	n.Serialize(&sb, SerializeOptions{Indent: "  ", OmitDecl: true})
+	return sb.String()
+}
+
+// Serialize writes the subtree rooted at n to sb.
+func (n *Node) Serialize(sb *strings.Builder, opts SerializeOptions) {
+	s := serializer{sb: sb, opts: opts}
+	if n.Kind == DocumentNode && !opts.OmitDecl {
+		sb.WriteString(`<?xml version="1.0"?>`)
+		if opts.Indent != "" {
+			sb.WriteByte('\n')
+		}
+	}
+	s.node(n, 0)
+}
+
+type serializer struct {
+	sb   *strings.Builder
+	opts SerializeOptions
+}
+
+func (s *serializer) indent(depth int) {
+	if s.opts.Indent == "" {
+		return
+	}
+	if s.sb.Len() > 0 {
+		s.sb.WriteByte('\n')
+	}
+	for i := 0; i < depth; i++ {
+		s.sb.WriteString(s.opts.Indent)
+	}
+}
+
+// hasOnlyElementChildren reports whether pretty-printing may add whitespace
+// inside this element without changing its string value.
+func hasOnlyElementChildren(n *Node) bool {
+	if len(n.Children) == 0 {
+		return false
+	}
+	for _, c := range n.Children {
+		switch c.Kind {
+		case TextNode:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *serializer) node(n *Node, depth int) {
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			s.node(c, depth)
+		}
+	case ElementNode:
+		s.indent(depth)
+		s.sb.WriteByte('<')
+		s.sb.WriteString(n.QName())
+		for _, a := range n.Attrs {
+			s.sb.WriteByte(' ')
+			s.sb.WriteString(a.QName())
+			s.sb.WriteString(`="`)
+			s.sb.WriteString(EscapeAttr(a.Data))
+			s.sb.WriteByte('"')
+		}
+		if len(n.Children) == 0 {
+			s.sb.WriteString("/>")
+			return
+		}
+		s.sb.WriteByte('>')
+		prettyInside := s.opts.Indent != "" && hasOnlyElementChildren(n)
+		for _, c := range n.Children {
+			if prettyInside {
+				s.node(c, depth+1)
+			} else {
+				sub := serializer{sb: s.sb, opts: SerializeOptions{}}
+				sub.node(c, 0)
+			}
+		}
+		if prettyInside {
+			s.indent(depth)
+		}
+		s.sb.WriteString("</")
+		s.sb.WriteString(n.QName())
+		s.sb.WriteByte('>')
+	case TextNode:
+		s.sb.WriteString(EscapeText(n.Data))
+	case CommentNode:
+		s.indent(depth)
+		s.sb.WriteString("<!--")
+		s.sb.WriteString(n.Data)
+		s.sb.WriteString("-->")
+	case ProcInstNode:
+		s.indent(depth)
+		s.sb.WriteString("<?")
+		s.sb.WriteString(n.Name)
+		if n.Data != "" {
+			s.sb.WriteByte(' ')
+			s.sb.WriteString(n.Data)
+		}
+		s.sb.WriteString("?>")
+	case AttributeNode:
+		s.sb.WriteString(n.QName())
+		s.sb.WriteString(`="`)
+		s.sb.WriteString(EscapeAttr(n.Data))
+		s.sb.WriteByte('"')
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "\n", "&#10;", "\t", "&#9;")
+
+// EscapeText escapes character data for use as element content.
+func EscapeText(s string) string { return textEscaper.Replace(s) }
+
+// EscapeAttr escapes character data for use inside a double-quoted
+// attribute value.
+func EscapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,420 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xmltree"
+)
+
+// Variables resolves variable references during evaluation.
+type Variables interface {
+	// LookupVar returns the value bound to name, and whether it is bound.
+	LookupVar(name string) (Value, bool)
+}
+
+// VarMap is a map-backed Variables implementation.
+type VarMap map[string]Value
+
+// LookupVar implements Variables.
+func (m VarMap) LookupVar(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Context carries the dynamic evaluation context: the context node, the
+// context position and size, and variable bindings.
+type Context struct {
+	Node     *xmltree.Node
+	Position int // 1-based
+	Size     int
+	Vars     Variables
+
+	// Current is the XSLT current() node; when nil, current() returns the
+	// context node.
+	Current *xmltree.Node
+
+	// Funcs optionally resolves extension functions (e.g. XSLT's
+	// document() or key()); consulted after the core library.
+	Funcs func(name string) (Function, bool)
+}
+
+// Function is an evaluable extension function.
+type Function func(ctx *Context, args []Value) (Value, error)
+
+// NewContext returns a context positioned on node with position=size=1 and
+// no variables.
+func NewContext(node *xmltree.Node) *Context {
+	return &Context{Node: node, Position: 1, Size: 1}
+}
+
+// clone returns a shallow copy the evaluator can reposition.
+func (c *Context) clone() *Context {
+	cp := *c
+	return &cp
+}
+
+// Eval evaluates the expression in the given context.
+func Eval(e Expr, ctx *Context) (Value, error) {
+	switch x := e.(type) {
+	case NumberExpr:
+		return float64(x), nil
+	case StringExpr:
+		return string(x), nil
+	case VarExpr:
+		if ctx.Vars != nil {
+			if v, ok := ctx.Vars.LookupVar(string(x)); ok {
+				return v, nil
+			}
+		}
+		return nil, fmt.Errorf("xpath: undefined variable $%s", string(x))
+	case *NegExpr:
+		v, err := Eval(x.X, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return -ToNumber(v), nil
+	case *BinaryExpr:
+		return evalBinary(x, ctx)
+	case *FuncExpr:
+		return evalFunc(x, ctx)
+	case *PathExpr:
+		return evalPath(x, ctx)
+	}
+	return nil, fmt.Errorf("xpath: unknown expression type %T", e)
+}
+
+// EvalNodeSet evaluates the expression and requires a node-set result.
+func EvalNodeSet(e Expr, ctx *Context) (NodeSet, error) {
+	v, err := Eval(e, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ToNodeSet(v)
+}
+
+func evalBinary(e *BinaryExpr, ctx *Context) (Value, error) {
+	switch e.Op {
+	case OpOr, OpAnd:
+		l, err := Eval(e.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lb := ToBool(l)
+		if e.Op == OpOr && lb {
+			return true, nil
+		}
+		if e.Op == OpAnd && !lb {
+			return false, nil
+		}
+		r, err := Eval(e.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return ToBool(r), nil
+	case OpUnion:
+		l, err := EvalNodeSet(e.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalNodeSet(e.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		merged := append(append(NodeSet{}, l...), r...)
+		return NodeSet(xmltree.SortDocOrder(merged)), nil
+	case OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe:
+		l, err := Eval(e.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(e.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return compareValues(e.Op, l, r), nil
+	default: // arithmetic
+		l, err := Eval(e.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(e.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		a, b := ToNumber(l), ToNumber(r)
+		switch e.Op {
+		case OpAdd:
+			return a + b, nil
+		case OpSub:
+			return a - b, nil
+		case OpMul:
+			return a * b, nil
+		case OpDiv:
+			return a / b, nil
+		case OpMod:
+			return math.Mod(a, b), nil
+		}
+	}
+	return nil, fmt.Errorf("xpath: unhandled operator %v", e.Op)
+}
+
+func evalPath(e *PathExpr, ctx *Context) (Value, error) {
+	var current NodeSet
+	switch {
+	case e.Start != nil:
+		v, err := Eval(e.Start, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(e.StartPreds) == 0 && len(e.Steps) == 0 {
+			return v, nil
+		}
+		ns, err := ToNodeSet(v)
+		if err != nil {
+			return nil, err
+		}
+		ns, err = applyPredicates(ns, e.StartPreds, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(e.Steps) == 0 {
+			return ns, nil
+		}
+		current = ns
+	case e.Abs:
+		current = NodeSet{ctx.Node.Root()}
+		if len(e.Steps) == 0 {
+			return current, nil
+		}
+	default:
+		current = NodeSet{ctx.Node}
+	}
+
+	for _, step := range e.Steps {
+		next, err := evalStep(step, current, ctx)
+		if err != nil {
+			return nil, err
+		}
+		current = next
+		if len(current) == 0 {
+			break
+		}
+	}
+	return current, nil
+}
+
+// evalStep applies one location step to each node of input, unioning the
+// results in document order.
+func evalStep(step *Step, input NodeSet, outer *Context) (NodeSet, error) {
+	var out NodeSet
+	seen := map[*xmltree.Node]bool{}
+	for _, n := range input {
+		cands := AxisNodes(step.Axis, n, step.Test)
+		// axisNodes yields candidates in axis order (reverse axes come out
+		// in reverse document order), so proximity position is the index.
+		filtered, err := applyPredicates(cands, step.Preds, outer)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range filtered {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	if len(input) > 1 || stepNeedsSort(step.Axis) {
+		out = NodeSet(xmltree.SortDocOrder(out))
+	}
+	return out, nil
+}
+
+func stepNeedsSort(a Axis) bool {
+	// Reverse axes produce candidates in reverse document order; the
+	// result node-set must still be in document order.
+	return a.IsReverse()
+}
+
+// applyPredicates filters candidates through each predicate in turn,
+// recomputing position/size per predicate per XPath semantics. Candidates
+// must be supplied in axis order; positions are 1-based indexes into it.
+func applyPredicates(cands NodeSet, preds []Expr, outer *Context) (NodeSet, error) {
+	for _, pred := range preds {
+		if len(cands) == 0 {
+			return cands, nil
+		}
+		var kept NodeSet
+		size := len(cands)
+		for i, cand := range cands {
+			pos := i + 1
+			ctx := outer.clone()
+			ctx.Node = cand
+			ctx.Position = pos
+			ctx.Size = size
+			v, err := Eval(pred, ctx)
+			if err != nil {
+				return nil, err
+			}
+			keep := false
+			if num, ok := v.(float64); ok {
+				keep = float64(pos) == num
+			} else {
+				keep = ToBool(v)
+			}
+			if keep {
+				kept = append(kept, cand)
+			}
+		}
+		cands = kept
+	}
+	return cands, nil
+}
+
+// AxisNodes returns the nodes reachable from n along the axis that satisfy
+// the node test, in axis order (reverse axes yield reverse document order,
+// so positional predicates count proximity). Exported for the XQuery
+// engine, which applies its own predicates.
+func AxisNodes(axis Axis, n *xmltree.Node, test NodeTest) NodeSet {
+	var out NodeSet
+	add := func(c *xmltree.Node) {
+		if matchTest(c, test, axis) {
+			out = append(out, c)
+		}
+	}
+	switch axis {
+	case AxisChild:
+		for _, c := range n.Children {
+			add(c)
+		}
+	case AxisDescendant:
+		walkDescendants(n, add)
+	case AxisDescendantOrSelf:
+		add(n)
+		walkDescendants(n, add)
+	case AxisParent:
+		if p := parentOf(n); p != nil {
+			add(p)
+		}
+	case AxisAncestor:
+		for p := parentOf(n); p != nil; p = parentOf(p) {
+			add(p)
+		}
+	case AxisAncestorOrSelf:
+		add(n)
+		for p := parentOf(n); p != nil; p = parentOf(p) {
+			add(p)
+		}
+	case AxisSelf:
+		add(n)
+	case AxisAttribute:
+		for _, a := range n.Attrs {
+			if a.Prefix == "xmlns" || (a.Prefix == "" && a.Name == "xmlns") {
+				continue // namespace declarations are not on the attribute axis
+			}
+			add(a)
+		}
+	case AxisFollowingSibling:
+		if p := n.Parent; p != nil && n.Kind != xmltree.AttributeNode {
+			idx := childIndex(p, n)
+			for _, c := range p.Children[idx+1:] {
+				add(c)
+			}
+		}
+	case AxisPrecedingSibling:
+		if p := n.Parent; p != nil && n.Kind != xmltree.AttributeNode {
+			idx := childIndex(p, n)
+			for i := idx - 1; i >= 0; i-- {
+				add(p.Children[i])
+			}
+		}
+	case AxisFollowing:
+		for cur := n; cur != nil; cur = parentOf(cur) {
+			p := cur.Parent
+			if p == nil {
+				break
+			}
+			idx := childIndex(p, cur)
+			for _, sib := range p.Children[idx+1:] {
+				add(sib)
+				walkDescendants(sib, add)
+			}
+		}
+	case AxisPreceding:
+		// Reverse document order, excluding ancestors.
+		var collect func(root *xmltree.Node)
+		stop := map[*xmltree.Node]bool{}
+		for p := n; p != nil; p = parentOf(p) {
+			stop[p] = true
+		}
+		collect = func(root *xmltree.Node) {
+			for i := len(root.Children) - 1; i >= 0; i-- {
+				c := root.Children[i]
+				if stop[c] {
+					// Ancestors are excluded from the axis but their
+					// earlier children still precede n.
+					collect(c)
+					continue
+				}
+				if xmltree.CompareOrder(c, n) < 0 {
+					collect(c)
+					add(c)
+				}
+			}
+		}
+		collect(n.Root())
+	}
+	return out
+}
+
+func parentOf(n *xmltree.Node) *xmltree.Node { return n.Parent }
+
+func childIndex(p, n *xmltree.Node) int {
+	for i, c := range p.Children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func walkDescendants(n *xmltree.Node, f func(*xmltree.Node)) {
+	for _, c := range n.Children {
+		f(c)
+		walkDescendants(c, f)
+	}
+}
+
+// matchTest reports whether node satisfies the node test. The principal
+// node type of the attribute axis is attribute; of every other axis it is
+// element (XPath 1.0 §2.3).
+func matchTest(n *xmltree.Node, t NodeTest, axis Axis) bool {
+	principal := xmltree.ElementNode
+	if axis == AxisAttribute {
+		principal = xmltree.AttributeNode
+	}
+	switch t.Kind {
+	case TestNode:
+		return true
+	case TestText:
+		return n.Kind == xmltree.TextNode
+	case TestComment:
+		return n.Kind == xmltree.CommentNode
+	case TestPI:
+		return n.Kind == xmltree.ProcInstNode && (t.Name == "" || n.Name == t.Name)
+	case TestAnyName:
+		return n.Kind == principal
+	case TestNSName:
+		return n.Kind == principal && n.Prefix == t.Prefix
+	case TestName:
+		if n.Kind != principal {
+			return false
+		}
+		// Name matching is by qualified name as written; the engines in
+		// this repository resolve prefixes lexically (source prefix
+		// equality), which is sufficient for the single-prefix documents
+		// the benchmark and paper examples use.
+		return n.Name == t.Name && n.Prefix == t.Prefix
+	}
+	return false
+}

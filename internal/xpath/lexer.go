@@ -1,0 +1,267 @@
+// Package xpath implements an XPath 1.0 subset: lexer, parser, evaluator
+// over xmltree documents, the core function library, and XSLT match patterns
+// with the XSLT 1.0 default-priority rules.
+//
+// The subset covers everything the XSLT/XQuery engines in this repository
+// need: all 13 axes except the namespace axis, full expression grammar
+// (union, boolean, relational, arithmetic, path and filter expressions),
+// variables, and the XPath 1.0 core function library.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF  tokenKind = iota
+	tokName           // NCName (possibly the first half of a QName)
+	tokNumber
+	tokLiteral  // quoted string
+	tokVariable // $name
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokDot
+	tokDotDot
+	tokAt
+	tokComma
+	tokColonColon
+	tokStar
+	tokSlash
+	tokSlashSlash
+	tokPipe
+	tokPlus
+	tokMinus
+	tokEq
+	tokNeq
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokColon // inside QName
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokLiteral:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError reports a lexical or grammatical error in an XPath expression.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Expr: l.src, Pos: l.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch {
+	case two == "//":
+		l.pos += 2
+		return token{kind: tokSlashSlash, text: "//", pos: start}, nil
+	case two == "..":
+		l.pos += 2
+		return token{kind: tokDotDot, text: "..", pos: start}, nil
+	case two == "::":
+		l.pos += 2
+		return token{kind: tokColonColon, text: "::", pos: start}, nil
+	case two == "!=":
+		l.pos += 2
+		return token{kind: tokNeq, text: "!=", pos: start}, nil
+	case two == "<=":
+		l.pos += 2
+		return token{kind: tokLe, text: "<=", pos: start}, nil
+	case two == ">=":
+		l.pos += 2
+		return token{kind: tokGe, text: ">=", pos: start}, nil
+	}
+	switch c {
+	case '/':
+		l.pos++
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case '@':
+		l.pos++
+		return token{kind: tokAt, text: "@", pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case '|':
+		l.pos++
+		return token{kind: tokPipe, text: "|", pos: start}, nil
+	case '+':
+		l.pos++
+		return token{kind: tokPlus, text: "+", pos: start}, nil
+	case '-':
+		l.pos++
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case '<':
+		l.pos++
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case '>':
+		l.pos++
+		return token{kind: tokGt, text: ">", pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case ':':
+		l.pos++
+		return token{kind: tokColon, text: ":", pos: start}, nil
+	case '.':
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber()
+		}
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case '"', '\'':
+		quote := c
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], quote)
+		if end < 0 {
+			return token{}, l.errf("unterminated string literal")
+		}
+		text := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokLiteral, text: text, pos: start}, nil
+	case '$':
+		l.pos++
+		name, err := l.lexName()
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokVariable, text: name, pos: start}, nil
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if r, _ := utf8.DecodeRuneInString(l.src[l.pos:]); isNameStartRune(r) {
+		name, err := l.lexName()
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokName, text: name, pos: start}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	text := l.src[start:l.pos]
+	num, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, l.errf("bad number %q", text)
+	}
+	return token{kind: tokNumber, text: text, num: num, pos: start}, nil
+}
+
+// lexName reads an NCName. QNames are assembled by the parser from
+// NCName ':' NCName so that axis specifiers (name '::') still lex cleanly.
+func (l *lexer) lexName() (string, error) {
+	start := l.pos
+	r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+	if sz == 0 || !isNameStartRune(r) {
+		return "", l.errf("expected a name")
+	}
+	l.pos += sz
+	for l.pos < len(l.src) {
+		r, sz = utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isNameRune(r) {
+			break
+		}
+		l.pos += sz
+	}
+	return l.src[start:l.pos], nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStartRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameRune(r rune) bool {
+	return isNameStartRune(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}

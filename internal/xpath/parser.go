@@ -1,0 +1,420 @@
+package xpath
+
+import (
+	"fmt"
+)
+
+// MustParse parses an XPath expression, panicking on error. Intended for
+// compiled-in expressions in tests and generators.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Parse parses an XPath 1.0 expression.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{src: src, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *exprParser) peek() token { return p.toks[p.pos] }
+func (p *exprParser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return token{kind: tokEOF}
+}
+func (p *exprParser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *exprParser) errf(format string, args ...any) error {
+	return &SyntaxError{Expr: p.src, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *exprParser) expect(k tokenKind, what string) (token, error) {
+	if p.peek().kind != k {
+		return token{}, p.errf("expected %s, found %s", what, p.peek())
+	}
+	return p.next(), nil
+}
+
+// parseExpr parses the full expression grammar (OrExpr at the top).
+func (p *exprParser) parseExpr() (Expr, error) {
+	return p.parseBinary(1)
+}
+
+type opEntry struct {
+	op   BinaryOp
+	prec int
+}
+
+// operatorAt reports the binary operator at the current token, if any.
+// Operator names ("and", "or", "div", "mod", "*") are only operators when an
+// operand precedes them; the caller guarantees that by asking after parsing
+// a left operand.
+func (p *exprParser) operatorAt() (opEntry, bool) {
+	switch p.peek().kind {
+	case tokPipe:
+		return opEntry{OpUnion, 7}, true
+	case tokStar:
+		return opEntry{OpMul, 6}, true
+	case tokPlus:
+		return opEntry{OpAdd, 5}, true
+	case tokMinus:
+		return opEntry{OpSub, 5}, true
+	case tokEq:
+		return opEntry{OpEq, 3}, true
+	case tokNeq:
+		return opEntry{OpNeq, 3}, true
+	case tokLt:
+		return opEntry{OpLt, 4}, true
+	case tokLe:
+		return opEntry{OpLe, 4}, true
+	case tokGt:
+		return opEntry{OpGt, 4}, true
+	case tokGe:
+		return opEntry{OpGe, 4}, true
+	case tokName:
+		switch p.peek().text {
+		case "and":
+			return opEntry{OpAnd, 2}, true
+		case "or":
+			return opEntry{OpOr, 1}, true
+		case "div":
+			return opEntry{OpDiv, 6}, true
+		case "mod":
+			return opEntry{OpMod, 6}, true
+		}
+	}
+	return opEntry{}, false
+}
+
+// parseBinary is a precedence-climbing parser over the operator table.
+func (p *exprParser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		entry, ok := p.operatorAt()
+		if !ok || entry.prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseBinary(entry.prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: entry.op, L: left, R: right}
+	}
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokMinus {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{X: x}, nil
+	}
+	return p.parsePath()
+}
+
+// parsePath parses PathExpr: either a location path, or a filter expression
+// optionally followed by '/' RelativeLocationPath.
+func (p *exprParser) parsePath() (Expr, error) {
+	t := p.peek()
+
+	// Primary expressions that can start a FilterExpr.
+	isPrimary := false
+	switch t.kind {
+	case tokNumber, tokLiteral, tokVariable, tokLParen:
+		isPrimary = true
+	case tokName:
+		// A function call — unless it is a node-type test or an axis name.
+		if p.peek2().kind == tokLParen && !isNodeTypeName(t.text) {
+			isPrimary = true
+		}
+		// QName function like fn:string(...)
+		if p.peek2().kind == tokColon {
+			if p.pos+3 < len(p.toks) && p.toks[p.pos+2].kind == tokName && p.toks[p.pos+3].kind == tokLParen {
+				isPrimary = true
+			}
+		}
+	}
+
+	if isPrimary {
+		prim, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		var preds []Expr
+		for p.peek().kind == tokLBracket {
+			p.next()
+			pred, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			preds = append(preds, pred)
+		}
+		if p.peek().kind != tokSlash && p.peek().kind != tokSlashSlash {
+			if len(preds) == 0 {
+				return prim, nil
+			}
+			return &PathExpr{Start: prim, StartPreds: preds}, nil
+		}
+		path := &PathExpr{Start: prim, StartPreds: preds}
+		if p.peek().kind == tokSlashSlash {
+			p.next()
+			path.Steps = append(path.Steps, descendantOrSelfStep())
+		} else {
+			p.next()
+		}
+		if err := p.parseRelativePath(path); err != nil {
+			return nil, err
+		}
+		return path, nil
+	}
+
+	// Location path.
+	path := &PathExpr{}
+	switch t.kind {
+	case tokSlash:
+		p.next()
+		path.Abs = true
+		if !p.startsStep() {
+			return path, nil // bare "/"
+		}
+	case tokSlashSlash:
+		p.next()
+		path.Abs = true
+		path.Steps = append(path.Steps, descendantOrSelfStep())
+	}
+	if err := p.parseRelativePath(path); err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+func descendantOrSelfStep() *Step {
+	return &Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}}
+}
+
+func (p *exprParser) startsStep() bool {
+	switch p.peek().kind {
+	case tokName, tokStar, tokAt, tokDot, tokDotDot:
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseRelativePath(path *PathExpr) error {
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return err
+		}
+		path.Steps = append(path.Steps, step)
+		switch p.peek().kind {
+		case tokSlash:
+			p.next()
+		case tokSlashSlash:
+			p.next()
+			path.Steps = append(path.Steps, descendantOrSelfStep())
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *exprParser) parseStep() (*Step, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokDot:
+		p.next()
+		return &Step{Axis: AxisSelf, Test: NodeTest{Kind: TestNode}}, nil
+	case tokDotDot:
+		p.next()
+		return &Step{Axis: AxisParent, Test: NodeTest{Kind: TestNode}}, nil
+	}
+
+	step := &Step{Axis: AxisChild}
+	switch t.kind {
+	case tokAt:
+		p.next()
+		step.Axis = AxisAttribute
+	case tokName:
+		if p.peek2().kind == tokColonColon {
+			ax, ok := axisNames[t.text]
+			if !ok {
+				return nil, p.errf("unknown axis %q", t.text)
+			}
+			p.next()
+			p.next()
+			step.Axis = ax
+		}
+	}
+
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return nil, err
+	}
+	step.Test = test
+
+	for p.peek().kind == tokLBracket {
+		p.next()
+		pred, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+func isNodeTypeName(name string) bool {
+	switch name {
+	case "text", "comment", "processing-instruction", "node":
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseNodeTest() (NodeTest, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokStar:
+		p.next()
+		return NodeTest{Kind: TestAnyName}, nil
+	case tokName:
+		name := t.text
+		if isNodeTypeName(name) && p.peek2().kind == tokLParen {
+			p.next() // name
+			p.next() // (
+			nt := NodeTest{}
+			switch name {
+			case "text":
+				nt.Kind = TestText
+			case "comment":
+				nt.Kind = TestComment
+			case "node":
+				nt.Kind = TestNode
+			case "processing-instruction":
+				nt.Kind = TestPI
+				if p.peek().kind == tokLiteral {
+					nt.Name = p.next().text
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return NodeTest{}, err
+			}
+			return nt, nil
+		}
+		p.next()
+		if p.peek().kind == tokColon {
+			p.next()
+			switch p.peek().kind {
+			case tokStar:
+				p.next()
+				return NodeTest{Kind: TestNSName, Prefix: name}, nil
+			case tokName:
+				local := p.next().text
+				return NodeTest{Kind: TestName, Prefix: name, Name: local}, nil
+			default:
+				return NodeTest{}, p.errf("expected local name after %q:", name)
+			}
+		}
+		return NodeTest{Kind: TestName, Name: name}, nil
+	}
+	return NodeTest{}, p.errf("expected a node test, found %s", t)
+}
+
+func (p *exprParser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return NumberExpr(t.num), nil
+	case tokLiteral:
+		p.next()
+		return StringExpr(t.text), nil
+	case tokVariable:
+		p.next()
+		return VarExpr(t.text), nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokName:
+		name := t.text
+		p.next()
+		if p.peek().kind == tokColon {
+			p.next()
+			local, err := p.expect(tokName, "function local name")
+			if err != nil {
+				return nil, err
+			}
+			name = name + ":" + local.text
+		}
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		call := &FuncExpr{Name: name}
+		if p.peek().kind != tokRParen {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.peek().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	return nil, p.errf("unexpected %s", t)
+}

@@ -1,0 +1,308 @@
+package xpath
+
+import (
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Pattern is a parsed XSLT match pattern: a union of location path patterns.
+// Patterns are matched right-to-left ("reversed evaluation", Moerkotte [6] /
+// Fokoue et al. [9]): the candidate node must satisfy the last step, its
+// parent chain must satisfy the remaining steps.
+type Pattern struct {
+	Alternatives []*PathPattern
+	src          string
+}
+
+// PathPattern is one alternative of a pattern.
+type PathPattern struct {
+	// Root marks a pattern anchored at the document root ("/" or "/a/b").
+	Root bool
+	// Steps run left-to-right as written. Separator[i] tells how step i is
+	// attached to step i-1 (or to the root): '/' (parent) or '//'
+	// (ancestor). Separator[0] is only meaningful when Root is set.
+	Steps []*Step
+	// Ancestor[i] is true when step i is attached with '//'.
+	Ancestor []bool
+}
+
+// String returns the pattern source text.
+func (p *Pattern) String() string { return p.src }
+
+// ParsePattern parses an XSLT 1.0 match pattern.
+func ParsePattern(src string) (*Pattern, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	pp := &exprParser{src: src, toks: toks}
+	pat := &Pattern{src: src}
+	for {
+		alt, err := parsePathPattern(pp)
+		if err != nil {
+			return nil, err
+		}
+		pat.Alternatives = append(pat.Alternatives, alt)
+		if pp.peek().kind != tokPipe {
+			break
+		}
+		pp.next()
+	}
+	if pp.peek().kind != tokEOF {
+		return nil, pp.errf("unexpected %s in pattern", pp.peek())
+	}
+	return pat, nil
+}
+
+// MustParsePattern parses a pattern, panicking on error.
+func MustParsePattern(src string) *Pattern {
+	p, err := ParsePattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parsePathPattern(p *exprParser) (*PathPattern, error) {
+	pat := &PathPattern{}
+	switch p.peek().kind {
+	case tokSlash:
+		p.next()
+		pat.Root = true
+		if !p.startsStep() {
+			return pat, nil // pattern "/" matches the root node
+		}
+		pat.Ancestor = append(pat.Ancestor, false)
+	case tokSlashSlash:
+		p.next()
+		pat.Root = true
+		pat.Ancestor = append(pat.Ancestor, true)
+	default:
+		pat.Ancestor = append(pat.Ancestor, false)
+	}
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		switch step.Axis {
+		case AxisChild, AxisAttribute:
+			// The only axes allowed in patterns.
+		default:
+			return nil, p.errf("axis %s is not allowed in a pattern", step.Axis)
+		}
+		pat.Steps = append(pat.Steps, step)
+		switch p.peek().kind {
+		case tokSlash:
+			p.next()
+			pat.Ancestor = append(pat.Ancestor, false)
+		case tokSlashSlash:
+			p.next()
+			pat.Ancestor = append(pat.Ancestor, true)
+		default:
+			return pat, nil
+		}
+	}
+}
+
+// Matches reports whether node matches the pattern. vars supplies variable
+// bindings for predicates (may be nil).
+func (p *Pattern) Matches(node *xmltree.Node, vars Variables) (bool, error) {
+	for _, alt := range p.Alternatives {
+		ok, err := alt.matches(node, vars)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (pp *PathPattern) matches(node *xmltree.Node, vars Variables) (bool, error) {
+	if len(pp.Steps) == 0 {
+		// Pattern "/" — the root node only.
+		return pp.Root && node.Kind == xmltree.DocumentNode, nil
+	}
+	return pp.matchFrom(node, len(pp.Steps)-1, vars)
+}
+
+// matchFrom checks node against step i, then walks towards the root.
+func (pp *PathPattern) matchFrom(node *xmltree.Node, i int, vars Variables) (bool, error) {
+	step := pp.Steps[i]
+	ok, err := stepMatches(node, step, vars)
+	if err != nil || !ok {
+		return false, err
+	}
+	if i == 0 {
+		if !pp.Root {
+			return true, nil
+		}
+		// Anchored pattern: the step's parent chain must reach the root.
+		parent := patternParent(node)
+		if pp.Ancestor[0] {
+			return parent != nil, nil // "//a": any ancestor chain up to root
+		}
+		return parent != nil && parent.Kind == xmltree.DocumentNode, nil
+	}
+	parent := patternParent(node)
+	if pp.Ancestor[i] {
+		for a := parent; a != nil; a = a.Parent {
+			ok, err := pp.matchFrom(a, i-1, vars)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	if parent == nil {
+		return false, nil
+	}
+	return pp.matchFrom(parent, i-1, vars)
+}
+
+func patternParent(n *xmltree.Node) *xmltree.Node { return n.Parent }
+
+// stepMatches checks the node test and predicates of one pattern step
+// against a candidate node.
+func stepMatches(node *xmltree.Node, step *Step, vars Variables) (bool, error) {
+	if !matchTest(node, step.Test, step.Axis) {
+		return false, nil
+	}
+	if len(step.Preds) == 0 {
+		return true, nil
+	}
+	// Predicate context per XSLT 1.0 §5.2: position is the node's position
+	// among its parent's children that match the node test, size is their
+	// count.
+	pos, size := 1, 1
+	if p := node.Parent; p != nil && node.Kind != xmltree.AttributeNode {
+		pos, size = 0, 0
+		for _, c := range p.Children {
+			if matchTest(c, step.Test, step.Axis) {
+				size++
+				if c == node {
+					pos = size
+				}
+			}
+		}
+	}
+	for _, pred := range step.Preds {
+		ctx := &Context{Node: node, Position: pos, Size: size, Vars: vars}
+		v, err := Eval(pred, ctx)
+		if err != nil {
+			return false, err
+		}
+		var keep bool
+		if num, ok := v.(float64); ok {
+			keep = float64(pos) == num
+		} else {
+			keep = ToBool(v)
+		}
+		if !keep {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// DefaultPriority computes the XSLT 1.0 default priority of the pattern.
+// For union patterns XSLT treats each alternative as its own rule; this
+// method returns the priority of the sole alternative and panics on unions
+// (the XSLT engine expands unions before asking).
+func (p *Pattern) DefaultPriority() float64 {
+	if len(p.Alternatives) != 1 {
+		panic("xpath: DefaultPriority called on a union pattern")
+	}
+	return p.Alternatives[0].DefaultPriority()
+}
+
+// DefaultPriority implements the XSLT 1.0 §5.5 rules for one alternative.
+func (pp *PathPattern) DefaultPriority() float64 {
+	if len(pp.Steps) != 1 || pp.Root {
+		return 0.5
+	}
+	s := pp.Steps[0]
+	if len(s.Preds) > 0 {
+		return 0.5
+	}
+	switch s.Test.Kind {
+	case TestName:
+		return 0
+	case TestPI:
+		if s.Test.Name != "" {
+			return 0
+		}
+		return -0.5
+	case TestNSName:
+		return -0.25
+	default: // *, node(), text(), comment()
+		return -0.5
+	}
+}
+
+// SplitUnion returns one Pattern per alternative, each preserving the
+// original source text of its sub-pattern.
+func (p *Pattern) SplitUnion() []*Pattern {
+	if len(p.Alternatives) == 1 {
+		return []*Pattern{p}
+	}
+	parts := strings.Split(p.src, "|")
+	out := make([]*Pattern, len(p.Alternatives))
+	for i, alt := range p.Alternatives {
+		src := p.src
+		if i < len(parts) {
+			src = strings.TrimSpace(parts[i])
+		}
+		out[i] = &Pattern{Alternatives: []*PathPattern{alt}, src: src}
+	}
+	return out
+}
+
+// LastStep returns the final step of the (single-alternative) pattern, the
+// one that constrains the matched node itself. Returns nil for the root
+// pattern "/".
+func (p *Pattern) LastStep() *Step {
+	if len(p.Alternatives) != 1 {
+		return nil
+	}
+	alt := p.Alternatives[0]
+	if len(alt.Steps) == 0 {
+		return nil
+	}
+	return alt.Steps[len(alt.Steps)-1]
+}
+
+// IsRootOnly reports whether the pattern is exactly "/".
+func (p *Pattern) IsRootOnly() bool {
+	return len(p.Alternatives) == 1 && p.Alternatives[0].Root && len(p.Alternatives[0].Steps) == 0
+}
+
+// Describe returns a debug rendering of the parsed pattern structure.
+func (p *Pattern) Describe() string {
+	var sb strings.Builder
+	for i, alt := range p.Alternatives {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		if alt.Root {
+			sb.WriteString("/")
+		}
+		for j, s := range alt.Steps {
+			if j > 0 || (alt.Root && alt.Ancestor[j]) {
+				if alt.Ancestor[j] {
+					sb.WriteString("//")
+				} else {
+					sb.WriteString("/")
+				}
+			}
+			sb.WriteString(s.String())
+		}
+	}
+	return sb.String()
+}

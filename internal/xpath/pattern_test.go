@@ -1,0 +1,262 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func firstNamed(t *testing.T, doc *xmltree.Node, name string) *xmltree.Node {
+	t.Helper()
+	es := doc.ElementsByName(name)
+	if len(es) == 0 {
+		t.Fatalf("no element %q", name)
+	}
+	return es[0]
+}
+
+func matches(t *testing.T, pat string, node *xmltree.Node) bool {
+	t.Helper()
+	p, err := ParsePattern(pat)
+	if err != nil {
+		t.Fatalf("ParsePattern(%q): %v", pat, err)
+	}
+	ok, err := p.Matches(node, nil)
+	if err != nil {
+		t.Fatalf("Matches(%q): %v", pat, err)
+	}
+	return ok
+}
+
+func TestSimpleNamePattern(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	dname := firstNamed(t, doc, "dname")
+	if !matches(t, "dname", dname) {
+		t.Fatal("dname should match")
+	}
+	if matches(t, "loc", dname) {
+		t.Fatal("loc should not match dname")
+	}
+	if !matches(t, "*", dname) {
+		t.Fatal("* should match any element")
+	}
+}
+
+func TestMultiStepPattern(t *testing.T) {
+	// Paper Table 16: <xsl:template match="emp/empno">.
+	doc := parseDoc(t, deptDoc)
+	empno := firstNamed(t, doc, "empno")
+	if !matches(t, "emp/empno", empno) {
+		t.Fatal("emp/empno should match")
+	}
+	if matches(t, "dept/empno", empno) {
+		t.Fatal("dept/empno should not match (parent is emp)")
+	}
+	if !matches(t, "employees/emp/empno", empno) {
+		t.Fatal("three-step pattern should match")
+	}
+	dname := firstNamed(t, doc, "dname")
+	if matches(t, "emp/empno", dname) {
+		t.Fatal("emp/empno should not match dname")
+	}
+}
+
+func TestAncestorPattern(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	empno := firstNamed(t, doc, "empno")
+	if !matches(t, "dept//empno", empno) {
+		t.Fatal("dept//empno should match")
+	}
+	if !matches(t, "//empno", empno) {
+		t.Fatal("//empno should match")
+	}
+	if matches(t, "loc//empno", empno) {
+		t.Fatal("loc//empno should not match")
+	}
+}
+
+func TestRootedPattern(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	dept := doc.DocumentElement()
+	if !matches(t, "/dept", dept) {
+		t.Fatal("/dept should match the root element")
+	}
+	emp := firstNamed(t, doc, "emp")
+	if matches(t, "/emp", emp) {
+		t.Fatal("/emp should not match a nested emp")
+	}
+	if !matches(t, "/", doc) {
+		t.Fatal("/ should match the document node")
+	}
+	if matches(t, "/", dept) {
+		t.Fatal("/ should not match an element")
+	}
+	if !matches(t, "/dept/employees/emp", emp) {
+		t.Fatal("fully rooted pattern should match")
+	}
+}
+
+func TestPredicatePattern(t *testing.T) {
+	// Paper Table 18: match="emp/empno[. = 3456]".
+	doc := parseDoc(t, `<es><emp><empno>3456</empno></emp><emp><empno>9</empno></emp></es>`)
+	empnos := doc.ElementsByName("empno")
+	if !matches(t, "emp/empno[. = 3456]", empnos[0]) {
+		t.Fatal("value predicate should match 3456")
+	}
+	if matches(t, "emp/empno[. = 3456]", empnos[1]) {
+		t.Fatal("value predicate should not match 9")
+	}
+}
+
+func TestPositionalPatternPredicate(t *testing.T) {
+	doc := parseDoc(t, `<r><i>a</i><i>b</i><x/><i>c</i></r>`)
+	items := doc.ElementsByName("i")
+	// Positions count among siblings matching the node test.
+	if !matches(t, "i[1]", items[0]) {
+		t.Fatal("i[1] should match first i")
+	}
+	if matches(t, "i[1]", items[1]) {
+		t.Fatal("i[1] should not match second i")
+	}
+	if !matches(t, "i[3]", items[2]) {
+		t.Fatal("i[3] should match third i (x does not count)")
+	}
+	if !matches(t, "i[last()]", items[2]) {
+		t.Fatal("i[last()] should match last i")
+	}
+}
+
+func TestAttributePattern(t *testing.T) {
+	doc := parseDoc(t, `<e id="1"><f class="x"/></e>`)
+	f := firstNamed(t, doc, "f")
+	attr := f.Attrs[0]
+	if !matches(t, "@class", attr) {
+		t.Fatal("@class should match")
+	}
+	if matches(t, "@id", attr) {
+		t.Fatal("@id should not match class attr")
+	}
+	if !matches(t, "f/@class", attr) {
+		t.Fatal("f/@class should match")
+	}
+	if matches(t, "@class", f) {
+		t.Fatal("@class should not match an element")
+	}
+}
+
+func TestTextAndNodePatterns(t *testing.T) {
+	doc := parseDoc(t, `<r>hello<e/></r>`)
+	r := doc.DocumentElement()
+	text := r.Children[0]
+	if !matches(t, "text()", text) {
+		t.Fatal("text() should match a text node")
+	}
+	if matches(t, "text()", r) {
+		t.Fatal("text() should not match an element")
+	}
+	if !matches(t, "node()", text) || !matches(t, "node()", r.Children[1]) {
+		t.Fatal("node() should match text and element children")
+	}
+}
+
+func TestUnionPattern(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	if !matches(t, "dname | loc", firstNamed(t, doc, "dname")) {
+		t.Fatal("union should match dname")
+	}
+	if !matches(t, "dname | loc", firstNamed(t, doc, "loc")) {
+		t.Fatal("union should match loc")
+	}
+	if matches(t, "dname | loc", firstNamed(t, doc, "emp")) {
+		t.Fatal("union should not match emp")
+	}
+}
+
+func TestSplitUnion(t *testing.T) {
+	p := MustParsePattern("dname | loc|emp")
+	parts := p.SplitUnion()
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts[1].String() != "loc" {
+		t.Fatalf("part src = %q", parts[1].String())
+	}
+	// A single pattern splits to itself.
+	q := MustParsePattern("x")
+	if qs := q.SplitUnion(); len(qs) != 1 || qs[0] != q {
+		t.Fatal("single pattern SplitUnion wrong")
+	}
+}
+
+func TestDefaultPriorities(t *testing.T) {
+	cases := []struct {
+		pat  string
+		want float64
+	}{
+		{"dept", 0},
+		{"xsl:template", 0},
+		{"*", -0.5},
+		{"xsl:*", -0.25},
+		{"text()", -0.5},
+		{"node()", -0.5},
+		{"comment()", -0.5},
+		{"processing-instruction()", -0.5},
+		{`processing-instruction("t")`, 0},
+		{"emp/empno", 0.5},
+		{"emp[sal > 2000]", 0.5},
+		{"/dept", 0.5},
+		{"//emp", 0.5},
+		{"@id", 0},
+		{"@*", -0.5},
+	}
+	for _, tc := range cases {
+		p := MustParsePattern(tc.pat)
+		if got := p.DefaultPriority(); got != tc.want {
+			t.Errorf("priority(%q) = %v, want %v", tc.pat, got, tc.want)
+		}
+	}
+}
+
+func TestPatternRejectsForbiddenAxes(t *testing.T) {
+	bad := []string{
+		"ancestor::x",
+		"parent::x/y",
+		"following-sibling::a",
+		"x/descendant::y",
+	}
+	for _, src := range bad {
+		if _, err := ParsePattern(src); err == nil {
+			t.Errorf("ParsePattern(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPatternVariablesInPredicate(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	emp := firstNamed(t, doc, "emp")
+	p := MustParsePattern("emp[sal > $min]")
+	ok, err := p.Matches(emp, VarMap{"min": float64(2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("emp with sal 2450 should match min 2000")
+	}
+	ok, _ = p.Matches(emp, VarMap{"min": float64(3000)})
+	if ok {
+		t.Fatal("emp with sal 2450 should not match min 3000")
+	}
+}
+
+func TestLastStepAndIsRootOnly(t *testing.T) {
+	p := MustParsePattern("emp/empno")
+	if p.LastStep().Test.Name != "empno" {
+		t.Fatal("LastStep wrong")
+	}
+	if !MustParsePattern("/").IsRootOnly() {
+		t.Fatal("IsRootOnly(/) = false")
+	}
+	if MustParsePattern("/dept").IsRootOnly() {
+		t.Fatal("IsRootOnly(/dept) = true")
+	}
+}

@@ -1,0 +1,185 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+// genExpr builds a random XPath AST of bounded depth. The generator covers
+// every node type the printer can emit, so the property test exercises the
+// printer/parser pair broadly.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return NumberExpr(float64(rng.Intn(1000)))
+		case 1:
+			return StringExpr([]string{"a", "CLARK", "x y", "2000"}[rng.Intn(4)])
+		case 2:
+			return VarExpr([]string{"v", "threshold", "var001"}[rng.Intn(3)])
+		default:
+			return genPath(rng, 0)
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		ops := []BinaryOp{OpOr, OpAnd, OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpUnion}
+		op := ops[rng.Intn(len(ops))]
+		l := genExpr(rng, depth-1)
+		r := genExpr(rng, depth-1)
+		if op == OpUnion {
+			// Union operands must be node-sets.
+			l = genPath(rng, depth-1)
+			r = genPath(rng, depth-1)
+		}
+		return &BinaryExpr{Op: op, L: l, R: r}
+	case 1:
+		return &NegExpr{X: genExpr(rng, depth-1)}
+	case 2:
+		names := []string{"count", "not", "boolean", "string", "number"}
+		return &FuncExpr{Name: names[rng.Intn(len(names))], Args: []Expr{genExpr(rng, depth-1)}}
+	case 3:
+		return &FuncExpr{Name: "concat", Args: []Expr{genExpr(rng, depth-1), genExpr(rng, depth-1)}}
+	default:
+		return genPath(rng, depth-1)
+	}
+}
+
+func genPath(rng *rand.Rand, depth int) Expr {
+	p := &PathExpr{Abs: rng.Intn(3) == 0}
+	names := []string{"dept", "emp", "sal", "dname", "employees"}
+	nSteps := 1 + rng.Intn(3)
+	for i := 0; i < nSteps; i++ {
+		axes := []Axis{AxisChild, AxisChild, AxisChild, AxisDescendantOrSelf, AxisAttribute, AxisParent, AxisSelf}
+		step := &Step{Axis: axes[rng.Intn(len(axes))]}
+		switch rng.Intn(5) {
+		case 0:
+			step.Test = NodeTest{Kind: TestAnyName}
+		case 1:
+			step.Test = NodeTest{Kind: TestText}
+		case 2:
+			step.Test = NodeTest{Kind: TestNode}
+		default:
+			step.Test = NodeTest{Kind: TestName, Name: names[rng.Intn(len(names))]}
+		}
+		// Parent/self axes only combine with node() in the abbreviated
+		// forms the printer uses; keep those combinations printable.
+		if step.Axis == AxisParent || step.Axis == AxisSelf {
+			step.Test = NodeTest{Kind: TestNode}
+		}
+		if step.Axis == AxisAttribute && step.Test.Kind != TestName && step.Test.Kind != TestAnyName {
+			step.Test = NodeTest{Kind: TestAnyName}
+		}
+		if depth > 0 && rng.Intn(3) == 0 {
+			step.Preds = append(step.Preds, genExpr(rng, depth-1))
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	return p
+}
+
+// TestQuickPrintParseEval: printing a random expression and re-parsing it
+// yields an expression with identical evaluation behaviour.
+func TestQuickPrintParseEval(t *testing.T) {
+	doc, err := xmltree.Parse(deptDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := VarMap{
+		"v":         float64(1),
+		"threshold": float64(2000),
+		"var001":    NodeSet{doc.DocumentElement()},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 3)
+		printed := e.String()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Logf("seed %d: %q does not re-parse: %v", seed, printed, err)
+			return false
+		}
+		ctx1 := NewContext(doc)
+		ctx1.Vars = vars
+		ctx2 := NewContext(doc)
+		ctx2.Vars = vars
+		v1, err1 := Eval(e, ctx1)
+		v2, err2 := Eval(re, ctx2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("seed %d: %q error mismatch: %v vs %v", seed, printed, err1, err2)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if ToString(v1) != ToString(v2) {
+			t.Logf("seed %d: %q evaluates differently: %q vs %q", seed, printed, ToString(v1), ToString(v2))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPatternMatchSubsetOfEval: for single-step name patterns, pattern
+// matching must agree with evaluating the same name as a select from the
+// parent.
+func TestQuickPatternMatchSubsetOfEval(t *testing.T) {
+	doc, err := xmltree.Parse(deptDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []*xmltree.Node
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		for _, c := range n.Children {
+			if c.Kind == xmltree.ElementNode {
+				all = append(all, c)
+				walk(c)
+			}
+		}
+	}
+	walk(doc)
+	names := []string{"dept", "dname", "loc", "employees", "emp", "empno", "ename", "sal", "nothere"}
+	for _, name := range names {
+		pat := MustParsePattern(name)
+		for _, n := range all {
+			got, err := pat.Matches(n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := n.Name == name
+			if got != want {
+				t.Fatalf("pattern %q on <%s>: %v, want %v", name, n.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestPathPrintingShapes pins the '//' abbreviation behaviour exactly
+// (string-level, not just evaluation-level).
+func TestPathPrintingShapes(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a//b", "a//b"},
+		{"//a", "//a"},
+		{"/a//b/c", "/a//b/c"},
+		{"$v//x", "$v//x"},
+		{".//title", ".//title"},
+		{"a/descendant-or-self::node()", "a/descendant-or-self::node()"}, // trailing: full form
+		{"descendant-or-self::node()[1]/x", "descendant-or-self::node()[1]/x"},
+	}
+	for _, tc := range cases {
+		e := MustParse(tc.src)
+		if got := e.String(); got != tc.want {
+			t.Errorf("String(%q) = %q, want %q", tc.src, got, tc.want)
+		}
+		if _, err := Parse(e.String()); err != nil {
+			t.Errorf("%q does not re-parse: %v", e.String(), err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Value is the dynamic result of evaluating an XPath expression: one of
+// bool, float64, string or NodeSet (the four XPath 1.0 types).
+type Value any
+
+// NodeSet is an ordered set of nodes. Evaluation keeps node-sets in document
+// order without duplicates.
+type NodeSet []*xmltree.Node
+
+// ToBool converts a value to boolean per the XPath boolean() rules.
+func ToBool(v Value) bool {
+	switch x := v.(type) {
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	case NodeSet:
+		return len(x) > 0
+	case nil:
+		return false
+	}
+	return false
+}
+
+// ToNumber converts a value to float64 per the XPath number() rules
+// (NaN for non-numeric strings and empty node-sets).
+func ToNumber(v Value) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case string:
+		return stringToNumber(x)
+	case NodeSet:
+		if len(x) == 0 {
+			return math.NaN()
+		}
+		return stringToNumber(x[0].StringValue())
+	}
+	return math.NaN()
+}
+
+func stringToNumber(s string) float64 {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return math.NaN()
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}
+
+// ToString converts a value to string per the XPath string() rules
+// (the string value of the first node for node-sets).
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return NumberToString(x)
+	case NodeSet:
+		if len(x) == 0 {
+			return ""
+		}
+		return x[0].StringValue()
+	case nil:
+		return ""
+	}
+	return fmt.Sprint(v)
+}
+
+// NumberToString formats a float64 following the XPath 1.0 rules: integers
+// print without a decimal point, NaN prints "NaN", infinities print
+// "Infinity"/"-Infinity".
+func NumberToString(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// ToNodeSet converts a value to a node-set, failing for the scalar types
+// (XPath 1.0 has no scalar→node-set conversion).
+func ToNodeSet(v Value) (NodeSet, error) {
+	if ns, ok := v.(NodeSet); ok {
+		return ns, nil
+	}
+	return nil, fmt.Errorf("xpath: cannot convert %T to a node-set", v)
+}
+
+// compareValues implements the XPath 1.0 comparison semantics, including the
+// existential semantics when one or both operands are node-sets.
+func compareValues(op BinaryOp, l, r Value) bool {
+	ln, lok := l.(NodeSet)
+	rn, rok := r.(NodeSet)
+	switch {
+	case lok && rok:
+		for _, a := range ln {
+			for _, b := range rn {
+				if compareScalar(op, a.StringValue(), b.StringValue()) {
+					return true
+				}
+			}
+		}
+		return false
+	case lok:
+		for _, a := range ln {
+			if compareMixed(op, a, r, false) {
+				return true
+			}
+		}
+		return false
+	case rok:
+		for _, b := range rn {
+			if compareMixed(op, b, l, true) {
+				return true
+			}
+		}
+		return false
+	default:
+		return compareScalarValues(op, l, r)
+	}
+}
+
+// compareMixed compares node against a scalar; flipped reverses operand
+// order (scalar op node).
+func compareMixed(op BinaryOp, node *xmltree.Node, scalar Value, flipped bool) bool {
+	sv := node.StringValue()
+	var l, r Value = sv, scalar
+	if flipped {
+		l, r = scalar, sv
+	}
+	return compareScalarValues(op, l, r)
+}
+
+func compareScalarValues(op BinaryOp, l, r Value) bool {
+	switch op {
+	case OpEq, OpNeq:
+		var eq bool
+		switch {
+		case isBool(l) || isBool(r):
+			eq = ToBool(l) == ToBool(r)
+		case isNumber(l) || isNumber(r):
+			eq = ToNumber(l) == ToNumber(r)
+		default:
+			eq = ToString(l) == ToString(r)
+		}
+		if op == OpEq {
+			return eq
+		}
+		return !eq
+	default:
+		return compareNumbers(op, ToNumber(l), ToNumber(r))
+	}
+}
+
+// compareScalar compares two strings under op with XPath coercion
+// (relational ops go through number()).
+func compareScalar(op BinaryOp, a, b string) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNeq:
+		return a != b
+	default:
+		return compareNumbers(op, stringToNumber(a), stringToNumber(b))
+	}
+}
+
+func compareNumbers(op BinaryOp, a, b float64) bool {
+	switch op {
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	case OpEq:
+		return a == b
+	case OpNeq:
+		return a != b
+	}
+	return false
+}
+
+func isBool(v Value) bool   { _, ok := v.(bool); return ok }
+func isNumber(v Value) bool { _, ok := v.(float64); return ok }

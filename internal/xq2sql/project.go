@@ -1,0 +1,102 @@
+package xq2sql
+
+import (
+	"repro/internal/xquery"
+)
+
+// ProjectPath implements the combined optimisation of paper §2.2 (Example
+// 2, Tables 9-11): a FLWOR such as `for $tr in ./table/tr return $tr` runs
+// over the OUTPUT of an XSLT transformation. Because the rewritten
+// transformation is itself a constructor-shaped XQuery, the outer path can
+// be applied statically: constructors not on the path are pruned and the
+// matching sub-expressions (with their enclosing for/let context) remain.
+//
+// steps is the child-element path of the outer query ("table", "tr").
+// The result module keeps the prolog of the inner module.
+func ProjectPath(m *xquery.Module, steps []string) (*xquery.Module, error) {
+	if len(steps) == 0 {
+		return m, nil
+	}
+	body, matched := project(m.Body, steps)
+	if !matched {
+		return nil, notRelational("path %v does not match the constructed output", steps)
+	}
+	return &xquery.Module{Vars: m.Vars, Funcs: m.Funcs, Body: body}, nil
+}
+
+// project returns the sub-expression(s) of e that produce elements along
+// steps, preserving enclosing binding context.
+func project(e xquery.Expr, steps []string) (xquery.Expr, bool) {
+	switch x := e.(type) {
+	case *xquery.Annotated:
+		inner, ok := project(x.X, steps)
+		if !ok {
+			return nil, false
+		}
+		return inner, true
+
+	case *xquery.Sequence:
+		var kept []xquery.Expr
+		for _, item := range x.Items {
+			if sub, ok := project(item, steps); ok {
+				kept = append(kept, sub)
+			}
+		}
+		switch len(kept) {
+		case 0:
+			return nil, false
+		case 1:
+			return kept[0], true
+		default:
+			return &xquery.Sequence{Items: kept}, true
+		}
+
+	case *xquery.FLWOR:
+		inner, ok := project(x.Return, steps)
+		if !ok {
+			return nil, false
+		}
+		return &xquery.FLWOR{Clauses: x.Clauses, Where: x.Where, Order: x.Order, Return: inner}, true
+
+	case *xquery.IfExpr:
+		thenE, okT := project(x.Then, steps)
+		var elseE xquery.Expr = xquery.EmptySeq{}
+		okE := false
+		if x.Else != nil {
+			if pe, ok := project(x.Else, steps); ok {
+				elseE, okE = pe, true
+			}
+		}
+		if !okT && !okE {
+			return nil, false
+		}
+		if !okT {
+			thenE = xquery.EmptySeq{}
+		}
+		return &xquery.IfExpr{Cond: x.Cond, Then: thenE, Else: elseE}, true
+
+	case *xquery.DirectElem:
+		if x.Name != steps[0] {
+			return nil, false
+		}
+		if len(steps) == 1 {
+			return x, true
+		}
+		// Descend into the element's children for the remaining steps.
+		var kept []xquery.Expr
+		for _, c := range x.Children {
+			if sub, ok := project(c, steps[1:]); ok {
+				kept = append(kept, sub)
+			}
+		}
+		switch len(kept) {
+		case 0:
+			return nil, false
+		case 1:
+			return kept[0], true
+		default:
+			return &xquery.Sequence{Items: kept}, true
+		}
+	}
+	return nil, false
+}

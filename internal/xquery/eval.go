@@ -1,0 +1,962 @@
+package xquery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Item is one item of a sequence: *xmltree.Node, string, float64 or bool.
+type Item any
+
+// Seq is an XQuery sequence.
+type Seq []Item
+
+// Env is the dynamic evaluation environment.
+type Env struct {
+	parent *Env
+	vars   map[string]Seq
+	funcs  map[string]*FuncDecl
+
+	// Ctx is the context item ("."), with 1-based position/size for
+	// predicate evaluation.
+	Ctx     Item
+	CtxPos  int
+	CtxSize int
+
+	depth    int
+	maxDepth int
+}
+
+// NewEnv returns a root environment with the context item set to ctx
+// (pass a document node to evaluate a query "PASSING" that document).
+func NewEnv(ctx Item) *Env {
+	return &Env{vars: map[string]Seq{}, funcs: map[string]*FuncDecl{}, Ctx: ctx, CtxPos: 1, CtxSize: 1, maxDepth: 2048}
+}
+
+func (e *Env) child() *Env {
+	// vars allocates lazily in Bind: most child environments only adjust
+	// the context item (predicates, FLWOR tuples).
+	return &Env{parent: e, funcs: e.funcs,
+		Ctx: e.Ctx, CtxPos: e.CtxPos, CtxSize: e.CtxSize,
+		depth: e.depth, maxDepth: e.maxDepth}
+}
+
+// Bind binds a variable in this environment.
+func (e *Env) Bind(name string, v Seq) {
+	if e.vars == nil {
+		e.vars = map[string]Seq{}
+	}
+	e.vars[name] = v
+}
+
+// Lookup resolves a variable through the scope chain.
+func (e *Env) Lookup(name string) (Seq, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// DynamicError is a runtime XQuery error.
+type DynamicError struct{ Msg string }
+
+func (e *DynamicError) Error() string { return "xquery: " + e.Msg }
+
+func dynErrf(format string, args ...any) error {
+	return &DynamicError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// EvalModule evaluates a full module: prolog variables bind in order, then
+// the body runs.
+func EvalModule(m *Module, env *Env) (Seq, error) {
+	for _, f := range m.Funcs {
+		env.funcs[f.Name] = f
+	}
+	for _, v := range m.Vars {
+		// `declare variable $x := .;` style initializers see the context.
+		val, err := Eval(v.Init, env)
+		if err != nil {
+			return nil, err
+		}
+		env.Bind(v.Name, val)
+	}
+	if m.Body == nil {
+		return nil, nil
+	}
+	return Eval(m.Body, env)
+}
+
+// Eval evaluates an expression.
+func Eval(e Expr, env *Env) (Seq, error) {
+	switch x := e.(type) {
+	case StringLit:
+		return Seq{string(x)}, nil
+	case NumberLit:
+		return Seq{float64(x)}, nil
+	case VarRef:
+		if v, ok := env.Lookup(string(x)); ok {
+			return v, nil
+		}
+		return nil, dynErrf("undefined variable $%s", string(x))
+	case ContextItem:
+		if env.Ctx == nil {
+			return nil, dynErrf("context item is undefined")
+		}
+		return Seq{env.Ctx}, nil
+	case EmptySeq:
+		return nil, nil
+	case *Annotated:
+		return Eval(x.X, env)
+	case *Sequence:
+		var out Seq
+		for _, item := range x.Items {
+			v, err := Eval(item, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v...)
+		}
+		return out, nil
+	case *Binary:
+		return evalBinary(x, env)
+	case *Neg:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) == 0 {
+			return nil, nil
+		}
+		return Seq{-itemToNumber(v[0])}, nil
+	case *IfExpr:
+		cond, err := Eval(x.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if EffectiveBool(cond) {
+			return Eval(x.Then, env)
+		}
+		if x.Else == nil {
+			return nil, nil
+		}
+		return Eval(x.Else, env)
+	case *FLWOR:
+		return evalFLWOR(x, env)
+	case *Quantified:
+		return evalQuantified(x, env)
+	case *Path:
+		return evalPath(x, env)
+	case *Filter:
+		base, err := Eval(x.Base, env)
+		if err != nil {
+			return nil, err
+		}
+		return applyPredicates(base, x.Preds, env)
+	case *FuncCall:
+		return evalCall(x, env)
+	case *InstanceOf:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{matchesSeqType(v, x.Type)}, nil
+	case *DirectElem:
+		return evalDirectElem(x, env)
+	case TextLit:
+		return Seq{string(x)}, nil
+	case *CompElem:
+		return evalCompElem(x, env)
+	case *CompAttr:
+		return evalCompAttr(x, env)
+	case *CompText:
+		s, err := bodyToString(x.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{xmltree.NewText(s)}, nil
+	case *CompComment:
+		s, err := bodyToString(x.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{xmltree.NewComment(s)}, nil
+	case *CompPI:
+		name, err := nameFromExpr(x.Name, env)
+		if err != nil {
+			return nil, err
+		}
+		s, err := bodyToString(x.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{xmltree.NewProcInst(name, s)}, nil
+	}
+	return nil, dynErrf("unhandled expression type %T", e)
+}
+
+// ---- scalars and coercions ----
+
+// EffectiveBool computes the effective boolean value with XPath 1.0
+// compatible semantics (matching the XSLT source language).
+func EffectiveBool(s Seq) bool {
+	if len(s) == 0 {
+		return false
+	}
+	if _, ok := s[0].(*xmltree.Node); ok {
+		return true
+	}
+	if len(s) == 1 {
+		switch v := s[0].(type) {
+		case bool:
+			return v
+		case float64:
+			return v != 0 && !math.IsNaN(v)
+		case string:
+			return v != ""
+		}
+	}
+	return true
+}
+
+// atomize converts each item to its atomic value (string value for nodes).
+func atomize(s Seq) Seq {
+	out := make(Seq, len(s))
+	for i, it := range s {
+		if n, ok := it.(*xmltree.Node); ok {
+			out[i] = n.StringValue()
+		} else {
+			out[i] = it
+		}
+	}
+	return out
+}
+
+func itemToString(it Item) string {
+	switch v := it.(type) {
+	case *xmltree.Node:
+		return v.StringValue()
+	case string:
+		return v
+	case float64:
+		return xpath.NumberToString(v)
+	case bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	}
+	return fmt.Sprint(it)
+}
+
+func itemToNumber(it Item) float64 {
+	switch v := it.(type) {
+	case float64:
+		return v
+	case bool:
+		if v {
+			return 1
+		}
+		return 0
+	default:
+		s := strings.TrimSpace(itemToString(it))
+		if !isCleanNumber(s) {
+			return math.NaN()
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	}
+}
+
+// isCleanNumber accepts the XPath number lexical space (no exponents, no
+// hex, no leading '+').
+func isCleanNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	digits := 0
+	for i, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == '-' && i == 0:
+		case c == '.' && !dot:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// StringValue returns the string value of a whole sequence: items joined by
+// single spaces (XQuery fn:string on a singleton; data() join otherwise).
+func StringValue(s Seq) string {
+	parts := make([]string, len(s))
+	for i, it := range s {
+		parts[i] = itemToString(it)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ---- operators ----
+
+func evalBinary(b *Binary, env *Env) (Seq, error) {
+	switch b.Op {
+	case OpOr, OpAnd:
+		l, err := Eval(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		lb := EffectiveBool(l)
+		if b.Op == OpOr && lb {
+			return Seq{true}, nil
+		}
+		if b.Op == OpAnd && !lb {
+			return Seq{false}, nil
+		}
+		r, err := Eval(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{EffectiveBool(r)}, nil
+
+	case OpUnion:
+		l, err := Eval(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		nodes := make([]*xmltree.Node, 0, len(l)+len(r))
+		for _, it := range append(append(Seq{}, l...), r...) {
+			n, ok := it.(*xmltree.Node)
+			if !ok {
+				return nil, dynErrf("union operand is not a node")
+			}
+			nodes = append(nodes, n)
+		}
+		nodes = xmltree.SortDocOrder(nodes)
+		out := make(Seq, len(nodes))
+		for i, n := range nodes {
+			out[i] = n
+		}
+		return out, nil
+
+	case OpTo:
+		l, err := Eval(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 || len(r) == 0 {
+			return nil, nil
+		}
+		lo := int(itemToNumber(l[0]))
+		hi := int(itemToNumber(r[0]))
+		if hi < lo {
+			return nil, nil
+		}
+		if hi-lo > 10_000_000 {
+			return nil, dynErrf("range %d to %d too large", lo, hi)
+		}
+		out := make(Seq, 0, hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			out = append(out, float64(i))
+		}
+		return out, nil
+
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		l, err := Eval(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{generalCompare(b.Op, l, r)}, nil
+
+	default: // arithmetic
+		l, err := Eval(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 || len(r) == 0 {
+			return nil, nil
+		}
+		a, c := itemToNumber(l[0]), itemToNumber(r[0])
+		switch b.Op {
+		case OpAdd:
+			return Seq{a + c}, nil
+		case OpSub:
+			return Seq{a - c}, nil
+		case OpMul:
+			return Seq{a * c}, nil
+		case OpDiv:
+			return Seq{a / c}, nil
+		case OpIDiv:
+			if c == 0 {
+				return nil, dynErrf("integer division by zero")
+			}
+			return Seq{math.Trunc(a / c)}, nil
+		case OpMod:
+			return Seq{math.Mod(a, c)}, nil
+		}
+	}
+	return nil, dynErrf("unhandled operator %v", b.Op)
+}
+
+// generalCompare implements existential comparison with XPath 1.0 coercion.
+func generalCompare(op BinOp, l, r Seq) bool {
+	la, ra := atomize(l), atomize(r)
+	for _, a := range la {
+		for _, b := range ra {
+			if compareAtoms(op, a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func compareAtoms(op BinOp, a, b Item) bool {
+	switch op {
+	case OpEq, OpNe:
+		var eq bool
+		_, aBool := a.(bool)
+		_, bBool := b.(bool)
+		_, aNum := a.(float64)
+		_, bNum := b.(float64)
+		switch {
+		case aBool || bBool:
+			eq = truthyAtom(a) == truthyAtom(b)
+		case aNum || bNum:
+			eq = itemToNumber(a) == itemToNumber(b)
+		default:
+			eq = itemToString(a) == itemToString(b)
+		}
+		if op == OpEq {
+			return eq
+		}
+		return !eq
+	default:
+		x, y := itemToNumber(a), itemToNumber(b)
+		switch op {
+		case OpLt:
+			return x < y
+		case OpLe:
+			return x <= y
+		case OpGt:
+			return x > y
+		case OpGe:
+			return x >= y
+		}
+	}
+	return false
+}
+
+func truthyAtom(a Item) bool {
+	switch v := a.(type) {
+	case bool:
+		return v
+	case float64:
+		return v != 0 && !math.IsNaN(v)
+	case string:
+		return v != ""
+	}
+	return false
+}
+
+// ---- FLWOR ----
+
+func evalFLWOR(fl *FLWOR, env *Env) (Seq, error) {
+	type tuple struct{ env *Env }
+	tuples := []tuple{{env: env.child()}}
+
+	for _, cl := range fl.Clauses {
+		var next []tuple
+		for _, tp := range tuples {
+			in, err := Eval(cl.In, tp.env)
+			if err != nil {
+				return nil, err
+			}
+			switch cl.Kind {
+			case ClauseLet:
+				e2 := tp.env.child()
+				e2.Bind(cl.Var, in)
+				next = append(next, tuple{env: e2})
+			case ClauseFor:
+				for i, item := range in {
+					e2 := tp.env.child()
+					e2.Bind(cl.Var, Seq{item})
+					if cl.At != "" {
+						e2.Bind(cl.At, Seq{float64(i + 1)})
+					}
+					next = append(next, tuple{env: e2})
+				}
+			}
+		}
+		tuples = next
+	}
+
+	if fl.Where != nil {
+		var kept []tuple
+		for _, tp := range tuples {
+			v, err := Eval(fl.Where, tp.env)
+			if err != nil {
+				return nil, err
+			}
+			if EffectiveBool(v) {
+				kept = append(kept, tp)
+			}
+		}
+		tuples = kept
+	}
+
+	if len(fl.Order) > 0 {
+		type keyedTuple struct {
+			tp   tuple
+			keys []Item
+		}
+		kts := make([]keyedTuple, len(tuples))
+		for i, tp := range tuples {
+			kt := keyedTuple{tp: tp}
+			for _, k := range fl.Order {
+				v, err := Eval(k.Expr, tp.env)
+				if err != nil {
+					return nil, err
+				}
+				var key Item
+				if len(v) > 0 {
+					key = atomize(v[:1])[0]
+				}
+				kt.keys = append(kt.keys, key)
+			}
+			kts[i] = kt
+		}
+		sort.SliceStable(kts, func(a, b int) bool {
+			for ki, k := range fl.Order {
+				cmp := compareOrderKeys(kts[a].keys[ki], kts[b].keys[ki])
+				if k.Descending {
+					cmp = -cmp
+				}
+				if cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+		for i, kt := range kts {
+			tuples[i] = kt.tp
+		}
+	}
+
+	var out Seq
+	for _, tp := range tuples {
+		v, err := Eval(fl.Return, tp.env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+// evalQuantified evaluates some/every over the cartesian product of the
+// bindings.
+func evalQuantified(q *Quantified, env *Env) (Seq, error) {
+	var iterate func(i int, e *Env) (bool, error)
+	iterate = func(i int, e *Env) (bool, error) {
+		if i == len(q.Binds) {
+			v, err := Eval(q.Satisfies, e)
+			if err != nil {
+				return false, err
+			}
+			return EffectiveBool(v), nil
+		}
+		in, err := Eval(q.Binds[i].In, e)
+		if err != nil {
+			return false, err
+		}
+		for _, item := range in {
+			e2 := e.child()
+			e2.Bind(q.Binds[i].Var, Seq{item})
+			ok, err := iterate(i+1, e2)
+			if err != nil {
+				return false, err
+			}
+			if ok && !q.Every {
+				return true, nil // some: first witness wins
+			}
+			if !ok && q.Every {
+				return false, nil // every: first counterexample loses
+			}
+		}
+		return q.Every, nil
+	}
+	ok, err := iterate(0, env)
+	if err != nil {
+		return nil, err
+	}
+	return Seq{ok}, nil
+}
+
+// compareOrderKeys orders two atomized keys: numerically when both parse as
+// numbers, else as strings; empty sorts first.
+func compareOrderKeys(a, b Item) int {
+	if a == nil && b == nil {
+		return 0
+	}
+	if a == nil {
+		return -1
+	}
+	if b == nil {
+		return 1
+	}
+	na, nb := itemToNumber(a), itemToNumber(b)
+	if !math.IsNaN(na) && !math.IsNaN(nb) {
+		switch {
+		case na < nb:
+			return -1
+		case na > nb:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(itemToString(a), itemToString(b))
+}
+
+// ---- paths ----
+
+func evalPath(p *Path, env *Env) (Seq, error) {
+	var nodes []*xmltree.Node
+	switch {
+	case p.Base != nil:
+		base, err := Eval(p.Base, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Steps) == 0 {
+			return base, nil
+		}
+		for _, it := range base {
+			n, ok := it.(*xmltree.Node)
+			if !ok {
+				return nil, dynErrf("path step applied to a non-node (%T)", it)
+			}
+			nodes = append(nodes, n)
+		}
+	case p.Abs:
+		n, ok := env.Ctx.(*xmltree.Node)
+		if !ok {
+			return nil, dynErrf("absolute path with no context document")
+		}
+		nodes = []*xmltree.Node{n.Root()}
+		if len(p.Steps) == 0 {
+			return Seq{nodes[0]}, nil
+		}
+	default:
+		n, ok := env.Ctx.(*xmltree.Node)
+		if !ok {
+			return nil, dynErrf("relative path with non-node context item")
+		}
+		nodes = []*xmltree.Node{n}
+	}
+
+	for _, step := range p.Steps {
+		var collected []*xmltree.Node
+		seen := map[*xmltree.Node]bool{}
+		for _, n := range nodes {
+			cands := axisNodes(step, n)
+			candSeq := make(Seq, len(cands))
+			for i, c := range cands {
+				candSeq[i] = c
+			}
+			filtered, err := applyPredicates(candSeq, step.Preds, env)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range filtered {
+				c := it.(*xmltree.Node)
+				if !seen[c] {
+					seen[c] = true
+					collected = append(collected, c)
+				}
+			}
+		}
+		collected = xmltree.SortDocOrder(collected)
+		nodes = collected
+		if len(nodes) == 0 {
+			break
+		}
+	}
+	out := make(Seq, len(nodes))
+	for i, n := range nodes {
+		out[i] = n
+	}
+	return out, nil
+}
+
+// axisNodes walks one axis in axis order (reverse axes in reverse document
+// order, so positional predicates count proximity per XPath semantics).
+func axisNodes(step *Step, n *xmltree.Node) []*xmltree.Node {
+	return xpath.AxisNodes(step.Axis, n, step.Test)
+}
+
+// applyPredicates filters a sequence through predicates with positional
+// semantics: a numeric predicate selects by position.
+func applyPredicates(items Seq, preds []Expr, env *Env) (Seq, error) {
+	for _, pred := range preds {
+		if len(items) == 0 {
+			return items, nil
+		}
+		var kept Seq
+		size := len(items)
+		for i, it := range items {
+			e2 := env.child()
+			e2.Ctx = it
+			e2.CtxPos = i + 1
+			e2.CtxSize = size
+			v, err := Eval(pred, e2)
+			if err != nil {
+				return nil, err
+			}
+			keep := false
+			if len(v) == 1 {
+				if num, ok := v[0].(float64); ok {
+					keep = num == float64(i+1)
+				} else {
+					keep = EffectiveBool(v)
+				}
+			} else {
+				keep = EffectiveBool(v)
+			}
+			if keep {
+				kept = append(kept, it)
+			}
+		}
+		items = kept
+	}
+	return items, nil
+}
+
+// ---- constructors ----
+
+func evalDirectElem(d *DirectElem, env *Env) (Seq, error) {
+	el := xmltree.NewElement(d.Name)
+	for _, a := range d.Attrs {
+		var sb strings.Builder
+		for _, part := range a.Parts {
+			if part.Expr == nil {
+				sb.WriteString(part.Text)
+				continue
+			}
+			v, err := Eval(part.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(StringValue(v))
+		}
+		el.SetAttr(a.Name, sb.String())
+	}
+	for _, c := range d.Children {
+		if t, ok := c.(TextLit); ok {
+			appendText(el, string(t))
+			continue
+		}
+		v, err := Eval(c, env)
+		if err != nil {
+			return nil, err
+		}
+		appendContent(el, v)
+	}
+	el.Renumber()
+	return Seq{el}, nil
+}
+
+// appendContent implements XQuery content sequence construction: adjacent
+// atomic values join with single spaces into one text node; nodes are
+// deep-copied; attribute nodes attach to the element.
+func appendContent(el *xmltree.Node, v Seq) {
+	pendingAtomic := []string{}
+	flush := func() {
+		if len(pendingAtomic) > 0 {
+			appendText(el, strings.Join(pendingAtomic, " "))
+			pendingAtomic = pendingAtomic[:0]
+		}
+	}
+	for _, it := range v {
+		if n, ok := it.(*xmltree.Node); ok {
+			flush()
+			if n.Kind == xmltree.AttributeNode {
+				el.SetAttr(n.QName(), n.Data)
+				continue
+			}
+			el.AppendChild(n.Clone())
+			continue
+		}
+		pendingAtomic = append(pendingAtomic, itemToString(it))
+	}
+	flush()
+}
+
+func appendText(el *xmltree.Node, data string) {
+	if data == "" {
+		return
+	}
+	if n := len(el.Children); n > 0 && el.Children[n-1].Kind == xmltree.TextNode {
+		el.Children[n-1].Data += data
+		return
+	}
+	el.AppendChild(xmltree.NewText(data))
+}
+
+func evalCompElem(c *CompElem, env *Env) (Seq, error) {
+	name, err := nameFromExpr(c.Name, env)
+	if err != nil {
+		return nil, err
+	}
+	el := xmltree.NewElement(name)
+	if c.Body != nil {
+		v, err := Eval(c.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		appendContent(el, v)
+	}
+	el.Renumber()
+	return Seq{el}, nil
+}
+
+func evalCompAttr(c *CompAttr, env *Env) (Seq, error) {
+	name, err := nameFromExpr(c.Name, env)
+	if err != nil {
+		return nil, err
+	}
+	val, err := bodyToString(c.Body, env)
+	if err != nil {
+		return nil, err
+	}
+	return Seq{xmltree.NewAttr(name, val)}, nil
+}
+
+func nameFromExpr(e Expr, env *Env) (string, error) {
+	if e == nil {
+		return "", dynErrf("constructor requires a name")
+	}
+	v, err := Eval(e, env)
+	if err != nil {
+		return "", err
+	}
+	name := strings.TrimSpace(StringValue(v))
+	if name == "" {
+		return "", dynErrf("constructor name is empty")
+	}
+	return name, nil
+}
+
+func bodyToString(e Expr, env *Env) (string, error) {
+	if e == nil {
+		return "", nil
+	}
+	v, err := Eval(e, env)
+	if err != nil {
+		return "", err
+	}
+	return StringValue(v), nil
+}
+
+// ---- instance of ----
+
+func matchesSeqType(v Seq, t SeqType) bool {
+	if len(v) != 1 {
+		return false
+	}
+	n, ok := v[0].(*xmltree.Node)
+	if !ok {
+		return false
+	}
+	switch t.Kind {
+	case SeqTypeElement:
+		return n.Kind == xmltree.ElementNode && (t.Name == "" || n.Name == t.Name)
+	case SeqTypeAttribute:
+		return n.Kind == xmltree.AttributeNode && (t.Name == "" || n.Name == t.Name)
+	case SeqTypeText:
+		return n.Kind == xmltree.TextNode
+	case SeqTypeComment:
+		return n.Kind == xmltree.CommentNode
+	case SeqTypePI:
+		return n.Kind == xmltree.ProcInstNode
+	default:
+		return true
+	}
+}
+
+// ---- user functions ----
+
+func evalCall(c *FuncCall, env *Env) (Seq, error) {
+	if f, ok := env.funcs[c.Name]; ok {
+		if len(c.Args) != len(f.Params) {
+			return nil, dynErrf("%s() expects %d arguments, got %d", c.Name, len(f.Params), len(c.Args))
+		}
+		env.depth++
+		if env.depth > env.maxDepth {
+			return nil, dynErrf("recursion deeper than %d in %s()", env.maxDepth, c.Name)
+		}
+		defer func() { env.depth-- }()
+		callEnv := env.child()
+		callEnv.depth = env.depth
+		for i, p := range f.Params {
+			v, err := Eval(c.Args[i], env)
+			if err != nil {
+				return nil, err
+			}
+			callEnv.Bind(p, v)
+		}
+		return Eval(f.Body, callEnv)
+	}
+	return evalCoreFunc(c, env)
+}
+
+// SerializeSeq renders a result sequence the way XMLQuery(... RETURNING
+// CONTENT) would: nodes serialize, atomics print space-separated.
+func SerializeSeq(s Seq) string {
+	var sb strings.Builder
+	lastAtomic := false
+	for _, it := range s {
+		if n, ok := it.(*xmltree.Node); ok {
+			var b strings.Builder
+			n.Serialize(&b, xmltree.SerializeOptions{OmitDecl: true})
+			sb.WriteString(b.String())
+			lastAtomic = false
+			continue
+		}
+		if lastAtomic {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(itemToString(it))
+		lastAtomic = true
+	}
+	return sb.String()
+}

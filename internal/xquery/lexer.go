@@ -1,0 +1,305 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tName
+	tNumber
+	tString
+	tVar    // $name
+	tLParen // (
+	tRParen
+	tLBracket
+	tRBracket
+	tLBrace
+	tRBrace
+	tComma
+	tSemi
+	tAssign // :=
+	tSlash
+	tSlashSlash
+	tPipe
+	tPlus
+	tMinus
+	tStar
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tAt
+	tDot
+	tDotDot
+	tColonColon
+	tColon
+	tQuestion
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// ParseError reports a syntax error in an XQuery query with line context.
+type ParseError struct {
+	Src string
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	line := 1 + strings.Count(e.Src[:min(e.Pos, len(e.Src))], "\n")
+	return fmt.Sprintf("xquery: %s at line %d (offset %d)", e.Msg, line, e.Pos)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scanner produces tokens lazily so the parser can drop to character level
+// for direct XML constructors.
+type scanner struct {
+	src string
+	pos int
+}
+
+func (s *scanner) errf(pos int, format string, args ...any) error {
+	return &ParseError{Src: s.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpaceAndComments advances over whitespace and (: nested comments :).
+func (s *scanner) skipSpaceAndComments() error {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			s.pos++
+			continue
+		}
+		if c == '(' && s.pos+1 < len(s.src) && s.src[s.pos+1] == ':' {
+			depth := 1
+			start := s.pos
+			s.pos += 2
+			for s.pos < len(s.src) && depth > 0 {
+				if strings.HasPrefix(s.src[s.pos:], "(:") {
+					depth++
+					s.pos += 2
+				} else if strings.HasPrefix(s.src[s.pos:], ":)") {
+					depth--
+					s.pos += 2
+				} else {
+					s.pos++
+				}
+			}
+			if depth > 0 {
+				return s.errf(start, "unterminated comment")
+			}
+			continue
+		}
+		return nil
+	}
+	return nil
+}
+
+// next scans the next token.
+func (s *scanner) next() (tok, error) {
+	if err := s.skipSpaceAndComments(); err != nil {
+		return tok{}, err
+	}
+	start := s.pos
+	if s.pos >= len(s.src) {
+		return tok{kind: tEOF, pos: start}, nil
+	}
+	c := s.src[s.pos]
+	two := ""
+	if s.pos+1 < len(s.src) {
+		two = s.src[s.pos : s.pos+2]
+	}
+	mk := func(k tokKind, text string) (tok, error) {
+		s.pos += len(text)
+		return tok{kind: k, text: text, pos: start}, nil
+	}
+	switch two {
+	case ":=":
+		return mk(tAssign, two)
+	case "//":
+		return mk(tSlashSlash, two)
+	case "..":
+		return mk(tDotDot, two)
+	case "::":
+		return mk(tColonColon, two)
+	case "!=":
+		return mk(tNe, two)
+	case "<=":
+		return mk(tLe, two)
+	case ">=":
+		return mk(tGe, two)
+	}
+	switch c {
+	case '(':
+		return mk(tLParen, "(")
+	case ')':
+		return mk(tRParen, ")")
+	case '[':
+		return mk(tLBracket, "[")
+	case ']':
+		return mk(tRBracket, "]")
+	case '{':
+		return mk(tLBrace, "{")
+	case '}':
+		return mk(tRBrace, "}")
+	case ',':
+		return mk(tComma, ",")
+	case ';':
+		return mk(tSemi, ";")
+	case '/':
+		return mk(tSlash, "/")
+	case '|':
+		return mk(tPipe, "|")
+	case '+':
+		return mk(tPlus, "+")
+	case '-':
+		return mk(tMinus, "-")
+	case '*':
+		return mk(tStar, "*")
+	case '=':
+		return mk(tEq, "=")
+	case '<':
+		return mk(tLt, "<")
+	case '>':
+		return mk(tGt, ">")
+	case '@':
+		return mk(tAt, "@")
+	case ':':
+		return mk(tColon, ":")
+	case '?':
+		return mk(tQuestion, "?")
+	case '.':
+		if s.pos+1 < len(s.src) && isDigitB(s.src[s.pos+1]) {
+			return s.scanNumber()
+		}
+		return mk(tDot, ".")
+	case '"', '\'':
+		return s.scanString(c)
+	case '$':
+		s.pos++
+		name, err := s.scanName()
+		if err != nil {
+			return tok{}, err
+		}
+		return tok{kind: tVar, text: name, pos: start}, nil
+	}
+	if isDigitB(c) {
+		return s.scanNumber()
+	}
+	if r, _ := utf8.DecodeRuneInString(s.src[s.pos:]); isNameStart(r) {
+		name, err := s.scanName()
+		if err != nil {
+			return tok{}, err
+		}
+		return tok{kind: tName, text: name, pos: start}, nil
+	}
+	return tok{}, s.errf(start, "unexpected character %q", string(c))
+}
+
+func (s *scanner) scanNumber() (tok, error) {
+	start := s.pos
+	for s.pos < len(s.src) && isDigitB(s.src[s.pos]) {
+		s.pos++
+	}
+	if s.pos < len(s.src) && s.src[s.pos] == '.' {
+		s.pos++
+		for s.pos < len(s.src) && isDigitB(s.src[s.pos]) {
+			s.pos++
+		}
+	}
+	// Exponent part (1e5).
+	if s.pos < len(s.src) && (s.src[s.pos] == 'e' || s.src[s.pos] == 'E') {
+		save := s.pos
+		s.pos++
+		if s.pos < len(s.src) && (s.src[s.pos] == '+' || s.src[s.pos] == '-') {
+			s.pos++
+		}
+		if s.pos < len(s.src) && isDigitB(s.src[s.pos]) {
+			for s.pos < len(s.src) && isDigitB(s.src[s.pos]) {
+				s.pos++
+			}
+		} else {
+			s.pos = save
+		}
+	}
+	text := s.src[start:s.pos]
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return tok{}, s.errf(start, "bad number %q", text)
+	}
+	return tok{kind: tNumber, text: text, num: f, pos: start}, nil
+}
+
+// scanString reads a quoted literal; a doubled quote escapes itself.
+func (s *scanner) scanString(quote byte) (tok, error) {
+	start := s.pos
+	s.pos++
+	var sb strings.Builder
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == quote {
+			if s.pos+1 < len(s.src) && s.src[s.pos+1] == quote {
+				sb.WriteByte(quote)
+				s.pos += 2
+				continue
+			}
+			s.pos++
+			return tok{kind: tString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		s.pos++
+	}
+	return tok{}, s.errf(start, "unterminated string literal")
+}
+
+func (s *scanner) scanName() (string, error) {
+	start := s.pos
+	r, sz := utf8.DecodeRuneInString(s.src[s.pos:])
+	if sz == 0 || !isNameStart(r) {
+		return "", s.errf(s.pos, "expected a name")
+	}
+	s.pos += sz
+	for s.pos < len(s.src) {
+		r, sz = utf8.DecodeRuneInString(s.src[s.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		s.pos += sz
+	}
+	return s.src[start:s.pos], nil
+}
+
+func isDigitB(c byte) bool { return c >= '0' && c <= '9' }
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}

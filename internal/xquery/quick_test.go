@@ -1,0 +1,141 @@
+package xquery
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// genQExpr builds a random XQuery AST of bounded depth covering the node
+// types the rewriter emits.
+func genQExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return NumberLit(float64(rng.Intn(500)))
+		case 1:
+			return StringLit([]string{"a", "CLARK", "x y"}[rng.Intn(3)])
+		case 2:
+			return VarRef("doc")
+		case 3:
+			return EmptySeq{}
+		default:
+			return genQPath(rng)
+		}
+	}
+	switch rng.Intn(9) {
+	case 0:
+		ops := []BinOp{OpOr, OpAnd, OpEq, OpNe, OpLt, OpGt, OpAdd, OpSub, OpMul}
+		return &Binary{Op: ops[rng.Intn(len(ops))], L: genQExpr(rng, depth-1), R: genQExpr(rng, depth-1)}
+	case 1:
+		return &IfExpr{Cond: genQExpr(rng, depth-1), Then: genQExpr(rng, depth-1), Else: genQExpr(rng, depth-1)}
+	case 2:
+		fl := &FLWOR{Return: genQExpr(rng, depth-1)}
+		kind := ClauseFor
+		if rng.Intn(2) == 0 {
+			kind = ClauseLet
+		}
+		in := genQExpr(rng, depth-1)
+		if kind == ClauseFor {
+			in = genQPath(rng)
+		}
+		fl.Clauses = append(fl.Clauses, Clause{Kind: kind, Var: "b", In: in})
+		return fl
+	case 3:
+		return &Sequence{Items: []Expr{genQExpr(rng, depth-1), genQExpr(rng, depth-1)}}
+	case 4:
+		el := &DirectElem{Name: []string{"out", "item", "H2"}[rng.Intn(3)]}
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				el.Children = append(el.Children, TextLit("lit "))
+			default:
+				el.Children = append(el.Children, genQExpr(rng, depth-1))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			el.Attrs = append(el.Attrs, DirectAttr{Name: "k", Parts: []AttrValuePart{
+				{Text: "pre"}, {Expr: genQExpr(rng, depth-1)},
+			}})
+		}
+		return el
+	case 5:
+		names := []string{"fn:string", "fn:count", "fn:not", "fn:number"}
+		return &FuncCall{Name: names[rng.Intn(len(names))], Args: []Expr{genQExpr(rng, depth-1)}}
+	case 6:
+		return &CompText{Body: genQExpr(rng, depth-1)}
+	case 7:
+		return &InstanceOf{X: genQPath(rng), Type: SeqType{Kind: SeqTypeElement, Name: "emp"}}
+	default:
+		return &Annotated{Comment: "note", X: genQExpr(rng, depth-1)}
+	}
+}
+
+func genQPath(rng *rand.Rand) Expr {
+	names := []string{"dept", "emp", "sal", "dname", "employees"}
+	p := &Path{Base: VarRef("doc")}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		axis := xpath.AxisChild
+		test := xpath.NodeTest{Kind: xpath.TestName, Name: names[rng.Intn(len(names))]}
+		switch rng.Intn(6) {
+		case 0:
+			axis = xpath.AxisDescendantOrSelf
+			test = xpath.NodeTest{Kind: xpath.TestNode}
+		case 1:
+			test = xpath.NodeTest{Kind: xpath.TestText}
+		}
+		step := &Step{Axis: axis, Test: test}
+		if rng.Intn(4) == 0 {
+			step.Preds = append(step.Preds, &Binary{Op: OpGt,
+				L: &Path{Steps: []*Step{{Axis: xpath.AxisChild, Test: xpath.NodeTest{Kind: xpath.TestName, Name: "sal"}}}},
+				R: NumberLit(float64(rng.Intn(3000)))})
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	return p
+}
+
+// TestQuickXQueryPrintParseEval: printing a random query and re-parsing it
+// preserves evaluation.
+func TestQuickXQueryPrintParseEval(t *testing.T) {
+	doc, err := xmltree.Parse(deptDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genQExpr(rng, 3)
+		m := &Module{
+			Vars: []*VarDecl{{Name: "doc", Init: ContextItem{}}},
+			Body: e,
+		}
+		printed := m.String()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Logf("seed %d: does not re-parse: %v\n%s", seed, err, printed)
+			return false
+		}
+		v1, err1 := EvalModule(m, NewEnv(Item(doc)))
+		v2, err2 := EvalModule(re, NewEnv(Item(doc)))
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("seed %d: error mismatch %v vs %v\n%s", seed, err1, err2, printed)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if SerializeSeq(v1) != SerializeSeq(v2) {
+			t.Logf("seed %d: results differ\n was %q\n now %q\n%s", seed, SerializeSeq(v1), SerializeSeq(v2), printed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

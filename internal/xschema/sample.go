@@ -1,0 +1,188 @@
+package xschema
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Annotation attribute names used on sample documents, in the spirit of the
+// paper's "special attribute belonging to predefined Oracle XDB namespace"
+// (§4.2). The partial evaluator reads these to learn model-group and
+// cardinality facts that plain XML cannot carry.
+const (
+	// AnnotPrefix is the reserved prefix of all annotation attributes.
+	AnnotPrefix = "xdb"
+	// AnnotGroup carries the model group of the parent ("choice", "all").
+	AnnotGroup = "xdb:group"
+	// AnnotMaxOccurs is "unbounded" (or a number) when the element may
+	// repeat.
+	AnnotMaxOccurs = "xdb:maxOccurs"
+	// AnnotMinOccurs is "0" when the element is optional.
+	AnnotMinOccurs = "xdb:minOccurs"
+	// AnnotType carries the simple type of a leaf ("int", "float").
+	AnnotType = "xdb:type"
+	// AnnotRecursive marks an element that references an ancestor
+	// declaration; the sample stops expanding there.
+	AnnotRecursive = "xdb:recursive"
+)
+
+// SampleOptions configure sample generation.
+type SampleOptions struct {
+	// LeafText is the placeholder text for string leaves (default "x").
+	LeafText string
+}
+
+// GenerateSample builds the sample XML document of §4.2: one document that
+// captures all structural information of the schema but no real content.
+// Every child declared by a model group appears (choice alternatives all
+// appear, annotated); repeating particles appear TWICE with a maxOccurs
+// annotation so sibling-axis recursion is observable during the trace;
+// optional particles carry a minOccurs annotation. Recursive references are
+// cut with an xdb:recursive marker.
+func (s *Schema) GenerateSample(opts SampleOptions) (*xmltree.Node, error) {
+	if s.Root == nil {
+		return nil, fmt.Errorf("xschema: schema has no root element")
+	}
+	if opts.LeafText == "" {
+		opts.LeafText = "x"
+	}
+	doc := xmltree.NewDocument()
+	active := map[string]bool{}
+	root, err := sampleElem(s.Root, nil, opts, active)
+	if err != nil {
+		return nil, err
+	}
+	doc.AppendChild(root)
+	doc.Renumber()
+	return doc, nil
+}
+
+func sampleElem(d *ElemDecl, from *Particle, opts SampleOptions, active map[string]bool) (*xmltree.Node, error) {
+	el := xmltree.NewElement(d.Name)
+	if from != nil {
+		if from.Repeating() {
+			if from.Max == Unbounded {
+				el.SetAttr(AnnotMaxOccurs, "unbounded")
+			} else {
+				el.SetAttr(AnnotMaxOccurs, fmt.Sprintf("%d", from.Max))
+			}
+		}
+		if from.Optional() {
+			el.SetAttr(AnnotMinOccurs, "0")
+		}
+	}
+	if active[d.Name] {
+		el.SetAttr(AnnotRecursive, "true")
+		return el, nil
+	}
+	active[d.Name] = true
+	defer delete(active, d.Name)
+
+	for _, a := range d.Attrs {
+		el.SetAttr(a.Name, sampleAttrValue(a))
+	}
+
+	switch d.Group {
+	case GroupText:
+		if d.Type != TypeString {
+			el.SetAttr(AnnotType, d.Type.String())
+		}
+		el.AppendChild(xmltree.NewText(sampleLeafText(d.Type, opts)))
+	case GroupEmpty:
+		// nothing
+	case GroupChoice, GroupAll:
+		for _, p := range d.Children {
+			kids, err := sampleOccurrences(p, opts, active)
+			if err != nil {
+				return nil, err
+			}
+			for _, child := range kids {
+				child.SetAttr(AnnotGroup, d.Group.String())
+				el.AppendChild(child)
+			}
+		}
+	default: // sequence
+		for _, p := range d.Children {
+			kids, err := sampleOccurrences(p, opts, active)
+			if err != nil {
+				return nil, err
+			}
+			for _, child := range kids {
+				el.AppendChild(child)
+			}
+		}
+	}
+	return el, nil
+}
+
+// sampleOccurrences emits one occurrence for a [0..1] particle and two for
+// a repeating one (so following-/preceding-sibling relationships between
+// occurrences of the same element exist in the sample).
+func sampleOccurrences(p *Particle, opts SampleOptions, active map[string]bool) ([]*xmltree.Node, error) {
+	first, err := sampleElem(p.Child, p, opts, active)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Repeating() {
+		return []*xmltree.Node{first}, nil
+	}
+	second, err := sampleElem(p.Child, p, opts, active)
+	if err != nil {
+		return nil, err
+	}
+	return []*xmltree.Node{first, second}, nil
+}
+
+func sampleLeafText(t Type, opts SampleOptions) string {
+	switch t {
+	case TypeInt:
+		return "0"
+	case TypeFloat:
+		return "0.0"
+	default:
+		return opts.LeafText
+	}
+}
+
+func sampleAttrValue(a *AttrDecl) string {
+	switch a.Type {
+	case TypeInt:
+		return "0"
+	case TypeFloat:
+		return "0.0"
+	default:
+		return "x"
+	}
+}
+
+// SampleInfo reads the structural annotations back off a sample-document
+// element.
+type SampleInfo struct {
+	Group     string // "choice", "all" or "" (sequence)
+	Unbounded bool
+	Optional  bool
+	Recursive bool
+	Type      Type
+}
+
+// ReadSampleInfo decodes the xdb:* annotations of a sample element.
+func ReadSampleInfo(el *xmltree.Node) SampleInfo {
+	info := SampleInfo{Group: el.AttrValue(AnnotGroup)}
+	if v := el.AttrValue(AnnotMaxOccurs); v == "unbounded" || v == "2" || (v != "" && v != "1") {
+		info.Unbounded = true
+	}
+	if el.AttrValue(AnnotMinOccurs) == "0" {
+		info.Optional = true
+	}
+	if el.AttrValue(AnnotRecursive) == "true" {
+		info.Recursive = true
+	}
+	switch el.AttrValue(AnnotType) {
+	case "int":
+		info.Type = TypeInt
+	case "float":
+		info.Type = TypeFloat
+	}
+	return info
+}

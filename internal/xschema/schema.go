@@ -1,0 +1,341 @@
+// Package xschema models the structural information of XML documents that
+// the paper's partial evaluator consumes (§3.2, §4.2): element declarations
+// with model groups (sequence / choice / all), occurrence cardinalities,
+// attribute declarations and simple types.
+//
+// Structural information can come from three places, mirroring the paper:
+//   - a schema written in the compact schema language (ParseCompact), the
+//     stand-in for registered XML Schemas / DTDs;
+//   - the shape of a SQL/XML view over relational tables (derived in
+//     internal/sqlxml);
+//   - static typing of a generated XQuery (derived in internal/core for the
+//     combined optimisation of Example 2).
+package xschema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the simple type of a text leaf or attribute.
+type Type uint8
+
+// Simple types.
+const (
+	TypeString Type = iota
+	TypeInt
+	TypeFloat
+)
+
+// String returns the compact-language spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	default:
+		return "string"
+	}
+}
+
+// ModelGroup is the compositor of an element's children.
+type ModelGroup uint8
+
+// Model groups. GroupText marks a text-only leaf; GroupEmpty an element
+// with no content.
+const (
+	GroupSeq ModelGroup = iota
+	GroupChoice
+	GroupAll
+	GroupText
+	GroupEmpty
+)
+
+// String names the model group.
+func (g ModelGroup) String() string {
+	switch g {
+	case GroupSeq:
+		return "sequence"
+	case GroupChoice:
+		return "choice"
+	case GroupAll:
+		return "all"
+	case GroupText:
+		return "text"
+	case GroupEmpty:
+		return "empty"
+	}
+	return "?"
+}
+
+// Unbounded is the Max value of an unbounded particle.
+const Unbounded = -1
+
+// Particle is one child slot of an element declaration.
+type Particle struct {
+	Child *ElemDecl
+	Min   int
+	Max   int // Unbounded (-1) for *, +
+}
+
+// Optional reports Min == 0.
+func (p *Particle) Optional() bool { return p.Min == 0 }
+
+// Repeating reports whether more than one occurrence is possible.
+func (p *Particle) Repeating() bool { return p.Max == Unbounded || p.Max > 1 }
+
+// Card returns the conventional suffix for the particle's cardinality:
+// "", "?", "*", or "+".
+func (p *Particle) Card() string {
+	switch {
+	case p.Min == 1 && p.Max == 1:
+		return ""
+	case p.Min == 0 && p.Max == 1:
+		return "?"
+	case p.Min == 0:
+		return "*"
+	default:
+		return "+"
+	}
+}
+
+// AttrDecl declares an attribute of an element.
+type AttrDecl struct {
+	Name     string
+	Type     Type
+	Optional bool
+}
+
+// ElemDecl declares an element: its content model and attributes.
+type ElemDecl struct {
+	Name     string
+	Group    ModelGroup
+	Children []*Particle
+	Attrs    []*AttrDecl
+	// Type is the simple type of a GroupText leaf.
+	Type Type
+}
+
+// Particle returns the child particle with the given element name, or nil.
+func (d *ElemDecl) Particle(name string) *Particle {
+	for _, p := range d.Children {
+		if p.Child.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Attr returns the declared attribute with the given name, or nil.
+func (d *ElemDecl) Attr(name string) *AttrDecl {
+	for _, a := range d.Attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// IsLeaf reports whether the element holds only text.
+func (d *ElemDecl) IsLeaf() bool { return d.Group == GroupText }
+
+// Schema is a set of element declarations with a distinguished root.
+type Schema struct {
+	Root     *ElemDecl
+	Elements map[string]*ElemDecl
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{Elements: map[string]*ElemDecl{}}
+}
+
+// Declare adds (or returns the existing) element declaration with the name.
+func (s *Schema) Declare(name string) *ElemDecl {
+	if d, ok := s.Elements[name]; ok {
+		return d
+	}
+	d := &ElemDecl{Name: name, Group: GroupText}
+	s.Elements[name] = d
+	if s.Root == nil {
+		s.Root = d
+	}
+	return d
+}
+
+// Lookup returns the declaration for name, or nil.
+func (s *Schema) Lookup(name string) *ElemDecl {
+	return s.Elements[name]
+}
+
+// RecursiveElements returns the names of elements that participate in a
+// reference cycle (an element reachable from itself), sorted. The paper's
+// partial evaluator does not handle recursive structures (§7.2); the
+// rewriter uses this to fall back to non-inline translation.
+func (s *Schema) RecursiveElements() []string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	recursive := map[string]bool{}
+	var visit func(d *ElemDecl, stack []string)
+	visit = func(d *ElemDecl, stack []string) {
+		color[d.Name] = grey
+		stack = append(stack, d.Name)
+		for _, p := range d.Children {
+			switch color[p.Child.Name] {
+			case white:
+				visit(p.Child, stack)
+			case grey:
+				// Everything on the stack from the back-edge target on is
+				// part of a cycle.
+				for i := len(stack) - 1; i >= 0; i-- {
+					recursive[stack[i]] = true
+					if stack[i] == p.Child.Name {
+						break
+					}
+				}
+			}
+		}
+		color[d.Name] = black
+	}
+	if s.Root != nil {
+		visit(s.Root, nil)
+	}
+	for _, d := range s.Elements {
+		if color[d.Name] == white {
+			visit(d, nil)
+		}
+	}
+	out := make([]string, 0, len(recursive))
+	for name := range recursive {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsRecursive reports whether any element participates in a cycle.
+func (s *Schema) IsRecursive() bool { return len(s.RecursiveElements()) > 0 }
+
+// String renders the schema back in the compact language (one declaration
+// per line, root first, the rest alphabetical).
+func (s *Schema) String() string {
+	var names []string
+	for n := range s.Elements {
+		if s.Root != nil && n == s.Root.Name {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if s.Root != nil {
+		names = append([]string{s.Root.Name}, names...)
+	}
+	var sb strings.Builder
+	for _, n := range names {
+		d := s.Elements[n]
+		if d.Group == GroupText && len(d.Attrs) == 0 && d.Type == TypeString && s.Root != d {
+			continue // implicit string leaves need no line
+		}
+		sb.WriteString(declString(d))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func declString(d *ElemDecl) string {
+	var sb strings.Builder
+	sb.WriteString(d.Name)
+	sb.WriteString(" :=")
+	var parts []string
+	for _, a := range d.Attrs {
+		p := "@" + a.Name
+		if a.Type != TypeString {
+			p += ":" + a.Type.String()
+		}
+		if a.Optional {
+			p += "?"
+		}
+		parts = append(parts, p)
+	}
+	sep := ", "
+	switch d.Group {
+	case GroupChoice:
+		sep = " | "
+	case GroupAll:
+		sep = " & "
+	}
+	var kids []string
+	for _, p := range d.Children {
+		ref := p.Child.Name
+		if p.Child.Group == GroupText && p.Child.Type != TypeString {
+			ref += ":" + p.Child.Type.String()
+		}
+		ref += p.Card()
+		kids = append(kids, ref)
+	}
+	switch d.Group {
+	case GroupText:
+		if d.Type != TypeString {
+			parts = append(parts, "#"+d.Type.String())
+		} else {
+			parts = append(parts, "#text")
+		}
+	case GroupEmpty:
+		parts = append(parts, "#empty")
+	default:
+		parts = append(parts, strings.Join(kids, sep))
+	}
+	sb.WriteString(" " + strings.Join(parts, ", "))
+	return sb.String()
+}
+
+// parseType parses a simple type name.
+func parseType(s string) (Type, error) {
+	switch s {
+	case "int":
+		return TypeInt, nil
+	case "float":
+		return TypeFloat, nil
+	case "string", "":
+		return TypeString, nil
+	}
+	return TypeString, fmt.Errorf("xschema: unknown type %q", s)
+}
+
+// Parents returns the names of elements that declare name as a child,
+// sorted. The root element additionally has the document as an implicit
+// parent (not represented here).
+func (s *Schema) Parents(name string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, d := range s.Elements {
+		for _, p := range d.Children {
+			if p.Child.Name == name && !seen[d.Name] {
+				seen[d.Name] = true
+				out = append(out, d.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OnlyParent returns the single possible parent element name of name, or ""
+// when the element can appear under several parents, under none, or is the
+// schema root (whose parent is the document).
+func (s *Schema) OnlyParent(name string) string {
+	if s.Root != nil && s.Root.Name == name {
+		return ""
+	}
+	ps := s.Parents(name)
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return ""
+}

@@ -1,0 +1,264 @@
+package xschema
+
+import (
+	"strings"
+	"testing"
+)
+
+// deptSchema mirrors the relational view of paper Example 1.
+const deptSchema = `
+# paper example 1: dept_emp view shape
+dept      := dname, loc, employees
+employees := emp*
+emp       := empno:int, ename, sal:int
+`
+
+func TestParseCompactSequence(t *testing.T) {
+	s, err := ParseCompact(deptSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root.Name != "dept" {
+		t.Fatalf("root = %q", s.Root.Name)
+	}
+	dept := s.Lookup("dept")
+	if dept.Group != GroupSeq || len(dept.Children) != 3 {
+		t.Fatalf("dept group=%v children=%d", dept.Group, len(dept.Children))
+	}
+	if dept.Children[0].Child.Name != "dname" || dept.Children[2].Child.Name != "employees" {
+		t.Fatal("sequence order wrong")
+	}
+	emp := s.Lookup("employees").Particle("emp")
+	if emp == nil || !emp.Repeating() || !emp.Optional() {
+		t.Fatal("emp* cardinality wrong")
+	}
+	if s.Lookup("sal").Type != TypeInt || !s.Lookup("sal").IsLeaf() {
+		t.Fatal("sal should be an int leaf")
+	}
+	if s.Lookup("ename").Type != TypeString {
+		t.Fatal("ename should default to string")
+	}
+}
+
+func TestParseCompactChoiceAndAll(t *testing.T) {
+	s := MustParseCompact(`
+doc     := payload
+payload := xml | json | csv
+`)
+	p := s.Lookup("payload")
+	if p.Group != GroupChoice || len(p.Children) != 3 {
+		t.Fatalf("choice wrong: %v/%d", p.Group, len(p.Children))
+	}
+	s2 := MustParseCompact(`
+bundle := meta & data
+`)
+	if s2.Lookup("bundle").Group != GroupAll {
+		t.Fatal("all group wrong")
+	}
+}
+
+func TestParseCompactCardinalities(t *testing.T) {
+	s := MustParseCompact(`r := a?, b*, c+, d`)
+	r := s.Lookup("r")
+	cases := []struct {
+		name string
+		card string
+	}{{"a", "?"}, {"b", "*"}, {"c", "+"}, {"d", ""}}
+	for _, tc := range cases {
+		p := r.Particle(tc.name)
+		if p == nil || p.Card() != tc.card {
+			t.Errorf("particle %s: card %q, want %q", tc.name, p.Card(), tc.card)
+		}
+	}
+}
+
+func TestParseCompactAttributes(t *testing.T) {
+	s := MustParseCompact(`emp := @id:int, @note?, empno:int`)
+	emp := s.Lookup("emp")
+	if len(emp.Attrs) != 2 {
+		t.Fatalf("attrs = %d", len(emp.Attrs))
+	}
+	if emp.Attr("id").Type != TypeInt || emp.Attr("id").Optional {
+		t.Fatal("@id wrong")
+	}
+	if emp.Attr("note") == nil || !emp.Attr("note").Optional {
+		t.Fatal("@note wrong")
+	}
+	if emp.Attr("missing") != nil {
+		t.Fatal("missing attr should be nil")
+	}
+}
+
+func TestParseCompactTextAndEmpty(t *testing.T) {
+	s := MustParseCompact(`
+r     := note, count, marker
+note  := #text
+count := #int
+marker := #empty
+`)
+	if s.Lookup("note").Group != GroupText || s.Lookup("note").Type != TypeString {
+		t.Fatal("#text wrong")
+	}
+	if s.Lookup("count").Type != TypeInt {
+		t.Fatal("#int wrong")
+	}
+	if s.Lookup("marker").Group != GroupEmpty {
+		t.Fatal("#empty wrong")
+	}
+}
+
+func TestParseCompactErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`r`,
+		`r := `,
+		`r := a | b & c`,
+		`r := a,,b`,
+		`1bad := x`,
+		"r := a\nr := b",
+		`r := a:unknowntype`,
+		`r := @bad name`,
+	}
+	for _, src := range bad {
+		if _, err := ParseCompact(src); err == nil {
+			t.Errorf("ParseCompact(%q) should fail", src)
+		}
+	}
+	// Typing a non-leaf is an error.
+	if _, err := ParseCompact("r := a:int\na := b"); err == nil {
+		t.Error("typing a non-leaf should fail")
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	s := MustParseCompact(deptSchema)
+	if s.IsRecursive() {
+		t.Fatal("dept schema is not recursive")
+	}
+	rec := MustParseCompact(`
+section := title, section*
+title   := #text
+`)
+	if !rec.IsRecursive() {
+		t.Fatal("section schema is recursive")
+	}
+	got := rec.RecursiveElements()
+	if len(got) != 1 || got[0] != "section" {
+		t.Fatalf("recursive elements = %v", got)
+	}
+	// Mutual recursion.
+	mut := MustParseCompact(`
+a := b?
+b := a?
+`)
+	if els := mut.RecursiveElements(); len(els) != 2 {
+		t.Fatalf("mutual recursion: %v", els)
+	}
+}
+
+func TestGenerateSampleSequence(t *testing.T) {
+	s := MustParseCompact(deptSchema)
+	doc, err := s.GenerateSample(SampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.DocumentElement()
+	if root.Name != "dept" || len(root.ChildElements("")) != 3 {
+		t.Fatalf("sample root wrong: %s", doc.String())
+	}
+	emps := doc.ElementsByName("emp")
+	if len(emps) != 2 {
+		t.Fatalf("repeating particle should appear twice (sibling axes), got %d", len(emps))
+	}
+	info := ReadSampleInfo(emps[0])
+	if !info.Unbounded || !info.Optional {
+		t.Fatalf("emp sample info wrong: %+v", info)
+	}
+	sal := doc.ElementsByName("sal")[0]
+	if ReadSampleInfo(sal).Type != TypeInt {
+		t.Fatal("sal type annotation missing")
+	}
+	if sal.StringValue() != "0" {
+		t.Fatalf("int leaf placeholder = %q", sal.StringValue())
+	}
+}
+
+func TestGenerateSampleChoice(t *testing.T) {
+	s := MustParseCompact(`
+doc     := payload
+payload := xml | json
+xml     := #text
+json    := #text
+`)
+	doc, err := s.GenerateSample(SampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := doc.ElementsByName("payload")[0]
+	kids := payload.ChildElements("")
+	if len(kids) != 2 {
+		t.Fatalf("choice sample should contain all alternatives, got %d", len(kids))
+	}
+	for _, k := range kids {
+		if ReadSampleInfo(k).Group != "choice" {
+			t.Fatalf("child %s missing choice annotation", k.Name)
+		}
+	}
+}
+
+func TestGenerateSampleRecursionCut(t *testing.T) {
+	s := MustParseCompact(`
+section := title, section*
+title   := #text
+`)
+	doc, err := s.GenerateSample(SampleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections := doc.ElementsByName("section")
+	// Root section plus two cut-marker children; no deeper expansion.
+	if len(sections) != 3 {
+		t.Fatalf("sections = %d, want 3 (root + 2 cut markers)", len(sections))
+	}
+	if !ReadSampleInfo(sections[1]).Recursive {
+		t.Fatal("recursion marker missing")
+	}
+	if len(sections[1].Children) != 0 {
+		t.Fatal("cut element should not expand")
+	}
+}
+
+func TestSchemaStringRoundTrip(t *testing.T) {
+	s := MustParseCompact(deptSchema)
+	printed := s.String()
+	s2, err := ParseCompact(printed)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", printed, err)
+	}
+	if s2.Root.Name != "dept" {
+		t.Fatal("round trip lost root")
+	}
+	if s2.Lookup("sal").Type != TypeInt {
+		t.Fatal("round trip lost leaf type")
+	}
+	if s2.Lookup("employees").Particle("emp").Card() != "*" {
+		t.Fatal("round trip lost cardinality")
+	}
+	if !strings.Contains(printed, "dept :=") {
+		t.Fatalf("printed schema missing root decl: %q", printed)
+	}
+}
+
+func TestDeclareAndLookup(t *testing.T) {
+	s := NewSchema()
+	a := s.Declare("a")
+	if s.Declare("a") != a {
+		t.Fatal("Declare should be idempotent")
+	}
+	if s.Root != a {
+		t.Fatal("first Declare should become root")
+	}
+	if s.Lookup("zzz") != nil {
+		t.Fatal("Lookup of unknown should be nil")
+	}
+}

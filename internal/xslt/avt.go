@@ -1,0 +1,110 @@
+package xslt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+)
+
+// AVT is a parsed attribute value template: literal text interleaved with
+// XPath expressions written inside curly braces. "{{" and "}}" escape
+// literal braces.
+type AVT struct {
+	Parts []AVTPart
+	src   string
+}
+
+// AVTPart is one segment of an AVT: either literal Text or an Expr.
+type AVTPart struct {
+	Text string
+	Expr xpath.Expr
+}
+
+// Source returns the original AVT text.
+func (a *AVT) Source() string { return a.src }
+
+// IsLiteral reports whether the AVT contains no expressions.
+func (a *AVT) IsLiteral() bool {
+	for _, p := range a.Parts {
+		if p.Expr != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// LiteralValue returns the constant value of a literal AVT.
+func (a *AVT) LiteralValue() string {
+	var sb strings.Builder
+	for _, p := range a.Parts {
+		sb.WriteString(p.Text)
+	}
+	return sb.String()
+}
+
+// ParseAVT parses an attribute value template.
+func ParseAVT(src string) (*AVT, error) {
+	avt := &AVT{src: src}
+	var lit strings.Builder
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch c {
+		case '{':
+			if i+1 < len(src) && src[i+1] == '{' {
+				lit.WriteByte('{')
+				i += 2
+				continue
+			}
+			end := strings.IndexByte(src[i:], '}')
+			if end < 0 {
+				return nil, fmt.Errorf("xslt: unterminated '{' in attribute value template %q", src)
+			}
+			exprSrc := src[i+1 : i+end]
+			e, err := xpath.Parse(exprSrc)
+			if err != nil {
+				return nil, fmt.Errorf("xslt: bad expression %q in attribute value template: %w", exprSrc, err)
+			}
+			if lit.Len() > 0 {
+				avt.Parts = append(avt.Parts, AVTPart{Text: lit.String()})
+				lit.Reset()
+			}
+			avt.Parts = append(avt.Parts, AVTPart{Expr: e})
+			i += end + 1
+		case '}':
+			if i+1 < len(src) && src[i+1] == '}' {
+				lit.WriteByte('}')
+				i += 2
+				continue
+			}
+			return nil, fmt.Errorf("xslt: lone '}' in attribute value template %q", src)
+		default:
+			lit.WriteByte(c)
+			i++
+		}
+	}
+	if lit.Len() > 0 || len(avt.Parts) == 0 {
+		avt.Parts = append(avt.Parts, AVTPart{Text: lit.String()})
+	}
+	return avt, nil
+}
+
+// Eval evaluates the AVT in the given XPath context.
+func (a *AVT) Eval(ctx *xpath.Context) (string, error) {
+	if len(a.Parts) == 1 && a.Parts[0].Expr == nil {
+		return a.Parts[0].Text, nil
+	}
+	var sb strings.Builder
+	for _, p := range a.Parts {
+		if p.Expr == nil {
+			sb.WriteString(p.Text)
+			continue
+		}
+		v, err := xpath.Eval(p.Expr, ctx)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(xpath.ToString(v))
+	}
+	return sb.String(), nil
+}

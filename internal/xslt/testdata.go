@@ -1,0 +1,70 @@
+package xslt
+
+// Paper fixtures shared across the repository's tests: the Example 1
+// stylesheet (Table 5) and the dept_emp rows (Table 4).
+
+// PaperStylesheet is the XSLT stylesheet of paper Table 5, which renders
+// highly paid employees (sal > 2000) of a department as HTML.
+const PaperStylesheet = `<?xml version="1.0"?><xsl:stylesheet version="1.0"
+xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<td><b>EmpNo</b></td>
+<td><b>Name</b></td>
+<td><b>Weekly Salary</b></td>
+<xsl:apply-templates select="emp[sal > 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match="emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>
+</xsl:stylesheet>`
+
+// PaperDeptRow1 is the first XMLType row of Table 4 (ACCOUNTING).
+const PaperDeptRow1 = `<dept>
+<dname>ACCOUNTING</dname>
+<loc>NEW YORK</loc>
+<employees>
+<emp>
+<empno>7782</empno>
+<ename>CLARK</ename>
+<sal>2450</sal>
+</emp>
+<emp>
+<empno>7934</empno>
+<ename>MILLER</ename>
+<sal>1300</sal>
+</emp>
+</employees>
+</dept>`
+
+// PaperDeptRow2 is the second XMLType row of Table 4 (OPERATIONS).
+const PaperDeptRow2 = `<dept>
+<dname>OPERATIONS</dname>
+<loc>BOSTON</loc>
+<employees>
+<emp>
+<empno>7954</empno>
+<ename>SMITH</ename>
+<sal>4900</sal>
+</emp>
+</employees>
+</dept>`

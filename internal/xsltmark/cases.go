@@ -1,0 +1,296 @@
+package xsltmark
+
+// The forty benchmark cases. The five names the paper's evaluation cites —
+// dbonerow (Figure 2), avts, chart, metric, total (Figure 3) — are kept
+// verbatim; the rest cover the remaining XSLTMark functional areas:
+// sorting, AVTs, constructors, conditionals, patterns, priorities, modes,
+// numbering, string functions, aggregation, copying and recursion.
+//
+// ExpectInline records whether the paper-style rewrite fully inlines the
+// case (the §5 statistic: paper reports 23/40).
+
+func init() {
+	registerInlineCases()
+	registerRecursiveCases()
+}
+
+func registerInlineCases() {
+	register(&Case{
+		Name: "alphabetize", Category: "sort",
+		Description: "sort rows by name, emit names",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<sorted><xsl:for-each select="row"><xsl:sort select="name"/><n><xsl:value-of select="name"/></n></xsl:for-each></sorted>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "attrmap", Category: "attributes",
+		Description: "map child element values into attributes",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><out><xsl:apply-templates select="row"/></out></xsl:template>
+			<xsl:template match="row">
+				<item><xsl:attribute name="id"><xsl:value-of select="id"/></xsl:attribute><xsl:value-of select="name"/></item>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "avts", Category: "attributes",
+		Description: "attribute value templates (paper Figure 3)",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><catalog><xsl:apply-templates select="row"/></catalog></xsl:template>
+			<xsl:template match="row">
+				<product id="{id}" name="{name}" price="{price}" region="{region}"/>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "backwards", Category: "sort",
+		Description: "reverse document order via descending numeric sort",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<rev><xsl:for-each select="row"><xsl:sort select="id" data-type="number" order="descending"/><i><xsl:value-of select="id"/></i></xsl:for-each></rev>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "breadth", Category: "traversal",
+		Description: "wide shallow traversal through built-in rules",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="name"><nm><xsl:value-of select="."/></nm></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "chart", Category: "aggregate",
+		Description: "count() aggregation buckets (paper Figure 3)",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking("price"),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<chart>
+					<cheap><xsl:value-of select="count(row[price &lt; 100])"/></cheap>
+					<mid><xsl:value-of select="count(row[price &gt;= 100])"/></mid>
+					<all><xsl:value-of select="count(row)"/></all>
+				</chart>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "choose", Category: "conditional",
+		Description: "three-way choose per row",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><out><xsl:apply-templates select="row"/></out></xsl:template>
+			<xsl:template match="row">
+				<xsl:choose>
+					<xsl:when test="price &gt; 900"><lux/></xsl:when>
+					<xsl:when test="price &gt; 500"><mid/></xsl:when>
+					<xsl:otherwise><low/></xsl:otherwise>
+				</xsl:choose>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "creation", Category: "constructors",
+		Description: "computed element and attribute constructors",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><made><xsl:apply-templates select="row"/></made></xsl:template>
+			<xsl:template match="row">
+				<xsl:element name="rec"><xsl:attribute name="k"><xsl:value-of select="id"/></xsl:attribute></xsl:element>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "current", Category: "functions",
+		Description: "current() inside nested paths",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<out><xsl:for-each select="row"><c><xsl:value-of select="current()/name"/></c></xsl:for-each></out>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "dbaccess", Category: "database",
+		Description: "full table dump to HTML",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<html><xsl:apply-templates select="row"/></html>
+			</xsl:template>
+			<xsl:template match="row">
+				<tr><td><xsl:value-of select="id"/></td><td><xsl:value-of select="name"/></td><td><xsl:value-of select="price"/></td></tr>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "dbonerow", Category: "database",
+		Description: "select one row by value predicate (paper Figure 2)",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking("id"),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<out><xsl:apply-templates select="row[id = 47]"/></out>
+			</xsl:template>
+			<xsl:template match="row">
+				<hit><xsl:value-of select="name"/>:<xsl:value-of select="price"/></hit>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "dbtail", Category: "database",
+		Description: "range predicate selecting a small tail",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking("price"),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<tail><xsl:apply-templates select="row[price &gt; 990]"/></tail>
+			</xsl:template>
+			<xsl:template match="row"><p><xsl:value-of select="price"/></p></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "decoy", Category: "dispatch",
+		Description: "many dead templates around one live rule (§3.7)",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="ghost1"><g1/></xsl:template>
+			<xsl:template match="ghost2/ghost3"><g2/></xsl:template>
+			<xsl:template match="table"><live><xsl:value-of select="count(row)"/></live></xsl:template>
+			<xsl:template match="ghost4[. = 'x']"><g3/></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "encrypt", Category: "strings",
+		Description: "translate()-based character substitution",
+		Schema:      WordsSchema, Gen: GenWordsDoc,
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="words"><x><xsl:apply-templates select="w"/></x></xsl:template>
+			<xsl:template match="w"><e><xsl:value-of select="translate(., 'abcdefghijklmnopqrstuvwxyz', 'nopqrstuvwxyzabcdefghijklm')"/></e></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "functions", Category: "strings",
+		Description: "string function medley",
+		Schema:      WordsSchema, Gen: GenWordsDoc,
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="words"><x><xsl:apply-templates select="w"/></x></xsl:template>
+			<xsl:template match="w">
+				<f len="{string-length(.)}" up="{substring(., 1, 3)}">
+					<xsl:value-of select="concat(substring-before(., 'a'), '|', contains(., 'an'))"/>
+				</f>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "games", Category: "dispatch",
+		Description: "the same nodes through two modes",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<g><xsl:apply-templates select="row[id = 1]"/><xsl:apply-templates select="row[id = 1]" mode="verbose"/></g>
+			</xsl:template>
+			<xsl:template match="row"><s><xsl:value-of select="id"/></s></xsl:template>
+			<xsl:template match="row" mode="verbose"><v id="{id}"><xsl:value-of select="name"/></v></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "metric", Category: "conditional",
+		Description: "conditional construction from values (paper Figure 3)",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><metrics><xsl:apply-templates select="row"/></metrics></xsl:template>
+			<xsl:template match="row">
+				<xsl:choose>
+					<xsl:when test="qty &gt; 25"><bulk id="{id}"/></xsl:when>
+					<xsl:otherwise><unit id="{id}"/></xsl:otherwise>
+				</xsl:choose>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "number", Category: "numbering",
+		Description: "xsl:number over selected rows",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<out><xsl:for-each select="row"><i n="{position()}"><xsl:value-of select="id"/></i></xsl:for-each></out>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "patterns", Category: "patterns",
+		Description: "multi-step match patterns (Tables 16-17)",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table/row/name"><deep><xsl:value-of select="."/></deep></xsl:template>
+			<xsl:template match="row"><xsl:apply-templates select="name"/></xsl:template>
+			<xsl:template match="table"><p><xsl:apply-templates select="row[id = 3]"/></p></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "position", Category: "functions",
+		Description: "position() and last() in iterations",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<out><xsl:for-each select="row[id &lt; 4]"><p><xsl:value-of select="position()"/>/<xsl:value-of select="last()"/></p></xsl:for-each></out>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "summarize", Category: "aggregate",
+		Description: "sum and count combined",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<summary rows="{count(row)}"><total><xsl:value-of select="sum(row/price)"/></total></summary>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "total", Category: "aggregate",
+		Description: "sum() aggregate (paper Figure 3)",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="table">
+				<grand><xsl:value-of select="sum(row/price)"/></grand>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "union", Category: "patterns",
+		Description: "union match patterns",
+		Schema:      SalesSchema, Gen: GenSalesDoc, Rel: salesBacking(),
+		ExpectInline: true,
+		Stylesheet: wrap(`
+			<xsl:template match="name | region"><u><xsl:value-of select="."/></u></xsl:template>
+			<xsl:template match="row"><r><xsl:apply-templates select="name | region"/></r></xsl:template>
+			<xsl:template match="table"><x><xsl:apply-templates select="row[id = 5]"/></x></xsl:template>`),
+	})
+}

@@ -1,0 +1,254 @@
+package xsltmark
+
+// The seventeen cases that cannot fully inline: recursive template
+// execution graphs or recursive input schemas force the paper's non-inline
+// mode (§4.4, §7.2).
+
+func registerRecursiveCases() {
+	register(&Case{
+		Name: "bottles", Category: "recursion",
+		Description: "counting-down named-template recursion",
+		Schema:      SalesSchema, Gen: GenSalesDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><song><xsl:call-template name="verse"><xsl:with-param name="n" select="5"/></xsl:call-template></song></xsl:template>
+			<xsl:template name="verse">
+				<xsl:param name="n" select="0"/>
+				<xsl:if test="$n &gt; 0">
+					<verse n="{$n}"/>
+					<xsl:call-template name="verse"><xsl:with-param name="n" select="$n - 1"/></xsl:call-template>
+				</xsl:if>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "crawl", Category: "recursion",
+		Description: "recursive descent collecting titles",
+		Schema:      NestedSchema, Gen: GenNestedDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="doc"><toc><xsl:apply-templates select="section"/></toc></xsl:template>
+			<xsl:template match="section"><t><xsl:value-of select="title"/></t><xsl:apply-templates select="section"/></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "deep", Category: "recursion",
+		Description: "depth computation over recursive structure",
+		Schema:      NestedSchema, Gen: GenNestedDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="doc"><d><xsl:apply-templates select="section"/></d></xsl:template>
+			<xsl:template match="section"><s><xsl:apply-templates select="section"/></s></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "escape", Category: "recursion",
+		Description: "character-by-character recursive processing",
+		Schema:      WordsSchema, Gen: func(n int) string { return GenWordsDoc(min(n, 40)) },
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="words"><x><xsl:apply-templates select="w[1]"/></x></xsl:template>
+			<xsl:template match="w"><xsl:call-template name="esc"><xsl:with-param name="s" select="string(.)"/></xsl:call-template></xsl:template>
+			<xsl:template name="esc">
+				<xsl:param name="s" select="''"/>
+				<xsl:if test="string-length($s) &gt; 0">
+					<c><xsl:value-of select="substring($s, 1, 1)"/></c>
+					<xsl:call-template name="esc"><xsl:with-param name="s" select="substring($s, 2)"/></xsl:call-template>
+				</xsl:if>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "factorial", Category: "recursion",
+		Description: "numeric recursion",
+		Schema:      SalesSchema, Gen: GenSalesDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><f><xsl:call-template name="fact"><xsl:with-param name="n" select="6"/></xsl:call-template></f></xsl:template>
+			<xsl:template name="fact">
+				<xsl:param name="n" select="1"/>
+				<xsl:choose>
+					<xsl:when test="$n &lt;= 1"><xsl:value-of select="1"/></xsl:when>
+					<xsl:otherwise>
+						<xsl:variable name="rec"><xsl:call-template name="fact"><xsl:with-param name="n" select="$n - 1"/></xsl:call-template></xsl:variable>
+						<xsl:value-of select="$n * $rec"/>
+					</xsl:otherwise>
+				</xsl:choose>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "fibonacci", Category: "recursion",
+		Description: "double recursion",
+		Schema:      SalesSchema, Gen: GenSalesDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><fib><xsl:call-template name="fib"><xsl:with-param name="n" select="9"/></xsl:call-template></fib></xsl:template>
+			<xsl:template name="fib">
+				<xsl:param name="n" select="0"/>
+				<xsl:choose>
+					<xsl:when test="$n &lt; 2"><xsl:value-of select="$n"/></xsl:when>
+					<xsl:otherwise>
+						<xsl:variable name="a"><xsl:call-template name="fib"><xsl:with-param name="n" select="$n - 1"/></xsl:call-template></xsl:variable>
+						<xsl:variable name="b"><xsl:call-template name="fib"><xsl:with-param name="n" select="$n - 2"/></xsl:call-template></xsl:variable>
+						<xsl:value-of select="$a + $b"/>
+					</xsl:otherwise>
+				</xsl:choose>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "flatten", Category: "recursion",
+		Description: "flatten nested sections to a list",
+		Schema:      NestedSchema, Gen: GenNestedDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="doc"><flat><xsl:apply-templates select="//title"/></flat></xsl:template>
+			<xsl:template match="title"><t><xsl:value-of select="."/></t></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "identity", Category: "copy",
+		Description: "the identity transformation",
+		Schema:      SalesSchema, Gen: GenSalesDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="@*|node()"><xsl:copy><xsl:apply-templates select="@*|node()"/></xsl:copy></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "linkedlist", Category: "recursion",
+		Description: "first-child chain walk",
+		Schema:      NestedSchema, Gen: GenNestedDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="doc"><chain><xsl:apply-templates select="section[1]"/></chain></xsl:template>
+			<xsl:template match="section"><link><xsl:value-of select="title"/></link><xsl:apply-templates select="section[1]"/></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "mirror", Category: "copy",
+		Description: "recursive copy with reversed children",
+		Schema:      NestedSchema, Gen: GenNestedDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="doc"><m><xsl:apply-templates select="section"/></m></xsl:template>
+			<xsl:template match="section">
+				<sec><xsl:for-each select="section"><xsl:sort select="title" order="descending"/><xsl:apply-templates select="."/></xsl:for-each><xsl:value-of select="title"/></sec>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "outline", Category: "recursion",
+		Description: "numbered outline of recursive sections",
+		Schema:      NestedSchema, Gen: GenNestedDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="doc"><o><xsl:apply-templates select="section"/></o></xsl:template>
+			<xsl:template match="section"><li n="{count(section)}"><xsl:value-of select="title"/><xsl:apply-templates select="section"/></li></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "palindrome", Category: "recursion",
+		Description: "recursive string reversal comparison",
+		Schema:      WordsSchema, Gen: func(n int) string { return GenWordsDoc(min(n, 30)) },
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="words"><x><xsl:apply-templates select="w[1]"/></x></xsl:template>
+			<xsl:template match="w">
+				<xsl:variable name="rev"><xsl:call-template name="rev"><xsl:with-param name="s" select="string(.)"/></xsl:call-template></xsl:variable>
+				<p same="{. = $rev}"><xsl:value-of select="$rev"/></p>
+			</xsl:template>
+			<xsl:template name="rev">
+				<xsl:param name="s" select="''"/>
+				<xsl:if test="string-length($s) &gt; 0">
+					<xsl:call-template name="rev"><xsl:with-param name="s" select="substring($s, 2)"/></xsl:call-template>
+					<xsl:value-of select="substring($s, 1, 1)"/>
+				</xsl:if>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "queens", Category: "recursion",
+		Description: "recursive search-style counting",
+		Schema:      SalesSchema, Gen: GenSalesDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><q><xsl:call-template name="place"><xsl:with-param name="col" select="1"/></xsl:call-template></q></xsl:template>
+			<xsl:template name="place">
+				<xsl:param name="col" select="1"/>
+				<xsl:if test="$col &lt;= 4">
+					<c at="{$col}"/>
+					<xsl:call-template name="place"><xsl:with-param name="col" select="$col + 1"/></xsl:call-template>
+				</xsl:if>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "reverser", Category: "recursion",
+		Description: "recursive word-order reversal",
+		Schema:      WordsSchema, Gen: func(n int) string { return GenWordsDoc(min(n, 50)) },
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="words"><r><xsl:apply-templates select="w[last()]"/></r></xsl:template>
+			<xsl:template match="w">
+				<v><xsl:value-of select="."/></v>
+				<xsl:apply-templates select="preceding-sibling::w[1]"/>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "tower", Category: "recursion",
+		Description: "towers-of-hanoi move listing",
+		Schema:      SalesSchema, Gen: GenSalesDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="table"><t><xsl:call-template name="move"><xsl:with-param name="n" select="4"/><xsl:with-param name="from" select="'A'"/><xsl:with-param name="to" select="'C'"/><xsl:with-param name="via" select="'B'"/></xsl:call-template></t></xsl:template>
+			<xsl:template name="move">
+				<xsl:param name="n" select="0"/><xsl:param name="from"/><xsl:param name="to"/><xsl:param name="via"/>
+				<xsl:if test="$n &gt; 0">
+					<xsl:call-template name="move"><xsl:with-param name="n" select="$n - 1"/><xsl:with-param name="from" select="$from"/><xsl:with-param name="to" select="$via"/><xsl:with-param name="via" select="$to"/></xsl:call-template>
+					<mv n="{$n}" f="{$from}" t="{$to}"/>
+					<xsl:call-template name="move"><xsl:with-param name="n" select="$n - 1"/><xsl:with-param name="from" select="$via"/><xsl:with-param name="to" select="$to"/><xsl:with-param name="via" select="$from"/></xsl:call-template>
+				</xsl:if>
+			</xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "tree", Category: "recursion",
+		Description: "recursive subtree counting",
+		Schema:      NestedSchema, Gen: GenNestedDoc,
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="doc"><sum><xsl:value-of select="count(//section)"/></sum><xsl:apply-templates select="section"/></xsl:template>
+			<xsl:template match="section"><n c="{count(.//section)}"/><xsl:apply-templates select="section"/></xsl:template>`),
+	})
+
+	register(&Case{
+		Name: "wordcount", Category: "recursion",
+		Description: "recursive tokenization by separator",
+		Schema:      WordsSchema, Gen: func(n int) string { return GenWordsDoc(min(n, 30)) },
+		ExpectInline: false,
+		Stylesheet: wrap(`
+			<xsl:template match="words">
+				<wc><xsl:call-template name="count"><xsl:with-param name="s" select="'one two three four five'"/></xsl:call-template></wc>
+			</xsl:template>
+			<xsl:template name="count">
+				<xsl:param name="s" select="''"/>
+				<xsl:choose>
+					<xsl:when test="contains($s, ' ')">
+						<w><xsl:value-of select="substring-before($s, ' ')"/></w>
+						<xsl:call-template name="count"><xsl:with-param name="s" select="substring-after($s, ' ')"/></xsl:call-template>
+					</xsl:when>
+					<xsl:otherwise><w><xsl:value-of select="$s"/></w></xsl:otherwise>
+				</xsl:choose>
+			</xsl:template>`),
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

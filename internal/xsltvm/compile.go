@@ -1,0 +1,397 @@
+// Package xsltvm is the XSLT virtual machine of paper §4.3 (after
+// Novoselsky's Oracle XSLTVM [13]): stylesheets compile to flat bytecode;
+// the VM executes the bytecode over a document; trace instructions report
+// every template instantiation to an observer, which is how the partial
+// evaluator (internal/pe) collects its trace-call-lists and builds the
+// template execution graph from a sample document run.
+package xsltvm
+
+import (
+	"fmt"
+
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpNop          Op = iota
+	OpText            // emit Str
+	OpValueOf         // emit string(Expr)
+	OpElemOpen        // open element Str
+	OpElemOpenAVT     // open element named by AVT
+	OpElemClose       // close element
+	OpAttrLit         // set attribute Str to AVT value
+	OpCaptureBegin    // push a capture output buffer
+	OpAttrEnd         // pop capture → attribute named by AVT
+	OpCommentEnd      // pop capture → comment
+	OpPIEnd           // pop capture → processing instruction named by AVT
+	OpVarEnd          // pop capture → bind variable Str as fragment
+	OpMsgEnd          // pop capture → message; B=1 terminates
+	OpVarSelect       // bind variable Str to Expr value
+	OpScopeBegin      // push a variable scope
+	OpScopeEnd        // pop it
+	OpApply           // apply-templates: Expr select (nil=children), Str mode, A=trace id
+	OpCall            // call template A with Params
+	OpForEach         // iterate Expr (sorted); jump A past OpIterNext when empty
+	OpIterNext        // advance innermost iteration; jump A (body start) if more
+	OpIf              // jump A when Expr is false
+	OpJump            // jump A
+	OpCopyBegin       // xsl:copy shallow-copy open
+	OpCopyEnd         // xsl:copy close
+	OpCopyOf          // deep copy Expr value
+	OpNumber          // xsl:number (Expr may be nil)
+	OpRet             // end of code segment
+)
+
+var opNames = [...]string{
+	"nop", "text", "value-of", "elem-open", "elem-open-avt", "elem-close",
+	"attr-lit", "capture-begin", "attr-end", "comment-end", "pi-end",
+	"var-end", "msg-end", "var-select", "scope-begin", "scope-end",
+	"apply", "call", "for-each", "iter-next", "if", "jump",
+	"copy-begin", "copy-end", "copy-of", "number", "ret",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Param is a compiled with-param / param default: value from Expr, or from
+// running the code segment starting at Seg (capture), or empty string.
+type Param struct {
+	Name string
+	Expr xpath.Expr
+	Seg  int // -1 when unused
+}
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op     Op
+	Str    string
+	Expr   xpath.Expr
+	AVT    *xslt.AVT
+	Sorts  []xslt.SortKey
+	Params []Param
+	A, B   int
+}
+
+// TemplateCode locates a compiled template in the program.
+type TemplateCode struct {
+	Template *xslt.Template
+	Start    int
+	Params   []Param
+}
+
+// TraceEntry is the static side of the trace-table: one entry per
+// apply-templates instruction in the stylesheet (§4.3).
+type TraceEntry struct {
+	// PC of the OpApply instruction.
+	PC int
+	// SelectSrc is the select expression as written ("" = children).
+	SelectSrc string
+	Mode      string
+	// Template owning the instruction (nil for global/odd contexts).
+	Owner *xslt.Template
+}
+
+// Program is a compiled stylesheet.
+type Program struct {
+	Sheet      *xslt.Stylesheet
+	Code       []Instr
+	Templates  []TemplateCode
+	TraceTable []TraceEntry
+	// GlobalVars are evaluated before the first template runs.
+	GlobalVars []Param
+	nameIdx    map[string]int
+}
+
+// TemplateIndex returns the index of the named template, or -1.
+func (p *Program) TemplateIndex(name string) int {
+	if i, ok := p.nameIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// TemplateCodeFor returns the compiled code entry for t, or nil.
+func (p *Program) TemplateCodeFor(t *xslt.Template) *TemplateCode {
+	for i := range p.Templates {
+		if p.Templates[i].Template == t {
+			return &p.Templates[i]
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the bytecode for debugging and tests.
+func (p *Program) Disassemble() string {
+	out := ""
+	for pc, in := range p.Code {
+		out += fmt.Sprintf("%4d  %-14s", pc, in.Op)
+		if in.Str != "" {
+			out += fmt.Sprintf(" %q", in.Str)
+		}
+		if in.Expr != nil {
+			out += " expr=" + in.Expr.String()
+		}
+		if in.Op == OpJump || in.Op == OpIf || in.Op == OpForEach || in.Op == OpIterNext || in.Op == OpCall || in.Op == OpApply {
+			out += fmt.Sprintf(" A=%d", in.A)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+type compiler struct {
+	prog  *Program
+	sheet *xslt.Stylesheet
+	// current owning template for trace entries
+	owner *xslt.Template
+}
+
+// Compile translates a stylesheet to bytecode.
+func Compile(sheet *xslt.Stylesheet) (*Program, error) {
+	c := &compiler{
+		prog:  &Program{Sheet: sheet, nameIdx: map[string]int{}},
+		sheet: sheet,
+	}
+	// Global variables compile to params (expr or capture segment).
+	for _, def := range sheet.GlobalVars {
+		p, err := c.compileParam(def)
+		if err != nil {
+			return nil, err
+		}
+		c.prog.GlobalVars = append(c.prog.GlobalVars, p)
+	}
+	for _, t := range sheet.Templates {
+		c.owner = t
+		tc := TemplateCode{Template: t, Start: len(c.prog.Code)}
+		for _, pd := range t.Params {
+			p, err := c.compileParam(pd)
+			if err != nil {
+				return nil, err
+			}
+			tc.Params = append(tc.Params, p)
+		}
+		// Params compile their default segments before the body start.
+		tc.Start = len(c.prog.Code)
+		if err := c.compileSeq(t.Body); err != nil {
+			return nil, err
+		}
+		c.emit(Instr{Op: OpRet})
+		c.prog.Templates = append(c.prog.Templates, tc)
+		if t.Name != "" {
+			if _, dup := c.prog.nameIdx[t.Name]; !dup {
+				c.prog.nameIdx[t.Name] = len(c.prog.Templates) - 1
+			}
+		}
+	}
+	return c.prog, nil
+}
+
+// MustCompile compiles, panicking on error.
+func MustCompile(sheet *xslt.Stylesheet) *Program {
+	p, err := Compile(sheet)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (c *compiler) emit(in Instr) int {
+	c.prog.Code = append(c.prog.Code, in)
+	return len(c.prog.Code) - 1
+}
+
+func (c *compiler) here() int { return len(c.prog.Code) }
+
+// compileSegment compiles body as an out-of-line subroutine (used for
+// capture-valued params) and returns its start pc.
+func (c *compiler) compileSegment(body []xslt.Instruction) (int, error) {
+	// Jump over the segment so inline flow skips it.
+	j := c.emit(Instr{Op: OpJump})
+	start := c.here()
+	if err := c.compileSeq(body); err != nil {
+		return 0, err
+	}
+	c.emit(Instr{Op: OpRet})
+	c.prog.Code[j].A = c.here()
+	return start, nil
+}
+
+func (c *compiler) compileParam(def *xslt.VarDef) (Param, error) {
+	p := Param{Name: def.Name, Expr: def.Select, Seg: -1}
+	if def.Select == nil && len(def.Body) > 0 {
+		seg, err := c.compileSegment(def.Body)
+		if err != nil {
+			return p, err
+		}
+		p.Seg = seg
+	}
+	return p, nil
+}
+
+func (c *compiler) compileParams(defs []*xslt.VarDef) ([]Param, error) {
+	var out []Param
+	for _, d := range defs {
+		p, err := c.compileParam(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (c *compiler) compileSeq(body []xslt.Instruction) error {
+	c.emit(Instr{Op: OpScopeBegin})
+	for _, in := range body {
+		if err := c.compileInstr(in); err != nil {
+			return err
+		}
+	}
+	c.emit(Instr{Op: OpScopeEnd})
+	return nil
+}
+
+func (c *compiler) compileInstr(instr xslt.Instruction) error {
+	switch in := instr.(type) {
+	case *xslt.Text:
+		c.emit(Instr{Op: OpText, Str: in.Data})
+	case *xslt.MakeText:
+		c.emit(Instr{Op: OpText, Str: in.Data})
+	case *xslt.ValueOf:
+		c.emit(Instr{Op: OpValueOf, Expr: in.Select})
+	case *xslt.LiteralElement:
+		c.emit(Instr{Op: OpElemOpen, Str: in.QName})
+		for _, a := range in.Attrs {
+			c.emit(Instr{Op: OpAttrLit, Str: a.QName, AVT: a.Value})
+		}
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpElemClose})
+	case *xslt.MakeElement:
+		c.emit(Instr{Op: OpElemOpenAVT, AVT: in.Name})
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpElemClose})
+	case *xslt.MakeAttribute:
+		c.emit(Instr{Op: OpCaptureBegin})
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpAttrEnd, AVT: in.Name})
+	case *xslt.MakeComment:
+		c.emit(Instr{Op: OpCaptureBegin})
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpCommentEnd})
+	case *xslt.MakePI:
+		c.emit(Instr{Op: OpCaptureBegin})
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpPIEnd, AVT: in.Name})
+	case *xslt.DeclareVar:
+		if in.Def.Select != nil {
+			c.emit(Instr{Op: OpVarSelect, Str: in.Def.Name, Expr: in.Def.Select})
+			return nil
+		}
+		c.emit(Instr{Op: OpCaptureBegin})
+		if err := c.compileSeq(in.Def.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpVarEnd, Str: in.Def.Name})
+	case *xslt.ApplyTemplates:
+		params, err := c.compileParams(in.Params)
+		if err != nil {
+			return err
+		}
+		traceID := len(c.prog.TraceTable)
+		// Record the id on the stylesheet instruction so consumers of the
+		// trace (the partial evaluator and the rewriter) can correlate
+		// instructions with call lists. Ids are deterministic per sheet.
+		in.TraceID = traceID
+		selectSrc := ""
+		if in.Select != nil {
+			selectSrc = in.Select.String()
+		}
+		pc := c.emit(Instr{Op: OpApply, Expr: in.Select, Str: in.Mode, Sorts: in.Sorts, Params: params, A: traceID})
+		c.prog.TraceTable = append(c.prog.TraceTable, TraceEntry{
+			PC: pc, SelectSrc: selectSrc, Mode: in.Mode, Owner: c.owner,
+		})
+	case *xslt.CallTemplate:
+		params, err := c.compileParams(in.Params)
+		if err != nil {
+			return err
+		}
+		// Template index resolved lazily at run time through nameIdx so
+		// forward references work; store the name.
+		c.emit(Instr{Op: OpCall, Str: in.Name, Params: params, A: -1})
+	case *xslt.ForEach:
+		fe := c.emit(Instr{Op: OpForEach, Expr: in.Select, Sorts: in.Sorts})
+		bodyStart := c.here()
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		nx := c.emit(Instr{Op: OpIterNext, A: bodyStart})
+		c.prog.Code[fe].A = nx + 1
+	case *xslt.If:
+		ifpc := c.emit(Instr{Op: OpIf, Expr: in.Test})
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		c.prog.Code[ifpc].A = c.here()
+	case *xslt.Choose:
+		var exits []int
+		for _, w := range in.Whens {
+			ifpc := c.emit(Instr{Op: OpIf, Expr: w.Test})
+			if err := c.compileSeq(w.Body); err != nil {
+				return err
+			}
+			exits = append(exits, c.emit(Instr{Op: OpJump}))
+			c.prog.Code[ifpc].A = c.here()
+		}
+		if len(in.Otherwise) > 0 {
+			if err := c.compileSeq(in.Otherwise); err != nil {
+				return err
+			}
+		}
+		for _, pc := range exits {
+			c.prog.Code[pc].A = c.here()
+		}
+	case *xslt.Copy:
+		c.emit(Instr{Op: OpCopyBegin})
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpCopyEnd})
+	case *xslt.CopyOf:
+		c.emit(Instr{Op: OpCopyOf, Expr: in.Select})
+	case *xslt.NumberInstr:
+		c.emit(Instr{Op: OpNumber, Expr: in.Value})
+	case *xslt.Message:
+		term := 0
+		if in.Terminate {
+			term = 1
+		}
+		c.emit(Instr{Op: OpCaptureBegin})
+		if err := c.compileSeq(in.Body); err != nil {
+			return err
+		}
+		c.emit(Instr{Op: OpMsgEnd, B: term})
+	default:
+		return fmt.Errorf("xsltvm: cannot compile instruction %T", instr)
+	}
+	return nil
+}

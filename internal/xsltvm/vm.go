@@ -1,0 +1,526 @@
+package xsltvm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xslt"
+)
+
+// TraceEvent reports one template instantiation observed at run time; the
+// partial evaluator's Execution Graph Builder consumes these (§4.3).
+type TraceEvent struct {
+	// TraceID indexes Program.TraceTable (-1 for the initial root apply).
+	TraceID int
+	// Node is the context node that activated the template.
+	Node *xmltree.Node
+	// Template is nil when a built-in rule handled the node.
+	Template *xslt.Template
+	Builtin  bool
+}
+
+// VM executes a compiled Program.
+type VM struct {
+	prog *Program
+
+	// Trace, when set, observes every template instantiation.
+	Trace func(TraceEvent)
+	// Messages collects xsl:message output.
+	Messages []string
+	// MaxDepth bounds recursion.
+	MaxDepth int
+	// Runtime resolves key() and generate-id().
+	Runtime *xslt.RuntimeFuncs
+}
+
+// New returns a VM for the program.
+func New(prog *Program) *VM {
+	return &VM{prog: prog, MaxDepth: 1024, Runtime: xslt.NewRuntimeFuncs(prog.Sheet)}
+}
+
+// Program returns the compiled program.
+func (vm *VM) Program() *Program { return vm.prog }
+
+// vmState is the per-transformation mutable state.
+type vmState struct {
+	vm     *VM
+	engine *xslt.Engine          // template matching (FindTemplate) helper
+	out    []*xslt.OutputBuilder // capture stack; last is active
+	// scopes is the variable-binding chain.
+	scopes []map[string]xpath.Value
+	depth  int
+}
+
+func (st *vmState) output() *xslt.OutputBuilder { return st.out[len(st.out)-1] }
+
+func (st *vmState) pushCapture() { st.out = append(st.out, xslt.NewOutputBuilder()) }
+
+func (st *vmState) popCapture() *xmltree.Node {
+	b := st.out[len(st.out)-1]
+	st.out = st.out[:len(st.out)-1]
+	frag := b.Finish()
+	frag.Renumber()
+	return frag
+}
+
+func (st *vmState) pushScope() { st.scopes = append(st.scopes, map[string]xpath.Value{}) }
+func (st *vmState) popScope() {
+	if len(st.scopes) > 1 {
+		st.scopes = st.scopes[:len(st.scopes)-1]
+	}
+}
+func (st *vmState) bind(name string, v xpath.Value) {
+	st.scopes[len(st.scopes)-1][name] = v
+}
+
+// scopeMark/scopeReset unwind scopes pushed inside a code segment when the
+// segment exits abnormally (not needed in normal flow, kept for safety).
+func (st *vmState) scopeMark() int      { return len(st.scopes) }
+func (st *vmState) scopeReset(mark int) { st.scopes = st.scopes[:mark] }
+
+// LookupVar implements xpath.Variables.
+func (st *vmState) LookupVar(name string) (xpath.Value, bool) {
+	for i := len(st.scopes) - 1; i >= 0; i-- {
+		if v, ok := st.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// vmContext is a dynamic XPath context position.
+type vmContext struct {
+	node      *xmltree.Node
+	pos, size int
+}
+
+// Run transforms doc and returns the result fragment.
+func (vm *VM) Run(doc *xmltree.Node) (*xmltree.Node, error) {
+	doc = vm.prog.Sheet.StripSourceSpace(doc)
+	st := &vmState{vm: vm, engine: xslt.New(vm.prog.Sheet)}
+	st.out = []*xslt.OutputBuilder{xslt.NewOutputBuilder()}
+	st.pushScope()
+	// Globals.
+	for _, g := range vm.prog.GlobalVars {
+		v, err := st.paramValue(g, vmContext{node: doc, pos: 1, size: 1})
+		if err != nil {
+			return nil, err
+		}
+		st.bind(g.Name, v)
+	}
+	if err := st.applyTo([]*xmltree.Node{doc}, "", nil, -1); err != nil {
+		return nil, err
+	}
+	frag := st.out[0].Finish()
+	frag.Renumber()
+	return frag, nil
+}
+
+// RunToString transforms and serializes without the XML declaration.
+func (vm *VM) RunToString(doc *xmltree.Node) (string, error) {
+	frag, err := vm.Run(doc)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	frag.Serialize(&sb, xmltree.SerializeOptions{OmitDecl: true})
+	return sb.String(), nil
+}
+
+func (st *vmState) xctx(c vmContext) *xpath.Context {
+	ctx := &xpath.Context{Node: c.node, Position: c.pos, Size: c.size, Vars: st}
+	if st.vm.Runtime != nil {
+		ctx.Funcs = st.vm.Runtime.Resolve
+	}
+	return ctx
+}
+
+// paramValue computes a Param's value in the given context.
+func (st *vmState) paramValue(p Param, c vmContext) (xpath.Value, error) {
+	switch {
+	case p.Expr != nil:
+		v, err := xpath.Eval(p.Expr, st.xctx(c))
+		if err != nil {
+			return nil, fmt.Errorf("xsltvm: param $%s: %w", p.Name, err)
+		}
+		return v, nil
+	case p.Seg >= 0:
+		st.pushCapture()
+		if err := st.exec(p.Seg, c); err != nil {
+			st.popCapture()
+			return nil, err
+		}
+		frag := st.popCapture()
+		return xpath.NodeSet{frag}, nil
+	default:
+		return "", nil
+	}
+}
+
+// applyTo implements apply-templates over the node list.
+func (st *vmState) applyTo(nodes []*xmltree.Node, mode string, withParams map[string]xpath.Value, traceID int) error {
+	st.depth++
+	defer func() { st.depth-- }()
+	if st.depth > st.vm.MaxDepth {
+		return fmt.Errorf("xsltvm: recursion deeper than %d", st.vm.MaxDepth)
+	}
+	for i, node := range nodes {
+		tmpl, err := st.engine.FindTemplate(node, mode, st)
+		if err != nil {
+			return err
+		}
+		if st.vm.Trace != nil {
+			st.vm.Trace(TraceEvent{TraceID: traceID, Node: node, Template: tmpl, Builtin: tmpl == nil})
+		}
+		if tmpl == nil {
+			if err := st.builtin(node, mode); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := st.invoke(tmpl, vmContext{node: node, pos: i + 1, size: len(nodes)}, withParams); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *vmState) builtin(node *xmltree.Node, mode string) error {
+	switch node.Kind {
+	case xmltree.DocumentNode, xmltree.ElementNode:
+		return st.applyTo(node.Children, mode, nil, -1)
+	case xmltree.TextNode, xmltree.AttributeNode:
+		st.output().Text(node.StringValue())
+	}
+	return nil
+}
+
+// invoke runs a template's compiled code with parameter binding.
+func (st *vmState) invoke(t *xslt.Template, c vmContext, withParams map[string]xpath.Value) error {
+	tc := st.vm.prog.TemplateCodeFor(t)
+	if tc == nil {
+		return fmt.Errorf("xsltvm: template %s not compiled", t)
+	}
+	st.pushScope()
+	defer st.popScope()
+	for _, p := range tc.Params {
+		if v, ok := withParams[p.Name]; ok {
+			st.bind(p.Name, v)
+			continue
+		}
+		v, err := st.paramValue(p, c)
+		if err != nil {
+			return err
+		}
+		st.bind(p.Name, v)
+	}
+	return st.exec(tc.Start, c)
+}
+
+// iteration is a for-each state.
+type iteration struct {
+	nodes []*xmltree.Node
+	idx   int
+	saved vmContext
+}
+
+// exec runs code from pc until the matching OpRet, in context c.
+func (st *vmState) exec(pc int, c vmContext) error {
+	code := st.vm.prog.Code
+	var iters []*iteration
+	scopeMark := st.scopeMark()
+	defer st.scopeReset(scopeMark)
+
+	for pc < len(code) {
+		in := &code[pc]
+		switch in.Op {
+		case OpNop:
+		case OpRet:
+			return nil
+		case OpText:
+			st.output().Text(in.Str)
+		case OpValueOf:
+			v, err := xpath.Eval(in.Expr, st.xctx(c))
+			if err != nil {
+				return fmt.Errorf("xsltvm: value-of: %w", err)
+			}
+			st.output().Text(xpath.ToString(v))
+		case OpElemOpen:
+			st.output().OpenElement(in.Str)
+		case OpElemOpenAVT:
+			name, err := in.AVT.Eval(st.xctx(c))
+			if err != nil {
+				return err
+			}
+			st.output().OpenElement(name)
+		case OpElemClose:
+			st.output().CloseElement()
+		case OpAttrLit:
+			val, err := in.AVT.Eval(st.xctx(c))
+			if err != nil {
+				return err
+			}
+			if err := st.output().Attr(in.Str, val); err != nil {
+				return fmt.Errorf("xsltvm: %w", err)
+			}
+		case OpCaptureBegin:
+			st.pushCapture()
+		case OpAttrEnd:
+			frag := st.popCapture()
+			name, err := in.AVT.Eval(st.xctx(c))
+			if err != nil {
+				return err
+			}
+			if err := st.output().Attr(name, frag.StringValue()); err != nil {
+				return fmt.Errorf("xsltvm: %w", err)
+			}
+		case OpCommentEnd:
+			data := st.popCapture().StringValue()
+			st.output().Comment(data)
+		case OpPIEnd:
+			frag := st.popCapture()
+			name, err := in.AVT.Eval(st.xctx(c))
+			if err != nil {
+				return err
+			}
+			st.output().PI(name, frag.StringValue())
+		case OpVarEnd:
+			frag := st.popCapture()
+			st.bind(in.Str, xpath.NodeSet{frag})
+		case OpMsgEnd:
+			msg := st.popCapture().StringValue()
+			st.vm.Messages = append(st.vm.Messages, msg)
+			if in.B == 1 {
+				return fmt.Errorf("xsltvm: xsl:message terminated: %s", msg)
+			}
+		case OpVarSelect:
+			v, err := xpath.Eval(in.Expr, st.xctx(c))
+			if err != nil {
+				return fmt.Errorf("xsltvm: variable $%s: %w", in.Str, err)
+			}
+			st.bind(in.Str, v)
+		case OpScopeBegin:
+			st.pushScope()
+		case OpScopeEnd:
+			st.popScope()
+		case OpApply:
+			var selected []*xmltree.Node
+			if in.Expr == nil {
+				selected = c.node.Children
+			} else {
+				ns, err := xpath.EvalNodeSet(in.Expr, st.xctx(c))
+				if err != nil {
+					return fmt.Errorf("xsltvm: apply-templates: %w", err)
+				}
+				selected = ns
+			}
+			if len(in.Sorts) > 0 {
+				var err error
+				selected, err = st.sortNodes(selected, in.Sorts)
+				if err != nil {
+					return err
+				}
+			}
+			var wp map[string]xpath.Value
+			if len(in.Params) > 0 {
+				wp = map[string]xpath.Value{}
+				for _, p := range in.Params {
+					v, err := st.paramValue(p, c)
+					if err != nil {
+						return err
+					}
+					wp[p.Name] = v
+				}
+			}
+			if err := st.applyTo(selected, in.Str, wp, in.A); err != nil {
+				return err
+			}
+		case OpCall:
+			idx := st.vm.prog.TemplateIndex(in.Str)
+			if idx < 0 {
+				return fmt.Errorf("xsltvm: no template named %q", in.Str)
+			}
+			wp := map[string]xpath.Value{}
+			for _, p := range in.Params {
+				v, err := st.paramValue(p, c)
+				if err != nil {
+					return err
+				}
+				wp[p.Name] = v
+			}
+			st.depth++
+			if st.depth > st.vm.MaxDepth {
+				st.depth--
+				return fmt.Errorf("xsltvm: recursion deeper than %d in call-template %q", st.vm.MaxDepth, in.Str)
+			}
+			err := st.invoke(st.vm.prog.Templates[idx].Template, c, wp)
+			st.depth--
+			if err != nil {
+				return err
+			}
+		case OpForEach:
+			ns, err := xpath.EvalNodeSet(in.Expr, st.xctx(c))
+			if err != nil {
+				return fmt.Errorf("xsltvm: for-each: %w", err)
+			}
+			nodes := []*xmltree.Node(ns)
+			if len(in.Sorts) > 0 {
+				nodes, err = st.sortNodes(nodes, in.Sorts)
+				if err != nil {
+					return err
+				}
+			}
+			if len(nodes) == 0 {
+				pc = in.A
+				continue
+			}
+			iters = append(iters, &iteration{nodes: nodes, saved: c})
+			c = vmContext{node: nodes[0], pos: 1, size: len(nodes)}
+		case OpIterNext:
+			it := iters[len(iters)-1]
+			it.idx++
+			if it.idx < len(it.nodes) {
+				c = vmContext{node: it.nodes[it.idx], pos: it.idx + 1, size: len(it.nodes)}
+				pc = in.A
+				continue
+			}
+			c = it.saved
+			iters = iters[:len(iters)-1]
+		case OpIf:
+			v, err := xpath.Eval(in.Expr, st.xctx(c))
+			if err != nil {
+				return fmt.Errorf("xsltvm: if/when: %w", err)
+			}
+			if !xpath.ToBool(v) {
+				pc = in.A
+				continue
+			}
+		case OpJump:
+			pc = in.A
+			continue
+		case OpCopyBegin:
+			switch c.node.Kind {
+			case xmltree.ElementNode:
+				st.output().OpenElement(c.node.QName())
+			case xmltree.TextNode:
+				st.output().Text(c.node.Data)
+			case xmltree.AttributeNode:
+				if err := st.output().Attr(c.node.QName(), c.node.Data); err != nil {
+					return fmt.Errorf("xsltvm: copy: %w", err)
+				}
+			case xmltree.CommentNode:
+				st.output().Comment(c.node.Data)
+			case xmltree.ProcInstNode:
+				st.output().PI(c.node.Name, c.node.Data)
+			}
+		case OpCopyEnd:
+			if c.node.Kind == xmltree.ElementNode {
+				st.output().CloseElement()
+			}
+		case OpCopyOf:
+			v, err := xpath.Eval(in.Expr, st.xctx(c))
+			if err != nil {
+				return fmt.Errorf("xsltvm: copy-of: %w", err)
+			}
+			if ns, ok := v.(xpath.NodeSet); ok {
+				for _, n := range ns {
+					st.output().CopyNode(n)
+				}
+			} else {
+				st.output().Text(xpath.ToString(v))
+			}
+		case OpNumber:
+			if in.Expr != nil {
+				v, err := xpath.Eval(in.Expr, st.xctx(c))
+				if err != nil {
+					return err
+				}
+				st.output().Text(xpath.NumberToString(xpath.ToNumber(v)))
+				break
+			}
+			n := 1
+			if p := c.node.Parent; p != nil {
+				for _, sib := range p.Children {
+					if sib == c.node {
+						break
+					}
+					if sib.Kind == c.node.Kind && sib.Name == c.node.Name {
+						n++
+					}
+				}
+			}
+			st.output().Text(fmt.Sprintf("%d", n))
+		default:
+			return fmt.Errorf("xsltvm: bad opcode %v at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+	return nil
+}
+
+// sortNodes orders nodes by sort keys (same semantics as the interpreter).
+func (st *vmState) sortNodes(nodes []*xmltree.Node, sorts []xslt.SortKey) ([]*xmltree.Node, error) {
+	type keyed struct {
+		node *xmltree.Node
+		strs []string
+		nums []float64
+	}
+	items := make([]keyed, len(nodes))
+	for i, n := range nodes {
+		it := keyed{node: n}
+		for _, sk := range sorts {
+			v, err := xpath.Eval(sk.Select, st.xctx(vmContext{node: n, pos: i + 1, size: len(nodes)}))
+			if err != nil {
+				return nil, fmt.Errorf("xsltvm: sort: %w", err)
+			}
+			if sk.Numeric {
+				it.nums = append(it.nums, xpath.ToNumber(v))
+				it.strs = append(it.strs, "")
+			} else {
+				it.strs = append(it.strs, xpath.ToString(v))
+				it.nums = append(it.nums, 0)
+			}
+		}
+		items[i] = it
+	}
+	// Stable insertion sort on the keys.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && sortLess(items[j], items[j-1], sorts); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	out := make([]*xmltree.Node, len(items))
+	for i, it := range items {
+		out[i] = it.node
+	}
+	return out, nil
+}
+
+func sortLess(a, b struct {
+	node *xmltree.Node
+	strs []string
+	nums []float64
+}, sorts []xslt.SortKey) bool {
+	for k, sk := range sorts {
+		var cmp int
+		if sk.Numeric {
+			switch {
+			case a.nums[k] < b.nums[k]:
+				cmp = -1
+			case a.nums[k] > b.nums[k]:
+				cmp = 1
+			}
+		} else {
+			cmp = strings.Compare(a.strs[k], b.strs[k])
+		}
+		if sk.Descending {
+			cmp = -cmp
+		}
+		if cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+package xsltvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+	"repro/internal/xslt"
+)
+
+func wrap(body string) string {
+	return `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">` + body + `</xsl:stylesheet>`
+}
+
+func vmRun(t *testing.T, stylesheet, input string) string {
+	t.Helper()
+	sheet, err := xslt.ParseStylesheet(stylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(sheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(prog).RunToString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// interpRun runs the same transformation through the tree-walking
+// interpreter, for equivalence checks.
+func interpRun(t *testing.T, stylesheet, input string) string {
+	t.Helper()
+	sheet, err := xslt.ParseStylesheet(stylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := xslt.New(sheet).TransformToString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestVMEquivalentToInterpreter runs a battery of stylesheets through both
+// executors and demands identical output.
+func TestVMEquivalentToInterpreter(t *testing.T) {
+	cases := []struct {
+		name, sheet, input string
+	}{
+		{"paper-example-1", xslt.PaperStylesheet, xslt.PaperDeptRow1},
+		{"paper-example-1-row2", xslt.PaperStylesheet, xslt.PaperDeptRow2},
+		{"builtin-only", wrap(""), xslt.PaperDeptRow1},
+		{"for-each-sort", wrap(`
+			<xsl:template match="/"><xsl:for-each select="//n"><xsl:sort data-type="number" order="descending"/><v><xsl:value-of select="."/></v></xsl:for-each></xsl:template>
+		`), `<r><n>1</n><n>30</n><n>4</n></r>`},
+		{"choose", wrap(`
+			<xsl:template match="n"><xsl:choose><xsl:when test=". > 10">big</xsl:when><xsl:otherwise>small</xsl:otherwise></xsl:choose></xsl:template>
+			<xsl:template match="/"><xsl:apply-templates select="//n"/></xsl:template>
+		`), `<r><n>5</n><n>50</n></r>`},
+		{"variables", wrap(`
+			<xsl:variable name="g" select="'G'"/>
+			<xsl:template match="/"><xsl:variable name="l"><x>frag</x></xsl:variable><xsl:value-of select="$g"/>|<xsl:value-of select="$l"/>|<xsl:copy-of select="$l"/></xsl:template>
+		`), `<r/>`},
+		{"call-template-params", wrap(`
+			<xsl:template name="f"><xsl:param name="p" select="'d'"/>[<xsl:value-of select="$p"/>]</xsl:template>
+			<xsl:template match="/"><xsl:call-template name="f"><xsl:with-param name="p" select="'x'"/></xsl:call-template><xsl:call-template name="f"/></xsl:template>
+		`), `<r/>`},
+		{"copy-identity", wrap(`
+			<xsl:template match="@*|node()"><xsl:copy><xsl:apply-templates select="@*|node()"/></xsl:copy></xsl:template>
+		`), `<a x="1"><b>t<c/></b><!--k--><?pi v?></a>`},
+		{"element-attribute", wrap(`
+			<xsl:template match="e"><xsl:element name="{@t}"><xsl:attribute name="k">v<xsl:value-of select="@n"/></xsl:attribute></xsl:element></xsl:template>
+			<xsl:template match="/"><xsl:apply-templates select="//e"/></xsl:template>
+		`), `<r><e t="out" n="9"/></r>`},
+		{"number", wrap(`
+			<xsl:template match="i"><xsl:number/>.</xsl:template>
+			<xsl:template match="/"><xsl:apply-templates select="//i"/></xsl:template>
+		`), `<r><i/><i/><i/></r>`},
+		{"modes", wrap(`
+			<xsl:template match="/"><xsl:apply-templates select="//x"/>|<xsl:apply-templates select="//x" mode="m"/></xsl:template>
+			<xsl:template match="x">a</xsl:template>
+			<xsl:template match="x" mode="m">b</xsl:template>
+		`), `<r><x/></r>`},
+		{"apply-with-params", wrap(`
+			<xsl:template match="/"><xsl:apply-templates select="//x"><xsl:with-param name="p">P</xsl:with-param></xsl:apply-templates></xsl:template>
+			<xsl:template match="x"><xsl:param name="p"/>[<xsl:value-of select="$p"/>]</xsl:template>
+		`), `<r><x/><x/></r>`},
+		{"comment-pi", wrap(`
+			<xsl:template match="/"><xsl:comment>c</xsl:comment><xsl:processing-instruction name="t">d</xsl:processing-instruction></xsl:template>
+		`), `<r/>`},
+		{"recursive-walk", wrap(`
+			<xsl:template match="item"><i><xsl:value-of select="@v"/><xsl:apply-templates select="item"/></i></xsl:template>
+			<xsl:template match="/"><xsl:apply-templates select="/item"/></xsl:template>
+		`), `<item v="1"><item v="2"><item v="3"/></item></item>`},
+		{"nested-for-each", wrap(`
+			<xsl:template match="/"><xsl:for-each select="//g"><g><xsl:for-each select="i"><v><xsl:value-of select="."/></v></xsl:for-each></g></xsl:for-each></xsl:template>
+		`), `<r><g><i>1</i><i>2</i></g><g><i>3</i></g></r>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vmOut := vmRun(t, tc.sheet, tc.input)
+			itOut := interpRun(t, tc.sheet, tc.input)
+			if vmOut != itOut {
+				t.Fatalf("VM and interpreter disagree:\n vm: %q\n it: %q", vmOut, itOut)
+			}
+		})
+	}
+}
+
+func TestCompileDisassemble(t *testing.T) {
+	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	prog := MustCompile(sheet)
+	dis := prog.Disassemble()
+	for _, frag := range []string{"elem-open", "apply", "value-of", "ret"} {
+		if !strings.Contains(dis, frag) {
+			t.Errorf("disassembly missing %q", frag)
+		}
+	}
+	if len(prog.Templates) != len(sheet.Templates) {
+		t.Fatalf("compiled %d of %d templates", len(prog.Templates), len(sheet.Templates))
+	}
+}
+
+// TestTraceTable checks §4.3: one trace-table entry per apply-templates
+// instruction, carrying the select source and the owning template.
+func TestTraceTable(t *testing.T) {
+	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	prog := MustCompile(sheet)
+	if len(prog.TraceTable) != 2 {
+		t.Fatalf("trace table entries = %d, want 2", len(prog.TraceTable))
+	}
+	if prog.TraceTable[0].SelectSrc != "" {
+		t.Fatalf("first apply has no select, got %q", prog.TraceTable[0].SelectSrc)
+	}
+	if !strings.Contains(prog.TraceTable[1].SelectSrc, "emp[sal > 2000]") {
+		t.Fatalf("second select = %q", prog.TraceTable[1].SelectSrc)
+	}
+	if prog.TraceTable[0].Owner == nil || prog.TraceTable[0].Owner.MatchSrc != "dept" {
+		t.Fatal("owner template wrong")
+	}
+}
+
+// TestTraceEvents runs the VM with tracing and checks the observed
+// template activations (the raw material of the execution graph).
+func TestTraceEvents(t *testing.T) {
+	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	prog := MustCompile(sheet)
+	vm := New(prog)
+	var events []TraceEvent
+	vm.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	doc, _ := xmltree.Parse(xslt.PaperDeptRow1)
+	if _, err := vm.Run(doc); err != nil {
+		t.Fatal(err)
+	}
+	// Count activations per template match.
+	byMatch := map[string]int{}
+	builtins := 0
+	for _, ev := range events {
+		if ev.Builtin {
+			builtins++
+			continue
+		}
+		byMatch[ev.Template.MatchSrc]++
+	}
+	if byMatch["dept"] != 1 || byMatch["dname"] != 1 || byMatch["loc"] != 1 || byMatch["employees"] != 1 {
+		t.Fatalf("activations wrong: %v", byMatch)
+	}
+	if byMatch["emp"] != 1 { // only CLARK passes sal > 2000
+		t.Fatalf("emp activations = %d", byMatch["emp"])
+	}
+	if builtins == 0 {
+		t.Fatal("expected builtin activation for the document root")
+	}
+	// The emp activation must carry trace id 1 (the second apply).
+	found := false
+	for _, ev := range events {
+		if !ev.Builtin && ev.Template.MatchSrc == "emp" && ev.TraceID == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("emp activation not attributed to second apply-templates")
+	}
+}
+
+func TestVMErrors(t *testing.T) {
+	doc, _ := xmltree.Parse(`<r/>`)
+	// Missing named template.
+	sheet := xslt.MustParseStylesheet(wrap(`<xsl:template match="/"><xsl:call-template name="gone"/></xsl:template>`))
+	if _, err := New(MustCompile(sheet)).RunToString(doc); err == nil {
+		t.Fatal("missing template should error")
+	}
+	// Infinite recursion.
+	sheet = xslt.MustParseStylesheet(wrap(`
+		<xsl:template name="loop"><xsl:call-template name="loop"/></xsl:template>
+		<xsl:template match="/"><xsl:call-template name="loop"/></xsl:template>`))
+	if _, err := New(MustCompile(sheet)).RunToString(doc); err == nil {
+		t.Fatal("infinite recursion should be caught")
+	}
+	// Message terminate.
+	sheet = xslt.MustParseStylesheet(wrap(`<xsl:template match="/"><xsl:message terminate="yes">stop</xsl:message></xsl:template>`))
+	vm := New(MustCompile(sheet))
+	if _, err := vm.RunToString(doc); err == nil {
+		t.Fatal("terminate should error")
+	}
+	if len(vm.Messages) != 1 || vm.Messages[0] != "stop" {
+		t.Fatalf("messages = %v", vm.Messages)
+	}
+}
+
+func TestTemplateIndex(t *testing.T) {
+	sheet := xslt.MustParseStylesheet(wrap(`
+		<xsl:template name="a">A</xsl:template>
+		<xsl:template name="b">B</xsl:template>`))
+	prog := MustCompile(sheet)
+	if prog.TemplateIndex("a") < 0 || prog.TemplateIndex("b") < 0 {
+		t.Fatal("named templates not indexed")
+	}
+	if prog.TemplateIndex("zz") != -1 {
+		t.Fatal("unknown template should be -1")
+	}
+}
+
+// TestVMKeysAndGenerateID checks the shared runtime functions through the
+// bytecode executor.
+func TestVMKeysAndGenerateID(t *testing.T) {
+	sheet := xslt.MustParseStylesheet(wrap(`
+		<xsl:key name="k" match="item" use="@g"/>
+		<xsl:template match="/">
+			<out n="{count(key('k', 'x'))}"><xsl:value-of select="generate-id(//item) = generate-id(//item)"/></out>
+		</xsl:template>`))
+	doc, _ := xmltree.Parse(`<r><item g="x"/><item g="y"/><item g="x"/></r>`)
+	vmOut, err := New(MustCompile(sheet)).RunToString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itOut, err := xslt.New(sheet).TransformToString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmOut != itOut {
+		t.Fatalf("VM %q != interpreter %q", vmOut, itOut)
+	}
+	if !strings.Contains(vmOut, `n="2"`) {
+		t.Fatalf("key count wrong: %q", vmOut)
+	}
+}

@@ -1,0 +1,571 @@
+// Package xsltdb is the public API of the repository: efficient XSLT
+// processing in a relational database system, after Liu & Novoselsky
+// (VLDB 2006).
+//
+// The package ties the pipeline together:
+//
+//	XSLT stylesheet
+//	   │  partial evaluation over the input's structural information (§4)
+//	   ▼
+//	XQuery (inline when the template execution graph is acyclic — §3.3-3.7)
+//	   │  XQuery→SQL/XML rewrite over the view definition (§2)
+//	   ▼
+//	SQL/XML plan over relational tables with B-tree index access paths
+//
+// A Database owns relational tables and XMLType views. CompileTransform
+// compiles a stylesheet against a view, choosing the best strategy and
+// falling back gracefully: SQL/XML plan → functional XQuery over
+// materialized rows → functional XSLT interpretation ("no rewrite").
+package xsltdb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/relstore"
+	"repro/internal/sqlxml"
+	"repro/internal/xmltree"
+	"repro/internal/xq2sql"
+	"repro/internal/xquery"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+)
+
+// Re-exported relational building blocks.
+type (
+	// TableColumn declares a relational column.
+	TableColumn = relstore.Column
+	// Pred is a relational predicate (column op constant).
+	Pred = relstore.Pred
+	// Stats counts physical operator work.
+	Stats = relstore.Stats
+)
+
+// Column types.
+const (
+	IntCol    = relstore.IntCol
+	FloatCol  = relstore.FloatCol
+	StringCol = relstore.StringCol
+)
+
+// Re-exported SQL/XML view constructors (paper Table 3 building blocks).
+type (
+	// XMLExpr is any SQL/XML generation expression.
+	XMLExpr = sqlxml.XMLExpr
+	// ViewDef defines an XMLType view over a driving table.
+	ViewDef = sqlxml.ViewDef
+	// XMLElement is the XMLElement() generation function.
+	XMLElement = sqlxml.Element
+	// XMLAttr is one XMLAttributes() entry.
+	XMLAttr = sqlxml.Attr
+	// XMLColumn emits a column value as text.
+	XMLColumn = sqlxml.Column
+	// XMLLiteral emits constant text.
+	XMLLiteral = sqlxml.Literal
+	// XMLConcat is XMLConcat().
+	XMLConcat = sqlxml.Concat
+	// XMLAgg aggregates a correlated subquery.
+	XMLAgg = sqlxml.Agg
+	// SubQuery is the correlated subquery of an XMLAgg/ScalarAgg.
+	SubQuery = sqlxml.SubQuery
+	// ScalarAgg is COUNT/SUM/AVG/MIN/MAX.
+	ScalarAgg = sqlxml.ScalarAgg
+)
+
+// Strategy identifies how a compiled transformation executes.
+type Strategy uint8
+
+// Execution strategies, strongest first.
+const (
+	// StrategySQL: the full paper pipeline — the stylesheet became a
+	// SQL/XML plan over the base tables (Tables 7/11).
+	StrategySQL Strategy = iota
+	// StrategyXQuery: the stylesheet became XQuery, evaluated functionally
+	// over each materialized view row (the first rewrite stage only).
+	StrategyXQuery
+	// StrategyNoRewrite: functional XSLT interpretation over materialized
+	// rows — the paper's baseline.
+	StrategyNoRewrite
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySQL:
+		return "sql-rewrite"
+	case StrategyXQuery:
+		return "xquery-rewrite"
+	default:
+		return "no-rewrite"
+	}
+}
+
+// Database owns relational tables and XMLType views. View registration and
+// lookup are safe for concurrent use; the relational store carries its own
+// locking.
+type Database struct {
+	mu    sync.RWMutex
+	rel   *relstore.DB
+	exec  *sqlxml.Executor
+	views map[string]*ViewDef
+	// viewVersions tracks view redefinitions so compiled transforms can
+	// recompile automatically (§7.3: "this recompilation process is
+	// automated because the XSLT query has dependency on the XML schema
+	// whose change is tracked by the database system").
+	viewVersions map[string]int
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	rel := relstore.NewDB()
+	return &Database{rel: rel, exec: sqlxml.NewExecutor(rel), views: map[string]*ViewDef{}, viewVersions: map[string]int{}}
+}
+
+// Rel exposes the underlying relational store.
+func (d *Database) Rel() *relstore.DB { return d.rel }
+
+// Stats returns the accumulated physical operator counters.
+func (d *Database) Stats() *Stats { return &d.exec.Stats }
+
+// CreateTable creates a relational table.
+func (d *Database) CreateTable(name string, cols ...TableColumn) error {
+	_, err := d.rel.CreateTable(name, cols...)
+	return err
+}
+
+// Insert appends a row to a table.
+func (d *Database) Insert(table string, values ...relstore.Value) error {
+	t := d.rel.Table(table)
+	if t == nil {
+		return fmt.Errorf("xsltdb: no table %q", table)
+	}
+	_, err := t.Insert(values...)
+	return err
+}
+
+// CreateIndex builds a B-tree index on table.col.
+func (d *Database) CreateIndex(table, col string) error {
+	t := d.rel.Table(table)
+	if t == nil {
+		return fmt.Errorf("xsltdb: no table %q", table)
+	}
+	return t.CreateIndex(col)
+}
+
+// CreateXMLView registers an XMLType view.
+func (d *Database) CreateXMLView(v *ViewDef) error {
+	if v.Name == "" {
+		return errors.New("xsltdb: view needs a name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.views[v.Name]; dup {
+		return fmt.Errorf("xsltdb: view %q already exists", v.Name)
+	}
+	if d.rel.Table(v.Table) == nil {
+		return fmt.Errorf("xsltdb: view %q references unknown table %q", v.Name, v.Table)
+	}
+	d.views[v.Name] = v
+	d.viewVersions[v.Name] = 1
+	return nil
+}
+
+// ReplaceXMLView redefines an existing view (schema evolution, §7.3).
+// Transforms compiled against the old definition recompile automatically on
+// their next Run.
+func (d *Database) ReplaceXMLView(v *ViewDef) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.views[v.Name]; !ok {
+		return fmt.Errorf("xsltdb: no view %q to replace", v.Name)
+	}
+	if d.rel.Table(v.Table) == nil {
+		return fmt.Errorf("xsltdb: view %q references unknown table %q", v.Name, v.Table)
+	}
+	d.views[v.Name] = v
+	d.viewVersions[v.Name]++
+	return nil
+}
+
+// View returns a registered view, or nil.
+func (d *Database) View(name string) *ViewDef {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.views[name]
+}
+
+// viewAndVersion reads a view with its current version under the lock.
+func (d *Database) viewAndVersion(name string) (*ViewDef, int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.views[name], d.viewVersions[name]
+}
+
+// MaterializeView builds the XMLType instance of every view row (the
+// functional input path).
+func (d *Database) MaterializeView(name string) ([]*xmltree.Node, error) {
+	v := d.View(name)
+	if v == nil {
+		return nil, fmt.Errorf("xsltdb: no view %q", name)
+	}
+	return d.exec.MaterializeView(v)
+}
+
+// DeriveSchema computes the structural schema of a view's output (§3.2).
+func (d *Database) DeriveSchema(name string) (*xschema.Schema, error) {
+	v := d.View(name)
+	if v == nil {
+		return nil, fmt.Errorf("xsltdb: no view %q", name)
+	}
+	return d.exec.DeriveSchema(v)
+}
+
+// CompileOptions tune CompileTransform.
+type CompileOptions struct {
+	// Force selects a strategy instead of the automatic
+	// SQL→XQuery→no-rewrite fallback chain.
+	Force *Strategy
+	// OuterPath composes an XQuery child path over the TRANSFORM OUTPUT
+	// (paper Example 2): e.g. []string{"table", "tr"}.
+	OuterPath []string
+	// Parallelism runs the SQL strategy with row-level parallelism when
+	// > 1 (the paper's "parallel manner" aggregation note).
+	Parallelism int
+}
+
+// ForceStrategy is a convenience for CompileOptions.Force.
+func ForceStrategy(s Strategy) *Strategy { return &s }
+
+// CompiledTransform is a stylesheet compiled against a view.
+type CompiledTransform struct {
+	db       *Database
+	view     *ViewDef
+	sheet    *xslt.Stylesheet
+	strategy Strategy
+
+	rewrite *core.Result  // nil for no-rewrite
+	plan    *sqlxml.Query // nil unless StrategySQL
+	// FallbackReason explains why a stronger strategy was not used.
+	FallbackReason string
+
+	// Recompilation state (§7.3).
+	viewName    string
+	viewVersion int
+	source      string
+	opts        CompileOptions
+	// Recompiles counts automatic recompilations triggered by view
+	// redefinition.
+	Recompiles int
+}
+
+// CompileTransform compiles stylesheet text against the named view,
+// choosing the strongest applicable strategy.
+func (d *Database) CompileTransform(viewName, stylesheet string, opts CompileOptions) (*CompiledTransform, error) {
+	view, version := d.viewAndVersion(viewName)
+	if view == nil {
+		return nil, fmt.Errorf("xsltdb: no view %q", viewName)
+	}
+	sheet, err := xslt.ParseStylesheet(stylesheet)
+	if err != nil {
+		return nil, err
+	}
+	ct := &CompiledTransform{
+		db: d, view: view, sheet: sheet, strategy: StrategyNoRewrite,
+		viewName: viewName, viewVersion: version,
+		source: stylesheet, opts: opts,
+	}
+
+	if opts.Force != nil && *opts.Force == StrategyNoRewrite {
+		if len(opts.OuterPath) > 0 {
+			return nil, errors.New("xsltdb: OuterPath requires a rewrite strategy")
+		}
+		return ct, nil
+	}
+
+	schema, err := d.exec.DeriveSchema(view)
+	if err != nil {
+		if opts.Force != nil {
+			return nil, fmt.Errorf("xsltdb: schema derivation failed: %w", err)
+		}
+		ct.FallbackReason = "schema derivation failed: " + err.Error()
+		return ct, nil
+	}
+	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
+	if err != nil {
+		if opts.Force != nil {
+			return nil, fmt.Errorf("xsltdb: rewrite failed: %w", err)
+		}
+		ct.FallbackReason = "XSLT→XQuery rewrite failed: " + err.Error()
+		return ct, nil
+	}
+	ct.rewrite = res
+	ct.strategy = StrategyXQuery
+
+	module := res.Module
+	if len(opts.OuterPath) > 0 {
+		projected, err := xq2sql.ProjectPath(module, opts.OuterPath)
+		if err != nil {
+			return nil, fmt.Errorf("xsltdb: outer path: %w", err)
+		}
+		module = projected
+		ct.rewrite = &core.Result{Module: module, Mode: res.Mode, Inlined: res.Inlined, PE: res.PE, Notes: res.Notes}
+	}
+
+	if opts.Force != nil && *opts.Force == StrategyXQuery {
+		return ct, nil
+	}
+
+	plan, err := xq2sql.Translate(module, view)
+	if err != nil {
+		if opts.Force != nil && *opts.Force == StrategySQL {
+			return nil, fmt.Errorf("xsltdb: SQL lowering failed: %w", err)
+		}
+		ct.FallbackReason = "XQuery→SQL/XML lowering failed: " + err.Error()
+		return ct, nil
+	}
+	ct.plan = plan
+	ct.strategy = StrategySQL
+	return ct, nil
+}
+
+// Strategy reports the chosen execution strategy.
+func (ct *CompiledTransform) Strategy() Strategy { return ct.strategy }
+
+// Inlined reports whether the XQuery stage fully inlined (§5 statistic).
+func (ct *CompiledTransform) Inlined() bool {
+	return ct.rewrite != nil && ct.rewrite.Inlined
+}
+
+// Notes lists the optimizations the rewriter applied.
+func (ct *CompiledTransform) Notes() []string {
+	if ct.rewrite == nil {
+		return nil
+	}
+	return ct.rewrite.Notes
+}
+
+// XQuery returns the generated XQuery text ("" for no-rewrite).
+func (ct *CompiledTransform) XQuery() string {
+	if ct.rewrite == nil {
+		return ""
+	}
+	return ct.rewrite.Module.String()
+}
+
+// SQL returns the generated SQL/XML text ("" unless StrategySQL).
+func (ct *CompiledTransform) SQL() string {
+	if ct.plan == nil {
+		return ""
+	}
+	return ct.plan.SQL()
+}
+
+// ExplainPlan describes the physical access paths ("" unless StrategySQL).
+func (ct *CompiledTransform) ExplainPlan() string {
+	if ct.plan == nil {
+		return ""
+	}
+	return ct.db.exec.ExplainQuery(ct.plan)
+}
+
+// Run executes the transformation for every view row and returns the
+// serialized results (one string per driving row). A transform whose view
+// was redefined since compilation recompiles automatically first (§7.3).
+func (ct *CompiledTransform) Run() ([]string, error) {
+	ct.db.mu.RLock()
+	cur := ct.db.viewVersions[ct.viewName]
+	ct.db.mu.RUnlock()
+	if cur != ct.viewVersion {
+		fresh, err := ct.db.CompileTransform(ct.viewName, ct.source, ct.opts)
+		if err != nil {
+			return nil, fmt.Errorf("xsltdb: automatic recompilation after view change: %w", err)
+		}
+		recompiles := ct.Recompiles + 1
+		*ct = *fresh
+		ct.Recompiles = recompiles
+	}
+	return ct.run()
+}
+
+func (ct *CompiledTransform) run() ([]string, error) {
+	switch ct.strategy {
+	case StrategySQL:
+		docs, err := ct.db.exec.ExecQueryParallel(ct.plan, ct.opts.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(docs))
+		for i, doc := range docs {
+			out[i] = serialize(doc)
+		}
+		return out, nil
+
+	case StrategyXQuery:
+		rows, err := ct.db.exec.MaterializeView(ct.view)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, len(rows))
+		for i, row := range rows {
+			seq, err := xquery.EvalModule(ct.rewrite.Module, xquery.NewEnv(xquery.Item(row)))
+			if err != nil {
+				return nil, fmt.Errorf("xsltdb: row %d: %w", i, err)
+			}
+			out[i] = xquery.SerializeSeq(seq)
+		}
+		return out, nil
+
+	default: // StrategyNoRewrite
+		rows, err := ct.db.exec.MaterializeView(ct.view)
+		if err != nil {
+			return nil, err
+		}
+		eng := xslt.New(ct.sheet)
+		out := make([]string, len(rows))
+		for i, row := range rows {
+			s, err := eng.TransformToString(row)
+			if err != nil {
+				return nil, fmt.Errorf("xsltdb: row %d: %w", i, err)
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+}
+
+func serialize(n *xmltree.Node) string {
+	var sb strings.Builder
+	n.Serialize(&sb, xmltree.SerializeOptions{OmitDecl: true})
+	return sb.String()
+}
+
+// Transform applies a stylesheet to standalone XML text functionally (the
+// XMLTransform() convenience without a database).
+func Transform(xmlText, stylesheet string) (string, error) {
+	doc, err := xmltree.Parse(xmlText)
+	if err != nil {
+		return "", err
+	}
+	sheet, err := xslt.ParseStylesheet(stylesheet)
+	if err != nil {
+		return "", err
+	}
+	return xslt.New(sheet).TransformToString(doc)
+}
+
+// RewriteToXQuery compiles a stylesheet against a compact schema (see
+// internal/xschema) and returns the generated XQuery text plus whether it
+// fully inlined.
+func RewriteToXQuery(stylesheet, compactSchema string) (queryText string, inlined bool, err error) {
+	sheet, err := xslt.ParseStylesheet(stylesheet)
+	if err != nil {
+		return "", false, err
+	}
+	schema, err := xschema.ParseCompact(compactSchema)
+	if err != nil {
+		return "", false, err
+	}
+	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
+	if err != nil {
+		return "", false, err
+	}
+	return res.Module.String(), res.Inlined, nil
+}
+
+// ChainedTransform is a pipeline: a view-backed first stage followed by
+// stylesheets applied to each preceding stage's output. Later stages are
+// rewritten against the statically-derived schema of the previous stage's
+// output when possible (§3.2), else interpreted functionally.
+type ChainedTransform struct {
+	first  *CompiledTransform
+	stages []chainStage
+}
+
+type chainStage struct {
+	sheet *xslt.Stylesheet
+	// module is the rewritten query for this stage; nil = interpret.
+	module *xquery.Module
+	// Rewritten reports whether the stage uses the XSLT→XQuery rewrite.
+	Rewritten bool
+}
+
+// Then builds a pipeline that applies stylesheet to every output document
+// of ct.
+func (ct *CompiledTransform) Then(stylesheet string) (*ChainedTransform, error) {
+	chain := &ChainedTransform{first: ct}
+	return chain.Then(stylesheet)
+}
+
+// Then appends one more stage.
+func (c *ChainedTransform) Then(stylesheet string) (*ChainedTransform, error) {
+	sheet, err := xslt.ParseStylesheet(stylesheet)
+	if err != nil {
+		return nil, err
+	}
+	st := chainStage{sheet: sheet}
+	// Static typing source: the previous rewritten module (first stage or
+	// last chained stage).
+	var prev *xquery.Module
+	if len(c.stages) > 0 {
+		prev = c.stages[len(c.stages)-1].module
+	} else if c.first.rewrite != nil {
+		prev = c.first.rewrite.Module
+	}
+	if prev != nil {
+		if schema, err := core.DeriveOutputSchema(prev); err == nil {
+			if res, err := core.Rewrite(sheet, schema, core.ModeAuto); err == nil {
+				st.module = res.Module
+				st.Rewritten = true
+			}
+		}
+	}
+	c.stages = append(c.stages, st)
+	return c, nil
+}
+
+// Stages reports how many chained stages were rewritten (vs interpreted).
+func (c *ChainedTransform) Stages() (rewritten, interpreted int) {
+	for _, st := range c.stages {
+		if st.Rewritten {
+			rewritten++
+		} else {
+			interpreted++
+		}
+	}
+	return rewritten, interpreted
+}
+
+// Run executes the pipeline for every view row.
+func (c *ChainedTransform) Run() ([]string, error) {
+	rows, err := c.first.Run()
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range c.stages {
+		next := make([]string, len(rows))
+		for i, row := range rows {
+			doc, err := xmltree.ParseFragment(row)
+			if err != nil {
+				return nil, fmt.Errorf("xsltdb: chained stage input: %w", err)
+			}
+			if st.module != nil {
+				seq, err := xquery.EvalModule(st.module, xquery.NewEnv(xquery.Item(doc)))
+				if err != nil {
+					return nil, err
+				}
+				next[i] = xquery.SerializeSeq(seq)
+				continue
+			}
+			out, err := xslt.New(st.sheet).TransformToString(doc)
+			if err != nil {
+				return nil, err
+			}
+			next[i] = out
+		}
+		rows = next
+	}
+	return rows, nil
+}
