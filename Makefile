@@ -1,0 +1,28 @@
+# Tier-1 gate plus static and race checks.
+#
+#   make verify   build + unit tests + go vet + race-detector suite
+#   make test     tier-1 only (what CI gates on)
+#   make bench    the paper-evaluation benchmarks
+#   make demo     paper Examples 1 and 2 end to end, streamed with stats
+
+GO ?= go
+
+.PHONY: verify test vet race bench demo
+
+verify: test vet race
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx .
+
+demo:
+	$(GO) run ./cmd/xsltdb demo -stream -stats

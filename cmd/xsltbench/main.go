@@ -6,12 +6,17 @@
 //	xsltbench -inline-stats   # the "23 out of 40 cases fully inline" statistic
 //	xsltbench -all            # everything
 //
+// -stream executes the rewrite path through the streaming cursor (one row
+// pulled at a time) instead of materializing the result set; -stats prints
+// the physical operator counters of each configuration's last run.
+//
 // Times are medians over -reps runs of each configuration.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -33,6 +38,8 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	reps := flag.Int("reps", 5, "repetitions per configuration (median reported)")
 	scale := flag.Int("scale", 1, "multiply workload sizes by this factor")
+	flag.BoolVar(&streamMode, "stream", false, "run the rewrite path through a streaming cursor")
+	flag.BoolVar(&statsMode, "stats", false, "print physical operator counters per configuration")
 	flag.Parse()
 
 	ran := false
@@ -58,11 +65,18 @@ func main() {
 	}
 }
 
+// streamMode/statsMode are the -stream/-stats flags.
+var (
+	streamMode bool
+	statsMode  bool
+)
+
 // bench builds a database-backed case at size n and returns both paths.
 type paths struct {
 	rewrite   func() error
 	noRewrite func() error
-	bytes     int // serialized document size, the paper's X axis
+	bytes     int                   // serialized document size, the paper's X axis
+	counters  func() relstore.Stats // physical operator counters so far
 }
 
 func load(name string, n int) (*paths, error) {
@@ -98,8 +112,26 @@ func load(name string, n int) (*paths, error) {
 	}
 	return &paths{
 		rewrite: func() error {
-			_, err := exec.ExecQuery(plan)
-			return err
+			if !streamMode {
+				_, err := exec.ExecQuery(plan)
+				return err
+			}
+			// Streaming: pull one document at a time off the plan's access
+			// path; counters still land in the executor aggregate.
+			var sink relstore.Stats
+			qc, err := exec.OpenQueryCursor(plan, &sink)
+			if err != nil {
+				return err
+			}
+			for {
+				if _, err := qc.Next(); err == io.EOF {
+					break
+				} else if err != nil {
+					return err
+				}
+			}
+			exec.AddStats(&sink)
+			return nil
 		},
 		noRewrite: func() error {
 			rows, err := exec.MaterializeView(view)
@@ -114,8 +146,19 @@ func load(name string, n int) (*paths, error) {
 			}
 			return nil
 		},
-		bytes: len(c.Gen(n)),
+		bytes:    len(c.Gen(n)),
+		counters: func() relstore.Stats { return exec.Stats.Snapshot() },
 	}, nil
+}
+
+// printCounters reports a configuration's accumulated operator counters.
+func printCounters(label string, p *paths) {
+	if !statsMode {
+		return
+	}
+	s := p.counters()
+	fmt.Printf("  %s stats: scanned=%d probes=%d range-scans=%d full-scans=%d emitted=%d\n",
+		label, s.RowsScanned, s.IndexProbes, s.RangeScans, s.FullScans, s.RowsEmitted)
 }
 
 func median(reps int, f func() error) time.Duration {
@@ -145,6 +188,7 @@ func figure2(reps, scale int) {
 		r := median(reps, p.rewrite)
 		nr := median(reps, p.noRewrite)
 		fmt.Printf("%-10d %-12d %-14s %-14s %.0fx\n", n, p.bytes, r, nr, float64(nr)/float64(r))
+		printCounters(fmt.Sprintf("n=%d", n), p)
 	}
 	fmt.Println()
 }
@@ -161,6 +205,7 @@ func figure3(reps, scale int) {
 		r := median(reps, p.rewrite)
 		nr := median(reps, p.noRewrite)
 		fmt.Printf("%-10s %-14s %-14s %.0fx\n", name, r, nr, float64(nr)/float64(r))
+		printCounters(name, p)
 	}
 	fmt.Println()
 }

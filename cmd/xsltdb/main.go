@@ -6,15 +6,19 @@
 //	xsltdb rewrite -xsl sheet.xsl -schema schema.txt [-show xquery|notes]
 //	    compile a stylesheet to XQuery via partial evaluation (§3-4)
 //
-//	xsltdb demo
+//	xsltdb demo [-stream] [-stats]
 //	    run the paper's Example 1 and Example 2 end to end, printing the
 //	    intermediate XQuery (Table 8), the SQL/XML plan (Tables 7/11) and
-//	    the physical access paths
+//	    the physical access paths; -stream pulls rows through a Cursor
+//	    instead of materializing, -stats prints per-run ExecStats and the
+//	    plan-cache counters
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -36,7 +40,7 @@ func main() {
 	case "rewrite":
 		cmdRewrite(os.Args[2:])
 	case "demo":
-		cmdDemo()
+		cmdDemo(os.Args[2:])
 	default:
 		usage()
 	}
@@ -139,7 +143,12 @@ func cmdRewrite(args []string) {
 	}
 }
 
-func cmdDemo() {
+func cmdDemo(args []string) {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	stream := fs.Bool("stream", false, "pull result rows through a streaming cursor instead of materializing")
+	stats := fs.Bool("stats", false, "print per-run execution statistics and plan-cache counters")
+	_ = fs.Parse(args)
+
 	db := xsltdb.NewDatabase()
 	if err := sqlxml.SetupDeptEmp(db.Rel()); err != nil {
 		fatal(err)
@@ -173,14 +182,8 @@ func cmdDemo() {
 	fmt.Println("-- physical plan --")
 	fmt.Println(ct.ExplainPlan())
 	fmt.Println()
-	rows, err := ct.Run()
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Println("-- result rows (paper Table 6) --")
-	for i, r := range rows {
-		fmt.Printf("row %d: %s\n", i+1, r)
-	}
+	demoRun(ct, *stream, *stats)
 	fmt.Println()
 
 	fmt.Println("== Example 2: XQuery over the XSLT view (combined optimisation) ==")
@@ -193,11 +196,46 @@ func cmdDemo() {
 	fmt.Println("-- optimal SQL/XML (paper Table 11) --")
 	fmt.Println(ct2.SQL())
 	fmt.Println()
-	rows2, err := ct2.Run()
+	demoRun(ct2, *stream, *stats)
+
+	if *stats {
+		pc := db.PlanCacheStats()
+		fmt.Printf("\n-- plan cache --\nhits=%d misses=%d entries=%d\n", pc.CacheHits, pc.CacheMisses, pc.Entries)
+	}
+}
+
+// demoRun prints the transform's rows — streamed one at a time through a
+// cursor, or materialized via Run — and the per-run stats when asked.
+func demoRun(ct *xsltdb.CompiledTransform, stream, stats bool) {
+	if stream {
+		cur, err := ct.OpenCursor(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		defer cur.Close()
+		for i := 1; ; i++ {
+			row, err := cur.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("row %d: %s\n", i, row)
+		}
+		if stats {
+			fmt.Println("stats:", cur.Stats())
+		}
+		return
+	}
+	rows, es, err := ct.RunWithStats()
 	if err != nil {
 		fatal(err)
 	}
-	for i, r := range rows2 {
+	for i, r := range rows {
 		fmt.Printf("row %d: %s\n", i+1, r)
+	}
+	if stats {
+		fmt.Println("stats:", es)
 	}
 }

@@ -1,0 +1,215 @@
+package xsltdb
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/relstore"
+	"repro/internal/xquery"
+	"repro/internal/xslt"
+)
+
+// Cursor streams a transformation one driving row at a time (the paper's §6
+// iterator-based pull evaluation): nothing is materialized up front — each
+// Next pulls one row through the relstore access path, constructs its XML,
+// and applies the strategy's evaluation. Use it when results are consumed
+// incrementally or the full result set should not be held in memory.
+//
+// The protocol is Next until io.EOF, then Close. Next returns the context's
+// error if the context is cancelled mid-iteration, and ErrCursorClosed
+// after Close. A cursor is not safe for concurrent use; open one cursor per
+// goroutine instead (their stats never share a counter).
+type Cursor struct {
+	ctx context.Context
+	db  *Database
+
+	// pull yields the next serialized row for the strategy, io.EOF at end.
+	pull func() (string, error)
+
+	sink         relstore.Stats
+	rowsProduced int64
+	recompiles   int64
+	compileWall  time.Duration
+	execWall     time.Duration
+
+	err     error // sticky terminal condition (io.EOF, ctx error, eval error)
+	closed  bool
+	flushed bool
+}
+
+// OpenCursor begins a streaming execution of the transform. A transform
+// whose view was redefined since compilation recompiles automatically first
+// (§7.3). The SQL strategy streams straight off the plan's access path;
+// XQuery and no-rewrite materialize ONE view row per Next.
+func (ct *CompiledTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	st, recompiled, err := ct.ensureFresh()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{ctx: ctx, db: ct.db, recompiles: int64(recompiled), compileWall: time.Since(start)}
+
+	switch st.strategy {
+	case StrategySQL:
+		qc, err := ct.db.exec.OpenQueryCursor(st.plan, &c.sink)
+		if err != nil {
+			return nil, err
+		}
+		c.pull = func() (string, error) {
+			doc, err := qc.Next()
+			if err != nil {
+				return "", err
+			}
+			return serialize(doc), nil
+		}
+
+	case StrategyXQuery:
+		vc, err := ct.db.exec.OpenViewCursor(st.view, &c.sink)
+		if err != nil {
+			return nil, err
+		}
+		module := st.rewrite.Module
+		row := 0
+		c.pull = func() (string, error) {
+			doc, err := vc.Next()
+			if err != nil {
+				return "", err
+			}
+			seq, err := xquery.EvalModule(module, xquery.NewEnv(xquery.Item(doc)))
+			if err != nil {
+				return "", fmt.Errorf("xsltdb: row %d: %w", row, err)
+			}
+			row++
+			return xquery.SerializeSeq(seq), nil
+		}
+
+	default: // StrategyNoRewrite
+		vc, err := ct.db.exec.OpenViewCursor(st.view, &c.sink)
+		if err != nil {
+			return nil, err
+		}
+		eng := xslt.New(st.sheet)
+		row := 0
+		c.pull = func() (string, error) {
+			doc, err := vc.Next()
+			if err != nil {
+				return "", err
+			}
+			s, err := eng.TransformToString(doc)
+			if err != nil {
+				return "", fmt.Errorf("xsltdb: row %d: %w", row, err)
+			}
+			row++
+			return s, nil
+		}
+	}
+	return c, nil
+}
+
+// OpenCursor streams the whole pipeline: each driving row is pulled through
+// the first stage's cursor and then through every chained stage before the
+// next row is touched.
+func (c *ChainedTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
+	cur, err := c.first.OpenCursor(ctx)
+	if err != nil {
+		return nil, err
+	}
+	stages := c.stages
+	inner := cur.pull
+	cur.pull = func() (string, error) {
+		row, err := inner()
+		if err != nil {
+			return "", err
+		}
+		return applyStages(stages, row)
+	}
+	return cur, nil
+}
+
+// Next returns the next serialized result row. It returns io.EOF at end of
+// stream, the context's error if the cursor's context was cancelled, and
+// ErrCursorClosed after Close. Any terminal error is sticky.
+func (c *Cursor) Next() (string, error) {
+	if c.closed {
+		return "", ErrCursorClosed
+	}
+	if c.err != nil {
+		return "", c.err
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.terminate(err)
+		return "", err
+	}
+	start := time.Now()
+	s, err := c.pull()
+	c.execWall += time.Since(start)
+	if err != nil {
+		c.terminate(err)
+		return "", err
+	}
+	c.rowsProduced++
+	return s, nil
+}
+
+// terminate records the sticky terminal condition and merges this run's
+// counters into the database-wide aggregate.
+func (c *Cursor) terminate(err error) {
+	c.err = err
+	c.flush()
+}
+
+func (c *Cursor) flush() {
+	if !c.flushed {
+		c.flushed = true
+		c.db.exec.AddStats(&c.sink)
+	}
+}
+
+// Close releases the cursor. Closing early — before io.EOF — is the way to
+// abandon a partially-consumed stream: the remaining rows are never pulled
+// and this run's counters are merged into the aggregate at that point.
+// Close is idempotent.
+func (c *Cursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.pull = nil // release plan/iterator references
+	c.flush()
+	return nil
+}
+
+// Stats returns a snapshot of this cursor's per-run statistics; valid both
+// mid-iteration and after Close.
+func (c *Cursor) Stats() ExecStats {
+	es := ExecStats{
+		RowsProduced: c.rowsProduced,
+		Recompiles:   c.recompiles,
+		CompileWall:  c.compileWall,
+		ExecWall:     c.execWall,
+	}
+	es.mergeSink(c.sink.Snapshot())
+	return es
+}
+
+// Collect drains the cursor into a slice and closes it — Run semantics over
+// a cursor; mostly useful in tests and small tools.
+func (c *Cursor) Collect() ([]string, error) {
+	defer c.Close()
+	var out []string
+	for {
+		row, err := c.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,20 @@
+package xsltdb
+
+import "errors"
+
+// Sentinel errors for programmatic handling with errors.Is/errors.As. All
+// package errors that involve these conditions wrap the matching sentinel,
+// with a message carrying the specific names involved.
+var (
+	// ErrNoView reports a reference to a view that is not registered.
+	ErrNoView = errors.New("xsltdb: view does not exist")
+	// ErrNoTable reports a reference to a table that does not exist.
+	ErrNoTable = errors.New("xsltdb: table does not exist")
+	// ErrDuplicateView reports CreateXMLView of a name already registered.
+	ErrDuplicateView = errors.New("xsltdb: view already exists")
+	// ErrRewriteFellBack reports that a forced strategy could not be
+	// satisfied: the rewrite pipeline fell back before reaching it.
+	ErrRewriteFellBack = errors.New("xsltdb: rewrite fell back before the forced strategy")
+	// ErrCursorClosed reports Next on a closed cursor.
+	ErrCursorClosed = errors.New("xsltdb: cursor is closed")
+)

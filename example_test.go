@@ -1,10 +1,14 @@
 package xsltdb_test
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 
 	xsltdb "repro"
+	"repro/internal/sqlxml"
+	"repro/internal/xslt"
 )
 
 // ExampleTransform applies a stylesheet functionally to standalone XML —
@@ -84,4 +88,42 @@ func ExampleDatabase_CompileTransform() {
 	// Output:
 	// sql-rewrite
 	// <big><c>Seoul</c></big>
+}
+
+// ExampleCompiledTransform_OpenCursor streams the paper's Example 2 result
+// one row at a time instead of materializing it.
+func ExampleCompiledTransform_OpenCursor() {
+	db := xsltdb.NewDatabase()
+	if err := sqlxml.SetupDeptEmp(db.Rel()); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.CreateXMLView(sqlxml.DeptEmpView()); err != nil {
+		log.Fatal(err)
+	}
+
+	ct, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet,
+		xsltdb.WithOuterPath("table", "tr"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := ct.OpenCursor(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+	for {
+		row, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("rows:", cur.Stats().RowsProduced)
+	// Output:
+	// <tr><td>7782</td><td>CLARK</td><td>2450</td></tr>
+	// <tr><td>7954</td><td>SMITH</td><td>4900</td></tr>
+	// rows: 2
 }

@@ -8,11 +8,15 @@ import (
 )
 
 // Stats counts physical work done by operators; the benchmark harness reads
-// these to show that the rewrite path touches fewer rows.
+// these to show that the rewrite path touches fewer rows. All increments are
+// atomic, so one Stats value can serve as the sink for several concurrent
+// iterators; read a live sink with Snapshot.
 type Stats struct {
 	RowsScanned int64 // heap rows visited by full scans
 	IndexProbes int64 // B-tree descents
 	RowsEmitted int64
+	FullScans   int64 // full-scan operators started
+	RangeScans  int64 // B-tree range-scan operators started
 }
 
 // Add accumulates other into s (atomically).
@@ -20,6 +24,20 @@ func (s *Stats) Add(other *Stats) {
 	atomic.AddInt64(&s.RowsScanned, atomic.LoadInt64(&other.RowsScanned))
 	atomic.AddInt64(&s.IndexProbes, atomic.LoadInt64(&other.IndexProbes))
 	atomic.AddInt64(&s.RowsEmitted, atomic.LoadInt64(&other.RowsEmitted))
+	atomic.AddInt64(&s.FullScans, atomic.LoadInt64(&other.FullScans))
+	atomic.AddInt64(&s.RangeScans, atomic.LoadInt64(&other.RangeScans))
+}
+
+// Snapshot returns an atomically-read copy of the counters, safe to take
+// while iterators are still writing to s.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		RowsScanned: atomic.LoadInt64(&s.RowsScanned),
+		IndexProbes: atomic.LoadInt64(&s.IndexProbes),
+		RowsEmitted: atomic.LoadInt64(&s.RowsEmitted),
+		FullScans:   atomic.LoadInt64(&s.FullScans),
+		RangeScans:  atomic.LoadInt64(&s.RangeScans),
+	}
 }
 
 // CmpOp is a comparison operator in a predicate.
@@ -245,7 +263,13 @@ func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
 		}
 	}
 	if best == -1 {
+		if stats != nil {
+			atomic.AddInt64(&stats.FullScans, 1)
+		}
 		return &scanIter{table: t, preds: preds, stats: stats}
+	}
+	if stats != nil {
+		atomic.AddInt64(&stats.RangeScans, 1)
 	}
 	p := preds[best]
 	var residual []Pred
@@ -274,5 +298,8 @@ func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
 // FullScan returns an unconditional scan (used when the caller needs every
 // row, e.g. view materialization).
 func FullScan(t *Table, stats *Stats) Iterator {
+	if stats != nil {
+		atomic.AddInt64(&stats.FullScans, 1)
+	}
 	return &scanIter{table: t, stats: stats}
 }

@@ -1,0 +1,94 @@
+package sqlxml
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/relstore"
+	"repro/internal/xmltree"
+)
+
+// This file is the streaming half of the executor (the paper's §6
+// iterator-based pull evaluation): instead of collecting every driving row
+// up front, a cursor holds the relstore access-path iterator open and
+// constructs one XMLType instance per Next call. The materializing
+// ExecQuery/MaterializeView entry points in view.go drain these cursors, so
+// both execution styles share one construction path.
+//
+// Cursors write physical-operator counters to the sink passed at open time;
+// passing a per-run sink keeps concurrent executions from sharing counters.
+
+// DocCursor is the common pull interface of the streaming executors: Next
+// returns the next constructed document, or io.EOF at end of stream.
+type DocCursor interface {
+	Next() (*xmltree.Node, error)
+}
+
+// QueryCursor streams a SQL/XML query one qualifying driving row at a time.
+type QueryCursor struct {
+	body XMLExpr
+	t    *relstore.Table
+	it   relstore.Iterator
+	ec   *evalContext
+}
+
+// OpenQueryCursor opens a streaming execution of q. Operator counters go to
+// sink (which may be nil to discard them).
+func (e *Executor) OpenQueryCursor(q *Query, sink *relstore.Stats) (*QueryCursor, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
+	}
+	return &QueryCursor{
+		body: q.Body,
+		t:    t,
+		it:   relstore.AccessPath(t, q.Where, sink),
+		ec:   &evalContext{db: e.DB, stats: sink},
+	}, nil
+}
+
+// Next constructs the XML for the next qualifying driving row. It returns
+// io.EOF when the driving iterator is exhausted.
+func (c *QueryCursor) Next() (*xmltree.Node, error) {
+	id, ok := c.it.Next()
+	if !ok {
+		return nil, io.EOF
+	}
+	doc := xmltree.NewDocument()
+	if err := c.ec.evalInto(doc, c.body, c.t, id); err != nil {
+		return nil, err
+	}
+	doc.Renumber()
+	return doc, nil
+}
+
+// OpenViewCursor opens a streaming materialization of v: one XMLType
+// instance per driving-table row, pulled on demand.
+func (e *Executor) OpenViewCursor(v *ViewDef, sink *relstore.Stats) (*QueryCursor, error) {
+	t := e.DB.Table(v.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
+	}
+	return &QueryCursor{
+		body: v.Body,
+		t:    t,
+		it:   relstore.FullScan(t, sink),
+		ec:   &evalContext{db: e.DB, stats: sink},
+	}, nil
+}
+
+// drainCursor collects a cursor's remaining documents (the materializing
+// execution style, layered on the streaming one).
+func drainCursor(c DocCursor) ([]*xmltree.Node, error) {
+	var out []*xmltree.Node
+	for {
+		doc, err := c.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, doc)
+	}
+}

@@ -55,6 +55,9 @@ func (q *Query) SQL() string {
 type Executor struct {
 	DB *relstore.DB
 	// Stats accumulates physical-operator counters across executions.
+	// Concurrent runs that need isolated counters pass their own sink to
+	// the ...With variants and merge it back via AddStats; read this field
+	// with Stats.Snapshot while runs are in flight.
 	Stats relstore.Stats
 }
 
@@ -63,31 +66,25 @@ func NewExecutor(db *relstore.DB) *Executor {
 	return &Executor{DB: db}
 }
 
+// AddStats merges a per-run stats sink into the executor's accumulated
+// counters (atomically).
+func (e *Executor) AddStats(s *relstore.Stats) { e.Stats.Add(s) }
+
 // MaterializeView builds the XMLType instance for every row of the view's
 // driving table (the paper's "functional evaluation" input path: the XML
 // must be materialized before XSLT can run on it). Each result is a
-// document node.
+// document node. Counters accumulate into e.Stats.
 func (e *Executor) MaterializeView(v *ViewDef) ([]*xmltree.Node, error) {
-	t := e.DB.Table(v.Table)
-	if t == nil {
-		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
+	return e.MaterializeViewWith(v, &e.Stats)
+}
+
+// MaterializeViewWith is MaterializeView with an explicit stats sink.
+func (e *Executor) MaterializeViewWith(v *ViewDef, sink *relstore.Stats) ([]*xmltree.Node, error) {
+	c, err := e.OpenViewCursor(v, sink)
+	if err != nil {
+		return nil, err
 	}
-	ec := &evalContext{db: e.DB, stats: &e.Stats}
-	var out []*xmltree.Node
-	it := relstore.FullScan(t, &e.Stats)
-	for {
-		id, ok := it.Next()
-		if !ok {
-			break
-		}
-		doc := xmltree.NewDocument()
-		if err := ec.evalInto(doc, v.Body, t, id); err != nil {
-			return nil, err
-		}
-		doc.Renumber()
-		out = append(out, doc)
-	}
-	return out, nil
+	return drainCursor(c)
 }
 
 // MaterializeRow builds the XMLType instance for a single driving row.
@@ -106,28 +103,19 @@ func (e *Executor) MaterializeRow(v *ViewDef, rowID int) (*xmltree.Node, error) 
 }
 
 // ExecQuery runs a SQL/XML query: one result fragment per qualifying row of
-// the driving table. The access path uses indexes when available.
+// the driving table. The access path uses indexes when available. Counters
+// accumulate into e.Stats.
 func (e *Executor) ExecQuery(q *Query) ([]*xmltree.Node, error) {
-	t := e.DB.Table(q.Table)
-	if t == nil {
-		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
+	return e.ExecQueryWith(q, &e.Stats)
+}
+
+// ExecQueryWith is ExecQuery with an explicit stats sink.
+func (e *Executor) ExecQueryWith(q *Query, sink *relstore.Stats) ([]*xmltree.Node, error) {
+	c, err := e.OpenQueryCursor(q, sink)
+	if err != nil {
+		return nil, err
 	}
-	ec := &evalContext{db: e.DB, stats: &e.Stats}
-	it := relstore.AccessPath(t, q.Where, &e.Stats)
-	var out []*xmltree.Node
-	for {
-		id, ok := it.Next()
-		if !ok {
-			break
-		}
-		doc := xmltree.NewDocument()
-		if err := ec.evalInto(doc, q.Body, t, id); err != nil {
-			return nil, err
-		}
-		doc.Renumber()
-		out = append(out, doc)
-	}
-	return out, nil
+	return drainCursor(c)
 }
 
 // ExplainQuery describes the physical plan: the driving access path plus
@@ -371,16 +359,23 @@ func SetupDeptEmp(db *relstore.DB) error {
 // workers goroutines (the paper notes the rewritten SQL/XML "can be
 // efficiently executed by the underlying RDBMS aggregation process in
 // parallel manner"). Results keep driving-row order. workers < 2 falls back
-// to the serial path.
+// to the serial path. Counters accumulate into e.Stats.
 func (e *Executor) ExecQueryParallel(q *Query, workers int) ([]*xmltree.Node, error) {
+	return e.ExecQueryParallelWith(q, workers, &e.Stats)
+}
+
+// ExecQueryParallelWith is ExecQueryParallel with an explicit stats sink.
+// All workers write to sink atomically; callers that need per-run isolation
+// pass a fresh sink and merge it back with AddStats.
+func (e *Executor) ExecQueryParallelWith(q *Query, workers int, sink *relstore.Stats) ([]*xmltree.Node, error) {
 	if workers < 2 {
-		return e.ExecQuery(q)
+		return e.ExecQueryWith(q, sink)
 	}
 	t := e.DB.Table(q.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
 	}
-	it := relstore.AccessPath(t, q.Where, &e.Stats)
+	it := relstore.AccessPath(t, q.Where, sink)
 	var ids []int
 	for {
 		id, ok := it.Next()
@@ -399,7 +394,7 @@ func (e *Executor) ExecQueryParallel(q *Query, workers int) ([]*xmltree.Node, er
 		go func(i, id int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			ec := &evalContext{db: e.DB, stats: &e.Stats}
+			ec := &evalContext{db: e.DB, stats: sink}
 			doc := xmltree.NewDocument()
 			if err := ec.evalInto(doc, q.Body, t, id); err != nil {
 				errs[i] = err

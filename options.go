@@ -1,0 +1,100 @@
+package xsltdb
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
+
+// Option configures CompileTransform. Two kinds satisfy it: the functional
+// options (WithForcedStrategy, WithParallelism, WithOuterPath) and — for
+// backward compatibility — a CompileOptions struct value passed directly.
+type Option interface {
+	applyOption(*CompileOptions)
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*CompileOptions)
+
+func (f optionFunc) applyOption(o *CompileOptions) { f(o) }
+
+// WithForcedStrategy selects a strategy instead of the automatic
+// SQL→XQuery→no-rewrite fallback chain. Compilation fails with
+// ErrRewriteFellBack when the forced strategy cannot be reached.
+func WithForcedStrategy(s Strategy) Option {
+	return optionFunc(func(o *CompileOptions) { o.Force = &s })
+}
+
+// WithParallelism runs the SQL strategy with row-level parallelism across n
+// workers when n > 1 (the paper's "parallel manner" aggregation note).
+func WithParallelism(n int) Option {
+	return optionFunc(func(o *CompileOptions) { o.Parallelism = n })
+}
+
+// WithOuterPath composes an XQuery child path over the TRANSFORM OUTPUT
+// (paper Example 2): e.g. WithOuterPath("table", "tr").
+func WithOuterPath(path ...string) Option {
+	return optionFunc(func(o *CompileOptions) { o.OuterPath = path })
+}
+
+// CompileOptions tunes CompileTransform.
+//
+// Deprecated: this struct form is kept as a shim — it satisfies Option, so
+// existing CompileTransform(view, sheet, CompileOptions{...}) calls keep
+// working. New code should pass the functional options instead.
+type CompileOptions struct {
+	// Force selects a strategy instead of the automatic
+	// SQL→XQuery→no-rewrite fallback chain.
+	Force *Strategy
+	// OuterPath composes an XQuery child path over the TRANSFORM OUTPUT
+	// (paper Example 2): e.g. []string{"table", "tr"}.
+	OuterPath []string
+	// Parallelism runs the SQL strategy with row-level parallelism when
+	// > 1 (the paper's "parallel manner" aggregation note).
+	Parallelism int
+}
+
+// applyOption lets a legacy CompileOptions value be passed where Options
+// are expected; it replaces the accumulated options wholesale.
+func (o CompileOptions) applyOption(dst *CompileOptions) { *dst = o }
+
+// ForceStrategy is a convenience for CompileOptions.Force.
+//
+// Deprecated: use WithForcedStrategy.
+func ForceStrategy(s Strategy) *Strategy { return &s }
+
+// buildOptions folds a list of Options into one CompileOptions value.
+func buildOptions(opts []Option) CompileOptions {
+	var co CompileOptions
+	for _, o := range opts {
+		o.applyOption(&co)
+	}
+	return co
+}
+
+// planKey identifies one cached compilation: same view (at the same
+// version), same stylesheet text, same plan-affecting options. Parallelism
+// is deliberately excluded — it tunes execution, not the compiled plan — so
+// transforms differing only in worker count share a cache entry.
+type planKey struct {
+	view    string
+	version int
+	sheet   [sha256.Size]byte
+	opts    string
+}
+
+func newPlanKey(view string, version int, stylesheet string, co CompileOptions) planKey {
+	return planKey{view: view, version: version, sheet: sha256.Sum256([]byte(stylesheet)), opts: co.planKeyPart()}
+}
+
+// planKeyPart canonicalizes the plan-affecting options.
+func (o CompileOptions) planKeyPart() string {
+	var sb strings.Builder
+	if o.Force != nil {
+		fmt.Fprintf(&sb, "force=%d;", *o.Force)
+	}
+	if len(o.OuterPath) > 0 {
+		sb.WriteString("outer=" + strings.Join(o.OuterPath, "\x00") + ";")
+	}
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+package xsltdb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// planCache is the database's compiled-plan cache: compile once, run many.
+// Entries are keyed by (view, view version, stylesheet hash, plan options),
+// so a view redefinition naturally misses — and ReplaceXMLView additionally
+// evicts the stale entries to bound memory. Concurrent compilations of the
+// same key are deduplicated singleflight-style: the first caller compiles,
+// the rest block on the entry's done channel and share the result.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*planEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type planEntry struct {
+	done chan struct{} // closed when st/err are set
+	st   *planState
+	err  error
+}
+
+// get returns the cached state for key, or claims the key and runs compile.
+// Failed compilations are not cached: the entry is removed so a later call
+// retries, and every in-flight waiter receives the error.
+func (c *planCache) get(key planKey, compile func() (*planState, error)) (*planState, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = map[planKey]*planEntry{}
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		c.hits.Add(1)
+		return e.st, nil
+	}
+	e := &planEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.st, e.err = compile()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.st, e.err
+}
+
+// evictView drops every cached plan compiled against the named view.
+func (c *planCache) evictView(view string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries {
+		if k.view == view {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// PlanCacheStats reports plan-cache effectiveness. CacheHits counts
+// compilations served from the cache (including singleflight waiters that
+// shared an in-flight compile); CacheMisses counts actual compilations.
+type PlanCacheStats struct {
+	CacheHits   int64
+	CacheMisses int64
+	Entries     int
+}
+
+// PlanCacheStats returns a snapshot of the compiled-plan cache counters.
+func (d *Database) PlanCacheStats() PlanCacheStats {
+	d.plans.mu.Lock()
+	n := len(d.plans.entries)
+	d.plans.mu.Unlock()
+	return PlanCacheStats{
+		CacheHits:   d.plans.hits.Load(),
+		CacheMisses: d.plans.misses.Load(),
+		Entries:     n,
+	}
+}

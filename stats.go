@@ -1,0 +1,52 @@
+package xsltdb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/relstore"
+)
+
+// ExecStats describes the work of ONE execution — a Run call or a cursor's
+// lifetime. Each run owns its counters (concurrent runs never share), and
+// the same counters are merged into the database-wide aggregate exposed by
+// Database.Stats.
+type ExecStats struct {
+	// RowsProduced counts serialized result rows handed to the caller.
+	RowsProduced int64
+	// RowsScanned counts heap rows visited by full scans.
+	RowsScanned int64
+	// IndexProbes counts B-tree descents.
+	IndexProbes int64
+	// RangeScans counts B-tree range-scan operators started.
+	RangeScans int64
+	// FullScans counts full-scan operators started.
+	FullScans int64
+	// RowsEmitted counts rows emitted by access-path operators.
+	RowsEmitted int64
+	// Recompiles counts automatic recompilations this run performed (0 or
+	// 1: a view redefinition since the last compilation).
+	Recompiles int64
+	// CompileWall is the wall time of the compile/recompile stage.
+	CompileWall time.Duration
+	// ExecWall is the wall time of the execution stage (for cursors: the
+	// time spent inside Next, excluding caller think time).
+	ExecWall time.Duration
+}
+
+// mergeSink folds physical-operator counters into the stats.
+func (s *ExecStats) mergeSink(sink relstore.Stats) {
+	s.RowsScanned += sink.RowsScanned
+	s.IndexProbes += sink.IndexProbes
+	s.RangeScans += sink.RangeScans
+	s.FullScans += sink.FullScans
+	s.RowsEmitted += sink.RowsEmitted
+}
+
+// String renders the stats in one line (CLI -stats output).
+func (s ExecStats) String() string {
+	return fmt.Sprintf(
+		"rows=%d scanned=%d probes=%d range-scans=%d full-scans=%d emitted=%d recompiles=%d compile=%v exec=%v",
+		s.RowsProduced, s.RowsScanned, s.IndexProbes, s.RangeScans, s.FullScans,
+		s.RowsEmitted, s.Recompiles, s.CompileWall.Round(time.Microsecond), s.ExecWall.Round(time.Microsecond))
+}

@@ -16,13 +16,16 @@
 // compiles a stylesheet against a view, choosing the best strategy and
 // falling back gracefully: SQL/XML plan → functional XQuery over
 // materialized rows → functional XSLT interpretation ("no rewrite").
+// Compiled plans are cached per (view, version, stylesheet, options) and
+// shared across transforms; execution is available both materializing
+// (Run) and streaming (OpenCursor), each reporting per-run ExecStats.
 package xsltdb
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/relstore"
@@ -105,7 +108,8 @@ func (s Strategy) String() string {
 
 // Database owns relational tables and XMLType views. View registration and
 // lookup are safe for concurrent use; the relational store carries its own
-// locking.
+// locking, and compiled plans are cached concurrency-safely (see
+// PlanCacheStats).
 type Database struct {
 	mu    sync.RWMutex
 	rel   *relstore.DB
@@ -116,6 +120,8 @@ type Database struct {
 	// automated because the XSLT query has dependency on the XML schema
 	// whose change is tracked by the database system").
 	viewVersions map[string]int
+
+	plans planCache
 }
 
 // NewDatabase returns an empty database.
@@ -127,8 +133,14 @@ func NewDatabase() *Database {
 // Rel exposes the underlying relational store.
 func (d *Database) Rel() *relstore.DB { return d.rel }
 
-// Stats returns the accumulated physical operator counters.
-func (d *Database) Stats() *Stats { return &d.exec.Stats }
+// Stats returns a point-in-time snapshot of the physical operator counters
+// accumulated across every execution on this database. The snapshot is read
+// atomically, so it is safe to call while runs are in flight; per-run
+// counters are available from RunWithStats and Cursor.Stats.
+func (d *Database) Stats() *Stats {
+	s := d.exec.Stats.Snapshot()
+	return &s
+}
 
 // CreateTable creates a relational table.
 func (d *Database) CreateTable(name string, cols ...TableColumn) error {
@@ -140,7 +152,7 @@ func (d *Database) CreateTable(name string, cols ...TableColumn) error {
 func (d *Database) Insert(table string, values ...relstore.Value) error {
 	t := d.rel.Table(table)
 	if t == nil {
-		return fmt.Errorf("xsltdb: no table %q", table)
+		return fmt.Errorf("xsltdb: no table %q: %w", table, ErrNoTable)
 	}
 	_, err := t.Insert(values...)
 	return err
@@ -150,7 +162,7 @@ func (d *Database) Insert(table string, values ...relstore.Value) error {
 func (d *Database) CreateIndex(table, col string) error {
 	t := d.rel.Table(table)
 	if t == nil {
-		return fmt.Errorf("xsltdb: no table %q", table)
+		return fmt.Errorf("xsltdb: no table %q: %w", table, ErrNoTable)
 	}
 	return t.CreateIndex(col)
 }
@@ -158,15 +170,15 @@ func (d *Database) CreateIndex(table, col string) error {
 // CreateXMLView registers an XMLType view.
 func (d *Database) CreateXMLView(v *ViewDef) error {
 	if v.Name == "" {
-		return errors.New("xsltdb: view needs a name")
+		return fmt.Errorf("xsltdb: view needs a name: %w", ErrNoView)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.views[v.Name]; dup {
-		return fmt.Errorf("xsltdb: view %q already exists", v.Name)
+		return fmt.Errorf("xsltdb: view %q already exists: %w", v.Name, ErrDuplicateView)
 	}
 	if d.rel.Table(v.Table) == nil {
-		return fmt.Errorf("xsltdb: view %q references unknown table %q", v.Name, v.Table)
+		return fmt.Errorf("xsltdb: view %q references unknown table %q: %w", v.Name, v.Table, ErrNoTable)
 	}
 	d.views[v.Name] = v
 	d.viewVersions[v.Name] = 1
@@ -175,18 +187,20 @@ func (d *Database) CreateXMLView(v *ViewDef) error {
 
 // ReplaceXMLView redefines an existing view (schema evolution, §7.3).
 // Transforms compiled against the old definition recompile automatically on
-// their next Run.
+// their next Run or OpenCursor; cached plans for the old definition are
+// evicted.
 func (d *Database) ReplaceXMLView(v *ViewDef) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.views[v.Name]; !ok {
-		return fmt.Errorf("xsltdb: no view %q to replace", v.Name)
+		return fmt.Errorf("xsltdb: no view %q to replace: %w", v.Name, ErrNoView)
 	}
 	if d.rel.Table(v.Table) == nil {
-		return fmt.Errorf("xsltdb: view %q references unknown table %q", v.Name, v.Table)
+		return fmt.Errorf("xsltdb: view %q references unknown table %q: %w", v.Name, v.Table, ErrNoTable)
 	}
 	d.views[v.Name] = v
 	d.viewVersions[v.Name]++
+	d.plans.evictView(v.Name)
 	return nil
 }
 
@@ -209,7 +223,7 @@ func (d *Database) viewAndVersion(name string) (*ViewDef, int) {
 func (d *Database) MaterializeView(name string) ([]*xmltree.Node, error) {
 	v := d.View(name)
 	if v == nil {
-		return nil, fmt.Errorf("xsltdb: no view %q", name)
+		return nil, fmt.Errorf("xsltdb: no view %q: %w", name, ErrNoView)
 	}
 	return d.exec.MaterializeView(v)
 }
@@ -218,91 +232,111 @@ func (d *Database) MaterializeView(name string) ([]*xmltree.Node, error) {
 func (d *Database) DeriveSchema(name string) (*xschema.Schema, error) {
 	v := d.View(name)
 	if v == nil {
-		return nil, fmt.Errorf("xsltdb: no view %q", name)
+		return nil, fmt.Errorf("xsltdb: no view %q: %w", name, ErrNoView)
 	}
 	return d.exec.DeriveSchema(v)
 }
 
-// CompileOptions tune CompileTransform.
-type CompileOptions struct {
-	// Force selects a strategy instead of the automatic
-	// SQL→XQuery→no-rewrite fallback chain.
-	Force *Strategy
-	// OuterPath composes an XQuery child path over the TRANSFORM OUTPUT
-	// (paper Example 2): e.g. []string{"table", "tr"}.
-	OuterPath []string
-	// Parallelism runs the SQL strategy with row-level parallelism when
-	// > 1 (the paper's "parallel manner" aggregation note).
-	Parallelism int
+// planState is the immutable result of one compilation. The plan cache
+// shares planStates across CompiledTransforms and concurrent runs, so
+// nothing in here may be mutated after compilePlanUncached returns.
+type planState struct {
+	view        *ViewDef
+	viewVersion int
+	sheet       *xslt.Stylesheet
+	strategy    Strategy
+	rewrite     *core.Result  // nil for no-rewrite
+	plan        *sqlxml.Query // nil unless StrategySQL
+	fallback    string        // why a stronger strategy was not used
 }
-
-// ForceStrategy is a convenience for CompileOptions.Force.
-func ForceStrategy(s Strategy) *Strategy { return &s }
 
 // CompiledTransform is a stylesheet compiled against a view.
 type CompiledTransform struct {
 	db       *Database
-	view     *ViewDef
-	sheet    *xslt.Stylesheet
-	strategy Strategy
+	viewName string
+	source   string
+	opts     CompileOptions
 
-	rewrite *core.Result  // nil for no-rewrite
-	plan    *sqlxml.Query // nil unless StrategySQL
-	// FallbackReason explains why a stronger strategy was not used.
+	// mu guards state, FallbackReason and Recompiles across concurrent
+	// Run/OpenCursor calls racing with automatic recompilation.
+	mu    sync.RWMutex
+	state *planState
+
+	// FallbackReason explains why a stronger strategy was not used. It is
+	// rewritten on automatic recompilation; concurrent readers should
+	// prefer the accessor methods.
 	FallbackReason string
-
-	// Recompilation state (§7.3).
-	viewName    string
-	viewVersion int
-	source      string
-	opts        CompileOptions
 	// Recompiles counts automatic recompilations triggered by view
 	// redefinition.
 	Recompiles int
 }
 
 // CompileTransform compiles stylesheet text against the named view,
-// choosing the strongest applicable strategy.
-func (d *Database) CompileTransform(viewName, stylesheet string, opts CompileOptions) (*CompiledTransform, error) {
+// choosing the strongest applicable strategy. Options may be the functional
+// kind (WithForcedStrategy, WithParallelism, WithOuterPath) or a single
+// legacy CompileOptions struct. Identical compilations are served from the
+// database's plan cache.
+func (d *Database) CompileTransform(viewName, stylesheet string, opts ...Option) (*CompiledTransform, error) {
+	co := buildOptions(opts)
+	st, err := d.compilePlan(viewName, stylesheet, co)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledTransform{
+		db: d, viewName: viewName, source: stylesheet, opts: co,
+		state: st, FallbackReason: st.fallback,
+	}, nil
+}
+
+// compilePlan resolves the view, consults the plan cache (with singleflight
+// dedup of concurrent identical compilations), and compiles on a miss.
+func (d *Database) compilePlan(viewName, stylesheet string, co CompileOptions) (*planState, error) {
 	view, version := d.viewAndVersion(viewName)
 	if view == nil {
-		return nil, fmt.Errorf("xsltdb: no view %q", viewName)
+		return nil, fmt.Errorf("xsltdb: no view %q: %w", viewName, ErrNoView)
 	}
+	key := newPlanKey(viewName, version, stylesheet, co)
+	return d.plans.get(key, func() (*planState, error) {
+		return d.compilePlanUncached(view, version, stylesheet, co)
+	})
+}
+
+// compilePlanUncached runs the actual compilation pipeline: parse, schema
+// derivation, XSLT→XQuery rewrite, optional outer-path composition,
+// XQuery→SQL/XML lowering — degrading per the fallback chain unless a
+// strategy is forced.
+func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet string, opts CompileOptions) (*planState, error) {
 	sheet, err := xslt.ParseStylesheet(stylesheet)
 	if err != nil {
 		return nil, err
 	}
-	ct := &CompiledTransform{
-		db: d, view: view, sheet: sheet, strategy: StrategyNoRewrite,
-		viewName: viewName, viewVersion: version,
-		source: stylesheet, opts: opts,
-	}
+	st := &planState{view: view, viewVersion: version, sheet: sheet, strategy: StrategyNoRewrite}
 
 	if opts.Force != nil && *opts.Force == StrategyNoRewrite {
 		if len(opts.OuterPath) > 0 {
-			return nil, errors.New("xsltdb: OuterPath requires a rewrite strategy")
+			return nil, fmt.Errorf("xsltdb: OuterPath requires a rewrite strategy: %w", ErrRewriteFellBack)
 		}
-		return ct, nil
+		return st, nil
 	}
 
 	schema, err := d.exec.DeriveSchema(view)
 	if err != nil {
 		if opts.Force != nil {
-			return nil, fmt.Errorf("xsltdb: schema derivation failed: %w", err)
+			return nil, fmt.Errorf("xsltdb: schema derivation failed: %w: %w", err, ErrRewriteFellBack)
 		}
-		ct.FallbackReason = "schema derivation failed: " + err.Error()
-		return ct, nil
+		st.fallback = "schema derivation failed: " + err.Error()
+		return st, nil
 	}
 	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 	if err != nil {
 		if opts.Force != nil {
-			return nil, fmt.Errorf("xsltdb: rewrite failed: %w", err)
+			return nil, fmt.Errorf("xsltdb: rewrite failed: %w: %w", err, ErrRewriteFellBack)
 		}
-		ct.FallbackReason = "XSLT→XQuery rewrite failed: " + err.Error()
-		return ct, nil
+		st.fallback = "XSLT→XQuery rewrite failed: " + err.Error()
+		return st, nil
 	}
-	ct.rewrite = res
-	ct.strategy = StrategyXQuery
+	st.rewrite = res
+	st.strategy = StrategyXQuery
 
 	module := res.Module
 	if len(opts.OuterPath) > 0 {
@@ -311,89 +345,133 @@ func (d *Database) CompileTransform(viewName, stylesheet string, opts CompileOpt
 			return nil, fmt.Errorf("xsltdb: outer path: %w", err)
 		}
 		module = projected
-		ct.rewrite = &core.Result{Module: module, Mode: res.Mode, Inlined: res.Inlined, PE: res.PE, Notes: res.Notes}
+		st.rewrite = &core.Result{Module: module, Mode: res.Mode, Inlined: res.Inlined, PE: res.PE, Notes: res.Notes}
 	}
 
 	if opts.Force != nil && *opts.Force == StrategyXQuery {
-		return ct, nil
+		return st, nil
 	}
 
 	plan, err := xq2sql.Translate(module, view)
 	if err != nil {
 		if opts.Force != nil && *opts.Force == StrategySQL {
-			return nil, fmt.Errorf("xsltdb: SQL lowering failed: %w", err)
+			return nil, fmt.Errorf("xsltdb: SQL lowering failed: %w: %w", err, ErrRewriteFellBack)
 		}
-		ct.FallbackReason = "XQuery→SQL/XML lowering failed: " + err.Error()
-		return ct, nil
+		st.fallback = "XQuery→SQL/XML lowering failed: " + err.Error()
+		return st, nil
 	}
-	ct.plan = plan
-	ct.strategy = StrategySQL
-	return ct, nil
+	st.plan = plan
+	st.strategy = StrategySQL
+	return st, nil
+}
+
+// snapshot returns the current compiled state under the read lock.
+func (ct *CompiledTransform) snapshot() *planState {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.state
+}
+
+// ensureFresh recompiles the transform if its view was redefined since the
+// last compilation (§7.3). It returns the state to execute plus how many
+// recompilations this call performed (0 or 1).
+func (ct *CompiledTransform) ensureFresh() (*planState, int, error) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	_, cur := ct.db.viewAndVersion(ct.viewName)
+	if cur == ct.state.viewVersion {
+		return ct.state, 0, nil
+	}
+	st, err := ct.db.compilePlan(ct.viewName, ct.source, ct.opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("xsltdb: automatic recompilation after view change: %w", err)
+	}
+	ct.state = st
+	ct.Recompiles++
+	ct.FallbackReason = st.fallback
+	return st, 1, nil
 }
 
 // Strategy reports the chosen execution strategy.
-func (ct *CompiledTransform) Strategy() Strategy { return ct.strategy }
+func (ct *CompiledTransform) Strategy() Strategy { return ct.snapshot().strategy }
 
 // Inlined reports whether the XQuery stage fully inlined (§5 statistic).
 func (ct *CompiledTransform) Inlined() bool {
-	return ct.rewrite != nil && ct.rewrite.Inlined
+	st := ct.snapshot()
+	return st.rewrite != nil && st.rewrite.Inlined
 }
 
 // Notes lists the optimizations the rewriter applied.
 func (ct *CompiledTransform) Notes() []string {
-	if ct.rewrite == nil {
+	st := ct.snapshot()
+	if st.rewrite == nil {
 		return nil
 	}
-	return ct.rewrite.Notes
+	return st.rewrite.Notes
 }
 
 // XQuery returns the generated XQuery text ("" for no-rewrite).
 func (ct *CompiledTransform) XQuery() string {
-	if ct.rewrite == nil {
+	st := ct.snapshot()
+	if st.rewrite == nil {
 		return ""
 	}
-	return ct.rewrite.Module.String()
+	return st.rewrite.Module.String()
 }
 
 // SQL returns the generated SQL/XML text ("" unless StrategySQL).
 func (ct *CompiledTransform) SQL() string {
-	if ct.plan == nil {
+	st := ct.snapshot()
+	if st.plan == nil {
 		return ""
 	}
-	return ct.plan.SQL()
+	return st.plan.SQL()
 }
 
 // ExplainPlan describes the physical access paths ("" unless StrategySQL).
 func (ct *CompiledTransform) ExplainPlan() string {
-	if ct.plan == nil {
+	st := ct.snapshot()
+	if st.plan == nil {
 		return ""
 	}
-	return ct.db.exec.ExplainQuery(ct.plan)
+	return ct.db.exec.ExplainQuery(st.plan)
 }
 
 // Run executes the transformation for every view row and returns the
 // serialized results (one string per driving row). A transform whose view
 // was redefined since compilation recompiles automatically first (§7.3).
 func (ct *CompiledTransform) Run() ([]string, error) {
-	ct.db.mu.RLock()
-	cur := ct.db.viewVersions[ct.viewName]
-	ct.db.mu.RUnlock()
-	if cur != ct.viewVersion {
-		fresh, err := ct.db.CompileTransform(ct.viewName, ct.source, ct.opts)
-		if err != nil {
-			return nil, fmt.Errorf("xsltdb: automatic recompilation after view change: %w", err)
-		}
-		recompiles := ct.Recompiles + 1
-		*ct = *fresh
-		ct.Recompiles = recompiles
-	}
-	return ct.run()
+	rows, _, err := ct.RunWithStats()
+	return rows, err
 }
 
-func (ct *CompiledTransform) run() ([]string, error) {
-	switch ct.strategy {
+// RunWithStats is Run plus this run's ExecStats. The returned stats are
+// private to the call — concurrent runs never share a counter — and are
+// also merged into the database-wide aggregate read by Database.Stats.
+func (ct *CompiledTransform) RunWithStats() ([]string, *ExecStats, error) {
+	start := time.Now()
+	st, recompiled, err := ct.ensureFresh()
+	if err != nil {
+		return nil, nil, err
+	}
+	es := &ExecStats{Recompiles: int64(recompiled), CompileWall: time.Since(start)}
+	var sink relstore.Stats
+	rows, err := ct.db.runState(st, ct.opts, &sink)
+	es.ExecWall = time.Since(start) - es.CompileWall
+	es.mergeSink(sink.Snapshot())
+	es.RowsProduced = int64(len(rows))
+	ct.db.exec.AddStats(&sink)
+	if err != nil {
+		return nil, es, err
+	}
+	return rows, es, nil
+}
+
+// runState executes a compiled state with counters routed to sink.
+func (d *Database) runState(st *planState, opts CompileOptions, sink *relstore.Stats) ([]string, error) {
+	switch st.strategy {
 	case StrategySQL:
-		docs, err := ct.db.exec.ExecQueryParallel(ct.plan, ct.opts.Parallelism)
+		docs, err := d.exec.ExecQueryParallelWith(st.plan, opts.Parallelism, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -404,13 +482,13 @@ func (ct *CompiledTransform) run() ([]string, error) {
 		return out, nil
 
 	case StrategyXQuery:
-		rows, err := ct.db.exec.MaterializeView(ct.view)
+		rows, err := d.exec.MaterializeViewWith(st.view, sink)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]string, len(rows))
 		for i, row := range rows {
-			seq, err := xquery.EvalModule(ct.rewrite.Module, xquery.NewEnv(xquery.Item(row)))
+			seq, err := xquery.EvalModule(st.rewrite.Module, xquery.NewEnv(xquery.Item(row)))
 			if err != nil {
 				return nil, fmt.Errorf("xsltdb: row %d: %w", i, err)
 			}
@@ -419,11 +497,11 @@ func (ct *CompiledTransform) run() ([]string, error) {
 		return out, nil
 
 	default: // StrategyNoRewrite
-		rows, err := ct.db.exec.MaterializeView(ct.view)
+		rows, err := d.exec.MaterializeViewWith(st.view, sink)
 		if err != nil {
 			return nil, err
 		}
-		eng := xslt.New(ct.sheet)
+		eng := xslt.New(st.sheet)
 		out := make([]string, len(rows))
 		for i, row := range rows {
 			s, err := eng.TransformToString(row)
@@ -511,8 +589,8 @@ func (c *ChainedTransform) Then(stylesheet string) (*ChainedTransform, error) {
 	var prev *xquery.Module
 	if len(c.stages) > 0 {
 		prev = c.stages[len(c.stages)-1].module
-	} else if c.first.rewrite != nil {
-		prev = c.first.rewrite.Module
+	} else if first := c.first.snapshot(); first.rewrite != nil {
+		prev = first.rewrite.Module
 	}
 	if prev != nil {
 		if schema, err := core.DeriveOutputSchema(prev); err == nil {
@@ -538,34 +616,43 @@ func (c *ChainedTransform) Stages() (rewritten, interpreted int) {
 	return rewritten, interpreted
 }
 
+// applyStages runs one row of the first stage's output through every
+// chained stage; shared by the materializing Run and the streaming cursor.
+func applyStages(stages []chainStage, row string) (string, error) {
+	for _, st := range stages {
+		doc, err := xmltree.ParseFragment(row)
+		if err != nil {
+			return "", fmt.Errorf("xsltdb: chained stage input: %w", err)
+		}
+		if st.module != nil {
+			seq, err := xquery.EvalModule(st.module, xquery.NewEnv(xquery.Item(doc)))
+			if err != nil {
+				return "", err
+			}
+			row = xquery.SerializeSeq(seq)
+			continue
+		}
+		out, err := xslt.New(st.sheet).TransformToString(doc)
+		if err != nil {
+			return "", err
+		}
+		row = out
+	}
+	return row, nil
+}
+
 // Run executes the pipeline for every view row.
 func (c *ChainedTransform) Run() ([]string, error) {
 	rows, err := c.first.Run()
 	if err != nil {
 		return nil, err
 	}
-	for _, st := range c.stages {
-		next := make([]string, len(rows))
-		for i, row := range rows {
-			doc, err := xmltree.ParseFragment(row)
-			if err != nil {
-				return nil, fmt.Errorf("xsltdb: chained stage input: %w", err)
-			}
-			if st.module != nil {
-				seq, err := xquery.EvalModule(st.module, xquery.NewEnv(xquery.Item(doc)))
-				if err != nil {
-					return nil, err
-				}
-				next[i] = xquery.SerializeSeq(seq)
-				continue
-			}
-			out, err := xslt.New(st.sheet).TransformToString(doc)
-			if err != nil {
-				return nil, err
-			}
-			next[i] = out
+	for i, row := range rows {
+		out, err := applyStages(c.stages, row)
+		if err != nil {
+			return nil, err
 		}
-		rows = next
+		rows[i] = out
 	}
 	return rows, nil
 }
