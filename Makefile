@@ -1,15 +1,18 @@
-# Tier-1 gate plus static and race checks.
+# Tier-1 gate plus static, race, fuzz-smoke, and fault-injection checks.
 #
-#   make verify   build + unit tests + go vet + race-detector suite
+#   make verify   build + unit tests + go vet + race suite + fuzz smoke + faults
 #   make test     tier-1 only (what CI gates on)
+#   make fuzz     short fuzz smoke over the XPath/XQuery parsers (5s each)
+#   make faults   the fault-injection and robustness tests, under -race
 #   make bench    the paper-evaluation benchmarks
 #   make demo     paper Examples 1 and 2 end to end, streamed with stats
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: verify test vet race bench demo
+.PHONY: verify test vet race fuzz faults bench demo
 
-verify: test vet race
+verify: test vet race fuzz faults
 
 test:
 	$(GO) build ./...
@@ -20,6 +23,19 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Each target runs alone (-run '^$$' skips unit tests; the xpath package has
+# two fuzz targets, so anchor the name).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/xpath
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePattern$$' -fuzztime $(FUZZTIME) ./internal/xpath
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/xquery
+
+# The robustness suite arms faultpoints (degradation, breaker, panic
+# containment, cancellation promptness) — run it under the race detector.
+faults:
+	$(GO) test -race -run 'TestRunContextCancel|TestParallelRunCancel|TestTimeout|TestMax|TestRecursionLimit|TestDegradation|TestCircuitBreaker|TestPanicContainment|TestCompileErrors|TestCursor|TestFault|TestGovernance' .
+	$(GO) test -race ./internal/faultpoint ./internal/governor
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx .

@@ -34,6 +34,7 @@ import (
 	"repro/internal/xslt"
 	"repro/internal/xsltmark"
 	"repro/internal/xsltvm"
+	"repro/internal/xtest"
 )
 
 // benchEnv packages a case loaded at a scale factor.
@@ -74,7 +75,7 @@ func loadCase(tb testing.TB, name string, n int) *benchEnv {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	sheet := xslt.MustParseStylesheet(c.Stylesheet)
+	sheet := xtest.Sheet(tb, c.Stylesheet)
 	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 	if err != nil {
 		tb.Fatal(err)
@@ -180,7 +181,7 @@ func BenchmarkAblationTranslationModes(b *testing.B) {
 		<xsl:template match="table"><html><xsl:apply-templates select="row"/></html></xsl:template>
 		<xsl:template match="row"><tr><td><xsl:value-of select="id"/></td><td><xsl:value-of select="name"/></td></tr></xsl:template>
 	</xsl:stylesheet>`)
-	sheet := xslt.MustParseStylesheet(sb.String())
+	sheet := xtest.Sheet(b, sb.String())
 	schema := mustSchema(b, xsltmark.SalesSchema)
 
 	for _, mode := range []core.Mode{core.ModeStraightforward, core.ModeNonInline, core.ModeInline} {
@@ -217,7 +218,7 @@ func BenchmarkAblationIndexVsScan(b *testing.B) {
 		exec := sqlxml.NewExecutor(db)
 		view := c.Rel.View()
 		schema, _ := exec.DeriveSchema(view)
-		res, err := core.Rewrite(xslt.MustParseStylesheet(c.Stylesheet), schema, core.ModeAuto)
+		res, err := core.Rewrite(xtest.Sheet(b, c.Stylesheet), schema, core.ModeAuto)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,7 +278,7 @@ func BenchmarkAblationVMvsInterpreter(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	sheet := xtest.Sheet(b, xslt.PaperStylesheet)
 	b.Run("interpreter", func(b *testing.B) {
 		eng := xslt.New(sheet)
 		for i := 0; i < b.N; i++ {
@@ -527,7 +528,7 @@ func BenchmarkAblationStorageModels(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	sheet := xtest.Sheet(b, xslt.PaperStylesheet)
 	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 	if err != nil {
 		b.Fatal(err)
@@ -661,7 +662,7 @@ func BenchmarkAblationParallelism(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Rewrite(xslt.MustParseStylesheet(xslt.PaperStylesheet), schema, core.ModeAuto)
+	res, err := core.Rewrite(xtest.Sheet(b, xslt.PaperStylesheet), schema, core.ModeAuto)
 	if err != nil {
 		b.Fatal(err)
 	}

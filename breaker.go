@@ -1,0 +1,129 @@
+package xsltdb
+
+import "sync"
+
+// The per-plan circuit breaker protects the degradation chain from paying
+// for a strategy that keeps failing: after breakerThreshold consecutive
+// failures the strategy "trips" open and subsequent executions skip it,
+// degrading straight to the next strategy. After breakerCooldown skipped
+// executions the breaker goes half-open and lets one probe through; a
+// successful probe closes it, a failed probe re-opens it for another
+// cooldown.
+//
+// The breaker lives on the planState, which the plan cache shares across
+// every CompiledTransform compiled to the same plan — so the trip state is
+// genuinely per-plan, exactly like a server-side query governor's. It never
+// opens for the last (weakest) strategy in a chain: something must always
+// be allowed to run.
+const (
+	breakerThreshold = 3
+	breakerCooldown  = 8
+)
+
+// breaker tracks failure state per strategy; all methods are
+// concurrency-safe.
+type breaker struct {
+	mu    sync.Mutex
+	cells [3]breakerCell // indexed by Strategy
+}
+
+type breakerCell struct {
+	consecFails int
+	open        bool
+	skipsLeft   int
+	trips       int64
+}
+
+// allow reports whether strategy s should be attempted now. While open it
+// consumes one cooldown skip per call; once the cooldown is spent the call
+// is allowed as a half-open probe.
+func (b *breaker) allow(s Strategy) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := &b.cells[s]
+	if !c.open {
+		return true
+	}
+	if c.skipsLeft > 0 {
+		c.skipsLeft--
+		return false
+	}
+	return true // half-open probe
+}
+
+// success records a completed execution of s and closes its cell.
+func (b *breaker) success(s Strategy) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := &b.cells[s]
+	c.consecFails = 0
+	c.open = false
+	c.skipsLeft = 0
+}
+
+// failure records a failed execution of s; it reports whether this failure
+// tripped the breaker open (a failed half-open probe re-arms the cooldown
+// without counting as a new trip).
+func (b *breaker) failure(s Strategy) (tripped bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := &b.cells[s]
+	c.consecFails++
+	if c.open {
+		c.skipsLeft = breakerCooldown
+		return false
+	}
+	if c.consecFails >= breakerThreshold {
+		c.open = true
+		c.skipsLeft = breakerCooldown
+		c.trips++
+		return true
+	}
+	return false
+}
+
+// BreakerState describes one strategy's circuit-breaker cell.
+type BreakerState struct {
+	// Open reports whether the strategy is currently skipped.
+	Open bool
+	// ConsecutiveFailures counts failures since the last success.
+	ConsecutiveFailures int
+	// Trips counts closed→open transitions over the plan's lifetime.
+	Trips int64
+}
+
+// BreakerStats is a point-in-time snapshot of a plan's circuit breaker,
+// one cell per execution strategy.
+type BreakerStats struct {
+	SQL       BreakerState
+	XQuery    BreakerState
+	NoRewrite BreakerState
+}
+
+func (b *breaker) snapshot() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cell := func(s Strategy) BreakerState {
+		c := b.cells[s]
+		return BreakerState{Open: c.open, ConsecutiveFailures: c.consecFails, Trips: c.trips}
+	}
+	return BreakerStats{SQL: cell(StrategySQL), XQuery: cell(StrategyXQuery), NoRewrite: cell(StrategyNoRewrite)}
+}
+
+// BreakerStats returns the transform's per-plan circuit-breaker snapshot.
+// Transforms compiled to the same cached plan share one breaker.
+func (ct *CompiledTransform) BreakerStats() BreakerStats {
+	return ct.snapshot().brk.snapshot()
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/clobstore"
 	"repro/internal/core"
+	"repro/internal/governor"
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
 	"repro/internal/xq2sql"
@@ -40,6 +42,8 @@ func main() {
 	scale := flag.Int("scale", 1, "multiply workload sizes by this factor")
 	flag.BoolVar(&streamMode, "stream", false, "run the rewrite path through a streaming cursor")
 	flag.BoolVar(&statsMode, "stats", false, "print physical operator counters per configuration")
+	flag.DurationVar(&timeoutFlag, "timeout", 0, "abort any single measured run after this long (0 = no timeout)")
+	flag.Int64Var(&maxRowsFlag, "max-rows", 0, "abort a run that produces more than n result rows (0 = unlimited)")
 	flag.Parse()
 
 	ran := false
@@ -65,11 +69,28 @@ func main() {
 	}
 }
 
-// streamMode/statsMode are the -stream/-stats flags.
+// streamMode/statsMode are the -stream/-stats flags; timeoutFlag/maxRowsFlag
+// govern each measured run.
 var (
-	streamMode bool
-	statsMode  bool
+	streamMode  bool
+	statsMode   bool
+	timeoutFlag time.Duration
+	maxRowsFlag int64
 )
+
+// runGovernor builds one run's execution governor from the -timeout and
+// -max-rows flags. Returns a nil governor (every check a no-op) when neither
+// flag is set; stop releases the timeout's timer.
+func runGovernor() (*governor.G, context.CancelFunc) {
+	if timeoutFlag <= 0 && maxRowsFlag <= 0 {
+		return nil, func() {}
+	}
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if timeoutFlag > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeoutFlag)
+	}
+	return governor.New(ctx).Limits(maxRowsFlag, 0, 0), cancel
+}
 
 // bench builds a database-backed case at size n and returns both paths.
 type paths struct {
@@ -101,7 +122,10 @@ func load(name string, n int) (*paths, error) {
 	if err != nil {
 		return nil, err
 	}
-	sheet := xslt.MustParseStylesheet(c.Stylesheet)
+	sheet, err := xslt.ParseStylesheet(c.Stylesheet)
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 	if err != nil {
 		return nil, err
@@ -112,14 +136,24 @@ func load(name string, n int) (*paths, error) {
 	}
 	return &paths{
 		rewrite: func() error {
+			g, stop := runGovernor()
+			defer stop()
 			if !streamMode {
-				_, err := exec.ExecQuery(plan)
-				return err
+				docs, err := exec.ExecQueryParallelGoverned(plan, 1, &exec.Stats, g)
+				if err != nil {
+					return err
+				}
+				for range docs {
+					if err := g.AddRow(); err != nil {
+						return err
+					}
+				}
+				return nil
 			}
 			// Streaming: pull one document at a time off the plan's access
 			// path; counters still land in the executor aggregate.
 			var sink relstore.Stats
-			qc, err := exec.OpenQueryCursor(plan, &sink)
+			qc, err := exec.OpenQueryCursorGoverned(plan, &sink, g)
 			if err != nil {
 				return err
 			}
@@ -129,18 +163,26 @@ func load(name string, n int) (*paths, error) {
 				} else if err != nil {
 					return err
 				}
+				if err := g.AddRow(); err != nil {
+					return err
+				}
 			}
 			exec.AddStats(&sink)
 			return nil
 		},
 		noRewrite: func() error {
-			rows, err := exec.MaterializeView(view)
+			g, stop := runGovernor()
+			defer stop()
+			rows, err := exec.MaterializeViewGoverned(view, &exec.Stats, g)
 			if err != nil {
 				return err
 			}
-			eng := xslt.New(sheet)
+			eng := xslt.New(sheet).Govern(g)
 			for _, row := range rows {
 				if _, err := eng.Transform(row); err != nil {
+					return err
+				}
+				if err := g.AddRow(); err != nil {
 					return err
 				}
 			}
@@ -236,7 +278,11 @@ func storageModels(reps, scale int) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	sheet, err := xslt.ParseStylesheet(xslt.PaperStylesheet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -303,8 +349,16 @@ func inlineCoverage() {
 	inlined := 0
 	var noninline []string
 	for _, c := range xsltmark.All() {
-		sheet := xslt.MustParseStylesheet(c.Stylesheet)
-		schema := xschema.MustParseCompact(c.Schema)
+		sheet, err := xslt.ParseStylesheet(c.Stylesheet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: stylesheet: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		schema, err := xschema.ParseCompact(c.Schema)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: schema: %v\n", c.Name, err)
+			os.Exit(1)
+		}
 		res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)

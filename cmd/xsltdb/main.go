@@ -6,12 +6,12 @@
 //	xsltdb rewrite -xsl sheet.xsl -schema schema.txt [-show xquery|notes]
 //	    compile a stylesheet to XQuery via partial evaluation (§3-4)
 //
-//	xsltdb demo [-stream] [-stats]
+//	xsltdb demo [-stream] [-stats] [-timeout d] [-max-rows n]
 //	    run the paper's Example 1 and Example 2 end to end, printing the
 //	    intermediate XQuery (Table 8), the SQL/XML plan (Tables 7/11) and
 //	    the physical access paths; -stream pulls rows through a Cursor
 //	    instead of materializing, -stats prints per-run ExecStats and the
-//	    plan-cache counters
+//	    plan-cache counters, -timeout and -max-rows govern each execution
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	xsltdb "repro"
 	"repro/internal/core"
@@ -147,7 +148,10 @@ func cmdDemo(args []string) {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	stream := fs.Bool("stream", false, "pull result rows through a streaming cursor instead of materializing")
 	stats := fs.Bool("stats", false, "print per-run execution statistics and plan-cache counters")
+	timeout := fs.Duration("timeout", 0, "abort each execution after this long (0 = no timeout)")
+	maxRows := fs.Int64("max-rows", 0, "abort an execution that produces more than n result rows (0 = unlimited)")
 	_ = fs.Parse(args)
+	govern := governOptions(*timeout, *maxRows)
 
 	db := xsltdb.NewDatabase()
 	if err := sqlxml.SetupDeptEmp(db.Rel()); err != nil {
@@ -169,7 +173,7 @@ func cmdDemo(args []string) {
 	fmt.Println(sqlxml.DeptEmpView().SQL())
 	fmt.Println()
 
-	ct, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.CompileOptions{})
+	ct, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, govern...)
 	if err != nil {
 		fatal(err)
 	}
@@ -187,9 +191,8 @@ func cmdDemo(args []string) {
 	fmt.Println()
 
 	fmt.Println("== Example 2: XQuery over the XSLT view (combined optimisation) ==")
-	ct2, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.CompileOptions{
-		OuterPath: []string{"table", "tr"},
-	})
+	ct2, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet,
+		append([]xsltdb.Option{xsltdb.WithOuterPath("table", "tr")}, govern...)...)
 	if err != nil {
 		fatal(err)
 	}
@@ -202,6 +205,18 @@ func cmdDemo(args []string) {
 		pc := db.PlanCacheStats()
 		fmt.Printf("\n-- plan cache --\nhits=%d misses=%d entries=%d\n", pc.CacheHits, pc.CacheMisses, pc.Entries)
 	}
+}
+
+// governOptions turns the -timeout / -max-rows flags into compile options.
+func governOptions(timeout time.Duration, maxRows int64) []xsltdb.Option {
+	var opts []xsltdb.Option
+	if timeout > 0 {
+		opts = append(opts, xsltdb.WithTimeout(timeout))
+	}
+	if maxRows > 0 {
+		opts = append(opts, xsltdb.WithMaxRows(maxRows))
+	}
+	return opts
 }
 
 // demoRun prints the transform's rows — streamed one at a time through a

@@ -4,8 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/governor"
 	"repro/internal/relstore"
 	"repro/internal/xquery"
 	"repro/internal/xslt"
@@ -17,32 +21,57 @@ import (
 // and applies the strategy's evaluation. Use it when results are consumed
 // incrementally or the full result set should not be held in memory.
 //
-// The protocol is Next until io.EOF, then Close. Next returns the context's
-// error if the context is cancelled mid-iteration, and ErrCursorClosed
-// after Close. A cursor is not safe for concurrent use; open one cursor per
-// goroutine instead (their stats never share a counter).
+// The protocol is Next until io.EOF, then Close. Next returns ErrCanceled
+// (also matching the underlying context error) if the cursor's context is
+// cancelled or its WithTimeout expires mid-iteration, ErrLimitExceeded when
+// a WithMaxRows/WithMaxOutputBytes budget is exhausted, and ErrCursorClosed
+// after Close. Any terminal error is sticky.
+//
+// A cursor is not safe for concurrent Next calls — open one cursor per
+// goroutine instead (their stats never share a counter) — but Close may
+// race an in-flight Next from another goroutine: Close cancels the run so
+// the Next aborts promptly, and the underlying iterators and stats are
+// released exactly once no matter how the race lands.
 type Cursor struct {
-	ctx context.Context
-	db  *Database
+	ctx    context.Context
+	cancel context.CancelFunc
+	db     *Database
+	gov    *governor.G
+	brk    *breaker
 
 	// pull yields the next serialized row for the strategy, io.EOF at end.
+	// It is captured by Next before releasing mu and runs outside the lock,
+	// so a racing Close is never blocked behind a slow row.
 	pull func() (string, error)
 
+	strategy Strategy
+	panics   atomic.Int64 // recovered pull panics (pull runs outside mu)
+
+	mu           sync.Mutex
 	sink         relstore.Stats
 	rowsProduced int64
 	recompiles   int64
 	compileWall  time.Duration
 	execWall     time.Duration
+	degradations int64
+	breakerSkips int64
+	breakerTrips int64
+	err          error // sticky terminal condition (io.EOF, governance, eval error)
+	closed       bool
 
-	err     error // sticky terminal condition (io.EOF, ctx error, eval error)
-	closed  bool
-	flushed bool
+	releaseOnce sync.Once
 }
 
 // OpenCursor begins a streaming execution of the transform. A transform
 // whose view was redefined since compilation recompiles automatically first
 // (§7.3). The SQL strategy streams straight off the plan's access path;
 // XQuery and no-rewrite materialize ONE view row per Next.
+//
+// The strategy is fixed at open time: strategies whose circuit breaker is
+// open are skipped, and a strategy that fails (or panics) while opening
+// degrades to the next one in the chain. Mid-stream failures terminate the
+// cursor — a half-delivered stream cannot be transparently restarted on a
+// weaker strategy without re-emitting rows.
 func (ct *CompiledTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -52,50 +81,101 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cursor{ctx: ctx, db: ct.db, recompiles: int64(recompiled), compileWall: time.Since(start)}
 
-	switch st.strategy {
+	var cancel context.CancelFunc
+	if ct.opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, ct.opts.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	g := governor.New(ctx).Limits(ct.opts.MaxRows, ct.opts.MaxOutputBytes, ct.opts.MaxRecursionDepth)
+	c := &Cursor{
+		ctx: ctx, cancel: cancel, db: ct.db, gov: g, brk: st.brk,
+		recompiles: int64(recompiled), compileWall: time.Since(start),
+	}
+
+	chain := st.chain(ct.opts)
+	var lastErr error
+	for i, s := range chain {
+		last := i == len(chain)-1
+		if !last && !st.brk.allow(s) {
+			c.breakerSkips++
+			continue
+		}
+		pull, err := c.openStrategy(st, s, ct.opts)
+		if err == nil {
+			c.strategy = s
+			c.pull = c.governed(pull)
+			return c, nil
+		}
+		if governor.IsGovernance(err) {
+			cancel()
+			return nil, err
+		}
+		if st.brk.failure(s) {
+			c.breakerTrips++
+		}
+		lastErr = err
+		if !last {
+			c.degradations++
+		}
+	}
+	cancel()
+	return nil, lastErr
+}
+
+// openStrategy builds the raw per-row pull for one strategy; open-time
+// panics are contained so the chain can degrade past a broken strategy.
+func (c *Cursor) openStrategy(st *planState, s Strategy, opts CompileOptions) (pull func() (string, error), err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.panics.Add(1)
+			pull, err = nil, fmt.Errorf("xsltdb: %s: %w", s, &InternalError{Panic: r, Stack: debug.Stack()})
+		}
+	}()
+
+	switch s {
 	case StrategySQL:
-		qc, err := ct.db.exec.OpenQueryCursor(st.plan, &c.sink)
+		qc, err := c.db.exec.OpenQueryCursorGoverned(st.plan, &c.sink, c.gov)
 		if err != nil {
 			return nil, err
 		}
-		c.pull = func() (string, error) {
+		return func() (string, error) {
 			doc, err := qc.Next()
 			if err != nil {
 				return "", err
 			}
 			return serialize(doc), nil
-		}
+		}, nil
 
 	case StrategyXQuery:
-		vc, err := ct.db.exec.OpenViewCursor(st.view, &c.sink)
+		vc, err := c.db.exec.OpenViewCursorGoverned(st.view, &c.sink, c.gov)
 		if err != nil {
 			return nil, err
 		}
 		module := st.rewrite.Module
 		row := 0
-		c.pull = func() (string, error) {
+		return func() (string, error) {
 			doc, err := vc.Next()
 			if err != nil {
 				return "", err
 			}
-			seq, err := xquery.EvalModule(module, xquery.NewEnv(xquery.Item(doc)))
+			seq, err := xquery.EvalModule(module, xquery.NewEnv(xquery.Item(doc)).Govern(c.gov))
 			if err != nil {
 				return "", fmt.Errorf("xsltdb: row %d: %w", row, err)
 			}
 			row++
 			return xquery.SerializeSeq(seq), nil
-		}
+		}, nil
 
 	default: // StrategyNoRewrite
-		vc, err := ct.db.exec.OpenViewCursor(st.view, &c.sink)
+		vc, err := c.db.exec.OpenViewCursorGoverned(st.view, &c.sink, c.gov)
 		if err != nil {
 			return nil, err
 		}
-		eng := xslt.New(st.sheet)
+		eng := xslt.New(st.sheet).Govern(c.gov)
 		row := 0
-		c.pull = func() (string, error) {
+		return func() (string, error) {
 			doc, err := vc.Next()
 			if err != nil {
 				return "", err
@@ -106,9 +186,36 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
 			}
 			row++
 			return s, nil
-		}
+		}, nil
 	}
-	return c, nil
+}
+
+// governed wraps a raw pull with the per-row governance work: a sticky
+// cancellation/limit check before the pull, row/output charging after it,
+// and panic containment around the whole step.
+func (c *Cursor) governed(pull func() (string, error)) func() (string, error) {
+	return func() (s string, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				c.panics.Add(1)
+				s, err = "", fmt.Errorf("xsltdb: %w", &InternalError{Panic: r, Stack: debug.Stack()})
+			}
+		}()
+		if err := c.gov.Check(); err != nil {
+			return "", err
+		}
+		s, err = pull()
+		if err != nil {
+			return "", err
+		}
+		if err := c.gov.AddRow(); err != nil {
+			return "", err
+		}
+		if err := c.gov.AddOutput(len(s)); err != nil {
+			return "", err
+		}
+		return s, nil
+	}
 }
 
 // OpenCursor streams the whole pipeline: each driving row is pulled through
@@ -121,77 +228,115 @@ func (c *ChainedTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
 	}
 	stages := c.stages
 	inner := cur.pull
+	g := cur.gov
 	cur.pull = func() (string, error) {
 		row, err := inner()
 		if err != nil {
 			return "", err
 		}
-		return applyStages(stages, row)
+		return applyStages(stages, row, g)
 	}
 	return cur, nil
 }
 
 // Next returns the next serialized result row. It returns io.EOF at end of
-// stream, the context's error if the cursor's context was cancelled, and
-// ErrCursorClosed after Close. Any terminal error is sticky.
+// stream, an ErrCanceled-wrapping error if the cursor's context was
+// cancelled, and ErrCursorClosed after Close. Any terminal error is sticky.
 func (c *Cursor) Next() (string, error) {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return "", ErrCursorClosed
 	}
 	if c.err != nil {
-		return "", c.err
-	}
-	if err := c.ctx.Err(); err != nil {
-		c.terminate(err)
+		err := c.err
+		c.mu.Unlock()
 		return "", err
 	}
+	pull := c.pull
+	c.mu.Unlock()
+
 	start := time.Now()
-	s, err := c.pull()
-	c.execWall += time.Since(start)
+	s, err := pull()
+	wall := time.Since(start)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.execWall += wall
+	if c.closed {
+		// Close won the race while the pull was in flight; Close already
+		// released the cursor, so just report it gone.
+		return "", ErrCursorClosed
+	}
 	if err != nil {
-		c.terminate(err)
+		c.terminateLocked(err)
 		return "", err
 	}
 	c.rowsProduced++
 	return s, nil
 }
 
-// terminate records the sticky terminal condition and merges this run's
-// counters into the database-wide aggregate.
-func (c *Cursor) terminate(err error) {
+// terminateLocked records the sticky terminal condition, reports the
+// outcome to the plan's circuit breaker, and releases the cursor. Callers
+// hold c.mu.
+func (c *Cursor) terminateLocked(err error) {
 	c.err = err
-	c.flush()
+	switch {
+	case err == io.EOF:
+		c.brk.success(c.strategy)
+	case governor.IsGovernance(err):
+		// A governance verdict says nothing about the strategy's health.
+	default:
+		if c.brk.failure(c.strategy) {
+			c.breakerTrips++
+		}
+	}
+	c.release()
 }
 
-func (c *Cursor) flush() {
-	if !c.flushed {
-		c.flushed = true
+// release cancels the run and merges this cursor's counters into the
+// database-wide aggregate, exactly once over the cursor's lifetime however
+// Close, end-of-stream, and errors interleave.
+func (c *Cursor) release() {
+	c.releaseOnce.Do(func() {
+		c.cancel()
 		c.db.exec.AddStats(&c.sink)
-	}
+	})
 }
 
 // Close releases the cursor. Closing early — before io.EOF — is the way to
-// abandon a partially-consumed stream: the remaining rows are never pulled
-// and this run's counters are merged into the aggregate at that point.
-// Close is idempotent.
+// abandon a partially-consumed stream: the run's context is cancelled (an
+// in-flight Next in another goroutine aborts promptly), the remaining rows
+// are never pulled, and this run's counters are merged into the aggregate
+// at that point. Close is idempotent and safe to call concurrently.
 func (c *Cursor) Close() error {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
 	c.pull = nil // release plan/iterator references
-	c.flush()
+	c.release()
+	c.mu.Unlock()
 	return nil
 }
 
 // Stats returns a snapshot of this cursor's per-run statistics; valid both
 // mid-iteration and after Close.
 func (c *Cursor) Stats() ExecStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	es := ExecStats{
-		RowsProduced: c.rowsProduced,
-		Recompiles:   c.recompiles,
-		CompileWall:  c.compileWall,
-		ExecWall:     c.execWall,
+		RowsProduced:    c.rowsProduced,
+		Recompiles:      c.recompiles,
+		CompileWall:     c.compileWall,
+		ExecWall:        c.execWall,
+		StrategyUsed:    c.strategy,
+		Degradations:    c.degradations,
+		BreakerSkips:    c.breakerSkips,
+		BreakerTrips:    c.breakerTrips,
+		PanicsRecovered: c.panics.Load(),
 	}
 	es.mergeSink(c.sink.Snapshot())
 	return es

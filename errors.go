@@ -1,6 +1,11 @@
 package xsltdb
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/governor"
+)
 
 // Sentinel errors for programmatic handling with errors.Is/errors.As. All
 // package errors that involve these conditions wrap the matching sentinel,
@@ -17,4 +22,47 @@ var (
 	ErrRewriteFellBack = errors.New("xsltdb: rewrite fell back before the forced strategy")
 	// ErrCursorClosed reports Next on a closed cursor.
 	ErrCursorClosed = errors.New("xsltdb: cursor is closed")
+	// ErrCompile reports a malformed stylesheet or schema: the wrapped
+	// cause carries the parser's position information (xslt.CompileError,
+	// xpath.SyntaxError, xquery.ParseError, ...), reachable via errors.As.
+	ErrCompile = errors.New("xsltdb: stylesheet failed to compile")
 )
+
+// Execution-governance sentinels, shared with the internal evaluation
+// layers so errors.Is matches no matter which layer stopped the run.
+var (
+	// ErrCanceled reports the run's context was cancelled or its deadline
+	// (WithTimeout) expired. Errors carrying it also wrap the underlying
+	// context error, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCanceled = governor.ErrCanceled
+	// ErrLimitExceeded reports a configured resource budget (WithMaxRows,
+	// WithMaxOutputBytes) was exhausted; errors.As against
+	// *governor.LimitError yields which one.
+	ErrLimitExceeded = governor.ErrLimitExceeded
+	// ErrRecursionLimit reports template or function recursion deeper than
+	// the bound (WithMaxRecursionDepth, default 1024/2048) — a runaway
+	// xsl:apply-templates, surfaced as an error instead of a stack
+	// overflow.
+	ErrRecursionLimit = governor.ErrRecursionLimit
+)
+
+// ErrInternal reports a recovered panic: a bug in the engine (or injected
+// fault) that was contained at the facade boundary instead of crashing the
+// process. The wrapped *InternalError carries the captured stack.
+var ErrInternal = errors.New("xsltdb: internal error")
+
+// InternalError is a panic recovered at the facade boundary; it wraps
+// ErrInternal.
+type InternalError struct {
+	// Panic is the recovered value.
+	Panic any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("xsltdb: internal error: recovered panic: %v", e.Panic)
+}
+
+func (e *InternalError) Unwrap() error { return ErrInternal }

@@ -32,8 +32,14 @@ func main() {
 
 	inlined := 0
 	for _, c := range xsltmark.All() {
-		sheet := xslt.MustParseStylesheet(c.Stylesheet)
-		schema := xschema.MustParseCompact(c.Schema)
+		sheet, err := xslt.ParseStylesheet(c.Stylesheet)
+		if err != nil {
+			log.Fatalf("%s: stylesheet: %v", c.Name, err)
+		}
+		schema, err := xschema.ParseCompact(c.Schema)
+		if err != nil {
+			log.Fatalf("%s: schema: %v", c.Name, err)
+		}
 		res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 		if err != nil {
 			log.Fatalf("%s: %v", c.Name, err)

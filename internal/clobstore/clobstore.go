@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/faultpoint"
 	"repro/internal/relstore"
 	"repro/internal/xmltree"
 )
@@ -62,6 +63,9 @@ func (s *DocStore) Text(id int) string { return s.docs[id] }
 
 // ParseDoc parses document id afresh — the CLOB storage access path.
 func (s *DocStore) ParseDoc(id int) (*xmltree.Node, error) {
+	if err := faultpoint.Hit("clobstore.parse"); err != nil {
+		return nil, err
+	}
 	atomic.AddInt64(&s.Parses, 1)
 	return xmltree.Parse(s.docs[id])
 }

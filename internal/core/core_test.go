@@ -8,6 +8,7 @@ import (
 	"repro/internal/xquery"
 	"repro/internal/xschema"
 	"repro/internal/xslt"
+	"repro/internal/xtest"
 )
 
 const deptSchema = `
@@ -60,7 +61,7 @@ func runQuery(t *testing.T, m *xquery.Module, doc *xmltree.Node) string {
 // interpOut runs the reference XSLT interpreter.
 func interpOut(t *testing.T, stylesheet string, doc *xmltree.Node) string {
 	t.Helper()
-	sheet := xslt.MustParseStylesheet(stylesheet)
+	sheet := xtest.Sheet(t, stylesheet)
 	out, err := xslt.New(sheet).TransformToString(doc)
 	if err != nil {
 		t.Fatal(err)
@@ -354,8 +355,8 @@ title   := #text
 		t.Fatal("recursive rewrite declares functions")
 	}
 	// Inline mode must refuse.
-	sheetP := xslt.MustParseStylesheet(sheet)
-	s := xschema.MustParseCompact(schema)
+	sheetP := xtest.Sheet(t, sheet)
+	s := xtest.Schema(t, schema)
 	if _, err := Rewrite(sheetP, s, ModeInline); err == nil {
 		t.Fatal("forced inline on recursion should fail")
 	}
@@ -485,7 +486,7 @@ func TestInlineNotesMentionInlining(t *testing.T) {
 }
 
 func TestRewriteErrors(t *testing.T) {
-	sheet := xslt.MustParseStylesheet(wrap(`<xsl:template match="/">x</xsl:template>`))
+	sheet := xtest.Sheet(t, wrap(`<xsl:template match="/">x</xsl:template>`))
 	if _, err := Rewrite(sheet, nil, ModeAuto); err == nil {
 		t.Fatal("auto mode requires a schema")
 	}
@@ -623,7 +624,7 @@ func TestRewriteChained(t *testing.T) {
 		<xsl:template match="row"><rich><xsl:value-of select="."/></rich></xsl:template>
 	`)
 	stage1 := rewriteFor(t, stage1Src, deptSchema, ModeInline)
-	stage2Sheet := xslt.MustParseStylesheet(stage2Src)
+	stage2Sheet := xtest.Sheet(t, stage2Src)
 	stage2, err := RewriteChained(stage1, stage2Sheet, ModeAuto)
 	if err != nil {
 		t.Fatal(err)
@@ -634,7 +635,7 @@ func TestRewriteChained(t *testing.T) {
 
 	// Reference: interpret stage1 then stage2.
 	doc := stripInputWS(parseDoc(t, xslt.PaperDeptRow1))
-	mid, err := xslt.New(xslt.MustParseStylesheet(stage1Src)).Transform(doc)
+	mid, err := xslt.New(xtest.Sheet(t, stage1Src)).Transform(doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -745,16 +746,16 @@ func TestGlobalRTFVariable(t *testing.T) {
 // TestUnconvertibleConstructs: functions without XQuery mappings surface as
 // rewrite errors (callers fall back).
 func TestUnconvertibleConstructs(t *testing.T) {
-	sheet := xslt.MustParseStylesheet(wrap(`
+	sheet := xtest.Sheet(t, wrap(`
 		<xsl:key name="k" match="emp" use="sal"/>
 		<xsl:template match="dept"><xsl:value-of select="count(key('k', '2450'))"/></xsl:template>
 	`))
-	schema := xschema.MustParseCompact(deptSchema)
+	schema := xtest.Schema(t, deptSchema)
 	if _, err := Rewrite(sheet, schema, ModeAuto); err == nil {
 		t.Fatal("key() has no XQuery mapping; rewrite must fail loudly")
 	}
 	// position() at template top level has no context in function modes.
-	sheet2 := xslt.MustParseStylesheet(wrap(`<xsl:template match="emp"><xsl:value-of select="position()"/></xsl:template>`))
+	sheet2 := xtest.Sheet(t, wrap(`<xsl:template match="emp"><xsl:value-of select="position()"/></xsl:template>`))
 	if _, err := Rewrite(sheet2, nil, ModeStraightforward); err == nil {
 		t.Fatal("top-level position() should fail in straightforward mode")
 	}

@@ -1,0 +1,119 @@
+// Package faultpoint provides named fault-injection hooks for testing the
+// engine's degradation and cleanup paths. Production code marks interesting
+// failure sites with Hit("layer.site"); tests arm a site with Enable or
+// EnableAfter to force a deterministic error there, then verify the caller
+// degrades, cleans up, and reports correctly.
+//
+// The disarmed fast path is a single atomic load of a package counter, so
+// leaving Hit calls in hot loops costs nothing measurable in production.
+//
+// Registered sites (grep for faultpoint.Hit to confirm):
+//
+//	relstore.scan.next    — full-scan row fetch
+//	relstore.index.next   — index range-scan row fetch
+//	sqlxml.query.next     — SQL/XML cursor row construction
+//	sqlxml.view.row       — view row materialization
+//	clobstore.parse       — CLOB document parse
+//	xq2sql.translate      — XQuery→SQL/XML lowering
+package faultpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// armed counts enabled points; zero means every Hit is a no-op.
+var armed atomic.Int32
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+type point struct {
+	// remaining hits that pass before the point fires; <0 fires always.
+	remaining int64
+	err       error
+	panics    bool
+	hits      int64
+}
+
+// Enable arms name to fail every Hit with err until Disable/Reset.
+func Enable(name string, err error) { EnableAfter(name, 0, err) }
+
+// EnablePanic arms name to panic on every Hit — exercising the facade's
+// panic-containment boundary the way a real engine bug would.
+func EnablePanic(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = &point{panics: true}
+}
+
+// EnableAfter arms name to let n Hits pass, then fail every later Hit with
+// err. n=0 fails immediately; use it to force mid-scan failures at a
+// deterministic row.
+func EnableAfter(name string, n int, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = &point{remaining: int64(n), err: err}
+}
+
+// Disable disarms one point.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; exists {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point. Tests should defer this after arming.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	if len(points) > 0 {
+		armed.Add(int32(-len(points)))
+		points = map[string]*point{}
+	}
+}
+
+// Hits reports how many times name was hit while armed (passing or
+// failing); 0 when not armed.
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// Hit is the production-side hook: it returns nil unless name is armed and
+// its pass budget is exhausted.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[name]
+	if !ok {
+		return nil
+	}
+	p.hits++
+	if p.remaining > 0 {
+		p.remaining--
+		return nil
+	}
+	if p.panics {
+		panic("faultpoint: injected panic at " + name)
+	}
+	return p.err
+}

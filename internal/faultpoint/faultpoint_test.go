@@ -1,0 +1,107 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nowhere"); err != nil {
+		t.Fatalf("disarmed Hit = %v", err)
+	}
+}
+
+func TestEnableFailsImmediately(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("a.b", boom)
+	if err := Hit("a.b"); !errors.Is(err, boom) {
+		t.Fatalf("armed Hit = %v, want boom", err)
+	}
+	if err := Hit("other"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+}
+
+func TestEnableAfterPassesNThenFails(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	EnableAfter("scan", 3, boom)
+	for i := 0; i < 3; i++ {
+		if err := Hit("scan"); err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := Hit("scan"); !errors.Is(err, boom) {
+			t.Fatalf("post-budget hit %d = %v, want boom", i, err)
+		}
+	}
+	if got := Hits("scan"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	boom := errors.New("boom")
+	Enable("x", boom)
+	Enable("y", boom)
+	Disable("x")
+	if err := Hit("x"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	if err := Hit("y"); !errors.Is(err, boom) {
+		t.Fatalf("still-armed point = %v", err)
+	}
+	Reset()
+	if err := Hit("y"); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count = %d after Reset", armed.Load())
+	}
+}
+
+func TestReEnableDoesNotLeakArmedCount(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("p", boom)
+	Enable("p", boom) // re-arm same point
+	if armed.Load() != 1 {
+		t.Fatalf("armed = %d, want 1", armed.Load())
+	}
+	Disable("p")
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d after disable, want 0", armed.Load())
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	EnableAfter("c", 100, boom)
+	var wg sync.WaitGroup
+	var failures sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 50; i++ {
+				if Hit("c") != nil {
+					n++
+				}
+			}
+			failures.Store(w, n)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	failures.Range(func(_, v any) bool { total += v.(int); return true })
+	// 400 hits against a 100-pass budget: exactly 300 fail.
+	if total != 300 {
+		t.Fatalf("failures = %d, want 300", total)
+	}
+}

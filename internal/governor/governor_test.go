@@ -1,0 +1,162 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilReceiverNoops(t *testing.T) {
+	var g *G
+	if err := g.Tick(); err != nil {
+		t.Fatalf("nil Tick = %v", err)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatalf("nil Check = %v", err)
+	}
+	if err := g.AddRow(); err != nil {
+		t.Fatalf("nil AddRow = %v", err)
+	}
+	if err := g.AddOutput(10); err != nil {
+		t.Fatalf("nil AddOutput = %v", err)
+	}
+	if g.Err() != nil || g.Rows() != 0 || g.OutputBytes() != 0 {
+		t.Fatal("nil accessors should be zero")
+	}
+	if g.MaxDepth(7) != 7 {
+		t.Fatal("nil MaxDepth should return default")
+	}
+	if g.Context() == nil {
+		t.Fatal("nil Context should return Background")
+	}
+}
+
+func TestCancellationIsSticky(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx)
+	if err := g.Check(); err != nil {
+		t.Fatalf("pre-cancel Check = %v", err)
+	}
+	cancel()
+	err := g.Check()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Check after cancel = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel error should also wrap context.Canceled, got %v", err)
+	}
+	// Sticky: every later check (even a fast-path Tick) returns it.
+	for i := 0; i < 2*tickMask; i++ {
+		if err := g.Tick(); !errors.Is(err, ErrCanceled) {
+			t.Fatalf("Tick %d after cancel = %v", i, err)
+		}
+	}
+}
+
+func TestTickAmortizationDetectsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx)
+	cancel()
+	var got error
+	for i := 0; i < tickMask+2; i++ {
+		if err := g.Tick(); err != nil {
+			got = err
+			break
+		}
+	}
+	if !errors.Is(got, ErrCanceled) {
+		t.Fatalf("Tick never observed cancellation within a full window: %v", got)
+	}
+}
+
+func TestRowLimit(t *testing.T) {
+	g := New(context.Background()).Limits(3, 0, 0)
+	for i := 0; i < 3; i++ {
+		if err := g.AddRow(); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	err := g.AddRow()
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("4th row = %v, want ErrLimitExceeded", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Kind != "rows" || le.Limit != 3 {
+		t.Fatalf("limit detail = %+v", le)
+	}
+	// Sticky via Tick too.
+	if err := g.Check(); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("Check after limit = %v", err)
+	}
+}
+
+func TestOutputLimit(t *testing.T) {
+	g := New(context.Background()).Limits(0, 100, 0)
+	if err := g.AddOutput(60); err != nil {
+		t.Fatalf("first 60 bytes: %v", err)
+	}
+	err := g.AddOutput(60)
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("120 bytes = %v, want ErrLimitExceeded", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Kind != "output-bytes" {
+		t.Fatalf("limit detail = %+v", le)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	g := New(context.Background()).Limits(0, 0, 42)
+	if got := g.MaxDepth(1024); got != 42 {
+		t.Fatalf("MaxDepth = %d, want 42", got)
+	}
+	g2 := New(context.Background())
+	if got := g2.MaxDepth(1024); got != 1024 {
+		t.Fatalf("unset MaxDepth = %d, want default", got)
+	}
+}
+
+func TestConcurrentTicksAndLimits(t *testing.T) {
+	g := New(context.Background()).Limits(1000, 0, 0)
+	var wg sync.WaitGroup
+	var hits atomic64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = g.Tick()
+				if err := g.AddRow(); err != nil {
+					hits.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 4000 rows against a 1000 budget: exactly 3000 charges fail.
+	if got := hits.load(); got != 3000 {
+		t.Fatalf("limit hits = %d, want 3000", got)
+	}
+}
+
+func TestIsGovernance(t *testing.T) {
+	if !IsGovernance(ErrCanceled) || !IsGovernance(ErrLimitExceeded) || !IsGovernance(ErrRecursionLimit) {
+		t.Fatal("sentinels must classify as governance errors")
+	}
+	if !IsGovernance(&LimitError{Kind: "rows"}) {
+		t.Fatal("LimitError must classify as governance")
+	}
+	if IsGovernance(errors.New("boom")) {
+		t.Fatal("ordinary errors must not classify as governance")
+	}
+}
+
+// atomic64 is a tiny helper to avoid importing sync/atomic twice in tests.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

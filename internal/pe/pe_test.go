@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/xmltree"
-	"repro/internal/xpath"
 	"repro/internal/xschema"
 	"repro/internal/xslt"
+	"repro/internal/xtest"
 )
 
 const deptSchema = `
@@ -237,7 +237,7 @@ func TestIsStructural(t *testing.T) {
 		{"text()", false},
 	}
 	for _, tc := range cases {
-		e := xpath.MustParse(tc.expr)
+		e := xtest.XPath(t, tc.expr)
 		if got := IsStructural(e); got != tc.want {
 			t.Errorf("IsStructural(%q) = %v, want %v", tc.expr, got, tc.want)
 		}

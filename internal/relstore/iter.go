@@ -5,6 +5,9 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"repro/internal/faultpoint"
+	"repro/internal/governor"
 )
 
 // Stats counts physical work done by operators; the benchmark harness reads
@@ -98,11 +101,17 @@ func (p Pred) Matches(cell Value) bool {
 }
 
 // Iterator is the Volcano pull interface: Next returns row ids of the
-// underlying table until exhaustion.
+// underlying table until exhaustion. A false Next may mean exhaustion OR a
+// terminal fault (cancellation, injected failure); consumers must check Err
+// after the loop — otherwise an aborted scan would silently truncate to an
+// apparently-complete result.
 type Iterator interface {
 	// Next returns the next row id, or ok=false at end of stream.
 	Next() (rowID int, ok bool)
-	// Reset rewinds to the start.
+	// Err returns the terminal error that stopped the iterator early, or
+	// nil after clean exhaustion.
+	Err() error
+	// Reset rewinds to the start (clearing any terminal error).
 	Reset()
 	// Explain describes the physical operator.
 	Explain() string
@@ -114,10 +123,23 @@ type scanIter struct {
 	preds []Pred
 	pos   int
 	stats *Stats
+	gov   *governor.G
+	err   error
 }
 
 func (s *scanIter) Next() (int, bool) {
+	if s.err != nil {
+		return 0, false
+	}
 	for {
+		if err := faultpoint.Hit("relstore.scan.next"); err != nil {
+			s.err = err
+			return 0, false
+		}
+		if err := s.gov.Tick(); err != nil {
+			s.err = err
+			return 0, false
+		}
 		s.table.mu.RLock()
 		n := len(s.table.rows)
 		s.table.mu.RUnlock()
@@ -138,7 +160,9 @@ func (s *scanIter) Next() (int, bool) {
 	}
 }
 
-func (s *scanIter) Reset() { s.pos = 0 }
+func (s *scanIter) Err() error { return s.err }
+
+func (s *scanIter) Reset() { s.pos = 0; s.err = nil }
 
 func (s *scanIter) Explain() string {
 	if len(s.preds) == 0 {
@@ -158,6 +182,8 @@ type indexIter struct {
 	pos   int
 	run   bool
 	stats *Stats
+	gov   *governor.G
+	err   error
 }
 
 func (it *indexIter) materialize() {
@@ -175,10 +201,21 @@ func (it *indexIter) materialize() {
 }
 
 func (it *indexIter) Next() (int, bool) {
+	if it.err != nil {
+		return 0, false
+	}
 	if !it.run {
 		it.materialize()
 	}
 	for it.pos < len(it.ids) {
+		if err := faultpoint.Hit("relstore.index.next"); err != nil {
+			it.err = err
+			return 0, false
+		}
+		if err := it.gov.Tick(); err != nil {
+			it.err = err
+			return 0, false
+		}
 		id := it.ids[it.pos]
 		it.pos++
 		if rowMatches(it.table, id, it.residual) {
@@ -191,7 +228,9 @@ func (it *indexIter) Next() (int, bool) {
 	return 0, false
 }
 
-func (it *indexIter) Reset() { it.pos = 0 }
+func (it *indexIter) Err() error { return it.err }
+
+func (it *indexIter) Reset() { it.pos = 0; it.err = nil }
 
 func (it *indexIter) Explain() string {
 	rng := describeRange(it.indexCol, it.lo, it.hi)
@@ -249,6 +288,14 @@ func rowMatches(t *Table, id int, preds []Pred) bool {
 // otherwise a full scan. This is the "standard relational optimizer can
 // select the index on the sal column" step of the paper (§2.1).
 func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
+	return AccessPathGoverned(t, preds, stats, nil)
+}
+
+// AccessPathGoverned is AccessPath with an execution governor: the returned
+// iterator stops early (Err reports why) when g is cancelled or over
+// budget, so a scan over a large table aborts mid-pass instead of running
+// to exhaustion. g may be nil.
+func AccessPathGoverned(t *Table, preds []Pred, stats *Stats, g *governor.G) Iterator {
 	best := -1
 	for i, p := range preds {
 		if p.Op == CmpNe || p.Val == nil {
@@ -266,7 +313,7 @@ func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
 		if stats != nil {
 			atomic.AddInt64(&stats.FullScans, 1)
 		}
-		return &scanIter{table: t, preds: preds, stats: stats}
+		return &scanIter{table: t, preds: preds, stats: stats, gov: g}
 	}
 	if stats != nil {
 		atomic.AddInt64(&stats.RangeScans, 1)
@@ -292,14 +339,19 @@ func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
 	case CmpGe:
 		lo = Bound{Value: p.Val, Inclusive: true}
 	}
-	return &indexIter{table: t, indexCol: p.Col, lo: lo, hi: hi, residual: residual, stats: stats}
+	return &indexIter{table: t, indexCol: p.Col, lo: lo, hi: hi, residual: residual, stats: stats, gov: g}
 }
 
 // FullScan returns an unconditional scan (used when the caller needs every
 // row, e.g. view materialization).
 func FullScan(t *Table, stats *Stats) Iterator {
+	return FullScanGoverned(t, stats, nil)
+}
+
+// FullScanGoverned is FullScan under an execution governor (may be nil).
+func FullScanGoverned(t *Table, stats *Stats, g *governor.G) Iterator {
 	if stats != nil {
 		atomic.AddInt64(&stats.FullScans, 1)
 	}
-	return &scanIter{table: t, stats: stats}
+	return &scanIter{table: t, stats: stats, gov: g}
 }

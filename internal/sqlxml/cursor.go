@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/faultpoint"
+	"repro/internal/governor"
 	"repro/internal/relstore"
 	"repro/internal/xmltree"
 )
@@ -17,6 +19,9 @@ import (
 //
 // Cursors write physical-operator counters to the sink passed at open time;
 // passing a per-run sink keeps concurrent executions from sharing counters.
+// A governor passed at open time bounds the execution: the driving iterator
+// and the per-row construction both stop promptly when it reports
+// cancellation or an exhausted budget.
 
 // DocCursor is the common pull interface of the streaming executors: Next
 // returns the next constructed document, or io.EOF at end of stream.
@@ -30,11 +35,18 @@ type QueryCursor struct {
 	t    *relstore.Table
 	it   relstore.Iterator
 	ec   *evalContext
+	fp   string // faultpoint name hit once per constructed row
 }
 
 // OpenQueryCursor opens a streaming execution of q. Operator counters go to
 // sink (which may be nil to discard them).
 func (e *Executor) OpenQueryCursor(q *Query, sink *relstore.Stats) (*QueryCursor, error) {
+	return e.OpenQueryCursorGoverned(q, sink, nil)
+}
+
+// OpenQueryCursorGoverned is OpenQueryCursor under an execution governor
+// (may be nil).
+func (e *Executor) OpenQueryCursorGoverned(q *Query, sink *relstore.Stats, g *governor.G) (*QueryCursor, error) {
 	t := e.DB.Table(q.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
@@ -42,16 +54,24 @@ func (e *Executor) OpenQueryCursor(q *Query, sink *relstore.Stats) (*QueryCursor
 	return &QueryCursor{
 		body: q.Body,
 		t:    t,
-		it:   relstore.AccessPath(t, q.Where, sink),
-		ec:   &evalContext{db: e.DB, stats: sink},
+		it:   relstore.AccessPathGoverned(t, q.Where, sink, g),
+		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
+		fp:   "sqlxml.query.next",
 	}, nil
 }
 
 // Next constructs the XML for the next qualifying driving row. It returns
-// io.EOF when the driving iterator is exhausted.
+// io.EOF when the driving iterator is exhausted, and the iterator's
+// terminal error (cancellation, injected fault) when it stopped early.
 func (c *QueryCursor) Next() (*xmltree.Node, error) {
+	if err := faultpoint.Hit(c.fp); err != nil {
+		return nil, err
+	}
 	id, ok := c.it.Next()
 	if !ok {
+		if err := c.it.Err(); err != nil {
+			return nil, err
+		}
 		return nil, io.EOF
 	}
 	doc := xmltree.NewDocument()
@@ -65,6 +85,12 @@ func (c *QueryCursor) Next() (*xmltree.Node, error) {
 // OpenViewCursor opens a streaming materialization of v: one XMLType
 // instance per driving-table row, pulled on demand.
 func (e *Executor) OpenViewCursor(v *ViewDef, sink *relstore.Stats) (*QueryCursor, error) {
+	return e.OpenViewCursorGoverned(v, sink, nil)
+}
+
+// OpenViewCursorGoverned is OpenViewCursor under an execution governor
+// (may be nil).
+func (e *Executor) OpenViewCursorGoverned(v *ViewDef, sink *relstore.Stats, g *governor.G) (*QueryCursor, error) {
 	t := e.DB.Table(v.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
@@ -72,8 +98,9 @@ func (e *Executor) OpenViewCursor(v *ViewDef, sink *relstore.Stats) (*QueryCurso
 	return &QueryCursor{
 		body: v.Body,
 		t:    t,
-		it:   relstore.FullScan(t, sink),
-		ec:   &evalContext{db: e.DB, stats: sink},
+		it:   relstore.FullScanGoverned(t, sink, g),
+		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
+		fp:   "sqlxml.view.row",
 	}, nil
 }
 

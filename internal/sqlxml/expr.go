@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/governor"
 	"repro/internal/relstore"
 	"repro/internal/xmltree"
 )
@@ -167,10 +168,16 @@ func (q *SubQuery) fromWhereSQL() string {
 type evalContext struct {
 	db    *relstore.DB
 	stats *relstore.Stats
+	// gov, when non-nil, bounds the construction: deep Agg nests and wide
+	// scans abort promptly on cancellation or budget exhaustion.
+	gov *governor.G
 }
 
 // evalInto appends the XML produced by expr for (table,rowID) to parent.
 func (ec *evalContext) evalInto(parent *xmltree.Node, expr XMLExpr, table *relstore.Table, rowID int) error {
+	if err := ec.gov.Tick(); err != nil {
+		return err
+	}
 	switch e := expr.(type) {
 	case *Literal:
 		appendText(parent, e.Text)
@@ -341,7 +348,7 @@ func (ec *evalContext) subqueryRows(sub *SubQuery, outer *relstore.Table, outerR
 		ov := outer.Value(outerRow, sub.CorrOuter)
 		preds = append(preds, relstore.Pred{Col: sub.CorrInner, Op: relstore.CmpEq, Val: ov})
 	}
-	it := relstore.AccessPath(inner, preds, ec.stats)
+	it := relstore.AccessPathGoverned(inner, preds, ec.stats, ec.gov)
 	var ids []int
 	for {
 		id, ok := it.Next()
@@ -349,6 +356,9 @@ func (ec *evalContext) subqueryRows(sub *SubQuery, outer *relstore.Table, outerR
 			break
 		}
 		ids = append(ids, id)
+	}
+	if err := it.Err(); err != nil {
+		return nil, nil, err
 	}
 	if sub.OrderBy != "" {
 		sortByCol(inner, ids, sub.OrderBy, sub.Descending)

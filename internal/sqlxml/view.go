@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faultpoint"
+	"repro/internal/governor"
 	"repro/internal/relstore"
 	"repro/internal/xmltree"
 	"repro/internal/xschema"
@@ -80,7 +82,13 @@ func (e *Executor) MaterializeView(v *ViewDef) ([]*xmltree.Node, error) {
 
 // MaterializeViewWith is MaterializeView with an explicit stats sink.
 func (e *Executor) MaterializeViewWith(v *ViewDef, sink *relstore.Stats) ([]*xmltree.Node, error) {
-	c, err := e.OpenViewCursor(v, sink)
+	return e.MaterializeViewGoverned(v, sink, nil)
+}
+
+// MaterializeViewGoverned is MaterializeViewWith under an execution
+// governor (may be nil).
+func (e *Executor) MaterializeViewGoverned(v *ViewDef, sink *relstore.Stats, g *governor.G) ([]*xmltree.Node, error) {
+	c, err := e.OpenViewCursorGoverned(v, sink, g)
 	if err != nil {
 		return nil, err
 	}
@@ -368,14 +376,26 @@ func (e *Executor) ExecQueryParallel(q *Query, workers int) ([]*xmltree.Node, er
 // All workers write to sink atomically; callers that need per-run isolation
 // pass a fresh sink and merge it back with AddStats.
 func (e *Executor) ExecQueryParallelWith(q *Query, workers int, sink *relstore.Stats) ([]*xmltree.Node, error) {
+	return e.ExecQueryParallelGoverned(q, workers, sink, nil)
+}
+
+// ExecQueryParallelGoverned is ExecQueryParallelWith under an execution
+// governor (may be nil): the driving scan, every worker's construction, and
+// the dispatch loop itself all stop promptly when g reports cancellation or
+// an exhausted budget.
+func (e *Executor) ExecQueryParallelGoverned(q *Query, workers int, sink *relstore.Stats, g *governor.G) ([]*xmltree.Node, error) {
 	if workers < 2 {
-		return e.ExecQueryWith(q, sink)
+		c, err := e.OpenQueryCursorGoverned(q, sink, g)
+		if err != nil {
+			return nil, err
+		}
+		return drainCursor(c)
 	}
 	t := e.DB.Table(q.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
 	}
-	it := relstore.AccessPath(t, q.Where, sink)
+	it := relstore.AccessPathGoverned(t, q.Where, sink, g)
 	var ids []int
 	for {
 		id, ok := it.Next()
@@ -384,17 +404,38 @@ func (e *Executor) ExecQueryParallelWith(q *Query, workers int, sink *relstore.S
 		}
 		ids = append(ids, id)
 	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]*xmltree.Node, len(ids))
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for i, id := range ids {
+		// Stop handing out work once the governor has a verdict; rows
+		// already dispatched unwind through their own Tick checks.
+		if err := g.Check(); err != nil {
+			errs[i] = err
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i, id int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			ec := &evalContext{db: e.DB, stats: sink}
+			// A panic on a worker goroutine would kill the process before
+			// the facade's recovery could see it; convert it to this row's
+			// error instead so the run fails like any other row failure.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("sqlxml: worker panic: %v", r)
+				}
+			}()
+			if err := faultpoint.Hit("sqlxml.query.next"); err != nil {
+				errs[i] = err
+				return
+			}
+			ec := &evalContext{db: e.DB, stats: sink, gov: g}
 			doc := xmltree.NewDocument()
 			if err := ec.evalInto(doc, q.Body, t, id); err != nil {
 				errs[i] = err

@@ -1,0 +1,96 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// FuzzParse asserts the expression parser never panics or hangs: any input
+// either parses or returns a *SyntaxError with position info. Parsed
+// expressions additionally get one evaluation pass over a tiny document —
+// the evaluator must contain whatever the parser accepted.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"/dept/emp",
+		"//emp[sal > 2000]/ename",
+		"count(emp) * 2 + 1",
+		"concat('a', \"b\", string(1.5))",
+		"substring-before($var, '-')",
+		"emp[position() = last()]",
+		"../@id | node() | text()",
+		"-(-3) mod 2",
+		"translate($s, $f, $t)",
+		"processing-instruction(\"t\")",
+		"((((((((((1))))))))))",
+		strings.Repeat("(", 600),
+		strings.Repeat("-", 600) + "1",
+		"a/" + strings.Repeat("b/", 200) + "c",
+		"emp[",
+		"@",
+		"1.5.5",
+		"'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc, err := xmltree.Parse(`<dept><emp><ename>x</ename><sal>10</sal></emp></dept>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			if se, ok := err.(*SyntaxError); ok && se.Pos > len(src) {
+				t.Fatalf("SyntaxError position %d beyond input length %d", se.Pos, len(src))
+			}
+			return
+		}
+		ctx := NewContext(doc)
+		ctx.Vars = VarMap{"var": "v", "s": "abc", "f": "a", "t": "b"}
+		_, _ = Eval(e, ctx) // must not panic
+	})
+}
+
+// FuzzParsePattern asserts the pattern parser never panics: any input
+// either parses — and then must survive a match attempt and a priority
+// computation per alternative — or returns an error.
+func FuzzParsePattern(f *testing.F) {
+	seeds := []string{
+		"dept",
+		"emp/empno",
+		"//emp",
+		"/",
+		"dname | loc|emp",
+		"emp[sal > 2000]",
+		"@id",
+		"@*",
+		"text()",
+		"processing-instruction('t')",
+		"xsl:*",
+		"a/b/c/d/e/f",
+		"a[",
+		"|",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc, err := xmltree.Parse(`<dept><emp empno="1"/></dept>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	node := doc.Children[0].Children[0]
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePattern(src)
+		if err != nil {
+			return
+		}
+		_, _ = p.Matches(node, nil)
+		for _, alt := range p.SplitUnion() {
+			if _, err := alt.DefaultPriority(); err != nil {
+				t.Fatalf("single-alternative pattern %q: DefaultPriority: %v", alt.String(), err)
+			}
+		}
+	})
+}

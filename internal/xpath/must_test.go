@@ -1,0 +1,20 @@
+package xpath
+
+// Test-only parse helpers. The production API returns errors; tests with
+// compiled-in expressions use these and treat a parse failure as a bug.
+
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func MustParsePattern(src string) *Pattern {
+	p, err := ParsePattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

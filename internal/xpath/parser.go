@@ -4,16 +4,6 @@ import (
 	"fmt"
 )
 
-// MustParse parses an XPath expression, panicking on error. Intended for
-// compiled-in expressions in tests and generators.
-func MustParse(src string) Expr {
-	e, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return e
-}
-
 // Parse parses an XPath 1.0 expression.
 func Parse(src string) (Expr, error) {
 	toks, err := lex(src)
@@ -31,11 +21,28 @@ func Parse(src string) (Expr, error) {
 	return e, nil
 }
 
+// maxParseDepth bounds parser recursion so hostile inputs (a kilobyte of
+// "((((" or "----") surface a SyntaxError instead of exhausting the
+// goroutine stack. Real-world XPath nests a handful of levels.
+const maxParseDepth = 512
+
 type exprParser struct {
-	src  string
-	toks []token
-	pos  int
+	src   string
+	toks  []token
+	pos   int
+	depth int
 }
+
+// enter charges one level of parser recursion; leave releases it.
+func (p *exprParser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("expression nests deeper than %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *exprParser) leave() { p.depth-- }
 
 func (p *exprParser) peek() token { return p.toks[p.pos] }
 func (p *exprParser) peek2() token {
@@ -134,7 +141,14 @@ func (p *exprParser) parseBinary(minPrec int) (Expr, error) {
 	}
 }
 
+// parseUnary sits on every recursion cycle through the grammar (parens,
+// predicates, function arguments, unary minus), so the depth guard here
+// bounds them all.
 func (p *exprParser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.peek().kind == tokMinus {
 		p.next()
 		x, err := p.parseUnary()

@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"fmt"
 	"strings"
 
 	"repro/internal/xmltree"
@@ -53,15 +54,6 @@ func ParsePattern(src string) (*Pattern, error) {
 		return nil, pp.errf("unexpected %s in pattern", pp.peek())
 	}
 	return pat, nil
-}
-
-// MustParsePattern parses a pattern, panicking on error.
-func MustParsePattern(src string) *Pattern {
-	p, err := ParsePattern(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 func parsePathPattern(p *exprParser) (*PathPattern, error) {
@@ -212,14 +204,14 @@ func stepMatches(node *xmltree.Node, step *Step, vars Variables) (bool, error) {
 }
 
 // DefaultPriority computes the XSLT 1.0 default priority of the pattern.
-// For union patterns XSLT treats each alternative as its own rule; this
-// method returns the priority of the sole alternative and panics on unions
-// (the XSLT engine expands unions before asking).
-func (p *Pattern) DefaultPriority() float64 {
+// For union patterns XSLT treats each alternative as its own rule, so the
+// question is only well-posed for a single alternative; asking it of a
+// union returns an error (the XSLT engine expands unions before asking).
+func (p *Pattern) DefaultPriority() (float64, error) {
 	if len(p.Alternatives) != 1 {
-		panic("xpath: DefaultPriority called on a union pattern")
+		return 0, fmt.Errorf("xpath: DefaultPriority on a union pattern of %d alternatives", len(p.Alternatives))
 	}
-	return p.Alternatives[0].DefaultPriority()
+	return p.Alternatives[0].DefaultPriority(), nil
 }
 
 // DefaultPriority implements the XSLT 1.0 §5.5 rules for one alternative.

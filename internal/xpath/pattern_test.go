@@ -211,7 +211,11 @@ func TestDefaultPriorities(t *testing.T) {
 	}
 	for _, tc := range cases {
 		p := MustParsePattern(tc.pat)
-		if got := p.DefaultPriority(); got != tc.want {
+		got, err := p.DefaultPriority()
+		if err != nil {
+			t.Fatalf("priority(%q): %v", tc.pat, err)
+		}
+		if got != tc.want {
 			t.Errorf("priority(%q) = %v, want %v", tc.pat, got, tc.want)
 		}
 	}

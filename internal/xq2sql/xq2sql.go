@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/faultpoint"
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
 	"repro/internal/xpath"
@@ -125,6 +126,9 @@ type translator struct {
 // view's driving table. The module must follow the inline-rewriter shape:
 // `declare variable $var000 := .;` binding the view row document.
 func Translate(m *xquery.Module, view *sqlxml.ViewDef) (*sqlxml.Query, error) {
+	if err := faultpoint.Hit("xq2sql.translate"); err != nil {
+		return nil, err
+	}
 	root, err := buildViewTree(view.Body, view.Table)
 	if err != nil {
 		return nil, err

@@ -9,8 +9,8 @@ import (
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
 	"repro/internal/xmltree"
-	"repro/internal/xquery"
 	"repro/internal/xslt"
+	"repro/internal/xtest"
 )
 
 func setup(t *testing.T) (*relstore.DB, *sqlxml.Executor, *sqlxml.ViewDef) {
@@ -34,7 +34,7 @@ func rewriteExample1(t *testing.T, ex *sqlxml.Executor, view *sqlxml.ViewDef) *c
 	if err != nil {
 		t.Fatal(err)
 	}
-	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	sheet := xtest.Sheet(t, xslt.PaperStylesheet)
 	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +99,7 @@ func TestExample1FullRewrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := xslt.New(xslt.MustParseStylesheet(xslt.PaperStylesheet))
+	eng := xslt.New(xtest.Sheet(t, xslt.PaperStylesheet))
 	for i := range docs {
 		want, err := eng.TransformToString(views[i])
 		if err != nil {
@@ -172,7 +172,7 @@ func render(n *xmltree.Node) string {
 func TestScalarAggregateLowering(t *testing.T) {
 	db, ex, view := setup(t)
 	schema, _ := ex.DeriveSchema(view)
-	sheet := xslt.MustParseStylesheet(`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	sheet := xtest.Sheet(t, `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="dept">
 			<stats n="{count(employees/emp)}"><xsl:value-of select="sum(employees/emp/sal)"/></stats>
 		</xsl:template>
@@ -206,7 +206,7 @@ func TestFallbackOnUnsupportedShapes(t *testing.T) {
 
 	// A condition on a computed string function does not map to a simple
 	// column predicate; the caller must fall back.
-	sheet := xslt.MustParseStylesheet(`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	sheet := xtest.Sheet(t, `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="dept">
 			<xsl:choose><xsl:when test="contains(dname, 'X')"><a/></xsl:when><xsl:otherwise><b/></xsl:otherwise></xsl:choose>
 		</xsl:template>
@@ -226,7 +226,7 @@ func TestFallbackOnUnsupportedShapes(t *testing.T) {
 
 func TestTranslateRejectsFunctions(t *testing.T) {
 	_, _, view := setup(t)
-	m := xquery.MustParse(`declare variable $var000 := .;
+	m := xtest.XQuery(t, `declare variable $var000 := .;
 declare function local:f($x) { $x };
 local:f(1)`)
 	if _, err := Translate(m, view); err == nil {
@@ -235,7 +235,7 @@ local:f(1)`)
 }
 
 func TestProjectPathMisses(t *testing.T) {
-	m := xquery.MustParse(`declare variable $var000 := .; <a><b/></a>`)
+	m := xtest.XQuery(t, `declare variable $var000 := .; <a><b/></a>`)
 	if _, err := ProjectPath(m, []string{"zz"}); err == nil {
 		t.Fatal("missing path should fail")
 	}
@@ -256,7 +256,7 @@ func TestProjectPathMisses(t *testing.T) {
 func TestOrderByLowering(t *testing.T) {
 	db, ex, view := setup(t)
 	schema, _ := ex.DeriveSchema(view)
-	sheet := xslt.MustParseStylesheet(`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	sheet := xtest.Sheet(t, `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="dept">
 			<xsl:for-each select="employees/emp"><xsl:sort select="sal" data-type="number" order="descending"/><e><xsl:value-of select="ename"/></e></xsl:for-each>
 		</xsl:template>
@@ -287,7 +287,7 @@ func TestOrderByLowering(t *testing.T) {
 func TestConditionalLowering(t *testing.T) {
 	db, ex, view := setup(t)
 	schema, _ := ex.DeriveSchema(view)
-	sheet := xslt.MustParseStylesheet(`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	sheet := xtest.Sheet(t, `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="dept">
 			<xsl:for-each select="employees/emp">
 				<xsl:choose>
@@ -325,7 +325,7 @@ func TestConditionalLowering(t *testing.T) {
 func TestComputedConstructorLowering(t *testing.T) {
 	_, ex, view := setup(t)
 	schema, _ := ex.DeriveSchema(view)
-	sheet := xslt.MustParseStylesheet(`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	sheet := xtest.Sheet(t, `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="dept">
 			<xsl:element name="rec"><xsl:attribute name="city"><xsl:value-of select="loc"/></xsl:attribute><xsl:value-of select="dname"/></xsl:element>
 		</xsl:template>
@@ -352,7 +352,7 @@ func TestComputedConstructorLowering(t *testing.T) {
 func TestPredicateVariants(t *testing.T) {
 	_, ex, view := setup(t)
 	schema, _ := ex.DeriveSchema(view)
-	sheet := xslt.MustParseStylesheet(`<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	sheet := xtest.Sheet(t, `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="dept">
 			<hit n="{count(employees/emp[2000 &lt;= sal])}" byname="{count(employees/emp[ename = 'CLARK'])}"/>
 		</xsl:template>

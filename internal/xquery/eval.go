@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/governor"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -31,12 +32,28 @@ type Env struct {
 
 	depth    int
 	maxDepth int
+
+	// gov, when non-nil, is checked throughout evaluation so runaway
+	// queries stop promptly on cancellation or budget exhaustion.
+	gov *governor.G
 }
+
+// defaultMaxDepth bounds user-function recursion when no governor override
+// is configured.
+const defaultMaxDepth = 2048
 
 // NewEnv returns a root environment with the context item set to ctx
 // (pass a document node to evaluate a query "PASSING" that document).
 func NewEnv(ctx Item) *Env {
-	return &Env{vars: map[string]Seq{}, funcs: map[string]*FuncDecl{}, Ctx: ctx, CtxPos: 1, CtxSize: 1, maxDepth: 2048}
+	return &Env{vars: map[string]Seq{}, funcs: map[string]*FuncDecl{}, Ctx: ctx, CtxPos: 1, CtxSize: 1, maxDepth: defaultMaxDepth}
+}
+
+// Govern attaches an execution governor (may be nil) and adopts its
+// recursion bound; it returns e for chaining.
+func (e *Env) Govern(g *governor.G) *Env {
+	e.gov = g
+	e.maxDepth = g.MaxDepth(defaultMaxDepth)
+	return e
 }
 
 func (e *Env) child() *Env {
@@ -44,7 +61,7 @@ func (e *Env) child() *Env {
 	// the context item (predicates, FLWOR tuples).
 	return &Env{parent: e, funcs: e.funcs,
 		Ctx: e.Ctx, CtxPos: e.CtxPos, CtxSize: e.CtxSize,
-		depth: e.depth, maxDepth: e.maxDepth}
+		depth: e.depth, maxDepth: e.maxDepth, gov: e.gov}
 }
 
 // Bind binds a variable in this environment.
@@ -94,8 +111,13 @@ func EvalModule(m *Module, env *Env) (Seq, error) {
 	return Eval(m.Body, env)
 }
 
-// Eval evaluates an expression.
+// Eval evaluates an expression. The amortized governor tick here covers
+// every evaluation loop — FLWOR iteration, path steps, predicates — since
+// each iteration re-enters Eval at least once.
 func Eval(e Expr, env *Env) (Seq, error) {
+	if err := env.gov.Tick(); err != nil {
+		return nil, err
+	}
 	switch x := e.(type) {
 	case StringLit:
 		return Seq{string(x)}, nil
@@ -922,7 +944,7 @@ func evalCall(c *FuncCall, env *Env) (Seq, error) {
 		}
 		env.depth++
 		if env.depth > env.maxDepth {
-			return nil, dynErrf("recursion deeper than %d in %s()", env.maxDepth, c.Name)
+			return nil, fmt.Errorf("xquery: %w: recursion deeper than %d in %s()", governor.ErrRecursionLimit, env.maxDepth, c.Name)
 		}
 		defer func() { env.depth-- }()
 		callEnv := env.child()

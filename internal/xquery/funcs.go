@@ -196,7 +196,11 @@ func init() {
 		"lower-case": {1, 1, str1(strings.ToLower)},
 		"translate": {3, 3, func(_ *Env, args []Seq) (Seq, error) {
 			// Reuse the XPath implementation via a tiny expression.
-			v, err := xpath.Eval(xpath.MustParse("translate($s, $f, $t)"), &xpath.Context{
+			e, err := xpath.Parse("translate($s, $f, $t)")
+			if err != nil {
+				return nil, err
+			}
+			v, err := xpath.Eval(e, &xpath.Context{
 				Node: xmltree.NewDocument(), Position: 1, Size: 1,
 				Vars: xpath.VarMap{"s": seqString(args[0]), "f": seqString(args[1]), "t": seqString(args[2])},
 			})

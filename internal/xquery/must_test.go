@@ -1,0 +1,11 @@
+package xquery
+
+// MustParse is a test-only helper: the production API returns errors; tests
+// with compiled-in queries use this and treat a parse failure as a bug.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

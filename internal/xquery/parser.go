@@ -30,14 +30,6 @@ func Parse(src string) (*Module, error) {
 	return m, nil
 }
 
-// MustParse parses a query, panicking on error.
-func MustParse(src string) *Module {
-	m, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
 
 // ParseExpr parses a single expression (no prolog).
 func ParseExpr(src string) (Expr, error) {
@@ -51,10 +43,28 @@ func ParseExpr(src string) (Expr, error) {
 	return m.Body, nil
 }
 
+// maxParseDepth bounds parser recursion so hostile inputs (a kilobyte of
+// "((((" or deeply nested constructors) surface a ParseError instead of
+// exhausting the goroutine stack. Real-world queries nest a handful of
+// levels.
+const maxParseDepth = 512
+
 type parser struct {
-	sc  scanner
-	cur tok
+	sc    scanner
+	cur   tok
+	depth int
 }
+
+// enter charges one level of parser recursion; leave releases it.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("expression nests deeper than %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) errf(format string, args ...any) error {
 	return p.sc.errf(p.cur.pos, format, args...)
@@ -232,7 +242,15 @@ func (p *parser) parseExprSequence() (Expr, error) {
 	return seq, nil
 }
 
+// parseExprSingle sits on every token-level recursion cycle through the
+// grammar (parens, FLWOR bodies, predicates, function arguments, enclosed
+// expressions), so the depth guard here bounds them all; scanDirectElem
+// carries its own guard for character-level constructor nesting.
 func (p *parser) parseExprSingle() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.isKeyword("for") || p.isKeyword("let"):
 		// Only a FLWOR when followed by $var.
@@ -679,6 +697,12 @@ func (p *parser) parseSeqType() (SeqType, error) {
 
 func (p *parser) parseUnary() (Expr, error) {
 	if p.cur.kind == tMinus {
+		// Self-recursive ("--x") without passing parseExprSingle, so it
+		// needs its own depth charge.
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -1129,6 +1153,10 @@ func (p *parser) parseDirectConstructor() (Expr, error) {
 }
 
 func (p *parser) scanDirectElem() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	s := &p.sc
 	start := s.pos
 	if s.src[s.pos] != '<' {

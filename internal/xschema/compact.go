@@ -90,14 +90,6 @@ type typedRef struct {
 	line int
 }
 
-// MustParseCompact parses a compact schema, panicking on error.
-func MustParseCompact(src string) *Schema {
-	s, err := ParseCompact(src)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
 
 // commentStart finds the index of a comment '#', skipping content tokens
 // like #text/#int/#float/#empty.

@@ -1,0 +1,12 @@
+package xschema
+
+// MustParseCompact is a test-only helper: the production API returns
+// errors; tests with compiled-in schemas use this and treat a parse failure
+// as a bug.
+func MustParseCompact(src string) *Schema {
+	s, err := ParseCompact(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/governor"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -27,6 +28,10 @@ type Engine struct {
 
 	// Runtime resolves key() and generate-id().
 	Runtime *RuntimeFuncs
+
+	// gov, when non-nil, bounds the transformation (cancellation and
+	// resource budgets); set it with Govern.
+	gov *governor.G
 }
 
 // TraceEvent describes one template instantiation observed during a
@@ -43,9 +48,21 @@ type TraceEvent struct {
 	Builtin bool
 }
 
+// defaultMaxDepth bounds template recursion when no override is set.
+const defaultMaxDepth = 1024
+
 // New returns an Engine for the stylesheet.
 func New(sheet *Stylesheet) *Engine {
-	return &Engine{sheet: sheet, MaxDepth: 1024, Runtime: NewRuntimeFuncs(sheet)}
+	return &Engine{sheet: sheet, MaxDepth: defaultMaxDepth, Runtime: NewRuntimeFuncs(sheet)}
+}
+
+// Govern attaches an execution governor (may be nil) and adopts its
+// recursion bound; it returns e for chaining. A governed engine checks for
+// cancellation and budget exhaustion on every template instantiation.
+func (e *Engine) Govern(g *governor.G) *Engine {
+	e.gov = g
+	e.MaxDepth = g.MaxDepth(defaultMaxDepth)
+	return e
 }
 
 // Stylesheet returns the engine's stylesheet.
@@ -137,9 +154,12 @@ func (f *frame) xpathContext(node *xmltree.Node, pos, size int) *xpath.Context {
 }
 
 func (f *frame) enter(where string) error {
+	if err := f.engine.gov.Tick(); err != nil {
+		return err
+	}
 	f.depth++
 	if f.depth > f.engine.MaxDepth {
-		return &RuntimeError{Where: where, Err: fmt.Errorf("recursion deeper than %d (infinite template recursion?)", f.engine.MaxDepth)}
+		return &RuntimeError{Where: where, Err: fmt.Errorf("%w: recursion deeper than %d (infinite template recursion?)", governor.ErrRecursionLimit, f.engine.MaxDepth)}
 	}
 	return nil
 }
@@ -241,6 +261,11 @@ func (f *frame) execSeq(body []Instruction, node *xmltree.Node, pos, size int) e
 }
 
 func (f *frame) exec(instr Instruction, node *xmltree.Node, pos, size int) error {
+	// Amortized governance check per instruction: covers xsl:for-each
+	// bodies and long literal sequences that never instantiate a template.
+	if err := f.engine.gov.Tick(); err != nil {
+		return err
+	}
 	ctx := f.xpathContext(node, pos, size)
 	switch in := instr.(type) {
 	case *Text:

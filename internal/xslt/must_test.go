@@ -1,0 +1,12 @@
+package xslt
+
+// MustParseStylesheet is a test-only helper: the production API returns
+// errors; tests with compiled-in stylesheets use this and treat a parse
+// failure as a bug.
+func MustParseStylesheet(src string) *Stylesheet {
+	s, err := ParseStylesheet(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -328,15 +328,6 @@ func parseWithIncludes(src string, resolve Resolver, active map[string]bool) (*x
 	return doc, nil
 }
 
-// MustParseStylesheet parses stylesheet text, panicking on error.
-func MustParseStylesheet(src string) *Stylesheet {
-	s, err := ParseStylesheet(src)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // FromDocument builds a Stylesheet from a parsed stylesheet document.
 func FromDocument(doc *xmltree.Node) (*Stylesheet, error) {
 	root := doc.DocumentElement()
@@ -465,7 +456,10 @@ func (s *Stylesheet) addTemplate(el *xmltree.Node) error {
 	}
 	// Union patterns become one rule per alternative (same body).
 	for _, alt := range pat.SplitUnion() {
-		prio := alt.DefaultPriority()
+		prio, err := alt.DefaultPriority()
+		if err != nil {
+			return compileErrf("xsl:template", "match pattern %q: %v", matchSrc, err)
+		}
 		if explicitPriority != nil {
 			prio = *explicitPriority
 		}
@@ -857,17 +851,19 @@ func splitSorts(nodes []*xmltree.Node) ([]SortKey, []*xmltree.Node, error) {
 }
 
 func parseSortKey(el *xmltree.Node) (SortKey, error) {
-	sk := SortKey{Select: xpath.MustParse(".")}
-	if sel, ok := el.Attr("select"); ok {
-		e, err := xpath.Parse(sel)
-		if err != nil {
-			return sk, compileErrf("xsl:sort", "bad select %q: %v", sel, err)
-		}
-		sk.Select = e
+	sel := "." // the sort key defaults to the node's string value
+	if s, ok := el.Attr("select"); ok {
+		sel = s
 	}
-	sk.Numeric = el.AttrValue("data-type") == "number"
-	sk.Descending = el.AttrValue("order") == "descending"
-	return sk, nil
+	e, err := xpath.Parse(sel)
+	if err != nil {
+		return SortKey{}, compileErrf("xsl:sort", "bad select %q: %v", sel, err)
+	}
+	return SortKey{
+		Select:     e,
+		Numeric:    el.AttrValue("data-type") == "number",
+		Descending: el.AttrValue("order") == "descending",
+	}, nil
 }
 
 func parseLiteralElement(el *xmltree.Node) (Instruction, error) {

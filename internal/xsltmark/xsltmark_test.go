@@ -13,6 +13,7 @@ import (
 	"repro/internal/xschema"
 	"repro/internal/xslt"
 	"repro/internal/xsltvm"
+	"repro/internal/xtest"
 )
 
 func nows(s string) string {
@@ -86,8 +87,8 @@ func TestAllCasesRewriteEquivalence(t *testing.T) {
 func TestInlineCoverage(t *testing.T) {
 	inlined := 0
 	for _, c := range All() {
-		sheet := xslt.MustParseStylesheet(c.Stylesheet)
-		schema := xschema.MustParseCompact(c.Schema)
+		sheet := xtest.Sheet(t, c.Stylesheet)
+		schema := xtest.Schema(t, c.Schema)
 		res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
@@ -121,7 +122,7 @@ func TestVMEquivalenceOnSuite(t *testing.T) {
 			t.Fatalf("case %q missing", name)
 		}
 		doc, _ := xmltree.Parse(c.Gen(15))
-		sheet := xslt.MustParseStylesheet(c.Stylesheet)
+		sheet := xtest.Sheet(t, c.Stylesheet)
 		want, err := xslt.New(sheet).TransformToString(doc)
 		if err != nil {
 			t.Fatalf("%s interpreter: %v", name, err)
@@ -197,7 +198,7 @@ func TestFigureCasesLowerToSQL(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sheet := xslt.MustParseStylesheet(c.Stylesheet)
+			sheet := xtest.Sheet(t, c.Stylesheet)
 			res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 			if err != nil {
 				t.Fatal(err)
@@ -245,7 +246,7 @@ func TestDbonerowUsesIndex(t *testing.T) {
 	ex := sqlxml.NewExecutor(db)
 	view := c.Rel.View()
 	schema, _ := ex.DeriveSchema(view)
-	res, err := core.Rewrite(xslt.MustParseStylesheet(c.Stylesheet), schema, core.ModeAuto)
+	res, err := core.Rewrite(xtest.Sheet(t, c.Stylesheet), schema, core.ModeAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestGeneratorsAreDeterministic(t *testing.T) {
 
 func TestSchemasMatchGenerators(t *testing.T) {
 	for _, c := range All() {
-		schema := xschema.MustParseCompact(c.Schema)
+		schema := xtest.Schema(t, c.Schema)
 		doc, err := xmltree.Parse(c.Gen(8))
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
@@ -332,7 +333,7 @@ func TestVMEquivalenceAllCases(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			sheet := xslt.MustParseStylesheet(c.Stylesheet)
+			sheet := xtest.Sheet(t, c.Stylesheet)
 			want, err := xslt.New(sheet).TransformToString(doc)
 			if err != nil {
 				t.Fatal(err)

@@ -196,14 +196,6 @@ func Compile(sheet *xslt.Stylesheet) (*Program, error) {
 	return c.prog, nil
 }
 
-// MustCompile compiles, panicking on error.
-func MustCompile(sheet *xslt.Stylesheet) *Program {
-	p, err := Compile(sheet)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
 
 func (c *compiler) emit(in Instr) int {
 	c.prog.Code = append(c.prog.Code, in)

@@ -1,0 +1,22 @@
+package xsltvm
+
+import "repro/internal/xslt"
+
+// Test-only compile helpers: the production API returns errors; tests with
+// compiled-in stylesheets use these and treat a failure as a bug.
+
+func MustCompile(sheet *xslt.Stylesheet) *Program {
+	p, err := Compile(sheet)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustParseStylesheet(src string) *xslt.Stylesheet {
+	s, err := xslt.ParseStylesheet(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/governor"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 	"repro/internal/xslt"
@@ -164,7 +165,7 @@ func (st *vmState) applyTo(nodes []*xmltree.Node, mode string, withParams map[st
 	st.depth++
 	defer func() { st.depth-- }()
 	if st.depth > st.vm.MaxDepth {
-		return fmt.Errorf("xsltvm: recursion deeper than %d", st.vm.MaxDepth)
+		return fmt.Errorf("xsltvm: %w: recursion deeper than %d", governor.ErrRecursionLimit, st.vm.MaxDepth)
 	}
 	for i, node := range nodes {
 		tmpl, err := st.engine.FindTemplate(node, mode, st)
@@ -353,7 +354,7 @@ func (st *vmState) exec(pc int, c vmContext) error {
 			st.depth++
 			if st.depth > st.vm.MaxDepth {
 				st.depth--
-				return fmt.Errorf("xsltvm: recursion deeper than %d in call-template %q", st.vm.MaxDepth, in.Str)
+				return fmt.Errorf("xsltvm: %w: recursion deeper than %d in call-template %q", governor.ErrRecursionLimit, st.vm.MaxDepth, in.Str)
 			}
 			err := st.invoke(st.vm.prog.Templates[idx].Template, c, wp)
 			st.depth--

@@ -119,7 +119,7 @@ func TestVMEquivalentToInterpreter(t *testing.T) {
 }
 
 func TestCompileDisassemble(t *testing.T) {
-	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	sheet := mustParseStylesheet(xslt.PaperStylesheet)
 	prog := MustCompile(sheet)
 	dis := prog.Disassemble()
 	for _, frag := range []string{"elem-open", "apply", "value-of", "ret"} {
@@ -135,7 +135,7 @@ func TestCompileDisassemble(t *testing.T) {
 // TestTraceTable checks §4.3: one trace-table entry per apply-templates
 // instruction, carrying the select source and the owning template.
 func TestTraceTable(t *testing.T) {
-	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	sheet := mustParseStylesheet(xslt.PaperStylesheet)
 	prog := MustCompile(sheet)
 	if len(prog.TraceTable) != 2 {
 		t.Fatalf("trace table entries = %d, want 2", len(prog.TraceTable))
@@ -154,7 +154,7 @@ func TestTraceTable(t *testing.T) {
 // TestTraceEvents runs the VM with tracing and checks the observed
 // template activations (the raw material of the execution graph).
 func TestTraceEvents(t *testing.T) {
-	sheet := xslt.MustParseStylesheet(xslt.PaperStylesheet)
+	sheet := mustParseStylesheet(xslt.PaperStylesheet)
 	prog := MustCompile(sheet)
 	vm := New(prog)
 	var events []TraceEvent
@@ -197,19 +197,19 @@ func TestTraceEvents(t *testing.T) {
 func TestVMErrors(t *testing.T) {
 	doc, _ := xmltree.Parse(`<r/>`)
 	// Missing named template.
-	sheet := xslt.MustParseStylesheet(wrap(`<xsl:template match="/"><xsl:call-template name="gone"/></xsl:template>`))
+	sheet := mustParseStylesheet(wrap(`<xsl:template match="/"><xsl:call-template name="gone"/></xsl:template>`))
 	if _, err := New(MustCompile(sheet)).RunToString(doc); err == nil {
 		t.Fatal("missing template should error")
 	}
 	// Infinite recursion.
-	sheet = xslt.MustParseStylesheet(wrap(`
+	sheet = mustParseStylesheet(wrap(`
 		<xsl:template name="loop"><xsl:call-template name="loop"/></xsl:template>
 		<xsl:template match="/"><xsl:call-template name="loop"/></xsl:template>`))
 	if _, err := New(MustCompile(sheet)).RunToString(doc); err == nil {
 		t.Fatal("infinite recursion should be caught")
 	}
 	// Message terminate.
-	sheet = xslt.MustParseStylesheet(wrap(`<xsl:template match="/"><xsl:message terminate="yes">stop</xsl:message></xsl:template>`))
+	sheet = mustParseStylesheet(wrap(`<xsl:template match="/"><xsl:message terminate="yes">stop</xsl:message></xsl:template>`))
 	vm := New(MustCompile(sheet))
 	if _, err := vm.RunToString(doc); err == nil {
 		t.Fatal("terminate should error")
@@ -220,7 +220,7 @@ func TestVMErrors(t *testing.T) {
 }
 
 func TestTemplateIndex(t *testing.T) {
-	sheet := xslt.MustParseStylesheet(wrap(`
+	sheet := mustParseStylesheet(wrap(`
 		<xsl:template name="a">A</xsl:template>
 		<xsl:template name="b">B</xsl:template>`))
 	prog := MustCompile(sheet)
@@ -235,7 +235,7 @@ func TestTemplateIndex(t *testing.T) {
 // TestVMKeysAndGenerateID checks the shared runtime functions through the
 // bytecode executor.
 func TestVMKeysAndGenerateID(t *testing.T) {
-	sheet := xslt.MustParseStylesheet(wrap(`
+	sheet := mustParseStylesheet(wrap(`
 		<xsl:key name="k" match="item" use="@g"/>
 		<xsl:template match="/">
 			<out n="{count(key('k', 'x'))}"><xsl:value-of select="generate-id(//item) = generate-id(//item)"/></out>

@@ -1,0 +1,54 @@
+// Package xtest holds test-only parsing helpers. The production packages
+// deliberately export no panicking Must* constructors — parse errors are
+// returned values there — so tests that want "parse or fail the test" use
+// these instead.
+package xtest
+
+import (
+	"testing"
+
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+	"repro/internal/xschema"
+	"repro/internal/xslt"
+)
+
+// Sheet parses stylesheet text, failing the test on error.
+func Sheet(tb testing.TB, src string) *xslt.Stylesheet {
+	tb.Helper()
+	s, err := xslt.ParseStylesheet(src)
+	if err != nil {
+		tb.Fatalf("parse stylesheet: %v", err)
+	}
+	return s
+}
+
+// Schema parses a compact schema, failing the test on error.
+func Schema(tb testing.TB, src string) *xschema.Schema {
+	tb.Helper()
+	s, err := xschema.ParseCompact(src)
+	if err != nil {
+		tb.Fatalf("parse compact schema: %v", err)
+	}
+	return s
+}
+
+// XQuery parses a query module, failing the test on error.
+func XQuery(tb testing.TB, src string) *xquery.Module {
+	tb.Helper()
+	m, err := xquery.Parse(src)
+	if err != nil {
+		tb.Fatalf("parse xquery: %v", err)
+	}
+	return m
+}
+
+// XPath parses an XPath expression, failing the test on error.
+func XPath(tb testing.TB, src string) xpath.Expr {
+	tb.Helper()
+	e, err := xpath.Parse(src)
+	if err != nil {
+		tb.Fatalf("parse xpath: %v", err)
+	}
+	return e
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Option configures CompileTransform. Two kinds satisfy it: the functional
@@ -37,6 +38,34 @@ func WithOuterPath(path ...string) Option {
 	return optionFunc(func(o *CompileOptions) { o.OuterPath = path })
 }
 
+// WithTimeout bounds each Run's (or each cursor's) wall time; expiry
+// surfaces as ErrCanceled wrapping context.DeadlineExceeded. Zero means no
+// timeout.
+func WithTimeout(d time.Duration) Option {
+	return optionFunc(func(o *CompileOptions) { o.Timeout = d })
+}
+
+// WithMaxRows bounds the number of result rows one execution may produce;
+// exceeding it aborts the run with ErrLimitExceeded. Zero means unlimited.
+func WithMaxRows(n int64) Option {
+	return optionFunc(func(o *CompileOptions) { o.MaxRows = n })
+}
+
+// WithMaxOutputBytes bounds the serialized output one execution may
+// produce; exceeding it aborts the run with ErrLimitExceeded. Zero means
+// unlimited.
+func WithMaxOutputBytes(n int64) Option {
+	return optionFunc(func(o *CompileOptions) { o.MaxOutputBytes = n })
+}
+
+// WithMaxRecursionDepth bounds template/function recursion (runaway
+// xsl:apply-templates); exceeding it surfaces ErrRecursionLimit instead of
+// a stack overflow. Zero keeps the engine defaults (1024 template frames,
+// 2048 XQuery function frames).
+func WithMaxRecursionDepth(n int) Option {
+	return optionFunc(func(o *CompileOptions) { o.MaxRecursionDepth = n })
+}
+
 // CompileOptions tunes CompileTransform.
 //
 // Deprecated: this struct form is kept as a shim — it satisfies Option, so
@@ -52,6 +81,17 @@ type CompileOptions struct {
 	// Parallelism runs the SQL strategy with row-level parallelism when
 	// > 1 (the paper's "parallel manner" aggregation note).
 	Parallelism int
+
+	// Timeout bounds each execution's wall time (see WithTimeout).
+	Timeout time.Duration
+	// MaxRows bounds result rows per execution (see WithMaxRows).
+	MaxRows int64
+	// MaxOutputBytes bounds serialized output per execution (see
+	// WithMaxOutputBytes).
+	MaxOutputBytes int64
+	// MaxRecursionDepth bounds template/function recursion (see
+	// WithMaxRecursionDepth).
+	MaxRecursionDepth int
 }
 
 // applyOption lets a legacy CompileOptions value be passed where Options
@@ -74,8 +114,10 @@ func buildOptions(opts []Option) CompileOptions {
 
 // planKey identifies one cached compilation: same view (at the same
 // version), same stylesheet text, same plan-affecting options. Parallelism
-// is deliberately excluded — it tunes execution, not the compiled plan — so
-// transforms differing only in worker count share a cache entry.
+// and the resource-governance options (Timeout, MaxRows, MaxOutputBytes,
+// MaxRecursionDepth) are deliberately excluded — they tune execution, not
+// the compiled plan — so transforms differing only in those share a cache
+// entry (and therefore a circuit breaker).
 type planKey struct {
 	view    string
 	version int

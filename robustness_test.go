@@ -1,0 +1,588 @@
+package xsltdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/internal/governor"
+	"repro/internal/sqlxml"
+	"repro/internal/xslt"
+)
+
+// newBigDeptDB is the paper database scaled up: n extra departments, each a
+// driving row of the dept_emp view, so a full transform produces n+2 rows.
+func newBigDeptDB(tb testing.TB, n int) *Database {
+	tb.Helper()
+	d := NewDatabase()
+	if err := sqlxml.SetupDeptEmp(d.Rel()); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := d.Insert("dept", int64(100+i), fmt.Sprintf("DEPT-%05d", i), "NOWHERE"); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := d.CreateXMLView(sqlxml.DeptEmpView()); err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// errBoom is the injected strategy failure used by the degradation tests.
+var errBoom = errors.New("injected fault")
+
+// TestRunContextCancelPrompt is the headline promptness contract: a Run
+// over a 10k-row view must abort within 100ms of cancellation, returning an
+// error that satisfies both ErrCanceled and context.Canceled.
+func TestRunContextCancelPrompt(t *testing.T) {
+	d := newBigDeptDB(t, 10_000)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Strategy() != StrategySQL {
+		t.Fatalf("strategy = %v (%s)", ct.Strategy(), ct.FallbackReason)
+	}
+
+	// Arm a never-firing fault point purely for its hit counter, so the
+	// test knows the scan is genuinely in flight before cancelling.
+	faultpoint.EnableAfter("relstore.scan.next", math.MaxInt32, nil)
+	defer faultpoint.Reset()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ct.RunContext(ctx)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for faultpoint.Hits("relstore.scan.next") < 64 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never started scanning")
+		}
+		runtime.Gosched()
+	}
+	start := time.Now()
+	cancel()
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, must also wrap context.Canceled", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("cancellation took %v, want < 100ms", elapsed)
+	}
+}
+
+// TestParallelRunCancel: the same promptness contract with the SQL strategy
+// fanned out over workers — the dispatch loop and every worker must stop.
+func TestParallelRunCancel(t *testing.T) {
+	d := newBigDeptDB(t, 10_000)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate on the driving scan: it is the long deterministic phase of the
+	// parallel path (worker construction finishes in a burst), and both the
+	// scan iterator and the worker dispatch loop share the same governor.
+	faultpoint.EnableAfter("relstore.scan.next", math.MaxInt32, nil)
+	defer faultpoint.Reset()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ct.RunContext(ctx)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for faultpoint.Hits("relstore.scan.next") < 64 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never started scanning")
+		}
+		runtime.Gosched()
+	}
+	cancel()
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parallel run did not return after cancel")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestTimeoutOption: WithTimeout bounds the run's wall time and surfaces as
+// ErrCanceled wrapping context.DeadlineExceeded.
+func TestTimeoutOption(t *testing.T) {
+	d := newBigDeptDB(t, 10_000)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithTimeout(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ct.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, must also wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestMaxRowsLimit: the rows budget aborts the run with a typed LimitError,
+// through both Run and the cursor.
+func TestMaxRowsLimit(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithMaxRows(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ct.Run()
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("Run err = %v, want ErrLimitExceeded", err)
+	}
+	var le *governor.LimitError
+	if !errors.As(err, &le) || le.Kind != "rows" {
+		t.Fatalf("err = %v, want *LimitError{Kind: rows}", err)
+	}
+
+	cur, err := ct.OpenCursor(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, err := cur.Next(); err != nil {
+		t.Fatalf("first row must fit the budget: %v", err)
+	}
+	if _, err := cur.Next(); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("second row = %v, want ErrLimitExceeded", err)
+	}
+}
+
+// TestMaxOutputBytesLimit: the output budget aborts the run.
+func TestMaxOutputBytesLimit(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithMaxOutputBytes(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ct.Run()
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("err = %v, want ErrLimitExceeded", err)
+	}
+	var le *governor.LimitError
+	if !errors.As(err, &le) || le.Kind != "output-bytes" {
+		t.Fatalf("err = %v, want *LimitError{Kind: output-bytes}", err)
+	}
+}
+
+// TestRecursionLimit: a stylesheet with unbounded template recursion must
+// surface ErrRecursionLimit instead of overflowing the stack, under every
+// strategy the compiler picks for it.
+func TestRecursionLimit(t *testing.T) {
+	const sheet = `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="/"><xsl:call-template name="loop"/></xsl:template>
+<xsl:template name="loop"><xsl:call-template name="loop"/></xsl:template>
+</xsl:stylesheet>`
+	d := newDeptDB(t)
+	for _, opts := range [][]Option{
+		nil,
+		{WithMaxRecursionDepth(64)},
+		{WithForcedStrategy(StrategyNoRewrite)},
+	} {
+		ct, err := d.CompileTransform("dept_emp", sheet, opts...)
+		if err != nil {
+			t.Fatalf("%v: %v", opts, err)
+		}
+		_, es, err := ct.RunWithStats()
+		if !errors.Is(err, ErrRecursionLimit) {
+			t.Fatalf("%v: err = %v, want ErrRecursionLimit", opts, err)
+		}
+		// A recursion limit is a final verdict: the run must NOT have
+		// degraded to a weaker strategy and tried again.
+		if es.Degradations != 0 {
+			t.Fatalf("%v: degradations = %d, want 0", opts, es.Degradations)
+		}
+	}
+}
+
+// TestDegradationOnInjectedFault is the acceptance scenario: a fault forced
+// into the SQL plan's row construction degrades the run through the chain,
+// still produces the correct result, and records the fall in ExecStats.
+func TestDegradationOnInjectedFault(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Strategy() != StrategySQL {
+		t.Fatalf("strategy = %v (%s)", ct.Strategy(), ct.FallbackReason)
+	}
+	want, err := ct.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the SQL plan three rows into the scan — a mid-stream fault, not
+	// an open-time one.
+	faultpoint.EnableAfter("sqlxml.query.next", 1, errBoom)
+	defer faultpoint.Reset()
+
+	got, es, err := ct.RunWithStats()
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("degraded run rows = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs after degradation:\n%s\n%s", i, got[i], want[i])
+		}
+	}
+	if es.StrategyUsed != StrategyXQuery {
+		t.Fatalf("StrategyUsed = %v, want StrategyXQuery", es.StrategyUsed)
+	}
+	if es.Degradations != 1 {
+		t.Fatalf("Degradations = %d, want 1", es.Degradations)
+	}
+	if es.String() == "" || !strings.Contains(es.String(), "degradations=1") {
+		t.Fatalf("stats line must surface the degradation: %s", es.String())
+	}
+}
+
+// TestCircuitBreakerTripAndRecover drives the SQL strategy to failure until
+// its per-plan breaker trips, verifies subsequent runs skip it, then heals
+// the fault and watches the half-open probe close the breaker.
+func TestCircuitBreakerTripAndRecover(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ct.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.Enable("sqlxml.query.next", errBoom)
+	defer faultpoint.Reset()
+
+	// breakerThreshold consecutive failures trip the cell; every run still
+	// succeeds via degradation.
+	for i := 0; i < breakerThreshold; i++ {
+		got, es, err := ct.RunWithStats()
+		if err != nil || len(got) != len(want) {
+			t.Fatalf("run %d: %v (%d rows)", i, err, len(got))
+		}
+		if es.Degradations != 1 {
+			t.Fatalf("run %d: degradations = %d", i, es.Degradations)
+		}
+		if i == breakerThreshold-1 && es.BreakerTrips != 1 {
+			t.Fatalf("final failure must trip the breaker, got %d trips", es.BreakerTrips)
+		}
+	}
+	bs := ct.BreakerStats()
+	if !bs.SQL.Open || bs.SQL.Trips != 1 {
+		t.Fatalf("breaker state = %+v, want open with 1 trip", bs.SQL)
+	}
+
+	// While open, runs skip the SQL strategy without attempting it.
+	hitsBefore := faultpoint.Hits("sqlxml.query.next")
+	_, es, err := ct.RunWithStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.BreakerSkips != 1 || es.StrategyUsed != StrategyXQuery {
+		t.Fatalf("open-breaker run: skips=%d strategy=%v", es.BreakerSkips, es.StrategyUsed)
+	}
+	if faultpoint.Hits("sqlxml.query.next") != hitsBefore {
+		t.Fatal("open breaker must not touch the SQL plan at all")
+	}
+
+	// Heal the fault, spend the cooldown, and let the half-open probe
+	// close the breaker again.
+	faultpoint.Disable("sqlxml.query.next")
+	for i := 0; i < breakerCooldown+1; i++ {
+		if _, err := ct.Run(); err != nil {
+			t.Fatalf("cooldown run %d: %v", i, err)
+		}
+	}
+	bs = ct.BreakerStats()
+	if bs.SQL.Open {
+		t.Fatalf("breaker should have closed after probe: %+v", bs.SQL)
+	}
+	_, es, err = ct.RunWithStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.StrategyUsed != StrategySQL || es.Degradations != 0 {
+		t.Fatalf("recovered run: strategy=%v degradations=%d", es.StrategyUsed, es.Degradations)
+	}
+}
+
+// TestPanicContainment: an engine panic is recovered at the strategy
+// boundary, counted, and handled by degradation; with a forced strategy it
+// surfaces as ErrInternal with the captured stack.
+func TestPanicContainment(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ct.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.EnablePanic("sqlxml.query.next")
+	defer faultpoint.Reset()
+
+	got, es, err := ct.RunWithStats()
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	if es.PanicsRecovered != 1 || es.Degradations != 1 {
+		t.Fatalf("panics=%d degradations=%d, want 1/1", es.PanicsRecovered, es.Degradations)
+	}
+
+	// Forced strategy: nothing to degrade to, so the contained panic is
+	// the caller's error — typed, with the stack attached.
+	forced, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithForcedStrategy(StrategySQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = forced.Run()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("forced err = %v, want ErrInternal", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) || len(ie.Stack) == 0 {
+		t.Fatalf("err must carry an *InternalError with a stack, got %v", err)
+	}
+}
+
+// TestCompileErrors: malformed stylesheets are typed ErrCompile with the
+// parser's cause reachable underneath.
+func TestCompileErrors(t *testing.T) {
+	d := newDeptDB(t)
+	_, err := d.CompileTransform("dept_emp", `<xsl:stylesheet`)
+	if !errors.Is(err, ErrCompile) {
+		t.Fatalf("err = %v, want ErrCompile", err)
+	}
+	if _, err := Transform("<a/>", `not a stylesheet`); !errors.Is(err, ErrCompile) {
+		t.Fatalf("Transform err = %v, want ErrCompile", err)
+	}
+	if _, _, err := RewriteToXQuery(`<xsl:stylesheet`, `r := a`); !errors.Is(err, ErrCompile) {
+		t.Fatalf("RewriteToXQuery err = %v, want ErrCompile", err)
+	}
+}
+
+// TestCursorDoubleClose: Close is idempotent and Next after Close reports
+// ErrCursorClosed, under the race detector.
+func TestCursorDoubleClose(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ct.OpenCursor(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cur.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := cur.Next(); !errors.Is(err, ErrCursorClosed) {
+		t.Fatalf("Next after Close = %v, want ErrCursorClosed", err)
+	}
+	if cur.Stats().RowsProduced != 1 {
+		t.Fatalf("stats after close: %d rows", cur.Stats().RowsProduced)
+	}
+}
+
+// TestCursorCloseDuringNext: closing from another goroutine while Next is
+// in flight must release the iterators exactly once and leave the cursor in
+// a coherent terminal state — run with -race.
+func TestCursorCloseDuringNext(t *testing.T) {
+	for _, opts := range [][]Option{nil, {WithParallelism(4)}} {
+		d := newBigDeptDB(t, 2_000)
+		ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err := ct.OpenCursor(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				if _, err := cur.Next(); err != nil {
+					// Three legitimate terminal states: the drain won the
+					// race (EOF), Close landed between rows (closed), or it
+					// landed mid-pull (canceled). Anything else is a bug.
+					if !errors.Is(err, io.EOF) && !errors.Is(err, ErrCursorClosed) && !errors.Is(err, ErrCanceled) {
+						t.Errorf("Next during close race = %v", err)
+					}
+					return
+				}
+			}
+		}()
+		// Let the drain loop get going, then yank the cursor out from
+		// under it.
+		time.Sleep(2 * time.Millisecond)
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_ = cur.Stats()
+	}
+}
+
+// TestCursorCancelPrompt: cancelling the cursor's context aborts an
+// in-flight Next within the promptness budget.
+func TestCursorCancelPrompt(t *testing.T) {
+	d := newBigDeptDB(t, 10_000)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, err := ct.OpenCursor(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, err := cur.Next(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	cancel()
+	for {
+		_, err := cur.Next()
+		if err == nil {
+			continue // a row already in flight may still be delivered
+		}
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		break
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cursor cancellation took %v, want < 100ms", elapsed)
+	}
+}
+
+// TestCursorBreakerInteraction: a mid-stream fault terminates the cursor
+// (no silent truncation) and counts against the plan's breaker; an open
+// breaker makes the next cursor open on the weaker strategy.
+func TestCursorBreakerInteraction(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.EnableAfter("sqlxml.query.next", 1, errBoom)
+	defer faultpoint.Reset()
+
+	for i := 0; i < breakerThreshold; i++ {
+		cur, err := ct.OpenCursor(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cur.Next(); err != nil {
+			t.Fatalf("cursor %d first row: %v", i, err)
+		}
+		if _, err := cur.Next(); !errors.Is(err, errBoom) {
+			t.Fatalf("cursor %d must surface the fault, got %v", i, err)
+		}
+		cur.Close()
+		faultpoint.EnableAfter("sqlxml.query.next", 1, errBoom) // re-arm pass budget
+	}
+	if bs := ct.BreakerStats(); !bs.SQL.Open {
+		t.Fatalf("mid-stream cursor failures must trip the breaker: %+v", bs.SQL)
+	}
+	cur, err := ct.OpenCursor(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("degraded cursor produced nothing")
+	}
+	if es := cur.Stats(); es.StrategyUsed != StrategyXQuery || es.BreakerSkips != 1 {
+		t.Fatalf("degraded cursor stats: strategy=%v skips=%d", es.StrategyUsed, es.BreakerSkips)
+	}
+}
+
+// TestFaultMidScanNoTruncation guards the Err() contract end to end: a
+// fault in the relstore scan must fail the run, never silently shorten it.
+func TestFaultMidScanNoTruncation(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithForcedStrategy(StrategySQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.EnableAfter("relstore.scan.next", 1, errBoom)
+	defer faultpoint.Reset()
+	rows, err := ct.Run()
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v (rows=%d), want the injected fault", err, len(rows))
+	}
+}
+
+// TestGovernanceNotBreakerFailure: cancellations and limits must not count
+// against the strategy's breaker — they say nothing about plan health.
+func TestGovernanceNotBreakerFailure(t *testing.T) {
+	d := newDeptDB(t)
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithMaxRows(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < breakerThreshold+1; i++ {
+		if _, err := ct.Run(); !errors.Is(err, ErrLimitExceeded) {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if bs := ct.BreakerStats(); bs.SQL.Open || bs.SQL.ConsecutiveFailures != 0 {
+		t.Fatalf("limit errors leaked into the breaker: %+v", bs.SQL)
+	}
+}

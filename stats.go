@@ -32,6 +32,23 @@ type ExecStats struct {
 	// ExecWall is the wall time of the execution stage (for cursors: the
 	// time spent inside Next, excluding caller think time).
 	ExecWall time.Duration
+
+	// StrategyUsed is the strategy that actually produced the result —
+	// the compiled strategy unless the run degraded.
+	StrategyUsed Strategy
+	// Degradations counts how many times this run fell from a failing
+	// strategy to a weaker one (SQL plan → per-row XQuery → interpreter).
+	Degradations int64
+	// BreakerSkips counts strategies this run skipped because their
+	// per-plan circuit breaker was open.
+	BreakerSkips int64
+	// BreakerTrips counts circuit-breaker cells this run's failures
+	// tripped open.
+	BreakerTrips int64
+	// PanicsRecovered counts engine panics contained at the facade
+	// boundary during this run (surfaced as ErrInternal, possibly handled
+	// by degradation).
+	PanicsRecovered int64
 }
 
 // mergeSink folds physical-operator counters into the stats.
@@ -43,10 +60,16 @@ func (s *ExecStats) mergeSink(sink relstore.Stats) {
 	s.RowsEmitted += sink.RowsEmitted
 }
 
-// String renders the stats in one line (CLI -stats output).
+// String renders the stats in one line (CLI -stats output). Robustness
+// counters append only when non-zero, keeping the healthy-path line stable.
 func (s ExecStats) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"rows=%d scanned=%d probes=%d range-scans=%d full-scans=%d emitted=%d recompiles=%d compile=%v exec=%v",
 		s.RowsProduced, s.RowsScanned, s.IndexProbes, s.RangeScans, s.FullScans,
 		s.RowsEmitted, s.Recompiles, s.CompileWall.Round(time.Microsecond), s.ExecWall.Round(time.Microsecond))
+	if s.Degradations > 0 || s.BreakerSkips > 0 || s.BreakerTrips > 0 || s.PanicsRecovered > 0 {
+		line += fmt.Sprintf(" strategy=%s degradations=%d breaker-skips=%d breaker-trips=%d panics=%d",
+			s.StrategyUsed, s.Degradations, s.BreakerSkips, s.BreakerTrips, s.PanicsRecovered)
+	}
+	return line
 }

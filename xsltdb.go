@@ -22,12 +22,16 @@
 package xsltdb
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/governor"
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
 	"repro/internal/xmltree"
@@ -248,6 +252,28 @@ type planState struct {
 	rewrite     *core.Result  // nil for no-rewrite
 	plan        *sqlxml.Query // nil unless StrategySQL
 	fallback    string        // why a stronger strategy was not used
+
+	// brk is the plan's circuit breaker. It is the one mutable member —
+	// internally synchronized — and, because the plan cache shares
+	// planStates, its trip state is genuinely per-plan.
+	brk *breaker
+}
+
+// chain lists the runtime degradation chain for this plan, strongest
+// available strategy first. A forced strategy pins the chain to one entry:
+// forcing is a correctness contract, so there is nothing to degrade to.
+func (st *planState) chain(opts CompileOptions) []Strategy {
+	if opts.Force != nil {
+		return []Strategy{st.strategy}
+	}
+	switch st.strategy {
+	case StrategySQL:
+		return []Strategy{StrategySQL, StrategyXQuery, StrategyNoRewrite}
+	case StrategyXQuery:
+		return []Strategy{StrategyXQuery, StrategyNoRewrite}
+	default:
+		return []Strategy{StrategyNoRewrite}
+	}
 }
 
 // CompiledTransform is a stylesheet compiled against a view.
@@ -305,12 +331,20 @@ func (d *Database) compilePlan(viewName, stylesheet string, co CompileOptions) (
 // derivation, XSLT→XQuery rewrite, optional outer-path composition,
 // XQuery→SQL/XML lowering — degrading per the fallback chain unless a
 // strategy is forced.
-func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet string, opts CompileOptions) (*planState, error) {
+func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet string, opts CompileOptions) (st *planState, err error) {
+	// Compilation runs caller-provided stylesheet text through several
+	// recursive-descent stages; contain any engine panic here so a malformed
+	// input can never take the process down.
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, fmt.Errorf("xsltdb: compile: %w", &InternalError{Panic: r, Stack: debug.Stack()})
+		}
+	}()
 	sheet, err := xslt.ParseStylesheet(stylesheet)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrCompile, err)
 	}
-	st := &planState{view: view, viewVersion: version, sheet: sheet, strategy: StrategyNoRewrite}
+	st = &planState{view: view, viewVersion: version, sheet: sheet, strategy: StrategyNoRewrite, brk: &breaker{}}
 
 	if opts.Force != nil && *opts.Force == StrategyNoRewrite {
 		if len(opts.OuterPath) > 0 {
@@ -441,7 +475,15 @@ func (ct *CompiledTransform) ExplainPlan() string {
 // serialized results (one string per driving row). A transform whose view
 // was redefined since compilation recompiles automatically first (§7.3).
 func (ct *CompiledTransform) Run() ([]string, error) {
-	rows, _, err := ct.RunWithStats()
+	return ct.RunContext(context.Background())
+}
+
+// RunContext is Run under a caller context: cancellation (and the
+// transform's WithTimeout, if any) aborts the execution promptly with an
+// error satisfying both errors.Is(err, ErrCanceled) and errors.Is against
+// the underlying context error.
+func (ct *CompiledTransform) RunContext(ctx context.Context) ([]string, error) {
+	rows, _, err := ct.RunContextWithStats(ctx)
 	return rows, err
 }
 
@@ -449,14 +491,29 @@ func (ct *CompiledTransform) Run() ([]string, error) {
 // private to the call — concurrent runs never share a counter — and are
 // also merged into the database-wide aggregate read by Database.Stats.
 func (ct *CompiledTransform) RunWithStats() ([]string, *ExecStats, error) {
+	return ct.RunContextWithStats(context.Background())
+}
+
+// RunContextWithStats is RunContext plus this run's ExecStats. On error the
+// stats are still returned: they describe the work done up to the failure,
+// including any degradation, breaker activity, and recovered panics.
+func (ct *CompiledTransform) RunContextWithStats(ctx context.Context) ([]string, *ExecStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	st, recompiled, err := ct.ensureFresh()
 	if err != nil {
 		return nil, nil, err
 	}
+	if ct.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ct.opts.Timeout)
+		defer cancel()
+	}
 	es := &ExecStats{Recompiles: int64(recompiled), CompileWall: time.Since(start)}
 	var sink relstore.Stats
-	rows, err := ct.db.runState(st, ct.opts, &sink)
+	rows, err := ct.db.runGoverned(ctx, st, ct.opts, &sink, es)
 	es.ExecWall = time.Since(start) - es.CompileWall
 	es.mergeSink(sink.Snapshot())
 	es.RowsProduced = int64(len(rows))
@@ -467,41 +524,109 @@ func (ct *CompiledTransform) RunWithStats() ([]string, *ExecStats, error) {
 	return rows, es, nil
 }
 
-// runState executes a compiled state with counters routed to sink.
-func (d *Database) runState(st *planState, opts CompileOptions, sink *relstore.Stats) ([]string, error) {
-	switch st.strategy {
+// runGoverned walks the plan's degradation chain: each strategy is skipped
+// if its circuit breaker is open (never the last — something must always
+// run), attempted under a fresh governor (so resource budgets never
+// double-charge across attempts), and on a non-governance failure the run
+// falls through to the next strategy. Governance verdicts — cancellation,
+// resource limits, recursion limits — are final: retrying cannot help, so
+// they return immediately and do not count against the breaker.
+func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileOptions, sink *relstore.Stats, es *ExecStats) ([]string, error) {
+	chain := st.chain(opts)
+	var lastErr error
+	for i, s := range chain {
+		last := i == len(chain)-1
+		if !last && !st.brk.allow(s) {
+			es.BreakerSkips++
+			continue
+		}
+		g := governor.New(ctx).Limits(opts.MaxRows, opts.MaxOutputBytes, opts.MaxRecursionDepth)
+		rows, err := d.runStrategy(s, st, opts, sink, g)
+		if err == nil {
+			st.brk.success(s)
+			es.StrategyUsed = s
+			return rows, nil
+		}
+		if errors.Is(err, ErrInternal) {
+			es.PanicsRecovered++
+		}
+		if governor.IsGovernance(err) {
+			return nil, err
+		}
+		if st.brk.failure(s) {
+			es.BreakerTrips++
+		}
+		lastErr = err
+		if !last {
+			es.Degradations++
+		}
+	}
+	return nil, lastErr
+}
+
+// runStrategy executes one strategy of a compiled state under governor g,
+// with counters routed to sink. Engine panics are contained here — at the
+// strategy boundary — so a panicking strategy degrades like any other
+// failure instead of crashing the caller.
+func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, sink *relstore.Stats, g *governor.G) (out []string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("xsltdb: %s: %w", s, &InternalError{Panic: r, Stack: debug.Stack()})
+		}
+	}()
+
+	// charge bills one produced row against the governor's budgets. It also
+	// ticks the cancellation check so that post-query loops (serialization,
+	// per-row evaluation) stay responsive even with no budgets configured.
+	charge := func(row string) error {
+		if err := g.Tick(); err != nil {
+			return err
+		}
+		if err := g.AddRow(); err != nil {
+			return err
+		}
+		return g.AddOutput(len(row))
+	}
+
+	switch s {
 	case StrategySQL:
-		docs, err := d.exec.ExecQueryParallelWith(st.plan, opts.Parallelism, sink)
+		docs, err := d.exec.ExecQueryParallelGoverned(st.plan, opts.Parallelism, sink, g)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]string, len(docs))
 		for i, doc := range docs {
 			out[i] = serialize(doc)
+			if err := charge(out[i]); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 
 	case StrategyXQuery:
-		rows, err := d.exec.MaterializeViewWith(st.view, sink)
+		rows, err := d.exec.MaterializeViewGoverned(st.view, sink, g)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]string, len(rows))
 		for i, row := range rows {
-			seq, err := xquery.EvalModule(st.rewrite.Module, xquery.NewEnv(xquery.Item(row)))
+			seq, err := xquery.EvalModule(st.rewrite.Module, xquery.NewEnv(xquery.Item(row)).Govern(g))
 			if err != nil {
 				return nil, fmt.Errorf("xsltdb: row %d: %w", i, err)
 			}
 			out[i] = xquery.SerializeSeq(seq)
+			if err := charge(out[i]); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 
 	default: // StrategyNoRewrite
-		rows, err := d.exec.MaterializeViewWith(st.view, sink)
+		rows, err := d.exec.MaterializeViewGoverned(st.view, sink, g)
 		if err != nil {
 			return nil, err
 		}
-		eng := xslt.New(st.sheet)
+		eng := xslt.New(st.sheet).Govern(g)
 		out := make([]string, len(rows))
 		for i, row := range rows {
 			s, err := eng.TransformToString(row)
@@ -509,6 +634,9 @@ func (d *Database) runState(st *planState, opts CompileOptions, sink *relstore.S
 				return nil, fmt.Errorf("xsltdb: row %d: %w", i, err)
 			}
 			out[i] = s
+			if err := charge(s); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 	}
@@ -529,7 +657,7 @@ func Transform(xmlText, stylesheet string) (string, error) {
 	}
 	sheet, err := xslt.ParseStylesheet(stylesheet)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %w", ErrCompile, err)
 	}
 	return xslt.New(sheet).TransformToString(doc)
 }
@@ -540,11 +668,11 @@ func Transform(xmlText, stylesheet string) (string, error) {
 func RewriteToXQuery(stylesheet, compactSchema string) (queryText string, inlined bool, err error) {
 	sheet, err := xslt.ParseStylesheet(stylesheet)
 	if err != nil {
-		return "", false, err
+		return "", false, fmt.Errorf("%w: %w", ErrCompile, err)
 	}
 	schema, err := xschema.ParseCompact(compactSchema)
 	if err != nil {
-		return "", false, err
+		return "", false, fmt.Errorf("%w: %w", ErrCompile, err)
 	}
 	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 	if err != nil {
@@ -581,7 +709,7 @@ func (ct *CompiledTransform) Then(stylesheet string) (*ChainedTransform, error) 
 func (c *ChainedTransform) Then(stylesheet string) (*ChainedTransform, error) {
 	sheet, err := xslt.ParseStylesheet(stylesheet)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrCompile, err)
 	}
 	st := chainStage{sheet: sheet}
 	// Static typing source: the previous rewritten module (first stage or
@@ -617,22 +745,23 @@ func (c *ChainedTransform) Stages() (rewritten, interpreted int) {
 }
 
 // applyStages runs one row of the first stage's output through every
-// chained stage; shared by the materializing Run and the streaming cursor.
-func applyStages(stages []chainStage, row string) (string, error) {
+// chained stage under governor g (nil = ungoverned); shared by the
+// materializing Run and the streaming cursor.
+func applyStages(stages []chainStage, row string, g *governor.G) (string, error) {
 	for _, st := range stages {
 		doc, err := xmltree.ParseFragment(row)
 		if err != nil {
 			return "", fmt.Errorf("xsltdb: chained stage input: %w", err)
 		}
 		if st.module != nil {
-			seq, err := xquery.EvalModule(st.module, xquery.NewEnv(xquery.Item(doc)))
+			seq, err := xquery.EvalModule(st.module, xquery.NewEnv(xquery.Item(doc)).Govern(g))
 			if err != nil {
 				return "", err
 			}
 			row = xquery.SerializeSeq(seq)
 			continue
 		}
-		out, err := xslt.New(st.sheet).TransformToString(doc)
+		out, err := xslt.New(st.sheet).Govern(g).TransformToString(doc)
 		if err != nil {
 			return "", err
 		}
@@ -643,12 +772,19 @@ func applyStages(stages []chainStage, row string) (string, error) {
 
 // Run executes the pipeline for every view row.
 func (c *ChainedTransform) Run() ([]string, error) {
-	rows, err := c.first.Run()
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run under a caller context; cancellation aborts both the
+// first stage and the chained stages.
+func (c *ChainedTransform) RunContext(ctx context.Context) ([]string, error) {
+	rows, err := c.first.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
+	g := governor.New(ctx).Limits(0, 0, c.first.opts.MaxRecursionDepth)
 	for i, row := range rows {
-		out, err := applyStages(c.stages, row)
+		out, err := applyStages(c.stages, row, g)
 		if err != nil {
 			return nil, err
 		}
