@@ -5,12 +5,13 @@
 #   make fuzz     short fuzz smoke over the XPath/XQuery parsers (5s each)
 #   make faults   the fault-injection and robustness tests, under -race
 #   make bench    the paper-evaluation benchmarks
+#   make bench-json  pushdown speedup measurements -> BENCH_pushdown.json
 #   make demo     paper Examples 1 and 2 end to end, streamed with stats
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: verify test vet race fuzz faults bench demo
+.PHONY: verify test vet race fuzz faults bench bench-json demo
 
 verify: test vet race fuzz faults
 
@@ -39,6 +40,11 @@ faults:
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx .
+
+# Machine-readable pushdown measurements: index probe vs full-scan baseline
+# through the public Run API, written to BENCH_pushdown.json.
+bench-json:
+	$(GO) run ./cmd/xsltbench -pushdown -json BENCH_pushdown.json
 
 demo:
 	$(GO) run ./cmd/xsltdb demo -stream -stats

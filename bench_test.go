@@ -365,11 +365,11 @@ func BenchmarkCursorVsRun(b *testing.B) {
 	}
 	b.Run("run", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			rows, err := ct.Run()
+			res, err := ct.Run(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(rows) == 0 {
+			if len(res.Rows) == 0 {
 				b.Fatal("no rows")
 			}
 		}

@@ -4,7 +4,11 @@
 //	xsltbench -fig 2          # Figure 2: dbonerow, rewrite vs no-rewrite across sizes
 //	xsltbench -fig 3          # Figure 3: avts/chart/metric/total
 //	xsltbench -inline-stats   # the "23 out of 40 cases fully inline" statistic
+//	xsltbench -pushdown       # index-probe pushdown vs full-scan baseline
 //	xsltbench -all            # everything
+//
+// -json writes the -pushdown measurements to the given file as JSON
+// (the `make bench-json` artifact).
 //
 // -stream executes the rewrite path through the streaming cursor (one row
 // pulled at a time) instead of materializing the result set; -stats prints
@@ -15,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +27,7 @@ import (
 	"sort"
 	"time"
 
+	xsltdb "repro"
 	"repro/internal/clobstore"
 	"repro/internal/core"
 	"repro/internal/governor"
@@ -37,6 +43,8 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (2 or 3)")
 	inlineStats := flag.Bool("inline-stats", false, "print the inline-coverage statistic")
 	storage := flag.Bool("storage", false, "print the §7.4 storage-model comparison")
+	push := flag.Bool("pushdown", false, "measure index-probe pushdown vs the full-scan baseline")
+	jsonPath := flag.String("json", "", "write the -pushdown measurements to this file as JSON")
 	all := flag.Bool("all", false, "run every experiment")
 	reps := flag.Int("reps", 5, "repetitions per configuration (median reported)")
 	scale := flag.Int("scale", 1, "multiply workload sizes by this factor")
@@ -61,6 +69,10 @@ func main() {
 	}
 	if *all || *storage {
 		storageModels(*reps, *scale)
+		ran = true
+	}
+	if *all || *push {
+		pushdown(*reps, *scale, *jsonPath)
 		ran = true
 	}
 	if !ran {
@@ -342,6 +354,107 @@ func storageModels(reps, scale int) {
 		fmt.Printf("%-20s %v\n", r.name, median(reps, r.f))
 	}
 	fmt.Println()
+}
+
+// pushdown measures the PR's headline scenario: a single-document lookup by
+// indexed key over a large driving table, executed through the public Run
+// API with the predicate pushed down to an index probe versus the
+// WithoutPushdown full-scan baseline. With -json, the rows are also written
+// as a machine-readable artifact (BENCH_pushdown.json in CI).
+func pushdown(reps, scale int, jsonPath string) {
+	fmt.Println("Pushdown — lookup by indexed key via Run(WithWhere, WithParam): probe vs full scan")
+	fmt.Printf("%-10s %-14s %-14s %-9s %s\n", "rows", "index-probe", "full-scan", "speedup", "probe access path")
+
+	type measurement struct {
+		Rows        int     `json:"rows"`
+		ProbeNanos  int64   `json:"probe_ns"`
+		ScanNanos   int64   `json:"scan_ns"`
+		Speedup     float64 `json:"speedup"`
+		AccessPath  string  `json:"access_path"`
+		RowsScanned int64   `json:"full_scan_rows_scanned"`
+	}
+	var out []measurement
+
+	const sheet = `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	<xsl:template match="row"><hit><xsl:value-of select="name"/></hit></xsl:template>
+</xsl:stylesheet>`
+	for _, n := range []int{10_000 * scale, 100_000 * scale} {
+		db := xsltdb.NewDatabase()
+		check(db.CreateTable("row",
+			xsltdb.TableColumn{Name: "id", Type: xsltdb.IntCol},
+			xsltdb.TableColumn{Name: "name", Type: xsltdb.StringCol}))
+		for i := 0; i < n; i++ {
+			check(db.Insert("row", int64(i), fmt.Sprintf("name-%d", i)))
+		}
+		check(db.CreateIndex("row", "id"))
+		check(db.CreateXMLView(&xsltdb.ViewDef{
+			Name:  "rows",
+			Table: "row",
+			Body: &xsltdb.XMLElement{
+				Name:  "row",
+				Attrs: []xsltdb.XMLAttr{{Name: "id", Value: &xsltdb.XMLColumn{Name: "id"}}},
+				Children: []xsltdb.XMLExpr{
+					&xsltdb.XMLElement{Name: "name", Children: []xsltdb.XMLExpr{&xsltdb.XMLColumn{Name: "name"}}},
+				},
+			},
+		}))
+		ct, err := db.CompileTransform("rows", sheet)
+		check(err)
+
+		key := 0
+		lookup := func(extra ...xsltdb.RunOption) func() error {
+			return func() error {
+				key = (key*7919 + 1) % n
+				opts := append([]xsltdb.RunOption{
+					xsltdb.WithWhere("@id = $key"), xsltdb.WithParam("key", key),
+				}, extra...)
+				res, err := ct.Run(context.Background(), opts...)
+				if err != nil {
+					return err
+				}
+				if len(res.Rows) != 1 {
+					return fmt.Errorf("lookup produced %d rows, want 1", len(res.Rows))
+				}
+				return nil
+			}
+		}
+		probe := median(reps, lookup())
+		scan := median(reps, lookup(xsltdb.WithoutPushdown()))
+
+		// One run of each flavor for the reported access path and scan work.
+		probeRes, err := ct.Run(context.Background(), xsltdb.WithWhere("@id = 1"))
+		check(err)
+		scanRes, err := ct.Run(context.Background(), xsltdb.WithWhere("@id = 1"), xsltdb.WithoutPushdown())
+		check(err)
+
+		m := measurement{
+			Rows:        n,
+			ProbeNanos:  probe.Nanoseconds(),
+			ScanNanos:   scan.Nanoseconds(),
+			Speedup:     float64(scan) / float64(probe),
+			AccessPath:  probeRes.Stats.AccessPath,
+			RowsScanned: scanRes.Stats.RowsScanned,
+		}
+		out = append(out, m)
+		fmt.Printf("%-10d %-14s %-14s %-9s %s\n", n, probe, scan,
+			fmt.Sprintf("%.0fx", m.Speedup), m.AccessPath)
+	}
+	fmt.Println()
+
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(out, "", "  ")
+		check(err)
+		check(os.WriteFile(jsonPath, append(b, '\n'), 0o644))
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+}
+
+// check aborts the benchmark on a setup error.
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
 }
 
 func inlineCoverage() {

@@ -7,11 +7,15 @@
 //	    compile a stylesheet to XQuery via partial evaluation (§3-4)
 //
 //	xsltdb demo [-stream] [-stats] [-timeout d] [-max-rows n]
+//	           [-where expr] [-param name=value] [-no-pushdown]
 //	    run the paper's Example 1 and Example 2 end to end, printing the
 //	    intermediate XQuery (Table 8), the SQL/XML plan (Tables 7/11) and
 //	    the physical access paths; -stream pulls rows through a Cursor
 //	    instead of materializing, -stats prints per-run ExecStats and the
-//	    plan-cache counters, -timeout and -max-rows govern each execution
+//	    plan-cache counters, -timeout and -max-rows govern each execution;
+//	    -where adds a driving predicate ("deptno = 10", "@id = $id";
+//	    repeatable), -param binds a $variable for this run (repeatable),
+//	    -no-pushdown forces the full-scan baseline access path
 package main
 
 import (
@@ -21,6 +25,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	xsltdb "repro"
@@ -150,8 +156,16 @@ func cmdDemo(args []string) {
 	stats := fs.Bool("stats", false, "print per-run execution statistics and plan-cache counters")
 	timeout := fs.Duration("timeout", 0, "abort each execution after this long (0 = no timeout)")
 	maxRows := fs.Int64("max-rows", 0, "abort an execution that produces more than n result rows (0 = unlimited)")
+	var wheres, params multiFlag
+	fs.Var(&wheres, "where", "driving-table predicate, e.g. 'deptno = 10' or '@id = $id' (repeatable)")
+	fs.Var(&params, "param", "bind a run parameter as name=value (repeatable)")
+	noPushdown := fs.Bool("no-pushdown", false, "disable index pushdown: full-scan the driving table")
 	_ = fs.Parse(args)
 	govern := governOptions(*timeout, *maxRows)
+	runOpts, err := runOptions(wheres, params, *noPushdown)
+	if err != nil {
+		fatal(err)
+	}
 
 	db := xsltdb.NewDatabase()
 	if err := sqlxml.SetupDeptEmp(db.Rel()); err != nil {
@@ -184,10 +198,10 @@ func cmdDemo(args []string) {
 	fmt.Println(ct.SQL())
 	fmt.Println()
 	fmt.Println("-- physical plan --")
-	fmt.Println(ct.ExplainPlan())
+	fmt.Println(ct.ExplainPlan(runOpts...))
 	fmt.Println()
 	fmt.Println("-- result rows (paper Table 6) --")
-	demoRun(ct, *stream, *stats)
+	demoRun(ct, *stream, *stats, runOpts)
 	fmt.Println()
 
 	fmt.Println("== Example 2: XQuery over the XSLT view (combined optimisation) ==")
@@ -199,7 +213,7 @@ func cmdDemo(args []string) {
 	fmt.Println("-- optimal SQL/XML (paper Table 11) --")
 	fmt.Println(ct2.SQL())
 	fmt.Println()
-	demoRun(ct2, *stream, *stats)
+	demoRun(ct2, *stream, *stats, runOpts)
 
 	if *stats {
 		pc := db.PlanCacheStats()
@@ -219,11 +233,45 @@ func governOptions(timeout time.Duration, maxRows int64) []xsltdb.Option {
 	return opts
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ", ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// runOptions lowers the -where / -param / -no-pushdown flags to RunOptions.
+// Integer-looking parameter values bind as int64, everything else as string.
+func runOptions(wheres, params []string, noPushdown bool) ([]xsltdb.RunOption, error) {
+	var opts []xsltdb.RunOption
+	for _, w := range wheres {
+		opts = append(opts, xsltdb.WithWhere(w))
+	}
+	for _, p := range params {
+		name, raw, ok := strings.Cut(p, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-param %q: want name=value", p)
+		}
+		if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			opts = append(opts, xsltdb.WithParam(name, n))
+		} else {
+			opts = append(opts, xsltdb.WithParam(name, raw))
+		}
+	}
+	if noPushdown {
+		opts = append(opts, xsltdb.WithoutPushdown())
+	}
+	return opts, nil
+}
+
 // demoRun prints the transform's rows — streamed one at a time through a
 // cursor, or materialized via Run — and the per-run stats when asked.
-func demoRun(ct *xsltdb.CompiledTransform, stream, stats bool) {
+func demoRun(ct *xsltdb.CompiledTransform, stream, stats bool, runOpts []xsltdb.RunOption) {
 	if stream {
-		cur, err := ct.OpenCursor(context.Background())
+		cur, err := ct.OpenCursor(context.Background(), runOpts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -243,14 +291,14 @@ func demoRun(ct *xsltdb.CompiledTransform, stream, stats bool) {
 		}
 		return
 	}
-	rows, es, err := ct.RunWithStats()
+	res, err := ct.Run(context.Background(), runOpts...)
 	if err != nil {
 		fatal(err)
 	}
-	for i, r := range rows {
+	for i, r := range res.Rows {
 		fmt.Printf("row %d: %s\n", i+1, r)
 	}
 	if stats {
-		fmt.Println("stats:", es)
+		fmt.Println("stats:", res.Stats)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/governor"
 	"repro/internal/relstore"
+	"repro/internal/sqlxml"
 	"repro/internal/xquery"
 	"repro/internal/xslt"
 )
@@ -47,6 +48,12 @@ type Cursor struct {
 	strategy Strategy
 	panics   atomic.Int64 // recovered pull panics (pull runs outside mu)
 
+	// spec carries the run options down to the executor; accessPath receives
+	// the chosen driving access path (written at open time, before Next can
+	// run).
+	spec       *sqlxml.RunSpec
+	accessPath string
+
 	mu           sync.Mutex
 	sink         relstore.Stats
 	rowsProduced int64
@@ -67,17 +74,25 @@ type Cursor struct {
 // (§7.3). The SQL strategy streams straight off the plan's access path;
 // XQuery and no-rewrite materialize ONE view row per Next.
 //
+// RunOptions parameterize the stream exactly as they do Run: WithParam
+// binds variables, WithWhere adds driving predicates (pushed down to the
+// access path), WithoutPushdown forces the full-scan baseline.
+//
 // The strategy is fixed at open time: strategies whose circuit breaker is
 // open are skipped, and a strategy that fails (or panics) while opening
 // degrades to the next one in the chain. Mid-stream failures terminate the
 // cursor — a half-delivered stream cannot be transparently restarted on a
 // weaker strategy without re-emitting rows.
-func (ct *CompiledTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
+func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) (*Cursor, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := time.Now()
 	st, recompiled, err := ct.ensureFresh()
+	if err != nil {
+		return nil, err
+	}
+	spec, access, err := ct.db.runSpec(st, buildRunOptions(opts), false)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +106,7 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
 	g := governor.New(ctx).Limits(ct.opts.MaxRows, ct.opts.MaxOutputBytes, ct.opts.MaxRecursionDepth)
 	c := &Cursor{
 		ctx: ctx, cancel: cancel, db: ct.db, gov: g, brk: st.brk,
+		spec:       spec,
 		recompiles: int64(recompiled), compileWall: time.Since(start),
 	}
 
@@ -105,6 +121,7 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
 		pull, err := c.openStrategy(st, s, ct.opts)
 		if err == nil {
 			c.strategy = s
+			c.accessPath = *access
 			c.pull = c.governed(pull)
 			return c, nil
 		}
@@ -136,7 +153,7 @@ func (c *Cursor) openStrategy(st *planState, s Strategy, opts CompileOptions) (p
 
 	switch s {
 	case StrategySQL:
-		qc, err := c.db.exec.OpenQueryCursorGoverned(st.plan, &c.sink, c.gov)
+		qc, err := c.db.exec.OpenQueryCursorSpec(st.plan, &c.sink, c.gov, c.spec)
 		if err != nil {
 			return nil, err
 		}
@@ -149,18 +166,20 @@ func (c *Cursor) openStrategy(st *planState, s Strategy, opts CompileOptions) (p
 		}, nil
 
 	case StrategyXQuery:
-		vc, err := c.db.exec.OpenViewCursorGoverned(st.view, &c.sink, c.gov)
+		vc, err := c.db.exec.OpenViewCursorSpec(st.view, st.drivingWhere(), &c.sink, c.gov, c.spec)
 		if err != nil {
 			return nil, err
 		}
 		module := st.rewrite.Module
+		params := c.spec.Params
 		row := 0
 		return func() (string, error) {
 			doc, err := vc.Next()
 			if err != nil {
 				return "", err
 			}
-			seq, err := xquery.EvalModule(module, xquery.NewEnv(xquery.Item(doc)).Govern(c.gov))
+			env := bindEnv(xquery.NewEnv(xquery.Item(doc)), params)
+			seq, err := xquery.EvalModule(module, env.Govern(c.gov))
 			if err != nil {
 				return "", fmt.Errorf("xsltdb: row %d: %w", row, err)
 			}
@@ -169,7 +188,7 @@ func (c *Cursor) openStrategy(st *planState, s Strategy, opts CompileOptions) (p
 		}, nil
 
 	default: // StrategyNoRewrite
-		vc, err := c.db.exec.OpenViewCursorGoverned(st.view, &c.sink, c.gov)
+		vc, err := c.db.exec.OpenViewCursorSpec(st.view, st.drivingWhere(), &c.sink, c.gov, c.spec)
 		if err != nil {
 			return nil, err
 		}
@@ -220,21 +239,36 @@ func (c *Cursor) governed(pull func() (string, error)) func() (string, error) {
 
 // OpenCursor streams the whole pipeline: each driving row is pulled through
 // the first stage's cursor and then through every chained stage before the
-// next row is touched.
-func (c *ChainedTransform) OpenCursor(ctx context.Context) (*Cursor, error) {
-	cur, err := c.first.OpenCursor(ctx)
+// next row is touched. RunOptions apply to the first (view-backed) stage.
+// The chained stages honor the first stage's full governance options — a
+// separate governor charges the pipeline's FINAL rows against MaxRows and
+// MaxOutputBytes, since a chained stage can expand its input past what the
+// first stage's own accounting saw.
+func (c *ChainedTransform) OpenCursor(ctx context.Context, opts ...RunOption) (*Cursor, error) {
+	cur, err := c.first.OpenCursor(ctx, opts...)
 	if err != nil {
 		return nil, err
 	}
 	stages := c.stages
 	inner := cur.pull
-	g := cur.gov
+	fo := c.first.opts
+	g := governor.New(cur.ctx).Limits(fo.MaxRows, fo.MaxOutputBytes, fo.MaxRecursionDepth)
 	cur.pull = func() (string, error) {
 		row, err := inner()
 		if err != nil {
 			return "", err
 		}
-		return applyStages(stages, row, g)
+		out, err := applyStages(stages, row, g)
+		if err != nil {
+			return "", err
+		}
+		if err := g.AddRow(); err != nil {
+			return "", err
+		}
+		if err := g.AddOutput(len(out)); err != nil {
+			return "", err
+		}
+		return out, nil
 	}
 	return cur, nil
 }
@@ -329,6 +363,7 @@ func (c *Cursor) Stats() ExecStats {
 	defer c.mu.Unlock()
 	es := ExecStats{
 		RowsProduced:    c.rowsProduced,
+		AccessPath:      c.accessPath,
 		Recompiles:      c.recompiles,
 		CompileWall:     c.compileWall,
 		ExecWall:        c.execWall,

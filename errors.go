@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/governor"
+	"repro/internal/relstore"
 )
 
 // Sentinel errors for programmatic handling with errors.Is/errors.As. All
@@ -26,7 +27,15 @@ var (
 	// cause carries the parser's position information (xslt.CompileError,
 	// xpath.SyntaxError, xquery.ParseError, ...), reachable via errors.As.
 	ErrCompile = errors.New("xsltdb: stylesheet failed to compile")
+	// ErrBadRunOption reports an invalid per-run option: a WithParam value
+	// of an unsupported type, or a WithWhere expression that does not parse
+	// or references a column the view does not expose.
+	ErrBadRunOption = errors.New("xsltdb: invalid run option")
 )
+
+// ErrUnboundParam reports execution of a parameterized plan without a value
+// for one of its parameters; bind it with WithParam.
+var ErrUnboundParam = relstore.ErrUnboundParam
 
 // Execution-governance sentinels, shared with the internal evaluation
 // layers so errors.Is matches no matter which layer stopped the run.

@@ -79,12 +79,12 @@ func ExampleDatabase_CompileTransform() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(ct.Strategy())
-	fmt.Println(rows[0])
+	fmt.Println(res.Rows[0])
 	// Output:
 	// sql-rewrite
 	// <big><c>Seoul</c></big>

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -51,16 +52,16 @@ func main() {
 	fmt.Println("\n--- physical plan ---")
 	fmt.Println(ct.ExplainPlan())
 
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	must(err)
-	fmt.Printf("\nfirst result row (compare paper Table 6):\n%s\n", rows[0])
+	fmt.Printf("\nfirst result row (compare paper Table 6):\n%s\n", res.Rows[0])
 
 	fmt.Println("\n=== strategy timings over the scaled data ===")
 	for _, s := range []xsltdb.Strategy{xsltdb.StrategySQL, xsltdb.StrategyXQuery, xsltdb.StrategyNoRewrite} {
 		c, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.CompileOptions{Force: xsltdb.ForceStrategy(s)})
 		must(err)
 		start := time.Now()
-		if _, err := c.Run(); err != nil {
+		if _, err := c.Run(context.Background()); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-16s %v\n", s, time.Since(start))
@@ -73,9 +74,9 @@ func main() {
 	must(err)
 	fmt.Println("--- optimal SQL/XML (compare paper Table 11) ---")
 	fmt.Println(ct2.SQL())
-	rows2, err := ct2.Run()
+	res2, err := ct2.Run(context.Background())
 	must(err)
-	fmt.Printf("\nfirst combined result row:\n%s\n", rows2[0])
+	fmt.Printf("\nfirst combined result row:\n%s\n", res2.Rows[0])
 }
 
 func must(err error) {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,11 +63,13 @@ func main() {
 	fmt.Println(ct.ExplainPlan()) // INDEX RANGE SCAN books(price) ...
 	fmt.Println()
 
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	must(err)
-	for _, r := range rows {
+	for _, r := range res.Rows {
 		fmt.Println(r)
 	}
+	fmt.Println()
+	fmt.Println(res.Stats.String())
 }
 
 func must(err error) {

@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -62,25 +63,95 @@ func (op CmpOp) String() string {
 }
 
 // Pred is a simple column-vs-constant predicate; conjunctions are slices.
+// Val may be a ParamValue placeholder, in which case the predicate must be
+// bound with BindPreds before execution.
 type Pred struct {
 	Col string
 	Op  CmpOp
 	Val Value
 }
 
-// String renders the predicate in SQL style.
+// String renders the predicate in SQL style; parameter placeholders render
+// as :name bind variables.
 func (p Pred) String() string {
 	v := p.Val
-	if s, ok := v.(string); ok {
-		v = "'" + s + "'"
+	switch x := v.(type) {
+	case string:
+		v = "'" + x + "'"
+	case ParamValue:
+		v = ":" + string(x)
 	}
 	return fmt.Sprintf("%s %s %v", p.Col, p.Op, v)
+}
+
+// ParamValue is a bind-variable placeholder inside Pred.Val: the predicate
+// compares against the parameter's value supplied at execution time via
+// BindPreds. An unbound placeholder never matches any row.
+type ParamValue string
+
+// ErrUnboundParam reports execution of a parameterized predicate without a
+// value for one of its parameters.
+var ErrUnboundParam = errors.New("relstore: unbound parameter")
+
+// BindPreds substitutes parameter placeholders with values from params,
+// returning a new slice (the input is never mutated — compiled plans share
+// their predicate slices across concurrent runs). Predicates without
+// placeholders pass through; a placeholder missing from params is an error
+// wrapping ErrUnboundParam.
+func BindPreds(preds []Pred, params map[string]Value) ([]Pred, error) {
+	if !HasParams(preds) {
+		return preds, nil
+	}
+	out := make([]Pred, len(preds))
+	for i, p := range preds {
+		if name, ok := p.Val.(ParamValue); ok {
+			v, bound := params[string(name)]
+			if !bound {
+				return nil, fmt.Errorf("%w: $%s (bind it with WithParam)", ErrUnboundParam, string(name))
+			}
+			p.Val = v
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// BindPredsPartial substitutes the parameters present in params and leaves
+// missing ones as placeholders — the EXPLAIN-time variant of BindPreds,
+// where an unbound parameter should render as :name rather than fail.
+func BindPredsPartial(preds []Pred, params map[string]Value) []Pred {
+	if !HasParams(preds) {
+		return preds
+	}
+	out := make([]Pred, len(preds))
+	for i, p := range preds {
+		if name, ok := p.Val.(ParamValue); ok {
+			if v, bound := params[string(name)]; bound {
+				p.Val = v
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// HasParams reports whether any predicate carries an unbound placeholder.
+func HasParams(preds []Pred) bool {
+	for _, p := range preds {
+		if _, ok := p.Val.(ParamValue); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // Matches evaluates the predicate against a cell value.
 func (p Pred) Matches(cell Value) bool {
 	if cell == nil || p.Val == nil {
 		return false // SQL three-valued logic: NULL never matches
+	}
+	if _, ok := p.Val.(ParamValue); ok {
+		return false // unbound placeholder: callers must BindPreds first
 	}
 	c := CompareValues(cell, p.Val)
 	switch p.Op {
@@ -177,6 +248,10 @@ type indexIter struct {
 	indexCol string
 	lo, hi   Bound
 	residual []Pred
+	// probe marks an equality probe (lo == hi, both inclusive) — the same
+	// descent mechanically, but reported as INDEX PROBE so plans show
+	// point lookups distinctly from range scans.
+	probe bool
 
 	ids   []int
 	pos   int
@@ -233,17 +308,31 @@ func (it *indexIter) Err() error { return it.err }
 func (it *indexIter) Reset() { it.pos = 0; it.err = nil }
 
 func (it *indexIter) Explain() string {
+	op := "INDEX RANGE SCAN"
+	if it.probe {
+		op = "INDEX PROBE"
+	}
 	rng := describeRange(it.indexCol, it.lo, it.hi)
 	if len(it.residual) == 0 {
-		return fmt.Sprintf("INDEX RANGE SCAN %s(%s) %s", it.table.Name, it.indexCol, rng)
+		return fmt.Sprintf("%s %s(%s) %s", op, it.table.Name, it.indexCol, rng)
 	}
-	return fmt.Sprintf("INDEX RANGE SCAN %s(%s) %s FILTER %s", it.table.Name, it.indexCol, rng, predsString(it.residual))
+	return fmt.Sprintf("%s %s(%s) %s FILTER %s", op, it.table.Name, it.indexCol, rng, predsString(it.residual))
+}
+
+// boundText renders a bound's value; parameter placeholders render as :name
+// bind variables (a plan over an unbound parameter is still explainable —
+// its shape does not depend on the value).
+func boundText(v Value) any {
+	if name, ok := v.(ParamValue); ok {
+		return ":" + string(name)
+	}
+	return v
 }
 
 func describeRange(col string, lo, hi Bound) string {
 	switch {
 	case !lo.Unbounded && !hi.Unbounded && lo.Inclusive && hi.Inclusive && CompareValues(lo.Value, hi.Value) == 0:
-		return fmt.Sprintf("%s = %v", col, lo.Value)
+		return fmt.Sprintf("%s = %v", col, boundText(lo.Value))
 	case lo.Unbounded && hi.Unbounded:
 		return "(full)"
 	default:
@@ -253,14 +342,14 @@ func describeRange(col string, lo, hi Bound) string {
 			if lo.Inclusive {
 				op = ">="
 			}
-			parts = append(parts, fmt.Sprintf("%s %s %v", col, op, lo.Value))
+			parts = append(parts, fmt.Sprintf("%s %s %v", col, op, boundText(lo.Value)))
 		}
 		if !hi.Unbounded {
 			op := "<"
 			if hi.Inclusive {
 				op = "<="
 			}
-			parts = append(parts, fmt.Sprintf("%s %s %v", col, op, hi.Value))
+			parts = append(parts, fmt.Sprintf("%s %s %v", col, op, boundText(hi.Value)))
 		}
 		return strings.Join(parts, " AND ")
 	}
@@ -283,19 +372,59 @@ func rowMatches(t *Table, id int, preds []Pred) bool {
 	return true
 }
 
-// AccessPath plans the physical access for a conjunction of predicates:
-// an index range scan when an indexed column has a sargable predicate,
-// otherwise a full scan. This is the "standard relational optimizer can
-// select the index on the sal column" step of the paper (§2.1).
-func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
-	return AccessPathGoverned(t, preds, stats, nil)
+// PathKind classifies a physical access path.
+type PathKind uint8
+
+// Access-path kinds, cheapest first for a selective predicate.
+const (
+	// PathIndexProbe is a B-tree equality probe (point lookup).
+	PathIndexProbe PathKind = iota
+	// PathIndexRange is a B-tree range scan over a bounded interval.
+	PathIndexRange
+	// PathFullScan reads every heap row, applying predicates as residual
+	// filters.
+	PathFullScan
+)
+
+// String names the path kind as it appears in EXPLAIN output.
+func (k PathKind) String() string {
+	switch k {
+	case PathIndexProbe:
+		return "index probe"
+	case PathIndexRange:
+		return "index range scan"
+	default:
+		return "full scan"
+	}
 }
 
-// AccessPathGoverned is AccessPath with an execution governor: the returned
-// iterator stops early (Err reports why) when g is cancelled or over
-// budget, so a scan over a large table aborts mid-pass instead of running
-// to exhaustion. g may be nil.
-func AccessPathGoverned(t *Table, preds []Pred, stats *Stats, g *governor.G) Iterator {
+// AccessPlan is a planned physical access path: the outcome of PlanAccess,
+// openable into an Iterator. Separating planning from opening lets callers
+// (the sqlxml access-path chooser) inspect or veto the choice — and report
+// it — before any row is touched.
+type AccessPlan struct {
+	Kind PathKind
+	// Col is the driving index column (index paths only).
+	Col string
+	// Lo and Hi bound the B-tree interval (index paths only).
+	Lo, Hi Bound
+	// Residual holds the predicates applied per row after the driving
+	// access (every predicate, for a full scan).
+	Residual []Pred
+	// TableRows is the table's row count observed at planning time — the
+	// statistic the chooser's cost reasoning is based on.
+	TableRows int
+}
+
+// PlanAccess plans the physical access for a conjunction of predicates: a
+// B-tree probe when an indexed column has an equality predicate, a range
+// scan for an indexed inequality, otherwise a full scan. This is the
+// "standard relational optimizer can select the index on the sal column"
+// step of the paper (§2.1). Predicates carrying unbound ParamValue
+// placeholders are still planned (the plan shape does not depend on the
+// value) but must be bound before Open.
+func PlanAccess(t *Table, preds []Pred) AccessPlan {
+	rows := t.NumRows()
 	best := -1
 	for i, p := range preds {
 		if p.Op == CmpNe || p.Val == nil {
@@ -310,13 +439,7 @@ func AccessPathGoverned(t *Table, preds []Pred, stats *Stats, g *governor.G) Ite
 		}
 	}
 	if best == -1 {
-		if stats != nil {
-			atomic.AddInt64(&stats.FullScans, 1)
-		}
-		return &scanIter{table: t, preds: preds, stats: stats, gov: g}
-	}
-	if stats != nil {
-		atomic.AddInt64(&stats.RangeScans, 1)
+		return AccessPlan{Kind: PathFullScan, Residual: preds, TableRows: rows}
 	}
 	p := preds[best]
 	var residual []Pred
@@ -325,21 +448,70 @@ func AccessPathGoverned(t *Table, preds []Pred, stats *Stats, g *governor.G) Ite
 			residual = append(residual, q)
 		}
 	}
-	lo, hi := UnboundedBound, UnboundedBound
+	plan := AccessPlan{Col: p.Col, Residual: residual, TableRows: rows, Lo: UnboundedBound, Hi: UnboundedBound}
 	switch p.Op {
 	case CmpEq:
-		lo = Bound{Value: p.Val, Inclusive: true}
-		hi = lo
+		plan.Kind = PathIndexProbe
+		plan.Lo = Bound{Value: p.Val, Inclusive: true}
+		plan.Hi = plan.Lo
 	case CmpLt:
-		hi = Bound{Value: p.Val}
+		plan.Kind = PathIndexRange
+		plan.Hi = Bound{Value: p.Val}
 	case CmpLe:
-		hi = Bound{Value: p.Val, Inclusive: true}
+		plan.Kind = PathIndexRange
+		plan.Hi = Bound{Value: p.Val, Inclusive: true}
 	case CmpGt:
-		lo = Bound{Value: p.Val}
+		plan.Kind = PathIndexRange
+		plan.Lo = Bound{Value: p.Val}
 	case CmpGe:
-		lo = Bound{Value: p.Val, Inclusive: true}
+		plan.Kind = PathIndexRange
+		plan.Lo = Bound{Value: p.Val, Inclusive: true}
 	}
-	return &indexIter{table: t, indexCol: p.Col, lo: lo, hi: hi, residual: residual, stats: stats, gov: g}
+	return plan
+}
+
+// FullScanPlan plans an unconditional full scan with preds as residual
+// filters — the pushdown-disabled access path: same rows, no index use.
+func FullScanPlan(t *Table, preds []Pred) AccessPlan {
+	return AccessPlan{Kind: PathFullScan, Residual: preds, TableRows: t.NumRows()}
+}
+
+// Open turns the plan into a live iterator over t, with counters routed to
+// stats (may be nil) under governor g (may be nil).
+func (p AccessPlan) Open(t *Table, stats *Stats, g *governor.G) Iterator {
+	if p.Kind == PathFullScan {
+		if stats != nil {
+			atomic.AddInt64(&stats.FullScans, 1)
+		}
+		return &scanIter{table: t, preds: p.Residual, stats: stats, gov: g}
+	}
+	if stats != nil {
+		atomic.AddInt64(&stats.RangeScans, 1)
+	}
+	return &indexIter{
+		table: t, indexCol: p.Col, lo: p.Lo, hi: p.Hi,
+		residual: p.Residual, probe: p.Kind == PathIndexProbe,
+		stats: stats, gov: g,
+	}
+}
+
+// Explain describes the planned operator without opening it.
+func (p AccessPlan) Explain(t *Table) string {
+	return p.Open(t, nil, nil).Explain()
+}
+
+// AccessPath plans and opens the physical access for a conjunction of
+// predicates (PlanAccess + Open).
+func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
+	return AccessPathGoverned(t, preds, stats, nil)
+}
+
+// AccessPathGoverned is AccessPath with an execution governor: the returned
+// iterator stops early (Err reports why) when g is cancelled or over
+// budget, so a scan over a large table aborts mid-pass instead of running
+// to exhaustion. g may be nil.
+func AccessPathGoverned(t *Table, preds []Pred, stats *Stats, g *governor.G) Iterator {
+	return PlanAccess(t, preds).Open(t, stats, g)
 }
 
 // FullScan returns an unconditional scan (used when the caller needs every

@@ -1,0 +1,391 @@
+package sqlxml
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/faultpoint"
+	"repro/internal/governor"
+	"repro/internal/relstore"
+	"repro/internal/xmltree"
+)
+
+// This file is the access-path layer of the executor: every entry point that
+// drives a table goes through one chooser (chooseAccess) fed by a RunSpec —
+// the per-run half of the facade's unified Run API. The compiled plan is
+// immutable and shared; everything a run can vary (extra predicates from
+// WithWhere, bind variables from WithParam, the WithoutPushdown switch) rides
+// in the spec and is merged copy-on-write, so concurrent runs of one plan
+// never see each other's parameters.
+
+// RunSpec carries per-run execution parameters into the executor. A nil
+// *RunSpec means "no per-run parameters"; the legacy Governed entry points
+// pass nil and behave exactly as before.
+type RunSpec struct {
+	// Extra holds driving-table predicates supplied at run time (WithWhere);
+	// they AND with the plan's compiled WHERE clause.
+	Extra []relstore.Pred
+	// Params binds ParamValue placeholders — in the driving predicates and
+	// anywhere in the query body — to concrete values for this run.
+	Params map[string]relstore.Value
+	// NoPushdown forces a full scan with every predicate applied as a
+	// residual filter: same rows, no index use (the WithoutPushdown debug
+	// option; output must be byte-identical).
+	NoPushdown bool
+	// AccessPath, when non-nil, receives the EXPLAIN line of the chosen
+	// driving access path (surfaced as ExecStats.AccessPath).
+	AccessPath *string
+}
+
+// smallTableRows is the chooser's only magic number: at or below this many
+// rows a B-tree range scan cannot beat a straight scan of the heap, so the
+// range path is demoted. Equality probes are never demoted — a probe's cost
+// does not grow with the table.
+const smallTableRows = 2
+
+// merged returns the compiled WHERE clause joined with the spec's extra
+// run-time predicates (copy-on-write: the compiled slice is never mutated).
+func (s *RunSpec) merged(where []relstore.Pred) []relstore.Pred {
+	if s == nil || len(s.Extra) == 0 {
+		return where
+	}
+	out := make([]relstore.Pred, 0, len(where)+len(s.Extra))
+	out = append(out, where...)
+	return append(out, s.Extra...)
+}
+
+func (s *RunSpec) params() map[string]relstore.Value {
+	if s == nil {
+		return nil
+	}
+	return s.Params
+}
+
+func (s *RunSpec) noPushdown() bool { return s != nil && s.NoPushdown }
+
+func (s *RunSpec) recordPath(t *relstore.Table, plan relstore.AccessPlan) {
+	if s != nil && s.AccessPath != nil {
+		*s.AccessPath = plan.Explain(t)
+	}
+}
+
+// chooseAccess picks the physical access path for the driving table: the
+// planner's choice (PlanAccess), demoted to a full scan when the statistics
+// say the index cannot pay for itself, or a forced full scan when pushdown
+// is disabled. Either way the same predicates apply — only the mechanism
+// differs — so the row set is identical across choices.
+func chooseAccess(t *relstore.Table, preds []relstore.Pred, noPushdown bool) relstore.AccessPlan {
+	if noPushdown {
+		return relstore.FullScanPlan(t, preds)
+	}
+	plan := relstore.PlanAccess(t, preds)
+	if plan.Kind == relstore.PathIndexRange && plan.TableRows <= smallTableRows {
+		return relstore.FullScanPlan(t, preds)
+	}
+	return plan
+}
+
+// planDriving merges the compiled WHERE clause with the spec's extras, binds
+// every parameter strictly (an unbound one is an error — running it would
+// silently match nothing), chooses the access path, and reports it back
+// through the spec.
+func (s *RunSpec) planDriving(t *relstore.Table, where []relstore.Pred) (relstore.AccessPlan, error) {
+	bound, err := relstore.BindPreds(s.merged(where), s.params())
+	if err != nil {
+		return relstore.AccessPlan{}, err
+	}
+	plan := chooseAccess(t, bound, s.noPushdown())
+	s.recordPath(t, plan)
+	return plan, nil
+}
+
+// BindQuery substitutes bind variables throughout q — the driving WHERE
+// clause, conditional constructors, and nested subqueries — returning a new
+// Query that shares every unmodified subtree with the original. An unbound
+// placeholder is an error wrapping relstore.ErrUnboundParam.
+func BindQuery(q *Query, params map[string]relstore.Value) (*Query, error) {
+	where, err := relstore.BindPreds(q.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	body, err := bindXML(q.Body, params)
+	if err != nil {
+		return nil, err
+	}
+	if !relstore.HasParams(q.Where) && body == q.Body {
+		return q, nil
+	}
+	cp := *q
+	cp.Where = where
+	cp.Body = body
+	return &cp, nil
+}
+
+// bindXML substitutes bind variables inside an XML construction tree
+// (Cond predicates and SubQuery WHERE clauses), copy-on-write: subtrees
+// without placeholders are returned as-is, shared with the compiled plan.
+func bindXML(x XMLExpr, params map[string]relstore.Value) (XMLExpr, error) {
+	switch e := x.(type) {
+	case *Element:
+		kids, changed, err := bindList(e.Children, params)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return e, nil
+		}
+		cp := *e
+		cp.Children = kids
+		return &cp, nil
+	case *Concat:
+		items, changed, err := bindList(e.Items, params)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return e, nil
+		}
+		return &Concat{Items: items}, nil
+	case *Agg:
+		sub, err := bindSub(e.Sub, params)
+		if err != nil {
+			return nil, err
+		}
+		if sub == e.Sub {
+			return e, nil
+		}
+		return &Agg{Sub: sub}, nil
+	case *ScalarAgg:
+		sub, err := bindSub(e.Sub, params)
+		if err != nil {
+			return nil, err
+		}
+		if sub == e.Sub {
+			return e, nil
+		}
+		cp := *e
+		cp.Sub = sub
+		return &cp, nil
+	case *Cond:
+		preds, err := relstore.BindPreds(e.Preds, params)
+		if err != nil {
+			return nil, err
+		}
+		then, err := bindXML(e.Then, params)
+		if err != nil {
+			return nil, err
+		}
+		els := e.Else
+		if els != nil {
+			if els, err = bindXML(els, params); err != nil {
+				return nil, err
+			}
+		}
+		if !relstore.HasParams(e.Preds) && then == e.Then && els == e.Else {
+			return e, nil
+		}
+		return &Cond{Preds: preds, Then: then, Else: els}, nil
+	default:
+		// Column, Literal: no predicates to bind.
+		return x, nil
+	}
+}
+
+func bindList(xs []XMLExpr, params map[string]relstore.Value) ([]XMLExpr, bool, error) {
+	changed := false
+	out := xs
+	for i, x := range xs {
+		b, err := bindXML(x, params)
+		if err != nil {
+			return nil, false, err
+		}
+		if b != x && !changed {
+			changed = true
+			out = make([]XMLExpr, len(xs))
+			copy(out, xs)
+		}
+		if changed {
+			out[i] = b
+		}
+	}
+	return out, changed, nil
+}
+
+func bindSub(s *SubQuery, params map[string]relstore.Value) (*SubQuery, error) {
+	where, err := relstore.BindPreds(s.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	body := s.Body
+	if body != nil {
+		if body, err = bindXML(body, params); err != nil {
+			return nil, err
+		}
+	}
+	if !relstore.HasParams(s.Where) && body == s.Body {
+		return s, nil
+	}
+	cp := *s
+	cp.Where = where
+	cp.Body = body
+	return &cp, nil
+}
+
+// OpenQueryCursorSpec is the spec-carrying form of OpenQueryCursor: the
+// driving access path is planned from the compiled WHERE clause plus the
+// spec's run-time predicates, with parameters bound for this run only.
+func (e *Executor) OpenQueryCursorSpec(q *Query, sink *relstore.Stats, g *governor.G, spec *RunSpec) (*QueryCursor, error) {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
+	}
+	plan, err := spec.planDriving(t, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	body, err := bindXML(q.Body, spec.params())
+	if err != nil {
+		return nil, err
+	}
+	return &QueryCursor{
+		body: body,
+		t:    t,
+		it:   plan.Open(t, sink, g),
+		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
+		fp:   "sqlxml.query.next",
+	}, nil
+}
+
+// OpenViewCursorSpec is the spec-carrying form of OpenViewCursor, with an
+// explicit set of driving predicates. The fallback execution strategies pass
+// the compiled plan's WHERE clause here so a run that could not be lowered to
+// SQL still filters (and index-probes) the driving table exactly like the
+// SQL path would — cross-strategy result consistency.
+func (e *Executor) OpenViewCursorSpec(v *ViewDef, where []relstore.Pred, sink *relstore.Stats, g *governor.G, spec *RunSpec) (*QueryCursor, error) {
+	t := e.DB.Table(v.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
+	}
+	plan, err := spec.planDriving(t, where)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryCursor{
+		body: v.Body,
+		t:    t,
+		it:   plan.Open(t, sink, g),
+		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
+		fp:   "sqlxml.view.row",
+	}, nil
+}
+
+// MaterializeViewSpec materializes the view rows passing where under the
+// given spec (see OpenViewCursorSpec).
+func (e *Executor) MaterializeViewSpec(v *ViewDef, where []relstore.Pred, sink *relstore.Stats, g *governor.G, spec *RunSpec) ([]*xmltree.Node, error) {
+	c, err := e.OpenViewCursorSpec(v, where, sink, g, spec)
+	if err != nil {
+		return nil, err
+	}
+	return drainCursor(c)
+}
+
+// ExplainQuerySpec describes the physical plan the spec would produce.
+// Binding is lenient here: an unbound parameter renders as a :name bind
+// variable instead of failing — the plan's shape does not depend on the
+// value.
+func (e *Executor) ExplainQuerySpec(q *Query, spec *RunSpec) string {
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return "unknown table " + q.Table
+	}
+	preds := relstore.BindPredsPartial(spec.merged(q.Where), spec.params())
+	plan := chooseAccess(t, preds, spec.noPushdown())
+	spec.recordPath(t, plan)
+	var sb strings.Builder
+	sb.WriteString(plan.Explain(t))
+	explainSubqueries(e.DB, q.Body, &sb, "  ")
+	return sb.String()
+}
+
+// ExecQueryParallelSpec is the spec-carrying form of ExecQueryParallel: the
+// driving access path honors the spec, and every worker constructs from the
+// run's bound body.
+func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.Stats, g *governor.G, spec *RunSpec) ([]*xmltree.Node, error) {
+	if workers < 2 {
+		c, err := e.OpenQueryCursorSpec(q, sink, g, spec)
+		if err != nil {
+			return nil, err
+		}
+		return drainCursor(c)
+	}
+	t := e.DB.Table(q.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
+	}
+	plan, err := spec.planDriving(t, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	body, err := bindXML(q.Body, spec.params())
+	if err != nil {
+		return nil, err
+	}
+	it := plan.Open(t, sink, g)
+	var ids []int
+	for {
+		id, ok := it.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, id)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*xmltree.Node, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, id := range ids {
+		// Stop handing out work once the governor has a verdict; rows
+		// already dispatched unwind through their own Tick checks.
+		if err := g.Check(); err != nil {
+			errs[i] = err
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// A panic on a worker goroutine would kill the process before
+			// the facade's recovery could see it; convert it to this row's
+			// error instead so the run fails like any other row failure.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("sqlxml: worker panic: %v", r)
+				}
+			}()
+			if err := faultpoint.Hit("sqlxml.query.next"); err != nil {
+				errs[i] = err
+				return
+			}
+			ec := &evalContext{db: e.DB, stats: sink, gov: g}
+			doc := xmltree.NewDocument()
+			if err := ec.evalInto(doc, body, t, id); err != nil {
+				errs[i] = err
+				return
+			}
+			doc.Renumber()
+			out[i] = doc
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,7 +1,6 @@
 package sqlxml
 
 import (
-	"fmt"
 	"io"
 
 	"repro/internal/faultpoint"
@@ -45,19 +44,9 @@ func (e *Executor) OpenQueryCursor(q *Query, sink *relstore.Stats) (*QueryCursor
 }
 
 // OpenQueryCursorGoverned is OpenQueryCursor under an execution governor
-// (may be nil).
+// (may be nil). It is the nil-spec form of OpenQueryCursorSpec.
 func (e *Executor) OpenQueryCursorGoverned(q *Query, sink *relstore.Stats, g *governor.G) (*QueryCursor, error) {
-	t := e.DB.Table(q.Table)
-	if t == nil {
-		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
-	}
-	return &QueryCursor{
-		body: q.Body,
-		t:    t,
-		it:   relstore.AccessPathGoverned(t, q.Where, sink, g),
-		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
-		fp:   "sqlxml.query.next",
-	}, nil
+	return e.OpenQueryCursorSpec(q, sink, g, nil)
 }
 
 // Next constructs the XML for the next qualifying driving row. It returns
@@ -89,19 +78,10 @@ func (e *Executor) OpenViewCursor(v *ViewDef, sink *relstore.Stats) (*QueryCurso
 }
 
 // OpenViewCursorGoverned is OpenViewCursor under an execution governor
-// (may be nil).
+// (may be nil). It is the nil-spec, unfiltered form of OpenViewCursorSpec:
+// every driving row materializes.
 func (e *Executor) OpenViewCursorGoverned(v *ViewDef, sink *relstore.Stats, g *governor.G) (*QueryCursor, error) {
-	t := e.DB.Table(v.Table)
-	if t == nil {
-		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
-	}
-	return &QueryCursor{
-		body: v.Body,
-		t:    t,
-		it:   relstore.FullScanGoverned(t, sink, g),
-		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
-		fp:   "sqlxml.view.row",
-	}, nil
+	return e.OpenViewCursorSpec(v, nil, sink, g, nil)
 }
 
 // drainCursor collects a cursor's remaining documents (the materializing

@@ -3,9 +3,7 @@ package sqlxml
 import (
 	"fmt"
 	"strings"
-	"sync"
 
-	"repro/internal/faultpoint"
 	"repro/internal/governor"
 	"repro/internal/relstore"
 	"repro/internal/xmltree"
@@ -127,16 +125,10 @@ func (e *Executor) ExecQueryWith(q *Query, sink *relstore.Stats) ([]*xmltree.Nod
 }
 
 // ExplainQuery describes the physical plan: the driving access path plus
-// each nested subquery's access path.
+// each nested subquery's access path. It is the nil-spec form of
+// ExplainQuerySpec.
 func (e *Executor) ExplainQuery(q *Query) string {
-	var sb strings.Builder
-	t := e.DB.Table(q.Table)
-	if t == nil {
-		return "unknown table " + q.Table
-	}
-	sb.WriteString(relstore.AccessPath(t, q.Where, nil).Explain())
-	explainSubqueries(e.DB, q.Body, &sb, "  ")
-	return sb.String()
+	return e.ExplainQuerySpec(q, nil)
 }
 
 func explainSubqueries(db *relstore.DB, expr XMLExpr, sb *strings.Builder, pad string) {
@@ -382,74 +374,7 @@ func (e *Executor) ExecQueryParallelWith(q *Query, workers int, sink *relstore.S
 // ExecQueryParallelGoverned is ExecQueryParallelWith under an execution
 // governor (may be nil): the driving scan, every worker's construction, and
 // the dispatch loop itself all stop promptly when g reports cancellation or
-// an exhausted budget.
+// an exhausted budget. It is the nil-spec form of ExecQueryParallelSpec.
 func (e *Executor) ExecQueryParallelGoverned(q *Query, workers int, sink *relstore.Stats, g *governor.G) ([]*xmltree.Node, error) {
-	if workers < 2 {
-		c, err := e.OpenQueryCursorGoverned(q, sink, g)
-		if err != nil {
-			return nil, err
-		}
-		return drainCursor(c)
-	}
-	t := e.DB.Table(q.Table)
-	if t == nil {
-		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
-	}
-	it := relstore.AccessPathGoverned(t, q.Where, sink, g)
-	var ids []int
-	for {
-		id, ok := it.Next()
-		if !ok {
-			break
-		}
-		ids = append(ids, id)
-	}
-	if err := it.Err(); err != nil {
-		return nil, err
-	}
-	out := make([]*xmltree.Node, len(ids))
-	errs := make([]error, len(ids))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, id := range ids {
-		// Stop handing out work once the governor has a verdict; rows
-		// already dispatched unwind through their own Tick checks.
-		if err := g.Check(); err != nil {
-			errs[i] = err
-			break
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i, id int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			// A panic on a worker goroutine would kill the process before
-			// the facade's recovery could see it; convert it to this row's
-			// error instead so the run fails like any other row failure.
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("sqlxml: worker panic: %v", r)
-				}
-			}()
-			if err := faultpoint.Hit("sqlxml.query.next"); err != nil {
-				errs[i] = err
-				return
-			}
-			ec := &evalContext{db: e.DB, stats: sink, gov: g}
-			doc := xmltree.NewDocument()
-			if err := ec.evalInto(doc, q.Body, t, id); err != nil {
-				errs[i] = err
-				return
-			}
-			doc.Renumber()
-			out[i] = doc
-		}(i, id)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return e.ExecQueryParallelSpec(q, workers, sink, g, nil)
 }

@@ -1,0 +1,135 @@
+package xpath
+
+// Predicate surfacing for the relational translator: a step predicate like
+// [@id = $id] or [price > 100] is, relationally, a comparison between a
+// column of the driving table and a constant (or bind variable). Conjuncts
+// decomposes a predicate expression into that normal form so internal/xq2sql
+// can lower it to relstore.Pred filters instead of evaluating it per node.
+
+// Comparison is one relationally-lowerable conjunct of a step predicate: a
+// simple operand (child element or attribute of the context node) compared
+// against a constant or variable reference.
+type Comparison struct {
+	// Attr reports that the operand is an attribute (@name) rather than a
+	// child element.
+	Attr bool
+	// Name is the operand's local name.
+	Name string
+	// Op is the comparison operator, normalized so the operand reads on the
+	// left: "100 < price" surfaces as price > 100 with Flipped set.
+	Op BinaryOp
+	// Value is the right-hand side: NumberExpr, StringExpr or VarExpr.
+	Value Expr
+	// Flipped records that the source had the value on the left.
+	Flipped bool
+}
+
+// String renders the comparison in normalized XPath form.
+func (c Comparison) String() string {
+	name := c.Name
+	if c.Attr {
+		name = "@" + name
+	}
+	return name + " " + c.Op.String() + " " + c.Value.String()
+}
+
+// Conjuncts decomposes a predicate expression into relational comparisons.
+// It succeeds only when the whole expression is a conjunction ('and' tree)
+// of simple comparisons — each comparing a one-step child/attribute path of
+// the context node against a literal or variable. Any other shape (or,
+// function calls, positional predicates, multi-step paths) returns ok=false
+// and the caller must keep the predicate as a per-node filter.
+func Conjuncts(e Expr) ([]Comparison, bool) {
+	var out []Comparison
+	if !gatherConjuncts(e, &out) {
+		return nil, false
+	}
+	return out, true
+}
+
+func gatherConjuncts(e Expr, out *[]Comparison) bool {
+	b, ok := e.(*BinaryExpr)
+	if !ok {
+		return false
+	}
+	if b.Op == OpAnd {
+		return gatherConjuncts(b.L, out) && gatherConjuncts(b.R, out)
+	}
+	c, ok := comparison(b)
+	if !ok {
+		return false
+	}
+	*out = append(*out, c)
+	return true
+}
+
+// comparison matches one operand-vs-value comparison, flipping the operator
+// when the value is on the left.
+func comparison(b *BinaryExpr) (Comparison, bool) {
+	switch b.Op {
+	case OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe:
+	default:
+		return Comparison{}, false
+	}
+	if attr, name, ok := operand(b.L); ok {
+		if v, ok := constValue(b.R); ok {
+			return Comparison{Attr: attr, Name: name, Op: b.Op, Value: v}, true
+		}
+		return Comparison{}, false
+	}
+	if attr, name, ok := operand(b.R); ok {
+		if v, ok := constValue(b.L); ok {
+			return Comparison{Attr: attr, Name: name, Op: flipCmp(b.Op), Value: v, Flipped: true}, true
+		}
+	}
+	return Comparison{}, false
+}
+
+// operand matches a one-step relative path selecting a named child element
+// or attribute of the context node, with no predicates of its own.
+func operand(e Expr) (attr bool, name string, ok bool) {
+	p, isPath := e.(*PathExpr)
+	if !isPath || p.Abs || p.Start != nil || len(p.Steps) != 1 {
+		return false, "", false
+	}
+	s := p.Steps[0]
+	if s.Test.Kind != TestName || s.Test.Prefix != "" || len(s.Preds) != 0 {
+		return false, "", false
+	}
+	switch s.Axis {
+	case AxisChild:
+		return false, s.Test.Name, true
+	case AxisAttribute:
+		return true, s.Test.Name, true
+	}
+	return false, "", false
+}
+
+// constValue matches a run-time-constant right-hand side: a literal or a
+// variable reference (bound at execution time, constant per run).
+func constValue(e Expr) (Expr, bool) {
+	switch v := e.(type) {
+	case NumberExpr, StringExpr, VarExpr:
+		return v, true
+	case *NegExpr:
+		if n, ok := v.X.(NumberExpr); ok {
+			return NumberExpr(-float64(n)), true
+		}
+	}
+	return nil, false
+}
+
+// flipCmp mirrors a comparison operator across its operands: a < b ⇔ b > a.
+func flipCmp(op BinaryOp) BinaryOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return op // = and != are symmetric
+}

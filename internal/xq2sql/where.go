@@ -1,0 +1,102 @@
+package xq2sql
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+	"repro/internal/sqlxml"
+	"repro/internal/xpath"
+)
+
+// ExtractWhere parses an XPath comparison expression over the view's root
+// element — `deptno = 10`, `@id = $id`, `price > 100 and qty < 5` — and
+// lowers it to driving-table predicates. Names resolve against the view
+// structure first (a root child leaf or a root attribute maps to its backing
+// column); a name the view does not expose is taken as a raw driving-table
+// column, which the caller should validate against the table schema.
+// Variable references become ParamValue placeholders bound per run.
+//
+// This is the WithWhere run-option path of the facade: predicates supplied
+// at run time join the compiled plan's WHERE clause without recompiling.
+func ExtractWhere(view *sqlxml.ViewDef, src string) ([]relstore.Pred, error) {
+	e, err := xpath.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("xq2sql: where %q: %w", src, err)
+	}
+	comps, ok := xpath.Conjuncts(e)
+	if !ok {
+		return nil, fmt.Errorf("xq2sql: where %q: %w", src,
+			notRelational("must be a conjunction of column-vs-constant comparisons"))
+	}
+	root, err := buildViewTree(view.Body, view.Table)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]relstore.Pred, 0, len(comps))
+	for _, c := range comps {
+		col, err := resolveWhereName(root, c.Attr, c.Name)
+		if err != nil {
+			return nil, fmt.Errorf("xq2sql: where %q: %w", src, err)
+		}
+		op, err := xpathCmpOp(c.Op)
+		if err != nil {
+			return nil, fmt.Errorf("xq2sql: where %q: %w", src, err)
+		}
+		val, err := xpathValue(c.Value)
+		if err != nil {
+			return nil, fmt.Errorf("xq2sql: where %q: %w", src, err)
+		}
+		preds = append(preds, relstore.Pred{Col: col, Op: op, Val: val})
+	}
+	return preds, nil
+}
+
+// resolveWhereName maps a comparison operand to a driving-table column via
+// the view structure, falling through to the raw name for plain elements.
+func resolveWhereName(root *viewNode, attr bool, name string) (string, error) {
+	if attr {
+		if col, ok := root.attrs[name]; ok {
+			return col, nil
+		}
+		return "", notRelational("view root has no attribute @%s", name)
+	}
+	if leaf := root.child(name); leaf != nil && leaf.col != "" {
+		return leaf.col, nil
+	}
+	// Not a view leaf: treat as a raw driving-table column name.
+	return name, nil
+}
+
+func xpathCmpOp(op xpath.BinaryOp) (relstore.CmpOp, error) {
+	switch op {
+	case xpath.OpEq:
+		return relstore.CmpEq, nil
+	case xpath.OpNeq:
+		return relstore.CmpNe, nil
+	case xpath.OpLt:
+		return relstore.CmpLt, nil
+	case xpath.OpLe:
+		return relstore.CmpLe, nil
+	case xpath.OpGt:
+		return relstore.CmpGt, nil
+	case xpath.OpGe:
+		return relstore.CmpGe, nil
+	}
+	return 0, notRelational("operator %v", op)
+}
+
+func xpathValue(e xpath.Expr) (relstore.Value, error) {
+	switch x := e.(type) {
+	case xpath.NumberExpr:
+		f := float64(x)
+		if f == float64(int64(f)) {
+			return int64(f), nil
+		}
+		return f, nil
+	case xpath.StringExpr:
+		return string(x), nil
+	case xpath.VarExpr:
+		return relstore.ParamValue(string(x)), nil
+	}
+	return nil, notRelational("unsupported value %T", e)
+}

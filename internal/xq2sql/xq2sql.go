@@ -42,6 +42,9 @@ type viewNode struct {
 	table string
 	// children by element name, in declaration order.
 	children []*viewNode
+	// attrs maps attribute names to their backing columns (XMLAttributes
+	// entries whose value is a column reference).
+	attrs map[string]string
 	// col is the backing column of a text leaf ("" otherwise).
 	col string
 	// agg links to the repeated child produced by an XMLAgg subquery.
@@ -69,6 +72,14 @@ func buildViewTree(expr sqlxml.XMLExpr, table string) (*viewNode, error) {
 		return nil, notRelational("view body must be an XMLElement")
 	}
 	node := &viewNode{name: el.Name, table: table}
+	for _, a := range el.Attrs {
+		if c, ok := a.Value.(*sqlxml.Column); ok {
+			if node.attrs == nil {
+				node.attrs = map[string]string{}
+			}
+			node.attrs[a.Name] = c.Name
+		}
+	}
 	var walk func(children []sqlxml.XMLExpr) error
 	walk = func(children []sqlxml.XMLExpr) error {
 		for _, c := range children {
@@ -120,6 +131,41 @@ type translator struct {
 	view *sqlxml.ViewDef
 	root *viewNode
 	vars map[string]binding
+
+	// where collects predicates hoisted from view-root steps (selection
+	// pushdown): `$var000/dept[deptno = 10]/...` filters the DRIVING table,
+	// so the predicate belongs in Query.Where where the access-path chooser
+	// can turn it into an index probe. whereSet distinguishes "no root
+	// navigation seen" from "root navigated without predicates" — every
+	// doc-rooted navigation must agree on the root predicates, or hoisting
+	// would change which rows the other navigations see.
+	where    []relstore.Pred
+	whereSet bool
+}
+
+// hoistRootPreds records predicates found on a view-root step, enforcing
+// agreement across navigations.
+func (tr *translator) hoistRootPreds(ps []relstore.Pred) error {
+	if !tr.whereSet {
+		tr.where, tr.whereSet = ps, true
+		return nil
+	}
+	if !predsEqual(tr.where, ps) {
+		return notRelational("navigations disagree on view-root predicates; cannot hoist the selection")
+	}
+	return nil
+}
+
+func predsEqual(a, b []relstore.Pred) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Translate lowers a generated XQuery module into a SQL/XML query over the
@@ -150,7 +196,23 @@ func Translate(m *xquery.Module, view *sqlxml.ViewDef) (*sqlxml.Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &sqlxml.Query{Table: view.Table, Body: concatOf(body)}, nil
+	q := &sqlxml.Query{Table: view.Table, Where: tr.where, Body: concatOf(body)}
+	hoistTopCond(q)
+	return q, nil
+}
+
+// hoistTopCond promotes a whole-body conditional (a match-pattern predicate
+// compiled into `if (...) then ... else ()`) into the query's WHERE clause:
+// a driving row that fails the condition produces nothing, so filtering the
+// row at the access path is equivalent to constructing an empty result — and
+// makes the predicate eligible for index access.
+func hoistTopCond(q *sqlxml.Query) {
+	c, ok := q.Body.(*sqlxml.Cond)
+	if !ok || c.Else != nil || len(c.Preds) == 0 {
+		return
+	}
+	q.Where = append(q.Where, c.Preds...)
+	q.Body = c.Then
 }
 
 func concatOf(items []sqlxml.XMLExpr) sqlxml.XMLExpr {
@@ -532,8 +594,14 @@ func (tr *translator) pathBase(p *xquery.Path) (*viewNode, []*xquery.Step, error
 		if len(steps) == 0 || steps[0].Test.Kind != xpath.TestName || steps[0].Test.Name != tr.root.name {
 			return nil, nil, notRelational("document path must start at the view root element %q", tr.root.name)
 		}
-		if len(steps[0].Preds) > 0 {
-			return nil, nil, notRelational("predicates on the view root")
+		// Predicates on the root step select DRIVING rows: hoist them into
+		// the query's WHERE clause (selection pushdown) instead of rejecting.
+		ps, err := tr.stepPreds(steps[0], tr.root)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := tr.hoistRootPreds(ps); err != nil {
+			return nil, nil, err
 		}
 		return tr.root, steps[1:], nil
 	}
@@ -589,14 +657,14 @@ func (tr *translator) onePred(e xquery.Expr, node *viewNode) ([]relstore.Pred, e
 // predOperands identifies the column side and the literal side.
 func (tr *translator) predOperands(l, r xquery.Expr, node *viewNode) (col string, lit relstore.Value, flipped bool, err error) {
 	if c, ok := tr.relColumn(l, node); ok {
-		v, okv := literalValue(r)
+		v, okv := tr.literalValue(r)
 		if !okv {
 			return "", nil, false, notRelational("comparison against a non-literal")
 		}
 		return c, v, false, nil
 	}
 	if c, ok := tr.relColumn(r, node); ok {
-		v, okv := literalValue(l)
+		v, okv := tr.literalValue(l)
 		if !okv {
 			return "", nil, false, notRelational("comparison against a non-literal")
 		}
@@ -606,24 +674,36 @@ func (tr *translator) predOperands(l, r xquery.Expr, node *viewNode) (col string
 }
 
 // relColumn maps a context-relative path (inside a predicate) to a column
-// of the node's element.
+// of the node's element: a child text leaf, or an attribute backed by a
+// column (`@id` → the id column).
 func (tr *translator) relColumn(e xquery.Expr, node *viewNode) (string, bool) {
 	p, ok := xquery.Unwrap(e).(*xquery.Path)
 	if !ok || p.Base != nil || p.Abs || len(p.Steps) != 1 {
 		return "", false
 	}
 	s := p.Steps[0]
-	if s.Axis != xpath.AxisChild || s.Test.Kind != xpath.TestName || len(s.Preds) != 0 {
+	if s.Test.Kind != xpath.TestName || len(s.Preds) != 0 {
 		return "", false
 	}
-	leaf := node.child(s.Test.Name)
-	if leaf == nil || leaf.col == "" {
-		return "", false
+	switch s.Axis {
+	case xpath.AxisChild:
+		leaf := node.child(s.Test.Name)
+		if leaf == nil || leaf.col == "" {
+			return "", false
+		}
+		return leaf.col, true
+	case xpath.AxisAttribute:
+		col, ok := node.attrs[s.Test.Name]
+		return col, ok
 	}
-	return leaf.col, true
+	return "", false
 }
 
-func literalValue(e xquery.Expr) (relstore.Value, bool) {
+// literalValue maps a run-time-constant operand to a relstore value. A free
+// variable reference (one not bound to a view position) becomes a ParamValue
+// placeholder: the plan compiles once and the caller binds the value per run
+// (WithParam), so `row[@id = $id]` parameterizes one compiled plan.
+func (tr *translator) literalValue(e xquery.Expr) (relstore.Value, bool) {
 	switch x := xquery.Unwrap(e).(type) {
 	case xquery.NumberLit:
 		f := float64(x)
@@ -633,6 +713,10 @@ func literalValue(e xquery.Expr) (relstore.Value, bool) {
 		return f, true
 	case xquery.StringLit:
 		return string(x), true
+	case xquery.VarRef:
+		if _, bound := tr.vars[string(x)]; !bound {
+			return relstore.ParamValue(string(x)), true
+		}
 	}
 	return nil, false
 }
@@ -708,32 +792,89 @@ func (tr *translator) condExpr(x *xquery.IfExpr) ([]sqlxml.XMLExpr, error) {
 }
 
 // condPreds maps a boolean expression over a single bound variable's
-// columns into relational predicates.
+// columns into relational predicates. Besides direct comparisons and
+// conjunctions it lowers the shapes the match-pattern compiler emits
+// (internal/core/pattern.go): `$c instance of element(name)` tests that the
+// view structure already guarantees, and `fn:exists(($c)[pred])` filters
+// whose predicates are column comparisons.
 func (tr *translator) condPreds(e xquery.Expr) ([]relstore.Pred, error) {
-	b, ok := xquery.Unwrap(e).(*xquery.Binary)
+	switch x := xquery.Unwrap(e).(type) {
+	case *xquery.Binary:
+		if x.Op == xquery.OpAnd {
+			l, err := tr.condPreds(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := tr.condPreds(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		}
+		col, lit, flipped, err := tr.condOperands(x.L, x.R)
+		if err != nil {
+			return nil, err
+		}
+		op, err := cmpOp(x.Op, flipped)
+		if err != nil {
+			return nil, err
+		}
+		return []relstore.Pred{{Col: col, Op: op, Val: lit}}, nil
+	case *xquery.FuncCall:
+		switch strings.TrimPrefix(x.Name, "fn:") {
+		case "true":
+			if len(x.Args) == 0 {
+				return nil, nil
+			}
+		case "exists":
+			if len(x.Args) == 1 {
+				if flt, ok := xquery.Unwrap(x.Args[0]).(*xquery.Filter); ok {
+					return tr.filterPreds(flt)
+				}
+			}
+		}
+	case *xquery.InstanceOf:
+		if tr.instanceStaticallyTrue(x) {
+			return nil, nil
+		}
+	}
+	return nil, notRelational("unsupported condition %s", e.String())
+}
+
+// filterPreds lowers a match-pattern filter `($c)[pred...]` into column
+// predicates against the candidate's view position.
+func (tr *translator) filterPreds(flt *xquery.Filter) ([]relstore.Pred, error) {
+	node, navPreds, err := tr.resolveNav(flt.Base)
+	if err != nil {
+		return nil, err
+	}
+	if len(navPreds) > 0 {
+		return nil, notRelational("filter over a predicated path")
+	}
+	var out []relstore.Pred
+	for _, p := range flt.Preds {
+		ps, err := tr.onePred(p, node)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// instanceStaticallyTrue reports whether an `instance of` test is satisfied
+// by the view structure itself: the variable is bound to a view element
+// whose name matches the tested element type.
+func (tr *translator) instanceStaticallyTrue(x *xquery.InstanceOf) bool {
+	v, ok := xquery.Unwrap(x.X).(xquery.VarRef)
 	if !ok {
-		return nil, notRelational("unsupported condition %s", e.String())
+		return false
 	}
-	if b.Op == xquery.OpAnd {
-		l, err := tr.condPreds(b.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := tr.condPreds(b.R)
-		if err != nil {
-			return nil, err
-		}
-		return append(l, r...), nil
+	b, okb := tr.vars[string(v)]
+	if !okb || b.node == nil {
+		return false
 	}
-	col, lit, flipped, err := tr.condOperands(b.L, b.R)
-	if err != nil {
-		return nil, err
-	}
-	op, err := cmpOp(b.Op, flipped)
-	if err != nil {
-		return nil, err
-	}
-	return []relstore.Pred{{Col: col, Op: op, Val: lit}}, nil
+	return x.Type.Kind == xquery.SeqTypeElement && (x.Type.Name == "" || x.Type.Name == b.node.name)
 }
 
 // condOperands maps `$v/leaf op literal` (either side) to a column name.
@@ -741,7 +882,7 @@ func (tr *translator) condPreds(e xquery.Expr) ([]relstore.Pred, error) {
 func (tr *translator) condOperands(l, r xquery.Expr) (string, relstore.Value, bool, error) {
 	if col, err := tr.columnOf(l); err == nil {
 		if c, ok := col.(*sqlxml.Column); ok {
-			v, okv := literalValue(r)
+			v, okv := tr.literalValue(r)
 			if !okv {
 				return "", nil, false, notRelational("condition against a non-literal")
 			}
@@ -750,7 +891,7 @@ func (tr *translator) condOperands(l, r xquery.Expr) (string, relstore.Value, bo
 	}
 	if col, err := tr.columnOf(r); err == nil {
 		if c, ok := col.(*sqlxml.Column); ok {
-			v, okv := literalValue(l)
+			v, okv := tr.literalValue(l)
 			if !okv {
 				return "", nil, false, notRelational("condition against a non-literal")
 			}

@@ -255,7 +255,7 @@ func TestDbonerowUsesIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	explain := ex.ExplainQuery(q)
-	if !strings.Contains(explain, "INDEX RANGE SCAN sales(id)") {
+	if !strings.Contains(explain, "INDEX PROBE sales(id)") {
 		t.Fatalf("dbonerow should probe the id index:\n%s", explain)
 	}
 	before := ex.Stats

@@ -8,7 +8,11 @@ import (
 // planCache is the database's compiled-plan cache: compile once, run many.
 // Entries are keyed by (view, view version, stylesheet hash, plan options),
 // so a view redefinition naturally misses — and ReplaceXMLView additionally
-// evicts the stale entries to bound memory. Concurrent compilations of the
+// evicts the stale entries to bound memory. Run-time inputs — WithParam
+// bindings, WithWhere predicates, WithoutPushdown — are deliberately NOT
+// part of the key: a parameterized plan compiles once and serves every
+// binding (the point of bind variables), so running the same transform with
+// a thousand different parameters still costs one compilation. Concurrent compilations of the
 // same key are deduplicated singleflight-style: the first caller compiles,
 // the rest block on the entry's done channel and share the result.
 type planCache struct {

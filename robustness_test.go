@@ -50,7 +50,7 @@ func TestRunContextCancelPrompt(t *testing.T) {
 		t.Fatal(err)
 	}
 	if ct.Strategy() != StrategySQL {
-		t.Fatalf("strategy = %v (%s)", ct.Strategy(), ct.FallbackReason)
+		t.Fatalf("strategy = %v (%s)", ct.Strategy(), ct.FallbackReason())
 	}
 
 	// Arm a never-firing fault point purely for its hit counter, so the
@@ -136,7 +136,7 @@ func TestTimeoutOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = ct.Run()
+	_, err = ct.Run(context.Background())
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
@@ -153,7 +153,7 @@ func TestMaxRowsLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = ct.Run()
+	_, err = ct.Run(context.Background())
 	if !errors.Is(err, ErrLimitExceeded) {
 		t.Fatalf("Run err = %v, want ErrLimitExceeded", err)
 	}
@@ -182,7 +182,7 @@ func TestMaxOutputBytesLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = ct.Run()
+	_, err = ct.Run(context.Background())
 	if !errors.Is(err, ErrLimitExceeded) {
 		t.Fatalf("err = %v, want ErrLimitExceeded", err)
 	}
@@ -232,12 +232,13 @@ func TestDegradationOnInjectedFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	if ct.Strategy() != StrategySQL {
-		t.Fatalf("strategy = %v (%s)", ct.Strategy(), ct.FallbackReason)
+		t.Fatalf("strategy = %v (%s)", ct.Strategy(), ct.FallbackReason())
 	}
-	want, err := ct.Run()
+	wantRes, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Rows
 
 	// Fail the SQL plan three rows into the scan — a mid-stream fault, not
 	// an open-time one.
@@ -276,10 +277,11 @@ func TestCircuitBreakerTripAndRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ct.Run()
+	wantRes, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Rows
 
 	faultpoint.Enable("sqlxml.query.next", errBoom)
 	defer faultpoint.Reset()
@@ -320,7 +322,7 @@ func TestCircuitBreakerTripAndRecover(t *testing.T) {
 	// close the breaker again.
 	faultpoint.Disable("sqlxml.query.next")
 	for i := 0; i < breakerCooldown+1; i++ {
-		if _, err := ct.Run(); err != nil {
+		if _, err := ct.Run(context.Background()); err != nil {
 			t.Fatalf("cooldown run %d: %v", i, err)
 		}
 	}
@@ -346,10 +348,11 @@ func TestPanicContainment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ct.Run()
+	wantRes, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Rows
 
 	faultpoint.EnablePanic("sqlxml.query.next")
 	defer faultpoint.Reset()
@@ -371,7 +374,7 @@ func TestPanicContainment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = forced.Run()
+	_, err = forced.Run(context.Background())
 	if !errors.Is(err, ErrInternal) {
 		t.Fatalf("forced err = %v, want ErrInternal", err)
 	}
@@ -563,9 +566,9 @@ func TestFaultMidScanNoTruncation(t *testing.T) {
 	}
 	faultpoint.EnableAfter("relstore.scan.next", 1, errBoom)
 	defer faultpoint.Reset()
-	rows, err := ct.Run()
+	_, err = ct.Run(context.Background())
 	if !errors.Is(err, errBoom) {
-		t.Fatalf("err = %v (rows=%d), want the injected fault", err, len(rows))
+		t.Fatalf("err = %v, want the injected fault", err)
 	}
 }
 
@@ -578,7 +581,7 @@ func TestGovernanceNotBreakerFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < breakerThreshold+1; i++ {
-		if _, err := ct.Run(); !errors.Is(err, ErrLimitExceeded) {
+		if _, err := ct.Run(context.Background()); !errors.Is(err, ErrLimitExceeded) {
 			t.Fatalf("run %d: %v", i, err)
 		}
 	}

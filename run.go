@@ -1,0 +1,187 @@
+package xsltdb
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+	"repro/internal/sqlxml"
+	"repro/internal/xq2sql"
+	"repro/internal/xquery"
+)
+
+// RunOption configures one execution of a compiled transform (Run,
+// OpenCursor, ExplainPlan). Run options never affect the compiled plan —
+// one plan compiled once serves every combination of parameters — so they
+// are deliberately not part of the plan-cache key.
+type RunOption interface {
+	applyRunOption(*runOptions)
+}
+
+type runOptionFunc func(*runOptions)
+
+func (f runOptionFunc) applyRunOption(o *runOptions) { f(o) }
+
+// runOptions accumulates the per-run configuration.
+type runOptions struct {
+	whereExprs []string
+	params     map[string]relstore.Value
+	noPushdown bool
+	err        error // first invalid option, surfaced when the run starts
+}
+
+// WithParam binds the XPath/XQuery variable $name for this run. A compiled
+// plan whose predicates reference $name (e.g. a stylesheet matching
+// `row[@id = $id]`) executes as an index probe on the bound value — the
+// plan is compiled once and parameterized per run, never recompiled.
+// Supported value types: int, int64, float64, string.
+func WithParam(name string, value any) RunOption {
+	return runOptionFunc(func(o *runOptions) {
+		var v relstore.Value
+		switch x := value.(type) {
+		case int:
+			v = int64(x)
+		case int64:
+			v = x
+		case float64:
+			v = x
+		case string:
+			v = x
+		default:
+			if o.err == nil {
+				o.err = fmt.Errorf("xsltdb: WithParam(%q): unsupported type %T: %w", name, value, ErrBadRunOption)
+			}
+			return
+		}
+		if o.params == nil {
+			o.params = map[string]relstore.Value{}
+		}
+		o.params[name] = v
+	})
+}
+
+// WithWhere adds a driving-table predicate for this run, written as an XPath
+// comparison over the view's root element: `deptno = 10`, `@id = $id`,
+// `price > 100 and qty < 5`. Names resolve through the view structure (a
+// root attribute or leaf child element maps to its backing column) or
+// directly to a driving-table column. The predicate joins the compiled
+// plan's WHERE clause — pushed down to an index probe or range scan when
+// the planner can — and applies identically under every execution strategy.
+func WithWhere(expr string) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.whereExprs = append(o.whereExprs, expr) })
+}
+
+// WithoutPushdown disables index pushdown for this run: the driving table is
+// fully scanned with every predicate applied as a residual filter. The
+// result is byte-identical to the pushed-down run — only the physical
+// access path (and RowsScanned) differs — which makes it the debugging
+// baseline for verifying pushdown correctness and measuring its speedup.
+func WithoutPushdown() RunOption {
+	return runOptionFunc(func(o *runOptions) { o.noPushdown = true })
+}
+
+func buildRunOptions(opts []RunOption) runOptions {
+	var ro runOptions
+	for _, o := range opts {
+		o.applyRunOption(&ro)
+	}
+	return ro
+}
+
+// Result is the outcome of one Run: the serialized result rows (one per
+// qualifying driving row) and the execution's private statistics. Run
+// returns a non-nil Result even when the execution fails partway — Stats
+// then describes the work done up to the failure.
+type Result struct {
+	// Rows holds the serialized results, one per driving row.
+	Rows []string
+	// Stats describes this run: physical operator counters, the access path
+	// chosen, strategy degradations, wall times.
+	Stats ExecStats
+}
+
+// runSpec resolves the run options against a compiled state: WithWhere
+// expressions are parsed and lowered to driving-table predicates, parameter
+// bindings are validated against the driving predicates, and the sqlxml
+// RunSpec is assembled. The returned string pointer receives the chosen
+// access path's EXPLAIN line. lenient skips the parameter-coverage check —
+// ExplainPlan renders unbound parameters as :name placeholders instead of
+// failing, since the plan's shape does not depend on the bound value.
+func (d *Database) runSpec(st *planState, ro runOptions, lenient bool) (*sqlxml.RunSpec, *string, error) {
+	if ro.err != nil {
+		return nil, nil, ro.err
+	}
+	var extras []relstore.Pred
+	for _, expr := range ro.whereExprs {
+		preds, err := xq2sql.ExtractWhere(st.view, expr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", ErrBadRunOption, err)
+		}
+		extras = append(extras, preds...)
+	}
+	// Validate raw column names that fell through view resolution: a typo
+	// should fail loudly here, not silently match nothing per SQL NULL
+	// semantics.
+	t := d.rel.Table(st.view.Table)
+	if t == nil {
+		return nil, nil, fmt.Errorf("xsltdb: view %q references unknown table %q: %w", st.view.Name, st.view.Table, ErrNoTable)
+	}
+	for _, p := range extras {
+		if _, ok := t.ColType(p.Col); !ok {
+			return nil, nil, fmt.Errorf("xsltdb: WithWhere: view %q exposes no column %q: %w", st.view.Name, p.Col, ErrBadRunOption)
+		}
+	}
+	// Validate parameter coverage of the DRIVING predicates up front: an
+	// unbound parameter would otherwise fail every strategy in the chain,
+	// counting three spurious failures against the plan's circuit breaker.
+	if !lenient {
+		var merged []relstore.Pred
+		if st.plan != nil {
+			merged = append(merged, st.plan.Where...)
+		}
+		merged = append(merged, extras...)
+		if _, err := relstore.BindPreds(merged, ro.params); err != nil {
+			return nil, nil, fmt.Errorf("xsltdb: %w", err)
+		}
+	}
+	access := new(string)
+	return &sqlxml.RunSpec{
+		Extra:      extras,
+		Params:     ro.params,
+		NoPushdown: ro.noPushdown,
+		AccessPath: access,
+	}, access, nil
+}
+
+// drivingWhere returns the compiled plan's driving predicates, which the
+// fallback strategies apply at view materialization so every strategy
+// produces the same row set as the SQL plan (cross-strategy consistency).
+func (st *planState) drivingWhere() []relstore.Pred {
+	if st.plan == nil {
+		return nil
+	}
+	return st.plan.Where
+}
+
+// bindEnv binds run parameters into an XQuery environment so the fallback
+// XQuery strategy sees the same $name values the SQL plan binds into its
+// predicates. (The no-rewrite interpreter has no parameter mechanism;
+// parameterized runs that degrade that far fail when the stylesheet actually
+// dereferences the variable.)
+func bindEnv(env *xquery.Env, params map[string]relstore.Value) *xquery.Env {
+	for name, v := range params {
+		env.Bind(name, xquery.Seq{xqueryItem(v)})
+	}
+	return env
+}
+
+func xqueryItem(v relstore.Value) xquery.Item {
+	switch x := v.(type) {
+	case int64:
+		return float64(x) // XQuery numbers are doubles
+	case float64:
+		return x
+	case string:
+		return x
+	}
+	return fmt.Sprint(v)
+}

@@ -27,6 +27,11 @@ type ExecStats struct {
 	// Recompiles counts automatic recompilations this run performed (0 or
 	// 1: a view redefinition since the last compilation).
 	Recompiles int64
+	// AccessPath is the EXPLAIN line of the driving access path this run
+	// chose — "INDEX PROBE t(col) col = v", "INDEX RANGE SCAN ...", or
+	// "TABLE SCAN ..." — "" when the run never planned a driving access
+	// (e.g. it failed before execution).
+	AccessPath string
 	// CompileWall is the wall time of the compile/recompile stage.
 	CompileWall time.Duration
 	// ExecWall is the wall time of the execution stage (for cursors: the
@@ -67,6 +72,9 @@ func (s ExecStats) String() string {
 		"rows=%d scanned=%d probes=%d range-scans=%d full-scans=%d emitted=%d recompiles=%d compile=%v exec=%v",
 		s.RowsProduced, s.RowsScanned, s.IndexProbes, s.RangeScans, s.FullScans,
 		s.RowsEmitted, s.Recompiles, s.CompileWall.Round(time.Microsecond), s.ExecWall.Round(time.Microsecond))
+	if s.AccessPath != "" {
+		line += fmt.Sprintf(" access=%q", s.AccessPath)
+	}
 	if s.Degradations > 0 || s.BreakerSkips > 0 || s.BreakerTrips > 0 || s.PanicsRecovered > 0 {
 		line += fmt.Sprintf(" strategy=%s degradations=%d breaker-skips=%d breaker-trips=%d panics=%d",
 			s.StrategyUsed, s.Degradations, s.BreakerSkips, s.BreakerTrips, s.PanicsRecovered)

@@ -39,10 +39,11 @@ func TestCursorMatchesRunAllStrategies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
-		want, err := ct.Run()
+		wantRes, err := ct.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
+		want := wantRes.Rows
 		cur, err := ct.OpenCursor(context.Background())
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
@@ -70,10 +71,11 @@ func TestCursorMatchesRunOuterPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ct.Run()
+	wantRes, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Rows
 	cur, err := ct.OpenCursor(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -106,10 +108,11 @@ func TestChainedCursorMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := chain.Run()
+	wantRes, err := chain.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	want := wantRes.Rows
 	cur, err := chain.OpenCursor(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -302,16 +305,16 @@ func TestFunctionalOptions(t *testing.T) {
 	if viaStruct.Strategy() != viaFuncs.Strategy() {
 		t.Fatalf("strategies differ: %v vs %v", viaStruct.Strategy(), viaFuncs.Strategy())
 	}
-	a, err := viaStruct.Run()
+	a, err := viaStruct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := viaFuncs.Run()
+	b, err := viaFuncs.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fmt.Sprint(a) != fmt.Sprint(b) {
-		t.Fatalf("outputs differ: %v vs %v", a, b)
+	if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+		t.Fatalf("outputs differ: %v vs %v", a.Rows, b.Rows)
 	}
 }
 
@@ -354,11 +357,11 @@ func TestPlanCacheHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	missesBefore := d.PlanCacheStats().CacheMisses
-	if _, err := ct.Run(); err != nil {
+	if _, err := ct.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if ct.Recompiles != 1 {
-		t.Fatalf("recompiles = %d", ct.Recompiles)
+	if ct.Recompiles() != 1 {
+		t.Fatalf("recompiles = %d", ct.Recompiles())
 	}
 	if s := d.PlanCacheStats(); s.CacheMisses != missesBefore+1 {
 		t.Fatalf("post-replace run should compile fresh: %+v", s)
@@ -439,7 +442,7 @@ func TestConcurrentRunAndReplace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 10; j++ {
-				if _, err := ct.Run(); err != nil {
+				if _, err := ct.Run(context.Background()); err != nil {
 					errs <- err
 					return
 				}
@@ -460,7 +463,7 @@ func TestConcurrentRunAndReplace(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if ct.Recompiles == 0 {
+	if ct.Recompiles() == 0 {
 		t.Fatal("at least one automatic recompilation expected")
 	}
 }

@@ -283,18 +283,37 @@ type CompiledTransform struct {
 	source   string
 	opts     CompileOptions
 
-	// mu guards state, FallbackReason and Recompiles across concurrent
+	// mu guards state, fallback and recompiles across concurrent
 	// Run/OpenCursor calls racing with automatic recompilation.
 	mu    sync.RWMutex
 	state *planState
 
-	// FallbackReason explains why a stronger strategy was not used. It is
-	// rewritten on automatic recompilation; concurrent readers should
-	// prefer the accessor methods.
-	FallbackReason string
-	// Recompiles counts automatic recompilations triggered by view
-	// redefinition.
-	Recompiles int
+	// fallback explains why a stronger strategy was not used; rewritten on
+	// automatic recompilation. Read it through FallbackReason().
+	fallback string
+	// recompiles counts automatic recompilations triggered by view
+	// redefinition. Read it through Recompiles().
+	recompiles int
+}
+
+// FallbackReason explains why a stronger strategy was not used ("" when the
+// compiled strategy is the strongest). It replaces the former exported field
+// of the same name, which was mutated by automatic recompilation and could
+// not be read safely while runs were in flight; the method reads under the
+// transform's lock.
+func (ct *CompiledTransform) FallbackReason() string {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.fallback
+}
+
+// Recompiles counts the automatic recompilations this transform performed
+// after view redefinitions (§7.3). Like FallbackReason, it replaces a
+// former exported mutable field with a lock-protected accessor.
+func (ct *CompiledTransform) Recompiles() int {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.recompiles
 }
 
 // CompileTransform compiles stylesheet text against the named view,
@@ -310,7 +329,7 @@ func (d *Database) CompileTransform(viewName, stylesheet string, opts ...Option)
 	}
 	return &CompiledTransform{
 		db: d, viewName: viewName, source: stylesheet, opts: co,
-		state: st, FallbackReason: st.fallback,
+		state: st, fallback: st.fallback,
 	}, nil
 }
 
@@ -421,8 +440,8 @@ func (ct *CompiledTransform) ensureFresh() (*planState, int, error) {
 		return nil, 0, fmt.Errorf("xsltdb: automatic recompilation after view change: %w", err)
 	}
 	ct.state = st
-	ct.Recompiles++
-	ct.FallbackReason = st.fallback
+	ct.recompiles++
+	ct.fallback = st.fallback
 	return st, 1, nil
 }
 
@@ -463,65 +482,103 @@ func (ct *CompiledTransform) SQL() string {
 }
 
 // ExplainPlan describes the physical access paths ("" unless StrategySQL).
-func (ct *CompiledTransform) ExplainPlan() string {
+// Run options refine the explanation: WithWhere predicates join the plan,
+// WithParam values substitute into bind variables (unbound parameters
+// render as :name — the plan's shape does not depend on the value), and
+// WithoutPushdown shows the full-scan baseline plan.
+func (ct *CompiledTransform) ExplainPlan(opts ...RunOption) string {
 	st := ct.snapshot()
 	if st.plan == nil {
 		return ""
 	}
-	return ct.db.exec.ExplainQuery(st.plan)
+	spec, _, err := ct.db.runSpec(st, buildRunOptions(opts), true)
+	if err != nil {
+		return "explain: " + err.Error()
+	}
+	return ct.db.exec.ExplainQuerySpec(st.plan, spec)
 }
 
-// Run executes the transformation for every view row and returns the
-// serialized results (one string per driving row). A transform whose view
-// was redefined since compilation recompiles automatically first (§7.3).
-func (ct *CompiledTransform) Run() ([]string, error) {
-	return ct.RunContext(context.Background())
-}
-
-// RunContext is Run under a caller context: cancellation (and the
-// transform's WithTimeout, if any) aborts the execution promptly with an
-// error satisfying both errors.Is(err, ErrCanceled) and errors.Is against
-// the underlying context error.
-func (ct *CompiledTransform) RunContext(ctx context.Context) ([]string, error) {
-	rows, _, err := ct.RunContextWithStats(ctx)
-	return rows, err
-}
-
-// RunWithStats is Run plus this run's ExecStats. The returned stats are
-// private to the call — concurrent runs never share a counter — and are
-// also merged into the database-wide aggregate read by Database.Stats.
-func (ct *CompiledTransform) RunWithStats() ([]string, *ExecStats, error) {
-	return ct.RunContextWithStats(context.Background())
-}
-
-// RunContextWithStats is RunContext plus this run's ExecStats. On error the
-// stats are still returned: they describe the work done up to the failure,
-// including any degradation, breaker activity, and recovered panics.
-func (ct *CompiledTransform) RunContextWithStats(ctx context.Context) ([]string, *ExecStats, error) {
+// Run executes the transformation — one serialized result per qualifying
+// driving row — and returns the rows together with this run's private
+// ExecStats. It is the single execution entry point: the context governs
+// cancellation (plus the transform's WithTimeout, if any), and RunOptions
+// parameterize the compiled plan without recompiling it — WithParam binds
+// variables, WithWhere adds driving predicates (pushed down to index
+// probes when possible), WithoutPushdown forces the full-scan baseline.
+//
+// A transform whose view was redefined since compilation recompiles
+// automatically first (§7.3). On a run-stage error the returned Result is
+// still non-nil: its Stats describe the work done up to the failure,
+// including degradations, breaker activity, and recovered panics.
+func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := time.Now()
 	st, recompiled, err := ct.ensureFresh()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	spec, access, err := ct.db.runSpec(st, buildRunOptions(opts), false)
+	if err != nil {
+		return nil, err
 	}
 	if ct.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, ct.opts.Timeout)
 		defer cancel()
 	}
-	es := &ExecStats{Recompiles: int64(recompiled), CompileWall: time.Since(start)}
+	res := &Result{Stats: ExecStats{Recompiles: int64(recompiled), CompileWall: time.Since(start)}}
+	es := &res.Stats
 	var sink relstore.Stats
-	rows, err := ct.db.runGoverned(ctx, st, ct.opts, &sink, es)
+	rows, err := ct.db.runGoverned(ctx, st, ct.opts, spec, &sink, es)
 	es.ExecWall = time.Since(start) - es.CompileWall
 	es.mergeSink(sink.Snapshot())
 	es.RowsProduced = int64(len(rows))
+	es.AccessPath = *access
 	ct.db.exec.AddStats(&sink)
+	res.Rows = rows
 	if err != nil {
-		return nil, es, err
+		res.Rows = nil
+		return res, err
 	}
-	return rows, es, nil
+	return res, nil
+}
+
+// RunContext executes for every view row and returns the serialized rows.
+//
+// Deprecated: use Run(ctx) — it returns the same rows plus ExecStats in one
+// call. RunContext remains as a shim over Run.
+func (ct *CompiledTransform) RunContext(ctx context.Context) ([]string, error) {
+	res, err := ct.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// RunWithStats is Run without a context, returning rows and stats
+// separately.
+//
+// Deprecated: use Run(context.Background()). RunWithStats remains as a shim
+// over Run.
+func (ct *CompiledTransform) RunWithStats() ([]string, *ExecStats, error) {
+	return ct.RunContextWithStats(context.Background())
+}
+
+// RunContextWithStats is RunContext plus this run's ExecStats.
+//
+// Deprecated: use Run(ctx) — Result carries both rows and stats.
+// RunContextWithStats remains as a shim over Run.
+func (ct *CompiledTransform) RunContextWithStats(ctx context.Context) ([]string, *ExecStats, error) {
+	res, err := ct.Run(ctx)
+	if res == nil {
+		return nil, nil, err
+	}
+	if err != nil {
+		return nil, &res.Stats, err
+	}
+	return res.Rows, &res.Stats, nil
 }
 
 // runGoverned walks the plan's degradation chain: each strategy is skipped
@@ -531,7 +588,7 @@ func (ct *CompiledTransform) RunContextWithStats(ctx context.Context) ([]string,
 // falls through to the next strategy. Governance verdicts — cancellation,
 // resource limits, recursion limits — are final: retrying cannot help, so
 // they return immediately and do not count against the breaker.
-func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileOptions, sink *relstore.Stats, es *ExecStats) ([]string, error) {
+func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, es *ExecStats) ([]string, error) {
 	chain := st.chain(opts)
 	var lastErr error
 	for i, s := range chain {
@@ -541,7 +598,7 @@ func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileO
 			continue
 		}
 		g := governor.New(ctx).Limits(opts.MaxRows, opts.MaxOutputBytes, opts.MaxRecursionDepth)
-		rows, err := d.runStrategy(s, st, opts, sink, g)
+		rows, err := d.runStrategy(s, st, opts, spec, sink, g)
 		if err == nil {
 			st.brk.success(s)
 			es.StrategyUsed = s
@@ -565,10 +622,14 @@ func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileO
 }
 
 // runStrategy executes one strategy of a compiled state under governor g,
-// with counters routed to sink. Engine panics are contained here — at the
-// strategy boundary — so a panicking strategy degrades like any other
-// failure instead of crashing the caller.
-func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, sink *relstore.Stats, g *governor.G) (out []string, err error) {
+// with counters routed to sink and the run's spec applied: the SQL plan
+// binds parameters and extra predicates into its access path; the fallback
+// strategies apply the same driving predicates at view materialization (so
+// every strategy selects the same rows) and bind the parameters into the
+// XQuery environment. Engine panics are contained here — at the strategy
+// boundary — so a panicking strategy degrades like any other failure
+// instead of crashing the caller.
+func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, g *governor.G) (out []string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, fmt.Errorf("xsltdb: %s: %w", s, &InternalError{Panic: r, Stack: debug.Stack()})
@@ -590,7 +651,7 @@ func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, s
 
 	switch s {
 	case StrategySQL:
-		docs, err := d.exec.ExecQueryParallelGoverned(st.plan, opts.Parallelism, sink, g)
+		docs, err := d.exec.ExecQueryParallelSpec(st.plan, opts.Parallelism, sink, g, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -604,13 +665,14 @@ func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, s
 		return out, nil
 
 	case StrategyXQuery:
-		rows, err := d.exec.MaterializeViewGoverned(st.view, sink, g)
+		rows, err := d.exec.MaterializeViewSpec(st.view, st.drivingWhere(), sink, g, spec)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]string, len(rows))
 		for i, row := range rows {
-			seq, err := xquery.EvalModule(st.rewrite.Module, xquery.NewEnv(xquery.Item(row)).Govern(g))
+			env := bindEnv(xquery.NewEnv(xquery.Item(row)), spec.Params)
+			seq, err := xquery.EvalModule(st.rewrite.Module, env.Govern(g))
 			if err != nil {
 				return nil, fmt.Errorf("xsltdb: row %d: %w", i, err)
 			}
@@ -622,7 +684,7 @@ func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, s
 		return out, nil
 
 	default: // StrategyNoRewrite
-		rows, err := d.exec.MaterializeViewGoverned(st.view, sink, g)
+		rows, err := d.exec.MaterializeViewSpec(st.view, st.drivingWhere(), sink, g, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -770,25 +832,54 @@ func applyStages(stages []chainStage, row string, g *governor.G) (string, error)
 	return row, nil
 }
 
-// Run executes the pipeline for every view row.
-func (c *ChainedTransform) Run() ([]string, error) {
-	return c.RunContext(context.Background())
+// Run executes the pipeline for every view row: the first stage runs with
+// the given RunOptions, then each row flows through every chained stage.
+// The chained stages honor the FIRST stage's full governance options — not
+// just its recursion bound: MaxRows and MaxOutputBytes are enforced against
+// the pipeline's final rows (a chained stage can expand its input, so
+// charging only the first stage would let the pipeline overshoot the
+// caller's budget), and WithTimeout covers the chained processing too.
+func (c *ChainedTransform) Run(ctx context.Context, opts ...RunOption) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fo := c.first.opts
+	if fo.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, fo.Timeout)
+		defer cancel()
+	}
+	res, err := c.first.Run(ctx, opts...)
+	if err != nil {
+		return res, err
+	}
+	g := governor.New(ctx).Limits(fo.MaxRows, fo.MaxOutputBytes, fo.MaxRecursionDepth)
+	for i, row := range res.Rows {
+		out, err := applyStages(c.stages, row, g)
+		if err != nil {
+			res.Rows = nil
+			return res, err
+		}
+		if err := g.AddRow(); err != nil {
+			res.Rows = nil
+			return res, err
+		}
+		if err := g.AddOutput(len(out)); err != nil {
+			res.Rows = nil
+			return res, err
+		}
+		res.Rows[i] = out
+	}
+	return res, nil
 }
 
-// RunContext is Run under a caller context; cancellation aborts both the
-// first stage and the chained stages.
+// RunContext executes the pipeline and returns the serialized rows.
+//
+// Deprecated: use Run(ctx) — it returns the same rows plus ExecStats.
 func (c *ChainedTransform) RunContext(ctx context.Context) ([]string, error) {
-	rows, err := c.first.RunContext(ctx)
+	res, err := c.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-	g := governor.New(ctx).Limits(0, 0, c.first.opts.MaxRecursionDepth)
-	for i, row := range rows {
-		out, err := applyStages(c.stages, row, g)
-		if err != nil {
-			return nil, err
-		}
-		rows[i] = out
-	}
-	return rows, nil
+	return res.Rows, nil
 }

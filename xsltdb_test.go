@@ -1,6 +1,7 @@
 package xsltdb
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -37,7 +38,7 @@ func TestCompileTransformFullPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	if ct.Strategy() != StrategySQL {
-		t.Fatalf("strategy = %v (%s)", ct.Strategy(), ct.FallbackReason)
+		t.Fatalf("strategy = %v (%s)", ct.Strategy(), ct.FallbackReason())
 	}
 	if !ct.Inlined() {
 		t.Fatal("example 1 should fully inline")
@@ -52,10 +53,11 @@ func TestCompileTransformFullPipeline(t *testing.T) {
 		t.Fatal("XQuery text missing")
 	}
 
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := res.Rows
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -80,11 +82,11 @@ func TestStrategiesAgree(t *testing.T) {
 		if ct.Strategy() != s {
 			t.Fatalf("forced %v, got %v", s, ct.Strategy())
 		}
-		rows, err := ct.Run()
+		res, err := ct.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
-		outputs[i] = rows
+		outputs[i] = res.Rows
 	}
 	for i := 1; i < 3; i++ {
 		if len(outputs[i]) != len(outputs[0]) {
@@ -108,15 +110,16 @@ func TestExample2OuterPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	if ct.Strategy() != StrategySQL {
-		t.Fatalf("combined optimisation should reach SQL: %s", ct.FallbackReason)
+		t.Fatalf("combined optimisation should reach SQL: %s", ct.FallbackReason())
 	}
 	if strings.Contains(ct.SQL(), "H1") {
 		t.Fatal("outer path should prune the headers (Table 11)")
 	}
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := res.Rows
 	if nows(rows[0]) != "<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>" {
 		t.Fatalf("row 0 = %s", rows[0])
 	}
@@ -141,13 +144,14 @@ func TestFallbackChain(t *testing.T) {
 	if ct.Strategy() != StrategyXQuery {
 		t.Fatalf("expected XQuery fallback, got %v", ct.Strategy())
 	}
-	if ct.FallbackReason == "" {
+	if ct.FallbackReason() == "" {
 		t.Fatal("fallback reason missing")
 	}
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := res.Rows
 	if nows(rows[0]) != "<acc/>" || nows(rows[1]) != "<other/>" {
 		t.Fatalf("fallback output wrong: %v", rows)
 	}
@@ -235,7 +239,7 @@ func TestStatsExposed(t *testing.T) {
 	_ = d.CreateIndex("emp", "deptno")
 	ct, _ := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{})
 	before := d.Stats().IndexProbes
-	if _, err := ct.Run(); err != nil {
+	if _, err := ct.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if d.Stats().IndexProbes == before {
@@ -255,10 +259,11 @@ func TestSchemaEvolutionRecompile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := res.Rows
 	// The original view has no <city>; value-of yields "".
 	if nows(rows[0]) != "<out>ACCOUNTING|</out>" {
 		t.Fatalf("pre-evolution row = %q", rows[0])
@@ -278,22 +283,23 @@ func TestSchemaEvolutionRecompile(t *testing.T) {
 	}
 
 	// The SAME compiled transform recompiles automatically on next Run.
-	rows, err = ct.Run()
+	res, err = ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows = res.Rows
 	if nows(rows[0]) != "<out>ACCOUNTING|NEW YORK</out>" {
 		t.Fatalf("post-evolution row = %q", rows[0])
 	}
-	if ct.Recompiles != 1 {
-		t.Fatalf("recompiles = %d", ct.Recompiles)
+	if ct.Recompiles() != 1 {
+		t.Fatalf("recompiles = %d", ct.Recompiles())
 	}
 	// Stable afterwards: no further recompilation.
-	if _, err := ct.Run(); err != nil {
+	if _, err := ct.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if ct.Recompiles != 1 {
-		t.Fatalf("unexpected extra recompilation: %d", ct.Recompiles)
+	if ct.Recompiles() != 1 {
+		t.Fatalf("unexpected extra recompilation: %d", ct.Recompiles())
 	}
 	// Replacing an unknown view errors.
 	if err := d.ReplaceXMLView(&ViewDef{Name: "nope", Table: "dept"}); err == nil {
@@ -317,13 +323,14 @@ func TestKeyFunctionFallsBack(t *testing.T) {
 	if ct.Strategy() != StrategyNoRewrite {
 		t.Fatalf("key() should force the functional baseline, got %v", ct.Strategy())
 	}
-	if ct.FallbackReason == "" {
+	if ct.FallbackReason() == "" {
 		t.Fatal("fallback reason missing")
 	}
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := res.Rows
 	if nows(rows[0]) != "<n>1</n>" || nows(rows[1]) != "<n>0</n>" {
 		t.Fatalf("key fallback output wrong: %v", rows)
 	}
@@ -339,14 +346,15 @@ func TestParallelStrategyAgrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := serial.Run()
+	ra, err := serial.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := par.Run()
+	rb, err := par.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	a, b := ra.Rows, rb.Rows
 	if len(a) != len(b) {
 		t.Fatal("row counts differ")
 	}
@@ -379,13 +387,14 @@ func TestMixedContentViewFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ct.Strategy() != StrategyNoRewrite || ct.FallbackReason == "" {
-		t.Fatalf("expected no-rewrite fallback, got %v (%s)", ct.Strategy(), ct.FallbackReason)
+	if ct.Strategy() != StrategyNoRewrite || ct.FallbackReason() == "" {
+		t.Fatalf("expected no-rewrite fallback, got %v (%s)", ct.Strategy(), ct.FallbackReason())
 	}
-	rows, err := ct.Run()
+	res, err := ct.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := res.Rows
 	if nows(rows[0]) != "<out>hello world</out>" {
 		t.Fatalf("fallback output = %q", rows[0])
 	}
@@ -416,10 +425,11 @@ func TestChainedTransform(t *testing.T) {
 	if rewritten != 1 || interpreted != 0 {
 		t.Fatalf("stage 2 should be rewritten: %d/%d", rewritten, interpreted)
 	}
-	rows, err := chain.Run()
+	cres, err := chain.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := cres.Rows
 	if nows(rows[0]) != `<rich n="1"/>` || nows(rows[1]) != `<rich n="1"/>` {
 		t.Fatalf("chain output = %v", rows)
 	}
@@ -456,7 +466,7 @@ func TestConcurrentCompileAndRun(t *testing.T) {
 				return
 			}
 			for j := 0; j < 5; j++ {
-				if _, err := ct.Run(); err != nil {
+				if _, err := ct.Run(context.Background()); err != nil {
 					errs <- err
 					return
 				}
