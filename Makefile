@@ -6,12 +6,13 @@
 #   make faults   the fault-injection and robustness tests, under -race
 #   make bench    the paper-evaluation benchmarks
 #   make bench-json  pushdown speedup measurements -> BENCH_pushdown.json
+#   make bench-obs   observability overhead guard  -> BENCH_obs.json
 #   make demo     paper Examples 1 and 2 end to end, streamed with stats
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: verify test vet race fuzz faults bench bench-json demo
+.PHONY: verify test vet race fuzz faults bench bench-json bench-obs demo
 
 verify: test vet race fuzz faults
 
@@ -45,6 +46,13 @@ bench:
 # through the public Run API, written to BENCH_pushdown.json.
 bench-json:
 	$(GO) run ./cmd/xsltbench -pushdown -json BENCH_pushdown.json
+
+# Observability overhead guard: nil-trace fast path must stay under 2%
+# estimated overhead (exits non-zero otherwise); also runs the span-op
+# microbenchmarks in internal/obs. Artifact: BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/xsltbench -obs-overhead
+	$(GO) test -bench 'BenchmarkNilSpanOps|BenchmarkTracedSpanOps' -benchmem -run xxx ./internal/obs
 
 demo:
 	$(GO) run ./cmd/xsltdb demo -stream -stats

@@ -34,6 +34,23 @@ type breakerCell struct {
 	trips       int64
 }
 
+// state renders strategy s's cell for trace attributes: "closed",
+// "open" (still consuming cooldown skips), or "half-open" (the next
+// attempt through is the probe).
+func (b *breaker) state(s Strategy) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cells[s]
+	switch {
+	case !c.open:
+		return "closed"
+	case c.skipsLeft <= 0:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
 // allow reports whether strategy s should be attempted now. While open it
 // consumes one cooldown skip per call; once the cooldown is spent the call
 // is allowed as a half-open probe.

@@ -10,6 +10,14 @@
 // -json writes the -pushdown measurements to the given file as JSON
 // (the `make bench-json` artifact).
 //
+// -obs-overhead measures the observability layer's cost — the nil-trace
+// fast path versus a run with an attached trace — and writes BENCH_obs.json
+// (the `make bench-obs` artifact); it exits non-zero if the estimated
+// nil-trace overhead reaches 2%.
+//
+// -trace-out FILE captures the slowest traced run the tool performed and
+// writes its full trace as JSON to FILE.
+//
 // -stream executes the rewrite path through the streaming cursor (one row
 // pulled at a time) instead of materializing the result set; -stats prints
 // the physical operator counters of each configuration's last run.
@@ -31,6 +39,7 @@ import (
 	"repro/internal/clobstore"
 	"repro/internal/core"
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
 	"repro/internal/xq2sql"
@@ -45,11 +54,13 @@ func main() {
 	storage := flag.Bool("storage", false, "print the §7.4 storage-model comparison")
 	push := flag.Bool("pushdown", false, "measure index-probe pushdown vs the full-scan baseline")
 	jsonPath := flag.String("json", "", "write the -pushdown measurements to this file as JSON")
+	obsOver := flag.Bool("obs-overhead", false, "measure tracing overhead (nil-trace fast path vs attached trace), write BENCH_obs.json")
 	all := flag.Bool("all", false, "run every experiment")
 	reps := flag.Int("reps", 5, "repetitions per configuration (median reported)")
 	scale := flag.Int("scale", 1, "multiply workload sizes by this factor")
 	flag.BoolVar(&streamMode, "stream", false, "run the rewrite path through a streaming cursor")
 	flag.BoolVar(&statsMode, "stats", false, "print physical operator counters per configuration")
+	flag.StringVar(&traceOutPath, "trace-out", "", "write the slowest traced run's trace JSON to this file")
 	flag.DurationVar(&timeoutFlag, "timeout", 0, "abort any single measured run after this long (0 = no timeout)")
 	flag.Int64Var(&maxRowsFlag, "max-rows", 0, "abort a run that produces more than n result rows (0 = unlimited)")
 	flag.Parse()
@@ -75,10 +86,47 @@ func main() {
 		pushdown(*reps, *scale, *jsonPath)
 		ran = true
 	}
+	if *all || *obsOver {
+		obsOverhead(*reps, *scale)
+		ran = true
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+	writeTraceOut()
+}
+
+// traceOutPath is the -trace-out flag; the slowest traced run the tool
+// performs (across every mode) has its trace JSON captured for it.
+var (
+	traceOutPath     string
+	slowestTraceNS   int64
+	slowestTraceJSON []byte
+)
+
+// recordSlowest keeps the trace JSON of the slowest traced run so far.
+func recordSlowest(wall time.Duration, tr *obs.Trace) {
+	if traceOutPath == "" || wall.Nanoseconds() <= slowestTraceNS {
+		return
+	}
+	if b, err := tr.JSON(); err == nil {
+		slowestTraceNS = wall.Nanoseconds()
+		slowestTraceJSON = b
+	}
+}
+
+// writeTraceOut flushes the slowest captured trace to -trace-out.
+func writeTraceOut() {
+	if traceOutPath == "" {
+		return
+	}
+	if slowestTraceJSON == nil {
+		fmt.Fprintln(os.Stderr, "-trace-out: no traced run was performed (use -pushdown or -obs-overhead)")
+		os.Exit(1)
+	}
+	check(os.WriteFile(traceOutPath, append(slowestTraceJSON, '\n'), 0o644))
+	fmt.Printf("wrote %s (slowest traced run: %v)\n", traceOutPath, time.Duration(slowestTraceNS))
 }
 
 // streamMode/statsMode are the -stream/-stats flags; timeoutFlag/maxRowsFlag
@@ -375,31 +423,8 @@ func pushdown(reps, scale int, jsonPath string) {
 	}
 	var out []measurement
 
-	const sheet = `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
-	<xsl:template match="row"><hit><xsl:value-of select="name"/></hit></xsl:template>
-</xsl:stylesheet>`
 	for _, n := range []int{10_000 * scale, 100_000 * scale} {
-		db := xsltdb.NewDatabase()
-		check(db.CreateTable("row",
-			xsltdb.TableColumn{Name: "id", Type: xsltdb.IntCol},
-			xsltdb.TableColumn{Name: "name", Type: xsltdb.StringCol}))
-		for i := 0; i < n; i++ {
-			check(db.Insert("row", int64(i), fmt.Sprintf("name-%d", i)))
-		}
-		check(db.CreateIndex("row", "id"))
-		check(db.CreateXMLView(&xsltdb.ViewDef{
-			Name:  "rows",
-			Table: "row",
-			Body: &xsltdb.XMLElement{
-				Name:  "row",
-				Attrs: []xsltdb.XMLAttr{{Name: "id", Value: &xsltdb.XMLColumn{Name: "id"}}},
-				Children: []xsltdb.XMLExpr{
-					&xsltdb.XMLElement{Name: "name", Children: []xsltdb.XMLExpr{&xsltdb.XMLColumn{Name: "name"}}},
-				},
-			},
-		}))
-		ct, err := db.CompileTransform("rows", sheet)
-		check(err)
+		ct := keyedLookupTransform(n)
 
 		key := 0
 		lookup := func(extra ...xsltdb.RunOption) func() error {
@@ -421,10 +446,11 @@ func pushdown(reps, scale int, jsonPath string) {
 		probe := median(reps, lookup())
 		scan := median(reps, lookup(xsltdb.WithoutPushdown()))
 
-		// One run of each flavor for the reported access path and scan work.
-		probeRes, err := ct.Run(context.Background(), xsltdb.WithWhere("@id = 1"))
+		// One traced run of each flavor for the reported access path and scan
+		// work (these also feed -trace-out).
+		probeRes, err := tracedRun(ct, xsltdb.WithWhere("@id = 1"))
 		check(err)
-		scanRes, err := ct.Run(context.Background(), xsltdb.WithWhere("@id = 1"), xsltdb.WithoutPushdown())
+		scanRes, err := tracedRun(ct, xsltdb.WithWhere("@id = 1"), xsltdb.WithoutPushdown())
 		check(err)
 
 		m := measurement{
@@ -447,6 +473,183 @@ func pushdown(reps, scale int, jsonPath string) {
 		check(os.WriteFile(jsonPath, append(b, '\n'), 0o644))
 		fmt.Printf("wrote %s\n\n", jsonPath)
 	}
+}
+
+// keyedLookupTransform builds the pushdown workload: an n-row table with an
+// index on id behind a one-element-per-row view, and a one-template lookup
+// stylesheet compiled against it.
+func keyedLookupTransform(n int) *xsltdb.CompiledTransform {
+	const sheet = `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+	<xsl:template match="row"><hit><xsl:value-of select="name"/></hit></xsl:template>
+</xsl:stylesheet>`
+	db := xsltdb.NewDatabase()
+	check(db.CreateTable("row",
+		xsltdb.TableColumn{Name: "id", Type: xsltdb.IntCol},
+		xsltdb.TableColumn{Name: "name", Type: xsltdb.StringCol}))
+	for i := 0; i < n; i++ {
+		check(db.Insert("row", int64(i), fmt.Sprintf("name-%d", i)))
+	}
+	check(db.CreateIndex("row", "id"))
+	check(db.CreateXMLView(&xsltdb.ViewDef{
+		Name:  "rows",
+		Table: "row",
+		Body: &xsltdb.XMLElement{
+			Name:  "row",
+			Attrs: []xsltdb.XMLAttr{{Name: "id", Value: &xsltdb.XMLColumn{Name: "id"}}},
+			Children: []xsltdb.XMLExpr{
+				&xsltdb.XMLElement{Name: "name", Children: []xsltdb.XMLExpr{&xsltdb.XMLColumn{Name: "name"}}},
+			},
+		},
+	}))
+	ct, err := db.CompileTransform("rows", sheet)
+	check(err)
+	return ct
+}
+
+// tracedRun executes one Run with a trace attached and offers it to the
+// -trace-out slowest-run capture.
+func tracedRun(ct *xsltdb.CompiledTransform, opts ...xsltdb.RunOption) (*xsltdb.Result, error) {
+	tr := obs.New()
+	defer tr.Release()
+	start := time.Now()
+	res, err := ct.Run(context.Background(), append(opts, xsltdb.WithTrace(tr))...)
+	recordSlowest(time.Since(start), tr)
+	return res, err
+}
+
+// countSpanOps estimates the number of instrumentation call sites one traced
+// run exercised: per span, its creation and End plus every Observe, rows
+// counter touch, and attribute. On the nil-trace fast path each of these ops
+// collapses to a nil check, so ops × nil-op cost bounds the fast path's
+// overhead.
+func countSpanOps(spans []obs.SpanJSON) int64 {
+	var n int64
+	for _, s := range spans {
+		n += 2 // Start + End/first-Observe
+		n += s.Count
+		if s.RowsIn > 0 {
+			n++
+		}
+		if s.RowsOut > 0 {
+			n++
+		}
+		n += int64(len(s.Attrs))
+		n += countSpanOps(s.Children)
+	}
+	return n
+}
+
+// obsOverhead measures what the observability layer costs: the nil-trace
+// fast path (no WithTrace — every span op is a nil check) versus a run with
+// an attached trace, over the indexed-lookup workload. The estimated
+// nil-trace overhead — span ops per run × measured nil-op cost, relative to
+// the untraced run — is the guard: ≥2% fails the run. Results are written to
+// BENCH_obs.json (`make bench-obs`).
+func obsOverhead(reps, scale int) {
+	fmt.Println("Observability overhead — nil-trace fast path vs attached trace (indexed lookup)")
+	n := 20_000 * scale
+	ct := keyedLookupTransform(n)
+
+	key := 0
+	run := func(opts ...xsltdb.RunOption) error {
+		key = (key*7919 + 1) % n
+		all := append([]xsltdb.RunOption{
+			xsltdb.WithWhere("@id = $key"), xsltdb.WithParam("key", key),
+		}, opts...)
+		res, err := ct.Run(context.Background(), all...)
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) != 1 {
+			return fmt.Errorf("lookup produced %d rows, want 1", len(res.Rows))
+		}
+		return nil
+	}
+
+	const batch = 500
+	untraced := median(reps, func() error {
+		for i := 0; i < batch; i++ {
+			if err := run(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var opsPerRun int64
+	traced := median(reps, func() error {
+		for i := 0; i < batch; i++ {
+			tr := obs.New()
+			start := time.Now()
+			if err := run(xsltdb.WithTrace(tr)); err != nil {
+				tr.Release()
+				return err
+			}
+			recordSlowest(time.Since(start), tr)
+			if opsPerRun == 0 {
+				opsPerRun = countSpanOps(tr.Export())
+			}
+			tr.Release()
+		}
+		return nil
+	})
+
+	// Cost of one span op on the nil fast path: method calls on a nil *Span
+	// reduce to a receiver nil check.
+	const nilIters = 1 << 21
+	var sp *obs.Span
+	nilStart := time.Now()
+	for i := 0; i < nilIters; i++ {
+		child := sp.Start("x")
+		child.ObserveSince(nilStart)
+		child.AddRowsOut(1)
+		child.End()
+	}
+	nilOpNS := float64(time.Since(nilStart).Nanoseconds()) / (nilIters * 4)
+
+	untracedRunNS := untraced.Nanoseconds() / batch
+	tracedRunNS := traced.Nanoseconds() / batch
+	tracedPct := (float64(tracedRunNS) - float64(untracedRunNS)) / float64(untracedRunNS) * 100
+	nilPct := float64(opsPerRun) * nilOpNS / float64(untracedRunNS) * 100
+
+	type obsMeasurement struct {
+		Rows                int     `json:"rows"`
+		UntracedRunNanos    int64   `json:"untraced_run_ns"`
+		TracedRunNanos      int64   `json:"traced_run_ns"`
+		TracedOverheadPct   float64 `json:"traced_overhead_pct"`
+		SpanOpsPerRun       int64   `json:"span_ops_per_run"`
+		NilSpanOpNanos      float64 `json:"nil_span_op_ns"`
+		NilTraceOverheadPct float64 `json:"nil_trace_overhead_pct"`
+		GuardMaxPct         float64 `json:"guard_max_pct"`
+		GuardOK             bool    `json:"guard_ok"`
+	}
+	m := obsMeasurement{
+		Rows:                n,
+		UntracedRunNanos:    untracedRunNS,
+		TracedRunNanos:      tracedRunNS,
+		TracedOverheadPct:   tracedPct,
+		SpanOpsPerRun:       opsPerRun,
+		NilSpanOpNanos:      nilOpNS,
+		NilTraceOverheadPct: nilPct,
+		GuardMaxPct:         2.0,
+		GuardOK:             nilPct < 2.0,
+	}
+	fmt.Printf("%-22s %-14s %-14s %-10s %s\n", "", "untraced", "traced", "overhead", "nil-path overhead (est)")
+	fmt.Printf("%-22s %-14s %-14s %-10s %.4f%% (%d ops × %.2fns/op)\n",
+		fmt.Sprintf("lookup n=%d", n),
+		time.Duration(untracedRunNS), time.Duration(tracedRunNS),
+		fmt.Sprintf("%.1f%%", tracedPct), nilPct, opsPerRun, nilOpNS)
+	fmt.Println()
+
+	b, err := json.MarshalIndent(m, "", "  ")
+	check(err)
+	check(os.WriteFile("BENCH_obs.json", append(b, '\n'), 0o644))
+	fmt.Println("wrote BENCH_obs.json")
+	if !m.GuardOK {
+		fmt.Fprintf(os.Stderr, "obs-overhead guard FAILED: estimated nil-trace overhead %.4f%% >= %.1f%%\n", nilPct, m.GuardMaxPct)
+		writeTraceOut()
+		os.Exit(1)
+	}
+	fmt.Println()
 }
 
 // check aborts the benchmark on a setup error.

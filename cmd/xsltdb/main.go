@@ -6,16 +6,22 @@
 //	xsltdb rewrite -xsl sheet.xsl -schema schema.txt [-show xquery|notes]
 //	    compile a stylesheet to XQuery via partial evaluation (§3-4)
 //
-//	xsltdb demo [-stream] [-stats] [-timeout d] [-max-rows n]
+//	xsltdb demo [-stream] [-stats] [-analyze] [-timeout d] [-max-rows n]
 //	           [-where expr] [-param name=value] [-no-pushdown]
+//	           [-metrics-addr host:port]
 //	    run the paper's Example 1 and Example 2 end to end, printing the
 //	    intermediate XQuery (Table 8), the SQL/XML plan (Tables 7/11) and
 //	    the physical access paths; -stream pulls rows through a Cursor
 //	    instead of materializing, -stats prints per-run ExecStats and the
-//	    plan-cache counters, -timeout and -max-rows govern each execution;
+//	    plan-cache counters, -analyze additionally runs EXPLAIN ANALYZE
+//	    and prints the operator tree with actual rows and timings,
+//	    -timeout and -max-rows govern each execution;
 //	    -where adds a driving predicate ("deptno = 10", "@id = $id";
 //	    repeatable), -param binds a $variable for this run (repeatable),
-//	    -no-pushdown forces the full-scan baseline access path
+//	    -no-pushdown forces the full-scan baseline access path;
+//	    -metrics-addr serves the process metrics in Prometheus text format
+//	    at http://host:port/metrics and keeps the process alive after the
+//	    demo so the endpoint can be scraped
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -154,6 +161,8 @@ func cmdDemo(args []string) {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	stream := fs.Bool("stream", false, "pull result rows through a streaming cursor instead of materializing")
 	stats := fs.Bool("stats", false, "print per-run execution statistics and plan-cache counters")
+	analyze := fs.Bool("analyze", false, "run EXPLAIN ANALYZE and print the operator tree with actuals")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics at http://host:port/metrics and stay alive after the demo")
 	timeout := fs.Duration("timeout", 0, "abort each execution after this long (0 = no timeout)")
 	maxRows := fs.Int64("max-rows", 0, "abort an execution that produces more than n result rows (0 = unlimited)")
 	var wheres, params multiFlag
@@ -165,6 +174,17 @@ func cmdDemo(args []string) {
 	runOpts, err := runOptions(wheres, params, *noPushdown)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", xsltdb.MetricsRegistry().Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fatal(err)
+			}
+		}()
+		fmt.Printf("serving metrics at http://%s/metrics\n\n", *metricsAddr)
 	}
 
 	db := xsltdb.NewDatabase()
@@ -203,6 +223,7 @@ func cmdDemo(args []string) {
 	fmt.Println("-- result rows (paper Table 6) --")
 	demoRun(ct, *stream, *stats, runOpts)
 	fmt.Println()
+	demoAnalyze(ct, *analyze, runOpts)
 
 	fmt.Println("== Example 2: XQuery over the XSLT view (combined optimisation) ==")
 	ct2, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet,
@@ -214,11 +235,31 @@ func cmdDemo(args []string) {
 	fmt.Println(ct2.SQL())
 	fmt.Println()
 	demoRun(ct2, *stream, *stats, runOpts)
+	demoAnalyze(ct2, *analyze, runOpts)
 
 	if *stats {
 		pc := db.PlanCacheStats()
 		fmt.Printf("\n-- plan cache --\nhits=%d misses=%d entries=%d\n", pc.CacheHits, pc.CacheMisses, pc.Entries)
 	}
+
+	if *metricsAddr != "" {
+		fmt.Printf("\ndemo complete; still serving http://%s/metrics (interrupt to exit)\n", *metricsAddr)
+		select {}
+	}
+}
+
+// demoAnalyze runs the transform once more under EXPLAIN ANALYZE and prints
+// the operator tree with actual rows and timings next to the estimates.
+func demoAnalyze(ct *xsltdb.CompiledTransform, analyze bool, runOpts []xsltdb.RunOption) {
+	if !analyze {
+		return
+	}
+	out, err := ct.ExplainAnalyze(context.Background(), runOpts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("-- EXPLAIN ANALYZE --")
+	fmt.Println(out)
 }
 
 // governOptions turns the -timeout / -max-rows flags into compile options.

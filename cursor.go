@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
 	"repro/internal/xquery"
@@ -54,6 +55,18 @@ type Cursor struct {
 	spec       *sqlxml.RunSpec
 	accessPath string
 
+	// Observability: trace is the run's trace (the caller's WithTrace, or
+	// the cursor's own when only a slow threshold demanded one), root the
+	// cursor-lifetime span, attempt the winning strategy's span. slowTh and
+	// slowSink are copied from the transform's options at open time.
+	trace    *obs.Trace
+	ownTrace bool
+	root     *obs.Span
+	attempt  *obs.Span
+	viewName string
+	slowTh   time.Duration
+	slowSink func(SlowRun)
+
 	mu           sync.Mutex
 	sink         relstore.Stats
 	rowsProduced int64
@@ -87,13 +100,38 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ro := buildRunOptions(opts)
+	tr := ro.trace
+	ownTrace := false
+	if tr == nil && ct.opts.SlowThreshold > 0 && ct.opts.SlowSink != nil {
+		tr = obs.New()
+		ownTrace = true
+	}
+	releaseTrace := func() {
+		if ownTrace {
+			tr.Release()
+		}
+	}
+
 	start := time.Now()
-	st, recompiled, err := ct.ensureFresh()
+	root := tr.Start("cursor")
+	if root != nil {
+		root.SetAttr("view", ct.viewName)
+	}
+	compileSp := root.Start("compile")
+	st, recompiled, err := ct.ensureFresh(compileSp)
+	compileSp.End()
 	if err != nil {
+		root.Fail(err)
+		root.End()
+		releaseTrace()
 		return nil, err
 	}
-	spec, access, err := ct.db.runSpec(st, buildRunOptions(opts), false)
+	spec, access, err := ct.db.runSpec(st, ro, false)
 	if err != nil {
+		root.Fail(err)
+		root.End()
+		releaseTrace()
 		return nil, err
 	}
 
@@ -108,6 +146,8 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 		ctx: ctx, cancel: cancel, db: ct.db, gov: g, brk: st.brk,
 		spec:       spec,
 		recompiles: int64(recompiled), compileWall: time.Since(start),
+		trace: tr, ownTrace: ownTrace, root: root,
+		viewName: ct.viewName, slowTh: ct.opts.SlowThreshold, slowSink: ct.opts.SlowSink,
 	}
 
 	chain := st.chain(ct.opts)
@@ -116,17 +156,37 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 		last := i == len(chain)-1
 		if !last && !st.brk.allow(s) {
 			c.breakerSkips++
+			if root != nil {
+				sk := root.Start(s.String())
+				sk.SetAttr("breaker", "open")
+				sk.SetAttr("skipped", "true")
+				sk.End()
+			}
 			continue
 		}
+		attempt := root.Start(s.String())
+		if attempt != nil {
+			if bs := st.brk.state(s); bs != "closed" {
+				attempt.SetAttr("breaker", bs)
+			}
+		}
+		c.spec.Span = attempt
 		pull, err := c.openStrategy(st, s, ct.opts)
 		if err == nil {
 			c.strategy = s
+			c.attempt = attempt
 			c.accessPath = *access
 			c.pull = c.governed(pull)
+			mActiveCursors.Inc()
 			return c, nil
 		}
+		attempt.Fail(err)
+		attempt.End()
 		if governor.IsGovernance(err) {
 			cancel()
+			root.Fail(err)
+			root.End()
+			releaseTrace()
 			return nil, err
 		}
 		if st.brk.failure(s) {
@@ -135,9 +195,16 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 		lastErr = err
 		if !last {
 			c.degradations++
+			if root != nil {
+				root.SetAttr("degraded_from", s.String())
+				root.SetAttr("degradation_reason", err.Error())
+			}
 		}
 	}
 	cancel()
+	root.Fail(lastErr)
+	root.End()
+	releaseTrace()
 	return nil, lastErr
 }
 
@@ -157,18 +224,31 @@ func (c *Cursor) openStrategy(st *planState, s Strategy, opts CompileOptions) (p
 		if err != nil {
 			return nil, err
 		}
+		serSp := c.spec.Span.Start("serialize")
 		return func() (string, error) {
 			doc, err := qc.Next()
 			if err != nil {
 				return "", err
 			}
-			return serialize(doc), nil
+			if serSp == nil {
+				return serialize(doc), nil
+			}
+			start := time.Now()
+			out := serialize(doc)
+			serSp.ObserveSince(start)
+			serSp.AddRowsOut(1)
+			return out, nil
 		}, nil
 
 	case StrategyXQuery:
 		vc, err := c.db.exec.OpenViewCursorSpec(st.view, st.drivingWhere(), &c.sink, c.gov, c.spec)
 		if err != nil {
 			return nil, err
+		}
+		evalSp := c.spec.Span.Start("xquery-eval")
+		var meter *xquery.EvalStats
+		if evalSp != nil {
+			meter = new(xquery.EvalStats)
 		}
 		module := st.rewrite.Module
 		params := c.spec.Params
@@ -178,13 +258,24 @@ func (c *Cursor) openStrategy(st *planState, s Strategy, opts CompileOptions) (p
 			if err != nil {
 				return "", err
 			}
+			var start time.Time
+			if evalSp != nil {
+				start = time.Now()
+			}
 			env := bindEnv(xquery.NewEnv(xquery.Item(doc)), params)
-			seq, err := xquery.EvalModule(module, env.Govern(c.gov))
+			seq, err := xquery.EvalModule(module, env.Govern(c.gov).Meter(meter))
 			if err != nil {
+				evalSp.Fail(err)
 				return "", fmt.Errorf("xsltdb: row %d: %w", row, err)
 			}
 			row++
-			return xquery.SerializeSeq(seq), nil
+			out := xquery.SerializeSeq(seq)
+			if evalSp != nil {
+				evalSp.ObserveSince(start)
+				evalSp.AddRowsOut(1)
+				evalSp.SetAttr("eval_steps", meter.Steps.Load())
+			}
+			return out, nil
 		}, nil
 
 	default: // StrategyNoRewrite
@@ -193,17 +284,28 @@ func (c *Cursor) openStrategy(st *planState, s Strategy, opts CompileOptions) (p
 			return nil, err
 		}
 		eng := xslt.New(st.sheet).Govern(c.gov)
+		interpSp := c.spec.Span.Start("xslt-interpret")
 		row := 0
 		return func() (string, error) {
 			doc, err := vc.Next()
 			if err != nil {
 				return "", err
 			}
+			var start time.Time
+			if interpSp != nil {
+				start = time.Now()
+			}
 			s, err := eng.TransformToString(doc)
 			if err != nil {
+				interpSp.Fail(err)
 				return "", fmt.Errorf("xsltdb: row %d: %w", row, err)
 			}
 			row++
+			if interpSp != nil {
+				interpSp.ObserveSince(start)
+				interpSp.AddRowsOut(1)
+				interpSp.SetAttr("templates_applied", eng.TemplatesApplied())
+			}
 			return s, nil
 		}, nil
 	}
@@ -253,13 +355,16 @@ func (c *ChainedTransform) OpenCursor(ctx context.Context, opts ...RunOption) (*
 	inner := cur.pull
 	fo := c.first.opts
 	g := governor.New(cur.ctx).Limits(fo.MaxRows, fo.MaxOutputBytes, fo.MaxRecursionDepth)
+	sps, chainSp := stageSpans(cur.trace, stages)
 	cur.pull = func() (string, error) {
 		row, err := inner()
 		if err != nil {
+			chainSp.End()
 			return "", err
 		}
-		out, err := applyStages(stages, row, g)
+		out, err := applyStages(stages, sps, row, g)
 		if err != nil {
+			chainSp.End()
 			return "", err
 		}
 		if err := g.AddRow(); err != nil {
@@ -295,24 +400,28 @@ func (c *Cursor) Next() (string, error) {
 	wall := time.Since(start)
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.execWall += wall
 	if c.closed {
 		// Close won the race while the pull was in flight; Close already
 		// released the cursor, so just report it gone.
+		c.mu.Unlock()
 		return "", ErrCursorClosed
 	}
 	if err != nil {
 		c.terminateLocked(err)
+		c.mu.Unlock()
+		c.release()
 		return "", err
 	}
 	c.rowsProduced++
+	c.mu.Unlock()
 	return s, nil
 }
 
-// terminateLocked records the sticky terminal condition, reports the
-// outcome to the plan's circuit breaker, and releases the cursor. Callers
-// hold c.mu.
+// terminateLocked records the sticky terminal condition and reports the
+// outcome to the plan's circuit breaker. Callers hold c.mu and must call
+// c.release() AFTER unlocking — release re-acquires the mutex for its stats
+// snapshot and runs the slow-run sink outside any lock.
 func (c *Cursor) terminateLocked(err error) {
 	c.err = err
 	switch {
@@ -325,16 +434,52 @@ func (c *Cursor) terminateLocked(err error) {
 			c.breakerTrips++
 		}
 	}
-	c.release()
 }
 
-// release cancels the run and merges this cursor's counters into the
-// database-wide aggregate, exactly once over the cursor's lifetime however
-// Close, end-of-stream, and errors interleave.
+// release cancels the run, merges this cursor's counters into the
+// database-wide aggregate, finishes the cursor's spans, records run metrics,
+// and fires the slow-run sink — exactly once over the cursor's lifetime
+// however Close, end-of-stream, and errors interleave. Must be called
+// WITHOUT c.mu held: it takes the lock briefly for the stats snapshot and
+// runs the sink callback (which may call Stats) unlocked.
 func (c *Cursor) release() {
 	c.releaseOnce.Do(func() {
 		c.cancel()
 		c.db.exec.AddStats(&c.sink)
+		mActiveCursors.Dec()
+
+		c.mu.Lock()
+		es := c.statsLocked()
+		err := c.err
+		c.mu.Unlock()
+
+		outcome := err
+		if outcome == io.EOF {
+			outcome = nil
+		}
+		if c.attempt != nil {
+			c.attempt.SetAttr("gov_ticks", c.gov.Ticks())
+			c.attempt.AddRowsOut(es.RowsProduced)
+			if outcome != nil {
+				c.attempt.Fail(outcome)
+			}
+			c.attempt.End()
+		}
+		if c.root != nil {
+			if es.AccessPath != "" {
+				c.root.SetAttr("access_path", es.AccessPath)
+			}
+			c.root.AddRowsOut(es.RowsProduced)
+			if outcome != nil {
+				c.root.Fail(outcome)
+			}
+			c.root.End()
+		}
+		recordRunMetrics(&es, outcome)
+		emitSlowRun(c.slowTh, c.slowSink, c.viewName, c.trace, &es, outcome)
+		if c.ownTrace {
+			c.trace.Release()
+		}
 	})
 }
 
@@ -351,8 +496,8 @@ func (c *Cursor) Close() error {
 	}
 	c.closed = true
 	c.pull = nil // release plan/iterator references
-	c.release()
 	c.mu.Unlock()
+	c.release()
 	return nil
 }
 
@@ -361,6 +506,11 @@ func (c *Cursor) Close() error {
 func (c *Cursor) Stats() ExecStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.statsLocked()
+}
+
+// statsLocked builds the snapshot; callers hold c.mu.
+func (c *Cursor) statsLocked() ExecStats {
 	es := ExecStats{
 		RowsProduced:    c.rowsProduced,
 		AccessPath:      c.accessPath,

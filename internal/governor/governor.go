@@ -191,6 +191,17 @@ func (g *G) AddOutput(n int) error {
 	return nil
 }
 
+// Ticks returns the number of amortized checks performed so far — a cheap
+// proxy for engine work (evaluation steps, rows, nodes) that the
+// observability layer records as a span attribute without the engines
+// having to count anything extra.
+func (g *G) Ticks() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.ticks.Load()
+}
+
 // Rows returns the rows charged so far.
 func (g *G) Rows() int64 {
 	if g == nil {

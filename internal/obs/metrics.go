@@ -1,0 +1,375 @@
+package obs
+
+// The metrics half of the observability layer: a process-wide registry of
+// counters, gauges and histograms with label support, rendered in the
+// Prometheus text exposition format (WriteTo / Handler). Everything is
+// stdlib-only and allocation-free on the increment path: instruments are
+// resolved once (With caches per label-value tuple) and then bumped with
+// plain atomics, so concurrent runs sharing one registry never contend on
+// a lock to count.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families. Use NewRegistry, or the package-wide
+// Default shared by the engine's built-in instruments.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// Default is the process-wide registry the engine's built-in instruments
+// register on. Serve it with Handler (cmd/xsltdb -metrics-addr) or scrape
+// it programmatically with WriteTo.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with a fixed label schema; series hang off it
+// per label-value tuple.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only, sorted ascending
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one (metric, label values) time series. val serves counters and
+// gauges; histogram observations land in bucketN/sumBits/obsCount.
+type series struct {
+	labelValues []string
+
+	val atomic.Int64
+
+	bucketN  []atomic.Int64 // one per bucket bound (cumulative at render)
+	sumBits  atomic.Uint64  // float64 bits of the observation sum
+	obsCount atomic.Int64
+}
+
+func (f *family) getSeries(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), labelValues...)}
+	if f.kind == kindHistogram {
+		s.bucketN = make([]atomic.Int64, len(f.buckets))
+	}
+	f.series[key] = s
+	return s
+}
+
+// register creates or fetches a family, enforcing schema consistency: the
+// same name re-registered with a different kind or label set panics (a
+// programming error, caught at init time in practice).
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: append([]string(nil), labels...), series: map[string]*series{}}
+	if kind == kindHistogram {
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.val.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(n int64) { c.s.val.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.s.val.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.s.val.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.s.val.Add(-1) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.s.val.Add(n) }
+
+// Set overwrites the value.
+func (g *Gauge) Set(n int64) { g.s.val.Store(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.s.val.Load() }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.f.buckets {
+		if v <= ub {
+			h.s.bucketN[i].Add(1)
+			break
+		}
+	}
+	h.s.obsCount.Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.s.obsCount.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.sumBits.Load()) }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With resolves the counter for one label-value tuple (cached).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{s: v.f.getSeries(labelValues)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With resolves the gauge for one label-value tuple (cached).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{s: v.f.getSeries(labelValues)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With resolves the histogram for one label-value tuple (cached).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{f: v.f, s: v.f.getSeries(labelValues)}
+}
+
+// NewCounter registers (or fetches) an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil)
+	return &Counter{s: f.getSeries(nil)}
+}
+
+// NewCounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// NewGauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil)
+	return &Gauge{s: f.getSeries(nil)}
+}
+
+// NewGaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// DefBuckets are latency buckets in seconds, spanning 100µs to 10s.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NewHistogram registers (or fetches) an unlabeled histogram. A nil buckets
+// slice uses DefBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, nil, buckets)
+	return &Histogram{f: f, s: f.getSeries(nil)}
+}
+
+// NewHistogramVec registers (or fetches) a labeled histogram family. A nil
+// buckets slice uses DefBuckets.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// labelString renders {k="v",...} for a series, with extra appended last
+// (the histogram le label).
+func labelString(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var parts []string
+	for i, n := range names {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, n, escapeLabel(values[i])))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf(`%s=%q`, extra[i], escapeLabel(extra[i+1])))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", v), "0"), ".")
+}
+
+// WriteTo renders every family in the Prometheus text exposition format,
+// families and series sorted for deterministic output. Registry implements
+// io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	var total int64
+	pr := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, f := range fams {
+		if f.help != "" {
+			if err := pr("# HELP %s %s\n", f.name, f.help); err != nil {
+				return total, err
+			}
+		}
+		if err := pr("# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return total, err
+		}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.RUnlock()
+		for _, s := range sers {
+			switch f.kind {
+			case kindCounter, kindGauge:
+				if err := pr("%s%s %d\n", f.name, labelString(f.labels, s.labelValues), s.val.Load()); err != nil {
+					return total, err
+				}
+			case kindHistogram:
+				var cum int64
+				for i, ub := range f.buckets {
+					cum += s.bucketN[i].Load()
+					if err := pr("%s_bucket%s %d\n", f.name,
+						labelString(f.labels, s.labelValues, "le", formatFloat(ub)), cum); err != nil {
+						return total, err
+					}
+				}
+				if err := pr("%s_bucket%s %d\n", f.name,
+					labelString(f.labels, s.labelValues, "le", "+Inf"), s.obsCount.Load()); err != nil {
+					return total, err
+				}
+				if err := pr("%s_sum%s %s\n", f.name, labelString(f.labels, s.labelValues),
+					formatFloat(math.Float64frombits(s.sumBits.Load()))); err != nil {
+					return total, err
+				}
+				if err := pr("%s_count%s %d\n", f.name, labelString(f.labels, s.labelValues), s.obsCount.Load()); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// Handler serves the registry in the Prometheus text format — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -21,6 +21,10 @@ type Stats struct {
 	RowsEmitted int64
 	FullScans   int64 // full-scan operators started
 	RangeScans  int64 // B-tree range-scan operators started
+	// RowsFiltered counts rows an access path visited but rejected on a
+	// residual predicate — the "rows in minus rows out" of the filter
+	// operator, which EXPLAIN ANALYZE reports as filter selectivity.
+	RowsFiltered int64
 }
 
 // Add accumulates other into s (atomically).
@@ -30,17 +34,19 @@ func (s *Stats) Add(other *Stats) {
 	atomic.AddInt64(&s.RowsEmitted, atomic.LoadInt64(&other.RowsEmitted))
 	atomic.AddInt64(&s.FullScans, atomic.LoadInt64(&other.FullScans))
 	atomic.AddInt64(&s.RangeScans, atomic.LoadInt64(&other.RangeScans))
+	atomic.AddInt64(&s.RowsFiltered, atomic.LoadInt64(&other.RowsFiltered))
 }
 
 // Snapshot returns an atomically-read copy of the counters, safe to take
 // while iterators are still writing to s.
 func (s *Stats) Snapshot() Stats {
 	return Stats{
-		RowsScanned: atomic.LoadInt64(&s.RowsScanned),
-		IndexProbes: atomic.LoadInt64(&s.IndexProbes),
-		RowsEmitted: atomic.LoadInt64(&s.RowsEmitted),
-		FullScans:   atomic.LoadInt64(&s.FullScans),
-		RangeScans:  atomic.LoadInt64(&s.RangeScans),
+		RowsScanned:  atomic.LoadInt64(&s.RowsScanned),
+		IndexProbes:  atomic.LoadInt64(&s.IndexProbes),
+		RowsEmitted:  atomic.LoadInt64(&s.RowsEmitted),
+		FullScans:    atomic.LoadInt64(&s.FullScans),
+		RangeScans:   atomic.LoadInt64(&s.RangeScans),
+		RowsFiltered: atomic.LoadInt64(&s.RowsFiltered),
 	}
 }
 
@@ -228,6 +234,9 @@ func (s *scanIter) Next() (int, bool) {
 			}
 			return id, true
 		}
+		if s.stats != nil && len(s.preds) > 0 {
+			atomic.AddInt64(&s.stats.RowsFiltered, 1)
+		}
 	}
 }
 
@@ -298,6 +307,9 @@ func (it *indexIter) Next() (int, bool) {
 				atomic.AddInt64(&it.stats.RowsEmitted, 1)
 			}
 			return id, true
+		}
+		if it.stats != nil {
+			atomic.AddInt64(&it.stats.RowsFiltered, 1)
 		}
 	}
 	return 0, false
@@ -468,6 +480,25 @@ func PlanAccess(t *Table, preds []Pred) AccessPlan {
 		plan.Lo = Bound{Value: p.Val, Inclusive: true}
 	}
 	return plan
+}
+
+// EstimateRows is the planner's cardinality estimate for the access path:
+// 1 for an equality probe, a textbook one-third selectivity for a range
+// scan, and the whole table for a full scan whose predicates all apply as
+// residual filters. EXPLAIN ANALYZE prints it next to the actual row count
+// so mis-estimates are visible.
+func (p AccessPlan) EstimateRows() int {
+	switch p.Kind {
+	case PathIndexProbe:
+		if p.TableRows == 0 {
+			return 0
+		}
+		return 1
+	case PathIndexRange:
+		return p.TableRows/3 + 1
+	default:
+		return p.TableRows
+	}
 }
 
 // FullScanPlan plans an unconditional full scan with preds as residual

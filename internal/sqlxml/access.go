@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/faultpoint"
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/xmltree"
 )
@@ -36,6 +38,10 @@ type RunSpec struct {
 	// AccessPath, when non-nil, receives the EXPLAIN line of the chosen
 	// driving access path (surfaced as ExecStats.AccessPath).
 	AccessPath *string
+	// Span, when non-nil, is the trace span of the strategy attempt this run
+	// executes under; the executor opens scan/construct operator spans
+	// beneath it. Nil (the usual case) disables operator tracing entirely.
+	Span *obs.Span
 }
 
 // smallTableRows is the chooser's only magic number: at or below this many
@@ -63,6 +69,27 @@ func (s *RunSpec) params() map[string]relstore.Value {
 }
 
 func (s *RunSpec) noPushdown() bool { return s != nil && s.NoPushdown }
+
+func (s *RunSpec) span() *obs.Span {
+	if s == nil {
+		return nil
+	}
+	return s.Span
+}
+
+// startOperators opens the scan and construct operator spans for a streaming
+// cursor under the spec's attempt span. When no trace is attached (the usual
+// case) the cursor's span fields stay nil and Next takes its untraced path.
+func (s *RunSpec) startOperators(t *relstore.Table, plan relstore.AccessPlan, c *QueryCursor) {
+	sp := s.span()
+	if sp == nil {
+		return
+	}
+	c.scanSp = sp.Start("scan")
+	c.scanSp.SetAttr("path", plan.Explain(t))
+	c.scanSp.SetAttr("est_rows", plan.EstimateRows())
+	c.buildSp = sp.Start("construct")
+}
 
 func (s *RunSpec) recordPath(t *relstore.Table, plan relstore.AccessPlan) {
 	if s != nil && s.AccessPath != nil {
@@ -248,13 +275,15 @@ func (e *Executor) OpenQueryCursorSpec(q *Query, sink *relstore.Stats, g *govern
 	if err != nil {
 		return nil, err
 	}
-	return &QueryCursor{
+	c := &QueryCursor{
 		body: body,
 		t:    t,
 		it:   plan.Open(t, sink, g),
 		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
 		fp:   "sqlxml.query.next",
-	}, nil
+	}
+	spec.startOperators(t, plan, c)
+	return c, nil
 }
 
 // OpenViewCursorSpec is the spec-carrying form of OpenViewCursor, with an
@@ -271,13 +300,15 @@ func (e *Executor) OpenViewCursorSpec(v *ViewDef, where []relstore.Pred, sink *r
 	if err != nil {
 		return nil, err
 	}
-	return &QueryCursor{
+	c := &QueryCursor{
 		body: v.Body,
 		t:    t,
 		it:   plan.Open(t, sink, g),
 		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
 		fp:   "sqlxml.view.row",
-	}, nil
+	}
+	spec.startOperators(t, plan, c)
+	return c, nil
 }
 
 // MaterializeViewSpec materializes the view rows passing where under the
@@ -308,6 +339,20 @@ func (e *Executor) ExplainQuerySpec(q *Query, spec *RunSpec) string {
 	return sb.String()
 }
 
+// ExplainViewSpec describes the driving access path the fallback strategies
+// would use to materialize v under spec — the view-side counterpart of
+// ExplainQuerySpec, with the same lenient parameter binding.
+func (e *Executor) ExplainViewSpec(v *ViewDef, where []relstore.Pred, spec *RunSpec) string {
+	t := e.DB.Table(v.Table)
+	if t == nil {
+		return "unknown table " + v.Table
+	}
+	preds := relstore.BindPredsPartial(spec.merged(where), spec.params())
+	plan := chooseAccess(t, preds, spec.noPushdown())
+	spec.recordPath(t, plan)
+	return plan.Explain(t)
+}
+
 // ExecQueryParallelSpec is the spec-carrying form of ExecQueryParallel: the
 // driving access path honors the spec, and every worker constructs from the
 // run's bound body.
@@ -331,6 +376,15 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 	if err != nil {
 		return nil, err
 	}
+	var scanSp, buildSp *obs.Span
+	if sp := spec.span(); sp != nil {
+		scanSp = sp.Start("scan")
+		scanSp.SetAttr("path", plan.Explain(t))
+		scanSp.SetAttr("est_rows", plan.EstimateRows())
+		scanSp.SetAttr("parallel_workers", workers)
+		buildSp = sp.Start("construct")
+	}
+	scanStart := time.Now()
 	it := plan.Open(t, sink, g)
 	var ids []int
 	for {
@@ -340,7 +394,12 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 		}
 		ids = append(ids, id)
 	}
+	if scanSp != nil {
+		scanSp.ObserveSince(scanStart)
+		scanSp.AddRowsOut(int64(len(ids)))
+	}
 	if err := it.Err(); err != nil {
+		scanSp.Fail(err)
 		return nil, err
 	}
 	out := make([]*xmltree.Node, len(ids))
@@ -371,6 +430,11 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 				errs[i] = err
 				return
 			}
+			var rowStart time.Time
+			if buildSp != nil {
+				rowStart = time.Now()
+				buildSp.AddRowsIn(1)
+			}
 			ec := &evalContext{db: e.DB, stats: sink, gov: g}
 			doc := xmltree.NewDocument()
 			if err := ec.evalInto(doc, body, t, id); err != nil {
@@ -379,11 +443,16 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 			}
 			doc.Renumber()
 			out[i] = doc
+			if buildSp != nil {
+				buildSp.ObserveSince(rowStart)
+				buildSp.AddRowsOut(1)
+			}
 		}(i, id)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			buildSp.Fail(err)
 			return nil, err
 		}
 	}

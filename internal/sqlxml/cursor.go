@@ -2,9 +2,11 @@ package sqlxml
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/faultpoint"
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/xmltree"
 )
@@ -35,6 +37,12 @@ type QueryCursor struct {
 	it   relstore.Iterator
 	ec   *evalContext
 	fp   string // faultpoint name hit once per constructed row
+
+	// Operator spans, set only when the RunSpec carried a trace span
+	// (startOperators). Next dispatches on scanSp so an untraced cursor
+	// pays exactly one nil check per row.
+	scanSp  *obs.Span
+	buildSp *obs.Span
 }
 
 // OpenQueryCursor opens a streaming execution of q. Operator counters go to
@@ -53,6 +61,9 @@ func (e *Executor) OpenQueryCursorGoverned(q *Query, sink *relstore.Stats, g *go
 // io.EOF when the driving iterator is exhausted, and the iterator's
 // terminal error (cancellation, injected fault) when it stopped early.
 func (c *QueryCursor) Next() (*xmltree.Node, error) {
+	if c.scanSp != nil {
+		return c.nextTraced()
+	}
 	if err := faultpoint.Hit(c.fp); err != nil {
 		return nil, err
 	}
@@ -68,6 +79,39 @@ func (c *QueryCursor) Next() (*xmltree.Node, error) {
 		return nil, err
 	}
 	doc.Renumber()
+	return doc, nil
+}
+
+// nextTraced is Next with per-operator timing: the driving iterator's pull
+// accrues on the scan span, the XML construction on the construct span, so
+// EXPLAIN ANALYZE can attribute a streaming run's time row by row.
+func (c *QueryCursor) nextTraced() (*xmltree.Node, error) {
+	if err := faultpoint.Hit(c.fp); err != nil {
+		c.scanSp.Fail(err)
+		return nil, err
+	}
+	scanStart := time.Now()
+	id, ok := c.it.Next()
+	c.scanSp.ObserveSince(scanStart)
+	if !ok {
+		if err := c.it.Err(); err != nil {
+			c.scanSp.Fail(err)
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	c.scanSp.AddRowsOut(1)
+	buildStart := time.Now()
+	c.buildSp.AddRowsIn(1)
+	doc := xmltree.NewDocument()
+	if err := c.ec.evalInto(doc, c.body, c.t, id); err != nil {
+		c.buildSp.ObserveSince(buildStart)
+		c.buildSp.Fail(err)
+		return nil, err
+	}
+	doc.Renumber()
+	c.buildSp.ObserveSince(buildStart)
+	c.buildSp.AddRowsOut(1)
 	return doc, nil
 }
 

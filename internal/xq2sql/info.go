@@ -1,0 +1,59 @@
+package xq2sql
+
+import "repro/internal/sqlxml"
+
+// PlanInfo summarizes the shape of a lowered SQL/XML plan — the numbers the
+// facade attaches to the sql-rewrite compile span so EXPLAIN ANALYZE can
+// show how much of the stylesheet collapsed into relational operators.
+type PlanInfo struct {
+	// HoistedPreds counts driving predicates hoisted into the query's
+	// WHERE clause (each one index-eligible at access-path choice).
+	HoistedPreds int
+	// AggSubqueries counts correlated XMLAgg subqueries (repeated view
+	// children turned into inner-table aggregation).
+	AggSubqueries int
+	// ScalarAggs counts scalar COUNT/SUM/... subqueries.
+	ScalarAggs int
+	// Conds counts residual per-row CASE WHEN constructors (predicates
+	// that could NOT be hoisted to the access path).
+	Conds int
+}
+
+// Describe walks a lowered plan and tallies its operator shape.
+func Describe(q *sqlxml.Query) PlanInfo {
+	info := PlanInfo{HoistedPreds: len(q.Where)}
+	countShape(q.Body, &info)
+	return info
+}
+
+func countShape(e sqlxml.XMLExpr, info *PlanInfo) {
+	switch x := e.(type) {
+	case *sqlxml.Element:
+		for _, a := range x.Attrs {
+			countShape(a.Value, info)
+		}
+		for _, c := range x.Children {
+			countShape(c, info)
+		}
+	case *sqlxml.Concat:
+		for _, it := range x.Items {
+			countShape(it, info)
+		}
+	case *sqlxml.Agg:
+		info.AggSubqueries++
+		if x.Sub != nil {
+			info.HoistedPreds += len(x.Sub.Where)
+			if x.Sub.Body != nil {
+				countShape(x.Sub.Body, info)
+			}
+		}
+	case *sqlxml.ScalarAgg:
+		info.ScalarAggs++
+	case *sqlxml.Cond:
+		info.Conds++
+		countShape(x.Then, info)
+		if x.Else != nil {
+			countShape(x.Else, info)
+		}
+	}
+}

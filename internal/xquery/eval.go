@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/governor"
 	"repro/internal/xmltree"
@@ -36,6 +37,19 @@ type Env struct {
 	// gov, when non-nil, is checked throughout evaluation so runaway
 	// queries stop promptly on cancellation or budget exhaustion.
 	gov *governor.G
+
+	// meter, when non-nil, accumulates evaluation work counters for the
+	// observability layer. Child environments share the root's meter.
+	meter *EvalStats
+}
+
+// EvalStats counts evaluator work for one run: Steps is the number of Eval
+// entries (expressions evaluated), FuncCalls the number of user-declared
+// function invocations. Counters are atomic so a meter can be read while
+// evaluation is still in flight.
+type EvalStats struct {
+	Steps     atomic.Int64
+	FuncCalls atomic.Int64
 }
 
 // defaultMaxDepth bounds user-function recursion when no governor override
@@ -56,12 +70,18 @@ func (e *Env) Govern(g *governor.G) *Env {
 	return e
 }
 
+// Meter attaches a work meter (may be nil) and returns e for chaining.
+func (e *Env) Meter(m *EvalStats) *Env {
+	e.meter = m
+	return e
+}
+
 func (e *Env) child() *Env {
 	// vars allocates lazily in Bind: most child environments only adjust
 	// the context item (predicates, FLWOR tuples).
 	return &Env{parent: e, funcs: e.funcs,
 		Ctx: e.Ctx, CtxPos: e.CtxPos, CtxSize: e.CtxSize,
-		depth: e.depth, maxDepth: e.maxDepth, gov: e.gov}
+		depth: e.depth, maxDepth: e.maxDepth, gov: e.gov, meter: e.meter}
 }
 
 // Bind binds a variable in this environment.
@@ -117,6 +137,9 @@ func EvalModule(m *Module, env *Env) (Seq, error) {
 func Eval(e Expr, env *Env) (Seq, error) {
 	if err := env.gov.Tick(); err != nil {
 		return nil, err
+	}
+	if env.meter != nil {
+		env.meter.Steps.Add(1)
 	}
 	switch x := e.(type) {
 	case StringLit:
@@ -945,6 +968,9 @@ func evalCall(c *FuncCall, env *Env) (Seq, error) {
 		env.depth++
 		if env.depth > env.maxDepth {
 			return nil, fmt.Errorf("xquery: %w: recursion deeper than %d in %s()", governor.ErrRecursionLimit, env.maxDepth, c.Name)
+		}
+		if env.meter != nil {
+			env.meter.FuncCalls.Add(1)
 		}
 		defer func() { env.depth-- }()
 		callEnv := env.child()

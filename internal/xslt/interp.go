@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/governor"
 	"repro/internal/xmltree"
@@ -32,7 +33,15 @@ type Engine struct {
 	// gov, when non-nil, bounds the transformation (cancellation and
 	// resource budgets); set it with Govern.
 	gov *governor.G
+
+	// templatesApplied counts template-rule instantiations (built-in rules
+	// included); TemplatesApplied exposes it to the observability layer.
+	templatesApplied atomic.Int64
 }
+
+// TemplatesApplied returns the number of template rules instantiated so far
+// by this engine — a work measure the trace layer records per run.
+func (e *Engine) TemplatesApplied() int64 { return e.templatesApplied.Load() }
 
 // TraceEvent describes one template instantiation observed during a
 // transformation.
@@ -187,6 +196,7 @@ func (f *frame) applyOne(node *xmltree.Node, mode string, pos, size int, traceID
 	if err != nil {
 		return err
 	}
+	f.engine.templatesApplied.Add(1)
 	if f.engine.Trace != nil {
 		f.engine.Trace(TraceEvent{TraceID: traceID, Node: node, Template: tmpl, Builtin: tmpl == nil})
 	}

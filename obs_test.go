@@ -1,0 +1,467 @@
+package xsltdb
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/internal/obs"
+)
+
+// findSpan walks an exported trace looking for the first span named name.
+func findSpan(spans []obs.SpanJSON, name string) *obs.SpanJSON {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+		if s := findSpan(spans[i].Children, name); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestTraceThroughRun asserts every strategy's Run produces a complete
+// operator tree: the run root, the compile phase, the strategy attempt, and
+// the strategy's per-operator spans with row counts.
+func TestTraceThroughRun(t *testing.T) {
+	operators := map[Strategy][]string{
+		StrategySQL:       {"scan", "construct", "serialize"},
+		StrategyXQuery:    {"xquery-eval"},
+		StrategyNoRewrite: {"xslt-interpret"},
+	}
+	for s, ops := range operators {
+		t.Run(s.String(), func(t *testing.T) {
+			d := newKeyedDB(t, 50)
+			ct, err := d.CompileTransform("rows", keyedSheet, WithForcedStrategy(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := obs.New()
+			defer tr.Release()
+			res, err := ct.Run(context.Background(), WithTrace(tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			exp := tr.Export()
+			root := findSpan(exp, "run")
+			if root == nil {
+				t.Fatalf("no run span in trace:\n%s", tr.Tree())
+			}
+			if root.RowsOut != res.Stats.RowsProduced {
+				t.Errorf("run rows_out = %d, want %d", root.RowsOut, res.Stats.RowsProduced)
+			}
+			if root.Attrs["view"] != "rows" {
+				t.Errorf("run view attr = %q, want rows", root.Attrs["view"])
+			}
+			if root.Attrs["access_path"] == "" {
+				t.Error("run span missing access_path attr")
+			}
+			if findSpan(exp, "compile") == nil {
+				t.Errorf("no compile span:\n%s", tr.Tree())
+			}
+			attempt := findSpan(exp, s.String())
+			if attempt == nil {
+				t.Fatalf("no %s attempt span:\n%s", s, tr.Tree())
+			}
+			if attempt.RowsOut != res.Stats.RowsProduced {
+				t.Errorf("attempt rows_out = %d, want %d", attempt.RowsOut, res.Stats.RowsProduced)
+			}
+			for _, op := range ops {
+				sp := findSpan(attempt.Children, op)
+				if sp == nil {
+					t.Fatalf("no %s operator span under %s:\n%s", op, s, tr.Tree())
+				}
+				if sp.RowsOut == 0 {
+					t.Errorf("%s rows_out = 0, want > 0", op)
+				}
+			}
+			if s == StrategySQL {
+				if est := findSpan(attempt.Children, "scan").Attrs["est_rows"]; est == "" {
+					t.Error("scan span missing est_rows estimate")
+				}
+			}
+		})
+	}
+}
+
+// TestTraceThroughCursor asserts the streaming path produces the same shaped
+// tree over the cursor's whole lifetime, finished at release time.
+func TestTraceThroughCursor(t *testing.T) {
+	d := newKeyedDB(t, 30)
+	ct, err := d.CompileTransform("rows", keyedSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New()
+	defer tr.Release()
+	cur, err := ct.OpenCursor(context.Background(), WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for {
+		if _, err := cur.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		rows++
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	exp := tr.Export()
+	root := findSpan(exp, "cursor")
+	if root == nil {
+		t.Fatalf("no cursor span:\n%s", tr.Tree())
+	}
+	if root.RowsOut != int64(rows) {
+		t.Errorf("cursor rows_out = %d, want %d", root.RowsOut, rows)
+	}
+	if root.Error != "" {
+		t.Errorf("clean cursor tagged with error %q", root.Error)
+	}
+	for _, name := range []string{"compile", "sql-rewrite", "scan", "construct", "serialize"} {
+		if findSpan(exp, name) == nil {
+			t.Errorf("no %s span:\n%s", name, tr.Tree())
+		}
+	}
+	if sc := findSpan(exp, "scan"); sc.RowsOut != int64(rows) {
+		t.Errorf("scan rows_out = %d, want %d", sc.RowsOut, rows)
+	}
+}
+
+// TestExplainAnalyzeStrategies asserts EXPLAIN ANALYZE renders the shared
+// header plus per-operator actuals for all three strategies.
+func TestExplainAnalyzeStrategies(t *testing.T) {
+	operators := map[Strategy][]string{
+		StrategySQL:       {"scan", "construct", "serialize"},
+		StrategyXQuery:    {"xquery-eval"},
+		StrategyNoRewrite: {"xslt-interpret"},
+	}
+	for s, ops := range operators {
+		t.Run(s.String(), func(t *testing.T) {
+			d := newKeyedDB(t, 40)
+			ct, err := d.CompileTransform("rows", keyedSheet, WithForcedStrategy(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := ct.ExplainAnalyze(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range append([]string{"strategy: " + s.String(), "plan cache:", "actual: rows=", "calls="}, ops...) {
+				if !strings.Contains(out, want) {
+					t.Errorf("ExplainAnalyze output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzePushdown asserts the analyzed probe shows the planner's
+// estimate next to the actuals on the scan operator.
+func TestExplainAnalyzePushdown(t *testing.T) {
+	d := newKeyedDB(t, 500)
+	ct, err := d.CompileTransform("rows", keyedSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ct.ExplainAnalyze(context.Background(), WithWhere("@id = $key"), WithParam("key", 123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"INDEX PROBE row(id)", "est_rows=1", "rows_out=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyzed probe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainPlanHeader asserts the static EXPLAIN shares the analyzing
+// form's header: chosen strategy and plan-cache status.
+func TestExplainPlanHeader(t *testing.T) {
+	d := newKeyedDB(t, 20)
+	ct, err := d.CompileTransform("rows", keyedSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ct.ExplainPlan()
+	for _, want := range []string{"strategy: sql-rewrite", "plan cache: cached=true", "TABLE SCAN row"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainPlan missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ct.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if out := ct.ExplainPlan(); !strings.Contains(out, "cached=true") {
+		t.Errorf("plan no longer reported cached after a run:\n%s", out)
+	}
+}
+
+// TestMetricsMatchExecStatsUnderConcurrency runs parallel executions and
+// asserts the process-wide counters advanced by exactly the sum of the
+// per-run ExecStats — the facade's metrics and the per-run stats are two
+// views of one accounting. Counter DELTAS are compared because obs.Default
+// is process-wide and other tests feed it too (run under -race by `make
+// faults`' sibling `make race`).
+func TestMetricsMatchExecStatsUnderConcurrency(t *testing.T) {
+	d := newKeyedDB(t, 200)
+	ct, err := d.CompileTransform("rows", keyedSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runsBefore := mRuns.With(StrategySQL.String(), "ok").Value()
+	rowsBefore := mRowsReturned.Value()
+	scannedBefore := mRowsScanned.Value()
+	secondsBefore := mRunSeconds.With(StrategySQL.String()).Count()
+
+	const workers, perWorker = 8, 5
+	var (
+		mu            sync.Mutex
+		rows, scanned int64
+		wg            sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				res, err := ct.Run(context.Background())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				rows += res.Stats.RowsProduced
+				scanned += res.Stats.RowsScanned
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := mRuns.With(StrategySQL.String(), "ok").Value() - runsBefore; got != workers*perWorker {
+		t.Errorf("runs_total delta = %d, want %d", got, workers*perWorker)
+	}
+	if got := mRowsReturned.Value() - rowsBefore; got != rows {
+		t.Errorf("rows_returned_total delta = %d, want summed ExecStats %d", got, rows)
+	}
+	if got := mRowsScanned.Value() - scannedBefore; got != scanned {
+		t.Errorf("rows_scanned_total delta = %d, want summed ExecStats %d", got, scanned)
+	}
+	if got := mRunSeconds.With(StrategySQL.String()).Count() - secondsBefore; got != workers*perWorker {
+		t.Errorf("run_seconds histogram count delta = %d, want %d", got, workers*perWorker)
+	}
+
+	// The Prometheus rendering carries the same series.
+	var sb strings.Builder
+	if _, err := MetricsRegistry().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`xsltdb_runs_total{strategy="sql-rewrite",outcome="ok"}`,
+		"xsltdb_rows_returned_total",
+		"# TYPE xsltdb_run_seconds histogram",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestFaultTraceErrorTagged injects a mid-scan fault and asserts the failed
+// executions still emit a complete trace with the failure tagged on the
+// operator where it happened — materialized Run and streaming cursor both.
+func TestFaultTraceErrorTagged(t *testing.T) {
+	d := newKeyedDB(t, 40)
+	ct, err := d.CompileTransform("rows", keyedSheet, WithForcedStrategy(StrategySQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("run", func(t *testing.T) {
+		faultpoint.Enable("sqlxml.query.next", errBoom)
+		defer faultpoint.Reset()
+		tr := obs.New()
+		defer tr.Release()
+		if _, err := ct.Run(context.Background(), WithTrace(tr)); !errors.Is(err, errBoom) {
+			t.Fatalf("Run error = %v, want errBoom", err)
+		}
+		exp := tr.Export()
+		root := findSpan(exp, "run")
+		if root == nil || findSpan(exp, "compile") == nil {
+			t.Fatalf("failed run's trace incomplete:\n%s", tr.Tree())
+		}
+		if root.Error == "" {
+			t.Errorf("run span not error-tagged:\n%s", tr.Tree())
+		}
+		attempt := findSpan(exp, StrategySQL.String())
+		if attempt == nil || attempt.Error == "" {
+			t.Errorf("strategy attempt not error-tagged:\n%s", tr.Tree())
+		}
+	})
+
+	t.Run("cursor", func(t *testing.T) {
+		faultpoint.EnableAfter("sqlxml.query.next", 1, errBoom)
+		defer faultpoint.Reset()
+		tr := obs.New()
+		defer tr.Release()
+		cur, err := ct.OpenCursor(context.Background(), WithTrace(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cur.Close()
+		for {
+			_, err := cur.Next()
+			if err == io.EOF {
+				t.Fatal("cursor reached EOF, fault never fired")
+			}
+			if err != nil {
+				if !errors.Is(err, errBoom) {
+					t.Fatalf("Next error = %v, want errBoom", err)
+				}
+				break
+			}
+		}
+		exp := tr.Export()
+		root := findSpan(exp, "cursor")
+		if root == nil {
+			t.Fatalf("no cursor span:\n%s", tr.Tree())
+		}
+		if root.Error == "" {
+			t.Errorf("cursor span not error-tagged:\n%s", tr.Tree())
+		}
+		if sc := findSpan(exp, "scan"); sc == nil || sc.Error == "" {
+			t.Errorf("scan operator not error-tagged:\n%s", tr.Tree())
+		}
+	})
+}
+
+// TestSlowRunSink configures a 1ns threshold so every run is slow and
+// asserts the sink receives the full report — including the operator tree,
+// which the run traced on its own because the caller attached no trace.
+func TestSlowRunSink(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		reports []SlowRun
+	)
+	sink := func(sr SlowRun) {
+		mu.Lock()
+		reports = append(reports, sr)
+		mu.Unlock()
+	}
+	d := newKeyedDB(t, 25)
+	ct, err := d.CompileTransform("rows", keyedSheet,
+		WithSlowThreshold(time.Nanosecond), WithSlowRunSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowBefore := mSlowRuns.Value()
+
+	res, err := ct.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := ct.OpenCursor(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Collect(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) != 2 {
+		t.Fatalf("sink received %d reports, want 2 (Run + cursor)", len(reports))
+	}
+	if got := mSlowRuns.Value() - slowBefore; got != 2 {
+		t.Errorf("slow_runs_total delta = %d, want 2", got)
+	}
+	roots := []string{"run", "cursor"}
+	for i, sr := range reports {
+		if sr.View != "rows" {
+			t.Errorf("report %d view = %q, want rows", i, sr.View)
+		}
+		if sr.Err != "" {
+			t.Errorf("report %d unexpected error %q", i, sr.Err)
+		}
+		if sr.Wall < sr.Threshold {
+			t.Errorf("report %d wall %v below threshold %v", i, sr.Wall, sr.Threshold)
+		}
+		if sr.Stats.RowsProduced != res.Stats.RowsProduced {
+			t.Errorf("report %d rows = %d, want %d", i, sr.Stats.RowsProduced, res.Stats.RowsProduced)
+		}
+		if !strings.Contains(sr.Trace, roots[i]) || !strings.Contains(sr.Trace, "scan") {
+			t.Errorf("report %d trace missing operator tree:\n%s", i, sr.Trace)
+		}
+		var spans []obs.SpanJSON
+		if err := json.Unmarshal(sr.TraceJSON, &spans); err != nil {
+			t.Errorf("report %d TraceJSON invalid: %v", i, err)
+		} else if findSpan(spans, roots[i]) == nil {
+			t.Errorf("report %d TraceJSON missing %s root", i, roots[i])
+		}
+	}
+}
+
+// TestSlowRunSinkNotTriggered asserts a generous threshold keeps the sink
+// quiet and runs pay no tracing cost they didn't ask for.
+func TestSlowRunSinkNotTriggered(t *testing.T) {
+	called := false
+	d := newKeyedDB(t, 10)
+	ct, err := d.CompileTransform("rows", keyedSheet,
+		WithSlowThreshold(time.Hour), WithSlowRunSink(func(SlowRun) { called = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("sink fired for a run far under threshold")
+	}
+}
+
+// TestExecStatsStringComplete is the reflection guard: every ExecStats field
+// must have a token in statsFieldTokens, and a fully-populated value must
+// render every token — adding a field without teaching String() about it
+// fails here.
+func TestExecStatsStringComplete(t *testing.T) {
+	typ := reflect.TypeOf(ExecStats{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := statsFieldTokens[name]; !ok {
+			t.Errorf("ExecStats.%s has no token in statsFieldTokens — String() is incomplete", name)
+		}
+	}
+	if len(statsFieldTokens) != typ.NumField() {
+		t.Errorf("statsFieldTokens has %d entries, ExecStats has %d fields — stale token?",
+			len(statsFieldTokens), typ.NumField())
+	}
+
+	full := ExecStats{
+		RowsProduced: 1, RowsScanned: 2, IndexProbes: 3, RangeScans: 4,
+		FullScans: 5, RowsEmitted: 6, RowsFiltered: 7, Recompiles: 1,
+		AccessPath: "INDEX PROBE t(c)", CompileWall: time.Millisecond,
+		ExecWall: time.Millisecond, StrategyUsed: StrategySQL,
+		Degradations: 1, BreakerSkips: 1, BreakerTrips: 1, PanicsRecovered: 1,
+	}
+	line := full.String()
+	for field, token := range statsFieldTokens {
+		if !strings.Contains(line, token) {
+			t.Errorf("ExecStats.String() missing %q (field %s): %s", token, field, line)
+		}
+	}
+}

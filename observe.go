@@ -1,0 +1,121 @@
+package xsltdb
+
+// The facade half of the observability layer: the engine's built-in metric
+// instruments (registered on obs.Default and served by Registry.Handler /
+// cmd/xsltdb -metrics-addr) and the slow-run log. Per-run trace plumbing
+// lives in xsltdb.go (Run) and cursor.go (OpenCursor); everything here is
+// the process-wide aggregation those runs feed.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Built-in instruments. Registration is idempotent, so multiple Databases in
+// one process share these series — the registry aggregates across them just
+// like a real server's /metrics endpoint would.
+var (
+	mRuns = obs.Default.NewCounterVec("xsltdb_runs_total",
+		"Completed executions (Run calls and cursor lifetimes) by strategy and outcome.",
+		"strategy", "outcome")
+	mRunSeconds = obs.Default.NewHistogramVec("xsltdb_run_seconds",
+		"End-to-end execution latency (compile + exec) in seconds.",
+		nil, "strategy")
+	mRowsScanned = obs.Default.NewCounter("xsltdb_rows_scanned_total",
+		"Heap rows visited by full scans across all runs.")
+	mRowsReturned = obs.Default.NewCounter("xsltdb_rows_returned_total",
+		"Serialized result rows handed to callers across all runs.")
+	mCacheHits = obs.Default.NewCounter("xsltdb_plan_cache_hits_total",
+		"Compilations served from the plan cache.")
+	mCacheMisses = obs.Default.NewCounter("xsltdb_plan_cache_misses_total",
+		"Compilations that actually ran the pipeline.")
+	mDegradations = obs.Default.NewCounter("xsltdb_degradations_total",
+		"Strategy degradations (a failing strategy fell through to a weaker one).")
+	mBreakerSkips = obs.Default.NewCounter("xsltdb_breaker_skips_total",
+		"Strategies skipped because their circuit breaker was open.")
+	mBreakerTrips = obs.Default.NewCounter("xsltdb_breaker_trips_total",
+		"Circuit-breaker cells tripped open by run failures.")
+	mPanics = obs.Default.NewCounter("xsltdb_panics_recovered_total",
+		"Engine panics contained at the facade boundary.")
+	mActiveCursors = obs.Default.NewGauge("xsltdb_active_cursors",
+		"Cursors currently open (streaming executions in flight).")
+	mSlowRuns = obs.Default.NewCounter("xsltdb_slow_runs_total",
+		"Runs that exceeded their transform's slow threshold.")
+)
+
+// recordRunMetrics folds one finished execution into the process-wide
+// instruments. err is the run's terminal error (nil for success; cursor
+// callers normalize io.EOF to nil first).
+func recordRunMetrics(es *ExecStats, err error) {
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	mRuns.With(es.StrategyUsed.String(), outcome).Inc()
+	mRunSeconds.With(es.StrategyUsed.String()).Observe((es.CompileWall + es.ExecWall).Seconds())
+	mRowsScanned.Add(es.RowsScanned)
+	mRowsReturned.Add(es.RowsProduced)
+	mDegradations.Add(es.Degradations)
+	mBreakerSkips.Add(es.BreakerSkips)
+	mBreakerTrips.Add(es.BreakerTrips)
+	mPanics.Add(es.PanicsRecovered)
+}
+
+// SlowRun describes one execution that exceeded the transform's
+// WithSlowThreshold, delivered to the WithSlowRunSink callback. When the
+// caller did not attach its own trace, the run traced itself so the report
+// always carries the full operator tree.
+type SlowRun struct {
+	// View is the transform's backing view.
+	View string
+	// Strategy is the strategy that produced (or last attempted) the run.
+	Strategy Strategy
+	// Wall is the run's total wall time (compile + exec).
+	Wall time.Duration
+	// Threshold is the configured slow threshold the run exceeded.
+	Threshold time.Duration
+	// Stats is the run's full ExecStats.
+	Stats ExecStats
+	// Err is the terminal error ("" when the run succeeded but was slow).
+	Err string
+	// Trace is the rendered operator tree of the run.
+	Trace string
+	// TraceJSON is the same trace in JSON, for structured log pipelines.
+	TraceJSON []byte
+}
+
+// emitSlowRun reports one finished execution to the slow-run sink when it
+// exceeded the threshold. Callers must not hold locks the sink could need:
+// the callback may call back into the public API.
+func emitSlowRun(threshold time.Duration, sink func(SlowRun), view string, tr *obs.Trace, es *ExecStats, err error) {
+	if threshold <= 0 || sink == nil {
+		return
+	}
+	wall := es.CompileWall + es.ExecWall
+	if wall < threshold {
+		return
+	}
+	mSlowRuns.Inc()
+	sr := SlowRun{
+		View:      view,
+		Strategy:  es.StrategyUsed,
+		Wall:      wall,
+		Threshold: threshold,
+		Stats:     *es,
+		Trace:     tr.Tree(),
+	}
+	if b, jerr := tr.JSON(); jerr == nil {
+		sr.TraceJSON = b
+	}
+	if err != nil {
+		sr.Err = err.Error()
+	}
+	sink(sr)
+}
+
+// MetricsRegistry returns the process-wide metrics registry the engine's
+// built-in instruments report to. Serve it over HTTP with
+// MetricsRegistry().Handler(), or render it with WriteTo (Prometheus text
+// exposition format).
+func MetricsRegistry() *obs.Registry { return obs.Default }

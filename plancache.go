@@ -29,9 +29,11 @@ type planEntry struct {
 }
 
 // get returns the cached state for key, or claims the key and runs compile.
-// Failed compilations are not cached: the entry is removed so a later call
-// retries, and every in-flight waiter receives the error.
-func (c *planCache) get(key planKey, compile func() (*planState, error)) (*planState, error) {
+// The second return reports whether the result came from the cache (true
+// for waiters that shared an in-flight compile). Failed compilations are
+// not cached: the entry is removed so a later call retries, and every
+// in-flight waiter receives the error.
+func (c *planCache) get(key planKey, compile func() (*planState, error)) (*planState, bool, error) {
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = map[planKey]*planEntry{}
@@ -40,16 +42,18 @@ func (c *planCache) get(key planKey, compile func() (*planState, error)) (*planS
 		c.mu.Unlock()
 		<-e.done
 		if e.err != nil {
-			return nil, e.err
+			return nil, true, e.err
 		}
 		c.hits.Add(1)
-		return e.st, nil
+		mCacheHits.Inc()
+		return e.st, true, nil
 	}
 	e := &planEntry{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 
 	c.misses.Add(1)
+	mCacheMisses.Inc()
 	e.st, e.err = compile()
 	if e.err != nil {
 		c.mu.Lock()
@@ -57,7 +61,24 @@ func (c *planCache) get(key planKey, compile func() (*planState, error)) (*planS
 		c.mu.Unlock()
 	}
 	close(e.done)
-	return e.st, e.err
+	return e.st, false, e.err
+}
+
+// contains reports whether key has a completed, successful cache entry —
+// the plan-cache status line of ExplainPlan/ExplainAnalyze.
+func (c *planCache) contains(key planKey) bool {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.err == nil
+	default:
+		return false
+	}
 }
 
 // evictView drops every cached plan compiled against the named view.

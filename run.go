@@ -3,6 +3,7 @@ package xsltdb
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
 	"repro/internal/xq2sql"
@@ -26,6 +27,7 @@ type runOptions struct {
 	whereExprs []string
 	params     map[string]relstore.Value
 	noPushdown bool
+	trace      *obs.Trace
 	err        error // first invalid option, surfaced when the run starts
 }
 
@@ -77,6 +79,16 @@ func WithWhere(expr string) RunOption {
 // baseline for verifying pushdown correctness and measuring its speedup.
 func WithoutPushdown() RunOption {
 	return runOptionFunc(func(o *runOptions) { o.noPushdown = true })
+}
+
+// WithTrace attaches an observability trace to this run: every pipeline
+// phase — compile stages on a recompile, each strategy attempt, the scan /
+// construct / serialize operators — records a span with wall time, rows and
+// attributes. Render the result with t.Tree() (the EXPLAIN ANALYZE view) or
+// t.JSON(). A run without WithTrace pays only a nil check per instrumented
+// site, so tracing is strictly opt-in per run.
+func WithTrace(t *obs.Trace) RunOption {
+	return runOptionFunc(func(o *runOptions) { o.trace = t })
 }
 
 func buildRunOptions(opts []RunOption) runOptions {

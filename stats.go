@@ -24,6 +24,9 @@ type ExecStats struct {
 	FullScans int64
 	// RowsEmitted counts rows emitted by access-path operators.
 	RowsEmitted int64
+	// RowsFiltered counts rows an access path visited but rejected on a
+	// residual predicate — the filter operator's rows-in minus rows-out.
+	RowsFiltered int64
 	// Recompiles counts automatic recompilations this run performed (0 or
 	// 1: a view redefinition since the last compilation).
 	Recompiles int64
@@ -63,15 +66,40 @@ func (s *ExecStats) mergeSink(sink relstore.Stats) {
 	s.RangeScans += sink.RangeScans
 	s.FullScans += sink.FullScans
 	s.RowsEmitted += sink.RowsEmitted
+	s.RowsFiltered += sink.RowsFiltered
+}
+
+// statsFieldTokens maps every ExecStats field to the token that renders it
+// in String(). A reflection test keeps this map — and therefore String() —
+// complete: adding a field without a token (or a token without rendering)
+// fails the build's tests, so the CLI -stats line can never silently lag
+// the struct.
+var statsFieldTokens = map[string]string{
+	"RowsProduced":    "rows=",
+	"RowsScanned":     "scanned=",
+	"IndexProbes":     "probes=",
+	"RangeScans":      "range-scans=",
+	"FullScans":       "full-scans=",
+	"RowsEmitted":     "emitted=",
+	"RowsFiltered":    "filtered=",
+	"Recompiles":      "recompiles=",
+	"AccessPath":      "access=",
+	"CompileWall":     "compile=",
+	"ExecWall":        "exec=",
+	"StrategyUsed":    "strategy=",
+	"Degradations":    "degradations=",
+	"BreakerSkips":    "breaker-skips=",
+	"BreakerTrips":    "breaker-trips=",
+	"PanicsRecovered": "panics=",
 }
 
 // String renders the stats in one line (CLI -stats output). Robustness
 // counters append only when non-zero, keeping the healthy-path line stable.
 func (s ExecStats) String() string {
 	line := fmt.Sprintf(
-		"rows=%d scanned=%d probes=%d range-scans=%d full-scans=%d emitted=%d recompiles=%d compile=%v exec=%v",
+		"rows=%d scanned=%d probes=%d range-scans=%d full-scans=%d emitted=%d filtered=%d recompiles=%d compile=%v exec=%v",
 		s.RowsProduced, s.RowsScanned, s.IndexProbes, s.RangeScans, s.FullScans,
-		s.RowsEmitted, s.Recompiles, s.CompileWall.Round(time.Microsecond), s.ExecWall.Round(time.Microsecond))
+		s.RowsEmitted, s.RowsFiltered, s.Recompiles, s.CompileWall.Round(time.Microsecond), s.ExecWall.Round(time.Microsecond))
 	if s.AccessPath != "" {
 		line += fmt.Sprintf(" access=%q", s.AccessPath)
 	}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
 	"repro/internal/xmltree"
@@ -323,7 +324,7 @@ func (ct *CompiledTransform) Recompiles() int {
 // database's plan cache.
 func (d *Database) CompileTransform(viewName, stylesheet string, opts ...Option) (*CompiledTransform, error) {
 	co := buildOptions(opts)
-	st, err := d.compilePlan(viewName, stylesheet, co)
+	st, err := d.compilePlan(viewName, stylesheet, co, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -334,23 +335,34 @@ func (d *Database) CompileTransform(viewName, stylesheet string, opts ...Option)
 }
 
 // compilePlan resolves the view, consults the plan cache (with singleflight
-// dedup of concurrent identical compilations), and compiles on a miss.
-func (d *Database) compilePlan(viewName, stylesheet string, co CompileOptions) (*planState, error) {
+// dedup of concurrent identical compilations), and compiles on a miss. sp,
+// when non-nil, is the compile span of a traced run: the cache outcome is
+// recorded on it, and on a miss the pipeline stages record phase spans
+// beneath it.
+func (d *Database) compilePlan(viewName, stylesheet string, co CompileOptions, sp *obs.Span) (*planState, error) {
 	view, version := d.viewAndVersion(viewName)
 	if view == nil {
 		return nil, fmt.Errorf("xsltdb: no view %q: %w", viewName, ErrNoView)
 	}
 	key := newPlanKey(viewName, version, stylesheet, co)
-	return d.plans.get(key, func() (*planState, error) {
-		return d.compilePlanUncached(view, version, stylesheet, co)
+	st, hit, err := d.plans.get(key, func() (*planState, error) {
+		return d.compilePlanUncached(view, version, stylesheet, co, sp)
 	})
+	if sp != nil {
+		if hit {
+			sp.SetAttr("cache", "hit")
+		} else {
+			sp.SetAttr("cache", "miss")
+		}
+	}
+	return st, err
 }
 
 // compilePlanUncached runs the actual compilation pipeline: parse, schema
 // derivation, XSLT→XQuery rewrite, optional outer-path composition,
 // XQuery→SQL/XML lowering — degrading per the fallback chain unless a
 // strategy is forced.
-func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet string, opts CompileOptions) (st *planState, err error) {
+func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet string, opts CompileOptions, sp *obs.Span) (st *planState, err error) {
 	// Compilation runs caller-provided stylesheet text through several
 	// recursive-descent stages; contain any engine panic here so a malformed
 	// input can never take the process down.
@@ -359,10 +371,14 @@ func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet st
 			st, err = nil, fmt.Errorf("xsltdb: compile: %w", &InternalError{Panic: r, Stack: debug.Stack()})
 		}
 	}()
+	parseSp := sp.Start("parse")
 	sheet, err := xslt.ParseStylesheet(stylesheet)
 	if err != nil {
+		parseSp.Fail(err)
+		parseSp.End()
 		return nil, fmt.Errorf("%w: %w", ErrCompile, err)
 	}
+	parseSp.End()
 	st = &planState{view: view, viewVersion: version, sheet: sheet, strategy: StrategyNoRewrite, brk: &breaker{}}
 
 	if opts.Force != nil && *opts.Force == StrategyNoRewrite {
@@ -372,22 +388,35 @@ func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet st
 		return st, nil
 	}
 
+	schemaSp := sp.Start("derive-schema")
 	schema, err := d.exec.DeriveSchema(view)
 	if err != nil {
+		schemaSp.Fail(err)
+		schemaSp.End()
 		if opts.Force != nil {
 			return nil, fmt.Errorf("xsltdb: schema derivation failed: %w: %w", err, ErrRewriteFellBack)
 		}
 		st.fallback = "schema derivation failed: " + err.Error()
 		return st, nil
 	}
+	schemaSp.End()
+	// core.Rewrite is the paper's §4 stage: partial evaluation of the
+	// stylesheet over the structural schema, then XQuery generation.
+	xqSp := sp.Start("xquery-gen")
 	res, err := core.Rewrite(sheet, schema, core.ModeAuto)
 	if err != nil {
+		xqSp.Fail(err)
+		xqSp.End()
 		if opts.Force != nil {
 			return nil, fmt.Errorf("xsltdb: rewrite failed: %w: %w", err, ErrRewriteFellBack)
 		}
 		st.fallback = "XSLT→XQuery rewrite failed: " + err.Error()
 		return st, nil
 	}
+	if xqSp != nil {
+		xqSp.SetAttr("inlined", res.Inlined)
+	}
+	xqSp.End()
 	st.rewrite = res
 	st.strategy = StrategyXQuery
 
@@ -405,14 +434,29 @@ func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet st
 		return st, nil
 	}
 
+	sqlSp := sp.Start("sql-rewrite")
 	plan, err := xq2sql.Translate(module, view)
 	if err != nil {
+		sqlSp.Fail(err)
+		sqlSp.End()
 		if opts.Force != nil && *opts.Force == StrategySQL {
 			return nil, fmt.Errorf("xsltdb: SQL lowering failed: %w: %w", err, ErrRewriteFellBack)
 		}
 		st.fallback = "XQuery→SQL/XML lowering failed: " + err.Error()
 		return st, nil
 	}
+	if sqlSp != nil {
+		info := xq2sql.Describe(plan)
+		sqlSp.SetAttr("hoisted_preds", info.HoistedPreds)
+		sqlSp.SetAttr("agg_subqueries", info.AggSubqueries)
+		if info.ScalarAggs > 0 {
+			sqlSp.SetAttr("scalar_aggs", info.ScalarAggs)
+		}
+		if info.Conds > 0 {
+			sqlSp.SetAttr("residual_conds", info.Conds)
+		}
+	}
+	sqlSp.End()
 	st.plan = plan
 	st.strategy = StrategySQL
 	return st, nil
@@ -427,15 +471,20 @@ func (ct *CompiledTransform) snapshot() *planState {
 
 // ensureFresh recompiles the transform if its view was redefined since the
 // last compilation (§7.3). It returns the state to execute plus how many
-// recompilations this call performed (0 or 1).
-func (ct *CompiledTransform) ensureFresh() (*planState, int, error) {
+// recompilations this call performed (0 or 1). sp, when non-nil, is the
+// traced run's compile span — it receives the cache outcome and, on an
+// actual recompile, the pipeline phase spans.
+func (ct *CompiledTransform) ensureFresh(sp *obs.Span) (*planState, int, error) {
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	_, cur := ct.db.viewAndVersion(ct.viewName)
 	if cur == ct.state.viewVersion {
+		if sp != nil {
+			sp.SetAttr("cache", "fresh")
+		}
 		return ct.state, 0, nil
 	}
-	st, err := ct.db.compilePlan(ct.viewName, ct.source, ct.opts)
+	st, err := ct.db.compilePlan(ct.viewName, ct.source, ct.opts, sp)
 	if err != nil {
 		return nil, 0, fmt.Errorf("xsltdb: automatic recompilation after view change: %w", err)
 	}
@@ -481,23 +530,6 @@ func (ct *CompiledTransform) SQL() string {
 	return st.plan.SQL()
 }
 
-// ExplainPlan describes the physical access paths ("" unless StrategySQL).
-// Run options refine the explanation: WithWhere predicates join the plan,
-// WithParam values substitute into bind variables (unbound parameters
-// render as :name — the plan's shape does not depend on the value), and
-// WithoutPushdown shows the full-scan baseline plan.
-func (ct *CompiledTransform) ExplainPlan(opts ...RunOption) string {
-	st := ct.snapshot()
-	if st.plan == nil {
-		return ""
-	}
-	spec, _, err := ct.db.runSpec(st, buildRunOptions(opts), true)
-	if err != nil {
-		return "explain: " + err.Error()
-	}
-	return ct.db.exec.ExplainQuerySpec(st.plan, spec)
-}
-
 // Run executes the transformation — one serialized result per qualifying
 // driving row — and returns the rows together with this run's private
 // ExecStats. It is the single execution entry point: the context governs
@@ -514,13 +546,35 @@ func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Resul
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ro := buildRunOptions(opts)
+	// A run under a slow threshold traces itself when the caller did not,
+	// so a slow-run report always carries the full operator tree.
+	tr := ro.trace
+	ownTrace := false
+	if tr == nil && ct.opts.SlowThreshold > 0 && ct.opts.SlowSink != nil {
+		tr = obs.New()
+		ownTrace = true
+	}
+	if ownTrace {
+		defer tr.Release()
+	}
+
 	start := time.Now()
-	st, recompiled, err := ct.ensureFresh()
+	root := tr.Start("run")
+	defer root.End()
+	if root != nil {
+		root.SetAttr("view", ct.viewName)
+	}
+	compileSp := root.Start("compile")
+	st, recompiled, err := ct.ensureFresh(compileSp)
+	compileSp.End()
 	if err != nil {
+		root.Fail(err)
 		return nil, err
 	}
-	spec, access, err := ct.db.runSpec(st, buildRunOptions(opts), false)
+	spec, access, err := ct.db.runSpec(st, ro, false)
 	if err != nil {
+		root.Fail(err)
 		return nil, err
 	}
 	if ct.opts.Timeout > 0 {
@@ -531,12 +585,22 @@ func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Resul
 	res := &Result{Stats: ExecStats{Recompiles: int64(recompiled), CompileWall: time.Since(start)}}
 	es := &res.Stats
 	var sink relstore.Stats
-	rows, err := ct.db.runGoverned(ctx, st, ct.opts, spec, &sink, es)
+	rows, err := ct.db.runGoverned(ctx, st, ct.opts, spec, &sink, es, root)
 	es.ExecWall = time.Since(start) - es.CompileWall
 	es.mergeSink(sink.Snapshot())
 	es.RowsProduced = int64(len(rows))
 	es.AccessPath = *access
 	ct.db.exec.AddStats(&sink)
+	if root != nil {
+		root.AddRowsOut(es.RowsProduced)
+		if es.AccessPath != "" {
+			root.SetAttr("access_path", es.AccessPath)
+		}
+		root.Fail(err)
+		root.End()
+	}
+	recordRunMetrics(es, err)
+	emitSlowRun(ct.opts.SlowThreshold, ct.opts.SlowSink, ct.viewName, tr, es, err)
 	res.Rows = rows
 	if err != nil {
 		res.Rows = nil
@@ -588,22 +652,44 @@ func (ct *CompiledTransform) RunContextWithStats(ctx context.Context) ([]string,
 // falls through to the next strategy. Governance verdicts — cancellation,
 // resource limits, recursion limits — are final: retrying cannot help, so
 // they return immediately and do not count against the breaker.
-func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, es *ExecStats) ([]string, error) {
+func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, es *ExecStats, root *obs.Span) ([]string, error) {
 	chain := st.chain(opts)
 	var lastErr error
 	for i, s := range chain {
 		last := i == len(chain)-1
 		if !last && !st.brk.allow(s) {
 			es.BreakerSkips++
+			if root != nil {
+				sk := root.Start(s.String())
+				sk.SetAttr("breaker", "open")
+				sk.SetAttr("skipped", "true")
+				sk.End()
+			}
 			continue
 		}
 		g := governor.New(ctx).Limits(opts.MaxRows, opts.MaxOutputBytes, opts.MaxRecursionDepth)
-		rows, err := d.runStrategy(s, st, opts, spec, sink, g)
+		attempt := root.Start(s.String())
+		if attempt != nil {
+			if bs := st.brk.state(s); bs != "closed" {
+				attempt.SetAttr("breaker", bs)
+			}
+		}
+		spec.Span = attempt // strategies run sequentially; the last wins
+		rows, err := d.runStrategy(s, st, opts, spec, sink, g, attempt)
+		if attempt != nil {
+			attempt.SetAttr("gov_ticks", g.Ticks())
+		}
 		if err == nil {
 			st.brk.success(s)
 			es.StrategyUsed = s
+			if attempt != nil {
+				attempt.AddRowsOut(int64(len(rows)))
+			}
+			attempt.End()
 			return rows, nil
 		}
+		attempt.Fail(err)
+		attempt.End()
 		if errors.Is(err, ErrInternal) {
 			es.PanicsRecovered++
 		}
@@ -616,6 +702,10 @@ func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileO
 		lastErr = err
 		if !last {
 			es.Degradations++
+			if root != nil {
+				root.SetAttr("degraded_from", s.String())
+				root.SetAttr("degradation_reason", err.Error())
+			}
 		}
 	}
 	return nil, lastErr
@@ -629,7 +719,7 @@ func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileO
 // XQuery environment. Engine panics are contained here — at the strategy
 // boundary — so a panicking strategy degrades like any other failure
 // instead of crashing the caller.
-func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, g *governor.G) (out []string, err error) {
+func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, g *governor.G, sp *obs.Span) (out []string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, fmt.Errorf("xsltdb: %s: %w", s, &InternalError{Panic: r, Stack: debug.Stack()})
@@ -655,13 +745,18 @@ func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, s
 		if err != nil {
 			return nil, err
 		}
+		serSp := sp.Start("serialize")
+		defer serSp.End()
+		serSp.AddRowsIn(int64(len(docs)))
 		out := make([]string, len(docs))
 		for i, doc := range docs {
 			out[i] = serialize(doc)
 			if err := charge(out[i]); err != nil {
+				serSp.Fail(err)
 				return nil, err
 			}
 		}
+		serSp.AddRowsOut(int64(len(out)))
 		return out, nil
 
 	case StrategyXQuery:
@@ -669,17 +764,31 @@ func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, s
 		if err != nil {
 			return nil, err
 		}
+		evalSp := sp.Start("xquery-eval")
+		defer evalSp.End()
+		var meter *xquery.EvalStats
+		if evalSp != nil {
+			meter = new(xquery.EvalStats)
+		}
 		out := make([]string, len(rows))
 		for i, row := range rows {
+			evalSp.AddRowsIn(1)
 			env := bindEnv(xquery.NewEnv(xquery.Item(row)), spec.Params)
-			seq, err := xquery.EvalModule(st.rewrite.Module, env.Govern(g))
+			seq, err := xquery.EvalModule(st.rewrite.Module, env.Govern(g).Meter(meter))
 			if err != nil {
+				evalSp.Fail(err)
 				return nil, fmt.Errorf("xsltdb: row %d: %w", i, err)
 			}
 			out[i] = xquery.SerializeSeq(seq)
+			evalSp.AddRowsOut(1)
 			if err := charge(out[i]); err != nil {
+				evalSp.Fail(err)
 				return nil, err
 			}
+		}
+		if meter != nil {
+			evalSp.SetAttr("eval_steps", meter.Steps.Load())
+			evalSp.SetAttr("func_calls", meter.FuncCalls.Load())
 		}
 		return out, nil
 
@@ -689,16 +798,25 @@ func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, s
 			return nil, err
 		}
 		eng := xslt.New(st.sheet).Govern(g)
+		interpSp := sp.Start("xslt-interpret")
+		defer interpSp.End()
 		out := make([]string, len(rows))
 		for i, row := range rows {
+			interpSp.AddRowsIn(1)
 			s, err := eng.TransformToString(row)
 			if err != nil {
+				interpSp.Fail(err)
 				return nil, fmt.Errorf("xsltdb: row %d: %w", i, err)
 			}
 			out[i] = s
+			interpSp.AddRowsOut(1)
 			if err := charge(s); err != nil {
+				interpSp.Fail(err)
 				return nil, err
 			}
+		}
+		if interpSp != nil {
+			interpSp.SetAttr("templates_applied", eng.TemplatesApplied())
 		}
 		return out, nil
 	}
@@ -808,28 +926,65 @@ func (c *ChainedTransform) Stages() (rewritten, interpreted int) {
 
 // applyStages runs one row of the first stage's output through every
 // chained stage under governor g (nil = ungoverned); shared by the
-// materializing Run and the streaming cursor.
-func applyStages(stages []chainStage, row string, g *governor.G) (string, error) {
-	for _, st := range stages {
+// materializing Run and the streaming cursor. sps, when non-nil, carries
+// one operator span per stage (see stageSpans): each accumulates the
+// per-row wall time and row counts of its stage.
+func applyStages(stages []chainStage, sps []*obs.Span, row string, g *governor.G) (string, error) {
+	for i, st := range stages {
+		var sp *obs.Span
+		var stageStart time.Time
+		if sps != nil {
+			sp = sps[i]
+			stageStart = time.Now()
+			sp.AddRowsIn(1)
+		}
 		doc, err := xmltree.ParseFragment(row)
 		if err != nil {
+			sp.Fail(err)
 			return "", fmt.Errorf("xsltdb: chained stage input: %w", err)
 		}
 		if st.module != nil {
 			seq, err := xquery.EvalModule(st.module, xquery.NewEnv(xquery.Item(doc)).Govern(g))
 			if err != nil {
+				sp.Fail(err)
 				return "", err
 			}
 			row = xquery.SerializeSeq(seq)
-			continue
+		} else {
+			out, err := xslt.New(st.sheet).Govern(g).TransformToString(doc)
+			if err != nil {
+				sp.Fail(err)
+				return "", err
+			}
+			row = out
 		}
-		out, err := xslt.New(st.sheet).Govern(g).TransformToString(doc)
-		if err != nil {
-			return "", err
+		if sp != nil {
+			sp.ObserveSince(stageStart)
+			sp.AddRowsOut(1)
 		}
-		row = out
 	}
 	return row, nil
+}
+
+// stageSpans opens one operator span per chained stage under a "chain" root
+// span of tr (nil-safe: a nil trace yields nil everywhere, and applyStages
+// skips all span work). The caller Ends the returned root when the pipeline
+// finishes.
+func stageSpans(tr *obs.Trace, stages []chainStage) ([]*obs.Span, *obs.Span) {
+	if tr == nil {
+		return nil, nil
+	}
+	root := tr.Start("chain")
+	sps := make([]*obs.Span, len(stages))
+	for i, st := range stages {
+		sps[i] = root.Start(fmt.Sprintf("stage-%d", i+1))
+		if st.Rewritten {
+			sps[i].SetAttr("mode", "xquery-rewrite")
+		} else {
+			sps[i].SetAttr("mode", "interpreted")
+		}
+	}
+	return sps, root
 }
 
 // Run executes the pipeline for every view row: the first stage runs with
@@ -853,9 +1008,11 @@ func (c *ChainedTransform) Run(ctx context.Context, opts ...RunOption) (*Result,
 	if err != nil {
 		return res, err
 	}
+	sps, chainSp := stageSpans(buildRunOptions(opts).trace, c.stages)
+	defer chainSp.End()
 	g := governor.New(ctx).Limits(fo.MaxRows, fo.MaxOutputBytes, fo.MaxRecursionDepth)
 	for i, row := range res.Rows {
-		out, err := applyStages(c.stages, row, g)
+		out, err := applyStages(c.stages, sps, row, g)
 		if err != nil {
 			res.Rows = nil
 			return res, err
