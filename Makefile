@@ -7,12 +7,14 @@
 #   make bench    the paper-evaluation benchmarks
 #   make bench-json  pushdown speedup measurements -> BENCH_pushdown.json
 #   make bench-obs   observability overhead guard  -> BENCH_obs.json
+#   make bench-history  run-history archive overhead (disabled/enabled/contended)
 #   make demo     paper Examples 1 and 2 end to end, streamed with stats
+#   make console  the demo serving the live debug console on :6060
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: verify test vet race fuzz faults bench bench-json bench-obs demo
+.PHONY: verify test vet race fuzz faults bench bench-json bench-obs bench-history demo console
 
 verify: test vet race fuzz faults
 
@@ -48,11 +50,20 @@ bench-json:
 	$(GO) run ./cmd/xsltbench -pushdown -json BENCH_pushdown.json
 
 # Observability overhead guard: nil-trace fast path must stay under 2%
-# estimated overhead (exits non-zero otherwise); also runs the span-op
-# microbenchmarks in internal/obs. Artifact: BENCH_obs.json.
+# estimated overhead (exits non-zero otherwise), compared against the
+# committed BENCH_obs.json baseline; also runs the span-op microbenchmarks
+# in internal/obs. Artifact: BENCH_obs.json.
 bench-obs:
-	$(GO) run ./cmd/xsltbench -obs-overhead
+	$(GO) run ./cmd/xsltbench -obs-overhead -obs-baseline BENCH_obs.json
 	$(GO) test -bench 'BenchmarkNilSpanOps|BenchmarkTracedSpanOps' -benchmem -run xxx ./internal/obs
+
+# Run-history archive overhead: the keyed lookup with the archive disabled,
+# enabled, and enabled under concurrent console readers.
+bench-history:
+	$(GO) run ./cmd/xsltbench -history
 
 demo:
 	$(GO) run ./cmd/xsltdb demo -stream -stats
+
+console:
+	$(GO) run ./cmd/xsltdb demo -analyze -console-addr localhost:6060

@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	xsltdb "repro"
@@ -55,6 +56,8 @@ func main() {
 	push := flag.Bool("pushdown", false, "measure index-probe pushdown vs the full-scan baseline")
 	jsonPath := flag.String("json", "", "write the -pushdown measurements to this file as JSON")
 	obsOver := flag.Bool("obs-overhead", false, "measure tracing overhead (nil-trace fast path vs attached trace), write BENCH_obs.json")
+	obsBaseline := flag.String("obs-baseline", "", "compare the -obs-overhead measurement against this committed BENCH_obs.json and report the regression delta")
+	history := flag.Bool("history", false, "measure the run-history archive's overhead (disabled vs enabled under concurrent console readers)")
 	all := flag.Bool("all", false, "run every experiment")
 	reps := flag.Int("reps", 5, "repetitions per configuration (median reported)")
 	scale := flag.Int("scale", 1, "multiply workload sizes by this factor")
@@ -87,7 +90,11 @@ func main() {
 		ran = true
 	}
 	if *all || *obsOver {
-		obsOverhead(*reps, *scale)
+		obsOverhead(*reps, *scale, *obsBaseline)
+		ran = true
+	}
+	if *all || *history {
+		benchHistory(*reps, *scale)
 		ran = true
 	}
 	if !ran {
@@ -479,6 +486,13 @@ func pushdown(reps, scale int, jsonPath string) {
 // index on id behind a one-element-per-row view, and a one-template lookup
 // stylesheet compiled against it.
 func keyedLookupTransform(n int) *xsltdb.CompiledTransform {
+	_, ct := keyedLookupDB(n)
+	return ct
+}
+
+// keyedLookupDB is keyedLookupTransform exposing the database too, for
+// benchmarks that toggle database-level features (run history).
+func keyedLookupDB(n int) (*xsltdb.Database, *xsltdb.CompiledTransform) {
 	const sheet = `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 	<xsl:template match="row"><hit><xsl:value-of select="name"/></hit></xsl:template>
 </xsl:stylesheet>`
@@ -503,7 +517,7 @@ func keyedLookupTransform(n int) *xsltdb.CompiledTransform {
 	}))
 	ct, err := db.CompileTransform("rows", sheet)
 	check(err)
-	return ct
+	return db, ct
 }
 
 // tracedRun executes one Run with a trace attached and offers it to the
@@ -545,7 +559,7 @@ func countSpanOps(spans []obs.SpanJSON) int64 {
 // nil-trace overhead — span ops per run × measured nil-op cost, relative to
 // the untraced run — is the guard: ≥2% fails the run. Results are written to
 // BENCH_obs.json (`make bench-obs`).
-func obsOverhead(reps, scale int) {
+func obsOverhead(reps, scale int, baselinePath string) {
 	fmt.Println("Observability overhead — nil-trace fast path vs attached trace (indexed lookup)")
 	n := 20_000 * scale
 	ct := keyedLookupTransform(n)
@@ -611,17 +625,6 @@ func obsOverhead(reps, scale int) {
 	tracedPct := (float64(tracedRunNS) - float64(untracedRunNS)) / float64(untracedRunNS) * 100
 	nilPct := float64(opsPerRun) * nilOpNS / float64(untracedRunNS) * 100
 
-	type obsMeasurement struct {
-		Rows                int     `json:"rows"`
-		UntracedRunNanos    int64   `json:"untraced_run_ns"`
-		TracedRunNanos      int64   `json:"traced_run_ns"`
-		TracedOverheadPct   float64 `json:"traced_overhead_pct"`
-		SpanOpsPerRun       int64   `json:"span_ops_per_run"`
-		NilSpanOpNanos      float64 `json:"nil_span_op_ns"`
-		NilTraceOverheadPct float64 `json:"nil_trace_overhead_pct"`
-		GuardMaxPct         float64 `json:"guard_max_pct"`
-		GuardOK             bool    `json:"guard_ok"`
-	}
 	m := obsMeasurement{
 		Rows:                n,
 		UntracedRunNanos:    untracedRunNS,
@@ -644,12 +647,127 @@ func obsOverhead(reps, scale int) {
 	check(err)
 	check(os.WriteFile("BENCH_obs.json", append(b, '\n'), 0o644))
 	fmt.Println("wrote BENCH_obs.json")
+	if baselinePath != "" {
+		compareObsBaseline(baselinePath, m)
+	}
 	if !m.GuardOK {
 		fmt.Fprintf(os.Stderr, "obs-overhead guard FAILED: estimated nil-trace overhead %.4f%% >= %.1f%%\n", nilPct, m.GuardMaxPct)
 		writeTraceOut()
 		os.Exit(1)
 	}
 	fmt.Println()
+}
+
+// obsMeasurement is the BENCH_obs.json schema, shared by the measurement
+// and the -obs-baseline comparison.
+type obsMeasurement struct {
+	Rows                int     `json:"rows"`
+	UntracedRunNanos    int64   `json:"untraced_run_ns"`
+	TracedRunNanos      int64   `json:"traced_run_ns"`
+	TracedOverheadPct   float64 `json:"traced_overhead_pct"`
+	SpanOpsPerRun       int64   `json:"span_ops_per_run"`
+	NilSpanOpNanos      float64 `json:"nil_span_op_ns"`
+	NilTraceOverheadPct float64 `json:"nil_trace_overhead_pct"`
+	GuardMaxPct         float64 `json:"guard_max_pct"`
+	GuardOK             bool    `json:"guard_ok"`
+}
+
+// compareObsBaseline reports this measurement against a committed
+// BENCH_obs.json: the regression signal for `make bench-obs`. The delta is
+// informational — span ops are deterministic and worth flagging loudly, but
+// the hard gate stays the absolute <2% nil-trace guard, which is robust to
+// machine-speed differences in a way a nanosecond delta is not.
+func compareObsBaseline(path string, m obsMeasurement) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("no baseline to compare (%v)\n", err)
+		return
+	}
+	var base obsMeasurement
+	if err := json.Unmarshal(b, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "obs baseline %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("vs baseline %s: span-ops %d -> %d (%+d), nil-path overhead %.4f%% -> %.4f%%\n",
+		path, base.SpanOpsPerRun, m.SpanOpsPerRun, m.SpanOpsPerRun-base.SpanOpsPerRun,
+		base.NilTraceOverheadPct, m.NilTraceOverheadPct)
+	if base.SpanOpsPerRun > 0 && m.SpanOpsPerRun > base.SpanOpsPerRun {
+		fmt.Printf("note: span ops per run grew by %d — new instrumentation sites on the hot path\n",
+			m.SpanOpsPerRun-base.SpanOpsPerRun)
+	}
+}
+
+// benchHistory measures the run-history archive's cost on the hot path: the
+// same indexed lookup with the archive disabled (one atomic load per run),
+// enabled (every run appends a RunRecord and folds into per-plan
+// aggregates), and enabled while console readers concurrently snapshot
+// /runs and /plans — the contention case the lock-cheap ring is built for.
+func benchHistory(reps, scale int) {
+	fmt.Println("Run-history archive overhead (indexed lookup)")
+	n := 20_000 * scale
+	db, ct := keyedLookupDB(n)
+
+	key := 0
+	run := func() error {
+		key = (key*7919 + 1) % n
+		res, err := ct.Run(context.Background(),
+			xsltdb.WithWhere("@id = $key"), xsltdb.WithParam("key", key))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) != 1 {
+			return fmt.Errorf("lookup produced %d rows, want 1", len(res.Rows))
+		}
+		return nil
+	}
+	const batch = 500
+	batched := func() error {
+		for i := 0; i < batch; i++ {
+			if err := run(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	disabled := median(reps, batched)
+
+	arch := db.EnableRunHistory(0)
+	enabled := median(reps, batched)
+
+	// Console readers hammering the archive while runs append to it.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = arch.Runs(50)
+					_ = arch.Plans()
+					_ = db.PlanCacheEntries()
+				}
+			}
+		}()
+	}
+	contended := median(reps, batched)
+	close(stop)
+	wg.Wait()
+
+	per := func(d time.Duration) time.Duration { return d / batch }
+	pct := func(d time.Duration) float64 {
+		return (float64(d) - float64(disabled)) / float64(disabled) * 100
+	}
+	fmt.Printf("%-26s %-14s %s\n", "", "per run", "vs disabled")
+	fmt.Printf("%-26s %-14s %s\n", "archive disabled", per(disabled), "-")
+	fmt.Printf("%-26s %-14s %+.1f%%\n", "archive enabled", per(enabled), pct(enabled))
+	fmt.Printf("%-26s %-14s %+.1f%%  (4 reader goroutines)\n", "enabled + console readers", per(contended), pct(contended))
+	fmt.Printf("archived: %d records retained (cap %d), %d plan aggregates\n\n",
+		arch.Len(), arch.Cap(), len(arch.Plans()))
 }
 
 // check aborts the benchmark on a setup error.

@@ -163,6 +163,7 @@ func cmdDemo(args []string) {
 	stats := fs.Bool("stats", false, "print per-run execution statistics and plan-cache counters")
 	analyze := fs.Bool("analyze", false, "run EXPLAIN ANALYZE and print the operator tree with actuals")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus metrics at http://host:port/metrics and stay alive after the demo")
+	consoleAddr := fs.String("console-addr", "", "serve the live debug console (/runs, /plans, /misestimates, /metrics, pprof) at http://host:port and stay alive after the demo")
 	timeout := fs.Duration("timeout", 0, "abort each execution after this long (0 = no timeout)")
 	maxRows := fs.Int64("max-rows", 0, "abort an execution that produces more than n result rows (0 = unlimited)")
 	var wheres, params multiFlag
@@ -188,6 +189,19 @@ func cmdDemo(args []string) {
 	}
 
 	db := xsltdb.NewDatabase()
+	if *consoleAddr != "" {
+		// The console wants history: archive every run, trace all of them
+		// (a demo is low-volume; production would use SampleRatio or
+		// SampleSlowerThan), and serve the inspection endpoints.
+		db.EnableRunHistory(0)
+		govern = append(govern, xsltdb.WithTraceSampling(xsltdb.SampleAlways()))
+		go func() {
+			if err := http.ListenAndServe(*consoleAddr, db.ConsoleHandler()); err != nil {
+				fatal(err)
+			}
+		}()
+		fmt.Printf("serving debug console at http://%s/ (runs, plans, misestimates, metrics, pprof)\n\n", *consoleAddr)
+	}
 	if err := sqlxml.SetupDeptEmp(db.Rel()); err != nil {
 		fatal(err)
 	}
@@ -242,8 +256,13 @@ func cmdDemo(args []string) {
 		fmt.Printf("\n-- plan cache --\nhits=%d misses=%d entries=%d\n", pc.CacheHits, pc.CacheMisses, pc.Entries)
 	}
 
-	if *metricsAddr != "" {
-		fmt.Printf("\ndemo complete; still serving http://%s/metrics (interrupt to exit)\n", *metricsAddr)
+	if *metricsAddr != "" || *consoleAddr != "" {
+		if *metricsAddr != "" {
+			fmt.Printf("\ndemo complete; still serving http://%s/metrics (interrupt to exit)\n", *metricsAddr)
+		}
+		if *consoleAddr != "" {
+			fmt.Printf("\ndemo complete; still serving the console at http://%s/ (interrupt to exit)\n", *consoleAddr)
+		}
 		select {}
 	}
 }

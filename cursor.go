@@ -67,6 +67,13 @@ type Cursor struct {
 	slowTh   time.Duration
 	slowSink func(SlowRun)
 
+	// Archive bookkeeping: opened is the cursor's birth time (RunRecord
+	// start), sampling/sampled are the trace-sampling policy and its
+	// open-time decision.
+	opened   time.Time
+	sampling TraceSampling
+	sampled  bool
+
 	mu           sync.Mutex
 	sink         relstore.Stats
 	rowsProduced int64
@@ -101,9 +108,11 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 		ctx = context.Background()
 	}
 	ro := buildRunOptions(opts)
+	hist := ct.db.history.Load()
+	sampled := ct.opts.Sampling.wantTrace(hist)
 	tr := ro.trace
 	ownTrace := false
-	if tr == nil && ct.opts.SlowThreshold > 0 && ct.opts.SlowSink != nil {
+	if tr == nil && (sampled || (ct.opts.SlowThreshold > 0 && ct.opts.SlowSink != nil)) {
 		tr = obs.New()
 		ownTrace = true
 	}
@@ -148,6 +157,7 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 		recompiles: int64(recompiled), compileWall: time.Since(start),
 		trace: tr, ownTrace: ownTrace, root: root,
 		viewName: ct.viewName, slowTh: ct.opts.SlowThreshold, slowSink: ct.opts.SlowSink,
+		opened: start, sampling: ct.opts.Sampling, sampled: sampled,
 	}
 
 	chain := st.chain(ct.opts)
@@ -477,6 +487,11 @@ func (c *Cursor) release() {
 		}
 		recordRunMetrics(&es, outcome)
 		emitSlowRun(c.slowTh, c.slowSink, c.viewName, c.trace, &es, outcome)
+		// err (pre-normalization) distinguishes a drained stream (io.EOF:
+		// the actual row count is the true cardinality) from an early Close
+		// or failure, where the actual says nothing about the estimate.
+		keep := c.sampled && c.sampling.keep(es.CompileWall+es.ExecWall, outcome)
+		c.db.archiveRun(c.db.history.Load(), "cursor", c.viewName, c.opened, c.spec, &es, outcome, c.trace, keep, err == io.EOF)
 		if c.ownTrace {
 			c.trace.Release()
 		}
@@ -514,6 +529,7 @@ func (c *Cursor) statsLocked() ExecStats {
 	es := ExecStats{
 		RowsProduced:    c.rowsProduced,
 		AccessPath:      c.accessPath,
+		EstRows:         specEstRows(c.spec),
 		Recompiles:      c.recompiles,
 		CompileWall:     c.compileWall,
 		ExecWall:        c.execWall,

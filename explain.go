@@ -80,5 +80,52 @@ func (ct *CompiledTransform) ExplainAnalyze(ctx context.Context, opts ...RunOpti
 		sb.WriteString("actual: " + res.Stats.String() + "\n")
 	}
 	sb.WriteString(tr.Tree())
+	writeMisestimates(&sb, ct.db, ct.viewName)
+	return sb.String(), err
+}
+
+// writeMisestimates appends the cardinality tracker's worst offenders for
+// the view — access paths whose estimates have historically crossed the
+// q-error threshold — so EXPLAIN ANALYZE surfaces not just this run's
+// est-vs-actual but the plan shapes that keep misestimating.
+func writeMisestimates(sb *strings.Builder, db *Database, view string) {
+	worst := db.cards.Worst(view, 3)
+	if len(worst) == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "cardinality misestimates (q-error > %g):\n", db.cards.Threshold())
+	for _, w := range worst {
+		fmt.Fprintf(sb, "  %s: runs=%d est=%d actual=%d max-q-error=%.1f\n",
+			w.Shape, w.Runs, w.EstRows, w.ActualRows, w.MaxQError)
+	}
+}
+
+// ExplainAnalyze runs the whole pipeline — the view-backed first stage plus
+// every chained stage — and renders both operator trees: the first stage's
+// "run" tree (scan / construct / serialize with actuals) and the "chain"
+// tree with one span per chained stage. The header is the FIRST stage's
+// (the only stage with a physical plan); a chain summary line names the
+// stages that follow it.
+//
+// Like the single-stage form this is a real execution with real side
+// effects; on failure the rendered trees still show where the run stopped.
+func (c *ChainedTransform) ExplainAnalyze(ctx context.Context, opts ...RunOption) (string, error) {
+	tr := obs.New()
+	defer tr.Release()
+	all := make([]RunOption, 0, len(opts)+1)
+	all = append(all, opts...)
+	all = append(all, WithTrace(tr))
+	res, err := c.Run(ctx, all...)
+	st := c.first.snapshot()
+	var sb strings.Builder
+	c.first.writeExplainHeader(&sb, st)
+	rewritten, interpreted := c.Stages()
+	fmt.Fprintf(&sb, "chain: %d stage(s) after the view stage (%d rewritten, %d interpreted)\n",
+		rewritten+interpreted, rewritten, interpreted)
+	if res != nil {
+		sb.WriteString("actual: " + res.Stats.String() + "\n")
+	}
+	sb.WriteString(tr.Tree())
+	writeMisestimates(&sb, c.first.db, c.first.viewName)
 	return sb.String(), err
 }

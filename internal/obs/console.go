@@ -1,0 +1,119 @@
+package obs
+
+// The live debug console: one http.Handler serving the retention layer —
+// archived runs with their traces, per-plan aggregates and plan-cache
+// entries, the cardinality misestimate log, the metrics registry, and the
+// runtime pprof endpoints (strategy execution runs under pprof labels, so
+// CPU profiles segment by strategy and view). Everything is stdlib-only and
+// read-only; mount it on an internal port (cmd/xsltdb -console-addr).
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// ConsoleConfig wires the console's data sources. Any field may be nil/zero;
+// the corresponding endpoint then serves an empty value.
+type ConsoleConfig struct {
+	// Archive is the run-history ring (EnableRunHistory).
+	Archive *Archive
+	// Cards is the cardinality-accuracy tracker.
+	Cards *CardTracker
+	// Registry is served at /metrics.
+	Registry *Registry
+	// Plans returns the engine's plan-cache entries; the result is marshaled
+	// as-is under the "cache" key of /plans. Kept as `any` so the engine
+	// package can pass its own entry type without obs depending on it.
+	Plans func() any
+}
+
+// ConsoleHandler builds the debug console:
+//
+//	/                 index (text)
+//	/runs?n=50        recent runs, newest first (JSON array)
+//	/runs/<id>        one run in full, including its sampled trace
+//	/plans            plan-cache entries + per-plan latency aggregates
+//	/misestimates?n=  cardinality misestimate log + per-path accuracy
+//	/metrics          Prometheus text exposition
+//	/debug/pprof/...  runtime profiles (CPU samples carry strategy/view labels)
+func ConsoleHandler(cfg ConsoleConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("xsltdb debug console\n\n" +
+			"  /runs?n=50        recent runs (newest first)\n" +
+			"  /runs/<id>        one run in full, with its sampled trace\n" +
+			"  /plans            plan-cache entries + per-plan aggregates (p50/p95/p99, top-K slowest)\n" +
+			"  /misestimates     cardinality-accuracy: per-path q-error + misestimate log\n" +
+			"  /metrics          Prometheus text exposition\n" +
+			"  /debug/pprof/     runtime profiles (CPU samples labeled strategy/view)\n"))
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, cfg.Archive.Runs(queryInt(r, "n", 50)))
+	})
+	mux.HandleFunc("/runs/", func(w http.ResponseWriter, r *http.Request) {
+		idText := strings.TrimPrefix(r.URL.Path, "/runs/")
+		id, err := strconv.ParseUint(idText, 10, 64)
+		if err != nil {
+			http.Error(w, "bad run id "+strconv.Quote(idText), http.StatusBadRequest)
+			return
+		}
+		rec, ok := cfg.Archive.Run(id)
+		if !ok {
+			http.Error(w, "run "+idText+" not retained", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rec)
+	})
+	mux.HandleFunc("/plans", func(w http.ResponseWriter, _ *http.Request) {
+		var cache any
+		if cfg.Plans != nil {
+			cache = cfg.Plans()
+		}
+		writeJSON(w, map[string]any{
+			"cache":      cache,
+			"aggregates": cfg.Archive.Plans(),
+		})
+	})
+	mux.HandleFunc("/misestimates", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"q_error_threshold": cfg.Cards.Threshold(),
+			"paths":             cfg.Cards.Stats(),
+			"log":               cfg.Cards.Misestimates(queryInt(r, "n", 50)),
+		})
+	})
+	if cfg.Registry != nil {
+		mux.Handle("/metrics", cfg.Registry.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// queryInt reads an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) int {
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// writeJSON renders v indented; the console is for humans with curl.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestArchiveNilIsSafe(t *testing.T) {
+	var a *Archive
+	if id := a.Record(RunRecord{View: "v"}); id != 0 {
+		t.Fatalf("nil Record returned id %d", id)
+	}
+	if a.Runs(10) != nil || a.Plans() != nil || a.Len() != 0 || a.Cap() != 0 || a.SampleTick() != 0 {
+		t.Fatal("nil archive accessors not inert")
+	}
+	if _, ok := a.Run(1); ok {
+		t.Fatal("nil archive returned a record")
+	}
+}
+
+func TestArchiveRingRetention(t *testing.T) {
+	a := NewArchive(4)
+	for i := 1; i <= 10; i++ {
+		id := a.Record(RunRecord{View: "v", Strategy: "s", Rows: int64(i), Wall: time.Duration(i) * time.Millisecond})
+		if id != uint64(i) {
+			t.Fatalf("record %d got id %d", i, id)
+		}
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	runs := a.Runs(0)
+	if len(runs) != 4 {
+		t.Fatalf("Runs returned %d records, want 4", len(runs))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if runs[i].ID != want {
+			t.Fatalf("runs[%d].ID = %d, want %d (newest first)", i, runs[i].ID, want)
+		}
+	}
+	if got := a.Runs(2); len(got) != 2 || got[0].ID != 10 || got[1].ID != 9 {
+		t.Fatalf("Runs(2) = %v", got)
+	}
+	// Evicted IDs must not resolve; retained ones must.
+	if _, ok := a.Run(6); ok {
+		t.Fatal("evicted run 6 still resolves")
+	}
+	if rec, ok := a.Run(7); !ok || rec.ID != 7 || rec.Rows != 7 {
+		t.Fatalf("Run(7) = %+v, %v", rec, ok)
+	}
+	if _, ok := a.Run(11); ok {
+		t.Fatal("future run id resolves")
+	}
+	if _, ok := a.Run(0); ok {
+		t.Fatal("run id 0 resolves")
+	}
+}
+
+func TestArchivePlanAggregates(t *testing.T) {
+	a := NewArchive(8)
+	// Two plans: "a" gets 7 successful runs with growing wall times (so the
+	// top-K drops the fastest two), "b" gets one error run.
+	for i := 1; i <= 7; i++ {
+		a.Record(RunRecord{View: "a", Strategy: "sql-rewrite", Rows: 2,
+			Wall: time.Duration(i) * 10 * time.Millisecond})
+	}
+	a.Record(RunRecord{View: "b", Strategy: "no-rewrite", Error: "boom"})
+
+	plans := a.Plans()
+	if len(plans) != 2 {
+		t.Fatalf("Plans returned %d aggregates, want 2", len(plans))
+	}
+	pa, pb := plans[0], plans[1]
+	if pa.View != "a" || pb.View != "b" {
+		t.Fatalf("plans not sorted by view: %q, %q", pa.View, pb.View)
+	}
+	if pa.Calls != 7 || pa.Errors != 0 || pa.Rows != 14 {
+		t.Fatalf("plan a aggregate = %+v", pa)
+	}
+	if pb.Calls != 1 || pb.Errors != 1 {
+		t.Fatalf("plan b aggregate = %+v", pb)
+	}
+	if len(pa.Slowest) != archiveTopK {
+		t.Fatalf("plan a retained %d slowest, want %d", len(pa.Slowest), archiveTopK)
+	}
+	for i := 1; i < len(pa.Slowest); i++ {
+		if pa.Slowest[i-1].Wall < pa.Slowest[i].Wall {
+			t.Fatalf("slowest not ordered: %v before %v", pa.Slowest[i-1].Wall, pa.Slowest[i].Wall)
+		}
+	}
+	if pa.Slowest[0].Wall != 70*time.Millisecond || pa.Slowest[4].Wall != 30*time.Millisecond {
+		t.Fatalf("top-K kept wrong runs: slowest=%v fifth=%v", pa.Slowest[0].Wall, pa.Slowest[4].Wall)
+	}
+	// Quantiles come from a histogram, so just sanity-bound them: all
+	// observations fell in (10ms, 70ms] and p99 >= p50 > 0.
+	if pa.P50 <= 0 || pa.P99 < pa.P50 || pa.P99 > time.Second {
+		t.Fatalf("implausible quantiles p50=%v p95=%v p99=%v", pa.P50, pa.P95, pa.P99)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newStandaloneHistogram([]float64{1, 2, 4})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// 10 observations in (1,2], 10 in (2,4]: the median sits at the
+	// boundary, p99 interpolates near the top of the (2,4] bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3.0)
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %v, want within (1,2]", q)
+	}
+	if q := h.Quantile(0.99); q < 2 || q > 4 {
+		t.Fatalf("p99 = %v, want within (2,4]", q)
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p99 <= p50 {
+		t.Fatalf("p99 %v <= p50 %v", p99, p50)
+	}
+	// Overflow observations clamp to the top finite bound instead of +Inf.
+	h2 := newStandaloneHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %v, want top finite bound 2", q)
+	}
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, actual int64
+		want        float64
+	}{
+		{10, 10, 1},
+		{100, 10, 10},
+		{10, 100, 10},
+		{0, 5, 5},  // est clamps to 1
+		{5, 0, 5},  // actual clamps to 1
+		{0, 0, 1},  // both clamp
+		{-3, 2, 2}, // negative clamps too
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.actual); got != c.want {
+			t.Fatalf("QError(%d, %d) = %v, want %v", c.est, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestCardTrackerObserveAndWorst(t *testing.T) {
+	ctr := NewRegistry().NewCounter("miss_total", "test")
+	ct := NewCardTracker(2.0, ctr)
+
+	// An honest path (q=1) and a skewed one (q=50).
+	for i := 0; i < 4; i++ {
+		ct.Observe(uint64(i+1), "v", "sql-rewrite", "INDEX PROBE t(id)", 1, 1)
+	}
+	ct.Observe(5, "v", "sql-rewrite", "INDEX RANGE SCAN t(id)", 100, 2)
+	ct.Observe(6, "w", "no-rewrite", "TABLE SCAN t", 10, 10)
+	ct.Observe(7, "v", "sql-rewrite", "", 1, 99) // no shape: ignored
+
+	if ctr.Value() != 1 {
+		t.Fatalf("misestimate counter = %d, want 1", ctr.Value())
+	}
+	stats := ct.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("Stats returned %d paths, want 3", len(stats))
+	}
+	if stats[0].Shape != "INDEX RANGE SCAN t(id)" || stats[0].MaxQError != 50 || stats[0].Misestimates != 1 {
+		t.Fatalf("worst path = %+v", stats[0])
+	}
+
+	worst := ct.Worst("v", 3)
+	if len(worst) != 1 || worst[0].Shape != "INDEX RANGE SCAN t(id)" {
+		t.Fatalf("Worst(v) = %+v", worst)
+	}
+	if w := ct.Worst("w", 3); len(w) != 0 {
+		t.Fatalf("Worst(w) = %+v, want none (q=1)", w)
+	}
+
+	log := ct.Misestimates(0)
+	if len(log) != 1 || log[0].RunID != 5 || log[0].QError != 50 {
+		t.Fatalf("misestimate log = %+v", log)
+	}
+}
+
+func TestCardTrackerLogRingWraps(t *testing.T) {
+	ct := NewCardTracker(2.0, nil)
+	total := misestimateLogCap + 10
+	for i := 1; i <= total; i++ {
+		ct.Observe(uint64(i), "v", "s", "TABLE SCAN t", int64(100*i), 1)
+	}
+	log := ct.Misestimates(0)
+	if len(log) != misestimateLogCap {
+		t.Fatalf("log retained %d, want %d", len(log), misestimateLogCap)
+	}
+	if log[0].RunID != uint64(total) {
+		t.Fatalf("newest log entry RunID = %d, want %d", log[0].RunID, total)
+	}
+	if log[len(log)-1].RunID != uint64(total-misestimateLogCap+1) {
+		t.Fatalf("oldest log entry RunID = %d, want %d", log[len(log)-1].RunID, total-misestimateLogCap+1)
+	}
+	if got := ct.Misestimates(3); len(got) != 3 || got[0].RunID != uint64(total) {
+		t.Fatalf("Misestimates(3) = %+v", got)
+	}
+}
+
+func TestCardTrackerNilSafe(t *testing.T) {
+	var ct *CardTracker
+	ct.Observe(1, "v", "s", "shape", 1, 100)
+	if ct.Stats() != nil || ct.Worst("", 5) != nil || ct.Misestimates(0) != nil || ct.Threshold() != 0 {
+		t.Fatal("nil tracker not inert")
+	}
+}
+
+func TestConsoleEndpoints(t *testing.T) {
+	a := NewArchive(8)
+	reg := NewRegistry()
+	reg.NewCounter("console_test_total", "test counter").Add(3)
+	cards := NewCardTracker(2.0, nil)
+	cards.Observe(1, "v", "sql-rewrite", "INDEX RANGE SCAN t(id)", 100, 2)
+	id := a.Record(RunRecord{Kind: "run", View: "v", Strategy: "sql-rewrite",
+		Rows: 2, Wall: 5 * time.Millisecond, Sampled: true, Trace: "run 5ms"})
+
+	h := ConsoleHandler(ConsoleConfig{
+		Archive: a, Cards: cards, Registry: reg,
+		Plans: func() any { return []string{"entry"} },
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string, wantCode int) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s: status %d, want %d (body %q)", path, resp.StatusCode, wantCode, b)
+		}
+		return string(b)
+	}
+
+	if body := get("/", 200); !strings.Contains(body, "/runs") {
+		t.Fatalf("index missing endpoint listing: %q", body)
+	}
+	get("/nope", 404)
+
+	var runs []RunRecord
+	if err := json.Unmarshal([]byte(get("/runs?n=10", 200)), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].ID != id {
+		t.Fatalf("/runs = %+v", runs)
+	}
+
+	var rec RunRecord
+	if err := json.Unmarshal([]byte(get(fmt.Sprintf("/runs/%d", id), 200)), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sampled || rec.Trace == "" {
+		t.Fatalf("/runs/%d lost the sampled trace: %+v", id, rec)
+	}
+	get("/runs/999", 404)
+	get("/runs/xyz", 400)
+
+	var plans struct {
+		Cache      []string        `json:"cache"`
+		Aggregates []PlanAggregate `json:"aggregates"`
+	}
+	if err := json.Unmarshal([]byte(get("/plans", 200)), &plans); err != nil {
+		t.Fatal(err)
+	}
+	if len(plans.Cache) != 1 || plans.Cache[0] != "entry" || len(plans.Aggregates) != 1 {
+		t.Fatalf("/plans = %+v", plans)
+	}
+
+	var mis struct {
+		Threshold float64       `json:"q_error_threshold"`
+		Paths     []CardStat    `json:"paths"`
+		Log       []Misestimate `json:"log"`
+	}
+	if err := json.Unmarshal([]byte(get("/misestimates", 200)), &mis); err != nil {
+		t.Fatal(err)
+	}
+	if mis.Threshold != 2.0 || len(mis.Paths) != 1 || len(mis.Log) != 1 {
+		t.Fatalf("/misestimates = %+v", mis)
+	}
+
+	if body := get("/metrics", 200); !strings.Contains(body, "console_test_total 3") {
+		t.Fatalf("/metrics missing counter: %q", body)
+	}
+	if body := get("/debug/pprof/cmdline", 200); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestConsoleDisabledSources: every endpoint keeps working when the archive,
+// tracker and registry are absent — the console must not panic on a database
+// that never called EnableRunHistory.
+func TestConsoleDisabledSources(t *testing.T) {
+	srv := httptest.NewServer(ConsoleHandler(ConsoleConfig{}))
+	defer srv.Close()
+	for _, path := range []string{"/", "/runs", "/plans", "/misestimates"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d with nil sources", path, resp.StatusCode)
+		}
+	}
+}

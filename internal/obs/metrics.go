@@ -185,6 +185,53 @@ func (h *Histogram) Count() int64 { return h.s.obsCount.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.sumBits.Load()) }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
+// interpolating linearly within the winning bucket — the same estimate a
+// Prometheus histogram_quantile() would give over this histogram. It returns
+// 0 with no observations, and the top finite bucket bound when the rank
+// falls in the +Inf overflow bucket (the estimate is bounded by the layout).
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.s.obsCount.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n)
+	var cum int64
+	lower := 0.0
+	for i, ub := range h.f.buckets {
+		c := h.s.bucketN[i].Load()
+		if c > 0 && float64(cum+c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + (ub-lower)*frac
+		}
+		cum += c
+		lower = ub
+	}
+	if len(h.f.buckets) > 0 {
+		return h.f.buckets[len(h.f.buckets)-1]
+	}
+	return 0
+}
+
+// newStandaloneHistogram builds a histogram that belongs to no registry —
+// the run-history archive uses these for per-plan latency aggregates, which
+// are served as JSON through the console rather than scraped as metrics. A
+// nil buckets slice uses DefBuckets.
+func newStandaloneHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := &family{name: "standalone", kind: kindHistogram, buckets: append([]float64(nil), buckets...)}
+	sort.Float64s(f.buckets)
+	return &Histogram{f: f, s: &series{bucketN: make([]atomic.Int64, len(f.buckets))}}
+}
+
 // CounterVec is a counter family with labels.
 type CounterVec struct{ f *family }
 
@@ -270,12 +317,14 @@ func labelString(names, values []string, extra ...string) string {
 	if len(names) == 0 && len(extra) == 0 {
 		return ""
 	}
+	// NOT %q: the exposition format's escapes (\\ \" \n) are exactly what
+	// escapeLabel produces; %q would escape the escapes.
 	var parts []string
 	for i, n := range names {
-		parts = append(parts, fmt.Sprintf(`%s=%q`, n, escapeLabel(values[i])))
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, n, escapeLabel(values[i])))
 	}
 	for i := 0; i+1 < len(extra); i += 2 {
-		parts = append(parts, fmt.Sprintf(`%s=%q`, extra[i], escapeLabel(extra[i+1])))
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, extra[i], escapeLabel(extra[i+1])))
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }

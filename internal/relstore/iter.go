@@ -531,6 +531,27 @@ func (p AccessPlan) Explain(t *Table) string {
 	return p.Open(t, nil, nil).Explain()
 }
 
+// Shape is the normalized identity of the access path: kind, table, driving
+// column and residual-filter count — no bound values. Explain distinguishes
+// `id = 7` from `id = 8`; Shape deliberately does not, so a parameterized
+// plan run with a thousand bindings aggregates under ONE key. This is the
+// grouping key of the cardinality-accuracy tracker.
+func (p AccessPlan) Shape(t *Table) string {
+	var sb strings.Builder
+	switch p.Kind {
+	case PathIndexProbe:
+		fmt.Fprintf(&sb, "INDEX PROBE %s(%s)", t.Name, p.Col)
+	case PathIndexRange:
+		fmt.Fprintf(&sb, "INDEX RANGE SCAN %s(%s)", t.Name, p.Col)
+	default:
+		fmt.Fprintf(&sb, "TABLE SCAN %s", t.Name)
+	}
+	if n := len(p.Residual); n > 0 {
+		fmt.Fprintf(&sb, " +%d residual", n)
+	}
+	return sb.String()
+}
+
 // AccessPath plans and opens the physical access for a conjunction of
 // predicates (PlanAccess + Open).
 func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {

@@ -38,6 +38,14 @@ type RunSpec struct {
 	// AccessPath, when non-nil, receives the EXPLAIN line of the chosen
 	// driving access path (surfaced as ExecStats.AccessPath).
 	AccessPath *string
+	// EstRows, when non-nil, receives the planner's cardinality estimate
+	// for the chosen driving access path (surfaced as ExecStats.EstRows and
+	// compared against actual rows by the cardinality-accuracy tracker).
+	EstRows *int64
+	// AccessShape, when non-nil, receives the normalized access-path shape
+	// (kind + table + column, no bound values — relstore AccessPlan.Shape):
+	// the aggregation key under which est-vs-actual accuracy is tracked.
+	AccessShape *string
 	// Span, when non-nil, is the trace span of the strategy attempt this run
 	// executes under; the executor opens scan/construct operator spans
 	// beneath it. Nil (the usual case) disables operator tracing entirely.
@@ -92,8 +100,17 @@ func (s *RunSpec) startOperators(t *relstore.Table, plan relstore.AccessPlan, c 
 }
 
 func (s *RunSpec) recordPath(t *relstore.Table, plan relstore.AccessPlan) {
-	if s != nil && s.AccessPath != nil {
+	if s == nil {
+		return
+	}
+	if s.AccessPath != nil {
 		*s.AccessPath = plan.Explain(t)
+	}
+	if s.EstRows != nil {
+		*s.EstRows = int64(plan.EstimateRows())
+	}
+	if s.AccessShape != nil {
+		*s.AccessShape = plan.Shape(t)
 	}
 }
 

@@ -42,6 +42,8 @@ var (
 		"Cursors currently open (streaming executions in flight).")
 	mSlowRuns = obs.Default.NewCounter("xsltdb_slow_runs_total",
 		"Runs that exceeded their transform's slow threshold.")
+	mMisestimates = obs.Default.NewCounter("xsltdb_misestimates_total",
+		"Completed runs whose cardinality q-error (est vs actual rows) crossed the tracker threshold.")
 )
 
 // recordRunMetrics folds one finished execution into the process-wide

@@ -115,6 +115,11 @@ type CompileOptions struct {
 	SlowThreshold time.Duration
 	// SlowSink receives SlowRun reports (see WithSlowRunSink).
 	SlowSink func(SlowRun)
+	// Sampling selects which executions trace themselves into the run-
+	// history archive (see WithTraceSampling). The zero value samples
+	// nothing. Like the governance options it tunes execution, not the
+	// compiled plan, so it is not part of the plan-cache key.
+	Sampling TraceSampling
 }
 
 // applyOption lets a legacy CompileOptions value be passed where Options

@@ -157,11 +157,29 @@ func (d *Database) runSpec(st *planState, ro runOptions, lenient bool) (*sqlxml.
 	}
 	access := new(string)
 	return &sqlxml.RunSpec{
-		Extra:      extras,
-		Params:     ro.params,
-		NoPushdown: ro.noPushdown,
-		AccessPath: access,
+		Extra:       extras,
+		Params:      ro.params,
+		NoPushdown:  ro.noPushdown,
+		AccessPath:  access,
+		EstRows:     new(int64),
+		AccessShape: new(string),
 	}, access, nil
+}
+
+// specEstRows / specShape read the planning feedback a spec accumulated —
+// zero values when the run failed before planning a driving access.
+func specEstRows(spec *sqlxml.RunSpec) int64 {
+	if spec == nil || spec.EstRows == nil {
+		return 0
+	}
+	return *spec.EstRows
+}
+
+func specShape(spec *sqlxml.RunSpec) string {
+	if spec == nil || spec.AccessShape == nil {
+		return ""
+	}
+	return *spec.AccessShape
 }
 
 // drivingWhere returns the compiled plan's driving predicates, which the

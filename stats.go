@@ -35,6 +35,11 @@ type ExecStats struct {
 	// "TABLE SCAN ..." — "" when the run never planned a driving access
 	// (e.g. it failed before execution).
 	AccessPath string
+	// EstRows is the planner's cardinality estimate for that access path
+	// (relstore AccessPlan.EstimateRows) — compare against RowsProduced to
+	// judge the estimate; the cardinality-accuracy tracker does exactly
+	// that per access-path shape. Meaningless when AccessPath is "".
+	EstRows int64
 	// CompileWall is the wall time of the compile/recompile stage.
 	CompileWall time.Duration
 	// ExecWall is the wall time of the execution stage (for cursors: the
@@ -84,6 +89,7 @@ var statsFieldTokens = map[string]string{
 	"RowsFiltered":    "filtered=",
 	"Recompiles":      "recompiles=",
 	"AccessPath":      "access=",
+	"EstRows":         "est=",
 	"CompileWall":     "compile=",
 	"ExecWall":        "exec=",
 	"StrategyUsed":    "strategy=",
@@ -101,7 +107,7 @@ func (s ExecStats) String() string {
 		s.RowsProduced, s.RowsScanned, s.IndexProbes, s.RangeScans, s.FullScans,
 		s.RowsEmitted, s.RowsFiltered, s.Recompiles, s.CompileWall.Round(time.Microsecond), s.ExecWall.Round(time.Microsecond))
 	if s.AccessPath != "" {
-		line += fmt.Sprintf(" access=%q", s.AccessPath)
+		line += fmt.Sprintf(" access=%q est=%d", s.AccessPath, s.EstRows)
 	}
 	if s.Degradations > 0 || s.BreakerSkips > 0 || s.BreakerTrips > 0 || s.PanicsRecovered > 0 {
 		line += fmt.Sprintf(" strategy=%s degradations=%d breaker-skips=%d breaker-trips=%d panics=%d",

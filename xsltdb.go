@@ -26,8 +26,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -127,12 +129,23 @@ type Database struct {
 	viewVersions map[string]int
 
 	plans planCache
+
+	// history is the run-history archive, nil until EnableRunHistory; the
+	// atomic pointer keeps the disabled fast path at one load per run.
+	history atomic.Pointer[obs.Archive]
+	// cards is the always-on cardinality-accuracy tracker (est vs actual
+	// rows per access-path shape, misestimate log above q-error 2).
+	cards *obs.CardTracker
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
 	rel := relstore.NewDB()
-	return &Database{rel: rel, exec: sqlxml.NewExecutor(rel), views: map[string]*ViewDef{}, viewVersions: map[string]int{}}
+	return &Database{
+		rel: rel, exec: sqlxml.NewExecutor(rel),
+		views: map[string]*ViewDef{}, viewVersions: map[string]int{},
+		cards: obs.NewCardTracker(2.0, mMisestimates),
+	}
 }
 
 // Rel exposes the underlying relational store.
@@ -548,10 +561,14 @@ func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Resul
 	}
 	ro := buildRunOptions(opts)
 	// A run under a slow threshold traces itself when the caller did not,
-	// so a slow-run report always carries the full operator tree.
+	// so a slow-run report always carries the full operator tree. The same
+	// applies when the trace-sampling policy selects this run for the
+	// run-history archive.
+	hist := ct.db.history.Load()
+	sampled := ct.opts.Sampling.wantTrace(hist)
 	tr := ro.trace
 	ownTrace := false
-	if tr == nil && ct.opts.SlowThreshold > 0 && ct.opts.SlowSink != nil {
+	if tr == nil && (sampled || (ct.opts.SlowThreshold > 0 && ct.opts.SlowSink != nil)) {
 		tr = obs.New()
 		ownTrace = true
 	}
@@ -590,6 +607,7 @@ func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Resul
 	es.mergeSink(sink.Snapshot())
 	es.RowsProduced = int64(len(rows))
 	es.AccessPath = *access
+	es.EstRows = specEstRows(spec)
 	ct.db.exec.AddStats(&sink)
 	if root != nil {
 		root.AddRowsOut(es.RowsProduced)
@@ -601,6 +619,8 @@ func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Resul
 	}
 	recordRunMetrics(es, err)
 	emitSlowRun(ct.opts.SlowThreshold, ct.opts.SlowSink, ct.viewName, tr, es, err)
+	keep := sampled && ct.opts.Sampling.keep(es.CompileWall+es.ExecWall, err)
+	ct.db.archiveRun(hist, "run", ct.viewName, start, spec, es, err, tr, keep, err == nil)
 	res.Rows = rows
 	if err != nil {
 		res.Rows = nil
@@ -675,7 +695,19 @@ func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileO
 			}
 		}
 		spec.Span = attempt // strategies run sequentially; the last wins
-		rows, err := d.runStrategy(s, st, opts, spec, sink, g, attempt)
+		var rows []string
+		var err error
+		if d.history.Load() != nil {
+			// With the console enabled, label this goroutine's profile
+			// samples so /debug/pprof/profile breaks CPU down by strategy
+			// and view. Only here — labeling per cursor row would dominate
+			// the per-row cost.
+			pprof.Do(ctx, pprof.Labels("strategy", s.String(), "view", st.view.Name), func(context.Context) {
+				rows, err = d.runStrategy(s, st, opts, spec, sink, g, attempt)
+			})
+		} else {
+			rows, err = d.runStrategy(s, st, opts, spec, sink, g, attempt)
+		}
 		if attempt != nil {
 			attempt.SetAttr("gov_ticks", g.Ticks())
 		}
