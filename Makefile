@@ -7,6 +7,7 @@
 #   make bench    the paper-evaluation benchmarks
 #   make bench-json  pushdown speedup measurements -> BENCH_pushdown.json
 #   make bench-obs   observability overhead guard  -> BENCH_obs.json
+#   make bench-exec  batched/morsel execution-engine guard -> BENCH_exec.json
 #   make bench-history  run-history archive overhead (disabled/enabled/contended)
 #   make demo     paper Examples 1 and 2 end to end, streamed with stats
 #   make console  the demo serving the live debug console on :6060
@@ -14,9 +15,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: verify test vet race fuzz faults bench bench-json bench-obs bench-history demo console
+.PHONY: verify test vet race fuzz faults bench bench-json bench-obs bench-exec bench-history demo console
 
-verify: test vet race fuzz faults
+verify: test vet race fuzz faults bench-exec
 
 test:
 	$(GO) build ./...
@@ -56,6 +57,13 @@ bench-json:
 bench-obs:
 	$(GO) run ./cmd/xsltbench -obs-overhead -obs-baseline BENCH_obs.json
 	$(GO) test -bench 'BenchmarkNilSpanOps|BenchmarkTracedSpanOps' -benchmem -run xxx ./internal/obs
+
+# Execution-engine guard: the batched scan must stay >=1.3x the row-at-a-time
+# engine single-threaded, and the morsel-parallel scan >=2x when GOMAXPROCS>1
+# (exits non-zero otherwise), compared against the committed BENCH_exec.json
+# baseline. Artifact: BENCH_exec.json.
+bench-exec:
+	$(GO) run ./cmd/xsltbench -exec -exec-baseline BENCH_exec.json
 
 # Run-history archive overhead: the keyed lookup with the archive disabled,
 # enabled, and enabled under concurrent console readers.

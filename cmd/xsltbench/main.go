@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -57,6 +58,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write the -pushdown measurements to this file as JSON")
 	obsOver := flag.Bool("obs-overhead", false, "measure tracing overhead (nil-trace fast path vs attached trace), write BENCH_obs.json")
 	obsBaseline := flag.String("obs-baseline", "", "compare the -obs-overhead measurement against this committed BENCH_obs.json and report the regression delta")
+	execBench := flag.Bool("exec", false, "measure the execution engine: row-at-a-time vs batched vs morsel-parallel scan, write BENCH_exec.json")
+	execBaseline := flag.String("exec-baseline", "", "compare the -exec measurement against this committed BENCH_exec.json and report the delta")
+	workersFlag := flag.Int("workers", 0, "highest morsel worker count for -exec (0 = GOMAXPROCS)")
+	batchFlag := flag.Int("batch-size", 0, "batch size for the -exec batched/morsel configurations (0 = engine default)")
 	history := flag.Bool("history", false, "measure the run-history archive's overhead (disabled vs enabled under concurrent console readers)")
 	all := flag.Bool("all", false, "run every experiment")
 	reps := flag.Int("reps", 5, "repetitions per configuration (median reported)")
@@ -91,6 +96,10 @@ func main() {
 	}
 	if *all || *obsOver {
 		obsOverhead(*reps, *scale, *obsBaseline)
+		ran = true
+	}
+	if *all || *execBench {
+		benchExec(*reps, *scale, *workersFlag, *batchFlag, *execBaseline)
 		ran = true
 	}
 	if *all || *history {
@@ -694,6 +703,211 @@ func compareObsBaseline(path string, m obsMeasurement) {
 	if base.SpanOpsPerRun > 0 && m.SpanOpsPerRun > base.SpanOpsPerRun {
 		fmt.Printf("note: span ops per run grew by %d — new instrumentation sites on the hot path\n",
 			m.SpanOpsPerRun-base.SpanOpsPerRun)
+	}
+}
+
+// execConfigMeasure is one batched/morsel configuration's throughput.
+type execConfigMeasure struct {
+	Workers    int     `json:"workers"`
+	Nanos      int64   `json:"ns"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// execMeasurement is one table size's row of BENCH_exec.json.
+type execMeasurement struct {
+	Rows          int                 `json:"rows"`
+	MatchRows     int                 `json:"match_rows"`
+	RowAtNanos    int64               `json:"row_at_a_time_ns"`
+	RowAtRate     float64             `json:"row_at_a_time_rows_per_sec"`
+	Batched       []execConfigMeasure `json:"batched"`
+	BatchSpeedup  float64             `json:"batch_speedup"`
+	MorselSpeedup float64             `json:"morsel_speedup"`
+}
+
+// execReport is the BENCH_exec.json schema.
+type execReport struct {
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	BatchSize      int               `json:"batch_size"`
+	BatchGuardMin  float64           `json:"batch_guard_min"`
+	MorselGuardMin float64           `json:"morsel_guard_min"`
+	MorselGuardOn  bool              `json:"morsel_guard_applied"`
+	GuardOK        bool              `json:"guard_ok"`
+	Measurements   []execMeasurement `json:"measurements"`
+}
+
+// benchExec measures what the batch-at-a-time redesign bought: a selective
+// (~1%) non-indexed full scan under a live governor, executed three ways.
+//
+//   - row-at-a-time reproduces the pre-batch engine's per-row cost profile:
+//     a bounds check and a cell read each taking the table read-lock, a
+//     predicate evaluated through the string-keyed Value API, and one
+//     governor tick — per row.
+//   - batched (workers=1) is the serial BatchIterator: one lock snapshot,
+//     one governor charge and one fault check per chunk, predicates
+//     pre-resolved to column ordinals.
+//   - morsel (workers>1) adds the morsel-parallel scan with its
+//     order-preserving merge.
+//
+// Guards, applied to the largest table size: batched must be >=1.3x
+// row-at-a-time on one worker, and with GOMAXPROCS>1 the best morsel config
+// must be >=2x. A failed guard exits non-zero (`make bench-exec` in verify).
+// Speedup ratios, not absolute nanoseconds, are the gate so the guard is
+// robust to machine-speed differences; -exec-baseline reports the deltas
+// against the committed artifact for the loud-flag signal.
+func benchExec(reps, scale, workersFlag, batchFlag int, baselinePath string) {
+	fmt.Println("Execution engine — row-at-a-time vs batched vs morsel-parallel scan (~1% selective)")
+	maxProcs := runtime.GOMAXPROCS(0)
+	topWorkers := maxProcs
+	if workersFlag > 0 {
+		topWorkers = workersFlag
+	}
+	workerSet := []int{1, 2}
+	if topWorkers > 2 {
+		workerSet = append(workerSet, topWorkers)
+	}
+
+	report := execReport{
+		GOMAXPROCS:     maxProcs,
+		BatchSize:      batchFlag,
+		BatchGuardMin:  1.3,
+		MorselGuardMin: 2.0,
+		MorselGuardOn:  maxProcs > 1,
+		GuardOK:        true,
+	}
+	fmt.Printf("%-10s %-16s %-20s %-10s %s\n", "rows", "config", "time", "rows/sec", "speedup")
+
+	for _, n := range []int{10_000 * scale, 100_000 * scale} {
+		tab, err := relstore.NewTable("scan",
+			relstore.Column{Name: "id", Type: relstore.IntCol},
+			relstore.Column{Name: "v", Type: relstore.IntCol})
+		check(err)
+		want := 0
+		for i := 0; i < n; i++ {
+			v := int64((i * 7919) % 1000)
+			if v < 10 {
+				want++
+			}
+			_, err := tab.Insert(int64(i), v)
+			check(err)
+		}
+		preds := []relstore.Pred{{Col: "v", Op: relstore.CmpLt, Val: int64(10)}}
+
+		rate := func(d time.Duration) float64 {
+			return float64(n) / d.Seconds()
+		}
+
+		rowat := median(reps, func() error {
+			g := governor.New(context.Background())
+			got := 0
+			for id := 0; id < tab.NumRows(); id++ {
+				if preds[0].Matches(tab.Value(id, "v")) {
+					got++
+				}
+				if err := g.Tick(); err != nil {
+					return err
+				}
+			}
+			if got != want {
+				return fmt.Errorf("row-at-a-time matched %d rows, want %d", got, want)
+			}
+			return nil
+		})
+		m := execMeasurement{
+			Rows:       n,
+			MatchRows:  want,
+			RowAtNanos: rowat.Nanoseconds(),
+			RowAtRate:  rate(rowat),
+		}
+		fmt.Printf("%-10d %-16s %-20s %-10.0f %s\n", n, "row-at-a-time", rowat, m.RowAtRate, "1.0x")
+
+		for _, w := range workerSet {
+			w := w
+			d := median(reps, func() error {
+				g := governor.New(context.Background())
+				opts := relstore.BatchOpts{Workers: w, BatchSize: batchFlag}
+				it := relstore.FullScanPlan(tab, preds).OpenBatch(tab, nil, g, opts)
+				b := relstore.GetBatch(opts.Size())
+				defer relstore.PutBatch(b)
+				got := 0
+				for {
+					k, ok := it.NextBatch(b)
+					if !ok {
+						break
+					}
+					got += k
+				}
+				if err := it.Err(); err != nil {
+					return err
+				}
+				if got != want {
+					return fmt.Errorf("workers=%d matched %d rows, want %d", w, got, want)
+				}
+				return nil
+			})
+			speedup := float64(rowat) / float64(d)
+			m.Batched = append(m.Batched, execConfigMeasure{Workers: w, Nanos: d.Nanoseconds(), RowsPerSec: rate(d)})
+			label := fmt.Sprintf("batched w=%d", w)
+			fmt.Printf("%-10d %-16s %-20s %-10.0f %.1fx\n", n, label, d, rate(d), speedup)
+			if w == 1 {
+				m.BatchSpeedup = speedup
+			} else if speedup > m.MorselSpeedup {
+				m.MorselSpeedup = speedup
+			}
+		}
+		report.Measurements = append(report.Measurements, m)
+	}
+	fmt.Println()
+
+	// The guards read the largest (steadiest) measurement.
+	last := report.Measurements[len(report.Measurements)-1]
+	if last.BatchSpeedup < report.BatchGuardMin {
+		report.GuardOK = false
+		fmt.Fprintf(os.Stderr, "exec guard FAILED: batched speedup %.2fx < %.1fx at %d rows\n",
+			last.BatchSpeedup, report.BatchGuardMin, last.Rows)
+	}
+	if report.MorselGuardOn && last.MorselSpeedup < report.MorselGuardMin {
+		report.GuardOK = false
+		fmt.Fprintf(os.Stderr, "exec guard FAILED: morsel speedup %.2fx < %.1fx at %d rows (GOMAXPROCS=%d)\n",
+			last.MorselSpeedup, report.MorselGuardMin, last.Rows, maxProcs)
+	}
+
+	// Compare against the committed baseline before overwriting it.
+	if baselinePath != "" {
+		compareExecBaseline(baselinePath, report)
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile("BENCH_exec.json", append(b, '\n'), 0o644))
+	fmt.Println("wrote BENCH_exec.json")
+	if !report.GuardOK {
+		os.Exit(1)
+	}
+	fmt.Println()
+}
+
+// compareExecBaseline reports this measurement against a committed
+// BENCH_exec.json. Like the obs baseline, the delta is informational — the
+// hard gate stays the machine-independent speedup guards.
+func compareExecBaseline(path string, r execReport) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("no baseline to compare (%v)\n", err)
+		return
+	}
+	var base execReport
+	if err := json.Unmarshal(b, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "exec baseline %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if len(base.Measurements) == 0 || len(r.Measurements) == 0 {
+		return
+	}
+	old := base.Measurements[len(base.Measurements)-1]
+	cur := r.Measurements[len(r.Measurements)-1]
+	fmt.Printf("vs baseline %s (at %d rows): batch speedup %.2fx -> %.2fx, morsel speedup %.2fx -> %.2fx\n",
+		path, cur.Rows, old.BatchSpeedup, cur.BatchSpeedup, old.MorselSpeedup, cur.MorselSpeedup)
+	if cur.BatchSpeedup < old.BatchSpeedup*0.8 {
+		fmt.Printf("note: batch speedup fell more than 20%% below the committed baseline\n")
 	}
 }
 

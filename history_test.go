@@ -549,11 +549,11 @@ func TestChainedExplainAnalyzeGolden(t *testing.T) {
 	const golden = `strategy: sql-rewrite
 plan cache: cached=true entries=1 hits=0 misses=1
 chain: 1 stage(s) after the view stage (1 rewritten, 0 interpreted)
-actual: rows=3 scanned=3 probes=0 range-scans=0 full-scans=1 emitted=3 filtered=0 recompiles=0 compile=DUR exec=DUR access="TABLE SCAN row" est=3
+actual: rows=3 scanned=3 probes=0 range-scans=0 full-scans=1 emitted=3 filtered=0 recompiles=0 compile=DUR exec=DUR batches=1 morsels=0 access="TABLE SCAN row" est=3
 run DUR rows_out=3 view=rows access_path="TABLE SCAN row"
 ├─ compile DUR cache=fresh
 └─ sql-rewrite DUR rows_out=3 gov_ticks=N
- ├─ scan DUR calls=4 rows_out=3 path="TABLE SCAN row" est_rows=3
+ ├─ scan DUR calls=2 rows_out=3 path="TABLE SCAN row" est_rows=3 batch_size=1024 workers=1
  ├─ construct DUR calls=3 rows_in=3 rows_out=3
  └─ serialize DUR rows_in=3 rows_out=3
 chain DUR

@@ -9,8 +9,8 @@
 //
 // Registered sites (grep for faultpoint.Hit to confirm):
 //
-//	relstore.scan.next    — full-scan row fetch
-//	relstore.index.next   — index range-scan row fetch
+//	relstore.scan.batch   — full-scan batch fetch (one hit per NextBatch)
+//	relstore.index.batch  — index-scan batch fetch (one hit per NextBatch)
 //	sqlxml.query.next     — SQL/XML cursor row construction
 //	sqlxml.view.row       — view row materialization
 //	clobstore.parse       — CLOB document parse

@@ -148,6 +148,33 @@ func (g *G) Tick() error {
 	return g.Check()
 }
 
+// TickN charges n evaluation steps in one call — the batch-at-a-time form
+// of Tick. A batch iterator that visits 1024 rows calls TickN(1024) once
+// instead of Tick() 1024 times, keeping the ticks counter an honest work
+// proxy while paying one atomic add per batch. A full cancellation check
+// runs whenever the add crosses a 64-tick boundary, so cancellation latency
+// is bounded by one batch regardless of batch size (n >= 64 always checks).
+func (g *G) TickN(n int) error {
+	if g == nil {
+		return nil
+	}
+	if n <= 0 {
+		if p := g.failed.Load(); p != nil {
+			return *p
+		}
+		return nil
+	}
+	after := g.ticks.Add(uint64(n))
+	if (after-uint64(n))>>6 == after>>6 {
+		// No 64-tick boundary crossed: amortized path, sticky error only.
+		if p := g.failed.Load(); p != nil {
+			return *p
+		}
+		return nil
+	}
+	return g.Check()
+}
+
 // Check performs the full (unamortized) cancellation check: sticky error
 // first, then the context.
 func (g *G) Check() error {

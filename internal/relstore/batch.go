@@ -1,0 +1,459 @@
+package relstore
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultpoint"
+	"repro/internal/governor"
+)
+
+// This file is the batch-at-a-time half of the execution contract. The
+// original Volcano interface (Iterator, iter.go) pulls one row id per call,
+// paying interface dispatch, a faultpoint check, a governor tick and a table
+// lock acquisition PER ROW. BatchIterator amortizes all four to once per
+// ~1024-row chunk: producers fill a caller-supplied Batch under a single
+// lock acquisition, charge the governor once with TickN(n), and check their
+// fault point once per NextBatch call. The per-row Iterator survives as a
+// deprecated shim (RowAdapter) layered on top, so every legacy caller —
+// including the correlated-subquery scans inside XML construction — now
+// exercises the batch machinery.
+
+// DefaultBatchSize is the number of row ids a Batch carries unless the
+// caller asks otherwise. 1024 rows is large enough to make the per-batch
+// overheads (lock, faultpoint, governor) unmeasurable per row and small
+// enough that a cancelled run aborts within one batch.
+const DefaultBatchSize = 1024
+
+// Batch is one chunk of scan output: row ids plus, for each id, a reference
+// to the row's value slice (captured under the same lock acquisition that
+// validated the id, so consumers can read cells without re-locking the
+// table). Rows are append-only — a published []Value is never mutated — so
+// holding the references after the lock is released is safe.
+//
+// Batches are pooled: obtain one with GetBatch, return it with PutBatch
+// when the consumer is done. The zero Batch is usable but unpooled.
+type Batch struct {
+	// IDs holds the qualifying row ids, in ascending heap order.
+	IDs []int
+	// Rows holds the matching row value slices: Rows[i] is the row of
+	// IDs[i]. Shared references — callers must not mutate.
+	Rows [][]Value
+}
+
+// Len reports how many rows the batch currently holds.
+func (b *Batch) Len() int { return len(b.IDs) }
+
+// reset empties the batch, keeping capacity.
+func (b *Batch) reset() {
+	b.IDs = b.IDs[:0]
+	b.Rows = b.Rows[:0]
+}
+
+// grow makes room for up to n rows without reallocating per append.
+func (b *Batch) grow(n int) {
+	if cap(b.IDs) < n {
+		b.IDs = make([]int, 0, n)
+		b.Rows = make([][]Value, 0, n)
+	}
+}
+
+// push appends one qualifying row.
+func (b *Batch) push(id int, row []Value) {
+	b.IDs = append(b.IDs, id)
+	b.Rows = append(b.Rows, row)
+}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns an empty pooled batch with capacity for size rows
+// (DefaultBatchSize when size <= 0).
+func GetBatch(size int) *Batch {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	b := batchPool.Get().(*Batch)
+	b.reset()
+	b.grow(size)
+	return b
+}
+
+// PutBatch returns a batch to the pool. The caller must not touch b (or any
+// slice obtained from it) afterwards.
+func PutBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	b.reset()
+	batchPool.Put(b)
+}
+
+// BatchIterator is the batch-at-a-time execution contract. NextBatch fills
+// batch (cleared first) with up to its capacity of qualifying row ids and
+// returns how many it produced; ok=false means no rows were produced —
+// either clean exhaustion or a terminal fault. Exactly like the row
+// interface, consumers MUST check Err after a false NextBatch, otherwise an
+// aborted scan silently truncates to an apparently-complete result.
+type BatchIterator interface {
+	// NextBatch fills batch with the next chunk of qualifying row ids.
+	// n > 0 with ok=true, or n == 0 with ok=false at end of stream.
+	NextBatch(batch *Batch) (n int, ok bool)
+	// Err returns the terminal error that stopped the iterator early, or
+	// nil after clean exhaustion.
+	Err() error
+	// Reset rewinds to the start (clearing any terminal error).
+	Reset()
+	// Explain describes the physical operator.
+	Explain() string
+}
+
+// BatchOpts configures how an access plan opens its batch pipeline.
+// The zero value means defaults: DefaultBatchSize rows per batch and
+// GOMAXPROCS morsel workers for large full scans.
+type BatchOpts struct {
+	// BatchSize is the chunk size; <= 0 means DefaultBatchSize.
+	BatchSize int
+	// Workers bounds the morsel worker pool for full scans: <= 0 means
+	// GOMAXPROCS, 1 forces a serial scan. Index paths are always serial —
+	// a B-tree descent already touches only the qualifying rows.
+	Workers int
+}
+
+// Size resolves the effective batch size (DefaultBatchSize when unset).
+func (o BatchOpts) Size() int {
+	if o.BatchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+// WorkerCount resolves the effective morsel worker bound (GOMAXPROCS when
+// unset).
+func (o BatchOpts) WorkerCount() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// predClosure pre-resolves predicate columns to ordinals so per-row
+// evaluation is a slice index instead of a map lookup through the table
+// lock. A predicate naming a missing column gets ordinal -1 and — per SQL
+// NULL semantics, matching the row interface's behavior — never matches.
+type predClosure struct {
+	preds []Pred
+	cols  []int
+}
+
+func closePreds(t *Table, preds []Pred) predClosure {
+	pc := predClosure{preds: preds}
+	if len(preds) > 0 {
+		pc.cols = make([]int, len(preds))
+		for i, p := range preds {
+			pc.cols[i] = t.ColIndex(p.Col)
+		}
+	}
+	return pc
+}
+
+// matches evaluates the conjunction against one row's values.
+func (pc *predClosure) matches(row []Value) bool {
+	for i, p := range pc.preds {
+		var cell Value
+		if ci := pc.cols[i]; ci >= 0 && ci < len(row) {
+			cell = row[ci]
+		}
+		if !p.Matches(cell) {
+			return false
+		}
+	}
+	return true
+}
+
+// batchScanIter is the serial full-table scan: one lock acquisition, one
+// fault-point check and one governor charge per batch instead of per row.
+// The row count is re-read from the table every batch, so rows appended
+// while the scan is in flight are still visited — the same semantics the
+// per-row scan had, now with the length snapshot taken once per batch
+// (the fix for the per-row RLock/RUnlock in the old scanIter.Next).
+type batchScanIter struct {
+	table *Table
+	pc    predClosure
+	size  int // rows per emitted batch
+	pos   int
+	stats *Stats
+	gov   *governor.G
+	err   error
+}
+
+// scanChunkRows bounds the heap rows visited per lock acquisition and per
+// governor charge. A batch whose predicates filter everything would
+// otherwise scan the whole table inside one NextBatch with no cancellation
+// check; chunking keeps the cancel latency bounded by ~4k rows of work.
+const scanChunkRows = 4096
+
+func (s *batchScanIter) NextBatch(batch *Batch) (int, bool) {
+	if s.err != nil {
+		return 0, false
+	}
+	batch.reset()
+	// The fault point fires before the exhaustion check so a test arming
+	// EnableAfter(n) can force a failure on the final (empty) pull too.
+	if err := faultpoint.Hit("relstore.scan.batch"); err != nil {
+		s.err = err
+		return 0, false
+	}
+	// The configured batch size is authoritative — a pooled Batch may carry
+	// a larger capacity from a previous consumer.
+	want := s.size
+	batch.grow(want)
+	for batch.Len() == 0 {
+		// One lock acquisition per chunk: snapshot the rows header (the
+		// table is append-only, published row slices are never mutated) and
+		// scan it lock-free. Re-reading per chunk means rows appended while
+		// the scan is in flight are still visited — the same semantics the
+		// per-row scan had.
+		s.table.mu.RLock()
+		rows := s.table.rows
+		s.table.mu.RUnlock()
+		if s.pos >= len(rows) {
+			break
+		}
+		end := s.pos + scanChunkRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		start := s.pos
+		var filtered int
+		for s.pos < end && batch.Len() < want {
+			id := s.pos
+			s.pos++
+			row := rows[id]
+			if s.pc.matches(row) {
+				batch.push(id, row)
+			} else {
+				filtered++
+			}
+		}
+		scanned := s.pos - start
+		if s.stats != nil {
+			atomic.AddInt64(&s.stats.RowsScanned, int64(scanned))
+			if filtered > 0 && len(s.pc.preds) > 0 {
+				atomic.AddInt64(&s.stats.RowsFiltered, int64(filtered))
+			}
+		}
+		if err := s.gov.TickN(scanned); err != nil {
+			s.err = err
+			return 0, false
+		}
+	}
+	n := batch.Len()
+	if n == 0 {
+		return 0, false
+	}
+	if s.stats != nil {
+		atomic.AddInt64(&s.stats.RowsEmitted, int64(n))
+		atomic.AddInt64(&s.stats.Batches, 1)
+	}
+	return n, true
+}
+
+func (s *batchScanIter) Err() error { return s.err }
+
+func (s *batchScanIter) Reset() { s.pos = 0; s.err = nil }
+
+func (s *batchScanIter) Explain() string { return scanExplain(s.table, s.pc.preds) }
+
+func scanExplain(t *Table, preds []Pred) string {
+	if len(preds) == 0 {
+		return "TABLE SCAN " + t.Name
+	}
+	return "TABLE SCAN " + t.Name + " FILTER " + predsString(preds)
+}
+
+// batchIndexIter drives a B-tree descent and emits the (sorted) posting
+// list in batches, applying residual predicates against row references
+// resolved once per batch under a single lock acquisition.
+type batchIndexIter struct {
+	table    *Table
+	indexCol string
+	lo, hi   Bound
+	residual predClosure
+	probe    bool
+	size     int // rows per emitted batch
+
+	ids   []int
+	pos   int
+	run   bool
+	stats *Stats
+	gov   *governor.G
+	err   error
+}
+
+func (it *batchIndexIter) materialize() {
+	idx := it.table.Index(it.indexCol)
+	it.ids = it.ids[:0]
+	if it.stats != nil {
+		atomic.AddInt64(&it.stats.IndexProbes, 1)
+	}
+	if idx != nil {
+		idx.Range(it.lo, it.hi, func(_ Value, rows []int) bool {
+			it.ids = append(it.ids, rows...)
+			return true
+		})
+	}
+	sort.Ints(it.ids) // row-id order ≈ heap order for stable output
+	it.run = true
+}
+
+func (it *batchIndexIter) NextBatch(batch *Batch) (int, bool) {
+	if it.err != nil {
+		return 0, false
+	}
+	batch.reset()
+	if err := faultpoint.Hit("relstore.index.batch"); err != nil {
+		it.err = err
+		return 0, false
+	}
+	if !it.run {
+		it.materialize()
+	}
+	want := it.size
+	batch.grow(want)
+	for batch.Len() == 0 && it.pos < len(it.ids) {
+		it.table.mu.RLock()
+		rows := it.table.rows
+		it.table.mu.RUnlock()
+		end := it.pos + scanChunkRows
+		if end > len(it.ids) {
+			end = len(it.ids)
+		}
+		start := it.pos
+		var filtered int
+		for it.pos < end && batch.Len() < want {
+			id := it.ids[it.pos]
+			it.pos++
+			if id < 0 || id >= len(rows) {
+				filtered++
+				continue
+			}
+			row := rows[id]
+			if it.residual.matches(row) {
+				batch.push(id, row)
+			} else {
+				filtered++
+			}
+		}
+		if it.stats != nil && filtered > 0 {
+			atomic.AddInt64(&it.stats.RowsFiltered, int64(filtered))
+		}
+		if err := it.gov.TickN(it.pos - start); err != nil {
+			it.err = err
+			return 0, false
+		}
+	}
+	n := batch.Len()
+	if n == 0 {
+		return 0, false
+	}
+	if it.stats != nil {
+		atomic.AddInt64(&it.stats.RowsEmitted, int64(n))
+		atomic.AddInt64(&it.stats.Batches, 1)
+	}
+	return n, true
+}
+
+func (it *batchIndexIter) Err() error { return it.err }
+
+func (it *batchIndexIter) Reset() { it.pos = 0; it.err = nil }
+
+func (it *batchIndexIter) Explain() string {
+	op := "INDEX RANGE SCAN"
+	if it.probe {
+		op = "INDEX PROBE"
+	}
+	rng := describeRange(it.indexCol, it.lo, it.hi)
+	if len(it.residual.preds) == 0 {
+		return op + " " + it.table.Name + "(" + it.indexCol + ") " + rng
+	}
+	return op + " " + it.table.Name + "(" + it.indexCol + ") " + rng + " FILTER " + predsString(it.residual.preds)
+}
+
+// RowAdapter adapts a BatchIterator to the legacy per-row Iterator
+// interface: it drains an internal batch one id at a time, refilling from
+// the batch producer as needed.
+//
+// Deprecated: new code should consume BatchIterator directly (NextBatch
+// amortizes per-row overheads); RowAdapter exists so callers of the
+// original Volcano contract keep compiling — and transparently run on the
+// batch engine — during the migration.
+type RowAdapter struct {
+	B BatchIterator
+
+	batch *Batch
+	pos   int
+}
+
+// Next returns the next row id, refilling from the batch producer when the
+// current batch is drained.
+func (a *RowAdapter) Next() (int, bool) {
+	for {
+		if a.batch != nil && a.pos < a.batch.Len() {
+			id := a.batch.IDs[a.pos]
+			a.pos++
+			return id, true
+		}
+		if a.batch == nil {
+			a.batch = GetBatch(0)
+		}
+		a.pos = 0
+		if _, ok := a.B.NextBatch(a.batch); !ok {
+			PutBatch(a.batch)
+			a.batch = nil
+			return 0, false
+		}
+	}
+}
+
+// Err reports the batch producer's terminal error.
+func (a *RowAdapter) Err() error { return a.B.Err() }
+
+// Reset rewinds the underlying batch producer and drops the buffered rows.
+func (a *RowAdapter) Reset() {
+	a.B.Reset()
+	if a.batch != nil {
+		PutBatch(a.batch)
+		a.batch = nil
+	}
+	a.pos = 0
+}
+
+// Explain describes the underlying physical operator.
+func (a *RowAdapter) Explain() string { return a.B.Explain() }
+
+// OpenBatch turns the plan into a live batch iterator over t, with counters
+// routed to stats (may be nil) under governor g (may be nil). Full scans
+// over tables at or above MorselMinRows split into morsels dispatched to a
+// worker pool when opts allows more than one worker; the merge preserves
+// heap order, so output is identical to the serial scan.
+func (p AccessPlan) OpenBatch(t *Table, stats *Stats, g *governor.G, opts BatchOpts) BatchIterator {
+	if p.Kind == PathFullScan {
+		if stats != nil {
+			atomic.AddInt64(&stats.FullScans, 1)
+		}
+		if w := opts.WorkerCount(); w > 1 && t.NumRows() >= MorselMinRows {
+			return newMorselScan(t, p.Residual, stats, g, w, opts.Size())
+		}
+		return &batchScanIter{table: t, pc: closePreds(t, p.Residual), size: opts.Size(), stats: stats, gov: g}
+	}
+	if stats != nil {
+		atomic.AddInt64(&stats.RangeScans, 1)
+	}
+	return &batchIndexIter{
+		table: t, indexCol: p.Col, lo: p.Lo, hi: p.Hi,
+		residual: closePreds(t, p.Residual), probe: p.Kind == PathIndexProbe,
+		size: opts.Size(), stats: stats, gov: g,
+	}
+}

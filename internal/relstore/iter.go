@@ -3,11 +3,9 @@ package relstore
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync/atomic"
 
-	"repro/internal/faultpoint"
 	"repro/internal/governor"
 )
 
@@ -25,6 +23,12 @@ type Stats struct {
 	// residual predicate — the "rows in minus rows out" of the filter
 	// operator, which EXPLAIN ANALYZE reports as filter selectivity.
 	RowsFiltered int64
+	// Batches counts the chunks emitted by batch producers — RowsEmitted
+	// divided by Batches is the realized average batch size.
+	Batches int64
+	// Morsels counts the scan morsels executed by the parallel-scan worker
+	// pool (zero for serial scans and index paths).
+	Morsels int64
 }
 
 // Add accumulates other into s (atomically).
@@ -35,6 +39,8 @@ func (s *Stats) Add(other *Stats) {
 	atomic.AddInt64(&s.FullScans, atomic.LoadInt64(&other.FullScans))
 	atomic.AddInt64(&s.RangeScans, atomic.LoadInt64(&other.RangeScans))
 	atomic.AddInt64(&s.RowsFiltered, atomic.LoadInt64(&other.RowsFiltered))
+	atomic.AddInt64(&s.Batches, atomic.LoadInt64(&other.Batches))
+	atomic.AddInt64(&s.Morsels, atomic.LoadInt64(&other.Morsels))
 }
 
 // Snapshot returns an atomically-read copy of the counters, safe to take
@@ -47,6 +53,8 @@ func (s *Stats) Snapshot() Stats {
 		FullScans:    atomic.LoadInt64(&s.FullScans),
 		RangeScans:   atomic.LoadInt64(&s.RangeScans),
 		RowsFiltered: atomic.LoadInt64(&s.RowsFiltered),
+		Batches:      atomic.LoadInt64(&s.Batches),
+		Morsels:      atomic.LoadInt64(&s.Morsels),
 	}
 }
 
@@ -177,11 +185,16 @@ func (p Pred) Matches(cell Value) bool {
 	return false
 }
 
-// Iterator is the Volcano pull interface: Next returns row ids of the
-// underlying table until exhaustion. A false Next may mean exhaustion OR a
-// terminal fault (cancellation, injected failure); consumers must check Err
-// after the loop — otherwise an aborted scan would silently truncate to an
-// apparently-complete result.
+// Iterator is the original Volcano pull interface: Next returns row ids of
+// the underlying table until exhaustion. A false Next may mean exhaustion OR
+// a terminal fault (cancellation, injected failure); consumers must check
+// Err after the loop — otherwise an aborted scan would silently truncate to
+// an apparently-complete result.
+//
+// Deprecated: the engine executes batch-at-a-time (see BatchIterator in
+// batch.go); every Iterator returned by this package is now a RowAdapter
+// over a batch producer. Existing callers keep working unchanged, but new
+// code should consume BatchIterator directly and skip the per-row shim.
 type Iterator interface {
 	// Next returns the next row id, or ok=false at end of stream.
 	Next() (rowID int, ok bool)
@@ -192,143 +205,6 @@ type Iterator interface {
 	Reset()
 	// Explain describes the physical operator.
 	Explain() string
-}
-
-// scanIter is a full table scan with residual predicates.
-type scanIter struct {
-	table *Table
-	preds []Pred
-	pos   int
-	stats *Stats
-	gov   *governor.G
-	err   error
-}
-
-func (s *scanIter) Next() (int, bool) {
-	if s.err != nil {
-		return 0, false
-	}
-	for {
-		if err := faultpoint.Hit("relstore.scan.next"); err != nil {
-			s.err = err
-			return 0, false
-		}
-		if err := s.gov.Tick(); err != nil {
-			s.err = err
-			return 0, false
-		}
-		s.table.mu.RLock()
-		n := len(s.table.rows)
-		s.table.mu.RUnlock()
-		if s.pos >= n {
-			return 0, false
-		}
-		id := s.pos
-		s.pos++
-		if s.stats != nil {
-			atomic.AddInt64(&s.stats.RowsScanned, 1)
-		}
-		if rowMatches(s.table, id, s.preds) {
-			if s.stats != nil {
-				atomic.AddInt64(&s.stats.RowsEmitted, 1)
-			}
-			return id, true
-		}
-		if s.stats != nil && len(s.preds) > 0 {
-			atomic.AddInt64(&s.stats.RowsFiltered, 1)
-		}
-	}
-}
-
-func (s *scanIter) Err() error { return s.err }
-
-func (s *scanIter) Reset() { s.pos = 0; s.err = nil }
-
-func (s *scanIter) Explain() string {
-	if len(s.preds) == 0 {
-		return fmt.Sprintf("TABLE SCAN %s", s.table.Name)
-	}
-	return fmt.Sprintf("TABLE SCAN %s FILTER %s", s.table.Name, predsString(s.preds))
-}
-
-// indexIter drives a B-tree range and applies residual predicates.
-type indexIter struct {
-	table    *Table
-	indexCol string
-	lo, hi   Bound
-	residual []Pred
-	// probe marks an equality probe (lo == hi, both inclusive) — the same
-	// descent mechanically, but reported as INDEX PROBE so plans show
-	// point lookups distinctly from range scans.
-	probe bool
-
-	ids   []int
-	pos   int
-	run   bool
-	stats *Stats
-	gov   *governor.G
-	err   error
-}
-
-func (it *indexIter) materialize() {
-	idx := it.table.Index(it.indexCol)
-	it.ids = it.ids[:0]
-	if it.stats != nil {
-		atomic.AddInt64(&it.stats.IndexProbes, 1)
-	}
-	idx.Range(it.lo, it.hi, func(_ Value, rows []int) bool {
-		it.ids = append(it.ids, rows...)
-		return true
-	})
-	sort.Ints(it.ids) // row-id order ≈ heap order for stable output
-	it.run = true
-}
-
-func (it *indexIter) Next() (int, bool) {
-	if it.err != nil {
-		return 0, false
-	}
-	if !it.run {
-		it.materialize()
-	}
-	for it.pos < len(it.ids) {
-		if err := faultpoint.Hit("relstore.index.next"); err != nil {
-			it.err = err
-			return 0, false
-		}
-		if err := it.gov.Tick(); err != nil {
-			it.err = err
-			return 0, false
-		}
-		id := it.ids[it.pos]
-		it.pos++
-		if rowMatches(it.table, id, it.residual) {
-			if it.stats != nil {
-				atomic.AddInt64(&it.stats.RowsEmitted, 1)
-			}
-			return id, true
-		}
-		if it.stats != nil {
-			atomic.AddInt64(&it.stats.RowsFiltered, 1)
-		}
-	}
-	return 0, false
-}
-
-func (it *indexIter) Err() error { return it.err }
-
-func (it *indexIter) Reset() { it.pos = 0; it.err = nil }
-
-func (it *indexIter) Explain() string {
-	op := "INDEX RANGE SCAN"
-	if it.probe {
-		op = "INDEX PROBE"
-	}
-	rng := describeRange(it.indexCol, it.lo, it.hi)
-	if len(it.residual) == 0 {
-		return fmt.Sprintf("%s %s(%s) %s", op, it.table.Name, it.indexCol, rng)
-	}
-	return fmt.Sprintf("%s %s(%s) %s FILTER %s", op, it.table.Name, it.indexCol, rng, predsString(it.residual))
 }
 
 // boundText renders a bound's value; parameter placeholders render as :name
@@ -373,15 +249,6 @@ func predsString(preds []Pred) string {
 		parts[i] = p.String()
 	}
 	return strings.Join(parts, " AND ")
-}
-
-func rowMatches(t *Table, id int, preds []Pred) bool {
-	for _, p := range preds {
-		if !p.Matches(t.Value(id, p.Col)) {
-			return false
-		}
-	}
-	return true
 }
 
 // PathKind classifies a physical access path.
@@ -507,23 +374,13 @@ func FullScanPlan(t *Table, preds []Pred) AccessPlan {
 	return AccessPlan{Kind: PathFullScan, Residual: preds, TableRows: t.NumRows()}
 }
 
-// Open turns the plan into a live iterator over t, with counters routed to
-// stats (may be nil) under governor g (may be nil).
+// Open turns the plan into a live per-row iterator over t, with counters
+// routed to stats (may be nil) under governor g (may be nil). The returned
+// Iterator is a RowAdapter over the serial batch producer — the legacy
+// entry point for row-at-a-time callers (correlated subqueries, tests);
+// batch consumers use OpenBatch directly.
 func (p AccessPlan) Open(t *Table, stats *Stats, g *governor.G) Iterator {
-	if p.Kind == PathFullScan {
-		if stats != nil {
-			atomic.AddInt64(&stats.FullScans, 1)
-		}
-		return &scanIter{table: t, preds: p.Residual, stats: stats, gov: g}
-	}
-	if stats != nil {
-		atomic.AddInt64(&stats.RangeScans, 1)
-	}
-	return &indexIter{
-		table: t, indexCol: p.Col, lo: p.Lo, hi: p.Hi,
-		residual: p.Residual, probe: p.Kind == PathIndexProbe,
-		stats: stats, gov: g,
-	}
+	return &RowAdapter{B: p.OpenBatch(t, stats, g, BatchOpts{Workers: 1})}
 }
 
 // Explain describes the planned operator without opening it.
@@ -574,8 +431,5 @@ func FullScan(t *Table, stats *Stats) Iterator {
 
 // FullScanGoverned is FullScan under an execution governor (may be nil).
 func FullScanGoverned(t *Table, stats *Stats, g *governor.G) Iterator {
-	if stats != nil {
-		atomic.AddInt64(&stats.FullScans, 1)
-	}
-	return &scanIter{table: t, stats: stats, gov: g}
+	return &RowAdapter{B: AccessPlan{Kind: PathFullScan, TableRows: t.NumRows()}.OpenBatch(t, stats, g, BatchOpts{Workers: 1})}
 }

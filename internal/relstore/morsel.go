@@ -1,0 +1,235 @@
+package relstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultpoint"
+	"repro/internal/governor"
+)
+
+// Morsel-driven parallel full scan. A large heap scan is split into
+// fixed-size contiguous morsels; a bounded worker pool claims morsels with
+// an atomic counter and filters each one against a single immutable snapshot
+// of the rows header. The consumer-side merger emits morsel results strictly
+// in morsel order (and ids are ascending within a morsel), so the output row
+// order — and therefore every serialized byte downstream — is identical to
+// the serial scan. Batch boundaries may land on morsel boundaries, which is
+// invisible to consumers: a Batch is a transport unit, not a semantic one.
+//
+// Workers never block: every claimed morsel's done channel is closed on
+// every path (scanned, governor-stopped, or abandoned), so the merger can
+// wait on channels without leaking goroutines, and workers drain the claim
+// counter even after a stop so nothing is left running.
+
+// MorselMinRows is the table size below which a full scan stays serial even
+// when the caller allows workers: splitting a few thousand rows across
+// goroutines costs more in scheduling than the scan itself.
+const MorselMinRows = 8192
+
+// morselRows is the number of heap rows per morsel — big enough that the
+// per-morsel bookkeeping (one claim, one governor charge, one channel close)
+// is noise, small enough that the pool load-balances across skewed filters.
+const morselRows = 4096
+
+// morsel is one contiguous slice of the scan, filled by exactly one worker.
+type morsel struct {
+	lo, hi int // row-id range [lo, hi)
+
+	ids  []int
+	rows [][]Value
+	err  error // governor verdict that stopped this morsel, if any
+
+	done chan struct{} // closed when ids/rows/err are final
+}
+
+// morselScan is the BatchIterator over a morsel-parallel full scan.
+type morselScan struct {
+	table     *Table
+	preds     []Pred
+	stats     *Stats
+	gov       *governor.G
+	workers   int
+	batchSize int
+
+	// Scan-lifetime state, built lazily on the first NextBatch so that
+	// opening (and Explain-ing) a plan spawns nothing.
+	started  bool
+	rowsSnap [][]Value // immutable snapshot of the rows header at scan start
+	pc       predClosure
+	morsels  []morsel
+	next     atomic.Int64 // claim counter
+	stop     atomic.Bool  // short-circuits workers after a terminal error
+	executed atomic.Int64 // morsels actually scanned
+	wg       sync.WaitGroup
+
+	// Merger cursor.
+	cur, pos int
+	err      error
+}
+
+func newMorselScan(t *Table, preds []Pred, stats *Stats, g *governor.G, workers, batchSize int) *morselScan {
+	return &morselScan{table: t, preds: preds, stats: stats, gov: g, workers: workers, batchSize: batchSize}
+}
+
+// start snapshots the table and launches the worker pool. The snapshot is
+// one RLock for the whole scan: the table is append-only (Insert never
+// rewrites a published row slice or an element below the snapshot length),
+// so workers read rowsSnap[0..n) lock-free without racing concurrent
+// inserts — an insert may write indexes >= n in the same backing array, but
+// those are different addresses and outside the scan. Rows appended after
+// scan start are not visited; the serial scan re-reads the length per chunk
+// and may see them — both are valid outcomes of racing a scan with writes.
+func (m *morselScan) start() {
+	m.table.mu.RLock()
+	m.rowsSnap = m.table.rows
+	m.table.mu.RUnlock()
+	m.pc = closePreds(m.table, m.preds)
+
+	n := len(m.rowsSnap)
+	m.morsels = make([]morsel, 0, (n+morselRows-1)/morselRows)
+	for lo := 0; lo < n; lo += morselRows {
+		hi := lo + morselRows
+		if hi > n {
+			hi = n
+		}
+		m.morsels = append(m.morsels, morsel{lo: lo, hi: hi, done: make(chan struct{})})
+	}
+	w := m.workers
+	if w > len(m.morsels) {
+		w = len(m.morsels)
+	}
+	m.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go m.worker()
+	}
+	m.started = true
+}
+
+// worker claims morsels until the counter is exhausted. Every claimed
+// morsel's done channel is closed before the next claim — including after a
+// stop — so the merger never waits on a channel nobody owns.
+func (m *morselScan) worker() {
+	defer m.wg.Done()
+	for {
+		i := int(m.next.Add(1)) - 1
+		if i >= len(m.morsels) {
+			return
+		}
+		ms := &m.morsels[i]
+		if m.stop.Load() {
+			close(ms.done)
+			continue
+		}
+		for id := ms.lo; id < ms.hi; id++ {
+			row := m.rowsSnap[id]
+			if m.pc.matches(row) {
+				ms.ids = append(ms.ids, id)
+				ms.rows = append(ms.rows, row)
+			}
+		}
+		scanned := ms.hi - ms.lo
+		m.executed.Add(1)
+		if m.stats != nil {
+			atomic.AddInt64(&m.stats.RowsScanned, int64(scanned))
+			atomic.AddInt64(&m.stats.Morsels, 1)
+			if f := scanned - len(ms.ids); f > 0 && len(m.preds) > 0 {
+				atomic.AddInt64(&m.stats.RowsFiltered, int64(f))
+			}
+		}
+		// One governor charge per morsel: cancellation latency is bounded
+		// by one morsel of work per worker, well inside the <100ms budget.
+		if err := m.gov.TickN(scanned); err != nil {
+			ms.err = err
+			m.stop.Store(true)
+		}
+		close(ms.done)
+	}
+}
+
+func (m *morselScan) NextBatch(batch *Batch) (int, bool) {
+	if m.err != nil {
+		return 0, false
+	}
+	batch.reset()
+	// Fault point and injection semantics live on the merger (consumer)
+	// side: one deterministic Hit per NextBatch regardless of how many
+	// workers raced in the background.
+	if err := faultpoint.Hit("relstore.scan.batch"); err != nil {
+		m.err = err
+		m.stop.Store(true)
+		return 0, false
+	}
+	// One unamortized governor check per batch: workers run eagerly, so by
+	// the time the merger is consuming, every morsel may already be buffered
+	// and no worker will observe a late cancellation. The merger must.
+	if err := m.gov.Check(); err != nil {
+		m.err = err
+		m.stop.Store(true)
+		return 0, false
+	}
+	if !m.started {
+		m.start()
+	}
+	// The configured batch size is authoritative (see batchScanIter).
+	want := m.batchSize
+	batch.grow(want)
+	for batch.Len() == 0 {
+		if m.cur >= len(m.morsels) {
+			return 0, false
+		}
+		ms := &m.morsels[m.cur]
+		<-ms.done
+		if ms.err != nil {
+			m.err = ms.err
+			return 0, false
+		}
+		for m.pos < len(ms.ids) && batch.Len() < want {
+			batch.push(ms.ids[m.pos], ms.rows[m.pos])
+			m.pos++
+		}
+		if m.pos >= len(ms.ids) {
+			m.cur++
+			m.pos = 0
+		}
+	}
+	n := batch.Len()
+	if m.stats != nil {
+		atomic.AddInt64(&m.stats.RowsEmitted, int64(n))
+		atomic.AddInt64(&m.stats.Batches, 1)
+	}
+	return n, true
+}
+
+func (m *morselScan) Err() error { return m.err }
+
+// Reset abandons any in-flight workers (waiting for them to drain the claim
+// counter) and rewinds to an unstarted scan, so the next NextBatch takes a
+// fresh snapshot.
+func (m *morselScan) Reset() {
+	if m.started {
+		m.stop.Store(true)
+		m.wg.Wait()
+	}
+	m.started = false
+	m.rowsSnap = nil
+	m.morsels = nil
+	m.next.Store(0)
+	m.stop.Store(false)
+	m.executed.Store(0)
+	m.cur, m.pos = 0, 0
+	m.err = nil
+}
+
+// Explain renders exactly the serial full scan's operator line: morsel
+// parallelism is a physical execution detail, not a different plan.
+func (m *morselScan) Explain() string { return scanExplain(m.table, m.preds) }
+
+// MorselsExecuted reports how many morsels workers have scanned so far —
+// the observability layer records it as a span attribute.
+func (m *morselScan) MorselsExecuted() int { return int(m.executed.Load()) }
+
+// ScanWorkers reports the worker-pool bound this scan runs with — the
+// observability layer records it as the scan span's workers attribute.
+// Serial iterators don't implement this; consumers treat absence as 1.
+func (m *morselScan) ScanWorkers() int { return m.workers }

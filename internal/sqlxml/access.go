@@ -50,6 +50,9 @@ type RunSpec struct {
 	// executes under; the executor opens scan/construct operator spans
 	// beneath it. Nil (the usual case) disables operator tracing entirely.
 	Span *obs.Span
+	// Batch configures the driving access path's batch pipeline (chunk size
+	// and morsel workers for full scans). The zero value means defaults.
+	Batch relstore.BatchOpts
 }
 
 // smallTableRows is the chooser's only magic number: at or below this many
@@ -85,6 +88,13 @@ func (s *RunSpec) span() *obs.Span {
 	return s.Span
 }
 
+func (s *RunSpec) batchOpts() relstore.BatchOpts {
+	if s == nil {
+		return relstore.BatchOpts{}
+	}
+	return s.Batch
+}
+
 // startOperators opens the scan and construct operator spans for a streaming
 // cursor under the spec's attempt span. When no trace is attached (the usual
 // case) the cursor's span fields stay nil and Next takes its untraced path.
@@ -96,6 +106,16 @@ func (s *RunSpec) startOperators(t *relstore.Table, plan relstore.AccessPlan, c 
 	c.scanSp = sp.Start("scan")
 	c.scanSp.SetAttr("path", plan.Explain(t))
 	c.scanSp.SetAttr("est_rows", plan.EstimateRows())
+	c.scanSp.SetAttr("batch_size", s.batchOpts().Size())
+	if plan.Kind == relstore.PathFullScan {
+		// Report the workers the scan actually engaged: 1 for a serial
+		// scan (small table or forced), the pool bound on the morsel path.
+		w := 1
+		if mw, ok := c.it.(interface{ ScanWorkers() int }); ok {
+			w = mw.ScanWorkers()
+		}
+		c.scanSp.SetAttr("workers", w)
+	}
 	c.buildSp = sp.Start("construct")
 }
 
@@ -295,7 +315,7 @@ func (e *Executor) OpenQueryCursorSpec(q *Query, sink *relstore.Stats, g *govern
 	c := &QueryCursor{
 		body: body,
 		t:    t,
-		it:   plan.Open(t, sink, g),
+		it:   plan.OpenBatch(t, sink, g, spec.batchOpts()),
 		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
 		fp:   "sqlxml.query.next",
 	}
@@ -320,7 +340,7 @@ func (e *Executor) OpenViewCursorSpec(v *ViewDef, where []relstore.Pred, sink *r
 	c := &QueryCursor{
 		body: v.Body,
 		t:    t,
-		it:   plan.Open(t, sink, g),
+		it:   plan.OpenBatch(t, sink, g, spec.batchOpts()),
 		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
 		fp:   "sqlxml.view.row",
 	}
@@ -399,21 +419,37 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 		scanSp.SetAttr("path", plan.Explain(t))
 		scanSp.SetAttr("est_rows", plan.EstimateRows())
 		scanSp.SetAttr("parallel_workers", workers)
+		scanSp.SetAttr("batch_size", spec.batchOpts().Size())
 		buildSp = sp.Start("construct")
 	}
 	scanStart := time.Now()
-	it := plan.Open(t, sink, g)
+	it := plan.OpenBatch(t, sink, g, spec.batchOpts())
+	if scanSp != nil && plan.Kind == relstore.PathFullScan {
+		w := 1
+		if mw, ok := it.(interface{ ScanWorkers() int }); ok {
+			w = mw.ScanWorkers()
+		}
+		scanSp.SetAttr("workers", w)
+	}
 	var ids []int
+	var rowRefs [][]relstore.Value
+	batch := relstore.GetBatch(spec.batchOpts().Size())
 	for {
-		id, ok := it.Next()
-		if !ok {
+		if _, ok := it.NextBatch(batch); !ok {
 			break
 		}
-		ids = append(ids, id)
+		ids = append(ids, batch.IDs...)
+		rowRefs = append(rowRefs, batch.Rows...)
 	}
+	relstore.PutBatch(batch)
 	if scanSp != nil {
 		scanSp.ObserveSince(scanStart)
 		scanSp.AddRowsOut(int64(len(ids)))
+		if ms, ok := it.(interface{ MorselsExecuted() int }); ok {
+			if n := ms.MorselsExecuted(); n > 0 {
+				scanSp.SetAttr("morsels", n)
+			}
+		}
 	}
 	if err := it.Err(); err != nil {
 		scanSp.Fail(err)
@@ -453,6 +489,7 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 				buildSp.AddRowsIn(1)
 			}
 			ec := &evalContext{db: e.DB, stats: sink, gov: g}
+			ec.setRow(t, id, rowRefs[i])
 			doc := xmltree.NewDocument()
 			if err := ec.evalInto(doc, body, t, id); err != nil {
 				errs[i] = err

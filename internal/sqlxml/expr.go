@@ -171,6 +171,30 @@ type evalContext struct {
 	// gov, when non-nil, bounds the construction: deep Agg nests and wide
 	// scans abort promptly on cancellation or budget exhaustion.
 	gov *governor.G
+
+	// Pinned driving row (setRow): the batch engine hands the cursor row
+	// references captured under the scan's lock acquisition, so cell reads
+	// on the current driving row skip the per-cell table lock entirely.
+	curTable *relstore.Table
+	curRow   []relstore.Value
+	curID    int
+}
+
+// setRow pins the driving row the next evalInto constructs from. row may be
+// nil to unpin (reads fall back to the locked Table.Value path).
+func (ec *evalContext) setRow(t *relstore.Table, id int, row []relstore.Value) {
+	ec.curTable, ec.curID, ec.curRow = t, id, row
+}
+
+// cell reads one column of (t, id), via the pinned row when it matches.
+func (ec *evalContext) cell(t *relstore.Table, id int, col string) relstore.Value {
+	if ec.curRow != nil && t == ec.curTable && id == ec.curID {
+		if ci := t.ColIndex(col); ci >= 0 && ci < len(ec.curRow) {
+			return ec.curRow[ci]
+		}
+		return nil
+	}
+	return t.Value(id, col)
 }
 
 // evalInto appends the XML produced by expr for (table,rowID) to parent.
@@ -183,7 +207,7 @@ func (ec *evalContext) evalInto(parent *xmltree.Node, expr XMLExpr, table *relst
 		appendText(parent, e.Text)
 		return nil
 	case *Column:
-		v := table.Value(rowID, e.Name)
+		v := ec.cell(table, rowID, e.Name)
 		if v != nil {
 			appendText(parent, valueText(v))
 		}
@@ -233,7 +257,7 @@ func (ec *evalContext) evalInto(parent *xmltree.Node, expr XMLExpr, table *relst
 	case *Cond:
 		holds := true
 		for _, p := range e.Preds {
-			if !p.Matches(table.Value(rowID, p.Col)) {
+			if !p.Matches(ec.cell(table, rowID, p.Col)) {
 				holds = false
 				break
 			}
@@ -315,7 +339,7 @@ func (ec *evalContext) scalarText(expr XMLExpr, table *relstore.Table, rowID int
 	case *Literal:
 		return e.Text, nil
 	case *Column:
-		return valueText(table.Value(rowID, e.Name)), nil
+		return valueText(ec.cell(table, rowID, e.Name)), nil
 	case *ScalarAgg:
 		inner, ids, err := ec.subqueryRows(e.Sub, table, rowID)
 		if err != nil {
@@ -345,7 +369,7 @@ func (ec *evalContext) subqueryRows(sub *SubQuery, outer *relstore.Table, outerR
 	}
 	preds := append([]relstore.Pred{}, sub.Where...)
 	if sub.CorrInner != "" {
-		ov := outer.Value(outerRow, sub.CorrOuter)
+		ov := ec.cell(outer, outerRow, sub.CorrOuter)
 		preds = append(preds, relstore.Pred{Col: sub.CorrInner, Op: relstore.CmpEq, Val: ov})
 	}
 	it := relstore.AccessPathGoverned(inner, preds, ec.stats, ec.gov)

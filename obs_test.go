@@ -453,7 +453,8 @@ func TestExecStatsStringComplete(t *testing.T) {
 
 	full := ExecStats{
 		RowsProduced: 1, RowsScanned: 2, IndexProbes: 3, RangeScans: 4,
-		FullScans: 5, RowsEmitted: 6, RowsFiltered: 7, Recompiles: 1,
+		FullScans: 5, RowsEmitted: 6, RowsFiltered: 7, Batches: 1,
+		MorselsExecuted: 1, Recompiles: 1,
 		AccessPath: "INDEX PROBE t(c)", EstRows: 8, CompileWall: time.Millisecond,
 		ExecWall: time.Millisecond, StrategyUsed: StrategySQL,
 		Degradations: 1, BreakerSkips: 1, BreakerTrips: 1, PanicsRecovered: 1,

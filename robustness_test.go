@@ -54,8 +54,10 @@ func TestRunContextCancelPrompt(t *testing.T) {
 	}
 
 	// Arm a never-firing fault point purely for its hit counter, so the
-	// test knows the scan is genuinely in flight before cancelling.
-	faultpoint.EnableAfter("relstore.scan.next", math.MaxInt32, nil)
+	// test knows the scan is genuinely in flight before cancelling. The
+	// batch engine hits the site once per batch, not per row, so even a
+	// couple of hits means scanning is under way.
+	faultpoint.EnableAfter("relstore.scan.batch", math.MaxInt32, nil)
 	defer faultpoint.Reset()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -65,7 +67,7 @@ func TestRunContextCancelPrompt(t *testing.T) {
 		done <- err
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for faultpoint.Hits("relstore.scan.next") < 64 {
+	for faultpoint.Hits("relstore.scan.batch") < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("run never started scanning")
 		}
@@ -101,7 +103,7 @@ func TestParallelRunCancel(t *testing.T) {
 	// Gate on the driving scan: it is the long deterministic phase of the
 	// parallel path (worker construction finishes in a burst), and both the
 	// scan iterator and the worker dispatch loop share the same governor.
-	faultpoint.EnableAfter("relstore.scan.next", math.MaxInt32, nil)
+	faultpoint.EnableAfter("relstore.scan.batch", math.MaxInt32, nil)
 	defer faultpoint.Reset()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -111,7 +113,7 @@ func TestParallelRunCancel(t *testing.T) {
 		done <- err
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for faultpoint.Hits("relstore.scan.next") < 64 {
+	for faultpoint.Hits("relstore.scan.batch") < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("run never started scanning")
 		}
@@ -564,7 +566,7 @@ func TestFaultMidScanNoTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	faultpoint.EnableAfter("relstore.scan.next", 1, errBoom)
+	faultpoint.EnableAfter("relstore.scan.batch", 1, errBoom)
 	defer faultpoint.Reset()
 	_, err = ct.Run(context.Background())
 	if !errors.Is(err, errBoom) {

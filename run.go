@@ -28,6 +28,8 @@ type runOptions struct {
 	params     map[string]relstore.Value
 	noPushdown bool
 	trace      *obs.Trace
+	workers    int
+	batchSize  int
 	err        error // first invalid option, surfaced when the run starts
 }
 
@@ -89,6 +91,42 @@ func WithoutPushdown() RunOption {
 // site, so tracing is strictly opt-in per run.
 func WithTrace(t *obs.Trace) RunOption {
 	return runOptionFunc(func(o *runOptions) { o.trace = t })
+}
+
+// WithWorkers bounds this run's worker pools: the morsel workers a large
+// full scan fans out to AND the parallel construction workers of the SQL
+// strategy. 1 forces fully serial execution (the debugging baseline — output
+// is byte-identical at any worker count); 0 or unset means the defaults
+// (GOMAXPROCS morsel workers, compile-time WithParallelism for
+// construction). Negative counts are rejected as ErrBadRunOption.
+func WithWorkers(n int) RunOption {
+	return runOptionFunc(func(o *runOptions) {
+		if n < 0 {
+			if o.err == nil {
+				o.err = fmt.Errorf("xsltdb: WithWorkers(%d): count must be >= 0: %w", n, ErrBadRunOption)
+			}
+			return
+		}
+		o.workers = n
+	})
+}
+
+// WithBatchSize overrides the rows-per-batch chunk size of this run's
+// driving access path (default relstore.DefaultBatchSize, 1024). Batch size
+// never affects output bytes — only how often the storage layer amortizes
+// its locks, fault checks and governor ticks; 1 approximates the historical
+// row-at-a-time engine for A/B measurement. Negative sizes are rejected as
+// ErrBadRunOption.
+func WithBatchSize(n int) RunOption {
+	return runOptionFunc(func(o *runOptions) {
+		if n < 0 {
+			if o.err == nil {
+				o.err = fmt.Errorf("xsltdb: WithBatchSize(%d): size must be >= 0: %w", n, ErrBadRunOption)
+			}
+			return
+		}
+		o.batchSize = n
+	})
 }
 
 func buildRunOptions(opts []RunOption) runOptions {
@@ -163,6 +201,7 @@ func (d *Database) runSpec(st *planState, ro runOptions, lenient bool) (*sqlxml.
 		AccessPath:  access,
 		EstRows:     new(int64),
 		AccessShape: new(string),
+		Batch:       relstore.BatchOpts{BatchSize: ro.batchSize, Workers: ro.workers},
 	}, access, nil
 }
 

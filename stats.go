@@ -27,6 +27,12 @@ type ExecStats struct {
 	// RowsFiltered counts rows an access path visited but rejected on a
 	// residual predicate — the filter operator's rows-in minus rows-out.
 	RowsFiltered int64
+	// Batches counts the chunks the batch-at-a-time access paths emitted;
+	// RowsEmitted / Batches is the realized average batch size.
+	Batches int64
+	// MorselsExecuted counts scan morsels processed by the parallel
+	// full-scan worker pool (0 when every scan ran serially).
+	MorselsExecuted int64
 	// Recompiles counts automatic recompilations this run performed (0 or
 	// 1: a view redefinition since the last compilation).
 	Recompiles int64
@@ -72,6 +78,8 @@ func (s *ExecStats) mergeSink(sink relstore.Stats) {
 	s.FullScans += sink.FullScans
 	s.RowsEmitted += sink.RowsEmitted
 	s.RowsFiltered += sink.RowsFiltered
+	s.Batches += sink.Batches
+	s.MorselsExecuted += sink.Morsels
 }
 
 // statsFieldTokens maps every ExecStats field to the token that renders it
@@ -87,6 +95,8 @@ var statsFieldTokens = map[string]string{
 	"FullScans":       "full-scans=",
 	"RowsEmitted":     "emitted=",
 	"RowsFiltered":    "filtered=",
+	"Batches":         "batches=",
+	"MorselsExecuted": "morsels=",
 	"Recompiles":      "recompiles=",
 	"AccessPath":      "access=",
 	"EstRows":         "est=",
@@ -106,6 +116,9 @@ func (s ExecStats) String() string {
 		"rows=%d scanned=%d probes=%d range-scans=%d full-scans=%d emitted=%d filtered=%d recompiles=%d compile=%v exec=%v",
 		s.RowsProduced, s.RowsScanned, s.IndexProbes, s.RangeScans, s.FullScans,
 		s.RowsEmitted, s.RowsFiltered, s.Recompiles, s.CompileWall.Round(time.Microsecond), s.ExecWall.Round(time.Microsecond))
+	if s.Batches > 0 || s.MorselsExecuted > 0 {
+		line += fmt.Sprintf(" batches=%d morsels=%d", s.Batches, s.MorselsExecuted)
+	}
 	if s.AccessPath != "" {
 		line += fmt.Sprintf(" access=%q est=%d", s.AccessPath, s.EstRows)
 	}

@@ -773,7 +773,14 @@ func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, s
 
 	switch s {
 	case StrategySQL:
-		docs, err := d.exec.ExecQueryParallelSpec(st.plan, opts.Parallelism, sink, g, spec)
+		// A per-run WithWorkers overrides the compile-time parallelism for
+		// both the scan's morsel pool (via spec.Batch) and the construction
+		// fan-out here.
+		workers := opts.Parallelism
+		if spec != nil && spec.Batch.Workers > 0 {
+			workers = spec.Batch.Workers
+		}
+		docs, err := d.exec.ExecQueryParallelSpec(st.plan, workers, sink, g, spec)
 		if err != nil {
 			return nil, err
 		}
