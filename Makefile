@@ -4,20 +4,24 @@
 #   make test     tier-1 only (what CI gates on)
 #   make fuzz     short fuzz smoke over the XPath/XQuery parsers (5s each)
 #   make faults   the fault-injection and robustness tests, under -race
+#   make crash    crash-recovery suite: WAL torn-tail/offset-sweep property
+#                 tests plus the durability and snapshot-isolation tests,
+#                 with IO faults injected, under -race
 #   make bench    the paper-evaluation benchmarks
 #   make bench-json  pushdown speedup measurements -> BENCH_pushdown.json
 #   make bench-obs   observability overhead guard  -> BENCH_obs.json
 #   make bench-exec  batched/morsel execution-engine guard -> BENCH_exec.json
 #   make bench-history  run-history archive overhead (disabled/enabled/contended)
+#   make bench-wal   durable insert throughput per fsync policy -> BENCH_wal.json
 #   make demo     paper Examples 1 and 2 end to end, streamed with stats
 #   make console  the demo serving the live debug console on :6060
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: verify test vet race fuzz faults bench bench-json bench-obs bench-exec bench-history demo console
+.PHONY: verify test vet race fuzz faults crash bench bench-json bench-obs bench-exec bench-history bench-wal demo console
 
-verify: test vet race fuzz faults bench-exec
+verify: test vet race fuzz faults crash bench-exec
 
 test:
 	$(GO) build ./...
@@ -41,6 +45,13 @@ fuzz:
 faults:
 	$(GO) test -race -run 'TestRunContextCancel|TestParallelRunCancel|TestTimeout|TestMax|TestRecursionLimit|TestDegradation|TestCircuitBreaker|TestPanicContainment|TestCompileErrors|TestCursor|TestFault|TestGovernance' .
 	$(GO) test -race ./internal/faultpoint ./internal/governor
+
+# Crash recovery: the WAL's torn-tail and every-byte-offset truncation
+# property tests, the facade kill-and-replay/fault-matrix durability suite,
+# and the MVCC snapshot-isolation races — all under the race detector.
+crash:
+	$(GO) test -race ./internal/wal
+	$(GO) test -race -run 'TestOpenReopen|TestKillAndReplay|TestViewDDLSurvives|TestTornWrite|TestFsyncFault|TestRotateFault|TestCloseIdempotent|TestCloseDurable|TestConcurrentClose|TestGroupCommit|TestCursorIsolated|TestRunsRace|TestSnapshotPinsGauge' .
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx .
@@ -69,6 +80,11 @@ bench-exec:
 # enabled, and enabled under concurrent console readers.
 bench-history:
 	$(GO) run ./cmd/xsltbench -history
+
+# Durable insert throughput per WAL fsync policy (never / interval / always)
+# against the in-memory baseline, plus replay speed. Artifact: BENCH_wal.json.
+bench-wal:
+	$(GO) run ./cmd/xsltbench -wal
 
 demo:
 	$(GO) run ./cmd/xsltdb demo -stream -stats

@@ -63,6 +63,7 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "highest morsel worker count for -exec (0 = GOMAXPROCS)")
 	batchFlag := flag.Int("batch-size", 0, "batch size for the -exec batched/morsel configurations (0 = engine default)")
 	history := flag.Bool("history", false, "measure the run-history archive's overhead (disabled vs enabled under concurrent console readers)")
+	walBench := flag.Bool("wal", false, "measure durable insert throughput per WAL fsync policy and replay speed, write BENCH_wal.json")
 	all := flag.Bool("all", false, "run every experiment")
 	reps := flag.Int("reps", 5, "repetitions per configuration (median reported)")
 	scale := flag.Int("scale", 1, "multiply workload sizes by this factor")
@@ -104,6 +105,10 @@ func main() {
 	}
 	if *all || *history {
 		benchHistory(*reps, *scale)
+		ran = true
+	}
+	if *all || *walBench {
+		benchWAL(*reps, *scale)
 		ran = true
 	}
 	if !ran {
@@ -1020,4 +1025,111 @@ func inlineCoverage() {
 	}
 	fmt.Printf("fully inlined: %d / 40 (paper reports 23/40)\n", inlined)
 	fmt.Printf("non-inline (recursive): %v\n\n", noninline)
+}
+
+// --- WAL fsync-policy microbenchmark (-wal) ---
+
+// walConfigMeasure is one fsync policy's measurement: durable insert
+// throughput plus the cost of replaying the resulting log on reopen.
+type walConfigMeasure struct {
+	Policy        string  `json:"policy"`
+	InsertNanos   int64   `json:"insert_ns"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	ReplayNanos   int64   `json:"replay_ns"`
+	ReplayRecords int     `json:"replay_records"`
+	SlowdownVsMem float64 `json:"slowdown_vs_memory"`
+}
+
+type walReport struct {
+	Rows     int                `json:"rows"`
+	MemNanos int64              `json:"in_memory_ns"`
+	MemRate  float64            `json:"in_memory_inserts_per_sec"`
+	Configs  []walConfigMeasure `json:"configs"`
+}
+
+// benchWAL measures what durability costs: n facade Inserts into an
+// in-memory database (the baseline), then into WAL-backed databases under
+// each fsync policy, then the replay wall time of reopening each log.
+// Medians over reps; artifact BENCH_wal.json (the `make bench-wal` target).
+func benchWAL(reps, scale int) {
+	n := 1000 * scale
+	cols := []xsltdb.TableColumn{
+		{Name: "id", Type: xsltdb.IntCol},
+		{Name: "name", Type: xsltdb.StringCol},
+	}
+	fill := func(d *xsltdb.Database) error {
+		if err := d.CreateTable("wal_bench", cols...); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := d.Insert("wal_bench", int64(i), fmt.Sprintf("payload-%06d", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	report := walReport{Rows: n}
+	mem := median(reps, func() error { return fill(xsltdb.NewDatabase()) })
+	report.MemNanos = mem.Nanoseconds()
+	report.MemRate = float64(n) / mem.Seconds()
+	fmt.Printf("%-10d %-14s %-20s %-12s %s\n", n, "in-memory", mem, fmt.Sprintf("%.0f/s", report.MemRate), "1.0x")
+
+	configs := []struct {
+		name string
+		opts []xsltdb.OpenOption
+	}{
+		{"never", []xsltdb.OpenOption{xsltdb.WithSyncPolicy(xsltdb.SyncNever)}},
+		{"interval-16", []xsltdb.OpenOption{xsltdb.WithSyncPolicy(xsltdb.SyncInterval), xsltdb.WithSyncEvery(16)}},
+		{"always", []xsltdb.OpenOption{xsltdb.WithSyncPolicy(xsltdb.SyncAlways)}},
+	}
+	for _, cfg := range configs {
+		// Keep the last populated log directory around for the replay leg.
+		var lastDir string
+		insert := median(reps, func() error {
+			if lastDir != "" {
+				os.RemoveAll(lastDir)
+			}
+			dir, err := os.MkdirTemp("", "xsltdb-walbench-*")
+			if err != nil {
+				return err
+			}
+			lastDir = dir
+			d, err := xsltdb.Open(dir, cfg.opts...)
+			if err != nil {
+				return err
+			}
+			if err := fill(d); err != nil {
+				return err
+			}
+			return d.Close()
+		})
+		var replayRecords int
+		replay := median(reps, func() error {
+			d, err := xsltdb.Open(lastDir)
+			if err != nil {
+				return err
+			}
+			replayRecords = d.RecoveryStats().Records
+			return d.Close()
+		})
+		os.RemoveAll(lastDir)
+		m := walConfigMeasure{
+			Policy:        cfg.name,
+			InsertNanos:   insert.Nanoseconds(),
+			InsertsPerSec: float64(n) / insert.Seconds(),
+			ReplayNanos:   replay.Nanoseconds(),
+			ReplayRecords: replayRecords,
+			SlowdownVsMem: float64(insert) / float64(mem),
+		}
+		report.Configs = append(report.Configs, m)
+		fmt.Printf("%-10d %-14s %-20s %-12s %.1fx   (replay %s, %d records)\n",
+			n, cfg.name, insert, fmt.Sprintf("%.0f/s", m.InsertsPerSec), m.SlowdownVsMem, replay, replayRecords)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	check(os.WriteFile("BENCH_wal.json", append(b, '\n'), 0o644))
+	fmt.Println("wrote BENCH_wal.json")
+	fmt.Println()
 }

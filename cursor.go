@@ -104,6 +104,9 @@ type Cursor struct {
 // cursor — a half-delivered stream cannot be transparently restarted on a
 // weaker strategy without re-emitting rows.
 func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) (*Cursor, error) {
+	if err := ct.db.checkOpen(); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -187,7 +190,16 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 			c.attempt = attempt
 			c.accessPath = *access
 			c.pull = c.governed(pull)
+			if !ct.db.registerCursor(c) {
+				// Close raced the open: fail the cursor immediately instead
+				// of leaving an untracked stream over a closed database.
+				c.cancel()
+				root.End()
+				releaseTrace()
+				return nil, ErrDatabaseClosed
+			}
 			mActiveCursors.Inc()
+			mSnapshotPins.Inc()
 			return c, nil
 		}
 		attempt.Fail(err)
@@ -455,8 +467,10 @@ func (c *Cursor) terminateLocked(err error) {
 func (c *Cursor) release() {
 	c.releaseOnce.Do(func() {
 		c.cancel()
+		c.db.unregisterCursor(c)
 		c.db.exec.AddStats(&c.sink)
 		mActiveCursors.Dec()
+		mSnapshotPins.Dec()
 
 		c.mu.Lock()
 		es := c.statsLocked()
@@ -496,6 +510,23 @@ func (c *Cursor) release() {
 			c.trace.Release()
 		}
 	})
+}
+
+// failDatabaseClosed terminates an in-flight cursor because its database
+// was closed: the sticky error becomes ErrDatabaseClosed and the cursor is
+// released. Unlike an ordinary failure it never counts against the plan's
+// circuit breaker — the strategy did nothing wrong — and it is safe to race
+// with Next and Close (release runs exactly once).
+func (c *Cursor) failDatabaseClosed() {
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		c.mu.Unlock()
+		c.release() // idempotent; covers a cursor terminated but not yet released
+		return
+	}
+	c.err = ErrDatabaseClosed
+	c.mu.Unlock()
+	c.release()
 }
 
 // Close releases the cursor. Closing early — before io.EOF — is the way to

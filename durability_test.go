@@ -1,0 +1,483 @@
+package xsltdb
+
+// Durability tests: kill-and-replay through the public Open(dir) API, the
+// fault-injection matrix at the WAL's append/fsync/rotate sites, and the
+// Close lifecycle (idempotency, ErrDatabaseClosed on in-flight cursors).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+// newDurableKeyedDB is newKeyedDB over a WAL directory: row(id, name) with n
+// rows, an index on id, and the keyed view — every statement logged.
+func newDurableKeyedDB(tb testing.TB, dir string, n int, opts ...OpenOption) *Database {
+	tb.Helper()
+	d, err := Open(dir, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := d.CreateTable("row",
+		TableColumn{Name: "id", Type: IntCol},
+		TableColumn{Name: "name", Type: StringCol}); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := d.Insert("row", int64(i), fmt.Sprintf("name-%d", i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := d.CreateIndex("row", "id"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := d.CreateXMLView(keyedViewDef()); err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// runKeyed compiles and runs the keyed stylesheet, returning the rows.
+func runKeyed(tb testing.TB, d *Database, opts ...RunOption) []string {
+	tb.Helper()
+	ct, err := d.CompileTransform("rows", keyedSheet)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := ct.Run(context.Background(), opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res.Rows
+}
+
+func TestOpenReopenRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	const n = 25
+	d := newDurableKeyedDB(t, dir, n)
+	want := runKeyed(t, d)
+	if len(want) != n {
+		t.Fatalf("rows = %d, want %d", len(want), n)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	// 1 create-table + n inserts + 1 create-index + 1 create-view.
+	rs := d2.RecoveryStats()
+	if rs.Records != n+3 {
+		t.Fatalf("replayed %d records, want %d", rs.Records, n+3)
+	}
+	if rs.TornBytes != 0 || rs.SegmentsDropped != 0 {
+		t.Fatalf("clean close reported torn bytes %d, dropped segments %d", rs.TornBytes, rs.SegmentsDropped)
+	}
+	got := runKeyed(t, d2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovered row %d differs:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+	// The recovered index must actually work: a keyed lookup probes it.
+	one := runKeyed(t, d2, WithWhere("@id = 7"))
+	if len(one) != 1 || one[0] != "<hit>name-7</hit>" {
+		t.Fatalf("index lookup after recovery = %v", one)
+	}
+	// And the recovered database must accept further durable writes.
+	if err := d2.Insert("row", int64(n), fmt.Sprintf("name-%d", n)); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+// TestKillAndReplay simulates a crash: the database is abandoned WITHOUT
+// Close. Under SyncAlways every acknowledged statement is already on stable
+// storage, so reopening the directory must recover all of them.
+func TestKillAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	const n = 10
+	d := newDurableKeyedDB(t, dir, n, WithSyncPolicy(SyncAlways))
+	want := runKeyed(t, d)
+	// No Close — the process "dies" here with the log as sole survivor.
+
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := runKeyed(t, d2)
+	if len(got) != len(want) {
+		t.Fatalf("after kill: recovered %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after kill: row %d differs", i)
+		}
+	}
+}
+
+func TestViewDDLSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d := newDurableKeyedDB(t, dir, 3)
+	// Replace the view with a richer shape, then reopen: replay must land on
+	// the replaced definition (create + replace both logged, in order).
+	if err := d.ReplaceXMLView(&ViewDef{
+		Name:  "rows",
+		Table: "row",
+		Body: &XMLElement{
+			Name:  "row",
+			Attrs: []XMLAttr{{Name: "id", Value: &XMLColumn{Name: "id"}}},
+			Children: []XMLExpr{
+				&XMLElement{Name: "name", Children: []XMLExpr{
+					&XMLLiteral{Text: "employee "},
+					&XMLColumn{Name: "name"},
+				}},
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Materialize the view directly: unlike a compiled transform (whose
+	// rewrite may resolve through the schema), materialization renders the
+	// exact view body, so it distinguishes the two definitions byte-for-byte.
+	materialize := func(d *Database) []string {
+		docs, err := d.MaterializeView("rows")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(docs))
+		for i, doc := range docs {
+			out[i] = serialize(doc)
+		}
+		return out
+	}
+	want := materialize(d)
+	if !strings.Contains(want[0], "employee name-0") {
+		t.Fatalf("replaced view not in effect before reopen: %s", want[0])
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := materialize(d2)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replaced view lost in replay, row %d:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTornWriteRecovery drives the wal.append faultpoint through the facade:
+// the faulted Insert fails, is NOT applied to memory, and after reopening
+// the database serves exactly the committed prefix.
+func TestTornWriteRecovery(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	const n = 8
+	d := newDurableKeyedDB(t, dir, n)
+
+	boom := errors.New("injected torn write")
+	faultpoint.Enable("wal.append", boom)
+	err := d.Insert("row", int64(n), "torn")
+	faultpoint.Disable("wal.append")
+	if !errors.Is(err, boom) {
+		t.Fatalf("faulted Insert: %v, want injected error", err)
+	}
+	// Write-ahead ordering: the failed insert never reached memory.
+	if got := runKeyed(t, d); len(got) != n {
+		t.Fatalf("failed insert visible in memory: %d rows, want %d", len(got), n)
+	}
+	// The wedged log refuses further durable writes until reopened.
+	if err := d.Insert("row", int64(n+1), "after"); err == nil {
+		t.Fatal("insert on wedged log should fail")
+	}
+	d.Close()
+
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rs := d2.RecoveryStats()
+	if rs.TornBytes == 0 {
+		t.Fatal("torn write left no torn bytes for recovery to truncate")
+	}
+	got := runKeyed(t, d2)
+	if len(got) != n {
+		t.Fatalf("recovered %d rows, want the %d committed", len(got), n)
+	}
+	for i := range got {
+		if got[i] != fmt.Sprintf("<hit>name-%d</hit>", i) {
+			t.Fatalf("recovered row %d corrupted: %s", i, got[i])
+		}
+	}
+	// Recovery healed the log: durable writes work again.
+	if err := d2.Insert("row", int64(n), fmt.Sprintf("name-%d", n)); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+// TestFsyncFaultRollsBack: a failed fsync rolls the append back, so memory
+// and log agree the statement never happened — no reopen required.
+func TestFsyncFaultRollsBack(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	const n = 5
+	d := newDurableKeyedDB(t, dir, n, WithSyncPolicy(SyncAlways))
+
+	boom := errors.New("injected fsync error")
+	faultpoint.Enable("wal.fsync", boom)
+	err := d.Insert("row", int64(n), "lost")
+	faultpoint.Disable("wal.fsync")
+	if !errors.Is(err, boom) {
+		t.Fatalf("faulted Insert: %v, want injected error", err)
+	}
+	if got := runKeyed(t, d); len(got) != n {
+		t.Fatalf("failed insert visible: %d rows, want %d", len(got), n)
+	}
+	// Rollback (not wedging): the very next insert succeeds.
+	if err := d.Insert("row", int64(n), fmt.Sprintf("name-%d", n)); err != nil {
+		t.Fatalf("insert after fsync failure: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := runKeyed(t, d2)
+	if len(got) != n+1 {
+		t.Fatalf("recovered %d rows, want %d", len(got), n+1)
+	}
+	if got[n] != fmt.Sprintf("<hit>name-%d</hit>", n) {
+		t.Fatalf("post-failure insert lost: %s", got[n])
+	}
+}
+
+// TestRotateFaultFailsStatement: a failed segment rotation fails the
+// statement cleanly; the next one rotates and proceeds.
+func TestRotateFaultFailsStatement(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	// 256-byte segments: the insert volume forces rotations.
+	d := newDurableKeyedDB(t, dir, 20, WithSegmentBytes(256))
+
+	boom := errors.New("injected rotate error")
+	faultpoint.Enable("wal.rotate", boom)
+	var faulted bool
+	for i := 20; i < 40; i++ {
+		if err := d.Insert("row", int64(i), fmt.Sprintf("name-%d", i)); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("insert %d: %v, want injected rotate error", i, err)
+			}
+			faulted = true
+			break
+		}
+	}
+	faultpoint.Disable("wal.rotate")
+	if !faulted {
+		t.Fatal("no rotation happened within 20 inserts into 256-byte segments")
+	}
+	// The failed statement is retryable.
+	if err := d.Insert("row", int64(100), "retried"); err != nil {
+		t.Fatalf("insert after rotate failure: %v", err)
+	}
+	want := runKeyed(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := runKeyed(t, d2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs after rotate-fault recovery", i)
+		}
+	}
+}
+
+// TestCloseIdempotentAndFailsCursors is the Close lifecycle contract:
+// double Close is a no-op, in-flight cursors fail with ErrDatabaseClosed
+// (no panic), and every entry point refuses new work with the sentinel.
+func TestCloseIdempotentAndFailsCursors(t *testing.T) {
+	d := newKeyedDB(t, 50)
+	ct, err := d.CompileTransform("rows", keyedSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ct.OpenCursor(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	if _, err := cur.Next(); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("in-flight cursor Next after Close: %v, want ErrDatabaseClosed", err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("cursor Close after database Close: %v", err)
+	}
+
+	if _, err := ct.Run(context.Background()); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("Run after Close: %v, want ErrDatabaseClosed", err)
+	}
+	if _, err := ct.OpenCursor(context.Background()); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("OpenCursor after Close: %v, want ErrDatabaseClosed", err)
+	}
+	if err := d.Insert("row", int64(999), "x"); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("Insert after Close: %v, want ErrDatabaseClosed", err)
+	}
+	if err := d.CreateTable("t2", TableColumn{Name: "a", Type: IntCol}); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("CreateTable after Close: %v, want ErrDatabaseClosed", err)
+	}
+	if err := d.CreateIndex("row", "name"); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("CreateIndex after Close: %v, want ErrDatabaseClosed", err)
+	}
+	if err := d.CreateXMLView(&ViewDef{Name: "v2", Table: "row"}); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("CreateXMLView after Close: %v, want ErrDatabaseClosed", err)
+	}
+	if err := d.ReplaceXMLView(keyedViewDef()); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("ReplaceXMLView after Close: %v, want ErrDatabaseClosed", err)
+	}
+}
+
+// TestCloseDurable: Close on a durable database syncs and releases the WAL;
+// a cursor left open keeps its pinned snapshot readable until it observes
+// the sentinel, and reopening the directory works.
+func TestCloseDurable(t *testing.T) {
+	dir := t.TempDir()
+	d := newDurableKeyedDB(t, dir, 10)
+	ct, err := d.CompileTransform("rows", keyedSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ct.OpenCursor(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("cursor after Close: %v", err)
+	}
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	defer d2.Close()
+	if got := runKeyed(t, d2); len(got) != 10 {
+		t.Fatalf("recovered %d rows, want 10", len(got))
+	}
+}
+
+// TestConcurrentCloseAndCursors races Close against cursor traffic: every
+// cursor either drains cleanly (io.EOF) or observes ErrDatabaseClosed —
+// never a panic, never a torn row.
+func TestConcurrentCloseAndCursors(t *testing.T) {
+	d := newKeyedDB(t, 200)
+	ct, err := d.CompileTransform("rows", keyedSheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for {
+				cur, err := ct.OpenCursor(context.Background())
+				if err != nil {
+					if errors.Is(err, ErrDatabaseClosed) {
+						done <- nil
+						return
+					}
+					done <- err
+					return
+				}
+				for {
+					_, err := cur.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						cur.Close()
+						if errors.Is(err, ErrDatabaseClosed) {
+							done <- nil
+						} else {
+							done <- err
+						}
+						return
+					}
+				}
+				cur.Close()
+			}
+		}()
+	}
+	d.Close()
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatalf("worker saw unexpected error: %v", err)
+		}
+	}
+}
+
+// TestGroupCommitPolicies: the database works identically under every fsync
+// policy; only the durability guarantee differs.
+func TestGroupCommitPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			d := newDurableKeyedDB(t, dir, 30, WithSyncPolicy(policy), WithSyncEvery(8))
+			want := runKeyed(t, d)
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d2.Close()
+			// Close syncs whatever the policy, so a clean shutdown always
+			// recovers everything.
+			got := runKeyed(t, d2)
+			if len(got) != len(want) {
+				t.Fatalf("%s: recovered %d rows, want %d", policy, len(got), len(want))
+			}
+		})
+	}
+}

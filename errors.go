@@ -31,6 +31,10 @@ var (
 	// of an unsupported type, or a WithWhere expression that does not parse
 	// or references a column the view does not expose.
 	ErrBadRunOption = errors.New("xsltdb: invalid run option")
+	// ErrDatabaseClosed reports an operation on a Database after Close:
+	// new runs, cursors, and DML are refused, and in-flight cursors
+	// terminate with an error wrapping this sentinel instead of panicking.
+	ErrDatabaseClosed = errors.New("xsltdb: database is closed")
 )
 
 // ErrUnboundParam reports execution of a parameterized plan without a value

@@ -15,6 +15,12 @@
 //	sqlxml.view.row       — view row materialization
 //	clobstore.parse       — CLOB document parse
 //	xq2sql.translate      — XQuery→SQL/XML lowering
+//	wal.append            — WAL record append; firing leaves a torn
+//	                        half-frame on disk and wedges the log
+//	wal.fsync             — WAL fsync; firing rolls the append back to the
+//	                        committed prefix
+//	wal.rotate            — WAL segment rotation; firing fails the append
+//	                        cleanly (retryable)
 package faultpoint
 
 import (

@@ -2,7 +2,6 @@ package relstore
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -172,14 +171,15 @@ func (pc *predClosure) matches(row []Value) bool {
 	return true
 }
 
-// batchScanIter is the serial full-table scan: one lock acquisition, one
+// batchScanIter is the serial full-table scan over a pinned snapshot: zero
+// lock acquisitions (the snapshot's rows header is immutable), one
 // fault-point check and one governor charge per batch instead of per row.
-// The row count is re-read from the table every batch, so rows appended
-// while the scan is in flight are still visited — the same semantics the
-// per-row scan had, now with the length snapshot taken once per batch
-// (the fix for the per-row RLock/RUnlock in the old scanIter.Next).
+// Rows appended after the snapshot was pinned are never visited — every
+// consumer of one snapshot sees the same committed state (MVCC read
+// isolation), which is what lets DML race in-flight runs without tearing
+// their output.
 type batchScanIter struct {
-	table *Table
+	snap  *TableSnap
 	pc    predClosure
 	size  int // rows per emitted batch
 	pos   int
@@ -209,15 +209,8 @@ func (s *batchScanIter) NextBatch(batch *Batch) (int, bool) {
 	// a larger capacity from a previous consumer.
 	want := s.size
 	batch.grow(want)
+	rows := s.snap.rows
 	for batch.Len() == 0 {
-		// One lock acquisition per chunk: snapshot the rows header (the
-		// table is append-only, published row slices are never mutated) and
-		// scan it lock-free. Re-reading per chunk means rows appended while
-		// the scan is in flight are still visited — the same semantics the
-		// per-row scan had.
-		s.table.mu.RLock()
-		rows := s.table.rows
-		s.table.mu.RUnlock()
 		if s.pos >= len(rows) {
 			break
 		}
@@ -264,7 +257,7 @@ func (s *batchScanIter) Err() error { return s.err }
 
 func (s *batchScanIter) Reset() { s.pos = 0; s.err = nil }
 
-func (s *batchScanIter) Explain() string { return scanExplain(s.table, s.pc.preds) }
+func (s *batchScanIter) Explain() string { return scanExplain(s.snap.tab, s.pc.preds) }
 
 func scanExplain(t *Table, preds []Pred) string {
 	if len(preds) == 0 {
@@ -273,11 +266,13 @@ func scanExplain(t *Table, preds []Pred) string {
 	return "TABLE SCAN " + t.Name + " FILTER " + predsString(preds)
 }
 
-// batchIndexIter drives a B-tree descent and emits the (sorted) posting
-// list in batches, applying residual predicates against row references
-// resolved once per batch under a single lock acquisition.
+// batchIndexIter drives a B-tree descent over a pinned snapshot and emits
+// the (sorted) posting list in batches: the descent runs once under the
+// table lock (the tree mutates in place on Insert), filtered to rows
+// committed before the snapshot; residual predicates then apply lock-free
+// against the snapshot's row references.
 type batchIndexIter struct {
-	table    *Table
+	snap     *TableSnap
 	indexCol string
 	lo, hi   Bound
 	residual predClosure
@@ -293,18 +288,10 @@ type batchIndexIter struct {
 }
 
 func (it *batchIndexIter) materialize() {
-	idx := it.table.Index(it.indexCol)
-	it.ids = it.ids[:0]
 	if it.stats != nil {
 		atomic.AddInt64(&it.stats.IndexProbes, 1)
 	}
-	if idx != nil {
-		idx.Range(it.lo, it.hi, func(_ Value, rows []int) bool {
-			it.ids = append(it.ids, rows...)
-			return true
-		})
-	}
-	sort.Ints(it.ids) // row-id order ≈ heap order for stable output
+	it.ids = it.snap.IndexIDs(it.indexCol, it.lo, it.hi)
 	it.run = true
 }
 
@@ -322,10 +309,8 @@ func (it *batchIndexIter) NextBatch(batch *Batch) (int, bool) {
 	}
 	want := it.size
 	batch.grow(want)
+	rows := it.snap.rows
 	for batch.Len() == 0 && it.pos < len(it.ids) {
-		it.table.mu.RLock()
-		rows := it.table.rows
-		it.table.mu.RUnlock()
 		end := it.pos + scanChunkRows
 		if end > len(it.ids) {
 			end = len(it.ids)
@@ -376,9 +361,9 @@ func (it *batchIndexIter) Explain() string {
 	}
 	rng := describeRange(it.indexCol, it.lo, it.hi)
 	if len(it.residual.preds) == 0 {
-		return op + " " + it.table.Name + "(" + it.indexCol + ") " + rng
+		return op + " " + it.snap.Name() + "(" + it.indexCol + ") " + rng
 	}
-	return op + " " + it.table.Name + "(" + it.indexCol + ") " + rng + " FILTER " + predsString(it.residual.preds)
+	return op + " " + it.snap.Name() + "(" + it.indexCol + ") " + rng + " FILTER " + predsString(it.residual.preds)
 }
 
 // RowAdapter adapts a BatchIterator to the legacy per-row Iterator
@@ -433,27 +418,37 @@ func (a *RowAdapter) Reset() {
 // Explain describes the underlying physical operator.
 func (a *RowAdapter) Explain() string { return a.B.Explain() }
 
-// OpenBatch turns the plan into a live batch iterator over t, with counters
-// routed to stats (may be nil) under governor g (may be nil). Full scans
-// over tables at or above MorselMinRows split into morsels dispatched to a
+// OpenBatch turns the plan into a live batch iterator over t's current
+// committed state, with counters routed to stats (may be nil) under governor
+// g (may be nil). It pins a fresh snapshot for the scan; callers that need a
+// run-lifetime consistent view (the executor) pin one Snapshot up front and
+// use OpenBatchAt instead.
+func (p AccessPlan) OpenBatch(t *Table, stats *Stats, g *governor.G, opts BatchOpts) BatchIterator {
+	return p.OpenBatchAt(t.Snap(), stats, g, opts)
+}
+
+// OpenBatchAt turns the plan into a live batch iterator over a pinned table
+// snapshot: every row the iterator emits was committed before the snapshot
+// was taken, no matter how many inserts race the scan. Full scans over
+// snapshots at or above MorselMinRows split into morsels dispatched to a
 // worker pool when opts allows more than one worker; the merge preserves
 // heap order, so output is identical to the serial scan.
-func (p AccessPlan) OpenBatch(t *Table, stats *Stats, g *governor.G, opts BatchOpts) BatchIterator {
+func (p AccessPlan) OpenBatchAt(ts *TableSnap, stats *Stats, g *governor.G, opts BatchOpts) BatchIterator {
 	if p.Kind == PathFullScan {
 		if stats != nil {
 			atomic.AddInt64(&stats.FullScans, 1)
 		}
-		if w := opts.WorkerCount(); w > 1 && t.NumRows() >= MorselMinRows {
-			return newMorselScan(t, p.Residual, stats, g, w, opts.Size())
+		if w := opts.WorkerCount(); w > 1 && ts.NumRows() >= MorselMinRows {
+			return newMorselScan(ts, p.Residual, stats, g, w, opts.Size())
 		}
-		return &batchScanIter{table: t, pc: closePreds(t, p.Residual), size: opts.Size(), stats: stats, gov: g}
+		return &batchScanIter{snap: ts, pc: closePreds(ts.tab, p.Residual), size: opts.Size(), stats: stats, gov: g}
 	}
 	if stats != nil {
 		atomic.AddInt64(&stats.RangeScans, 1)
 	}
 	return &batchIndexIter{
-		table: t, indexCol: p.Col, lo: p.Lo, hi: p.Hi,
-		residual: closePreds(t, p.Residual), probe: p.Kind == PathIndexProbe,
+		snap: ts, indexCol: p.Col, lo: p.Lo, hi: p.Hi,
+		residual: closePreds(ts.tab, p.Residual), probe: p.Kind == PathIndexProbe,
 		size: opts.Size(), stats: stats, gov: g,
 	}
 }

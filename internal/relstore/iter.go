@@ -303,13 +303,20 @@ type AccessPlan struct {
 // placeholders are still planned (the plan shape does not depend on the
 // value) but must be bound before Open.
 func PlanAccess(t *Table, preds []Pred) AccessPlan {
-	rows := t.NumRows()
+	return PlanAccessAt(t.Snap(), preds)
+}
+
+// PlanAccessAt is PlanAccess against a pinned snapshot: the TableRows
+// statistic is the snapshot's committed row count, so a plan chosen for a
+// pinned run reflects exactly the state that run will scan.
+func PlanAccessAt(ts *TableSnap, preds []Pred) AccessPlan {
+	rows := ts.NumRows()
 	best := -1
 	for i, p := range preds {
 		if p.Op == CmpNe || p.Val == nil {
 			continue // not sargable
 		}
-		if !t.HasIndex(p.Col) {
+		if !ts.HasIndex(p.Col) {
 			continue
 		}
 		// Prefer equality probes over ranges.
@@ -374,6 +381,11 @@ func FullScanPlan(t *Table, preds []Pred) AccessPlan {
 	return AccessPlan{Kind: PathFullScan, Residual: preds, TableRows: t.NumRows()}
 }
 
+// FullScanPlanAt is FullScanPlan against a pinned snapshot.
+func FullScanPlanAt(ts *TableSnap, preds []Pred) AccessPlan {
+	return AccessPlan{Kind: PathFullScan, Residual: preds, TableRows: ts.NumRows()}
+}
+
 // Open turns the plan into a live per-row iterator over t, with counters
 // routed to stats (may be nil) under governor g (may be nil). The returned
 // Iterator is a RowAdapter over the serial batch producer — the legacy
@@ -381,6 +393,12 @@ func FullScanPlan(t *Table, preds []Pred) AccessPlan {
 // batch consumers use OpenBatch directly.
 func (p AccessPlan) Open(t *Table, stats *Stats, g *governor.G) Iterator {
 	return &RowAdapter{B: p.OpenBatch(t, stats, g, BatchOpts{Workers: 1})}
+}
+
+// OpenAt is Open against a pinned snapshot: the per-row iterator sees
+// exactly the rows committed when the snapshot was taken.
+func (p AccessPlan) OpenAt(ts *TableSnap, stats *Stats, g *governor.G) Iterator {
+	return &RowAdapter{B: p.OpenBatchAt(ts, stats, g, BatchOpts{Workers: 1})}
 }
 
 // Explain describes the planned operator without opening it.
@@ -421,6 +439,13 @@ func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
 // to exhaustion. g may be nil.
 func AccessPathGoverned(t *Table, preds []Pred, stats *Stats, g *governor.G) Iterator {
 	return PlanAccess(t, preds).Open(t, stats, g)
+}
+
+// AccessPathGovernedAt is AccessPathGoverned against a pinned snapshot:
+// planning statistics and the opened scan both reflect the snapshot, never
+// the live table — the building block for snapshot-pinned subqueries.
+func AccessPathGovernedAt(ts *TableSnap, preds []Pred, stats *Stats, g *governor.G) Iterator {
+	return PlanAccessAt(ts, preds).OpenAt(ts, stats, g)
 }
 
 // FullScan returns an unconditional scan (used when the caller needs every

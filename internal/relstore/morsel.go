@@ -45,7 +45,7 @@ type morsel struct {
 
 // morselScan is the BatchIterator over a morsel-parallel full scan.
 type morselScan struct {
-	table     *Table
+	snap      *TableSnap
 	preds     []Pred
 	stats     *Stats
 	gov       *governor.G
@@ -54,9 +54,8 @@ type morselScan struct {
 
 	// Scan-lifetime state, built lazily on the first NextBatch so that
 	// opening (and Explain-ing) a plan spawns nothing.
-	started  bool
-	rowsSnap [][]Value // immutable snapshot of the rows header at scan start
-	pc       predClosure
+	started bool
+	pc      predClosure
 	morsels  []morsel
 	next     atomic.Int64 // claim counter
 	stop     atomic.Bool  // short-circuits workers after a terminal error
@@ -68,25 +67,20 @@ type morselScan struct {
 	err      error
 }
 
-func newMorselScan(t *Table, preds []Pred, stats *Stats, g *governor.G, workers, batchSize int) *morselScan {
-	return &morselScan{table: t, preds: preds, stats: stats, gov: g, workers: workers, batchSize: batchSize}
+func newMorselScan(ts *TableSnap, preds []Pred, stats *Stats, g *governor.G, workers, batchSize int) *morselScan {
+	return &morselScan{snap: ts, preds: preds, stats: stats, gov: g, workers: workers, batchSize: batchSize}
 }
 
-// start snapshots the table and launches the worker pool. The snapshot is
-// one RLock for the whole scan: the table is append-only (Insert never
-// rewrites a published row slice or an element below the snapshot length),
-// so workers read rowsSnap[0..n) lock-free without racing concurrent
-// inserts — an insert may write indexes >= n in the same backing array, but
-// those are different addresses and outside the scan. Rows appended after
-// scan start are not visited; the serial scan re-reads the length per chunk
-// and may see them — both are valid outcomes of racing a scan with writes.
+// start carves the pinned snapshot into morsels and launches the worker
+// pool. The snapshot's rows header is immutable (see TableSnap), so workers
+// read snap.rows[0..n) lock-free without racing concurrent inserts — an
+// insert may write indexes >= n in the same backing array, but those are
+// different addresses and outside the scan. Rows appended after the pin are
+// never visited, matching the serial scan's snapshot semantics exactly.
 func (m *morselScan) start() {
-	m.table.mu.RLock()
-	m.rowsSnap = m.table.rows
-	m.table.mu.RUnlock()
-	m.pc = closePreds(m.table, m.preds)
+	m.pc = closePreds(m.snap.tab, m.preds)
 
-	n := len(m.rowsSnap)
+	n := m.snap.NumRows()
 	m.morsels = make([]morsel, 0, (n+morselRows-1)/morselRows)
 	for lo := 0; lo < n; lo += morselRows {
 		hi := lo + morselRows
@@ -122,7 +116,7 @@ func (m *morselScan) worker() {
 			continue
 		}
 		for id := ms.lo; id < ms.hi; id++ {
-			row := m.rowsSnap[id]
+			row := m.snap.rows[id]
 			if m.pc.matches(row) {
 				ms.ids = append(ms.ids, id)
 				ms.rows = append(ms.rows, row)
@@ -204,15 +198,13 @@ func (m *morselScan) NextBatch(batch *Batch) (int, bool) {
 func (m *morselScan) Err() error { return m.err }
 
 // Reset abandons any in-flight workers (waiting for them to drain the claim
-// counter) and rewinds to an unstarted scan, so the next NextBatch takes a
-// fresh snapshot.
+// counter) and rewinds to an unstarted scan over the same pinned snapshot.
 func (m *morselScan) Reset() {
 	if m.started {
 		m.stop.Store(true)
 		m.wg.Wait()
 	}
 	m.started = false
-	m.rowsSnap = nil
 	m.morsels = nil
 	m.next.Store(0)
 	m.stop.Store(false)
@@ -223,7 +215,7 @@ func (m *morselScan) Reset() {
 
 // Explain renders exactly the serial full scan's operator line: morsel
 // parallelism is a physical execution detail, not a different plan.
-func (m *morselScan) Explain() string { return scanExplain(m.table, m.preds) }
+func (m *morselScan) Explain() string { return scanExplain(m.snap.tab, m.preds) }
 
 // MorselsExecuted reports how many morsels workers have scanned so far —
 // the observability layer records it as a span attribute.

@@ -1,0 +1,139 @@
+package relstore
+
+import "sort"
+
+// MVCC snapshots. Tables are append-only — a published []Value row is never
+// mutated, and Insert only ever appends — so a consistent point-in-time view
+// of a table is nothing more than its rows slice header captured under the
+// table lock: the header's length IS the committed row count at pin time,
+// and every element below it is immutable. A TableSnap therefore costs one
+// RLock to pin and nothing to hold; readers scan it entirely lock-free while
+// writers keep appending (copy-on-write at the slice-header level: an append
+// that grows the backing array publishes a new header, and one that reuses
+// it writes only indexes at or above the pinned length — different
+// addresses, invisible to the snapshot).
+//
+// Secondary indexes need one extra step: the B-tree mutates in place on
+// Insert, so a pinned reader materializes posting lists under the table lock
+// and filters out row ids at or above the pinned length — ids are assigned
+// in append order, so "id < pinned length" is exactly "committed before the
+// snapshot was taken".
+
+// TableSnap is an immutable point-in-time view of one table. All read
+// methods are lock-free except IndexIDs (see above). The zero value is not
+// usable; pin one with Table.Snap or DB.Snapshot.
+type TableSnap struct {
+	tab  *Table
+	rows [][]Value // header captured under the table lock at pin time
+}
+
+// Snap pins the table's current committed state. The snapshot observes every
+// Insert that completed before Snap returned and none that start after.
+func (t *Table) Snap() *TableSnap {
+	t.mu.RLock()
+	rows := t.rows
+	t.mu.RUnlock()
+	return &TableSnap{tab: t, rows: rows}
+}
+
+// Table returns the live table this snapshot pins — for metadata (name,
+// columns, index existence), never for row reads: the live table may have
+// moved past the snapshot.
+func (s *TableSnap) Table() *Table { return s.tab }
+
+// Name returns the table name.
+func (s *TableSnap) Name() string { return s.tab.Name }
+
+// NumRows reports the committed row count at pin time.
+func (s *TableSnap) NumRows() int { return len(s.rows) }
+
+// ColIndex returns the ordinal of the named column, or -1. Column metadata
+// is immutable after CreateTable, so this delegates to the live table.
+func (s *TableSnap) ColIndex(name string) int { return s.tab.ColIndex(name) }
+
+// ColType returns the type of the named column.
+func (s *TableSnap) ColType(name string) (ColType, bool) { return s.tab.ColType(name) }
+
+// Row returns the values of row id as of the snapshot (shared slice; callers
+// must not mutate), or nil for ids outside the pinned range.
+func (s *TableSnap) Row(id int) []Value {
+	if id < 0 || id >= len(s.rows) {
+		return nil
+	}
+	return s.rows[id]
+}
+
+// Value returns one cell as of the snapshot — lock-free, unlike the live
+// Table.Value.
+func (s *TableSnap) Value(id int, col string) Value {
+	r := s.Row(id)
+	i := s.tab.ColIndex(col)
+	if r == nil || i < 0 || i >= len(r) {
+		return nil
+	}
+	return r[i]
+}
+
+// HasIndex reports whether col is indexed. Index creation is additive (an
+// index built after the pin still covers every pinned row), so consulting
+// the live table is safe.
+func (s *TableSnap) HasIndex(col string) bool { return s.tab.HasIndex(col) }
+
+// IndexIDs materializes the posting list for the bounded interval on col,
+// restricted to rows committed before the snapshot. The B-tree descent runs
+// under the table's read lock because Insert rewrites tree nodes in place;
+// the returned ids are sorted ascending (row-id order ≈ heap order, which
+// keeps index-path output deterministic). A missing index yields nil.
+func (s *TableSnap) IndexIDs(col string, lo, hi Bound) []int {
+	s.tab.mu.RLock()
+	idx := s.tab.indexes[col]
+	var ids []int
+	if idx != nil {
+		n := len(s.rows)
+		idx.Range(lo, hi, func(_ Value, rows []int) bool {
+			for _, id := range rows {
+				if id < n {
+					ids = append(ids, id)
+				}
+			}
+			return true
+		})
+	}
+	s.tab.mu.RUnlock()
+	sort.Ints(ids)
+	return ids
+}
+
+// Snapshot is a point-in-time view of the whole database: every table pinned
+// at one moment. Runs and cursors pin a Snapshot when they start and read
+// through it for their entire lifetime, so a scan, its correlated
+// subqueries, and its scalar aggregates all observe the same committed
+// state no matter how many inserts land mid-run.
+//
+// A Snapshot holds no locks and needs no explicit release — dropping the
+// last reference frees it. (The facade keeps a pins gauge for
+// observability; that bookkeeping lives there, not here.)
+type Snapshot struct {
+	db   *DB
+	taps map[string]*TableSnap
+}
+
+// Snapshot pins every table in the database. Tables created after the pin
+// are invisible to it (Table returns nil), exactly like rows inserted after
+// the pin.
+func (db *DB) Snapshot() *Snapshot {
+	db.mu.RLock()
+	taps := make(map[string]*TableSnap, len(db.tables))
+	for name, t := range db.tables {
+		taps[name] = t.Snap()
+	}
+	db.mu.RUnlock()
+	return &Snapshot{db: db, taps: taps}
+}
+
+// Table returns the pinned view of the named table, or nil if the table did
+// not exist when the snapshot was taken.
+func (s *Snapshot) Table(name string) *TableSnap { return s.taps[name] }
+
+// DB returns the live database this snapshot was pinned from.
+func (s *Snapshot) DB() *DB { return s.db }

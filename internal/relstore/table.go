@@ -136,19 +136,32 @@ func coerce(v Value, ct ColType) (Value, error) {
 	return nil, fmt.Errorf("relstore: cannot store %T in a %s column", v, ct)
 }
 
-// Insert appends a row (values in declared column order) and maintains all
-// indexes. Returns the new row id.
-func (t *Table) Insert(values ...Value) (int, error) {
+// CoerceRow validates arity and converts each value to its declared column
+// type, returning the storable row without inserting it. The durability
+// layer uses this to validate a row BEFORE logging it to the WAL — a row
+// that would fail Insert must never reach the log, or replay would diverge
+// from the original execution.
+func (t *Table) CoerceRow(values []Value) ([]Value, error) {
 	if len(values) != len(t.Cols) {
-		return 0, fmt.Errorf("relstore: table %q expects %d values, got %d", t.Name, len(t.Cols), len(values))
+		return nil, fmt.Errorf("relstore: table %q expects %d values, got %d", t.Name, len(t.Cols), len(values))
 	}
 	row := make([]Value, len(values))
 	for i, v := range values {
 		cv, err := coerce(v, t.Cols[i].Type)
 		if err != nil {
-			return 0, fmt.Errorf("column %q: %w", t.Cols[i].Name, err)
+			return nil, fmt.Errorf("column %q: %w", t.Cols[i].Name, err)
 		}
 		row[i] = cv
+	}
+	return row, nil
+}
+
+// Insert appends a row (values in declared column order) and maintains all
+// indexes. Returns the new row id.
+func (t *Table) Insert(values ...Value) (int, error) {
+	row, err := t.CoerceRow(values)
+	if err != nil {
+		return 0, err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

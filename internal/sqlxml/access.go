@@ -53,6 +53,20 @@ type RunSpec struct {
 	// Batch configures the driving access path's batch pipeline (chunk size
 	// and morsel workers for full scans). The zero value means defaults.
 	Batch relstore.BatchOpts
+	// Snap, when non-nil, is the MVCC snapshot this run is pinned to: every
+	// table read — driving scan, subqueries, aggregates — resolves against
+	// it, so concurrent DML never perturbs an in-flight run. Nil (the legacy
+	// entry points) pins a fresh snapshot at open time.
+	Snap *relstore.Snapshot
+}
+
+// snapshot returns the spec's pinned snapshot, or pins a fresh one from db
+// for specs (and nil specs) that did not carry one.
+func (s *RunSpec) snapshot(db *relstore.DB) *relstore.Snapshot {
+	if s != nil && s.Snap != nil {
+		return s.Snap
+	}
+	return db.Snapshot()
 }
 
 // smallTableRows is the chooser's only magic number: at or below this many
@@ -98,13 +112,13 @@ func (s *RunSpec) batchOpts() relstore.BatchOpts {
 // startOperators opens the scan and construct operator spans for a streaming
 // cursor under the spec's attempt span. When no trace is attached (the usual
 // case) the cursor's span fields stay nil and Next takes its untraced path.
-func (s *RunSpec) startOperators(t *relstore.Table, plan relstore.AccessPlan, c *QueryCursor) {
+func (s *RunSpec) startOperators(ts *relstore.TableSnap, plan relstore.AccessPlan, c *QueryCursor) {
 	sp := s.span()
 	if sp == nil {
 		return
 	}
 	c.scanSp = sp.Start("scan")
-	c.scanSp.SetAttr("path", plan.Explain(t))
+	c.scanSp.SetAttr("path", plan.Explain(ts.Table()))
 	c.scanSp.SetAttr("est_rows", plan.EstimateRows())
 	c.scanSp.SetAttr("batch_size", s.batchOpts().Size())
 	if plan.Kind == relstore.PathFullScan {
@@ -119,48 +133,48 @@ func (s *RunSpec) startOperators(t *relstore.Table, plan relstore.AccessPlan, c 
 	c.buildSp = sp.Start("construct")
 }
 
-func (s *RunSpec) recordPath(t *relstore.Table, plan relstore.AccessPlan) {
+func (s *RunSpec) recordPath(ts *relstore.TableSnap, plan relstore.AccessPlan) {
 	if s == nil {
 		return
 	}
 	if s.AccessPath != nil {
-		*s.AccessPath = plan.Explain(t)
+		*s.AccessPath = plan.Explain(ts.Table())
 	}
 	if s.EstRows != nil {
 		*s.EstRows = int64(plan.EstimateRows())
 	}
 	if s.AccessShape != nil {
-		*s.AccessShape = plan.Shape(t)
+		*s.AccessShape = plan.Shape(ts.Table())
 	}
 }
 
-// chooseAccess picks the physical access path for the driving table: the
-// planner's choice (PlanAccess), demoted to a full scan when the statistics
-// say the index cannot pay for itself, or a forced full scan when pushdown
-// is disabled. Either way the same predicates apply — only the mechanism
-// differs — so the row set is identical across choices.
-func chooseAccess(t *relstore.Table, preds []relstore.Pred, noPushdown bool) relstore.AccessPlan {
+// chooseAccess picks the physical access path for the pinned driving table:
+// the planner's choice (PlanAccessAt), demoted to a full scan when the
+// statistics say the index cannot pay for itself, or a forced full scan when
+// pushdown is disabled. Either way the same predicates apply — only the
+// mechanism differs — so the row set is identical across choices.
+func chooseAccess(ts *relstore.TableSnap, preds []relstore.Pred, noPushdown bool) relstore.AccessPlan {
 	if noPushdown {
-		return relstore.FullScanPlan(t, preds)
+		return relstore.FullScanPlanAt(ts, preds)
 	}
-	plan := relstore.PlanAccess(t, preds)
+	plan := relstore.PlanAccessAt(ts, preds)
 	if plan.Kind == relstore.PathIndexRange && plan.TableRows <= smallTableRows {
-		return relstore.FullScanPlan(t, preds)
+		return relstore.FullScanPlanAt(ts, preds)
 	}
 	return plan
 }
 
 // planDriving merges the compiled WHERE clause with the spec's extras, binds
 // every parameter strictly (an unbound one is an error — running it would
-// silently match nothing), chooses the access path, and reports it back
-// through the spec.
-func (s *RunSpec) planDriving(t *relstore.Table, where []relstore.Pred) (relstore.AccessPlan, error) {
+// silently match nothing), chooses the access path against the pinned
+// snapshot, and reports it back through the spec.
+func (s *RunSpec) planDriving(ts *relstore.TableSnap, where []relstore.Pred) (relstore.AccessPlan, error) {
 	bound, err := relstore.BindPreds(s.merged(where), s.params())
 	if err != nil {
 		return relstore.AccessPlan{}, err
 	}
-	plan := chooseAccess(t, bound, s.noPushdown())
-	s.recordPath(t, plan)
+	plan := chooseAccess(ts, bound, s.noPushdown())
+	s.recordPath(ts, plan)
 	return plan, nil
 }
 
@@ -300,11 +314,12 @@ func bindSub(s *SubQuery, params map[string]relstore.Value) (*SubQuery, error) {
 // driving access path is planned from the compiled WHERE clause plus the
 // spec's run-time predicates, with parameters bound for this run only.
 func (e *Executor) OpenQueryCursorSpec(q *Query, sink *relstore.Stats, g *governor.G, spec *RunSpec) (*QueryCursor, error) {
-	t := e.DB.Table(q.Table)
-	if t == nil {
+	snap := spec.snapshot(e.DB)
+	ts := snap.Table(q.Table)
+	if ts == nil {
 		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
 	}
-	plan, err := spec.planDriving(t, q.Where)
+	plan, err := spec.planDriving(ts, q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -314,12 +329,12 @@ func (e *Executor) OpenQueryCursorSpec(q *Query, sink *relstore.Stats, g *govern
 	}
 	c := &QueryCursor{
 		body: body,
-		t:    t,
-		it:   plan.OpenBatch(t, sink, g, spec.batchOpts()),
-		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
+		ts:   ts,
+		it:   plan.OpenBatchAt(ts, sink, g, spec.batchOpts()),
+		ec:   &evalContext{snap: snap, stats: sink, gov: g},
 		fp:   "sqlxml.query.next",
 	}
-	spec.startOperators(t, plan, c)
+	spec.startOperators(ts, plan, c)
 	return c, nil
 }
 
@@ -329,22 +344,23 @@ func (e *Executor) OpenQueryCursorSpec(q *Query, sink *relstore.Stats, g *govern
 // SQL still filters (and index-probes) the driving table exactly like the
 // SQL path would — cross-strategy result consistency.
 func (e *Executor) OpenViewCursorSpec(v *ViewDef, where []relstore.Pred, sink *relstore.Stats, g *governor.G, spec *RunSpec) (*QueryCursor, error) {
-	t := e.DB.Table(v.Table)
-	if t == nil {
+	snap := spec.snapshot(e.DB)
+	ts := snap.Table(v.Table)
+	if ts == nil {
 		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
 	}
-	plan, err := spec.planDriving(t, where)
+	plan, err := spec.planDriving(ts, where)
 	if err != nil {
 		return nil, err
 	}
 	c := &QueryCursor{
 		body: v.Body,
-		t:    t,
-		it:   plan.OpenBatch(t, sink, g, spec.batchOpts()),
-		ec:   &evalContext{db: e.DB, stats: sink, gov: g},
+		ts:   ts,
+		it:   plan.OpenBatchAt(ts, sink, g, spec.batchOpts()),
+		ec:   &evalContext{snap: snap, stats: sink, gov: g},
 		fp:   "sqlxml.view.row",
 	}
-	spec.startOperators(t, plan, c)
+	spec.startOperators(ts, plan, c)
 	return c, nil
 }
 
@@ -363,15 +379,16 @@ func (e *Executor) MaterializeViewSpec(v *ViewDef, where []relstore.Pred, sink *
 // variable instead of failing — the plan's shape does not depend on the
 // value.
 func (e *Executor) ExplainQuerySpec(q *Query, spec *RunSpec) string {
-	t := e.DB.Table(q.Table)
-	if t == nil {
+	snap := spec.snapshot(e.DB)
+	ts := snap.Table(q.Table)
+	if ts == nil {
 		return "unknown table " + q.Table
 	}
 	preds := relstore.BindPredsPartial(spec.merged(q.Where), spec.params())
-	plan := chooseAccess(t, preds, spec.noPushdown())
-	spec.recordPath(t, plan)
+	plan := chooseAccess(ts, preds, spec.noPushdown())
+	spec.recordPath(ts, plan)
 	var sb strings.Builder
-	sb.WriteString(plan.Explain(t))
+	sb.WriteString(plan.Explain(ts.Table()))
 	explainSubqueries(e.DB, q.Body, &sb, "  ")
 	return sb.String()
 }
@@ -380,14 +397,15 @@ func (e *Executor) ExplainQuerySpec(q *Query, spec *RunSpec) string {
 // would use to materialize v under spec — the view-side counterpart of
 // ExplainQuerySpec, with the same lenient parameter binding.
 func (e *Executor) ExplainViewSpec(v *ViewDef, where []relstore.Pred, spec *RunSpec) string {
-	t := e.DB.Table(v.Table)
-	if t == nil {
+	snap := spec.snapshot(e.DB)
+	ts := snap.Table(v.Table)
+	if ts == nil {
 		return "unknown table " + v.Table
 	}
 	preds := relstore.BindPredsPartial(spec.merged(where), spec.params())
-	plan := chooseAccess(t, preds, spec.noPushdown())
-	spec.recordPath(t, plan)
-	return plan.Explain(t)
+	plan := chooseAccess(ts, preds, spec.noPushdown())
+	spec.recordPath(ts, plan)
+	return plan.Explain(ts.Table())
 }
 
 // ExecQueryParallelSpec is the spec-carrying form of ExecQueryParallel: the
@@ -401,11 +419,12 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 		}
 		return drainCursor(c)
 	}
-	t := e.DB.Table(q.Table)
-	if t == nil {
+	snap := spec.snapshot(e.DB)
+	ts := snap.Table(q.Table)
+	if ts == nil {
 		return nil, fmt.Errorf("sqlxml: query references unknown table %q", q.Table)
 	}
-	plan, err := spec.planDriving(t, q.Where)
+	plan, err := spec.planDriving(ts, q.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -416,14 +435,14 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 	var scanSp, buildSp *obs.Span
 	if sp := spec.span(); sp != nil {
 		scanSp = sp.Start("scan")
-		scanSp.SetAttr("path", plan.Explain(t))
+		scanSp.SetAttr("path", plan.Explain(ts.Table()))
 		scanSp.SetAttr("est_rows", plan.EstimateRows())
 		scanSp.SetAttr("parallel_workers", workers)
 		scanSp.SetAttr("batch_size", spec.batchOpts().Size())
 		buildSp = sp.Start("construct")
 	}
 	scanStart := time.Now()
-	it := plan.OpenBatch(t, sink, g, spec.batchOpts())
+	it := plan.OpenBatchAt(ts, sink, g, spec.batchOpts())
 	if scanSp != nil && plan.Kind == relstore.PathFullScan {
 		w := 1
 		if mw, ok := it.(interface{ ScanWorkers() int }); ok {
@@ -488,10 +507,10 @@ func (e *Executor) ExecQueryParallelSpec(q *Query, workers int, sink *relstore.S
 				rowStart = time.Now()
 				buildSp.AddRowsIn(1)
 			}
-			ec := &evalContext{db: e.DB, stats: sink, gov: g}
-			ec.setRow(t, id, rowRefs[i])
+			ec := &evalContext{snap: snap, stats: sink, gov: g}
+			ec.setRow(ts, id, rowRefs[i])
 			doc := xmltree.NewDocument()
-			if err := ec.evalInto(doc, body, t, id); err != nil {
+			if err := ec.evalInto(doc, body, ts, id); err != nil {
 				errs[i] = err
 				return
 			}

@@ -38,7 +38,7 @@ type DocCursor interface {
 // governor ticks once per ~1024 rows.
 type QueryCursor struct {
 	body XMLExpr
-	t    *relstore.Table
+	ts   *relstore.TableSnap
 	it   relstore.BatchIterator
 	ec   *evalContext
 	fp   string // faultpoint name hit once per constructed row
@@ -109,10 +109,10 @@ func (c *QueryCursor) Next() (*xmltree.Node, error) {
 		}
 	}
 	id := c.batch.IDs[c.bpos]
-	c.ec.setRow(c.t, id, c.batch.Rows[c.bpos])
+	c.ec.setRow(c.ts, id, c.batch.Rows[c.bpos])
 	c.bpos++
 	doc := xmltree.NewDocument()
-	if err := c.ec.evalInto(doc, c.body, c.t, id); err != nil {
+	if err := c.ec.evalInto(doc, c.body, c.ts, id); err != nil {
 		return nil, err
 	}
 	doc.Renumber()
@@ -142,12 +142,12 @@ func (c *QueryCursor) nextTraced() (*xmltree.Node, error) {
 		c.scanSp.AddRowsOut(int64(c.batch.Len()))
 	}
 	id := c.batch.IDs[c.bpos]
-	c.ec.setRow(c.t, id, c.batch.Rows[c.bpos])
+	c.ec.setRow(c.ts, id, c.batch.Rows[c.bpos])
 	c.bpos++
 	buildStart := time.Now()
 	c.buildSp.AddRowsIn(1)
 	doc := xmltree.NewDocument()
-	if err := c.ec.evalInto(doc, c.body, c.t, id); err != nil {
+	if err := c.ec.evalInto(doc, c.body, c.ts, id); err != nil {
 		c.buildSp.ObserveSince(buildStart)
 		c.buildSp.Fail(err)
 		return nil, err

@@ -165,40 +165,43 @@ func (q *SubQuery) fromWhereSQL() string {
 }
 
 // evalContext carries the execution state while constructing XML for a row.
+// Every table read — driving row, correlated subquery, scalar aggregate —
+// goes through one pinned database snapshot, so a whole run observes a
+// single committed state no matter how many inserts land mid-run.
 type evalContext struct {
-	db    *relstore.DB
+	snap  *relstore.Snapshot
 	stats *relstore.Stats
 	// gov, when non-nil, bounds the construction: deep Agg nests and wide
 	// scans abort promptly on cancellation or budget exhaustion.
 	gov *governor.G
 
 	// Pinned driving row (setRow): the batch engine hands the cursor row
-	// references captured under the scan's lock acquisition, so cell reads
-	// on the current driving row skip the per-cell table lock entirely.
-	curTable *relstore.Table
+	// references straight from the snapshot, so cell reads on the current
+	// driving row skip even the snapshot's bounds check.
+	curTable *relstore.TableSnap
 	curRow   []relstore.Value
 	curID    int
 }
 
 // setRow pins the driving row the next evalInto constructs from. row may be
-// nil to unpin (reads fall back to the locked Table.Value path).
-func (ec *evalContext) setRow(t *relstore.Table, id int, row []relstore.Value) {
-	ec.curTable, ec.curID, ec.curRow = t, id, row
+// nil to unpin (reads fall back to the snapshot's Value path).
+func (ec *evalContext) setRow(ts *relstore.TableSnap, id int, row []relstore.Value) {
+	ec.curTable, ec.curID, ec.curRow = ts, id, row
 }
 
-// cell reads one column of (t, id), via the pinned row when it matches.
-func (ec *evalContext) cell(t *relstore.Table, id int, col string) relstore.Value {
-	if ec.curRow != nil && t == ec.curTable && id == ec.curID {
-		if ci := t.ColIndex(col); ci >= 0 && ci < len(ec.curRow) {
+// cell reads one column of (ts, id), via the pinned row when it matches.
+func (ec *evalContext) cell(ts *relstore.TableSnap, id int, col string) relstore.Value {
+	if ec.curRow != nil && ts == ec.curTable && id == ec.curID {
+		if ci := ts.ColIndex(col); ci >= 0 && ci < len(ec.curRow) {
 			return ec.curRow[ci]
 		}
 		return nil
 	}
-	return t.Value(id, col)
+	return ts.Value(id, col)
 }
 
 // evalInto appends the XML produced by expr for (table,rowID) to parent.
-func (ec *evalContext) evalInto(parent *xmltree.Node, expr XMLExpr, table *relstore.Table, rowID int) error {
+func (ec *evalContext) evalInto(parent *xmltree.Node, expr XMLExpr, table *relstore.TableSnap, rowID int) error {
 	if err := ec.gov.Tick(); err != nil {
 		return err
 	}
@@ -273,7 +276,7 @@ func (ec *evalContext) evalInto(parent *xmltree.Node, expr XMLExpr, table *relst
 	return fmt.Errorf("sqlxml: unhandled expression %T", expr)
 }
 
-func scalarAggText(e *ScalarAgg, inner *relstore.Table, ids []int) string {
+func scalarAggText(e *ScalarAgg, inner *relstore.TableSnap, ids []int) string {
 	switch e.Fn {
 	case "count":
 		return fmt.Sprintf("%d", len(ids))
@@ -334,7 +337,7 @@ func trimFloat(f float64) string {
 
 // scalarText evaluates a scalar-producing expression (Column, Literal,
 // ScalarAgg, or a Concat of those) to a string.
-func (ec *evalContext) scalarText(expr XMLExpr, table *relstore.Table, rowID int) (string, error) {
+func (ec *evalContext) scalarText(expr XMLExpr, table *relstore.TableSnap, rowID int) (string, error) {
 	switch e := expr.(type) {
 	case *Literal:
 		return e.Text, nil
@@ -361,9 +364,11 @@ func (ec *evalContext) scalarText(expr XMLExpr, table *relstore.Table, rowID int
 }
 
 // subqueryRows plans and runs the subquery for one outer row, returning the
-// inner table and the selected row ids (ordered).
-func (ec *evalContext) subqueryRows(sub *SubQuery, outer *relstore.Table, outerRow int) (*relstore.Table, []int, error) {
-	inner := ec.db.Table(sub.Table)
+// pinned inner table and the selected row ids (ordered). The inner scan
+// reads the run's snapshot, so a subquery re-evaluated per outer row always
+// sees the same inner rows.
+func (ec *evalContext) subqueryRows(sub *SubQuery, outer *relstore.TableSnap, outerRow int) (*relstore.TableSnap, []int, error) {
+	inner := ec.snap.Table(sub.Table)
 	if inner == nil {
 		return nil, nil, fmt.Errorf("sqlxml: unknown table %q", sub.Table)
 	}
@@ -372,7 +377,7 @@ func (ec *evalContext) subqueryRows(sub *SubQuery, outer *relstore.Table, outerR
 		ov := ec.cell(outer, outerRow, sub.CorrOuter)
 		preds = append(preds, relstore.Pred{Col: sub.CorrInner, Op: relstore.CmpEq, Val: ov})
 	}
-	it := relstore.AccessPathGoverned(inner, preds, ec.stats, ec.gov)
+	it := relstore.AccessPathGovernedAt(inner, preds, ec.stats, ec.gov)
 	var ids []int
 	for {
 		id, ok := it.Next()
@@ -417,7 +422,7 @@ func valueText(v relstore.Value) string {
 	return fmt.Sprint(v)
 }
 
-func sortByCol(t *relstore.Table, ids []int, col string, desc bool) {
+func sortByCol(t *relstore.TableSnap, ids []int, col string, desc bool) {
 	lessAsc := func(a, b int) bool {
 		return relstore.CompareValues(t.Value(a, col), t.Value(b, col)) < 0
 	}

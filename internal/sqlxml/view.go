@@ -93,15 +93,17 @@ func (e *Executor) MaterializeViewGoverned(v *ViewDef, sink *relstore.Stats, g *
 	return drainCursor(c)
 }
 
-// MaterializeRow builds the XMLType instance for a single driving row.
+// MaterializeRow builds the XMLType instance for a single driving row,
+// pinning a fresh snapshot for the construction.
 func (e *Executor) MaterializeRow(v *ViewDef, rowID int) (*xmltree.Node, error) {
-	t := e.DB.Table(v.Table)
-	if t == nil {
+	snap := e.DB.Snapshot()
+	ts := snap.Table(v.Table)
+	if ts == nil {
 		return nil, fmt.Errorf("sqlxml: view %q references unknown table %q", v.Name, v.Table)
 	}
-	ec := &evalContext{db: e.DB, stats: &e.Stats}
+	ec := &evalContext{snap: snap, stats: &e.Stats}
 	doc := xmltree.NewDocument()
-	if err := ec.evalInto(doc, v.Body, t, rowID); err != nil {
+	if err := ec.evalInto(doc, v.Body, ts, rowID); err != nil {
 		return nil, err
 	}
 	doc.Renumber()

@@ -1,0 +1,437 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+type rec struct {
+	typ     byte
+	payload []byte
+}
+
+// collect reopens dir with a recording replay callback.
+func collect(t *testing.T, dir string, opts Options) (*Log, RecoverStats, []rec) {
+	t.Helper()
+	var got []rec
+	lg, rs, err := Open(dir, opts, func(typ byte, payload []byte) error {
+		got = append(got, rec{typ, append([]byte(nil), payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return lg, rs, got
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	lg, rs, got := collect(t, dir, Options{})
+	if rs.Records != 0 || len(got) != 0 {
+		t.Fatalf("fresh log replayed %d records", rs.Records)
+	}
+	want := []rec{
+		{1, []byte("alpha")},
+		{2, nil},
+		{3, bytes.Repeat([]byte{0xAB}, 10_000)},
+		{1, []byte("omega")},
+	}
+	for _, r := range want {
+		if err := lg.Append(r.typ, r.payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lg2, rs, got := collect(t, dir, Options{})
+	defer lg2.Close()
+	if rs.Records != len(want) {
+		t.Fatalf("replayed %d records, want %d", rs.Records, len(want))
+	}
+	for i, r := range want {
+		if got[i].typ != r.typ || !bytes.Equal(got[i].payload, r.payload) {
+			t.Fatalf("record %d mismatch: got type %d len %d", i, got[i].typ, len(got[i].payload))
+		}
+	}
+	if rs.TornBytes != 0 || rs.SegmentsDropped != 0 {
+		t.Fatalf("clean log reported torn bytes %d, dropped %d", rs.TornBytes, rs.SegmentsDropped)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	lg, _, _ := collect(t, t.TempDir(), Options{})
+	if err := lg.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := lg.Append(1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := lg.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation quickly: each frame is 9+8 = 17 bytes.
+	lg, _, _ := collect(t, dir, Options{SegmentBytes: 64})
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := lg.Append(7, []byte(fmt.Sprintf("%08d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if lg.Segment() == 0 {
+		t.Fatalf("no rotation happened after %d appends into 64-byte segments", n)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	files, err := SegmentFiles(dir)
+	if err != nil || len(files) < 2 {
+		t.Fatalf("SegmentFiles: %v, %d files, want >= 2", err, len(files))
+	}
+	lg2, rs, got := collect(t, dir, Options{SegmentBytes: 64})
+	defer lg2.Close()
+	if rs.Records != n {
+		t.Fatalf("replayed %d records across segments, want %d", rs.Records, n)
+	}
+	for i := 0; i < n; i++ {
+		if string(got[i].payload) != fmt.Sprintf("%08d", i) {
+			t.Fatalf("record %d out of order: %q", i, got[i].payload)
+		}
+	}
+}
+
+// TestTruncateAtEveryOffset is the crash-recovery property test: after
+// writing N records, truncating the log at EVERY byte offset in the tail
+// record must recover exactly the records before it — never a panic, never
+// a partial record, and the log must accept appends again afterward.
+func TestTruncateAtEveryOffset(t *testing.T) {
+	const n = 5
+	base := t.TempDir()
+	// Build one pristine log image to copy from.
+	master := base + "/master"
+	lg, _, _ := collect(t, master, Options{})
+	var offsets []int64 // committed size after each record
+	for i := 0; i < n; i++ {
+		if err := lg.Append(byte(i + 1), []byte(fmt.Sprintf("record-%d-payload", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		offsets = append(offsets, lg.Size())
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	files, err := SegmentFiles(master)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("SegmentFiles: %v, %d files", err, len(files))
+	}
+	image, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatalf("reading master image: %v", err)
+	}
+	tailStart := offsets[n-2] // last record spans [tailStart, len(image))
+
+	for cut := tailStart; cut <= int64(len(image)); cut++ {
+		dir := fmt.Sprintf("%s/cut-%d", base, cut)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dir+"/wal-00000000.log", image[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lg, rs, got := collect(t, dir, Options{})
+		wantRecords := n - 1
+		if cut == int64(len(image)) {
+			wantRecords = n // uncut: the full log
+		}
+		if rs.Records != wantRecords {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, rs.Records, wantRecords)
+		}
+		for i, r := range got {
+			want := fmt.Sprintf("record-%d-payload", i)
+			if r.typ != byte(i+1) || string(r.payload) != want {
+				t.Fatalf("cut at %d: record %d corrupted: type %d payload %q", cut, i, r.typ, r.payload)
+			}
+		}
+		if wantRecords < n && rs.TornBytes != cut-tailStart {
+			t.Fatalf("cut at %d: truncated %d torn bytes, want %d", cut, rs.TornBytes, cut-tailStart)
+		}
+		// The recovered log must be writable: append and re-replay.
+		if err := lg.Append(99, []byte("after-recovery")); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		if err := lg.Close(); err != nil {
+			t.Fatalf("cut at %d: close: %v", cut, err)
+		}
+		lg2, rs2, _ := collect(t, dir, Options{})
+		if rs2.Records != wantRecords+1 {
+			t.Fatalf("cut at %d: second recovery got %d records, want %d", cut, rs2.Records, wantRecords+1)
+		}
+		lg2.Close()
+	}
+}
+
+func TestCorruptFrameTruncatesTail(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(image []byte, tailStart int64) []byte
+	}{
+		{"flipped-payload-bit", func(im []byte, ts int64) []byte {
+			im[int(ts)+headerBytes+2] ^= 0x01 // CRC mismatch
+			return im
+		}},
+		{"zeroed-header", func(im []byte, ts int64) []byte {
+			for i := int64(0); i < headerBytes; i++ {
+				im[ts+i] = 0 // preallocated-but-unwritten space
+			}
+			return im
+		}},
+		{"implausible-length", func(im []byte, ts int64) []byte {
+			im[ts] = 0xFF
+			im[ts+1] = 0xFF
+			im[ts+2] = 0xFF
+			im[ts+3] = 0x7F
+			return im
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			lg, _, _ := collect(t, dir, Options{})
+			var tailStart int64
+			for i := 0; i < 3; i++ {
+				tailStart = lg.Size()
+				if err := lg.Append(1, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			if err := lg.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			files, _ := SegmentFiles(dir)
+			image, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(files[0], tc.corrupt(image, tailStart), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			lg2, rs, got := collect(t, dir, Options{})
+			defer lg2.Close()
+			if rs.Records != 2 {
+				t.Fatalf("recovered %d records, want 2 (corrupt tail dropped)", rs.Records)
+			}
+			if string(got[1].payload) != "rec-1" {
+				t.Fatalf("surviving record corrupted: %q", got[1].payload)
+			}
+			if rs.TornBytes == 0 {
+				t.Fatalf("corruption reported no torn bytes")
+			}
+		})
+	}
+}
+
+func TestTornMiddleSegmentDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	lg, _, _ := collect(t, dir, Options{SegmentBytes: 64})
+	for i := 0; i < 20; i++ {
+		if err := lg.Append(1, []byte(fmt.Sprintf("%08d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	files, _ := SegmentFiles(dir)
+	if len(files) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(files))
+	}
+	// Tear the tail of the FIRST segment: everything after it is
+	// unreachable and must be dropped, not replayed out of order.
+	image, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], image[:len(image)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lg2, rs, got := collect(t, dir, Options{SegmentBytes: 64})
+	defer lg2.Close()
+	if rs.SegmentsDropped != len(files)-1 {
+		t.Fatalf("dropped %d segments, want %d", rs.SegmentsDropped, len(files)-1)
+	}
+	for i, r := range got {
+		if string(r.payload) != fmt.Sprintf("%08d", i) {
+			t.Fatalf("record %d out of order after drop: %q", i, r.payload)
+		}
+	}
+	left, _ := SegmentFiles(dir)
+	if len(left) != 1 {
+		t.Fatalf("%d segment files survive, want 1", len(left))
+	}
+}
+
+func TestAppendFaultTearsAndWedges(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	lg, _, _ := collect(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := lg.Append(1, []byte(fmt.Sprintf("good-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	boom := errors.New("injected torn write")
+	faultpoint.Enable("wal.append", boom)
+	if err := lg.Append(1, []byte("torn")); !errors.Is(err, boom) {
+		t.Fatalf("faulted Append: %v, want injected error", err)
+	}
+	faultpoint.Disable("wal.append")
+	// The log wedged: the on-disk tail is unknown until a reopen recovers.
+	if err := lg.Append(1, []byte("after")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("Append on wedged log: %v, want ErrWedged", err)
+	}
+	if err := lg.Sync(); !errors.Is(err, ErrWedged) {
+		t.Fatalf("Sync on wedged log: %v, want ErrWedged", err)
+	}
+	lg.Close()
+	lg2, rs, got := collect(t, dir, Options{})
+	defer lg2.Close()
+	if rs.Records != 3 {
+		t.Fatalf("recovered %d records, want the 3 committed before the tear", rs.Records)
+	}
+	if rs.TornBytes == 0 {
+		t.Fatalf("torn write left no torn bytes to truncate")
+	}
+	if string(got[2].payload) != "good-2" {
+		t.Fatalf("committed record corrupted: %q", got[2].payload)
+	}
+}
+
+func TestFsyncFaultRollsBackAppend(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	lg, _, _ := collect(t, dir, Options{Policy: SyncAlways})
+	if err := lg.Append(1, []byte("committed")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	boom := errors.New("injected fsync error")
+	faultpoint.Enable("wal.fsync", boom)
+	if err := lg.Append(1, []byte("uncommitted")); !errors.Is(err, boom) {
+		t.Fatalf("faulted Append: %v, want injected error", err)
+	}
+	faultpoint.Disable("wal.fsync")
+	// The failed append was rolled back — the log keeps working and holds
+	// exactly the acknowledged records.
+	if err := lg.Append(1, []byte("committed-2")); err != nil {
+		t.Fatalf("Append after fsync failure: %v", err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lg2, rs, got := collect(t, dir, Options{})
+	defer lg2.Close()
+	if rs.Records != 2 {
+		t.Fatalf("recovered %d records, want 2", rs.Records)
+	}
+	if string(got[0].payload) != "committed" || string(got[1].payload) != "committed-2" {
+		t.Fatalf("recovered wrong records: %q, %q", got[0].payload, got[1].payload)
+	}
+	if rs.TornBytes != 0 {
+		t.Fatalf("rollback left %d torn bytes on disk", rs.TornBytes)
+	}
+}
+
+func TestRotateFaultFailsAppendCleanly(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	lg, _, _ := collect(t, dir, Options{SegmentBytes: 32})
+	if err := lg.Append(1, bytes.Repeat([]byte("x"), 40)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	boom := errors.New("injected rotate error")
+	faultpoint.Enable("wal.rotate", boom)
+	if err := lg.Append(1, []byte("next")); !errors.Is(err, boom) {
+		t.Fatalf("faulted Append: %v, want injected rotate error", err)
+	}
+	faultpoint.Disable("wal.rotate")
+	// Rotation failure is clean: nothing was written, the next append
+	// rotates and proceeds.
+	if err := lg.Append(1, []byte("retried")); err != nil {
+		t.Fatalf("Append after rotate failure: %v", err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lg2, rs, got := collect(t, dir, Options{SegmentBytes: 32})
+	defer lg2.Close()
+	if rs.Records != 2 {
+		t.Fatalf("recovered %d records, want 2", rs.Records)
+	}
+	if string(got[1].payload) != "retried" {
+		t.Fatalf("retried record lost: %q", got[1].payload)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			fsyncs := 0
+			opts := Options{Policy: policy, SyncEvery: 4, OnFsync: func() { fsyncs++ }}
+			lg, _, err := Open(dir, opts, nil)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			const n = 8
+			for i := 0; i < n; i++ {
+				if err := lg.Append(1, []byte("r")); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			switch policy {
+			case SyncAlways:
+				if fsyncs != n {
+					t.Fatalf("SyncAlways issued %d fsyncs for %d appends", fsyncs, n)
+				}
+			case SyncInterval:
+				if fsyncs != n/4 {
+					t.Fatalf("SyncInterval(4) issued %d fsyncs for %d appends, want %d", fsyncs, n, n/4)
+				}
+			case SyncNever:
+				if fsyncs != 0 {
+					t.Fatalf("SyncNever issued %d fsyncs", fsyncs)
+				}
+			}
+			if err := lg.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			lg2, rs, _ := collect(t, dir, opts)
+			defer lg2.Close()
+			if rs.Records != n {
+				t.Fatalf("recovered %d records under %s, want %d", rs.Records, policy, n)
+			}
+		})
+	}
+}
+
+func TestOversizeRecordRefused(t *testing.T) {
+	lg, _, _ := collect(t, t.TempDir(), Options{})
+	defer lg.Close()
+	if err := lg.Append(1, make([]byte, maxRecord)); err == nil {
+		t.Fatalf("oversize record accepted")
+	}
+	if err := lg.Append(1, []byte("fine")); err != nil {
+		t.Fatalf("normal append after refusal: %v", err)
+	}
+}

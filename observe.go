@@ -44,6 +44,14 @@ var (
 		"Runs that exceeded their transform's slow threshold.")
 	mMisestimates = obs.Default.NewCounter("xsltdb_misestimates_total",
 		"Completed runs whose cardinality q-error (est vs actual rows) crossed the tracker threshold.")
+	mSnapshotPins = obs.Default.NewGauge("xsltdb_snapshot_pins",
+		"MVCC snapshots currently pinned by in-flight runs and open cursors.")
+	mWalAppends = obs.Default.NewCounter("xsltdb_wal_appends_total",
+		"Records appended to the write-ahead log.")
+	mWalFsyncs = obs.Default.NewCounter("xsltdb_wal_fsyncs_total",
+		"fsync calls issued by the write-ahead log.")
+	mWalReplaySeconds = obs.Default.NewHistogram("xsltdb_wal_replay_seconds",
+		"Wall time of WAL replay during Database.Open crash recovery.", nil)
 )
 
 // recordRunMetrics folds one finished execution into the process-wide

@@ -168,15 +168,19 @@ func (d *Database) runSpec(st *planState, ro runOptions, lenient bool) (*sqlxml.
 		}
 		extras = append(extras, preds...)
 	}
+	// Pin this run's MVCC snapshot: every table read below the executor —
+	// driving scan, subqueries, scalar aggregates — resolves against it, so
+	// concurrent inserts and view replacements never perturb the run.
+	snap := d.rel.Snapshot()
 	// Validate raw column names that fell through view resolution: a typo
 	// should fail loudly here, not silently match nothing per SQL NULL
 	// semantics.
-	t := d.rel.Table(st.view.Table)
-	if t == nil {
+	ts := snap.Table(st.view.Table)
+	if ts == nil {
 		return nil, nil, fmt.Errorf("xsltdb: view %q references unknown table %q: %w", st.view.Name, st.view.Table, ErrNoTable)
 	}
 	for _, p := range extras {
-		if _, ok := t.ColType(p.Col); !ok {
+		if _, ok := ts.ColType(p.Col); !ok {
 			return nil, nil, fmt.Errorf("xsltdb: WithWhere: view %q exposes no column %q: %w", st.view.Name, p.Col, ErrBadRunOption)
 		}
 	}
@@ -202,6 +206,7 @@ func (d *Database) runSpec(st *planState, ro runOptions, lenient bool) (*sqlxml.
 		EstRows:     new(int64),
 		AccessShape: new(string),
 		Batch:       relstore.BatchOpts{BatchSize: ro.batchSize, Workers: ro.workers},
+		Snap:        snap,
 	}, access, nil
 }
 

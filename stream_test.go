@@ -463,6 +463,14 @@ func TestConcurrentRunAndReplace(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+	// Replaces no longer block behind in-flight runs (readers pin MVCC
+	// snapshots), so the concurrent phase above may schedule every run
+	// before the first version bump. All four replaces have completed by
+	// now, so one more run deterministically observes the final version
+	// and must recompile if none of the concurrent runs did.
+	if _, err := ct.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if ct.Recompiles() == 0 {
 		t.Fatal("at least one automatic recompilation expected")
 	}

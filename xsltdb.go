@@ -37,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/sqlxml"
+	"repro/internal/wal"
 	"repro/internal/xmltree"
 	"repro/internal/xq2sql"
 	"repro/internal/xquery"
@@ -136,16 +137,94 @@ type Database struct {
 	// cards is the always-on cardinality-accuracy tracker (est vs actual
 	// rows per access-path shape, misestimate log above q-error 2).
 	cards *obs.CardTracker
+
+	// Durability (nil/zero for a purely in-memory database — see Open):
+	// wal is the write-ahead log every mutation is recorded to before it is
+	// applied, and writeMu serializes durable mutations so WAL order equals
+	// apply order equals row-id order — the invariant replay depends on.
+	wal      *wal.Log
+	writeMu  sync.Mutex
+	recovery wal.RecoverStats
+
+	// closed flips once on Close; entry points check it, in-flight cursors
+	// registered in cursors are failed with ErrDatabaseClosed.
+	closed  atomic.Bool
+	curMu   sync.Mutex
+	cursors map[*Cursor]struct{}
 }
 
-// NewDatabase returns an empty database.
+// NewDatabase returns an empty in-memory database. For a durable database
+// backed by a write-ahead log, use Open.
 func NewDatabase() *Database {
 	rel := relstore.NewDB()
 	return &Database{
 		rel: rel, exec: sqlxml.NewExecutor(rel),
 		views: map[string]*ViewDef{}, viewVersions: map[string]int{},
-		cards: obs.NewCardTracker(2.0, mMisestimates),
+		cards:   obs.NewCardTracker(2.0, mMisestimates),
+		cursors: map[*Cursor]struct{}{},
 	}
+}
+
+// checkOpen refuses new work after Close.
+func (d *Database) checkOpen() error {
+	if d.closed.Load() {
+		return ErrDatabaseClosed
+	}
+	return nil
+}
+
+// registerCursor tracks an open cursor so Close can fail it. It reports
+// false when the database closed around the registration — the caller must
+// refuse the cursor instead of leaving an untracked stream running.
+func (d *Database) registerCursor(c *Cursor) bool {
+	if d.closed.Load() {
+		return false
+	}
+	d.curMu.Lock()
+	d.cursors[c] = struct{}{}
+	d.curMu.Unlock()
+	// Re-check after publishing: if Close raced us it may have missed the
+	// cursor in its sweep, so take it back out and refuse.
+	if d.closed.Load() {
+		d.unregisterCursor(c)
+		return false
+	}
+	return true
+}
+
+func (d *Database) unregisterCursor(c *Cursor) {
+	d.curMu.Lock()
+	delete(d.cursors, c)
+	d.curMu.Unlock()
+}
+
+// Close shuts the database down: new runs, cursors and mutations are
+// refused with ErrDatabaseClosed, every in-flight cursor terminates with the
+// same sentinel (their already-pinned snapshots stay readable until each
+// cursor releases — no map is ever nilled out), and the write-ahead log, if
+// any, is synced and closed. Close is idempotent and safe to call
+// concurrently; only the first call does the work.
+func (d *Database) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	d.curMu.Lock()
+	open := make([]*Cursor, 0, len(d.cursors))
+	for c := range d.cursors {
+		open = append(open, c)
+	}
+	d.curMu.Unlock()
+	for _, c := range open {
+		c.failDatabaseClosed()
+	}
+	// Serialize against in-flight durable writes so the WAL closes after
+	// the last append it accepted.
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if d.wal != nil {
+		return d.wal.Close()
+	}
+	return nil
 }
 
 // Rel exposes the underlying relational store.
@@ -160,33 +239,122 @@ func (d *Database) Stats() *Stats {
 	return &s
 }
 
-// CreateTable creates a relational table.
+// CreateTable creates a relational table. On a durable database the DDL is
+// validated, logged to the WAL, and only then applied — so replay sees
+// exactly the statements that took effect.
 func (d *Database) CreateTable(name string, cols ...TableColumn) error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	if d.wal == nil {
+		_, err := d.rel.CreateTable(name, cols...)
+		return err
+	}
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	// Validate before logging: a statement that cannot apply must never
+	// reach the log, or replay would diverge from the original execution.
+	if _, err := relstore.NewTable(name, cols...); err != nil {
+		return err
+	}
+	if d.rel.Table(name) != nil {
+		return fmt.Errorf("relstore: table %q already exists", name)
+	}
+	if err := d.logCreateTable(name, cols); err != nil {
+		return err
+	}
 	_, err := d.rel.CreateTable(name, cols...)
 	return err
 }
 
-// Insert appends a row to a table.
+// Insert appends a row to a table. On a durable database the row is
+// coerced to its column types, logged to the WAL (synced per the open-time
+// fsync policy), and only then applied to memory — write-ahead ordering, so
+// a crash can lose at most the unsynced tail, never leave a logged row and
+// an applied row disagreeing about order.
 func (d *Database) Insert(table string, values ...relstore.Value) error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
 	t := d.rel.Table(table)
 	if t == nil {
 		return fmt.Errorf("xsltdb: no table %q: %w", table, ErrNoTable)
 	}
-	_, err := t.Insert(values...)
+	if d.wal == nil {
+		_, err := t.Insert(values...)
+		return err
+	}
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	row, err := t.CoerceRow(values)
+	if err != nil {
+		return err
+	}
+	if err := d.logInsert(table, row); err != nil {
+		return err
+	}
+	_, err = t.Insert(row...)
 	return err
 }
 
 // CreateIndex builds a B-tree index on table.col.
 func (d *Database) CreateIndex(table, col string) error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
 	t := d.rel.Table(table)
 	if t == nil {
 		return fmt.Errorf("xsltdb: no table %q: %w", table, ErrNoTable)
+	}
+	if d.wal == nil {
+		return t.CreateIndex(col)
+	}
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if t.ColIndex(col) < 0 {
+		return fmt.Errorf("relstore: no column %q in table %q", col, table)
+	}
+	if err := d.logCreateIndex(table, col); err != nil {
+		return err
 	}
 	return t.CreateIndex(col)
 }
 
 // CreateXMLView registers an XMLType view.
 func (d *Database) CreateXMLView(v *ViewDef) error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	if d.wal == nil {
+		return d.applyCreateXMLView(v)
+	}
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if err := d.validateCreateXMLView(v); err != nil {
+		return err
+	}
+	if err := d.logView(recCreateView, v); err != nil {
+		return err
+	}
+	return d.applyCreateXMLView(v)
+}
+
+func (d *Database) validateCreateXMLView(v *ViewDef) error {
+	if v.Name == "" {
+		return fmt.Errorf("xsltdb: view needs a name: %w", ErrNoView)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if _, dup := d.views[v.Name]; dup {
+		return fmt.Errorf("xsltdb: view %q already exists: %w", v.Name, ErrDuplicateView)
+	}
+	if d.rel.Table(v.Table) == nil {
+		return fmt.Errorf("xsltdb: view %q references unknown table %q: %w", v.Name, v.Table, ErrNoTable)
+	}
+	return nil
+}
+
+func (d *Database) applyCreateXMLView(v *ViewDef) error {
 	if v.Name == "" {
 		return fmt.Errorf("xsltdb: view needs a name: %w", ErrNoView)
 	}
@@ -206,8 +374,41 @@ func (d *Database) CreateXMLView(v *ViewDef) error {
 // ReplaceXMLView redefines an existing view (schema evolution, §7.3).
 // Transforms compiled against the old definition recompile automatically on
 // their next Run or OpenCursor; cached plans for the old definition are
-// evicted.
+// evicted. The replacement is non-blocking for readers: in-flight runs and
+// cursors pinned the old (view, version) snapshot at open time and keep
+// producing pre-replace output; only runs that START after the replacement
+// see the new definition.
 func (d *Database) ReplaceXMLView(v *ViewDef) error {
+	if err := d.checkOpen(); err != nil {
+		return err
+	}
+	if d.wal == nil {
+		return d.applyReplaceXMLView(v)
+	}
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if err := d.validateReplaceXMLView(v); err != nil {
+		return err
+	}
+	if err := d.logView(recReplaceView, v); err != nil {
+		return err
+	}
+	return d.applyReplaceXMLView(v)
+}
+
+func (d *Database) validateReplaceXMLView(v *ViewDef) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if _, ok := d.views[v.Name]; !ok {
+		return fmt.Errorf("xsltdb: no view %q to replace: %w", v.Name, ErrNoView)
+	}
+	if d.rel.Table(v.Table) == nil {
+		return fmt.Errorf("xsltdb: view %q references unknown table %q: %w", v.Name, v.Table, ErrNoTable)
+	}
+	return nil
+}
+
+func (d *Database) applyReplaceXMLView(v *ViewDef) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.views[v.Name]; !ok {
@@ -556,6 +757,9 @@ func (ct *CompiledTransform) SQL() string {
 // still non-nil: its Stats describe the work done up to the failure,
 // including degradations, breaker activity, and recovered panics.
 func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Result, error) {
+	if err := ct.db.checkOpen(); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -594,6 +798,8 @@ func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Resul
 		root.Fail(err)
 		return nil, err
 	}
+	mSnapshotPins.Inc()
+	defer mSnapshotPins.Dec()
 	if ct.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, ct.opts.Timeout)
