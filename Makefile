@@ -13,15 +13,17 @@
 #   make bench-exec  batched/morsel execution-engine guard -> BENCH_exec.json
 #   make bench-history  run-history archive overhead (disabled/enabled/contended)
 #   make bench-wal   durable insert throughput per fsync policy -> BENCH_wal.json
+#   make bench-serve serving-layer throughput guard -> BENCH_serve.json
+#   make serve    xsltd over the demo database on :8080 (console on :6060)
 #   make demo     paper Examples 1 and 2 end to end, streamed with stats
 #   make console  the demo serving the live debug console on :6060
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: verify test vet race fuzz faults crash bench bench-json bench-obs bench-exec bench-history bench-wal demo console
+.PHONY: verify test vet race fuzz faults crash bench bench-json bench-obs bench-exec bench-history bench-wal bench-serve demo console serve
 
-verify: test vet race fuzz faults crash bench-exec
+verify: test vet race fuzz faults crash bench-exec bench-serve
 
 test:
 	$(GO) build ./...
@@ -85,6 +87,17 @@ bench-history:
 # against the in-memory baseline, plus replay speed. Artifact: BENCH_wal.json.
 bench-wal:
 	$(GO) run ./cmd/xsltbench -wal
+
+# Serving-layer guard: the result cache must be >=2x the uncached mix's
+# throughput over real HTTP (exits non-zero otherwise), compared against the
+# committed BENCH_serve.json baseline. Artifact: BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/xsltbench -serve -serve-baseline BENCH_serve.json
+
+# The serving daemon over the in-memory demo database: the paper stylesheet
+# at http://localhost:8080/v1/transform/paper, console at :6060.
+serve:
+	$(GO) run ./cmd/xsltd -listen localhost:8080 -console-addr localhost:6060
 
 demo:
 	$(GO) run ./cmd/xsltdb demo -stream -stats

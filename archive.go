@@ -67,7 +67,7 @@ func SampleErrors() TraceSampling { return TraceSampling{mode: samplingErrors} }
 // operator tree, exactly as if the caller had passed WithTrace. No effect
 // until EnableRunHistory is called on the database.
 func WithTraceSampling(p TraceSampling) Option {
-	return optionFunc(func(o *CompileOptions) { o.Sampling = p })
+	return optionFunc(func(o *compileOptions) { o.Sampling = p })
 }
 
 // wantTrace decides at run start whether this execution should carry a
@@ -149,11 +149,19 @@ func (d *Database) Cardinality() *obs.CardTracker { return d.cards }
 //
 // The /runs endpoints stay empty until EnableRunHistory is called.
 func (d *Database) ConsoleHandler() http.Handler {
+	return d.ConsoleHandlerWithTenants(nil)
+}
+
+// ConsoleHandlerWithTenants is ConsoleHandler plus a /tenants section fed by
+// the serving layer's per-tenant admission state (see the serve package);
+// tenants may be nil, leaving /tenants empty.
+func (d *Database) ConsoleHandlerWithTenants(tenants func() any) http.Handler {
 	return obs.ConsoleHandler(obs.ConsoleConfig{
 		Archive:  d.history.Load(),
 		Cards:    d.cards,
 		Registry: obs.Default,
 		Plans:    func() any { return d.PlanCacheEntries() },
+		Tenants:  tenants,
 	})
 }
 
@@ -170,10 +178,10 @@ func (d *Database) archiveRun(a *obs.Archive, kind, view string, start time.Time
 	if a != nil {
 		rec := obs.RunRecord{
 			Kind: kind, Start: start, View: view,
-			Strategy:   es.StrategyUsed.String(),
-			AccessPath: es.AccessPath,
-			Rows:       es.RowsProduced,
-			Wall:       es.CompileWall + es.ExecWall,
+			Strategy:    es.StrategyUsed.String(),
+			AccessPath:  es.AccessPath,
+			Rows:        es.RowsProduced,
+			Wall:        es.CompileWall + es.ExecWall,
 			CompileWall: es.CompileWall,
 			ExecWall:    es.ExecWall,
 			Stats:       es.String(),

@@ -311,7 +311,7 @@ func BenchmarkRewriteCompilation(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{})
+		ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -421,7 +421,7 @@ func BenchmarkParallelRuns(b *testing.B) {
 	}
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, _, err := ct.RunWithStats(); err != nil {
+			if _, err := ct.Run(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}

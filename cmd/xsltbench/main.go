@@ -64,6 +64,8 @@ func main() {
 	batchFlag := flag.Int("batch-size", 0, "batch size for the -exec batched/morsel configurations (0 = engine default)")
 	history := flag.Bool("history", false, "measure the run-history archive's overhead (disabled vs enabled under concurrent console readers)")
 	walBench := flag.Bool("wal", false, "measure durable insert throughput per WAL fsync policy and replay speed, write BENCH_wal.json")
+	serveBench := flag.Bool("serve", false, "measure the HTTP serving layer: uncached vs result-cache vs coalesced throughput, write BENCH_serve.json")
+	serveBaseline := flag.String("serve-baseline", "", "compare the -serve measurement against this committed BENCH_serve.json and report the delta")
 	all := flag.Bool("all", false, "run every experiment")
 	reps := flag.Int("reps", 5, "repetitions per configuration (median reported)")
 	scale := flag.Int("scale", 1, "multiply workload sizes by this factor")
@@ -109,6 +111,10 @@ func main() {
 	}
 	if *all || *walBench {
 		benchWAL(*reps, *scale)
+		ran = true
+	}
+	if *all || *serveBench {
+		benchServe(*reps, *scale, *serveBaseline)
 		ran = true
 	}
 	if !ran {
@@ -1095,7 +1101,7 @@ func benchWAL(reps, scale int) {
 				return err
 			}
 			lastDir = dir
-			d, err := xsltdb.Open(dir, cfg.opts...)
+			d, err := xsltdb.Open(append([]xsltdb.OpenOption{xsltdb.WithDir(dir)}, cfg.opts...)...)
 			if err != nil {
 				return err
 			}
@@ -1106,7 +1112,7 @@ func benchWAL(reps, scale int) {
 		})
 		var replayRecords int
 		replay := median(reps, func() error {
-			d, err := xsltdb.Open(lastDir)
+			d, err := xsltdb.Open(xsltdb.WithDir(lastDir))
 			if err != nil {
 				return err
 			}

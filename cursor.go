@@ -232,7 +232,7 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 
 // openStrategy builds the raw per-row pull for one strategy; open-time
 // panics are contained so the chain can degrade past a broken strategy.
-func (c *Cursor) openStrategy(st *planState, s Strategy, opts CompileOptions) (pull func() (string, error), err error) {
+func (c *Cursor) openStrategy(st *planState, s Strategy, opts compileOptions) (pull func() (string, error), err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.panics.Add(1)

@@ -1,6 +1,6 @@
 package xsltdb
 
-// The durability layer: Open(dir) gives a Database whose mutations are
+// The durability layer: Open(WithDir(dir)) gives a Database whose mutations are
 // recorded to a write-ahead log (internal/wal) before they apply to memory,
 // and whose state after a crash is rebuilt by replaying that log. The
 // record codec lives here: inserts use a compact hand-rolled binary
@@ -60,7 +60,27 @@ type openOptionFunc func(*openOptions)
 func (f openOptionFunc) applyOpenOption(o *openOptions) { f(o) }
 
 type openOptions struct {
+	dir     string
 	walOpts wal.Options
+	tenants map[string]TenantLimits
+}
+
+// WithDir makes the database durable: every mutation is recorded to a
+// write-ahead log in dir before it applies, and Open replays that log on
+// reopen. Without WithDir the database is purely in-memory.
+func WithDir(dir string) OpenOption {
+	return openOptionFunc(func(o *openOptions) { o.dir = dir })
+}
+
+// WithTenant pre-registers a tenant and its limits at open time; it is
+// equivalent to calling RegisterTenant after Open.
+func WithTenant(name string, lim TenantLimits) OpenOption {
+	return openOptionFunc(func(o *openOptions) {
+		if o.tenants == nil {
+			o.tenants = map[string]TenantLimits{}
+		}
+		o.tenants[name] = lim
+	})
 }
 
 // WithSyncPolicy selects when logged mutations reach stable storage
@@ -81,24 +101,33 @@ func WithSegmentBytes(n int64) OpenOption {
 	return openOptionFunc(func(o *openOptions) { o.walOpts.SegmentBytes = n })
 }
 
-// Open opens (or creates) a durable database backed by a write-ahead log in
-// dir. Every mutation — CreateTable, Insert, CreateIndex, CreateXMLView,
-// ReplaceXMLView — is logged before it applies, so reopening after a crash
-// recovers exactly the committed prefix: a torn tail record (a crash
-// mid-write) is truncated away, never half-applied. Close the database to
-// sync and release the log; reopening the same dir replays it.
-func Open(dir string, opts ...OpenOption) (*Database, error) {
+// Open is the single constructor. With no options it returns an empty
+// in-memory database. With WithDir(dir) the database is durable: every
+// mutation — CreateTable, Insert, CreateIndex, CreateXMLView,
+// ReplaceXMLView — is logged to a write-ahead log in dir before it applies,
+// so reopening after a crash recovers exactly the committed prefix: a torn
+// tail record (a crash mid-write) is truncated away, never half-applied.
+// Close the database to sync and release the log; reopening the same dir
+// replays it. Durability, sync policy, and tenancy all flow through the
+// same OpenOption path.
+func Open(opts ...OpenOption) (*Database, error) {
 	var oo openOptions
 	for _, o := range opts {
 		o.applyOpenOption(&oo)
 	}
+	d := newDatabase()
+	for name, lim := range oo.tenants {
+		d.tenants[name] = lim
+	}
+	if oo.dir == "" {
+		return d, nil
+	}
 	oo.walOpts.OnAppend = mWalAppends.Inc
 	oo.walOpts.OnFsync = mWalFsyncs.Inc
-	d := NewDatabase()
 	start := time.Now()
-	lg, rs, err := wal.Open(dir, oo.walOpts, d.replayRecord)
+	lg, rs, err := wal.Open(oo.dir, oo.walOpts, d.replayRecord)
 	if err != nil {
-		return nil, fmt.Errorf("xsltdb: open %s: %w", dir, err)
+		return nil, fmt.Errorf("xsltdb: open %s: %w", oo.dir, err)
 	}
 	mWalReplaySeconds.Observe(time.Since(start).Seconds())
 	d.wal = lg

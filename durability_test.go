@@ -1,6 +1,6 @@
 package xsltdb
 
-// Durability tests: kill-and-replay through the public Open(dir) API, the
+// Durability tests: kill-and-replay through the public Open(WithDir(dir)) API, the
 // fault-injection matrix at the WAL's append/fsync/rotate sites, and the
 // Close lifecycle (idempotency, ErrDatabaseClosed on in-flight cursors).
 
@@ -19,7 +19,7 @@ import (
 // rows, an index on id, and the keyed view — every statement logged.
 func newDurableKeyedDB(tb testing.TB, dir string, n int, opts ...OpenOption) *Database {
 	tb.Helper()
-	d, err := Open(dir, opts...)
+	d, err := Open(append([]OpenOption{WithDir(dir)}, opts...)...)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestOpenReopenRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	d2, err := Open(dir)
+	d2, err := Open(WithDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestKillAndReplay(t *testing.T) {
 	want := runKeyed(t, d)
 	// No Close — the process "dies" here with the log as sole survivor.
 
-	d2, err := Open(dir)
+	d2, err := Open(WithDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestViewDDLSurvivesReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	d2, err := Open(dir)
+	d2, err := Open(WithDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestTornWriteRecovery(t *testing.T) {
 	}
 	d.Close()
 
-	d2, err := Open(dir)
+	d2, err := Open(WithDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestFsyncFaultRollsBack(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	d2, err := Open(dir)
+	d2, err := Open(WithDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestRotateFaultFailsStatement(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	d2, err := Open(dir)
+	d2, err := Open(WithDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +397,7 @@ func TestCloseDurable(t *testing.T) {
 	if _, err := cur.Next(); !errors.Is(err, ErrDatabaseClosed) {
 		t.Fatalf("cursor after Close: %v", err)
 	}
-	d2, err := Open(dir)
+	d2, err := Open(WithDir(dir))
 	if err != nil {
 		t.Fatalf("reopen after Close: %v", err)
 	}
@@ -467,7 +467,7 @@ func TestGroupCommitPolicies(t *testing.T) {
 			if err := d.Close(); err != nil {
 				t.Fatal(err)
 			}
-			d2, err := Open(dir)
+			d2, err := Open(WithDir(dir))
 			if err != nil {
 				t.Fatal(err)
 			}

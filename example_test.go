@@ -75,7 +75,7 @@ func ExampleDatabase_CompileTransform() {
 	ct, err := db.CompileTransform("atlas", `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="atlas"><big><xsl:apply-templates select="city[pop > 5]"/></big></xsl:template>
 		<xsl:template match="city"><c><xsl:value-of select="name"/></c></xsl:template>
-	</xsl:stylesheet>`, xsltdb.CompileOptions{})
+	</xsl:stylesheet>`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,7 +41,7 @@ func main() {
 	must(db.CreateIndex("emp", "deptno"))
 
 	fmt.Println("=== Example 1: the paper's stylesheet (Table 5) over dept_emp ===")
-	ct, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.CompileOptions{})
+	ct, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet)
 	must(err)
 	fmt.Println("strategy:          ", ct.Strategy())
 	fmt.Println("fully inlined:     ", ct.Inlined())
@@ -58,7 +58,7 @@ func main() {
 
 	fmt.Println("\n=== strategy timings over the scaled data ===")
 	for _, s := range []xsltdb.Strategy{xsltdb.StrategySQL, xsltdb.StrategyXQuery, xsltdb.StrategyNoRewrite} {
-		c, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.CompileOptions{Force: xsltdb.ForceStrategy(s)})
+		c, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.WithForcedStrategy(s))
 		must(err)
 		start := time.Now()
 		if _, err := c.Run(context.Background()); err != nil {
@@ -68,9 +68,8 @@ func main() {
 	}
 
 	fmt.Println("\n=== Example 2: XQuery over the XSLT view (combined optimisation) ===")
-	ct2, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet, xsltdb.CompileOptions{
-		OuterPath: []string{"table", "tr"}, // Table 10: for $tr in ./table/tr return $tr
-	})
+	ct2, err := db.CompileTransform("dept_emp", xslt.PaperStylesheet,
+		xsltdb.WithOuterPath("table", "tr")) // Table 10: for $tr in ./table/tr return $tr
 	must(err)
 	fmt.Println("--- optimal SQL/XML (compare paper Table 11) ---")
 	fmt.Println(ct2.SQL())

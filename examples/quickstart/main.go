@@ -55,7 +55,7 @@ func main() {
 </xsl:stylesheet>`
 
 	// 4. Compile: the stylesheet becomes XQuery, then a SQL/XML plan.
-	ct, err := db.CompileTransform("library", stylesheet, xsltdb.CompileOptions{})
+	ct, err := db.CompileTransform("library", stylesheet)
 	must(err)
 
 	fmt.Println("strategy:", ct.Strategy()) // sql-rewrite

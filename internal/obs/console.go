@@ -28,6 +28,10 @@ type ConsoleConfig struct {
 	// as-is under the "cache" key of /plans. Kept as `any` so the engine
 	// package can pass its own entry type without obs depending on it.
 	Plans func() any
+	// Tenants returns the serving layer's per-tenant admission state
+	// (limits, in-flight counts, shed totals), marshaled as-is at /tenants.
+	// Like Plans it stays `any` so obs does not depend on the serve package.
+	Tenants func() any
 }
 
 // ConsoleHandler builds the debug console:
@@ -37,6 +41,7 @@ type ConsoleConfig struct {
 //	/runs/<id>        one run in full, including its sampled trace
 //	/plans            plan-cache entries + per-plan latency aggregates
 //	/misestimates?n=  cardinality misestimate log + per-path accuracy
+//	/tenants          per-tenant admission state (when serving)
 //	/metrics          Prometheus text exposition
 //	/debug/pprof/...  runtime profiles (CPU samples carry strategy/view labels)
 func ConsoleHandler(cfg ConsoleConfig) http.Handler {
@@ -52,6 +57,7 @@ func ConsoleHandler(cfg ConsoleConfig) http.Handler {
 			"  /runs/<id>        one run in full, with its sampled trace\n" +
 			"  /plans            plan-cache entries + per-plan aggregates (p50/p95/p99, top-K slowest)\n" +
 			"  /misestimates     cardinality-accuracy: per-path q-error + misestimate log\n" +
+			"  /tenants          per-tenant admission state (when serving)\n" +
 			"  /metrics          Prometheus text exposition\n" +
 			"  /debug/pprof/     runtime profiles (CPU samples labeled strategy/view)\n"))
 	})
@@ -81,6 +87,13 @@ func ConsoleHandler(cfg ConsoleConfig) http.Handler {
 			"cache":      cache,
 			"aggregates": cfg.Archive.Plans(),
 		})
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, _ *http.Request) {
+		var tenants any
+		if cfg.Tenants != nil {
+			tenants = cfg.Tenants()
+		}
+		writeJSON(w, tenants)
 	})
 	mux.HandleFunc("/misestimates", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{

@@ -9,16 +9,15 @@ import (
 	"repro/internal/governor"
 )
 
-// This file is the batch-at-a-time half of the execution contract. The
-// original Volcano interface (Iterator, iter.go) pulls one row id per call,
-// paying interface dispatch, a faultpoint check, a governor tick and a table
-// lock acquisition PER ROW. BatchIterator amortizes all four to once per
-// ~1024-row chunk: producers fill a caller-supplied Batch under a single
-// lock acquisition, charge the governor once with TickN(n), and check their
-// fault point once per NextBatch call. The per-row Iterator survives as a
-// deprecated shim (RowAdapter) layered on top, so every legacy caller —
-// including the correlated-subquery scans inside XML construction — now
-// exercises the batch machinery.
+// This file is the batch-at-a-time execution contract. The original Volcano
+// interface pulled one row id per call, paying interface dispatch, a
+// faultpoint check, a governor tick and a table lock acquisition PER ROW.
+// BatchIterator amortizes all four to once per ~1024-row chunk: producers
+// fill a caller-supplied Batch under a single lock acquisition, charge the
+// governor once with TickN(n), and check their fault point once per
+// NextBatch call. The per-row Iterator/RowAdapter shim that bridged the
+// migration is gone — every consumer, including the correlated-subquery
+// scans inside XML construction, drains batches directly.
 
 // DefaultBatchSize is the number of row ids a Batch carries unless the
 // caller asks otherwise. 1024 rows is large enough to make the per-batch
@@ -365,58 +364,6 @@ func (it *batchIndexIter) Explain() string {
 	}
 	return op + " " + it.snap.Name() + "(" + it.indexCol + ") " + rng + " FILTER " + predsString(it.residual.preds)
 }
-
-// RowAdapter adapts a BatchIterator to the legacy per-row Iterator
-// interface: it drains an internal batch one id at a time, refilling from
-// the batch producer as needed.
-//
-// Deprecated: new code should consume BatchIterator directly (NextBatch
-// amortizes per-row overheads); RowAdapter exists so callers of the
-// original Volcano contract keep compiling — and transparently run on the
-// batch engine — during the migration.
-type RowAdapter struct {
-	B BatchIterator
-
-	batch *Batch
-	pos   int
-}
-
-// Next returns the next row id, refilling from the batch producer when the
-// current batch is drained.
-func (a *RowAdapter) Next() (int, bool) {
-	for {
-		if a.batch != nil && a.pos < a.batch.Len() {
-			id := a.batch.IDs[a.pos]
-			a.pos++
-			return id, true
-		}
-		if a.batch == nil {
-			a.batch = GetBatch(0)
-		}
-		a.pos = 0
-		if _, ok := a.B.NextBatch(a.batch); !ok {
-			PutBatch(a.batch)
-			a.batch = nil
-			return 0, false
-		}
-	}
-}
-
-// Err reports the batch producer's terminal error.
-func (a *RowAdapter) Err() error { return a.B.Err() }
-
-// Reset rewinds the underlying batch producer and drops the buffered rows.
-func (a *RowAdapter) Reset() {
-	a.B.Reset()
-	if a.batch != nil {
-		PutBatch(a.batch)
-		a.batch = nil
-	}
-	a.pos = 0
-}
-
-// Explain describes the underlying physical operator.
-func (a *RowAdapter) Explain() string { return a.B.Explain() }
 
 // OpenBatch turns the plan into a live batch iterator over t's current
 // committed state, with counters routed to stats (may be nil) under governor

@@ -84,19 +84,20 @@ func TestBatchScanChunking(t *testing.T) {
 	}
 }
 
-// TestRowAdapterMatchesBatches: the deprecated per-row shim yields exactly
-// the id sequence of the batch producer it wraps.
-func TestRowAdapterMatchesBatches(t *testing.T) {
+// TestBatchDrainDeterministic: two independent opens of the same plan yield
+// the identical id sequence — the contract the retired per-row adapter used
+// to be checked against, now asserted batch-to-batch.
+func TestBatchDrainDeterministic(t *testing.T) {
 	tab := mkBigTable(t, 3000)
 	preds := []Pred{{Col: "v", Op: CmpLt, Val: int64(500)}}
 	wantIDs, _ := drainBatches(t, PlanAccess(tab, preds).OpenBatch(tab, nil, nil, BatchOpts{Workers: 1}), 0)
-	got := collect(PlanAccess(tab, preds).Open(tab, nil, nil))
+	got := collect(PlanAccess(tab, preds).OpenBatch(tab, nil, nil, BatchOpts{Workers: 1}))
 	if len(got) != len(wantIDs) {
-		t.Fatalf("adapter %d rows vs batch %d", len(got), len(wantIDs))
+		t.Fatalf("second drain %d rows vs first %d", len(got), len(wantIDs))
 	}
 	for i := range got {
 		if got[i] != wantIDs[i] {
-			t.Fatalf("row %d: adapter %d vs batch %d", i, got[i], wantIDs[i])
+			t.Fatalf("row %d: second drain %d vs first %d", i, got[i], wantIDs[i])
 		}
 	}
 }

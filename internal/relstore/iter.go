@@ -185,28 +185,6 @@ func (p Pred) Matches(cell Value) bool {
 	return false
 }
 
-// Iterator is the original Volcano pull interface: Next returns row ids of
-// the underlying table until exhaustion. A false Next may mean exhaustion OR
-// a terminal fault (cancellation, injected failure); consumers must check
-// Err after the loop — otherwise an aborted scan would silently truncate to
-// an apparently-complete result.
-//
-// Deprecated: the engine executes batch-at-a-time (see BatchIterator in
-// batch.go); every Iterator returned by this package is now a RowAdapter
-// over a batch producer. Existing callers keep working unchanged, but new
-// code should consume BatchIterator directly and skip the per-row shim.
-type Iterator interface {
-	// Next returns the next row id, or ok=false at end of stream.
-	Next() (rowID int, ok bool)
-	// Err returns the terminal error that stopped the iterator early, or
-	// nil after clean exhaustion.
-	Err() error
-	// Reset rewinds to the start (clearing any terminal error).
-	Reset()
-	// Explain describes the physical operator.
-	Explain() string
-}
-
 // boundText renders a bound's value; parameter placeholders render as :name
 // bind variables (a plan over an unbound parameter is still explainable —
 // its shape does not depend on the value).
@@ -278,7 +256,7 @@ func (k PathKind) String() string {
 }
 
 // AccessPlan is a planned physical access path: the outcome of PlanAccess,
-// openable into an Iterator. Separating planning from opening lets callers
+// openable into a BatchIterator. Separating planning from opening lets callers
 // (the sqlxml access-path chooser) inspect or veto the choice — and report
 // it — before any row is touched.
 type AccessPlan struct {
@@ -386,24 +364,9 @@ func FullScanPlanAt(ts *TableSnap, preds []Pred) AccessPlan {
 	return AccessPlan{Kind: PathFullScan, Residual: preds, TableRows: ts.NumRows()}
 }
 
-// Open turns the plan into a live per-row iterator over t, with counters
-// routed to stats (may be nil) under governor g (may be nil). The returned
-// Iterator is a RowAdapter over the serial batch producer — the legacy
-// entry point for row-at-a-time callers (correlated subqueries, tests);
-// batch consumers use OpenBatch directly.
-func (p AccessPlan) Open(t *Table, stats *Stats, g *governor.G) Iterator {
-	return &RowAdapter{B: p.OpenBatch(t, stats, g, BatchOpts{Workers: 1})}
-}
-
-// OpenAt is Open against a pinned snapshot: the per-row iterator sees
-// exactly the rows committed when the snapshot was taken.
-func (p AccessPlan) OpenAt(ts *TableSnap, stats *Stats, g *governor.G) Iterator {
-	return &RowAdapter{B: p.OpenBatchAt(ts, stats, g, BatchOpts{Workers: 1})}
-}
-
 // Explain describes the planned operator without opening it.
 func (p AccessPlan) Explain(t *Table) string {
-	return p.Open(t, nil, nil).Explain()
+	return p.OpenBatch(t, nil, nil, BatchOpts{Workers: 1}).Explain()
 }
 
 // Shape is the normalized identity of the access path: kind, table, driving
@@ -427,34 +390,13 @@ func (p AccessPlan) Shape(t *Table) string {
 	return sb.String()
 }
 
-// AccessPath plans and opens the physical access for a conjunction of
-// predicates (PlanAccess + Open).
-func AccessPath(t *Table, preds []Pred, stats *Stats) Iterator {
-	return AccessPathGoverned(t, preds, stats, nil)
-}
-
-// AccessPathGoverned is AccessPath with an execution governor: the returned
-// iterator stops early (Err reports why) when g is cancelled or over
-// budget, so a scan over a large table aborts mid-pass instead of running
-// to exhaustion. g may be nil.
-func AccessPathGoverned(t *Table, preds []Pred, stats *Stats, g *governor.G) Iterator {
-	return PlanAccess(t, preds).Open(t, stats, g)
-}
-
-// AccessPathGovernedAt is AccessPathGoverned against a pinned snapshot:
-// planning statistics and the opened scan both reflect the snapshot, never
-// the live table — the building block for snapshot-pinned subqueries.
-func AccessPathGovernedAt(ts *TableSnap, preds []Pred, stats *Stats, g *governor.G) Iterator {
-	return PlanAccessAt(ts, preds).OpenAt(ts, stats, g)
-}
-
-// FullScan returns an unconditional scan (used when the caller needs every
-// row, e.g. view materialization).
-func FullScan(t *Table, stats *Stats) Iterator {
-	return FullScanGoverned(t, stats, nil)
-}
-
-// FullScanGoverned is FullScan under an execution governor (may be nil).
-func FullScanGoverned(t *Table, stats *Stats, g *governor.G) Iterator {
-	return &RowAdapter{B: AccessPlan{Kind: PathFullScan, TableRows: t.NumRows()}.OpenBatch(t, stats, g, BatchOpts{Workers: 1})}
+// AccessPathBatchAt plans and opens the physical access for a conjunction of
+// predicates against a pinned snapshot (PlanAccessAt + OpenBatchAt): planning
+// statistics and the opened scan both reflect the snapshot, never the live
+// table — the building block for snapshot-pinned subqueries. The returned
+// iterator stops early (Err reports why) when g is cancelled or over budget,
+// so a scan over a large table aborts mid-pass instead of running to
+// exhaustion. stats and g may be nil.
+func AccessPathBatchAt(ts *TableSnap, preds []Pred, stats *Stats, g *governor.G) BatchIterator {
+	return PlanAccessAt(ts, preds).OpenBatchAt(ts, stats, g, BatchOpts{Workers: 1})
 }

@@ -38,15 +38,24 @@ func mustInsert(t *testing.T, tab *Table, vals ...Value) {
 	}
 }
 
-func collect(it Iterator) []int {
+// collect drains a batch iterator into a flat id slice (test convenience).
+func collect(it BatchIterator) []int {
 	var ids []int
+	batch := GetBatch(0)
+	defer PutBatch(batch)
 	for {
-		id, ok := it.Next()
+		n, ok := it.NextBatch(batch)
 		if !ok {
 			return ids
 		}
-		ids = append(ids, id)
+		ids = append(ids, batch.IDs[:n]...)
 	}
+}
+
+// accessPath plans and opens the batch access path for preds over t's
+// current state — the test-side replacement for the retired per-row helper.
+func accessPath(t *Table, preds []Pred, stats *Stats) BatchIterator {
+	return PlanAccess(t, preds).OpenBatch(t, stats, nil, BatchOpts{Workers: 1})
 }
 
 func TestTableBasics(t *testing.T) {
@@ -259,7 +268,7 @@ func TestAccessPathSelectsIndex(t *testing.T) {
 
 	// Without an index: full scan.
 	stats := &Stats{}
-	it := AccessPath(emp, preds, stats)
+	it := accessPath(emp, preds, stats)
 	if !strings.HasPrefix(it.Explain(), "TABLE SCAN") {
 		t.Fatalf("expected scan, got %s", it.Explain())
 	}
@@ -276,7 +285,7 @@ func TestAccessPathSelectsIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats2 := &Stats{}
-	it2 := AccessPath(emp, preds, stats2)
+	it2 := accessPath(emp, preds, stats2)
 	if !strings.HasPrefix(it2.Explain(), "INDEX RANGE SCAN") {
 		t.Fatalf("expected index scan, got %s", it2.Explain())
 	}
@@ -306,7 +315,7 @@ func TestAccessPathEqualityAndResidual(t *testing.T) {
 		{Col: "deptno", Op: CmpEq, Val: int64(10)},
 		{Col: "sal", Op: CmpGt, Val: int64(2000)},
 	}
-	it := AccessPath(emp, preds, nil)
+	it := accessPath(emp, preds, nil)
 	expl := it.Explain()
 	if !strings.Contains(expl, "deptno = 10") || !strings.Contains(expl, "FILTER sal > 2000") {
 		t.Fatalf("explain = %s", expl)
@@ -325,7 +334,7 @@ func TestAccessPathPrefersEquality(t *testing.T) {
 		{Col: "sal", Op: CmpGt, Val: int64(0)},
 		{Col: "deptno", Op: CmpEq, Val: int64(40)},
 	}
-	it := AccessPath(emp, preds, nil)
+	it := accessPath(emp, preds, nil)
 	if !strings.Contains(it.Explain(), "deptno = 40") {
 		t.Fatalf("should prefer equality probe: %s", it.Explain())
 	}
@@ -333,7 +342,7 @@ func TestAccessPathPrefersEquality(t *testing.T) {
 
 func TestIteratorReset(t *testing.T) {
 	_, _, emp := mkDeptEmp(t)
-	it := FullScan(emp, nil)
+	it := FullScanPlan(emp, nil).OpenBatch(emp, nil, nil, BatchOpts{Workers: 1})
 	first := collect(it)
 	it.Reset()
 	second := collect(it)
@@ -376,9 +385,9 @@ func TestLargeScaleIndexVsScanAgree(t *testing.T) {
 		mustInsert(t, tab, int64(i), int64(rng.Intn(1000)))
 	}
 	preds := []Pred{{Col: "v", Op: CmpGe, Val: int64(990)}}
-	scanIDs := collect(AccessPath(tab, preds, nil))
+	scanIDs := collect(accessPath(tab, preds, nil))
 	_ = tab.CreateIndex("v")
-	idxIDs := collect(AccessPath(tab, preds, nil))
+	idxIDs := collect(accessPath(tab, preds, nil))
 	sort.Ints(scanIDs)
 	sort.Ints(idxIDs)
 	if len(scanIDs) != len(idxIDs) {

@@ -377,15 +377,17 @@ func (ec *evalContext) subqueryRows(sub *SubQuery, outer *relstore.TableSnap, ou
 		ov := ec.cell(outer, outerRow, sub.CorrOuter)
 		preds = append(preds, relstore.Pred{Col: sub.CorrInner, Op: relstore.CmpEq, Val: ov})
 	}
-	it := relstore.AccessPathGovernedAt(inner, preds, ec.stats, ec.gov)
+	it := relstore.AccessPathBatchAt(inner, preds, ec.stats, ec.gov)
 	var ids []int
+	batch := relstore.GetBatch(0)
 	for {
-		id, ok := it.Next()
+		n, ok := it.NextBatch(batch)
 		if !ok {
 			break
 		}
-		ids = append(ids, id)
+		ids = append(ids, batch.IDs[:n]...)
 	}
+	relstore.PutBatch(batch)
 	if err := it.Err(); err != nil {
 		return nil, nil, err
 	}

@@ -160,7 +160,7 @@ func explainSub(db *relstore.DB, sub *SubQuery, sb *strings.Builder, pad string)
 		// Correlation value is per-row; plan with a placeholder.
 		preds = append(preds, relstore.Pred{Col: sub.CorrInner, Op: relstore.CmpEq, Val: int64(0)})
 	}
-	sb.WriteString("\n" + pad + "-> " + relstore.AccessPath(inner, preds, nil).Explain())
+	sb.WriteString("\n" + pad + "-> " + relstore.PlanAccess(inner, preds).Explain(inner))
 	if sub.CorrInner != "" {
 		sb.WriteString(" (correlated: " + sub.CorrInner + " = outer." + sub.CorrOuter + ")")
 	}

@@ -7,55 +7,55 @@ import (
 	"time"
 )
 
-// Option configures CompileTransform. Two kinds satisfy it: the functional
-// options (WithForcedStrategy, WithParallelism, WithOuterPath) and — for
-// backward compatibility — a CompileOptions struct value passed directly.
+// Option configures CompileTransform. Options are functional: compose
+// WithForcedStrategy, WithParallelism, WithOuterPath, the governance knobs
+// (WithTimeout, WithMaxRows, ...) and WithPlanTag freely; later options win.
 type Option interface {
-	applyOption(*CompileOptions)
+	applyOption(*compileOptions)
 }
 
 // optionFunc adapts a function to the Option interface.
-type optionFunc func(*CompileOptions)
+type optionFunc func(*compileOptions)
 
-func (f optionFunc) applyOption(o *CompileOptions) { f(o) }
+func (f optionFunc) applyOption(o *compileOptions) { f(o) }
 
 // WithForcedStrategy selects a strategy instead of the automatic
 // SQL→XQuery→no-rewrite fallback chain. Compilation fails with
 // ErrRewriteFellBack when the forced strategy cannot be reached.
 func WithForcedStrategy(s Strategy) Option {
-	return optionFunc(func(o *CompileOptions) { o.Force = &s })
+	return optionFunc(func(o *compileOptions) { o.Force = &s })
 }
 
 // WithParallelism runs the SQL strategy with row-level parallelism across n
 // workers when n > 1 (the paper's "parallel manner" aggregation note).
 func WithParallelism(n int) Option {
-	return optionFunc(func(o *CompileOptions) { o.Parallelism = n })
+	return optionFunc(func(o *compileOptions) { o.Parallelism = n })
 }
 
 // WithOuterPath composes an XQuery child path over the TRANSFORM OUTPUT
 // (paper Example 2): e.g. WithOuterPath("table", "tr").
 func WithOuterPath(path ...string) Option {
-	return optionFunc(func(o *CompileOptions) { o.OuterPath = path })
+	return optionFunc(func(o *compileOptions) { o.OuterPath = path })
 }
 
 // WithTimeout bounds each Run's (or each cursor's) wall time; expiry
 // surfaces as ErrCanceled wrapping context.DeadlineExceeded. Zero means no
 // timeout.
 func WithTimeout(d time.Duration) Option {
-	return optionFunc(func(o *CompileOptions) { o.Timeout = d })
+	return optionFunc(func(o *compileOptions) { o.Timeout = d })
 }
 
 // WithMaxRows bounds the number of result rows one execution may produce;
 // exceeding it aborts the run with ErrLimitExceeded. Zero means unlimited.
 func WithMaxRows(n int64) Option {
-	return optionFunc(func(o *CompileOptions) { o.MaxRows = n })
+	return optionFunc(func(o *compileOptions) { o.MaxRows = n })
 }
 
 // WithMaxOutputBytes bounds the serialized output one execution may
 // produce; exceeding it aborts the run with ErrLimitExceeded. Zero means
 // unlimited.
 func WithMaxOutputBytes(n int64) Option {
-	return optionFunc(func(o *CompileOptions) { o.MaxOutputBytes = n })
+	return optionFunc(func(o *compileOptions) { o.MaxOutputBytes = n })
 }
 
 // WithMaxRecursionDepth bounds template/function recursion (runaway
@@ -63,7 +63,7 @@ func WithMaxOutputBytes(n int64) Option {
 // a stack overflow. Zero keeps the engine defaults (1024 template frames,
 // 2048 XQuery function frames).
 func WithMaxRecursionDepth(n int) Option {
-	return optionFunc(func(o *CompileOptions) { o.MaxRecursionDepth = n })
+	return optionFunc(func(o *compileOptions) { o.MaxRecursionDepth = n })
 }
 
 // WithSlowThreshold marks executions of this transform slower than d
@@ -73,7 +73,7 @@ func WithMaxRecursionDepth(n int) Option {
 // traces itself when a threshold and sink are configured, so the slow
 // report always carries the operator tree. Zero disables slow-run logging.
 func WithSlowThreshold(d time.Duration) Option {
-	return optionFunc(func(o *CompileOptions) { o.SlowThreshold = d })
+	return optionFunc(func(o *compileOptions) { o.SlowThreshold = d })
 }
 
 // WithSlowRunSink installs the callback that receives SlowRun reports for
@@ -81,15 +81,19 @@ func WithSlowThreshold(d time.Duration) Option {
 // end of the slow run (after the cursor released, for streaming runs) and
 // must not block; it may safely call back into the public API.
 func WithSlowRunSink(fn func(SlowRun)) Option {
-	return optionFunc(func(o *CompileOptions) { o.SlowSink = fn })
+	return optionFunc(func(o *compileOptions) { o.SlowSink = fn })
 }
 
-// CompileOptions tunes CompileTransform.
-//
-// Deprecated: this struct form is kept as a shim — it satisfies Option, so
-// existing CompileTransform(view, sheet, CompileOptions{...}) calls keep
-// working. New code should pass the functional options instead.
-type CompileOptions struct {
+// WithPlanTag namespaces the compiled plan: transforms differing only in
+// tag get distinct plan-cache entries — and therefore distinct circuit
+// breakers and fallback state. The serving layer uses one tag per tenant so
+// a tenant tripping a plan's breaker cannot degrade another tenant's runs.
+func WithPlanTag(tag string) Option {
+	return optionFunc(func(o *compileOptions) { o.PlanTag = tag })
+}
+
+// compileOptions is the folded form of an Option list.
+type compileOptions struct {
 	// Force selects a strategy instead of the automatic
 	// SQL→XQuery→no-rewrite fallback chain.
 	Force *Strategy
@@ -120,20 +124,13 @@ type CompileOptions struct {
 	// nothing. Like the governance options it tunes execution, not the
 	// compiled plan, so it is not part of the plan-cache key.
 	Sampling TraceSampling
+	// PlanTag namespaces the plan-cache entry (see WithPlanTag).
+	PlanTag string
 }
 
-// applyOption lets a legacy CompileOptions value be passed where Options
-// are expected; it replaces the accumulated options wholesale.
-func (o CompileOptions) applyOption(dst *CompileOptions) { *dst = o }
-
-// ForceStrategy is a convenience for CompileOptions.Force.
-//
-// Deprecated: use WithForcedStrategy.
-func ForceStrategy(s Strategy) *Strategy { return &s }
-
-// buildOptions folds a list of Options into one CompileOptions value.
-func buildOptions(opts []Option) CompileOptions {
-	var co CompileOptions
+// buildOptions folds a list of Options into one compileOptions value.
+func buildOptions(opts []Option) compileOptions {
+	var co compileOptions
 	for _, o := range opts {
 		o.applyOption(&co)
 	}
@@ -153,18 +150,21 @@ type planKey struct {
 	opts    string
 }
 
-func newPlanKey(view string, version int, stylesheet string, co CompileOptions) planKey {
+func newPlanKey(view string, version int, stylesheet string, co compileOptions) planKey {
 	return planKey{view: view, version: version, sheet: sha256.Sum256([]byte(stylesheet)), opts: co.planKeyPart()}
 }
 
 // planKeyPart canonicalizes the plan-affecting options.
-func (o CompileOptions) planKeyPart() string {
+func (o compileOptions) planKeyPart() string {
 	var sb strings.Builder
 	if o.Force != nil {
 		fmt.Fprintf(&sb, "force=%d;", *o.Force)
 	}
 	if len(o.OuterPath) > 0 {
 		sb.WriteString("outer=" + strings.Join(o.OuterPath, "\x00") + ";")
+	}
+	if o.PlanTag != "" {
+		sb.WriteString("tag=" + o.PlanTag + ";")
 	}
 	return sb.String()
 }

@@ -40,6 +40,20 @@ func newBigDeptDB(tb testing.TB, n int) *Database {
 // errBoom is the injected strategy failure used by the degradation tests.
 var errBoom = errors.New("injected fault")
 
+// runWithStats runs once and splits the Result into the rows+stats shape
+// many of these assertions are written against; stats stay available on
+// failed runs (degradation counts, breaker trips).
+func runWithStats(ct *CompiledTransform) ([]string, *ExecStats, error) {
+	res, err := ct.Run(context.Background())
+	if res == nil {
+		return nil, nil, err
+	}
+	if err != nil {
+		return nil, &res.Stats, err
+	}
+	return res.Rows, &res.Stats, nil
+}
+
 // TestRunContextCancelPrompt is the headline promptness contract: a Run
 // over a 10k-row view must abort within 100ms of cancellation, returning an
 // error that satisfies both ErrCanceled and context.Canceled.
@@ -63,7 +77,7 @@ func TestRunContextCancelPrompt(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := ct.RunContext(ctx)
+		_, err := ct.Run(ctx)
 		done <- err
 	}()
 	deadline := time.Now().Add(5 * time.Second)
@@ -109,7 +123,7 @@ func TestParallelRunCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := ct.RunContext(ctx)
+		_, err := ct.Run(ctx)
 		done <- err
 	}()
 	deadline := time.Now().Add(5 * time.Second)
@@ -212,7 +226,7 @@ func TestRecursionLimit(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", opts, err)
 		}
-		_, es, err := ct.RunWithStats()
+		_, es, err := runWithStats(ct)
 		if !errors.Is(err, ErrRecursionLimit) {
 			t.Fatalf("%v: err = %v, want ErrRecursionLimit", opts, err)
 		}
@@ -247,7 +261,7 @@ func TestDegradationOnInjectedFault(t *testing.T) {
 	faultpoint.EnableAfter("sqlxml.query.next", 1, errBoom)
 	defer faultpoint.Reset()
 
-	got, es, err := ct.RunWithStats()
+	got, es, err := runWithStats(ct)
 	if err != nil {
 		t.Fatalf("degraded run failed: %v", err)
 	}
@@ -291,7 +305,7 @@ func TestCircuitBreakerTripAndRecover(t *testing.T) {
 	// breakerThreshold consecutive failures trip the cell; every run still
 	// succeeds via degradation.
 	for i := 0; i < breakerThreshold; i++ {
-		got, es, err := ct.RunWithStats()
+		got, es, err := runWithStats(ct)
 		if err != nil || len(got) != len(want) {
 			t.Fatalf("run %d: %v (%d rows)", i, err, len(got))
 		}
@@ -309,7 +323,7 @@ func TestCircuitBreakerTripAndRecover(t *testing.T) {
 
 	// While open, runs skip the SQL strategy without attempting it.
 	hitsBefore := faultpoint.Hits("sqlxml.query.next")
-	_, es, err := ct.RunWithStats()
+	_, es, err := runWithStats(ct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +346,7 @@ func TestCircuitBreakerTripAndRecover(t *testing.T) {
 	if bs.SQL.Open {
 		t.Fatalf("breaker should have closed after probe: %+v", bs.SQL)
 	}
-	_, es, err = ct.RunWithStats()
+	_, es, err = runWithStats(ct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +373,7 @@ func TestPanicContainment(t *testing.T) {
 	faultpoint.EnablePanic("sqlxml.query.next")
 	defer faultpoint.Reset()
 
-	got, es, err := ct.RunWithStats()
+	got, es, err := runWithStats(ct)
 	if err != nil {
 		t.Fatalf("degraded run failed: %v", err)
 	}

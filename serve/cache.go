@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// resultCache is a bounded LRU over serialized transform results. Keys are
+// execKeys, which embed the view's MVCC version — so a ReplaceXMLView makes
+// every prior entry for that view unreachable (natural invalidation) and
+// the LRU bound eventually reclaims them.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	idx map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	rows []string
+}
+
+// ResultCacheStats is a point-in-time snapshot of the cache counters.
+type ResultCacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{cap: capacity, ll: list.New(), idx: map[string]*list.Element{}}
+}
+
+func (c *resultCache) get(key string) ([]string, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rows, true
+}
+
+func (c *resultCache) put(key string, rows []string) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*cacheEntry).rows = rows
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&cacheEntry{key: key, rows: rows})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.idx, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		mResultCacheEvictions.Inc()
+	}
+}
+
+func (c *resultCache) stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResultCacheStats{
+		Size: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}
+
+// sheetHash is the stylesheet identity folded into exec keys.
+func sheetHash(stylesheet string) string {
+	sum := sha256.Sum256([]byte(stylesheet))
+	return hex.EncodeToString(sum[:8])
+}

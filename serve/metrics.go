@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Serving-layer instruments, registered on the same default registry as the
+// engine's xsltdb_* series so one /metrics scrape covers both.
+var (
+	mRequests = obs.Default.NewCounterVec("xsltd_requests_total",
+		"HTTP transform requests by tenant and outcome (ok, cache-hit, shed, error).",
+		"tenant", "outcome")
+	mRequestSeconds = obs.Default.NewHistogram("xsltd_request_seconds",
+		"End-to-end HTTP request latency in seconds.", nil)
+	mCoalesceHits = obs.Default.NewCounter("xsltd_coalesce_hits_total",
+		"Requests that joined an identical in-flight execution instead of running.")
+	mResultCacheHits = obs.Default.NewCounter("xsltd_result_cache_hits_total",
+		"Requests served from the result cache.")
+	mResultCacheMisses = obs.Default.NewCounter("xsltd_result_cache_misses_total",
+		"Requests that missed the result cache.")
+	mResultCacheEvictions = obs.Default.NewCounter("xsltd_result_cache_evictions_total",
+		"Result-cache entries evicted by the LRU bound.")
+	mSheds = obs.Default.NewCounterVec("xsltd_sheds_total",
+		"Requests shed with 429 by reason (quota, latency).", "reason")
+	mInFlight = obs.Default.NewGauge("xsltd_inflight_executions",
+		"Transform executions currently running on behalf of HTTP requests.")
+)
+
+// writeJSON renders v indented, matching the debug console's style.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

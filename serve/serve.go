@@ -1,0 +1,602 @@
+// Package serve is the production HTTP layer over compiled transforms: a
+// Server exposes registered (view, stylesheet) pairs at /v1/transform/<name>
+// and keeps the engine healthy under concurrent load with three mechanisms
+// layered in front of every execution:
+//
+//  1. Request coalescing — concurrent identical requests (same view at the
+//     same version, same stylesheet, same bound params) execute once; the
+//     followers share the leader's rows (singleflight).
+//  2. A bounded LRU result cache keyed on the same identity. The key
+//     embeds the view's MVCC version, so ReplaceXMLView invalidates every
+//     cached result for that view by construction — stale entries can
+//     never be served, they just age out of the LRU.
+//  3. Per-tenant admission control — an API key resolves to a tenant whose
+//     TenantLimits cap concurrent runs and per-run budgets, and whose
+//     WithPlanTag-isolated plans keep circuit-breaker state private to the
+//     tenant. On top sits latency shedding: when the sliding p95 of recent
+//     requests breaches the configured target, new executions are shed
+//     with 429 + Retry-After while cache hits, coalesce joins, and
+//     in-flight runs complete — graceful degradation, not collapse.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// Config wires a Server. DB is required; everything else defaults sanely.
+type Config struct {
+	// DB is the engine the server fronts.
+	DB *xsltdb.Database
+	// APIKeys maps API-key header values to tenant names. When empty the
+	// server is open: every request runs as the anonymous tenant "".
+	APIKeys map[string]string
+	// CacheCapacity bounds the result cache in entries (default 256;
+	// negative disables caching).
+	CacheCapacity int
+	// MaxInFlight caps concurrent executions across all tenants (0 =
+	// unlimited). Requests beyond the cap are shed with 429.
+	MaxInFlight int
+	// TargetP95 sheds new executions with 429 while the sliding p95 of
+	// recent request latencies exceeds it (0 = never shed on latency).
+	TargetP95 time.Duration
+	// Window is the number of recent latencies the shedding p95 is
+	// computed over (default 256).
+	Window int
+	// RetryAfter is the hint returned with every 429 (default 1s).
+	RetryAfter time.Duration
+}
+
+// Server serves registered transforms over HTTP. Create with New, register
+// transforms, then mount Handler.
+type Server struct {
+	cfg    Config
+	db     *xsltdb.Database
+	window *latencyWindow
+	cache  *resultCache
+	global chan struct{} // global in-flight slots, nil = unlimited
+
+	mu         sync.RWMutex
+	transforms map[string]*transformDef
+	compiled   map[compiledKey]*xsltdb.CompiledTransform
+
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantState
+
+	// execGate, when set, runs on the leader immediately before each real
+	// execution. Tests use it to hold N coalescing requests in flight
+	// deterministically. Never set in production.
+	execGate func()
+}
+
+// transformDef is one registered (view, stylesheet) pair.
+type transformDef struct {
+	name  string
+	view  string
+	sheet string
+	hash  string // stylesheet identity folded into exec keys
+	opts  []xsltdb.Option
+}
+
+// compiledKey identifies one tenant's compilation of one transform.
+type compiledKey struct {
+	name   string
+	tenant string
+}
+
+// flightCall is one in-flight execution that followers can join.
+type flightCall struct {
+	done   chan struct{}
+	rows   []string
+	stats  xsltdb.ExecStats
+	err    error
+	shared atomic.Int64 // followers that joined
+}
+
+// tenantState is the live admission state for one tenant.
+type tenantState struct {
+	name string
+	sem  chan struct{} // nil = unlimited
+
+	inFlight  atomic.Int64
+	served    atomic.Uint64
+	shed      atomic.Uint64
+	cacheHits atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// New builds a Server over db.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("serve: Config.DB is required")
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 256
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:        cfg,
+		db:         cfg.DB,
+		window:     newLatencyWindow(cfg.Window),
+		cache:      newResultCache(cfg.CacheCapacity),
+		transforms: map[string]*transformDef{},
+		compiled:   map[compiledKey]*xsltdb.CompiledTransform{},
+		flight:     map[string]*flightCall{},
+		tenants:    map[string]*tenantState{},
+	}
+	if cfg.MaxInFlight > 0 {
+		s.global = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return s, nil
+}
+
+// RegisterTransform exposes stylesheet over view as /v1/transform/<name>.
+// The transform is compiled eagerly (for the anonymous tenant) so a broken
+// stylesheet fails at registration, not on the first request.
+func (s *Server) RegisterTransform(name, view, stylesheet string, opts ...xsltdb.Option) error {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return fmt.Errorf("serve: bad transform name %q", name)
+	}
+	def := &transformDef{
+		name: name, view: view, sheet: stylesheet,
+		hash: sheetHash(stylesheet), opts: opts,
+	}
+	ct, err := s.db.CompileTransform(view, stylesheet, opts...)
+	if err != nil {
+		return fmt.Errorf("serve: register %q: %w", name, err)
+	}
+	s.mu.Lock()
+	s.transforms[name] = def
+	s.compiled[compiledKey{name: name, tenant: ""}] = ct
+	s.mu.Unlock()
+	return nil
+}
+
+// Handler returns the public v1 API:
+//
+//	GET  /v1/transforms            registered transforms (JSON)
+//	GET  /v1/transform/<name>      run; p.<x>=v binds stylesheet param x,
+//	                               where=<xpath> adds a driving predicate
+//	GET  /healthz                  200 while the database accepts work
+//
+// Authentication: when Config.APIKeys is set, requests must carry a
+// configured key in the Authorization: Bearer or X-Api-Key header.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/transforms", s.handleList)
+	mux.HandleFunc("/v1/transform/", s.handleTransform)
+	return mux
+}
+
+// Console returns the engine debug console with the serving layer's
+// /tenants section attached.
+func (s *Server) Console() http.Handler {
+	return s.db.ConsoleHandlerWithTenants(func() any { return s.TenantsState() })
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.db.Closed() {
+		http.Error(w, "database closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if _, _, ok := s.resolveTenant(w, r); !ok {
+		return
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.transforms))
+	for name := range s.transforms {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	type info struct {
+		Name string `json:"name"`
+		View string `json:"view"`
+	}
+	out := make([]info, 0, len(names))
+	s.mu.RLock()
+	for _, name := range names {
+		out = append(out, info{Name: name, View: s.transforms[name].view})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, out)
+}
+
+// handleTransform is the hot path: resolve tenant → try the result cache →
+// join or lead a coalesced execution (admission control applies to leaders
+// only; followers add no load).
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := strings.TrimPrefix(r.URL.Path, "/v1/transform/")
+	s.mu.RLock()
+	def := s.transforms[name]
+	s.mu.RUnlock()
+	if def == nil {
+		http.Error(w, "unknown transform "+strconv.Quote(name), http.StatusNotFound)
+		return
+	}
+	tenant, lim, ok := s.resolveTenant(w, r)
+	if !ok {
+		return
+	}
+	ts := s.tenantState(tenant, lim)
+	runOpts, keyParams, err := parseRunArgs(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	key := s.execKey(def, keyParams)
+
+	w.Header().Set("X-Xsltd-Tenant", tenant)
+	if rows, ok := s.cache.get(key); ok {
+		ts.cacheHits.Add(1)
+		ts.served.Add(1)
+		mResultCacheHits.Inc()
+		s.finish(w, start, tenant, "cache-hit", rows, http.StatusOK, "hit", "")
+		return
+	}
+	mResultCacheMisses.Inc()
+
+	rows, stats, role, err := s.execute(r, def, tenant, ts, lim, key, runOpts)
+	if err != nil {
+		s.window.record(time.Since(start))
+		if errors.Is(err, errShedQuota) || errors.Is(err, errShedLatency) {
+			ts.shed.Add(1)
+			reason := "quota"
+			if errors.Is(err, errShedLatency) {
+				reason = "latency"
+			}
+			mSheds.With(reason).Inc()
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			mRequests.With(tenant, "shed").Inc()
+			return
+		}
+		status := statusFor(err)
+		http.Error(w, err.Error(), status)
+		mRequests.With(tenant, "error").Inc()
+		return
+	}
+	if role == "follower" {
+		ts.coalesced.Add(1)
+		mCoalesceHits.Inc()
+		w.Header().Set("X-Xsltd-Coalesced", "1")
+	}
+	ts.served.Add(1)
+	s.finish(w, start, tenant, "ok", rows, http.StatusOK, "miss", stats.StrategyUsed.String())
+}
+
+// finish writes a successful response and records its latency.
+func (s *Server) finish(w http.ResponseWriter, start time.Time, tenant, outcome string, rows []string, status int, cache, strategy string) {
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Header().Set("X-Xsltd-Cache", cache)
+	if strategy != "" {
+		w.Header().Set("X-Xsltd-Strategy", strategy)
+	}
+	w.WriteHeader(status)
+	for _, row := range rows {
+		_, _ = w.Write([]byte(row))
+		_, _ = w.Write([]byte("\n"))
+	}
+	d := time.Since(start)
+	s.window.record(d)
+	mRequestSeconds.Observe(d.Seconds())
+	mRequests.With(tenant, outcome).Inc()
+}
+
+// Shed sentinels — mapped to 429 by the handler.
+var (
+	errShedQuota   = errors.New("serve: over tenant capacity, retry later")
+	errShedLatency = errors.New("serve: shedding load (p95 over target), retry later")
+)
+
+// execute coalesces: the first request for key becomes the leader and runs
+// the transform under admission control; concurrent identical requests wait
+// on the leader's flightCall and share its rows without adding any load.
+func (s *Server) execute(r *http.Request, def *transformDef, tenant string, ts *tenantState, lim xsltdb.TenantLimits, key string, runOpts []xsltdb.RunOption) ([]string, xsltdb.ExecStats, string, error) {
+	s.flightMu.Lock()
+	if c, ok := s.flight[key]; ok {
+		c.shared.Add(1) // counted on join, so a blocked follower is observable
+		s.flightMu.Unlock()
+		select {
+		case <-c.done:
+			return c.rows, c.stats, "follower", c.err
+		case <-r.Context().Done():
+			return nil, xsltdb.ExecStats{}, "follower", fmt.Errorf("serve: %w", r.Context().Err())
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.flightMu.Unlock()
+	defer func() {
+		s.flightMu.Lock()
+		delete(s.flight, key)
+		s.flightMu.Unlock()
+		close(c.done)
+	}()
+
+	// Leader admission: latency shedding first (cheapest check), then the
+	// tenant's slot, then a global slot.
+	if s.cfg.TargetP95 > 0 && s.window.p95() > s.cfg.TargetP95 {
+		c.err = errShedLatency
+		return nil, xsltdb.ExecStats{}, "leader", c.err
+	}
+	release, err := s.admit(ts)
+	if err != nil {
+		c.err = err
+		return nil, xsltdb.ExecStats{}, "leader", err
+	}
+	defer release()
+
+	ct, err := s.compiledFor(def, tenant, lim)
+	if err != nil {
+		c.err = err
+		return nil, xsltdb.ExecStats{}, "leader", err
+	}
+	if gate := s.execGate; gate != nil {
+		gate()
+	}
+	mInFlight.Inc()
+	res, err := ct.Run(r.Context(), runOpts...)
+	mInFlight.Dec()
+	if err != nil {
+		c.err = err
+		return nil, xsltdb.ExecStats{}, "leader", err
+	}
+	c.rows, c.stats = res.Rows, res.Stats
+	s.cache.put(key, res.Rows)
+	return res.Rows, res.Stats, "leader", nil
+}
+
+// admit takes the tenant's slot and a global slot, or sheds.
+func (s *Server) admit(ts *tenantState) (release func(), err error) {
+	if ts.sem != nil {
+		select {
+		case ts.sem <- struct{}{}:
+		default:
+			return nil, errShedQuota
+		}
+	}
+	if s.global != nil {
+		select {
+		case s.global <- struct{}{}:
+		default:
+			if ts.sem != nil {
+				<-ts.sem
+			}
+			return nil, errShedQuota
+		}
+	}
+	ts.inFlight.Add(1)
+	return func() {
+		ts.inFlight.Add(-1)
+		if s.global != nil {
+			<-s.global
+		}
+		if ts.sem != nil {
+			<-ts.sem
+		}
+	}, nil
+}
+
+// compiledFor returns the tenant's compilation of def, compiling on first
+// use. Each named tenant compiles with WithPlanTag, so its plan-cache entry
+// — and therefore its circuit breakers and fallback state — is isolated
+// from every other tenant's; the tenant's per-run budgets ride along as
+// compile options.
+func (s *Server) compiledFor(def *transformDef, tenant string, lim xsltdb.TenantLimits) (*xsltdb.CompiledTransform, error) {
+	key := compiledKey{name: def.name, tenant: tenant}
+	s.mu.RLock()
+	ct := s.compiled[key]
+	s.mu.RUnlock()
+	if ct != nil {
+		return ct, nil
+	}
+	opts := append([]xsltdb.Option{}, def.opts...)
+	if tenant != "" {
+		opts = append(opts, xsltdb.WithPlanTag("tenant:"+tenant))
+	}
+	if lim.Timeout > 0 {
+		opts = append(opts, xsltdb.WithTimeout(lim.Timeout))
+	}
+	if lim.MaxRows > 0 {
+		opts = append(opts, xsltdb.WithMaxRows(lim.MaxRows))
+	}
+	if lim.MaxOutputBytes > 0 {
+		opts = append(opts, xsltdb.WithMaxOutputBytes(lim.MaxOutputBytes))
+	}
+	ct, err := s.db.CompileTransform(def.view, def.sheet, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if cached := s.compiled[key]; cached != nil {
+		ct = cached
+	} else {
+		s.compiled[key] = ct
+	}
+	s.mu.Unlock()
+	return ct, nil
+}
+
+// resolveTenant maps the request's API key to a tenant. With no keys
+// configured the server is open and every request is the anonymous tenant.
+// The tenant's limits come from the database's registry (RegisterTenant /
+// WithTenant); an unregistered tenant runs unlimited.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) (string, xsltdb.TenantLimits, bool) {
+	if len(s.cfg.APIKeys) == 0 {
+		lim, _ := s.db.Tenant("")
+		return "", lim, true
+	}
+	key := r.Header.Get("X-Api-Key")
+	if key == "" {
+		key = strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	}
+	tenant, ok := s.cfg.APIKeys[key]
+	if !ok {
+		http.Error(w, "serve: unknown API key", http.StatusUnauthorized)
+		return "", xsltdb.TenantLimits{}, false
+	}
+	lim, _ := s.db.Tenant(tenant)
+	return tenant, lim, true
+}
+
+// tenantState returns (creating on first use) the live admission state.
+func (s *Server) tenantState(name string, lim xsltdb.TenantLimits) *tenantState {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if ts, ok := s.tenants[name]; ok {
+		return ts
+	}
+	ts := &tenantState{name: name}
+	if lim.MaxConcurrent > 0 {
+		ts.sem = make(chan struct{}, lim.MaxConcurrent)
+	}
+	s.tenants[name] = ts
+	return ts
+}
+
+// TenantInfo is one tenant's admission snapshot, served at the console's
+// /tenants endpoint.
+type TenantInfo struct {
+	Name      string              `json:"name"`
+	Limits    xsltdb.TenantLimits `json:"limits"`
+	InFlight  int64               `json:"in_flight"`
+	Served    uint64              `json:"served"`
+	Shed      uint64              `json:"shed"`
+	CacheHits uint64              `json:"cache_hits"`
+	Coalesced uint64              `json:"coalesced"`
+}
+
+// TenantsState snapshots every tenant that has made at least one request.
+func (s *Server) TenantsState() []TenantInfo {
+	s.tenantMu.Lock()
+	states := make([]*tenantState, 0, len(s.tenants))
+	for _, ts := range s.tenants {
+		states = append(states, ts)
+	}
+	s.tenantMu.Unlock()
+	out := make([]TenantInfo, 0, len(states))
+	for _, ts := range states {
+		lim, _ := s.db.Tenant(ts.name)
+		out = append(out, TenantInfo{
+			Name:      ts.name,
+			Limits:    lim,
+			InFlight:  ts.inFlight.Load(),
+			Served:    ts.served.Load(),
+			Shed:      ts.shed.Load(),
+			CacheHits: ts.cacheHits.Load(),
+			Coalesced: ts.coalesced.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CacheStats reports the result cache's live counters.
+func (s *Server) CacheStats() ResultCacheStats { return s.cache.stats() }
+
+// statusFor maps engine errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, xsltdb.ErrDatabaseClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, xsltdb.ErrBadRunOption), errors.Is(err, xsltdb.ErrUnboundParam):
+		return http.StatusBadRequest
+	case errors.Is(err, xsltdb.ErrNoView):
+		return http.StatusNotFound
+	case errors.Is(err, xsltdb.ErrLimitExceeded):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, xsltdb.ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// parseRunArgs turns query parameters into run options plus the canonical
+// param string folded into the coalesce/cache key: p.<name>=v binds a
+// stylesheet parameter, where=<xpath> (repeatable) adds driving predicates.
+func parseRunArgs(r *http.Request) ([]xsltdb.RunOption, string, error) {
+	q := r.URL.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var opts []xsltdb.RunOption
+	var sig strings.Builder
+	for _, k := range keys {
+		switch {
+		case strings.HasPrefix(k, "p."):
+			// Same convention as the xsltdb CLI: integer-looking values
+			// bind as int64 (so `deptno = $d` probes an int column),
+			// everything else as string.
+			name := strings.TrimPrefix(k, "p.")
+			v := q.Get(k)
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				opts = append(opts, xsltdb.WithParam(name, n))
+			} else {
+				opts = append(opts, xsltdb.WithParam(name, v))
+			}
+			fmt.Fprintf(&sig, "p:%s=%s;", name, v)
+		case k == "where":
+			for _, expr := range q[k] {
+				opts = append(opts, xsltdb.WithWhere(expr))
+				fmt.Fprintf(&sig, "w:%s;", expr)
+			}
+		default:
+			return nil, "", fmt.Errorf("serve: unknown query parameter %q", k)
+		}
+	}
+	return opts, sig.String(), nil
+}
+
+// execKey is the request identity everything hangs off: view at its current
+// MVCC version, committed-data fingerprint, stylesheet hash, canonical
+// bound params. Two requests with equal keys are interchangeable —
+// coalescable and cacheable. The version covers DDL (ReplaceXMLView bumps
+// it); the fingerprint covers DML (the store is insert-only, so the total
+// committed row count is monotone and changes on every insert) — either
+// kind of write makes every older cached result unreachable.
+func (s *Server) execKey(def *transformDef, params string) string {
+	return def.view + "\x00" + strconv.Itoa(s.db.ViewVersion(def.view)) +
+		"\x00" + strconv.FormatInt(s.dataVersion(), 10) +
+		"\x00" + def.hash + "\x00" + params
+}
+
+// dataVersion fingerprints the committed data: the store is append-only, so
+// the total row count across tables increases on every insert.
+func (s *Server) dataVersion() int64 {
+	rel := s.db.Rel()
+	var n int64
+	for _, name := range rel.TableNames() {
+		n += int64(rel.Table(name).NumRows())
+	}
+	return n
+}

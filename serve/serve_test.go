@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/sqlxml"
+	"repro/internal/xslt"
+)
+
+// newDeptServer builds a Server over the paper's dept/emp database with the
+// paper stylesheet registered as "paper".
+func newDeptServer(t *testing.T, cfg Config) (*xsltdb.Database, *Server) {
+	t.Helper()
+	d := xsltdb.NewDatabase()
+	if err := sqlxml.SetupDeptEmp(d.Rel()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateXMLView(sqlxml.DeptEmpView()); err != nil {
+		t.Fatal(err)
+	}
+	cfg.DB = d
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterTransform("paper", "dept_emp", xslt.PaperStylesheet); err != nil {
+		t.Fatal(err)
+	}
+	return d, s
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, hdr map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestServeAndResultCache: a transform request returns the view's rows; an
+// identical follow-up is a cache hit; an insert or a ReplaceXMLView makes
+// the cached result unreachable and the next request recomputes.
+func TestServeAndResultCache(t *testing.T) {
+	d, s := newDeptServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/v1/transform/paper", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Xsltd-Cache") != "miss" {
+		t.Fatalf("first request cache header = %q", resp.Header.Get("X-Xsltd-Cache"))
+	}
+	if !strings.Contains(body, "HIGHLY PAID DEPT EMPLOYEES") {
+		t.Fatalf("body does not look like the paper output: %q", body)
+	}
+	rows := strings.Count(body, "\n")
+
+	resp, body2 := get(t, ts, "/v1/transform/paper", nil)
+	if resp.Header.Get("X-Xsltd-Cache") != "hit" {
+		t.Fatalf("second request cache header = %q", resp.Header.Get("X-Xsltd-Cache"))
+	}
+	if body2 != body {
+		t.Fatal("cache hit returned different rows")
+	}
+	if st := s.CacheStats(); st.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit", st)
+	}
+
+	// DML invalidates: a new dept row is a new driving row.
+	if err := d.Insert("dept", int64(99), "GROWTH", "REMOTE"); err != nil {
+		t.Fatal(err)
+	}
+	resp, body3 := get(t, ts, "/v1/transform/paper", nil)
+	if resp.Header.Get("X-Xsltd-Cache") != "miss" {
+		t.Fatal("insert must invalidate the cached result")
+	}
+	if got := strings.Count(body3, "\n"); got != rows+1 {
+		t.Fatalf("rows after insert = %d, want %d", got, rows+1)
+	}
+
+	// DDL invalidates: ReplaceXMLView bumps the view version.
+	evolved := &xsltdb.ViewDef{
+		Name:  "dept_emp",
+		Table: "dept",
+		Body: &xsltdb.XMLElement{Name: "dept", Children: []xsltdb.XMLExpr{
+			&xsltdb.XMLElement{Name: "dname", Children: []xsltdb.XMLExpr{&xsltdb.XMLColumn{Name: "dname"}}},
+		}},
+	}
+	if err := d.ReplaceXMLView(evolved); err != nil {
+		t.Fatal(err)
+	}
+	resp, body4 := get(t, ts, "/v1/transform/paper", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-replace status = %d body %q", resp.StatusCode, body4)
+	}
+	if resp.Header.Get("X-Xsltd-Cache") != "miss" {
+		t.Fatal("ReplaceXMLView must invalidate the cached result")
+	}
+	if body4 == body3 {
+		t.Fatal("post-replace response identical to pre-replace")
+	}
+}
+
+// TestParamsAndWhere: p.<name>= and where= query parameters reach the run
+// as typed WithParam/WithWhere options — integer-looking values bind as
+// int64 so a predicate on an int column actually matches (the CLI's
+// convention) — and distinct bindings never share a cache entry.
+func TestParamsAndWhere(t *testing.T) {
+	_, s := newDeptServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Dept 40 is the one with an above-threshold employee (SMITH, 4900).
+	resp, body := get(t, ts, "/v1/transform/paper?p.d=40&where=deptno+%3D+%24d", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filtered status = %d body %q", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "OPERATIONS") || !strings.Contains(body, "SMITH") {
+		t.Fatalf("deptno = 40 filter lost the dept-40 rows: %q", body)
+	}
+	if strings.Contains(body, "ACCOUNTING") {
+		t.Fatalf("deptno = 40 filter leaked dept 10: %q", body)
+	}
+
+	// Rebinding the same compiled plan flips the output to dept 10.
+	resp, body = get(t, ts, "/v1/transform/paper?p.d=10&where=deptno+%3D+%24d", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deptno = 10 status = %d body %q", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "ACCOUNTING") || strings.Contains(body, "OPERATIONS") {
+		t.Fatalf("deptno = 10 filter returned the wrong department: %q", body)
+	}
+	if resp.Header.Get("X-Xsltd-Cache") != "miss" {
+		t.Fatal("different binding must not share the d=40 cache entry")
+	}
+
+	// Error surface: unknown query params, bad predicates, and unbound
+	// parameters are client errors, not 500s.
+	for _, bad := range []string{
+		"/v1/transform/paper?bogus=1",
+		"/v1/transform/paper?where=nosuchcol+%3D+1",
+		"/v1/transform/paper?where=deptno+%3D+%24missing",
+	} {
+		resp, body = get(t, ts, bad, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d body %q, want 400", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestCoalescing: N concurrent identical requests execute the transform
+// exactly once. The exec gate holds the leader just before its Run until
+// every other request has observably joined the in-flight call, so the
+// assertion is deterministic, not timing-dependent.
+func TestCoalescing(t *testing.T) {
+	const n = 8
+	_, s := newDeptServer(t, Config{})
+	gateReached := make(chan struct{}, 1)
+	releaseGate := make(chan struct{})
+	var gateCalls atomic.Int64
+	s.execGate = func() {
+		gateCalls.Add(1)
+		gateReached <- struct{}{}
+		<-releaseGate
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type reply struct {
+		status    int
+		body      string
+		coalesced bool
+	}
+	replies := make(chan reply, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, body := get(t, ts, "/v1/transform/paper", nil)
+			replies <- reply{resp.StatusCode, body, resp.Header.Get("X-Xsltd-Coalesced") == "1"}
+		}()
+	}
+
+	<-gateReached // the leader is at the gate, holding the flight entry
+	s.mu.RLock()
+	def := s.transforms["paper"]
+	s.mu.RUnlock()
+	key := s.execKey(def, "")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.flightMu.Lock()
+		c := s.flight[key]
+		joined := int64(0)
+		if c != nil {
+			joined = c.shared.Load()
+		}
+		s.flightMu.Unlock()
+		if joined == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d followers joined the flight", joined, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(releaseGate)
+
+	var followers int
+	var first string
+	for i := 0; i < n; i++ {
+		r := <-replies
+		if r.status != http.StatusOK {
+			t.Fatalf("status = %d body %q", r.status, r.body)
+		}
+		if first == "" {
+			first = r.body
+		} else if r.body != first {
+			t.Fatal("coalesced responses differ")
+		}
+		if r.coalesced {
+			followers++
+		}
+	}
+	if gateCalls.Load() != 1 {
+		t.Fatalf("executions = %d, want exactly 1", gateCalls.Load())
+	}
+	if followers != n-1 {
+		t.Fatalf("followers = %d, want %d", followers, n-1)
+	}
+}
+
+// TestTenantQuotaShed: a tenant at its MaxConcurrent gets 429 + Retry-After
+// for additional work while another tenant keeps being served, and the
+// in-flight request completes normally.
+func TestTenantQuotaShed(t *testing.T) {
+	d, s := newDeptServer(t, Config{
+		APIKeys: map[string]string{"key-a": "alpha", "key-b": "beta"},
+	})
+	if err := d.RegisterTenant("alpha", xsltdb.TenantLimits{MaxConcurrent: 1}); err != nil {
+		t.Fatal(err)
+	}
+	gateReached := make(chan struct{}, 1)
+	releaseGate := make(chan struct{})
+	var firstExec atomic.Bool
+	s.execGate = func() {
+		if firstExec.CompareAndSwap(false, true) { // only the first execution blocks
+			gateReached <- struct{}{}
+			<-releaseGate
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan reply1, 1)
+	go func() {
+		resp, body := get(t, ts, "/v1/transform/paper?p.i=0", map[string]string{"X-Api-Key": "key-a"})
+		done <- reply1{resp.StatusCode, body}
+	}()
+	<-gateReached // alpha's only slot is now occupied
+
+	resp, body := get(t, ts, "/v1/transform/paper?p.i=1", map[string]string{"X-Api-Key": "key-a"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d body %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+
+	resp, body = get(t, ts, "/v1/transform/paper?p.i=1", map[string]string{"X-Api-Key": "key-b"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status = %d body %q", resp.StatusCode, body)
+	}
+
+	close(releaseGate)
+	r := <-done
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request finished %d body %q", r.status, r.body)
+	}
+
+	state := s.TenantsState()
+	var alpha *TenantInfo
+	for i := range state {
+		if state[i].Name == "alpha" {
+			alpha = &state[i]
+		}
+	}
+	if alpha == nil || alpha.Shed != 1 || alpha.Served != 1 {
+		t.Fatalf("alpha state = %+v, want 1 shed 1 served", alpha)
+	}
+}
+
+type reply1 struct {
+	status int
+	body   string
+}
+
+// TestAuth: with API keys configured, a missing or unknown key is 401.
+func TestAuth(t *testing.T) {
+	_, s := newDeptServer(t, Config{APIKeys: map[string]string{"k": "tenant"}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, _ := get(t, ts, "/v1/transform/paper", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no key status = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/v1/transform/paper", map[string]string{"Authorization": "Bearer k"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bearer key status = %d", resp.StatusCode)
+	}
+}
+
+// TestLatencyShed: once the sliding p95 breaches the target, new executions
+// are shed with 429 while cache hits keep being served — degradation, not
+// an outage.
+func TestLatencyShed(t *testing.T) {
+	_, s := newDeptServer(t, Config{TargetP95: time.Nanosecond, Window: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Fill the window below the 8-sample floor: these all execute.
+	for i := 0; i < 8; i++ {
+		resp, body := get(t, ts, fmt.Sprintf("/v1/transform/paper?p.i=%d", i), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm-up %d: status = %d body %q", i, resp.StatusCode, body)
+		}
+	}
+	// The window is full and every real request took > 1ns: shed new work.
+	resp, body := get(t, ts, "/v1/transform/paper?p.i=99", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d body %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("latency shed must carry Retry-After")
+	}
+	// A repeat of earlier work is a cache hit and is still served.
+	resp, _ = get(t, ts, "/v1/transform/paper?p.i=3", nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Xsltd-Cache") != "hit" {
+		t.Fatalf("cache hit under shed: status = %d cache = %q",
+			resp.StatusCode, resp.Header.Get("X-Xsltd-Cache"))
+	}
+}
+
+// TestCloseRace: Database.Close racing a stream of HTTP requests produces
+// only clean outcomes — 200 for runs that finished, 429 for shed work, 503
+// (ErrDatabaseClosed) after the close — and leaks no snapshot pins.
+func TestCloseRace(t *testing.T) {
+	d, s := newDeptServer(t, Config{CacheCapacity: -1}) // no cache: every request runs
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var badStatus atomic.Value
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, body := get(t, ts, fmt.Sprintf("/v1/transform/paper?p.i=%d.%d", w, i), nil)
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusServiceUnavailable, http.StatusTooManyRequests:
+				default:
+					badStatus.Store(fmt.Sprintf("status %d: %s", resp.StatusCode, body))
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond) // let requests flow
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if msg := badStatus.Load(); msg != nil {
+		t.Fatalf("unclean response during close race: %s", msg)
+	}
+
+	resp, body := get(t, ts, "/v1/transform/paper?p.i=after", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close status = %d body %q", resp.StatusCode, body)
+	}
+	resp, _ = get(t, ts, "/healthz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close health = %d", resp.StatusCode)
+	}
+
+	// No snapshot pins may survive: scrape the shared registry.
+	rec := httptest.NewRecorder()
+	xsltdb.MetricsRegistry().Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if strings.HasPrefix(line, "xsltdb_snapshot_pins ") {
+			if !strings.HasSuffix(line, " 0") {
+				t.Fatalf("leaked snapshot pins: %q", line)
+			}
+			return
+		}
+	}
+	t.Fatal("xsltdb_snapshot_pins not found in /metrics")
+}
+
+// TestConsoleTenants: the /tenants console page serves the admission state.
+func TestConsoleTenants(t *testing.T) {
+	_, s := newDeptServer(t, Config{})
+	api := httptest.NewServer(s.Handler())
+	defer api.Close()
+	if resp, _ := get(t, api, "/v1/transform/paper", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed request failed: %d", resp.StatusCode)
+	}
+	console := httptest.NewServer(s.Console())
+	defer console.Close()
+	resp, body := get(t, console, "/tenants", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"served": 1`) {
+		t.Fatalf("/tenants = %d %q", resp.StatusCode, body)
+	}
+}

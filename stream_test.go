@@ -223,11 +223,11 @@ func TestRunWithStatsIsolated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, first, err := ct.RunWithStats()
+	_, first, err := runWithStats(ct)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, second, err := ct.RunWithStats()
+	_, second, err := runWithStats(ct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,29 +287,42 @@ func TestTypedErrors(t *testing.T) {
 	}
 }
 
-// TestFunctionalOptions: the functional options are equivalent to the
-// deprecated struct shim.
-func TestFunctionalOptions(t *testing.T) {
+// TestPlanTagOption: WithPlanTag namespaces the plan-cache entry — identical
+// compilations share a plan, tagged ones get their own — without changing
+// the produced output.
+func TestPlanTagOption(t *testing.T) {
 	d := newDeptDB(t)
-	viaStruct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{
-		Force: ForceStrategy(StrategyXQuery), OuterPath: []string{"table", "tr"}, Parallelism: 2,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaFuncs, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet,
+	base, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet,
 		WithForcedStrategy(StrategyXQuery), WithOuterPath("table", "tr"), WithParallelism(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if viaStruct.Strategy() != viaFuncs.Strategy() {
-		t.Fatalf("strategies differ: %v vs %v", viaStruct.Strategy(), viaFuncs.Strategy())
-	}
-	a, err := viaStruct.Run(context.Background())
+	entriesBefore := len(d.PlanCacheEntries())
+	same, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet,
+		WithForcedStrategy(StrategyXQuery), WithOuterPath("table", "tr"), WithParallelism(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := viaFuncs.Run(context.Background())
+	if n := len(d.PlanCacheEntries()); n != entriesBefore {
+		t.Fatalf("identical compile added a cache entry: %d -> %d", entriesBefore, n)
+	}
+	tagged, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet,
+		WithForcedStrategy(StrategyXQuery), WithOuterPath("table", "tr"), WithParallelism(2),
+		WithPlanTag("tenant-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d.PlanCacheEntries()); n != entriesBefore+1 {
+		t.Fatalf("tagged compile must get its own cache entry: %d -> %d", entriesBefore, n)
+	}
+	if base.Strategy() != tagged.Strategy() {
+		t.Fatalf("strategies differ: %v vs %v", base.Strategy(), tagged.Strategy())
+	}
+	a, err := same.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tagged.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +513,7 @@ func TestConcurrentParallelExecAndStats(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 10; j++ {
-				if _, es, err := ct.RunWithStats(); err != nil {
+				if _, es, err := runWithStats(ct); err != nil {
 					errs <- err
 					return
 				} else if es.RowsProduced == 0 {

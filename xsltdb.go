@@ -151,18 +151,34 @@ type Database struct {
 	closed  atomic.Bool
 	curMu   sync.Mutex
 	cursors map[*Cursor]struct{}
+
+	// tenants holds the per-tenant limits the serving layer resolves
+	// admission against (guarded by mu, registered via WithTenant or
+	// RegisterTenant).
+	tenants map[string]TenantLimits
 }
 
-// NewDatabase returns an empty in-memory database. For a durable database
-// backed by a write-ahead log, use Open.
-func NewDatabase() *Database {
+// newDatabase builds the in-memory core every Open starts from.
+func newDatabase() *Database {
 	rel := relstore.NewDB()
 	return &Database{
 		rel: rel, exec: sqlxml.NewExecutor(rel),
 		views: map[string]*ViewDef{}, viewVersions: map[string]int{},
 		cards:   obs.NewCardTracker(2.0, mMisestimates),
 		cursors: map[*Cursor]struct{}{},
+		tenants: map[string]TenantLimits{},
 	}
+}
+
+// NewDatabase returns an empty in-memory database. It is a thin alias for
+// Open() with no options, kept because an in-memory open cannot fail and
+// the error-free form reads better in tests and examples.
+func NewDatabase() *Database {
+	d, err := Open()
+	if err != nil { // unreachable: no WithDir means no I/O
+		panic("xsltdb: in-memory Open failed: " + err.Error())
+	}
+	return d
 }
 
 // checkOpen refuses new work after Close.
@@ -172,6 +188,10 @@ func (d *Database) checkOpen() error {
 	}
 	return nil
 }
+
+// Closed reports whether Close has begun; entry points called after that
+// return ErrDatabaseClosed. Serving layers use this for health checks.
+func (d *Database) Closed() bool { return d.closed.Load() }
 
 // registerCursor tracks an open cursor so Close can fail it. It reports
 // false when the database closed around the registration — the caller must
@@ -477,7 +497,7 @@ type planState struct {
 // chain lists the runtime degradation chain for this plan, strongest
 // available strategy first. A forced strategy pins the chain to one entry:
 // forcing is a correctness contract, so there is nothing to degrade to.
-func (st *planState) chain(opts CompileOptions) []Strategy {
+func (st *planState) chain(opts compileOptions) []Strategy {
 	if opts.Force != nil {
 		return []Strategy{st.strategy}
 	}
@@ -496,7 +516,7 @@ type CompiledTransform struct {
 	db       *Database
 	viewName string
 	source   string
-	opts     CompileOptions
+	opts     compileOptions
 
 	// mu guards state, fallback and recompiles across concurrent
 	// Run/OpenCursor calls racing with automatic recompilation.
@@ -534,7 +554,7 @@ func (ct *CompiledTransform) Recompiles() int {
 // CompileTransform compiles stylesheet text against the named view,
 // choosing the strongest applicable strategy. Options may be the functional
 // kind (WithForcedStrategy, WithParallelism, WithOuterPath) or a single
-// legacy CompileOptions struct. Identical compilations are served from the
+// legacy compileOptions struct. Identical compilations are served from the
 // database's plan cache.
 func (d *Database) CompileTransform(viewName, stylesheet string, opts ...Option) (*CompiledTransform, error) {
 	co := buildOptions(opts)
@@ -553,7 +573,7 @@ func (d *Database) CompileTransform(viewName, stylesheet string, opts ...Option)
 // when non-nil, is the compile span of a traced run: the cache outcome is
 // recorded on it, and on a miss the pipeline stages record phase spans
 // beneath it.
-func (d *Database) compilePlan(viewName, stylesheet string, co CompileOptions, sp *obs.Span) (*planState, error) {
+func (d *Database) compilePlan(viewName, stylesheet string, co compileOptions, sp *obs.Span) (*planState, error) {
 	view, version := d.viewAndVersion(viewName)
 	if view == nil {
 		return nil, fmt.Errorf("xsltdb: no view %q: %w", viewName, ErrNoView)
@@ -576,7 +596,7 @@ func (d *Database) compilePlan(viewName, stylesheet string, co CompileOptions, s
 // derivation, XSLT→XQuery rewrite, optional outer-path composition,
 // XQuery→SQL/XML lowering — degrading per the fallback chain unless a
 // strategy is forced.
-func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet string, opts CompileOptions, sp *obs.Span) (st *planState, err error) {
+func (d *Database) compilePlanUncached(view *ViewDef, version int, stylesheet string, opts compileOptions, sp *obs.Span) (st *planState, err error) {
 	// Compilation runs caller-provided stylesheet text through several
 	// recursive-descent stages; contain any engine panic here so a malformed
 	// input can never take the process down.
@@ -835,42 +855,6 @@ func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Resul
 	return res, nil
 }
 
-// RunContext executes for every view row and returns the serialized rows.
-//
-// Deprecated: use Run(ctx) — it returns the same rows plus ExecStats in one
-// call. RunContext remains as a shim over Run.
-func (ct *CompiledTransform) RunContext(ctx context.Context) ([]string, error) {
-	res, err := ct.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return res.Rows, nil
-}
-
-// RunWithStats is Run without a context, returning rows and stats
-// separately.
-//
-// Deprecated: use Run(context.Background()). RunWithStats remains as a shim
-// over Run.
-func (ct *CompiledTransform) RunWithStats() ([]string, *ExecStats, error) {
-	return ct.RunContextWithStats(context.Background())
-}
-
-// RunContextWithStats is RunContext plus this run's ExecStats.
-//
-// Deprecated: use Run(ctx) — Result carries both rows and stats.
-// RunContextWithStats remains as a shim over Run.
-func (ct *CompiledTransform) RunContextWithStats(ctx context.Context) ([]string, *ExecStats, error) {
-	res, err := ct.Run(ctx)
-	if res == nil {
-		return nil, nil, err
-	}
-	if err != nil {
-		return nil, &res.Stats, err
-	}
-	return res.Rows, &res.Stats, nil
-}
-
 // runGoverned walks the plan's degradation chain: each strategy is skipped
 // if its circuit breaker is open (never the last — something must always
 // run), attempted under a fresh governor (so resource budgets never
@@ -878,7 +862,7 @@ func (ct *CompiledTransform) RunContextWithStats(ctx context.Context) ([]string,
 // falls through to the next strategy. Governance verdicts — cancellation,
 // resource limits, recursion limits — are final: retrying cannot help, so
 // they return immediately and do not count against the breaker.
-func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, es *ExecStats, root *obs.Span) ([]string, error) {
+func (d *Database) runGoverned(ctx context.Context, st *planState, opts compileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, es *ExecStats, root *obs.Span) ([]string, error) {
 	chain := st.chain(opts)
 	var lastErr error
 	for i, s := range chain {
@@ -957,7 +941,7 @@ func (d *Database) runGoverned(ctx context.Context, st *planState, opts CompileO
 // XQuery environment. Engine panics are contained here — at the strategy
 // boundary — so a panicking strategy degrades like any other failure
 // instead of crashing the caller.
-func (d *Database) runStrategy(s Strategy, st *planState, opts CompileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, g *governor.G, sp *obs.Span) (out []string, err error) {
+func (d *Database) runStrategy(s Strategy, st *planState, opts compileOptions, spec *sqlxml.RunSpec, sink *relstore.Stats, g *governor.G, sp *obs.Span) (out []string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, fmt.Errorf("xsltdb: %s: %w", s, &InternalError{Panic: r, Stack: debug.Stack()})
@@ -1273,15 +1257,4 @@ func (c *ChainedTransform) Run(ctx context.Context, opts ...RunOption) (*Result,
 		res.Rows[i] = out
 	}
 	return res, nil
-}
-
-// RunContext executes the pipeline and returns the serialized rows.
-//
-// Deprecated: use Run(ctx) — it returns the same rows plus ExecStats.
-func (c *ChainedTransform) RunContext(ctx context.Context) ([]string, error) {
-	res, err := c.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return res.Rows, nil
 }

@@ -33,7 +33,7 @@ func TestCompileTransformFullPipeline(t *testing.T) {
 	if err := d.CreateIndex("emp", "sal"); err != nil {
 		t.Fatal(err)
 	}
-	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{})
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestStrategiesAgree(t *testing.T) {
 	d := newDeptDB(t)
 	var outputs [3][]string
 	for i, s := range []Strategy{StrategySQL, StrategyXQuery, StrategyNoRewrite} {
-		ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{Force: ForceStrategy(s)})
+		ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithForcedStrategy(s))
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -103,9 +103,8 @@ func TestStrategiesAgree(t *testing.T) {
 // TestExample2OuterPath reproduces paper Example 2 through the public API.
 func TestExample2OuterPath(t *testing.T) {
 	d := newDeptDB(t)
-	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{
-		OuterPath: []string{"table", "tr"},
-	})
+	ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet,
+		WithOuterPath("table", "tr"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +136,7 @@ func TestFallbackChain(t *testing.T) {
 			<xsl:choose><xsl:when test="contains(dname, 'ACC')"><acc/></xsl:when><xsl:otherwise><other/></xsl:otherwise></xsl:choose>
 		</xsl:template>
 	</xsl:stylesheet>`
-	ct, err := d.CompileTransform("dept_emp", sheet, CompileOptions{})
+	ct, err := d.CompileTransform("dept_emp", sheet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,10 +191,10 @@ func TestDatabaseBasics(t *testing.T) {
 	if err != nil || s.Root.Name != "r" {
 		t.Fatalf("schema: %v", err)
 	}
-	if _, err := d.CompileTransform("zz", "<x/>", CompileOptions{}); err == nil {
+	if _, err := d.CompileTransform("zz", "<x/>"); err == nil {
 		t.Fatal("compile against missing view should fail")
 	}
-	if _, err := d.CompileTransform("v", "not xml", CompileOptions{}); err == nil {
+	if _, err := d.CompileTransform("v", "not xml"); err == nil {
 		t.Fatal("bad stylesheet should fail")
 	}
 }
@@ -237,7 +236,7 @@ emp       := empno:int, ename, sal:int
 func TestStatsExposed(t *testing.T) {
 	d := newDeptDB(t)
 	_ = d.CreateIndex("emp", "deptno")
-	ct, _ := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{})
+	ct, _ := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
 	before := d.Stats().IndexProbes
 	if _, err := ct.Run(context.Background()); err != nil {
 		t.Fatal(err)
@@ -255,7 +254,7 @@ func TestSchemaEvolutionRecompile(t *testing.T) {
 	sheetText := `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="dept"><out><xsl:value-of select="dname"/>|<xsl:value-of select="city"/></out></xsl:template>
 	</xsl:stylesheet>`
-	ct, err := d.CompileTransform("dept_emp", sheetText, CompileOptions{})
+	ct, err := d.CompileTransform("dept_emp", sheetText)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +315,7 @@ func TestKeyFunctionFallsBack(t *testing.T) {
 		<xsl:key name="by-sal" match="emp" use="sal"/>
 		<xsl:template match="dept"><n><xsl:value-of select="count(key('by-sal', '2450'))"/></n></xsl:template>
 	</xsl:stylesheet>`
-	ct, err := d.CompileTransform("dept_emp", sheet, CompileOptions{})
+	ct, err := d.CompileTransform("dept_emp", sheet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,11 +337,11 @@ func TestKeyFunctionFallsBack(t *testing.T) {
 
 func TestParallelStrategyAgrees(t *testing.T) {
 	d := newDeptDB(t)
-	serial, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{})
+	serial, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{Parallelism: 4})
+	par, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, WithParallelism(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +382,7 @@ func TestMixedContentViewFallsBack(t *testing.T) {
 	}
 	ct, err := d.CompileTransform("mixed", `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="p"><out><xsl:value-of select="."/></out></xsl:template>
-	</xsl:stylesheet>`, CompileOptions{})
+	</xsl:stylesheet>`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +412,7 @@ func TestChainedTransform(t *testing.T) {
 	stage2 := `<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 		<xsl:template match="report"><rich n="{count(row[. > 2000])}"/></xsl:template>
 	</xsl:stylesheet>`
-	ct, err := d.CompileTransform("dept_emp", stage1, CompileOptions{})
+	ct, err := d.CompileTransform("dept_emp", stage1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +459,7 @@ func TestConcurrentCompileAndRun(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet, CompileOptions{})
+			ct, err := d.CompileTransform("dept_emp", xslt.PaperStylesheet)
 			if err != nil {
 				errs <- err
 				return
