@@ -10,6 +10,7 @@
 #   make bench    the paper-evaluation benchmarks
 #   make bench-json  pushdown speedup measurements -> BENCH_pushdown.json
 #   make bench-obs   observability overhead guard  -> BENCH_obs.json
+#   make bench-obs-events  wide-event pipeline overhead guard -> BENCH_obs.json
 #   make bench-exec  batched/morsel execution-engine guard -> BENCH_exec.json
 #   make bench-history  run-history archive overhead (disabled/enabled/contended)
 #   make bench-wal   durable insert throughput per fsync policy -> BENCH_wal.json
@@ -21,9 +22,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: verify test vet race fuzz faults crash bench bench-json bench-obs bench-exec bench-history bench-wal bench-serve demo console serve
+.PHONY: verify test vet race fuzz faults crash bench bench-json bench-obs bench-obs-events bench-exec bench-history bench-wal bench-serve demo console serve
 
-verify: test vet race fuzz faults crash bench-exec bench-serve
+verify: test vet race fuzz faults crash bench-exec bench-serve bench-obs-events
 
 test:
 	$(GO) build ./...
@@ -69,7 +70,14 @@ bench-json:
 # in internal/obs. Artifact: BENCH_obs.json.
 bench-obs:
 	$(GO) run ./cmd/xsltbench -obs-overhead -obs-baseline BENCH_obs.json
+	$(GO) run ./cmd/xsltbench -events-overhead -obs-baseline BENCH_obs.json
 	$(GO) test -bench 'BenchmarkNilSpanOps|BenchmarkTracedSpanOps' -benchmem -run xxx ./internal/obs
+
+# Wide-event pipeline guard: serving throughput with per-request events on
+# (NDJSON sink) must stay within 3% of events-off on the cached mix (exits
+# non-zero otherwise). Merges into the shared BENCH_obs.json artifact.
+bench-obs-events:
+	$(GO) run ./cmd/xsltbench -events-overhead -obs-baseline BENCH_obs.json
 
 # Execution-engine guard: the batched scan must stay >=1.3x the row-at-a-time
 # engine single-threaded, and the morsel-parallel scan >=2x when GOMAXPROCS>1

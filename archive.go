@@ -101,6 +101,40 @@ func (p TraceSampling) keep(wall time.Duration, err error) bool {
 	return false
 }
 
+// WantTrace decides up front — before any work has run — whether the seq-th
+// unit of work (1-based) should carry a trace under this policy. It is the
+// serving layer's entry into the same policy engine the archive uses: the
+// slow-only and errors-only policies return true because qualification is
+// only known at the end. The zero policy returns false.
+func (p TraceSampling) WantTrace(seq uint64) bool {
+	switch p.mode {
+	case samplingAlways, samplingSlow, samplingErrors:
+		return true
+	case samplingRatio:
+		return sampleHit(seq, p.ratio)
+	}
+	return false
+}
+
+// Sample decides at completion time whether the seq-th unit of work (1-based)
+// is selected by this policy, given its wall time and terminal error — the
+// serving layer's wide-event sampling decision. The zero policy returns
+// false; serve treats the zero value as "emit every event" before consulting
+// this method.
+func (p TraceSampling) Sample(seq uint64, wall time.Duration, err error) bool {
+	switch p.mode {
+	case samplingAlways:
+		return true
+	case samplingRatio:
+		return sampleHit(seq, p.ratio)
+	case samplingSlow:
+		return wall >= p.threshold
+	case samplingErrors:
+		return err != nil
+	}
+	return false
+}
+
 // sampleHit reports whether the n-th execution (1-based) falls on a sampling
 // boundary for ratio r: true exactly when floor(n·r) advances past
 // floor((n-1)·r), which spaces hits evenly at every ratio.
@@ -156,12 +190,20 @@ func (d *Database) ConsoleHandler() http.Handler {
 // the serving layer's per-tenant admission state (see the serve package);
 // tenants may be nil, leaving /tenants empty.
 func (d *Database) ConsoleHandlerWithTenants(tenants func() any) http.Handler {
+	return d.ConsoleHandlerWithServing(tenants, nil)
+}
+
+// ConsoleHandlerWithServing is ConsoleHandler plus the serving layer's two
+// sections: /tenants (per-tenant admission state) and /events (recent wide
+// events, newest first). Either may be nil, leaving its endpoint empty.
+func (d *Database) ConsoleHandlerWithServing(tenants func() any, events func(n int) any) http.Handler {
 	return obs.ConsoleHandler(obs.ConsoleConfig{
 		Archive:  d.history.Load(),
 		Cards:    d.cards,
 		Registry: obs.Default,
 		Plans:    func() any { return d.PlanCacheEntries() },
 		Tenants:  tenants,
+		Events:   events,
 	})
 }
 
@@ -188,6 +230,14 @@ func (d *Database) archiveRun(a *obs.Archive, kind, view string, start time.Time
 		}
 		if err != nil {
 			rec.Error = err.Error()
+		}
+		// A trace carrying a request identity (serve's WithTrace + SetID) is
+		// archived under that ID and always retains its tree — the whole point
+		// of request-scoped tracing is that /runs/<trace-id> resolves to the
+		// full operator tree. Self-created traces never carry an ID.
+		if tid := tr.ID(); tid != "" {
+			rec.TraceID = tid
+			keepTrace = true
 		}
 		if keepTrace && tr != nil {
 			rec.Sampled = true

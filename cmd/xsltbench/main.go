@@ -13,7 +13,10 @@
 // -obs-overhead measures the observability layer's cost — the nil-trace
 // fast path versus a run with an attached trace — and writes BENCH_obs.json
 // (the `make bench-obs` artifact); it exits non-zero if the estimated
-// nil-trace overhead reaches 2%.
+// nil-trace overhead reaches 2%. -events-overhead measures the wide-event
+// pipeline's serving cost (events-on vs events-off on the cached mix),
+// merges into the same BENCH_obs.json, and exits non-zero if the overhead
+// reaches 3%.
 //
 // -trace-out FILE captures the slowest traced run the tool performed and
 // writes its full trace as JSON to FILE.
@@ -58,6 +61,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the -pushdown measurements to this file as JSON")
 	obsOver := flag.Bool("obs-overhead", false, "measure tracing overhead (nil-trace fast path vs attached trace), write BENCH_obs.json")
 	obsBaseline := flag.String("obs-baseline", "", "compare the -obs-overhead measurement against this committed BENCH_obs.json and report the regression delta")
+	eventsOver := flag.Bool("events-overhead", false, "measure the wide-event pipeline's serving cost (events-on vs events-off cached mix), merge into BENCH_obs.json")
 	execBench := flag.Bool("exec", false, "measure the execution engine: row-at-a-time vs batched vs morsel-parallel scan, write BENCH_exec.json")
 	execBaseline := flag.String("exec-baseline", "", "compare the -exec measurement against this committed BENCH_exec.json and report the delta")
 	workersFlag := flag.Int("workers", 0, "highest morsel worker count for -exec (0 = GOMAXPROCS)")
@@ -99,6 +103,10 @@ func main() {
 	}
 	if *all || *obsOver {
 		obsOverhead(*reps, *scale, *obsBaseline)
+		ran = true
+	}
+	if *all || *eventsOver {
+		benchEventsOverhead(*reps, *scale, *obsBaseline)
 		ran = true
 	}
 	if *all || *execBench {
@@ -645,17 +653,16 @@ func obsOverhead(reps, scale int, baselinePath string) {
 	tracedPct := (float64(tracedRunNS) - float64(untracedRunNS)) / float64(untracedRunNS) * 100
 	nilPct := float64(opsPerRun) * nilOpNS / float64(untracedRunNS) * 100
 
-	m := obsMeasurement{
-		Rows:                n,
-		UntracedRunNanos:    untracedRunNS,
-		TracedRunNanos:      tracedRunNS,
-		TracedOverheadPct:   tracedPct,
-		SpanOpsPerRun:       opsPerRun,
-		NilSpanOpNanos:      nilOpNS,
-		NilTraceOverheadPct: nilPct,
-		GuardMaxPct:         2.0,
-		GuardOK:             nilPct < 2.0,
-	}
+	m := loadObsMeasurement()
+	m.Rows = n
+	m.UntracedRunNanos = untracedRunNS
+	m.TracedRunNanos = tracedRunNS
+	m.TracedOverheadPct = tracedPct
+	m.SpanOpsPerRun = opsPerRun
+	m.NilSpanOpNanos = nilOpNS
+	m.NilTraceOverheadPct = nilPct
+	m.GuardMaxPct = 2.0
+	m.GuardOK = nilPct < 2.0
 	fmt.Printf("%-22s %-14s %-14s %-10s %s\n", "", "untraced", "traced", "overhead", "nil-path overhead (est)")
 	fmt.Printf("%-22s %-14s %-14s %-10s %.4f%% (%d ops × %.2fns/op)\n",
 		fmt.Sprintf("lookup n=%d", n),
@@ -663,10 +670,7 @@ func obsOverhead(reps, scale int, baselinePath string) {
 		fmt.Sprintf("%.1f%%", tracedPct), nilPct, opsPerRun, nilOpNS)
 	fmt.Println()
 
-	b, err := json.MarshalIndent(m, "", "  ")
-	check(err)
-	check(os.WriteFile("BENCH_obs.json", append(b, '\n'), 0o644))
-	fmt.Println("wrote BENCH_obs.json")
+	writeObsMeasurement(m)
 	if baselinePath != "" {
 		compareObsBaseline(baselinePath, m)
 	}
@@ -678,8 +682,10 @@ func obsOverhead(reps, scale int, baselinePath string) {
 	fmt.Println()
 }
 
-// obsMeasurement is the BENCH_obs.json schema, shared by the measurement
-// and the -obs-baseline comparison.
+// obsMeasurement is the BENCH_obs.json schema, shared by the -obs-overhead
+// and -events-overhead measurements and their baseline comparisons. The two
+// halves regenerate independently (read-merge-write), so either bench can
+// run alone without clobbering the other's committed numbers.
 type obsMeasurement struct {
 	Rows                int     `json:"rows"`
 	UntracedRunNanos    int64   `json:"untraced_run_ns"`
@@ -690,6 +696,14 @@ type obsMeasurement struct {
 	NilTraceOverheadPct float64 `json:"nil_trace_overhead_pct"`
 	GuardMaxPct         float64 `json:"guard_max_pct"`
 	GuardOK             bool    `json:"guard_ok"`
+
+	EventsOffRPS      float64 `json:"events_off_rps,omitempty"`
+	EventsOnRPS       float64 `json:"events_on_rps,omitempty"`
+	EventsOverheadPct float64 `json:"events_overhead_pct"`
+	EventsGuardMaxPct float64 `json:"events_guard_max_pct,omitempty"`
+	EventsGuardOK     bool    `json:"events_guard_ok"`
+	EventsPublished   int64   `json:"events_published,omitempty"`
+	EventsDropped     int64   `json:"events_dropped"`
 }
 
 // compareObsBaseline reports this measurement against a committed

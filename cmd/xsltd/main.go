@@ -5,6 +5,8 @@
 //	xsltd [-listen :8080] [-console-addr :6060] [-dir path]
 //	      [-api-key key=tenant ...] [-tenant name=maxconcurrent ...]
 //	      [-cache n] [-max-inflight n] [-target-p95 d]
+//	      [-events-file path] [-events-otlp url] [-events-buffer n]
+//	      [-slo-target d] [-slo-objective f]
 //
 // With -dir the database is durable (WAL-backed, replayed on start);
 // without it xsltd serves the paper's in-memory dept/emp demo database with
@@ -18,11 +20,19 @@
 // configured requests must authenticate. -tenant (repeatable) registers a
 // tenant's concurrency cap. -target-p95 enables latency shedding: while the
 // sliding p95 exceeds it, new executions get 429 + Retry-After.
+//
+// Telemetry: every request gets (or propagates) a W3C traceparent and
+// returns its trace ID as X-Request-Id. -events-file writes one wide event
+// per request as NDJSON ("-" = stdout); -events-otlp exports OTLP-style
+// JSON log batches to the given collector URL. The wide-event pipeline also
+// feeds the console's /events page whenever the console is on. -slo-target
+// and -slo-objective parameterize the per-tenant SLO burn-rate gauge.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	xsltdb "repro"
+	"repro/internal/obs"
 	"repro/internal/sqlxml"
 	"repro/internal/xslt"
 	"repro/serve"
@@ -43,6 +54,11 @@ func main() {
 	cache := fs.Int("cache", 256, "result-cache capacity in entries (negative disables)")
 	maxInFlight := fs.Int("max-inflight", 0, "global cap on concurrent executions (0 = unlimited)")
 	targetP95 := fs.Duration("target-p95", 0, "shed new executions while sliding p95 exceeds this (0 = off)")
+	eventsFile := fs.String("events-file", "", "write wide events as NDJSON to this file (\"-\" = stdout); empty = off")
+	eventsOTLP := fs.String("events-otlp", "", "export wide events as OTLP-style JSON logs to this collector URL; empty = off")
+	eventsBuffer := fs.Int("events-buffer", 0, "event-bus buffer size (0 = default); overflow drops events, never blocks requests")
+	sloTarget := fs.Duration("slo-target", 0, "per-request latency objective for the SLO burn-rate gauge (0 = target-p95)")
+	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of requests that must meet the SLO target")
 	apiKeys := map[string]string{}
 	fs.Func("api-key", "key=tenant mapping (repeatable); configuring any key requires authentication", func(v string) error {
 		key, tenant, ok := strings.Cut(v, "=")
@@ -89,16 +105,39 @@ func main() {
 		}
 	}
 
+	var eventSinks []obs.EventSink
+	if *eventsFile != "" {
+		w := io.Writer(os.Stdout)
+		if *eventsFile != "-" {
+			f, err := os.OpenFile(*eventsFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		eventSinks = append(eventSinks, obs.NewNDJSONSink(w))
+	}
+	if *eventsOTLP != "" {
+		eventSinks = append(eventSinks, obs.NewOTLPSink(*eventsOTLP, 0))
+	}
+
 	srv, err := serve.New(serve.Config{
 		DB:            db,
 		APIKeys:       apiKeys,
 		CacheCapacity: *cache,
 		MaxInFlight:   *maxInFlight,
 		TargetP95:     *targetP95,
+		EnableEvents:  len(eventSinks) > 0 || *consoleAddr != "",
+		EventSinks:    eventSinks,
+		EventBuffer:   *eventsBuffer,
+		SLOTarget:     *sloTarget,
+		SLOObjective:  *sloObjective,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	defer srv.Close()
 	if *dir == "" {
 		if err := srv.RegisterTransform("paper", "dept_emp", xslt.PaperStylesheet); err != nil {
 			fatal(err)
@@ -113,7 +152,7 @@ func main() {
 				fatal(err)
 			}
 		}()
-		fmt.Printf("debug console at http://%s/ (runs, plans, tenants, metrics, pprof)\n", *consoleAddr)
+		fmt.Printf("debug console at http://%s/ (runs, events, plans, tenants, metrics, pprof)\n", *consoleAddr)
 	}
 
 	fmt.Printf("xsltd serving at http://%s/v1/transform/<name>\n", *listen)

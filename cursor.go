@@ -69,10 +69,12 @@ type Cursor struct {
 
 	// Archive bookkeeping: opened is the cursor's birth time (RunRecord
 	// start), sampling/sampled are the trace-sampling policy and its
-	// open-time decision.
+	// open-time decision, pinID the snapshot-pin handle held for the
+	// cursor's lifetime.
 	opened   time.Time
 	sampling TraceSampling
 	sampled  bool
+	pinID    uint64
 
 	mu           sync.Mutex
 	sink         relstore.Stats
@@ -199,7 +201,7 @@ func (ct *CompiledTransform) OpenCursor(ctx context.Context, opts ...RunOption) 
 				return nil, ErrDatabaseClosed
 			}
 			mActiveCursors.Inc()
-			mSnapshotPins.Inc()
+			c.pinID = snapPins.pin()
 			return c, nil
 		}
 		attempt.Fail(err)
@@ -470,7 +472,7 @@ func (c *Cursor) release() {
 		c.db.unregisterCursor(c)
 		c.db.exec.AddStats(&c.sink)
 		mActiveCursors.Dec()
-		mSnapshotPins.Dec()
+		snapPins.unpin(c.pinID)
 
 		c.mu.Lock()
 		es := c.statsLocked()
@@ -569,6 +571,7 @@ func (c *Cursor) statsLocked() ExecStats {
 		BreakerSkips:    c.breakerSkips,
 		BreakerTrips:    c.breakerTrips,
 		PanicsRecovered: c.panics.Load(),
+		GovTicks:        int64(c.gov.Ticks()),
 	}
 	es.mergeSink(c.sink.Snapshot())
 	return es

@@ -511,7 +511,7 @@ func TestActiveCursorsGaugeReturnsToZero(t *testing.T) {
 // width varies with the duration text).
 var (
 	durationRe = regexp.MustCompile(`\b\d+(\.\d+)?(ns|µs|ms|m|h|s)+\b`)
-	counterRe  = regexp.MustCompile(`\b(gov_ticks|eval_steps|func_calls|templates_applied)=\d+`)
+	counterRe  = regexp.MustCompile(`\b(gov_ticks|gov-ticks|eval_steps|func_calls|templates_applied)=\d+`)
 	spacesRe   = regexp.MustCompile(`  +`)
 )
 
@@ -549,7 +549,7 @@ func TestChainedExplainAnalyzeGolden(t *testing.T) {
 	const golden = `strategy: sql-rewrite
 plan cache: cached=true entries=1 hits=0 misses=1
 chain: 1 stage(s) after the view stage (1 rewritten, 0 interpreted)
-actual: rows=3 scanned=3 probes=0 range-scans=0 full-scans=1 emitted=3 filtered=0 recompiles=0 compile=DUR exec=DUR batches=1 morsels=0 access="TABLE SCAN row" est=3
+actual: rows=3 scanned=3 probes=0 range-scans=0 full-scans=1 emitted=3 filtered=0 recompiles=0 compile=DUR exec=DUR batches=1 morsels=0 access="TABLE SCAN row" est=3 gov-ticks=N
 run DUR rows_out=3 view=rows access_path="TABLE SCAN row"
 ├─ compile DUR cache=fresh
 └─ sql-rewrite DUR rows_out=3 gov_ticks=N

@@ -32,13 +32,19 @@ type ConsoleConfig struct {
 	// (limits, in-flight counts, shed totals), marshaled as-is at /tenants.
 	// Like Plans it stays `any` so obs does not depend on the serve package.
 	Tenants func() any
+	// Events returns the serving layer's most recent wide events (newest
+	// first, up to n) plus the event-bus counters, served at /events.
+	Events func(n int) any
 }
 
 // ConsoleHandler builds the debug console:
 //
 //	/                 index (text)
 //	/runs?n=50        recent runs, newest first (JSON array)
-//	/runs/<id>        one run in full, including its sampled trace
+//	/runs/<id>        one run in full, including its sampled trace; <id> is
+//	                  the archive sequence number or a request's 32-hex
+//	                  trace ID (the X-Request-Id a served request returned)
+//	/events?n=50      recent wide events, newest first (when serving)
 //	/plans            plan-cache entries + per-plan latency aggregates
 //	/misestimates?n=  cardinality misestimate log + per-path accuracy
 //	/tenants          per-tenant admission state (when serving)
@@ -54,7 +60,8 @@ func ConsoleHandler(cfg ConsoleConfig) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("xsltdb debug console\n\n" +
 			"  /runs?n=50        recent runs (newest first)\n" +
-			"  /runs/<id>        one run in full, with its sampled trace\n" +
+			"  /runs/<id>        one run in full, with its sampled trace (<id>: sequence number or 32-hex trace ID)\n" +
+			"  /events?n=50      recent wide events (newest first, when serving)\n" +
 			"  /plans            plan-cache entries + per-plan aggregates (p50/p95/p99, top-K slowest)\n" +
 			"  /misestimates     cardinality-accuracy: per-path q-error + misestimate log\n" +
 			"  /tenants          per-tenant admission state (when serving)\n" +
@@ -66,17 +73,30 @@ func ConsoleHandler(cfg ConsoleConfig) http.Handler {
 	})
 	mux.HandleFunc("/runs/", func(w http.ResponseWriter, r *http.Request) {
 		idText := strings.TrimPrefix(r.URL.Path, "/runs/")
-		id, err := strconv.ParseUint(idText, 10, 64)
-		if err != nil {
+		var rec RunRecord
+		var ok bool
+		if id, err := strconv.ParseUint(idText, 10, 64); err == nil {
+			rec, ok = cfg.Archive.Run(id)
+		} else if len(idText) == 32 {
+			// A served request's identity: the trace-id hex it got back as
+			// X-Request-Id resolves to the run it executed.
+			rec, ok = cfg.Archive.RunByTrace(idText)
+		} else {
 			http.Error(w, "bad run id "+strconv.Quote(idText), http.StatusBadRequest)
 			return
 		}
-		rec, ok := cfg.Archive.Run(id)
 		if !ok {
 			http.Error(w, "run "+idText+" not retained", http.StatusNotFound)
 			return
 		}
 		writeJSON(w, rec)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		var events any
+		if cfg.Events != nil {
+			events = cfg.Events(queryInt(r, "n", 50))
+		}
+		writeJSON(w, events)
 	})
 	mux.HandleFunc("/plans", func(w http.ResponseWriter, _ *http.Request) {
 		var cache any

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testEvent() Event {
+	return Event{
+		Time:        time.Date(2026, 8, 7, 12, 0, 0, 123456789, time.UTC),
+		TraceID:     "4bf92f3577b34da6a3ce929d0e0e4736",
+		RequestID:   "4bf92f3577b34da6a3ce929d0e0e4736",
+		Tenant:      "acme",
+		Transform:   "paper",
+		View:        "dept_emp",
+		ViewVersion: 3,
+		DataVersion: 17,
+		SheetHash:   "ab12cd34",
+		Outcome:     "ok",
+		Status:      200,
+		Cache:       "miss",
+		Coalesce:    "leader",
+		Strategy:    "unordered",
+		AccessPath:  "index-probe",
+		Rows:        51,
+		GovTicks:    2,
+		WalAppends:  1,
+		WalFsyncs:   1,
+		RunID:       9,
+		TotalNS:     1234567,
+		CompileNS:   111,
+		ExecNS:      999,
+	}
+}
+
+// TestAppendJSONMatchesEncodingJSON pins the hand-rolled NDJSON encoder to
+// encoding/json's output byte for byte, across full, sparse, and
+// escaping-hostile events. The omitempty elisions and HTML escaping must
+// agree or the two encoders would drift apart silently.
+func TestAppendJSONMatchesEncodingJSON(t *testing.T) {
+	events := []Event{
+		testEvent(),
+		{Time: time.Now(), Tenant: "t", Outcome: "shed", Status: 429},
+		{},
+		{Time: time.Now().In(time.FixedZone("X", 3*3600)), Tenant: "héh\n<&>\"\\", Error: "bad \x01 control", Outcome: "error", Status: 500},
+	}
+	for i, ev := range events {
+		want, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ev.AppendJSON(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("event %d:\nAppendJSON: %s\njson.Marshal: %s", i, got, want)
+		}
+	}
+}
+
+// TestEventBusDeliversToSinks pushes events through the bus into an NDJSON
+// sink and a ring, flushes, and checks both saw everything in order.
+func TestEventBusDeliversToSinks(t *testing.T) {
+	var buf bytes.Buffer
+	nd := NewNDJSONSink(&buf)
+	ring := NewRingSink(2)
+	bus := NewEventBus(8, nil, nd, ring)
+	defer bus.Close()
+
+	for i := 0; i < 3; i++ {
+		ev := testEvent()
+		ev.Rows = int64(i)
+		if !bus.Publish(ev) {
+			t.Fatalf("publish %d rejected", i)
+		}
+	}
+	bus.Flush()
+
+	st := bus.Stats()
+	if st.Published != 3 || st.Delivered != 3 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 NDJSON lines, got %d:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, line)
+		}
+		if ev.Rows != int64(i) || ev.Tenant != "acme" || ev.TraceID == "" {
+			t.Fatalf("line %d round-tripped wrong: %+v", i, ev)
+		}
+	}
+	// The capacity-2 ring keeps the newest two, newest first.
+	recent := ring.Recent(0)
+	if len(recent) != 2 || recent[0].Rows != 2 || recent[1].Rows != 1 {
+		t.Fatalf("ring = %+v", recent)
+	}
+	if one := ring.Recent(1); len(one) != 1 || one[0].Rows != 2 {
+		t.Fatalf("Recent(1) = %+v", one)
+	}
+}
+
+// gatedSink blocks each Emit until released, so a test can hold the
+// dispatcher mid-delivery and fill the bus buffer deterministically.
+type gatedSink struct {
+	started chan struct{} // receives one token when an Emit begins
+	release chan struct{} // each Emit consumes one token to proceed
+	got     []Event
+	mu      sync.Mutex
+}
+
+func (s *gatedSink) Emit(ev Event) {
+	s.started <- struct{}{}
+	<-s.release
+	s.mu.Lock()
+	s.got = append(s.got, ev)
+	s.mu.Unlock()
+}
+
+// TestEventBusOverflowDropsDeterministic stalls the dispatcher inside a sink,
+// fills the buffer exactly, and checks the next Publish is rejected, counted,
+// and reported through the onDrop hook — while every accepted event is still
+// delivered once the sink unblocks. No sleeps, no racing on goroutine
+// scheduling: the gate makes the buffer state exact.
+func TestEventBusOverflowDropsDeterministic(t *testing.T) {
+	gate := &gatedSink{started: make(chan struct{}, 8), release: make(chan struct{}, 8)}
+	drops := 0
+	bus := NewEventBus(2, func() { drops++ }, gate)
+	defer bus.Close()
+
+	// First event: wait until the dispatcher is blocked inside Emit. The
+	// buffer is now empty and the dispatcher is occupied.
+	if !bus.Publish(testEvent()) {
+		t.Fatal("first publish rejected")
+	}
+	<-gate.started
+
+	// Fill the 2-slot buffer while the dispatcher is stuck.
+	for i := 0; i < 2; i++ {
+		if !bus.Publish(testEvent()) {
+			t.Fatalf("publish into free buffer slot %d rejected", i)
+		}
+	}
+	// Buffer full: this one must be dropped, not blocked.
+	if bus.Publish(testEvent()) {
+		t.Fatal("publish into full buffer accepted")
+	}
+	if drops != 1 {
+		t.Fatalf("onDrop fired %d times, want 1", drops)
+	}
+	if st := bus.Stats(); st.Published != 3 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Unblock the sink; everything accepted must still arrive.
+	for i := 0; i < 3; i++ {
+		gate.release <- struct{}{}
+	}
+	// The dispatcher consumes started tokens as it processes the rest.
+	for i := 0; i < 2; i++ {
+		<-gate.started
+	}
+	bus.Flush()
+	if st := bus.Stats(); st.Delivered != 3 || st.Dropped != 1 {
+		t.Fatalf("stats after flush = %+v", st)
+	}
+	gate.mu.Lock()
+	n := len(gate.got)
+	gate.mu.Unlock()
+	if n != 3 {
+		t.Fatalf("sink saw %d events, want 3", n)
+	}
+}
+
+// TestEventBusNilAndClosed: a nil bus is a silent sink; a closed bus counts
+// drops; Close is idempotent.
+func TestEventBusNilAndClosed(t *testing.T) {
+	var nilBus *EventBus
+	if nilBus.Publish(testEvent()) {
+		t.Fatal("nil bus accepted an event")
+	}
+	nilBus.Flush()
+	nilBus.Close()
+	if st := nilBus.Stats(); st != (EventBusStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+
+	bus := NewEventBus(4, nil, NewNDJSONSink(io.Discard))
+	if !bus.Publish(testEvent()) {
+		t.Fatal("publish rejected")
+	}
+	bus.Close()
+	bus.Close() // idempotent
+	if bus.Publish(testEvent()) {
+		t.Fatal("closed bus accepted an event")
+	}
+	st := bus.Stats()
+	if st.Delivered != 1 || st.Dropped != 1 {
+		t.Fatalf("stats after close = %+v", st)
+	}
+}
+
+// TestOTLPSinkExport drives the OTLP-style exporter against a fake collector
+// and checks the envelope shape, batching, trace IDs, and counters.
+func TestOTLPSinkExport(t *testing.T) {
+	var mu sync.Mutex
+	var bodies [][]byte
+	coll := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, b)
+		mu.Unlock()
+	}))
+	defer coll.Close()
+
+	sink := NewOTLPSink(coll.URL, 2)
+	for i := 0; i < 3; i++ {
+		ev := testEvent()
+		ev.Rows = int64(i)
+		sink.Emit(ev) // third event sits in the batch until Flush
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Exported(); got != 3 {
+		t.Fatalf("Exported() = %d, want 3", got)
+	}
+	if got := sink.Errors(); got != 0 {
+		t.Fatalf("Errors() = %d, want 0", got)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 2 {
+		t.Fatalf("collector saw %d posts, want 2 (batch of 2 + flush of 1)", len(bodies))
+	}
+	var env struct {
+		ResourceLogs []struct {
+			ScopeLogs []struct {
+				Scope struct {
+					Name string `json:"name"`
+				} `json:"scope"`
+				LogRecords []struct {
+					TimeUnixNano string `json:"timeUnixNano"`
+					TraceID      string `json:"traceId"`
+					Body         struct {
+						StringValue string `json:"stringValue"`
+					} `json:"body"`
+				} `json:"logRecords"`
+			} `json:"scopeLogs"`
+		} `json:"resourceLogs"`
+	}
+	if err := json.Unmarshal(bodies[0], &env); err != nil {
+		t.Fatalf("first payload does not parse: %v", err)
+	}
+	recs := env.ResourceLogs[0].ScopeLogs[0].LogRecords
+	if len(recs) != 2 {
+		t.Fatalf("first batch has %d records, want 2", len(recs))
+	}
+	if recs[0].TraceID != testEvent().TraceID {
+		t.Fatalf("traceId = %q", recs[0].TraceID)
+	}
+	var body Event
+	if err := json.Unmarshal([]byte(recs[0].Body.StringValue), &body); err != nil {
+		t.Fatalf("log body is not event JSON: %v", err)
+	}
+	if body.Tenant != "acme" {
+		t.Fatalf("body tenant = %q", body.Tenant)
+	}
+
+	// A failing collector counts errors, never retries or blocks.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	badSink := NewOTLPSink(bad.URL, 1)
+	badSink.Emit(testEvent())
+	if got := badSink.Errors(); got != 1 {
+		t.Fatalf("bad-collector Errors() = %d, want 1", got)
+	}
+}

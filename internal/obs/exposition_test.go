@@ -32,7 +32,75 @@ func TestExpositionFormatValidity(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := sb.String()
+	seen := validateExposition(t, text)
 
+	if !seen["exp_latency_seconds_bucket{op=\"read\",le=\"+Inf\"}"] {
+		t.Fatalf("expected read histogram buckets in:\n%s", text)
+	}
+	// The escaped label value must round-trip the raw characters.
+	if !strings.Contains(text, `quote \" backslash \\ newline \n end`) {
+		t.Fatalf("label escaping missing or wrong:\n%s", text)
+	}
+}
+
+// TestServingInstrumentExposition renders the same instrument shapes the
+// serving telemetry registers — tenant-labeled counter/histogram/gauge vecs,
+// callback gauges, and the WAL latency histograms with their sub-millisecond
+// buckets — and checks the scrape stays structurally valid (no duplicate
+// series, monotonic cumulative buckets, +Inf == _count, HELP/TYPE pairing).
+func TestServingInstrumentExposition(t *testing.T) {
+	reg := NewRegistry()
+	lat := reg.NewHistogramVec("xsltd_tenant_request_seconds",
+		"Request latency by tenant.", nil, "tenant")
+	sheds := reg.NewCounterVec("xsltd_tenant_sheds_total",
+		"Sheds by tenant and reason.", "tenant", "reason")
+	hits := reg.NewCounterVec("xsltd_tenant_cache_hits_total",
+		"Cache hits by tenant.", "tenant")
+	burn := reg.NewGaugeVec("xsltd_slo_burn_rate_milli",
+		"SLO burn rate x1000 by tenant.", "tenant")
+	reg.NewGaugeFunc("xsltdb_snapshot_pin_oldest_age_seconds",
+		"Age of the oldest pinned snapshot.", func() float64 { return 1.5 })
+	wal := reg.NewHistogram("xsltdb_wal_fsync_seconds",
+		"WAL fsync latency.", []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1})
+
+	for _, tenant := range []string{"acme", "tenant with spaces", `q"uote`, ""} {
+		lat.With(tenant).Observe(0.003)
+		lat.With(tenant).Observe(0.25)
+		sheds.With(tenant, "latency").Inc()
+		sheds.With(tenant, "quota").Add(2)
+		hits.With(tenant).Inc()
+		burn.With(tenant).Set(1500)
+	}
+	wal.Observe(0.00004)
+	wal.Observe(0.002)
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	seen := validateExposition(t, text)
+
+	for _, want := range []string{
+		`xsltd_tenant_request_seconds_count{tenant="acme"}`,
+		`xsltd_tenant_sheds_total{tenant="acme",reason="quota"}`,
+		`xsltd_slo_burn_rate_milli{tenant="acme"}`,
+		`xsltdb_snapshot_pin_oldest_age_seconds`,
+		`xsltdb_wal_fsync_seconds_bucket{le="0.0001"}`,
+	} {
+		if !seen[want] {
+			t.Fatalf("missing series %q in:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "xsltdb_snapshot_pin_oldest_age_seconds 1.5\n") {
+		t.Fatalf("callback gauge did not render its value:\n%s", text)
+	}
+}
+
+// validateExposition walks a rendered scrape applying the structural rules a
+// Prometheus parser enforces, and returns the set of series rendered.
+func validateExposition(t *testing.T, text string) map[string]bool {
+	t.Helper()
 	type familyState struct {
 		help, typ string
 	}
@@ -150,18 +218,12 @@ func TestExpositionFormatValidity(t *testing.T) {
 		}
 	}
 	// +Inf bucket must equal _count for every histogram series.
-	if len(bucketInf) == 0 {
-		t.Fatal("no histogram buckets parsed")
-	}
 	for key, inf := range bucketInf {
 		if count, ok := counts[key]; !ok || count != inf {
 			t.Fatalf("series %q: +Inf bucket %v != count %v (ok=%v)", key, inf, count, ok)
 		}
 	}
-	// The escaped label value must round-trip the raw characters.
-	if !strings.Contains(text, `quote \" backslash \\ newline \n end`) {
-		t.Fatalf("label escaping missing or wrong:\n%s", text)
-	}
+	return seenSeries
 }
 
 // cutLastSpace splits a sample line at its final space (label values may

@@ -56,6 +56,10 @@ type RunRecord struct {
 	Sampled   bool            `json:"sampled,omitempty"`
 	Trace     string          `json:"trace,omitempty"`
 	TraceJSON json.RawMessage `json:"trace_json,omitempty"`
+	// TraceID is the request's W3C trace identity when the run was executed
+	// on behalf of a served request (serve threads it via Trace.SetID); the
+	// archive indexes such records so /runs/<trace-id> resolves them.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // planAggKey groups records per plan.
@@ -97,10 +101,11 @@ type Archive struct {
 	// the record ID sequence — runs the policy skips still get recorded.
 	sampleSeq atomic.Uint64
 
-	mu    sync.Mutex
-	ring  []RunRecord // grows to capacity, then wraps; ID i at (i-1)%cap
-	next  uint64      // ID the next Record call will assign (first is 1)
-	plans map[planAggKey]*planAgg
+	mu      sync.Mutex
+	ring    []RunRecord // grows to capacity, then wraps; ID i at (i-1)%cap
+	next    uint64      // ID the next Record call will assign (first is 1)
+	plans   map[planAggKey]*planAgg
+	byTrace map[string]uint64 // trace-id -> record ID, pruned with the ring
 }
 
 // NewArchive returns an archive retaining the most recent `capacity` runs
@@ -109,7 +114,7 @@ func NewArchive(capacity int) *Archive {
 	if capacity <= 0 {
 		capacity = defaultArchiveCap
 	}
-	return &Archive{capacity: capacity, next: 1, plans: map[planAggKey]*planAgg{}}
+	return &Archive{capacity: capacity, next: 1, plans: map[planAggKey]*planAgg{}, byTrace: map[string]uint64{}}
 }
 
 // Cap returns the ring capacity (0 on nil).
@@ -157,7 +162,16 @@ func (a *Archive) Record(rec RunRecord) uint64 {
 	if len(a.ring) < a.capacity {
 		a.ring = append(a.ring, rec)
 	} else {
-		a.ring[(rec.ID-1)%uint64(a.capacity)] = rec
+		slot := (rec.ID - 1) % uint64(a.capacity)
+		// The ring evicts the record it overwrites; its trace-ID entry must
+		// go with it or the index would grow without bound.
+		if old := a.ring[slot]; old.TraceID != "" {
+			delete(a.byTrace, old.TraceID)
+		}
+		a.ring[slot] = rec
+	}
+	if rec.TraceID != "" {
+		a.byTrace[rec.TraceID] = rec.ID
 	}
 
 	key := planAggKey{view: rec.View, strategy: rec.Strategy}
@@ -214,6 +228,22 @@ func (a *Archive) Run(id uint64) (RunRecord, bool) {
 		return RunRecord{}, false
 	}
 	return a.ring[(id-1)%uint64(a.capacity)], true
+}
+
+// RunByTrace returns the record carrying the given W3C trace ID, if the
+// ring still retains it. Nil-safe.
+func (a *Archive) RunByTrace(traceID string) (RunRecord, bool) {
+	if a == nil || traceID == "" {
+		return RunRecord{}, false
+	}
+	a.mu.Lock()
+	id, ok := a.byTrace[traceID]
+	var rec RunRecord
+	if ok {
+		rec = a.ring[(id-1)%uint64(a.capacity)]
+	}
+	a.mu.Unlock()
+	return rec, ok
 }
 
 // Plans snapshots the per-plan aggregates, sorted by (view, strategy).

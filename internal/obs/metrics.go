@@ -74,6 +74,10 @@ type series struct {
 	labelValues []string
 
 	val atomic.Int64
+	// fn, when non-nil, makes this a callback gauge: the value is computed
+	// at render time instead of stored (NewGaugeFunc). Written once under
+	// the family mutex, read under it at render.
+	fn func() float64
 
 	bucketN  []atomic.Int64 // one per bucket bound (cumulative at render)
 	sumBits  atomic.Uint64  // float64 bits of the observation sum
@@ -278,6 +282,18 @@ func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
 	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
 }
 
+// NewGaugeFunc registers an unlabeled gauge whose value is computed by fn at
+// every render — the instrument for values that are derived rather than
+// maintained (the age of the oldest pinned snapshot, say). Re-registration
+// replaces the callback, keeping package-level instruments idempotent.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge, nil, nil)
+	s := f.getSeries(nil)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
 // DefBuckets are latency buckets in seconds, spanning 100µs to 10s.
 var DefBuckets = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
@@ -329,7 +345,10 @@ func labelString(names, values []string, extra ...string) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
-// formatFloat renders a float the way Prometheus clients do.
+// formatFloat renders a float the way Prometheus clients do. %g already
+// uses the fewest digits that round-trip, so no trailing-zero trimming is
+// needed — and naive TrimRight would corrupt integral values ("10" -> "1",
+// "0" -> ""), breaking le="10" bucket bounds and zero-valued samples.
 func formatFloat(v float64) string {
 	switch {
 	case math.IsInf(v, 1):
@@ -337,7 +356,7 @@ func formatFloat(v float64) string {
 	case math.IsInf(v, -1):
 		return "-Inf"
 	}
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", v), "0"), ".")
+	return fmt.Sprintf("%g", v)
 }
 
 // WriteTo renders every family in the Prometheus text exposition format,
@@ -378,13 +397,21 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		}
 		sort.Strings(keys)
 		sers := make([]*series, 0, len(keys))
+		fns := make([]func() float64, 0, len(keys))
 		for _, k := range keys {
 			sers = append(sers, f.series[k])
+			fns = append(fns, f.series[k].fn)
 		}
 		f.mu.RUnlock()
-		for _, s := range sers {
+		for si, s := range sers {
 			switch f.kind {
 			case kindCounter, kindGauge:
+				if fn := fns[si]; fn != nil {
+					if err := pr("%s%s %s\n", f.name, labelString(f.labels, s.labelValues), formatFloat(fn())); err != nil {
+						return total, err
+					}
+					continue
+				}
 				if err := pr("%s%s %d\n", f.name, labelString(f.labels, s.labelValues), s.val.Load()); err != nil {
 					return total, err
 				}

@@ -194,11 +194,35 @@ func (s *Span) Duration() time.Duration {
 // valid everywhere and records nothing.
 type Trace struct {
 	mu    sync.Mutex
+	id    string // W3C trace-id hex when request-scoped; "" otherwise
 	roots []*Span
 }
 
 // New returns an empty trace.
 func New() *Trace { return &Trace{} }
+
+// SetID attaches a request-scoped identity (the W3C trace-id hex) to the
+// trace. The engine archives a trace carrying an ID under that ID
+// (Archive.RunByTrace), so a served request's span tree is reachable from
+// its X-Request-Id. Nil-safe.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the attached identity ("" on nil or when never set).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
 
 // Start opens a top-level span. Nil-safe: on a nil trace it returns a nil
 // span, and every operation on that span is a no-op.
@@ -234,6 +258,7 @@ func (t *Trace) Release() {
 	t.mu.Lock()
 	roots := t.roots
 	t.roots = nil
+	t.id = ""
 	t.mu.Unlock()
 	for _, s := range roots {
 		s.free()

@@ -1,0 +1,102 @@
+package obs
+
+// W3C Trace Context support for the serving layer: parse and render the
+// `traceparent` header (version 00) so a request arriving with upstream
+// trace identity keeps it end to end, and mint fresh identifiers for
+// requests that arrive without one. The trace-id hex doubles as the
+// X-Request-Id the server returns, the key wide events carry, and the
+// handle the run-history archive indexes traces under (Archive.RunByTrace).
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext is one W3C trace-context triple: the trace identity shared
+// by every span of a distributed request, the current span's identity, and
+// the trace flags (bit 0 = sampled).
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// ctxSeq de-correlates fallback identifiers if crypto/rand ever fails
+// (it effectively cannot on the platforms we run on).
+var ctxSeq atomic.Uint64
+
+// randomBytes fills b from crypto/rand, falling back to a time+sequence
+// pattern rather than returning the all-zero value the spec forbids.
+func randomBytes(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		seed := uint64(time.Now().UnixNano()) ^ (ctxSeq.Add(1) << 32)
+		for i := 0; i < len(b); i += 8 {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], seed+uint64(i))
+			copy(b[i:], buf[:])
+		}
+	}
+}
+
+// NewTraceContext mints a fresh sampled trace context.
+func NewTraceContext() TraceContext {
+	var tc TraceContext
+	randomBytes(tc.TraceID[:])
+	randomBytes(tc.SpanID[:])
+	tc.Flags = 0x01
+	return tc
+}
+
+// WithNewSpan returns the same trace with a freshly minted span ID — what a
+// server does before propagating downstream or answering the caller.
+func (tc TraceContext) WithNewSpan() TraceContext {
+	randomBytes(tc.SpanID[:])
+	return tc
+}
+
+// TraceIDString returns the 32-hex-digit trace ID.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString returns the 16-hex-digit span ID.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// Traceparent renders the version-00 header value:
+// 00-<trace-id>-<span-id>-<flags>.
+func (tc TraceContext) Traceparent() string {
+	return "00-" + hex.EncodeToString(tc.TraceID[:]) +
+		"-" + hex.EncodeToString(tc.SpanID[:]) +
+		"-" + hex.EncodeToString([]byte{tc.Flags})
+}
+
+// ParseTraceparent parses a version-00 traceparent header. It rejects the
+// malformed and the forbidden (all-zero trace or span ID, unknown length);
+// per the spec an unparseable header is ignored and the callee starts a new
+// trace, which is exactly what the (zero, false) return tells callers to do.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	var tc TraceContext
+	// 2 (version) + 1 + 32 (trace-id) + 1 + 16 (span-id) + 1 + 2 (flags).
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, false
+	}
+	if h[0] != '0' || h[1] != '0' { // only version 00 is understood
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(h[3:35])); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(h[36:52])); err != nil {
+		return TraceContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return TraceContext{}, false
+	}
+	tc.Flags = flags[0]
+	if tc.TraceID == ([16]byte{}) || tc.SpanID == ([8]byte{}) {
+		return TraceContext{}, false
+	}
+	return tc, true
+}

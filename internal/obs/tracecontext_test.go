@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	const header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, ok := ParseTraceparent(header)
+	if !ok {
+		t.Fatalf("valid header rejected: %q", header)
+	}
+	if tc.Traceparent() != header {
+		t.Fatalf("round trip: %q != %q", tc.Traceparent(), header)
+	}
+	if tc.TraceIDString() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %q", tc.TraceIDString())
+	}
+	if tc.SpanIDString() != "00f067aa0ba902b7" {
+		t.Fatalf("span id = %q", tc.SpanIDString())
+	}
+
+	// A child context keeps the trace ID and flags but gets a new span ID.
+	child := tc.WithNewSpan()
+	if child.TraceIDString() != tc.TraceIDString() {
+		t.Fatal("WithNewSpan changed the trace ID")
+	}
+	if child.SpanIDString() == tc.SpanIDString() {
+		t.Fatal("WithNewSpan kept the parent span ID")
+	}
+	if child.Flags != tc.Flags {
+		t.Fatal("WithNewSpan changed the flags")
+	}
+}
+
+func TestParseTraceparentRejectsInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",    // short flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // all-zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // all-zero span
+		"00-4bf92f3577b34da6a3ce929d0e0eXXXX-00f067aa0ba902b7-01",   // bad hex
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad dash
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-0", // too long
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("accepted invalid traceparent %q", h)
+		}
+	}
+}
+
+func TestNewTraceContextIsSampledAndUnique(t *testing.T) {
+	a := NewTraceContext()
+	b := NewTraceContext()
+	if a.Flags&0x01 == 0 {
+		t.Fatal("fresh context not flagged sampled")
+	}
+	if a.TraceIDString() == b.TraceIDString() {
+		t.Fatal("two fresh contexts share a trace ID")
+	}
+	h := a.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("malformed traceparent %q", h)
+	}
+	if back, ok := ParseTraceparent(h); !ok || back != a {
+		t.Fatalf("self round trip failed: %q", h)
+	}
+}

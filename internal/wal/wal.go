@@ -53,16 +53,17 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/faultpoint"
 )
 
 // Frame layout constants.
 const (
-	headerBytes = 8               // length + CRC
-	maxRecord   = 64 << 20        // implausible-length guard (64 MiB)
-	segPattern  = "wal-%08d.log"  // segment file name
-	segGlob     = "wal-*.log"     // segment discovery glob
+	headerBytes = 8              // length + CRC
+	maxRecord   = 64 << 20       // implausible-length guard (64 MiB)
+	segPattern  = "wal-%08d.log" // segment file name
+	segGlob     = "wal-*.log"    // segment discovery glob
 )
 
 // DefaultSegmentBytes is the rotation threshold when Options leaves
@@ -106,11 +107,19 @@ type Options struct {
 	SyncEvery int
 	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
 	SegmentBytes int64
-	// OnAppend, when non-nil, fires after each durably-accepted append —
-	// the hook the facade wires to its appends counter.
-	OnAppend func()
-	// OnFsync, when non-nil, fires after each successful fsync.
-	OnFsync func()
+	// OnAppend, when non-nil, fires after each durably-accepted append with
+	// the wall time the append spent inside the log (frame write plus any
+	// policy-driven fsync or rotation) — the hook the facade wires to its
+	// append counter and latency histogram. The package stays free of any
+	// observability dependency; hooks carry durations, the facade decides
+	// what to do with them.
+	OnAppend func(time.Duration)
+	// OnFsync, when non-nil, fires after each successful fsync with the
+	// fsync's own wall time.
+	OnFsync func(time.Duration)
+	// OnRotate, when non-nil, fires after each segment rotation with the
+	// rotation's wall time (sealing sync + close + next-segment open).
+	OnRotate func(time.Duration)
 }
 
 func (o Options) segmentBytes() int64 {
@@ -309,6 +318,7 @@ func (l *Log) Append(typ byte, payload []byte) error {
 	case l.wedged:
 		return ErrWedged
 	}
+	start := time.Now()
 	if l.size >= l.opts.segmentBytes() && l.size > 0 {
 		if err := l.rotateLocked(); err != nil {
 			return err
@@ -347,7 +357,7 @@ func (l *Log) Append(typ byte, payload []byte) error {
 		}
 	}
 	if l.opts.OnAppend != nil {
-		l.opts.OnAppend()
+		l.opts.OnAppend(time.Since(start))
 	}
 	return nil
 }
@@ -360,13 +370,14 @@ func (l *Log) syncLocked(rollbackTo int64) error {
 		l.rollbackLocked(rollbackTo)
 		return err
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.rollbackLocked(rollbackTo)
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	l.sinceSync = 0
 	if l.opts.OnFsync != nil {
-		l.opts.OnFsync()
+		l.opts.OnFsync(time.Since(start))
 	}
 	return nil
 }
@@ -393,11 +404,12 @@ func (l *Log) rotateLocked() error {
 	if err := faultpoint.Hit("wal.rotate"); err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sealing segment %d: %w", l.seg, err)
 	}
 	if l.opts.OnFsync != nil {
-		l.opts.OnFsync()
+		l.opts.OnFsync(time.Since(start))
 	}
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: sealing segment %d: %w", l.seg, err)
@@ -407,6 +419,9 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: opening segment %d: %w", l.seg+1, err)
 	}
 	l.f, l.seg, l.size, l.sinceSync = f, l.seg+1, 0, 0
+	if l.opts.OnRotate != nil {
+		l.opts.OnRotate(time.Since(start))
+	}
 	return nil
 }
 
@@ -433,9 +448,10 @@ func (l *Log) Close() error {
 	l.closed = true
 	var syncErr error
 	if !l.wedged {
+		start := time.Now()
 		syncErr = l.f.Sync()
 		if syncErr == nil && l.opts.OnFsync != nil {
-			l.opts.OnFsync()
+			l.opts.OnFsync(time.Since(start))
 		}
 	}
 	if err := l.f.Close(); err != nil {

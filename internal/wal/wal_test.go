@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/faultpoint"
 )
@@ -124,7 +125,7 @@ func TestTruncateAtEveryOffset(t *testing.T) {
 	lg, _, _ := collect(t, master, Options{})
 	var offsets []int64 // committed size after each record
 	for i := 0; i < n; i++ {
-		if err := lg.Append(byte(i + 1), []byte(fmt.Sprintf("record-%d-payload", i))); err != nil {
+		if err := lg.Append(byte(i+1), []byte(fmt.Sprintf("record-%d-payload", i))); err != nil {
 			t.Fatalf("Append: %v", err)
 		}
 		offsets = append(offsets, lg.Size())
@@ -388,7 +389,7 @@ func TestSyncPolicies(t *testing.T) {
 		t.Run(policy.String(), func(t *testing.T) {
 			dir := t.TempDir()
 			fsyncs := 0
-			opts := Options{Policy: policy, SyncEvery: 4, OnFsync: func() { fsyncs++ }}
+			opts := Options{Policy: policy, SyncEvery: 4, OnFsync: func(time.Duration) { fsyncs++ }}
 			lg, _, err := Open(dir, opts, nil)
 			if err != nil {
 				t.Fatalf("Open: %v", err)

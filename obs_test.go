@@ -458,6 +458,7 @@ func TestExecStatsStringComplete(t *testing.T) {
 		AccessPath: "INDEX PROBE t(c)", EstRows: 8, CompileWall: time.Millisecond,
 		ExecWall: time.Millisecond, StrategyUsed: StrategySQL,
 		Degradations: 1, BreakerSkips: 1, BreakerTrips: 1, PanicsRecovered: 1,
+		GovTicks: 1,
 	}
 	line := full.String()
 	for field, token := range statsFieldTokens {

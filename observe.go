@@ -7,6 +7,7 @@ package xsltdb
 // the process-wide aggregation those runs feed.
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -50,9 +51,80 @@ var (
 		"Records appended to the write-ahead log.")
 	mWalFsyncs = obs.Default.NewCounter("xsltdb_wal_fsyncs_total",
 		"fsync calls issued by the write-ahead log.")
+	mWalAppendSeconds = obs.Default.NewHistogram("xsltdb_wal_append_seconds",
+		"Wall time of one WAL append (frame write plus any policy-driven fsync or rotation).",
+		walLatencyBuckets)
+	mWalFsyncSeconds = obs.Default.NewHistogram("xsltdb_wal_fsync_seconds",
+		"Wall time of one WAL fsync call.", walLatencyBuckets)
+	mWalRotations = obs.Default.NewCounter("xsltdb_wal_rotations_total",
+		"WAL segment rotations (seal + open next segment).")
+	mWalRotateSeconds = obs.Default.NewHistogram("xsltdb_wal_rotate_seconds",
+		"Wall time of one WAL segment rotation.", walLatencyBuckets)
 	mWalReplaySeconds = obs.Default.NewHistogram("xsltdb_wal_replay_seconds",
 		"Wall time of WAL replay during Database.Open crash recovery.", nil)
 )
+
+func init() {
+	obs.Default.NewGaugeFunc("xsltdb_snapshot_pin_oldest_age_seconds",
+		"Age of the oldest MVCC snapshot pin still held by an in-flight run or open cursor (0 when none).",
+		snapPins.oldestAgeSeconds)
+}
+
+// walLatencyBuckets resolve the microsecond-to-millisecond range WAL IO
+// lives in; the default buckets start at 1ms and would flatten it.
+var walLatencyBuckets = []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1}
+
+// snapPins tracks every live MVCC snapshot pin with its acquisition time so
+// the oldest-pin-age gauge can expose long-held snapshots (a stuck cursor
+// keeps old versions alive; age is the signal, count alone is not).
+var snapPins = &pinTracker{pins: map[uint64]time.Time{}}
+
+type pinTracker struct {
+	mu   sync.Mutex
+	seq  uint64
+	pins map[uint64]time.Time
+}
+
+// pin registers a new snapshot pin and bumps the pin-count gauge.
+func (p *pinTracker) pin() uint64 {
+	p.mu.Lock()
+	p.seq++
+	id := p.seq
+	p.pins[id] = time.Now()
+	p.mu.Unlock()
+	mSnapshotPins.Inc()
+	return id
+}
+
+// unpin releases a pin taken with pin.
+func (p *pinTracker) unpin(id uint64) {
+	p.mu.Lock()
+	delete(p.pins, id)
+	p.mu.Unlock()
+	mSnapshotPins.Dec()
+}
+
+func (p *pinTracker) oldestAgeSeconds() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var oldest time.Time
+	for _, t := range p.pins {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest).Seconds()
+}
+
+// WALCounters reports the process-wide WAL append and fsync totals. The
+// serving layer reads them before and after a request to attribute WAL
+// activity to the wide event it emits for that request.
+func WALCounters() (appends, fsyncs int64) {
+	return mWalAppends.Value(), mWalFsyncs.Value()
+}
 
 // recordRunMetrics folds one finished execution into the process-wide
 // instruments. err is the run's terminal error (nil for success; cursor
@@ -93,6 +165,10 @@ type SlowRun struct {
 	Trace string
 	// TraceJSON is the same trace in JSON, for structured log pipelines.
 	TraceJSON []byte
+	// TraceID is the request's W3C trace identity when the run executed on
+	// behalf of a served request ("" otherwise) — it joins the slow-run log
+	// record to the request's wide event and archived span tree.
+	TraceID string
 }
 
 // emitSlowRun reports one finished execution to the slow-run sink when it
@@ -114,6 +190,7 @@ func emitSlowRun(threshold time.Duration, sink func(SlowRun), view string, tr *o
 		Threshold: threshold,
 		Stats:     *es,
 		Trace:     tr.Tree(),
+		TraceID:   tr.ID(),
 	}
 	if b, jerr := tr.JSON(); jerr == nil {
 		sr.TraceJSON = b

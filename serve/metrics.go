@@ -27,6 +27,20 @@ var (
 		"Requests shed with 429 by reason (quota, latency).", "reason")
 	mInFlight = obs.Default.NewGauge("xsltd_inflight_executions",
 		"Transform executions currently running on behalf of HTTP requests.")
+	mTenantRequestSeconds = obs.Default.NewHistogramVec("xsltd_tenant_request_seconds",
+		"End-to-end HTTP request latency in seconds, by tenant.", nil, "tenant")
+	mTenantSheds = obs.Default.NewCounterVec("xsltd_tenant_sheds_total",
+		"Requests shed with 429, by tenant and reason (quota, latency).", "tenant", "reason")
+	mTenantCacheHits = obs.Default.NewCounterVec("xsltd_tenant_cache_hits_total",
+		"Requests served from the result cache, by tenant.", "tenant")
+	mSLOBurnRate = obs.Default.NewGaugeVec("xsltd_slo_burn_rate_milli",
+		"Per-tenant SLO burn rate ×1000 over the sliding request window: "+
+			"1000 means errors are arriving exactly at the rate the objective's "+
+			"error budget allows; above that the budget is burning down.", "tenant")
+	mEventsPublished = obs.Default.NewCounter("xsltd_events_published_total",
+		"Wide events accepted by the event bus.")
+	mEventsDropped = obs.Default.NewCounter("xsltd_events_dropped_total",
+		"Wide events dropped because the event-bus buffer was full.")
 )
 
 // writeJSON renders v indented, matching the debug console's style.

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // Config wires a Server. DB is required; everything else defaults sanely.
@@ -54,6 +55,34 @@ type Config struct {
 	Window int
 	// RetryAfter is the hint returned with every 429 (default 1s).
 	RetryAfter time.Duration
+
+	// EnableEvents turns on the wide-event pipeline: one structured event
+	// per request through a bounded async bus that never blocks the request
+	// path. Implied when EventSinks is non-empty. The console ring sink
+	// (/events) is always attached when the pipeline is on.
+	EnableEvents bool
+	// EventSinks are additional sinks (NDJSON file, OTLP exporter) the bus
+	// fans out to.
+	EventSinks []obs.EventSink
+	// EventBuffer bounds the bus (0 = obs.DefaultEventBuffer). Events beyond
+	// a full buffer are dropped and counted, never waited for.
+	EventBuffer int
+	// EventSampling selects which requests emit wide events. The zero value
+	// emits one per request; SampleRatio/SampleSlowerThan/SampleErrors thin
+	// the stream the same way trace sampling thins the archive.
+	EventSampling xsltdb.TraceSampling
+	// TraceSampling selects which requests — beyond those arriving with a
+	// traceparent header, which are always traced — carry an engine trace
+	// into the run-history archive. The zero value traces only
+	// traceparent-supplied requests.
+	TraceSampling xsltdb.TraceSampling
+	// SLOTarget is the per-request latency objective for the SLO burn-rate
+	// gauge: a request slower than this (or failed) spends error budget.
+	// Defaults to TargetP95; 0 with no TargetP95 counts only failures.
+	SLOTarget time.Duration
+	// SLOObjective is the fraction of requests that must meet the target
+	// (default 0.99).
+	SLOObjective float64
 }
 
 // Server serves registered transforms over HTTP. Create with New, register
@@ -64,6 +93,14 @@ type Server struct {
 	window *latencyWindow
 	cache  *resultCache
 	global chan struct{} // global in-flight slots, nil = unlimited
+
+	// events is the wide-event bus (nil = pipeline off); eventsRing backs
+	// the console's /events page; slo tracks per-tenant burn rates;
+	// telemetrySeq numbers requests for the sampling policies.
+	events       *obs.EventBus
+	eventsRing   *obs.RingSink
+	slo          *sloTracker
+	telemetrySeq atomic.Uint64
 
 	mu         sync.RWMutex
 	transforms map[string]*transformDef
@@ -144,7 +181,43 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight > 0 {
 		s.global = make(chan struct{}, cfg.MaxInFlight)
 	}
+	if cfg.EnableEvents || len(cfg.EventSinks) > 0 {
+		s.eventsRing = obs.NewRingSink(0)
+		sinks := append(append([]obs.EventSink{}, cfg.EventSinks...), s.eventsRing)
+		s.events = obs.NewEventBus(cfg.EventBuffer, mEventsDropped.Inc, sinks...)
+	}
+	sloTarget := cfg.SLOTarget
+	if sloTarget == 0 {
+		sloTarget = cfg.TargetP95
+	}
+	s.slo = newSLOTracker(sloTarget, cfg.SLOObjective, cfg.Window)
 	return s, nil
+}
+
+// Close flushes and stops the wide-event pipeline. Requests may still be
+// served afterwards; their events are dropped and counted.
+func (s *Server) Close() {
+	s.events.Close()
+}
+
+// EventBus exposes the server's event bus (nil when events are disabled) —
+// tests and shutdown paths use it to Flush deterministically.
+func (s *Server) EventBus() *obs.EventBus { return s.events }
+
+// EventsPage is the console's /events payload: bus counters plus the most
+// recent events, newest first.
+type EventsPage struct {
+	Bus    obs.EventBusStats `json:"bus"`
+	Recent []obs.Event       `json:"recent"`
+}
+
+// EventsState snapshots the event pipeline for the console's /events page;
+// nil when events are disabled.
+func (s *Server) EventsState(n int) *EventsPage {
+	if s.events == nil {
+		return nil
+	}
+	return &EventsPage{Bus: s.events.Stats(), Recent: s.eventsRing.Recent(n)}
 }
 
 // RegisterTransform exposes stylesheet over view as /v1/transform/<name>.
@@ -187,9 +260,13 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Console returns the engine debug console with the serving layer's
-// /tenants section attached.
+// /tenants and /events sections attached.
 func (s *Server) Console() http.Handler {
-	return s.db.ConsoleHandlerWithTenants(func() any { return s.TenantsState() })
+	var events func(n int) any
+	if s.events != nil {
+		events = func(n int) any { return s.EventsState(n) }
+	}
+	return s.db.ConsoleHandlerWithServing(func() any { return s.TenantsState() }, events)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -225,11 +302,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// handleTransform is the hot path: resolve tenant → try the result cache →
-// join or lead a coalesced execution (admission control applies to leaders
-// only; followers add no load).
+// handleTransform is the hot path: establish trace identity → resolve
+// tenant → try the result cache → join or lead a coalesced execution
+// (admission control applies to leaders only; followers add no load). Every
+// path through the handler ends in exactly one finishTelemetry call, which
+// publishes the request's wide event.
 func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
 	name := strings.TrimPrefix(r.URL.Path, "/v1/transform/")
 	s.mu.RLock()
 	def := s.transforms[name]
@@ -243,27 +321,44 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ts := s.tenantState(tenant, lim)
+	tel := s.beginTelemetry(r, def, tenant)
+	// The response always carries the request's identity: X-Request-Id is
+	// the trace ID (the console key), traceparent the propagated context.
+	w.Header().Set("X-Request-Id", tel.id)
+	w.Header().Set("Traceparent", tel.tc.Traceparent())
+	w.Header().Set("X-Xsltd-Tenant", tenant)
+
 	runOpts, keyParams, err := parseRunArgs(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.finishTelemetry(tel, tenant, "error", http.StatusBadRequest, err, nil)
 		return
 	}
 
 	key := s.execKey(def, keyParams)
 
-	w.Header().Set("X-Xsltd-Tenant", tenant)
 	if rows, ok := s.cache.get(key); ok {
 		ts.cacheHits.Add(1)
 		ts.served.Add(1)
 		mResultCacheHits.Inc()
-		s.finish(w, start, tenant, "cache-hit", rows, http.StatusOK, "hit", "")
+		mTenantCacheHits.With(tenant).Inc()
+		if sp := tel.root.Start("cache"); sp != nil {
+			sp.SetAttr("outcome", "hit")
+			sp.End()
+		}
+		tel.ev.Cache = "hit"
+		tel.ev.Rows = int64(len(rows))
+		s.writeRows(w, tel.start, tenant, "cache-hit", rows, "hit", "")
+		s.finishTelemetry(tel, tenant, "cache-hit", http.StatusOK, nil, nil)
 		return
 	}
 	mResultCacheMisses.Inc()
+	tel.ev.Cache = "miss"
 
-	rows, stats, role, err := s.execute(r, def, tenant, ts, lim, key, runOpts)
+	rows, stats, role, err := s.execute(r, def, tenant, ts, lim, key, runOpts, tel)
+	tel.ev.Coalesce = role
 	if err != nil {
-		s.window.record(time.Since(start))
+		s.window.record(time.Since(tel.start))
 		if errors.Is(err, errShedQuota) || errors.Is(err, errShedLatency) {
 			ts.shed.Add(1)
 			reason := "quota"
@@ -271,15 +366,23 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 				reason = "latency"
 			}
 			mSheds.With(reason).Inc()
+			mTenantSheds.With(tenant, reason).Inc()
+			tel.ev.ShedReason = reason
 			w.Header().Set("Retry-After",
 				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			http.Error(w, err.Error()+requestIDSuffix(tel), http.StatusTooManyRequests)
 			mRequests.With(tenant, "shed").Inc()
+			s.finishTelemetry(tel, tenant, "shed", http.StatusTooManyRequests, err, nil)
 			return
 		}
 		status := statusFor(err)
-		http.Error(w, err.Error(), status)
+		body := err.Error()
+		if status >= 500 {
+			body += requestIDSuffix(tel)
+		}
+		http.Error(w, body, status)
 		mRequests.With(tenant, "error").Inc()
+		s.finishTelemetry(tel, tenant, "error", status, err, &stats)
 		return
 	}
 	if role == "follower" {
@@ -288,17 +391,18 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Xsltd-Coalesced", "1")
 	}
 	ts.served.Add(1)
-	s.finish(w, start, tenant, "ok", rows, http.StatusOK, "miss", stats.StrategyUsed.String())
+	s.writeRows(w, tel.start, tenant, "ok", rows, "miss", stats.StrategyUsed.String())
+	s.finishTelemetry(tel, tenant, "ok", http.StatusOK, nil, &stats)
 }
 
-// finish writes a successful response and records its latency.
-func (s *Server) finish(w http.ResponseWriter, start time.Time, tenant, outcome string, rows []string, status int, cache, strategy string) {
+// writeRows writes a successful response and records its latency.
+func (s *Server) writeRows(w http.ResponseWriter, start time.Time, tenant, outcome string, rows []string, cache, strategy string) {
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	w.Header().Set("X-Xsltd-Cache", cache)
 	if strategy != "" {
 		w.Header().Set("X-Xsltd-Strategy", strategy)
 	}
-	w.WriteHeader(status)
+	w.WriteHeader(http.StatusOK)
 	for _, row := range rows {
 		_, _ = w.Write([]byte(row))
 		_, _ = w.Write([]byte("\n"))
@@ -318,16 +422,25 @@ var (
 // execute coalesces: the first request for key becomes the leader and runs
 // the transform under admission control; concurrent identical requests wait
 // on the leader's flightCall and share its rows without adding any load.
-func (s *Server) execute(r *http.Request, def *transformDef, tenant string, ts *tenantState, lim xsltdb.TenantLimits, key string, runOpts []xsltdb.RunOption) ([]string, xsltdb.ExecStats, string, error) {
+// tel receives the serve-layer spans — coalesce role, admission decision —
+// and, on the leader, threads the request's trace into the engine run so
+// the archived span tree covers HTTP → strategy → operators.
+func (s *Server) execute(r *http.Request, def *transformDef, tenant string, ts *tenantState, lim xsltdb.TenantLimits, key string, runOpts []xsltdb.RunOption, tel *reqTel) ([]string, xsltdb.ExecStats, string, error) {
 	s.flightMu.Lock()
 	if c, ok := s.flight[key]; ok {
 		c.shared.Add(1) // counted on join, so a blocked follower is observable
 		s.flightMu.Unlock()
+		sp := tel.root.Start("coalesce")
+		sp.SetAttr("role", "follower")
 		select {
 		case <-c.done:
+			sp.End()
 			return c.rows, c.stats, "follower", c.err
 		case <-r.Context().Done():
-			return nil, xsltdb.ExecStats{}, "follower", fmt.Errorf("serve: %w", r.Context().Err())
+			err := fmt.Errorf("serve: %w", r.Context().Err())
+			sp.Fail(err)
+			sp.End()
+			return nil, xsltdb.ExecStats{}, "follower", err
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
@@ -339,18 +452,29 @@ func (s *Server) execute(r *http.Request, def *transformDef, tenant string, ts *
 		s.flightMu.Unlock()
 		close(c.done)
 	}()
+	if sp := tel.root.Start("coalesce"); sp != nil {
+		sp.SetAttr("role", "leader")
+		sp.End()
+	}
 
 	// Leader admission: latency shedding first (cheapest check), then the
 	// tenant's slot, then a global slot.
+	adm := tel.root.Start("admission")
 	if s.cfg.TargetP95 > 0 && s.window.p95() > s.cfg.TargetP95 {
 		c.err = errShedLatency
+		adm.SetAttr("decision", "shed-latency")
+		adm.End()
 		return nil, xsltdb.ExecStats{}, "leader", c.err
 	}
 	release, err := s.admit(ts)
 	if err != nil {
 		c.err = err
+		adm.SetAttr("decision", "shed-quota")
+		adm.End()
 		return nil, xsltdb.ExecStats{}, "leader", err
 	}
+	adm.SetAttr("decision", "admitted")
+	adm.End()
 	defer release()
 
 	ct, err := s.compiledFor(def, tenant, lim)
@@ -361,11 +485,18 @@ func (s *Server) execute(r *http.Request, def *transformDef, tenant string, ts *
 	if gate := s.execGate; gate != nil {
 		gate()
 	}
+	if tel.tr != nil {
+		runOpts = append(runOpts, xsltdb.WithTrace(tel.tr))
+	}
 	mInFlight.Inc()
 	res, err := ct.Run(r.Context(), runOpts...)
 	mInFlight.Dec()
 	if err != nil {
 		c.err = err
+		if res != nil {
+			c.stats = res.Stats
+			return nil, res.Stats, "leader", err
+		}
 		return nil, xsltdb.ExecStats{}, "leader", err
 	}
 	c.rows, c.stats = res.Rows, res.Stats

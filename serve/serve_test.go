@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/sqlxml"
 	"repro/internal/xslt"
 )
@@ -441,5 +442,171 @@ func TestConsoleTenants(t *testing.T) {
 	resp, body := get(t, console, "/tenants", nil)
 	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"served": 1`) {
 		t.Fatalf("/tenants = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestEndToEndTelemetry follows one request's identity through every layer:
+// the supplied W3C traceparent comes back as X-Request-Id and as the parent
+// of the response's own traceparent, the wide event published for the
+// request carries the serving outcome and latency breakdown under that same
+// trace ID, and the console resolves /runs/<trace-id> to the archived engine
+// span tree.
+func TestEndToEndTelemetry(t *testing.T) {
+	d, s := newDeptServer(t, Config{EnableEvents: true})
+	defer s.Close()
+	d.EnableRunHistory(0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const parent = "00-" + traceID + "-00f067aa0ba902b7-01"
+	resp, body := get(t, ts, "/v1/transform/paper", map[string]string{"traceparent": parent})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d body %q", resp.StatusCode, body)
+	}
+
+	// The caller's trace ID is the request's identity end to end.
+	if got := resp.Header.Get("X-Request-Id"); got != traceID {
+		t.Fatalf("X-Request-Id = %q, want %q", got, traceID)
+	}
+	back, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", resp.Header.Get("Traceparent"))
+	}
+	if back.TraceIDString() != traceID {
+		t.Fatalf("response traceparent trace = %q, want %q", back.TraceIDString(), traceID)
+	}
+	if back.SpanIDString() == "00f067aa0ba902b7" {
+		t.Fatal("response traceparent must carry the server's own span ID")
+	}
+
+	// Exactly one wide event, carrying the serving outcome, engine work, and
+	// latency breakdown under the same identity.
+	s.EventBus().Flush()
+	recent := s.EventsState(10).Recent
+	if len(recent) != 1 {
+		t.Fatalf("events = %+v, want exactly 1", recent)
+	}
+	ev := recent[0]
+	if ev.TraceID != traceID || ev.RequestID != traceID {
+		t.Fatalf("event identity = %q/%q, want %q", ev.TraceID, ev.RequestID, traceID)
+	}
+	if ev.Outcome != "ok" || ev.Status != http.StatusOK {
+		t.Fatalf("event outcome = %q status %d", ev.Outcome, ev.Status)
+	}
+	if ev.Cache != "miss" || ev.Coalesce != "leader" {
+		t.Fatalf("event cache/coalesce = %q/%q, want miss/leader", ev.Cache, ev.Coalesce)
+	}
+	if ev.Transform != "paper" || ev.View != "dept_emp" {
+		t.Fatalf("event identity fields = %+v", ev)
+	}
+	if ev.Rows <= 0 || ev.Strategy == "" {
+		t.Fatalf("event engine fields = %+v", ev)
+	}
+	if ev.TotalNS <= 0 || ev.ExecNS <= 0 || ev.TotalNS < ev.ExecNS {
+		t.Fatalf("event latency breakdown = total %d exec %d", ev.TotalNS, ev.ExecNS)
+	}
+	if ev.RunID == 0 {
+		t.Fatal("event not joined to the archived run")
+	}
+
+	// The console resolves the trace ID to the archived run and its spans.
+	console := httptest.NewServer(s.Console())
+	defer console.Close()
+	resp, runBody := get(t, console, "/runs/"+traceID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/runs/%s = %d %q", traceID, resp.StatusCode, runBody)
+	}
+	for _, want := range []string{traceID, `"http"`, `"run"`} {
+		if !strings.Contains(runBody, want) {
+			t.Fatalf("/runs/%s missing %s:\n%s", traceID, want, runBody)
+		}
+	}
+	resp, evBody := get(t, console, "/events", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(evBody, traceID) {
+		t.Fatalf("/events = %d, missing trace %s:\n%s", resp.StatusCode, traceID, evBody)
+	}
+
+	// A repeat request hits the cache; without a caller traceparent the
+	// server mints a fresh identity, and the event says cache-hit.
+	resp, _ = get(t, ts, "/v1/transform/paper", nil)
+	if resp.Header.Get("X-Xsltd-Cache") != "hit" {
+		t.Fatal("second request should hit the cache")
+	}
+	freshID := resp.Header.Get("X-Request-Id")
+	if len(freshID) != 32 || freshID == traceID {
+		t.Fatalf("minted X-Request-Id = %q", freshID)
+	}
+	s.EventBus().Flush()
+	recent = s.EventsState(1).Recent
+	if len(recent) != 1 || recent[0].Outcome != "cache-hit" || recent[0].Cache != "hit" {
+		t.Fatalf("cache-hit event = %+v", recent)
+	}
+	if recent[0].TraceID != freshID {
+		t.Fatalf("cache-hit event trace = %q, want %q", recent[0].TraceID, freshID)
+	}
+}
+
+// TestShedBodyCarriesRequestID: a 429 body quotes the request ID so a caller
+// holding only the error text can hand an operator the exact request, and
+// the shed is visible in the wide event and the per-tenant shed counter.
+func TestShedBodyCarriesRequestID(t *testing.T) {
+	d, s := newDeptServer(t, Config{
+		EnableEvents: true,
+		APIKeys:      map[string]string{"key-a": "alpha"},
+	})
+	defer s.Close()
+	if err := d.RegisterTenant("alpha", xsltdb.TenantLimits{MaxConcurrent: 1}); err != nil {
+		t.Fatal(err)
+	}
+	gateReached := make(chan struct{}, 1)
+	releaseGate := make(chan struct{})
+	var firstExec atomic.Bool
+	s.execGate = func() {
+		if firstExec.CompareAndSwap(false, true) {
+			gateReached <- struct{}{}
+			<-releaseGate
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan reply1, 1)
+	go func() {
+		resp, body := get(t, ts, "/v1/transform/paper?p.i=0", map[string]string{"X-Api-Key": "key-a"})
+		done <- reply1{resp.StatusCode, body}
+	}()
+	<-gateReached
+
+	resp, body := get(t, ts, "/v1/transform/paper?p.i=1", map[string]string{"X-Api-Key": "key-a"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d body %q", resp.StatusCode, body)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if len(reqID) != 32 {
+		t.Fatalf("shed response X-Request-Id = %q", reqID)
+	}
+	if !strings.Contains(body, "request_id "+reqID) {
+		t.Fatalf("429 body %q does not quote request_id %s", body, reqID)
+	}
+
+	close(releaseGate)
+	if r := <-done; r.status != http.StatusOK {
+		t.Fatalf("in-flight request finished %d body %q", r.status, r.body)
+	}
+
+	s.EventBus().Flush()
+	recent := s.EventsState(10).Recent
+	var shed *obs.Event
+	for i := range recent {
+		if recent[i].Outcome == "shed" {
+			shed = &recent[i]
+		}
+	}
+	if shed == nil {
+		t.Fatalf("no shed event in %+v", recent)
+	}
+	if shed.TraceID != reqID || shed.Status != http.StatusTooManyRequests || shed.ShedReason == "" || shed.Tenant != "alpha" {
+		t.Fatalf("shed event = %+v", shed)
 	}
 }

@@ -68,6 +68,9 @@ type ExecStats struct {
 	// boundary during this run (surfaced as ErrInternal, possibly handled
 	// by degradation).
 	PanicsRecovered int64
+	// GovTicks counts resource-governor check ticks charged to this run
+	// (0 when the transform ran without a governor).
+	GovTicks int64
 }
 
 // mergeSink folds physical-operator counters into the stats.
@@ -107,6 +110,7 @@ var statsFieldTokens = map[string]string{
 	"BreakerSkips":    "breaker-skips=",
 	"BreakerTrips":    "breaker-trips=",
 	"PanicsRecovered": "panics=",
+	"GovTicks":        "gov-ticks=",
 }
 
 // String renders the stats in one line (CLI -stats output). Robustness
@@ -125,6 +129,9 @@ func (s ExecStats) String() string {
 	if s.Degradations > 0 || s.BreakerSkips > 0 || s.BreakerTrips > 0 || s.PanicsRecovered > 0 {
 		line += fmt.Sprintf(" strategy=%s degradations=%d breaker-skips=%d breaker-trips=%d panics=%d",
 			s.StrategyUsed, s.Degradations, s.BreakerSkips, s.BreakerTrips, s.PanicsRecovered)
+	}
+	if s.GovTicks > 0 {
+		line += fmt.Sprintf(" gov-ticks=%d", s.GovTicks)
 	}
 	return line
 }

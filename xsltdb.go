@@ -818,8 +818,8 @@ func (ct *CompiledTransform) Run(ctx context.Context, opts ...RunOption) (*Resul
 		root.Fail(err)
 		return nil, err
 	}
-	mSnapshotPins.Inc()
-	defer mSnapshotPins.Dec()
+	pin := snapPins.pin()
+	defer snapPins.unpin(pin)
 	if ct.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, ct.opts.Timeout)
@@ -901,6 +901,7 @@ func (d *Database) runGoverned(ctx context.Context, st *planState, opts compileO
 		if attempt != nil {
 			attempt.SetAttr("gov_ticks", g.Ticks())
 		}
+		es.GovTicks += int64(g.Ticks())
 		if err == nil {
 			st.brk.success(s)
 			es.StrategyUsed = s
