@@ -7,6 +7,9 @@
 #   make crash    crash-recovery suite: WAL torn-tail/offset-sweep property
 #                 tests plus the durability and snapshot-isolation tests,
 #                 with IO faults injected, under -race
+#   make diag-smoke  flight-recorder smoke: faultpoint-induced WAL fsync
+#                 stall and latency-spike overload must each capture exactly
+#                 one complete bundle; plus the metric-naming lint
 #   make bench    the paper-evaluation benchmarks
 #   make bench-json  pushdown speedup measurements -> BENCH_pushdown.json
 #   make bench-obs   observability overhead guard  -> BENCH_obs.json
@@ -22,9 +25,9 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: verify test vet race fuzz faults crash bench bench-json bench-obs bench-obs-events bench-exec bench-history bench-wal bench-serve demo console serve
+.PHONY: verify test vet race fuzz faults crash diag-smoke bench bench-json bench-obs bench-obs-events bench-exec bench-history bench-wal bench-serve demo console serve
 
-verify: test vet race fuzz faults crash bench-exec bench-serve bench-obs-events
+verify: test vet race fuzz faults crash diag-smoke bench-exec bench-serve bench-obs-events
 
 test:
 	$(GO) build ./...
@@ -55,6 +58,13 @@ faults:
 crash:
 	$(GO) test -race ./internal/wal
 	$(GO) test -race -run 'TestOpenReopen|TestKillAndReplay|TestViewDDLSurvives|TestTornWrite|TestFsyncFault|TestRotateFault|TestCloseIdempotent|TestCloseDurable|TestConcurrentClose|TestGroupCommit|TestCursorIsolated|TestRunsRace|TestSnapshotPinsGauge' .
+
+# Flight-recorder smoke: boot with the recorder armed, induce a WAL fsync
+# stall (wal.fsync faultpoint) and a latency-spike overload, assert each
+# captures exactly one bundle with every section; lint metric names
+# (snake_case, xsltdb_/xsltd_ prefix, HELP text, counters end _total).
+diag-smoke:
+	$(GO) test -race -run 'TestDiagSmoke|TestDiagConsole|TestMetricNamingLint' ./serve
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx .

@@ -190,20 +190,42 @@ func (d *Database) ConsoleHandler() http.Handler {
 // the serving layer's per-tenant admission state (see the serve package);
 // tenants may be nil, leaving /tenants empty.
 func (d *Database) ConsoleHandlerWithTenants(tenants func() any) http.Handler {
-	return d.ConsoleHandlerWithServing(tenants, nil)
+	return d.ConsoleHandlerWith(ConsoleSections{Tenants: tenants})
 }
 
-// ConsoleHandlerWithServing is ConsoleHandler plus the serving layer's two
-// sections: /tenants (per-tenant admission state) and /events (recent wide
-// events, newest first). Either may be nil, leaving its endpoint empty.
-func (d *Database) ConsoleHandlerWithServing(tenants func() any, events func(n int) any) http.Handler {
+// ConsoleSections are the serving- and diagnostics-layer feeds a console can
+// attach on top of the engine's own sections. Every field may be nil,
+// leaving its endpoint empty. The funcs stay `any`-typed so the facade does
+// not depend on the serve package.
+type ConsoleSections struct {
+	// Tenants feeds /tenants: per-tenant admission state.
+	Tenants func() any
+	// Events feeds /events: up to n recent wide events, newest first,
+	// optionally restricted to one tenant and/or one 32-hex trace ID.
+	Events func(n int, tenant, trace string) any
+	// Anomalies feeds /debug/anomalies: the diagnostics monitor's detectors
+	// and recent anomalies.
+	Anomalies func(n int) any
+	// Bundles feeds GET /debug/bundle: retained diagnostic bundles.
+	Bundles func() any
+	// CaptureBundle serves POST /debug/bundle: capture a bundle now.
+	CaptureBundle func() (string, error)
+}
+
+// ConsoleHandlerWith is ConsoleHandler plus the serving and diagnostics
+// sections: /tenants, /events (with tenant/trace filters), /debug/anomalies,
+// and /debug/bundle.
+func (d *Database) ConsoleHandlerWith(s ConsoleSections) http.Handler {
 	return obs.ConsoleHandler(obs.ConsoleConfig{
-		Archive:  d.history.Load(),
-		Cards:    d.cards,
-		Registry: obs.Default,
-		Plans:    func() any { return d.PlanCacheEntries() },
-		Tenants:  tenants,
-		Events:   events,
+		Archive:       d.history.Load(),
+		Cards:         d.cards,
+		Registry:      obs.Default,
+		Plans:         func() any { return d.PlanCacheEntries() },
+		Tenants:       s.Tenants,
+		Events:        s.Events,
+		Anomalies:     s.Anomalies,
+		Bundles:       s.Bundles,
+		CaptureBundle: s.CaptureBundle,
 	})
 }
 

@@ -3,12 +3,14 @@ package main
 // The wide-event pipeline overhead benchmark (`xsltbench -events-overhead`,
 // part of `make bench-obs` and the verify chain): the cached serving mix
 // from the -serve benchmark run twice over loopback HTTP — events off versus
-// events on with an NDJSON sink writing to io.Discard — so the measured
-// delta is the full per-request telemetry cost (trace-context minting, event
-// assembly, bus publish, sink encode) on the cheapest request the server can
-// serve, where the relative overhead is largest. The guard fails the run if
-// events-on throughput is more than 3% below events-off. Results merge into
-// BENCH_obs.json alongside the trace-overhead measurement.
+// events on with an NDJSON sink writing to io.Discard AND the diagnostics
+// layer live (detector monitor on the bus, flight recorder armed) — so the
+// measured delta is the full per-request telemetry cost (trace-context
+// minting, event assembly, bus publish, sink encode, detector feeding) on
+// the cheapest request the server can serve, where the relative overhead is
+// largest. The guard fails the run if events-on throughput is more than 3%
+// below events-off. Results merge into BENCH_obs.json alongside the
+// trace-overhead measurement.
 
 import (
 	"encoding/json"
@@ -51,11 +53,19 @@ func benchEventsOverhead(reps, scale int, baselinePath string) {
 	// a few hundred milliseconds.
 	total := 8 * 400 * scale
 
+	// The events-on server also runs the diagnostics layer, so the <3% guard
+	// covers detector evaluation and the latency-spike window feed, not just
+	// event encode.
+	diagDir, err := os.MkdirTemp("", "xsltbench-diag-")
+	check(err)
+	defer os.RemoveAll(diagDir)
+
 	newServer := func(events bool) (*serve.Server, *httptest.Server) {
 		cfg := serve.Config{DB: db, CacheCapacity: 256}
 		if events {
 			cfg.EnableEvents = true
 			cfg.EventSinks = []obs.EventSink{obs.NewNDJSONSink(io.Discard)}
+			cfg.DiagDir = diagDir
 		}
 		srv, err := serve.New(cfg)
 		check(err)

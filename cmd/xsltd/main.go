@@ -7,6 +7,7 @@
 //	      [-cache n] [-max-inflight n] [-target-p95 d]
 //	      [-events-file path] [-events-otlp url] [-events-buffer n]
 //	      [-slo-target d] [-slo-objective f]
+//	      [-diag-dir path] [-diag-max-bundles n] [-diag-debounce d]
 //
 // With -dir the database is durable (WAL-backed, replayed on start);
 // without it xsltd serves the paper's in-memory dept/emp demo database with
@@ -27,6 +28,16 @@
 // JSON log batches to the given collector URL. The wide-event pipeline also
 // feeds the console's /events page whenever the console is on. -slo-target
 // and -slo-objective parameterize the per-tenant SLO burn-rate gauge.
+//
+// Diagnostics: -diag-dir turns on the anomaly-triggered flight recorder —
+// detectors watch the process's own signals (p95 latency vs trailing
+// baseline, SLO burn rate, breaker trips, WAL fsync stalls, snapshot-pin
+// age, event drops, goroutine count) and capture a diagnostic bundle
+// (profiles, metrics, recent events, plan and run state) under -diag-dir
+// when one fires, debounced by -diag-debounce and retained up to
+// -diag-max-bundles. The console serves /debug/anomalies and /debug/bundle.
+// The public API serves /readyz (readiness: startup complete and not
+// shedding) next to the /healthz liveness probe.
 package main
 
 import (
@@ -59,6 +70,9 @@ func main() {
 	eventsBuffer := fs.Int("events-buffer", 0, "event-bus buffer size (0 = default); overflow drops events, never blocks requests")
 	sloTarget := fs.Duration("slo-target", 0, "per-request latency objective for the SLO burn-rate gauge (0 = target-p95)")
 	sloObjective := fs.Float64("slo-objective", 0.99, "fraction of requests that must meet the SLO target")
+	diagDir := fs.String("diag-dir", "", "capture anomaly-triggered diagnostic bundles under this directory; empty = off")
+	diagMaxBundles := fs.Int("diag-max-bundles", 8, "diagnostic bundles retained before the oldest are pruned")
+	diagDebounce := fs.Duration("diag-debounce", time.Minute, "minimum gap between anomaly-triggered bundles")
 	apiKeys := map[string]string{}
 	fs.Func("api-key", "key=tenant mapping (repeatable); configuring any key requires authentication", func(v string) error {
 		key, tenant, ok := strings.Cut(v, "=")
@@ -123,16 +137,19 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		DB:            db,
-		APIKeys:       apiKeys,
-		CacheCapacity: *cache,
-		MaxInFlight:   *maxInFlight,
-		TargetP95:     *targetP95,
-		EnableEvents:  len(eventSinks) > 0 || *consoleAddr != "",
-		EventSinks:    eventSinks,
-		EventBuffer:   *eventsBuffer,
-		SLOTarget:     *sloTarget,
-		SLOObjective:  *sloObjective,
+		DB:             db,
+		APIKeys:        apiKeys,
+		CacheCapacity:  *cache,
+		MaxInFlight:    *maxInFlight,
+		TargetP95:      *targetP95,
+		EnableEvents:   len(eventSinks) > 0 || *consoleAddr != "" || *diagDir != "",
+		EventSinks:     eventSinks,
+		EventBuffer:    *eventsBuffer,
+		SLOTarget:      *sloTarget,
+		SLOObjective:   *sloObjective,
+		DiagDir:        *diagDir,
+		DiagMaxBundles: *diagMaxBundles,
+		DiagDebounce:   *diagDebounce,
 	})
 	if err != nil {
 		fatal(err)
@@ -154,6 +171,10 @@ func main() {
 		}()
 		fmt.Printf("debug console at http://%s/ (runs, events, plans, tenants, metrics, pprof)\n", *consoleAddr)
 	}
+
+	// Startup is complete: the database is open (WAL replayed for durable
+	// dirs) and every transform is registered. /readyz flips to 200.
+	srv.MarkReady()
 
 	fmt.Printf("xsltd serving at http://%s/v1/transform/<name>\n", *listen)
 	server := &http.Server{

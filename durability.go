@@ -129,6 +129,9 @@ func Open(opts ...OpenOption) (*Database, error) {
 	oo.walOpts.OnFsync = func(d time.Duration) {
 		mWalFsyncs.Inc()
 		mWalFsyncSeconds.Observe(d.Seconds())
+		if d >= walStallThreshold {
+			mWalSlowFsyncs.Inc()
+		}
 	}
 	oo.walOpts.OnRotate = func(d time.Duration) {
 		mWalRotations.Inc()

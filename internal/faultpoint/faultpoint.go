@@ -26,6 +26,7 @@ package faultpoint
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // armed counts enabled points; zero means every Hit is a no-op.
@@ -41,6 +42,7 @@ type point struct {
 	remaining int64
 	err       error
 	panics    bool
+	sleep     time.Duration
 	hits      int64
 }
 
@@ -56,6 +58,18 @@ func EnablePanic(name string) {
 		armed.Add(1)
 	}
 	points[name] = &point{panics: true}
+}
+
+// EnableSleep arms name to stall every Hit for d and then succeed — the
+// site slows down instead of failing. Diagnostics tests use it to induce a
+// realistic WAL fsync stall or a latency spike without touching real IO.
+func EnableSleep(name string, d time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, exists := points[name]; !exists {
+		armed.Add(1)
+	}
+	points[name] = &point{sleep: d}
 }
 
 // EnableAfter arms name to let n Hits pass, then fail every later Hit with
@@ -120,6 +134,15 @@ func Hit(name string) error {
 	}
 	if p.panics {
 		panic("faultpoint: injected panic at " + name)
+	}
+	if p.sleep > 0 {
+		// Sleep outside the registry lock so a stalled site does not also
+		// stall every other armed point.
+		d := p.sleep
+		mu.Unlock()
+		time.Sleep(d)
+		mu.Lock()
+		return nil
 	}
 	return p.err
 }

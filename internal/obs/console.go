@@ -34,7 +34,17 @@ type ConsoleConfig struct {
 	Tenants func() any
 	// Events returns the serving layer's most recent wide events (newest
 	// first, up to n) plus the event-bus counters, served at /events.
-	Events func(n int) any
+	// tenant and trace, when non-empty, restrict the result to events of
+	// that tenant / that 32-hex trace ID (?tenant= and ?trace=).
+	Events func(n int, tenant, trace string) any
+	// Anomalies returns the diagnostics monitor's state — installed
+	// detectors plus recent anomalies, newest first — for /debug/anomalies.
+	Anomalies func(n int) any
+	// Bundles lists the retained diagnostic bundles (GET /debug/bundle).
+	Bundles func() any
+	// CaptureBundle captures a diagnostic bundle on demand and returns its
+	// directory (POST /debug/bundle).
+	CaptureBundle func() (string, error)
 }
 
 // ConsoleHandler builds the debug console:
@@ -44,10 +54,13 @@ type ConsoleConfig struct {
 //	/runs/<id>        one run in full, including its sampled trace; <id> is
 //	                  the archive sequence number or a request's 32-hex
 //	                  trace ID (the X-Request-Id a served request returned)
-//	/events?n=50      recent wide events, newest first (when serving)
+//	/events?n=50      recent wide events, newest first (when serving);
+//	                  ?tenant= and ?trace= restrict to one tenant / trace ID
 //	/plans            plan-cache entries + per-plan latency aggregates
 //	/misestimates?n=  cardinality misestimate log + per-path accuracy
 //	/tenants          per-tenant admission state (when serving)
+//	/debug/anomalies  diagnostics monitor: detectors + recent anomalies
+//	/debug/bundle     GET lists retained diagnostic bundles; POST captures one
 //	/metrics          Prometheus text exposition
 //	/debug/pprof/...  runtime profiles (CPU samples carry strategy/view labels)
 func ConsoleHandler(cfg ConsoleConfig) http.Handler {
@@ -61,10 +74,13 @@ func ConsoleHandler(cfg ConsoleConfig) http.Handler {
 		_, _ = w.Write([]byte("xsltdb debug console\n\n" +
 			"  /runs?n=50        recent runs (newest first)\n" +
 			"  /runs/<id>        one run in full, with its sampled trace (<id>: sequence number or 32-hex trace ID)\n" +
-			"  /events?n=50      recent wide events (newest first, when serving)\n" +
+			"  /events?n=50      recent wide events (newest first, when serving);\n" +
+			"                    ?tenant=<name> and ?trace=<32-hex> filter\n" +
 			"  /plans            plan-cache entries + per-plan aggregates (p50/p95/p99, top-K slowest)\n" +
 			"  /misestimates     cardinality-accuracy: per-path q-error + misestimate log\n" +
 			"  /tenants          per-tenant admission state (when serving)\n" +
+			"  /debug/anomalies  diagnostics: installed detectors + recent anomalies\n" +
+			"  /debug/bundle     GET lists diagnostic bundles; POST captures one now\n" +
 			"  /metrics          Prometheus text exposition\n" +
 			"  /debug/pprof/     runtime profiles (CPU samples labeled strategy/view)\n"))
 	})
@@ -94,9 +110,38 @@ func ConsoleHandler(cfg ConsoleConfig) http.Handler {
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		var events any
 		if cfg.Events != nil {
-			events = cfg.Events(queryInt(r, "n", 50))
+			q := r.URL.Query()
+			events = cfg.Events(queryInt(r, "n", 50), q.Get("tenant"), q.Get("trace"))
 		}
 		writeJSON(w, events)
+	})
+	mux.HandleFunc("/debug/anomalies", func(w http.ResponseWriter, r *http.Request) {
+		var page any
+		if cfg.Anomalies != nil {
+			page = cfg.Anomalies(queryInt(r, "n", 50))
+		}
+		writeJSON(w, page)
+	})
+	mux.HandleFunc("/debug/bundle", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			if cfg.CaptureBundle == nil {
+				http.Error(w, "diagnostics recorder not enabled (-diag-dir)", http.StatusNotImplemented)
+				return
+			}
+			dir, err := cfg.CaptureBundle()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, map[string]string{"bundle": dir})
+		default:
+			var bundles any
+			if cfg.Bundles != nil {
+				bundles = cfg.Bundles()
+			}
+			writeJSON(w, bundles)
+		}
 	})
 	mux.HandleFunc("/plans", func(w http.ResponseWriter, _ *http.Request) {
 		var cache any

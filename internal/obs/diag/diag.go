@@ -1,0 +1,284 @@
+// Package diag is the engine's autonomous diagnosis subsystem: a detector
+// framework that watches the observability layer's own signals (metrics,
+// wide events, the Go runtime) for anomalies, and a flight recorder that —
+// when a detector fires — captures a complete diagnostic bundle of what the
+// process was doing at that moment. The point is operational: a transient
+// p95 spike or a WAL fsync stall at 3am leaves behind a bundle an operator
+// can read in the morning, instead of a request to reproduce the incident.
+//
+// The pieces compose bottom-up:
+//
+//   - Detector: one rule evaluated against its own trailing state — a
+//     counter delta, a histogram-tail delta, a windowed quantile against a
+//     trailing baseline. Firing yields typed Anomaly records.
+//   - Monitor: runs the detectors on a ticker AND opportunistically on wide-
+//     event publish (it is an obs.EventSink), retains a bounded anomaly
+//     ring for the console's /debug/anomalies page, and hands each anomaly
+//     to a callback — in production, the Recorder's debounced trigger.
+//   - Recorder (bundle.go): captures bundles under a diagnostics directory
+//     with bounded retention, debounced so an anomaly storm produces one
+//     bundle, not hundreds.
+//
+// Everything is pull-cheap: detectors read instruments that already exist;
+// the steady-state cost is a handful of atomic loads per tick plus one
+// latency offer per published event.
+package diag
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Severity grades an anomaly. Two levels are enough: warn means "look when
+// convenient", critical means "a bundle was worth capturing".
+const (
+	SeverityWarn     = "warn"
+	SeverityCritical = "critical"
+)
+
+// Anomaly is one typed detector firing — the substrate adaptive subsystems
+// (and the console) consume. Value is the observed signal, Baseline the
+// trailing baseline or configured bound it breached.
+type Anomaly struct {
+	Time     time.Time `json:"time"`
+	Detector string    `json:"detector"`
+	Severity string    `json:"severity"`
+	Value    float64   `json:"value"`
+	Baseline float64   `json:"baseline,omitempty"`
+	Detail   string    `json:"detail"`
+}
+
+// Detector is one rule evaluator. Check is called from a single goroutine
+// at a time (the monitor serializes ticker and event-publish evaluations),
+// so implementations keep trailing state without locking unless they are
+// also fed from other goroutines (e.g. LatencySpikeDetector.Offer).
+type Detector interface {
+	Name() string
+	Check(now time.Time) []Anomaly
+}
+
+// Diag instruments, on the shared default registry like every other layer.
+var (
+	mAnomalies = obs.Default.NewCounterVec("xsltdb_diag_anomalies_total",
+		"Anomalies fired, by detector.", "detector")
+	mBundles = obs.Default.NewCounterVec("xsltdb_diag_bundles_total",
+		"Diagnostic bundles captured, by trigger (detector name or manual).", "trigger")
+	mBundlesSuppressed = obs.Default.NewCounter("xsltdb_diag_bundles_suppressed_total",
+		"Bundle triggers suppressed by the debounce window.")
+	mBundleErrors = obs.Default.NewCounter("xsltdb_diag_bundle_errors_total",
+		"Bundle sections that failed to capture (the bundle is still written without them).")
+)
+
+// MonitorConfig wires a Monitor. Zero values default sanely.
+type MonitorConfig struct {
+	// Interval is the ticker period for background evaluation (default 5s).
+	// <= 0 with Start never ticking means detectors only run on event
+	// publish or explicit Poll — what deterministic tests want.
+	Interval time.Duration
+	// Ring bounds the retained anomaly records (default 128).
+	Ring int
+	// Now substitutes the clock (tests); nil uses time.Now.
+	Now func() time.Time
+	// OnAnomaly receives every fired anomaly — production wires it to
+	// Recorder.TryCapture. Called from the evaluating goroutine; must not
+	// block for long (the event-bus dispatcher may be the evaluator).
+	OnAnomaly func(Anomaly)
+}
+
+// Monitor runs detectors and retains their anomalies. It is an
+// obs.EventSink: attached to the serving layer's event bus it feeds
+// latency observers and re-evaluates detectors on publish, so a burst of
+// bad requests is noticed at event speed rather than at the next tick.
+type Monitor struct {
+	cfg       MonitorConfig
+	detectors []Detector
+	observers []EventObserver
+
+	// evalMu serializes detector evaluation between the ticker goroutine
+	// and event-publish calls; lastEval rate-limits publish-driven
+	// evaluations to one per interval.
+	evalMu   sync.Mutex
+	lastEval atomic.Int64 // unix nanos of the last evaluation
+
+	mu   sync.Mutex
+	ring []Anomaly
+	next uint64
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	quit      chan struct{}
+	done      chan struct{}
+}
+
+// EventObserver is implemented by detectors that consume wide events (the
+// latency-spike detector): the monitor feeds every event it sees to every
+// observer before evaluating.
+type EventObserver interface {
+	ObserveEvent(ev obs.Event)
+}
+
+// NewMonitor builds a monitor over the given detectors. Detectors that also
+// implement EventObserver are fed each published event.
+func NewMonitor(cfg MonitorConfig, detectors ...Detector) *Monitor {
+	if cfg.Interval == 0 {
+		cfg.Interval = 5 * time.Second
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = 128
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	m := &Monitor{
+		cfg:       cfg,
+		detectors: detectors,
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, d := range detectors {
+		if o, ok := d.(EventObserver); ok {
+			m.observers = append(m.observers, o)
+		}
+	}
+	return m
+}
+
+// Start launches the background ticker (no-op when Interval < 0). Idempotent.
+func (m *Monitor) Start() {
+	if m == nil {
+		return
+	}
+	m.startOnce.Do(func() {
+		if m.cfg.Interval < 0 {
+			close(m.done)
+			return
+		}
+		go m.loop()
+	})
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	t := time.NewTicker(m.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.Poll()
+		case <-m.quit:
+			return
+		}
+	}
+}
+
+// Close stops the ticker. Idempotent; safe before Start.
+func (m *Monitor) Close() {
+	if m == nil {
+		return
+	}
+	m.closeOnce.Do(func() {
+		close(m.quit)
+	})
+	m.startOnce.Do(func() { close(m.done) }) // never started: nothing to wait for
+	<-m.done
+}
+
+// Poll evaluates every detector once, records fired anomalies, and invokes
+// the OnAnomaly callback for each. Safe to call concurrently; evaluations
+// serialize.
+func (m *Monitor) Poll() {
+	if m == nil {
+		return
+	}
+	m.evalMu.Lock()
+	defer m.evalMu.Unlock()
+	now := m.cfg.Now()
+	m.lastEval.Store(now.UnixNano())
+	for _, d := range m.detectors {
+		for _, a := range d.Check(now) {
+			if a.Time.IsZero() {
+				a.Time = now
+			}
+			if a.Detector == "" {
+				a.Detector = d.Name()
+			}
+			if a.Severity == "" {
+				a.Severity = SeverityWarn
+			}
+			m.record(a)
+			mAnomalies.With(a.Detector).Inc()
+			if m.cfg.OnAnomaly != nil {
+				m.cfg.OnAnomaly(a)
+			}
+		}
+	}
+}
+
+// Emit implements obs.EventSink: feed event observers, then re-evaluate the
+// detectors if at least one interval has passed since the last evaluation —
+// so detectors run "on event publish" without an anomaly storm evaluating
+// them on every single request.
+func (m *Monitor) Emit(ev obs.Event) {
+	if m == nil {
+		return
+	}
+	for _, o := range m.observers {
+		o.ObserveEvent(ev)
+	}
+	last := m.lastEval.Load()
+	if m.cfg.Now().Sub(time.Unix(0, last)) >= m.cfg.Interval {
+		m.Poll()
+	}
+}
+
+func (m *Monitor) record(a Anomaly) {
+	m.mu.Lock()
+	if len(m.ring) < m.cfg.Ring {
+		m.ring = append(m.ring, a)
+	} else {
+		m.ring[m.next%uint64(m.cfg.Ring)] = a
+	}
+	m.next++
+	m.mu.Unlock()
+}
+
+// Anomalies returns up to n retained anomalies, newest first (n <= 0
+// returns all). Nil-safe.
+func (m *Monitor) Anomalies(n int) []Anomaly {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	have := len(m.ring)
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]Anomaly, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, m.ring[(m.next-1-uint64(i))%uint64(m.cfg.Ring)])
+	}
+	return out
+}
+
+// AnomaliesPage is the console's /debug/anomalies payload.
+type AnomaliesPage struct {
+	Detectors []string  `json:"detectors"`
+	Recent    []Anomaly `json:"recent"`
+}
+
+// Page snapshots the monitor for the console: the installed detector names
+// and the most recent anomalies, newest first.
+func (m *Monitor) Page(n int) AnomaliesPage {
+	if m == nil {
+		return AnomaliesPage{}
+	}
+	names := make([]string, 0, len(m.detectors))
+	for _, d := range m.detectors {
+		names = append(names, d.Name())
+	}
+	return AnomaliesPage{Detectors: names, Recent: m.Anomalies(n)}
+}

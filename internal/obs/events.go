@@ -407,6 +407,15 @@ func (s *RingSink) Emit(ev Event) {
 
 // Recent returns up to n retained events, newest first (n <= 0 returns all).
 func (s *RingSink) Recent(n int) []Event {
+	return s.RecentFiltered(n, nil)
+}
+
+// RecentFiltered returns up to n retained events matching keep, newest
+// first. A nil keep matches everything; n <= 0 returns every match. The
+// console's /events filters (?tenant=, ?trace=) ride on this so an operator
+// can pull one tenant's or one request's events during an incident instead
+// of paging through the whole ring.
+func (s *RingSink) RecentFiltered(n int, keep func(Event) bool) []Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	have := len(s.ring)
@@ -414,8 +423,11 @@ func (s *RingSink) Recent(n int) []Event {
 		n = have
 	}
 	out := make([]Event, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, s.ring[(s.next-1-uint64(i))%uint64(cap(s.ring))])
+	for i := 0; i < have && len(out) < n; i++ {
+		ev := s.ring[(s.next-1-uint64(i))%uint64(cap(s.ring))]
+		if keep == nil || keep(ev) {
+			out = append(out, ev)
+		}
 	}
 	return out
 }

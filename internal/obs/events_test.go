@@ -287,3 +287,85 @@ func TestOTLPSinkExport(t *testing.T) {
 		t.Fatalf("bad-collector Errors() = %d, want 1", got)
 	}
 }
+
+// TestRingSinkFiltered pins the filter contract: newest-first, capped at n,
+// scanning past non-matching events until the ring is exhausted.
+func TestRingSinkFiltered(t *testing.T) {
+	ring := NewRingSink(8)
+	for i := 0; i < 10; i++ {
+		ev := testEvent()
+		ev.Rows = int64(i)
+		if i%2 == 0 {
+			ev.Tenant = "beta"
+		}
+		ring.Emit(ev)
+	}
+	// Capacity 8 retains rows 2..9; "beta" events among them: 2, 4, 6, 8.
+	beta := ring.RecentFiltered(0, func(ev Event) bool { return ev.Tenant == "beta" })
+	if len(beta) != 4 || beta[0].Rows != 8 || beta[3].Rows != 2 {
+		t.Fatalf("beta events = %+v", beta)
+	}
+	if got := ring.RecentFiltered(2, func(ev Event) bool { return ev.Tenant == "beta" }); len(got) != 2 || got[1].Rows != 6 {
+		t.Fatalf("RecentFiltered(2) = %+v", got)
+	}
+	if got := ring.RecentFiltered(0, func(ev Event) bool { return false }); len(got) != 0 {
+		t.Fatalf("no-match filter returned %+v", got)
+	}
+}
+
+// TestRingSinkConcurrentReads hammers a bus-fed ring with concurrent
+// publishers and concurrent console-style filtered reads. Run under -race
+// (the verify chain does) this is the data-race contract for the /events
+// endpoint reading while the dispatcher writes.
+func TestRingSinkConcurrentReads(t *testing.T) {
+	ring := NewRingSink(64)
+	bus := NewEventBus(256, nil, ring)
+	defer bus.Close()
+
+	const publishers, perPublisher, readers = 4, 200, 4
+	var pubWG, readWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < perPublisher; i++ {
+				ev := testEvent()
+				ev.Rows = int64(p*perPublisher + i)
+				bus.Publish(ev)
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := ring.RecentFiltered(10, func(ev Event) bool { return ev.Rows%2 == 0 })
+				if len(got) > 10 {
+					t.Errorf("RecentFiltered(10) returned %d events", len(got))
+					return
+				}
+				for _, ev := range got {
+					if ev.Rows%2 != 0 {
+						t.Errorf("filter leaked event %+v", ev)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Publishers finish, the dispatcher drains, then readers stop.
+	pubWG.Wait()
+	bus.Flush()
+	close(stop)
+	readWG.Wait()
+	if got := len(ring.Recent(0)); got != 64 {
+		t.Fatalf("full ring holds %d events, want 64", got)
+	}
+}

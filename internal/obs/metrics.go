@@ -223,6 +223,116 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return 0
 }
 
+// HistogramSnapshot is a point-in-time copy of one histogram series: the
+// bucket layout, the per-bucket (non-cumulative) counts, and the running
+// count and sum. Detectors diff two snapshots to reason about only the
+// observations that arrived between checks — a cumulative histogram's
+// quantiles never come back down, but its deltas do.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, ascending (the +Inf bucket is implicit)
+	Counts []int64   // per-bucket counts, parallel to Bounds
+	Count  int64     // total observations (includes the +Inf overflow)
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current bucket state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.f.buckets,
+		Counts: make([]int64, len(h.f.buckets)),
+		Count:  h.s.obsCount.Load(),
+		Sum:    math.Float64frombits(h.s.sumBits.Load()),
+	}
+	for i := range h.s.bucketN {
+		s.Counts[i] = h.s.bucketN[i].Load()
+	}
+	return s
+}
+
+// CountAbove returns how many observations landed strictly above the bucket
+// whose upper bound is <= bound — i.e. the tail count at bucket resolution.
+// Passing an exact bucket bound gives an exact tail; anything else rounds
+// down to the nearest bound below it.
+func (s HistogramSnapshot) CountAbove(bound float64) int64 {
+	tail := s.Count
+	for i, ub := range s.Bounds {
+		if ub <= bound {
+			tail -= s.Counts[i]
+		}
+	}
+	return tail
+}
+
+// FindHistogram resolves a registered histogram series by family name and
+// label values — the read-side twin of NewHistogramVec().With for consumers
+// (detectors, consoles) that know instruments only by their exposition name.
+// Returns false when the name is unregistered or not a histogram.
+func (r *Registry) FindHistogram(name string, labelValues ...string) (*Histogram, bool) {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != kindHistogram || len(labelValues) != len(f.labels) {
+		return nil, false
+	}
+	return &Histogram{f: f, s: f.getSeries(labelValues)}, true
+}
+
+// SeriesValue is one (labels, value) sample of a counter or gauge family.
+type SeriesValue struct {
+	Labels []string
+	Value  float64
+}
+
+// SeriesValues snapshots every series of a counter or gauge family,
+// computing callback gauges. Returns nil for unregistered names and
+// histograms. Detectors use it to watch instruments — including label vecs
+// whose series sets grow at runtime — without holding typed handles.
+func (r *Registry) SeriesValues(name string) []SeriesValue {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind == kindHistogram {
+		return nil
+	}
+	f.mu.RLock()
+	sers := make([]*series, 0, len(f.series))
+	fns := make([]func() float64, 0, len(f.series))
+	for _, s := range f.series {
+		sers = append(sers, s)
+		fns = append(fns, s.fn)
+	}
+	f.mu.RUnlock()
+	out := make([]SeriesValue, 0, len(sers))
+	for i, s := range sers {
+		v := float64(s.val.Load())
+		if fns[i] != nil {
+			v = fns[i]()
+		}
+		out = append(out, SeriesValue{Labels: s.labelValues, Value: v})
+	}
+	return out
+}
+
+// FamilyInfo describes one registered metric family — the metric-naming lint
+// test walks these to enforce the repo's naming and HELP conventions.
+type FamilyInfo struct {
+	Name string
+	Help string
+	Kind string
+}
+
+// Families lists every registered family, sorted by name.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.RLock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, FamilyInfo{Name: f.name, Help: f.help, Kind: f.kind.String()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // newStandaloneHistogram builds a histogram that belongs to no registry —
 // the run-history archive uses these for per-plan latency aggregates, which
 // are served as JSON through the console rather than scraped as metrics. A

@@ -1,0 +1,91 @@
+package obs
+
+// Runtime health telemetry: callback gauges over the Go runtime (goroutine
+// count, heap, GC pause time, GOMAXPROCS) plus the xsltdb_build_info
+// info-gauge identifying the running binary. Registered on Default at init —
+// every binary that links the engine answers "what is this process and is
+// its runtime healthy" from /metrics alone, with zero steady-state cost:
+// the values are computed only when a scrape renders them.
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+)
+
+func init() {
+	registerRuntimeMetrics(Default)
+}
+
+// memStatsCache amortizes runtime.ReadMemStats across the heap gauges of one
+// scrape: ReadMemStats stops the world briefly, and a scrape renders several
+// gauges that all want the same numbers.
+var memStatsCache struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func cachedMemStats() *runtime.MemStats {
+	memStatsCache.mu.Lock()
+	defer memStatsCache.mu.Unlock()
+	if time.Since(memStatsCache.at) > time.Second {
+		runtime.ReadMemStats(&memStatsCache.ms)
+		memStatsCache.at = time.Now()
+	}
+	return &memStatsCache.ms
+}
+
+// registerRuntimeMetrics installs the runtime gauges and the build-info
+// gauge on r. Split from init so tests can exercise it on a fresh registry.
+func registerRuntimeMetrics(r *Registry) {
+	r.NewGaugeFunc("xsltdb_go_goroutines",
+		"Goroutines currently live in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.NewGaugeFunc("xsltdb_go_gomaxprocs",
+		"Current GOMAXPROCS (the scheduler's processor limit).",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.NewGaugeFunc("xsltdb_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(cachedMemStats().HeapAlloc) })
+	r.NewGaugeFunc("xsltdb_go_heap_objects",
+		"Live heap objects (runtime.MemStats.HeapObjects).",
+		func() float64 { return float64(cachedMemStats().HeapObjects) })
+	r.NewGaugeFunc("xsltdb_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 { return float64(cachedMemStats().PauseTotalNs) / 1e9 })
+	r.NewGaugeFunc("xsltdb_go_gc_cycles_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() float64 { return float64(cachedMemStats().NumGC) })
+
+	module, version, revision := buildIdentity()
+	r.NewGaugeVec("xsltdb_build_info",
+		"Build identity of the running binary; the value is always 1 — the information is in the labels.",
+		"go_version", "module", "module_version", "vcs_revision", "gomaxprocs").
+		With(runtime.Version(), module, version, revision, strconv.Itoa(runtime.GOMAXPROCS(0))).Set(1)
+}
+
+// buildIdentity extracts the main module's path, version, and VCS revision
+// from the binary's embedded build info ("unknown" when built without module
+// metadata, e.g. some test binaries).
+func buildIdentity() (module, version, revision string) {
+	module, version, revision = "unknown", "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Path != "" {
+		module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return
+}

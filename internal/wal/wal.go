@@ -366,11 +366,14 @@ func (l *Log) Append(typ byte, payload []byte) error {
 // in-flight append is rolled back to rollbackTo so the log holds exactly
 // the records whose Append returned nil.
 func (l *Log) syncLocked(rollbackTo int64) error {
+	// The timer starts before the faultpoint so an injected stall
+	// (faultpoint.EnableSleep) is measured like a real slow fsync; the
+	// injected-error path returns before any duration is reported.
+	start := time.Now()
 	if err := faultpoint.Hit("wal.fsync"); err != nil {
 		l.rollbackLocked(rollbackTo)
 		return err
 	}
-	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.rollbackLocked(rollbackTo)
 		return fmt.Errorf("wal: fsync: %w", err)

@@ -56,6 +56,8 @@ var (
 		walLatencyBuckets)
 	mWalFsyncSeconds = obs.Default.NewHistogram("xsltdb_wal_fsync_seconds",
 		"Wall time of one WAL fsync call.", walLatencyBuckets)
+	mWalSlowFsyncs = obs.Default.NewCounter("xsltdb_wal_slow_fsyncs_total",
+		"WAL fsync calls slower than the stall threshold (100ms) — the durability layer's explicit stall signal.")
 	mWalRotations = obs.Default.NewCounter("xsltdb_wal_rotations_total",
 		"WAL segment rotations (seal + open next segment).")
 	mWalRotateSeconds = obs.Default.NewHistogram("xsltdb_wal_rotate_seconds",
@@ -73,6 +75,12 @@ func init() {
 // walLatencyBuckets resolve the microsecond-to-millisecond range WAL IO
 // lives in; the default buckets start at 1ms and would flatten it.
 var walLatencyBuckets = []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1}
+
+// walStallThreshold is the fsync duration counted as a stall. It sits on a
+// walLatencyBuckets bound so the histogram-tail view and the counter agree
+// exactly; the diagnostics layer's wal-fsync-stall detector uses the same
+// value.
+const walStallThreshold = 100 * time.Millisecond
 
 // snapPins tracks every live MVCC snapshot pin with its acquisition time so
 // the oldest-pin-age gauge can expose long-held snapshots (a stuck cursor

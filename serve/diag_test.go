@@ -1,0 +1,333 @@
+package serve
+
+// The diagnostics smoke tests (`make diag-smoke`, part of `make verify`):
+// boot a server with the flight recorder armed, induce the two incident
+// shapes the detector set exists for — a WAL fsync stall (via a faultpoint
+// sleep at the fsync site) and a latency-spike overload (slow requests
+// flooding the event stream) — and assert each produces exactly one bundle
+// inside the debounce window, containing every section an operator needs.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/faultpoint"
+	"repro/internal/obs"
+	"repro/internal/obs/diag"
+	"repro/internal/sqlxml"
+)
+
+// bundleSections is what every complete bundle must contain: profiles,
+// metrics exposition, recent events, run/plan/misestimate state, WAL state,
+// and the anomaly ring.
+var bundleSections = []string{
+	"meta.json", "goroutines.txt", "heap.pprof", "metrics.prom",
+	"events.json", "runs.json", "plans.json", "misestimates.json",
+	"wal.json", "anomalies.json",
+}
+
+func assertBundle(t *testing.T, diagDir string, wantTrigger string) {
+	t.Helper()
+	entries, err := os.ReadDir(diagDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundles []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") {
+			bundles = append(bundles, e.Name())
+		}
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("diag dir holds %d bundles %v, want exactly 1", len(bundles), bundles)
+	}
+	if !strings.HasSuffix(bundles[0], wantTrigger) {
+		t.Errorf("bundle %q not triggered by %q", bundles[0], wantTrigger)
+	}
+	bdir := filepath.Join(diagDir, bundles[0])
+	for _, f := range bundleSections {
+		fi, err := os.Stat(filepath.Join(bdir, f))
+		if err != nil {
+			t.Errorf("bundle missing section %s: %v", f, err)
+			continue
+		}
+		if fi.Size() == 0 && f != "misestimates.json" {
+			t.Errorf("bundle section %s is empty", f)
+		}
+	}
+	// The goroutine profile is the debug=2 text dump; the metrics exposition
+	// carries the engine's instruments.
+	g, _ := os.ReadFile(filepath.Join(bdir, "goroutines.txt"))
+	if !strings.Contains(string(g), "goroutine") {
+		t.Errorf("goroutines.txt does not look like a goroutine dump")
+	}
+	prom, _ := os.ReadFile(filepath.Join(bdir, "metrics.prom"))
+	if !strings.Contains(string(prom), "xsltdb_wal_fsync_seconds") {
+		t.Errorf("metrics.prom missing WAL fsync histogram")
+	}
+}
+
+// TestDiagSmokeWALStall boots a durable database with the recorder armed,
+// induces a WAL fsync stall through the wal.fsync faultpoint, and asserts
+// the wal-fsync-stall detector captures exactly one complete bundle.
+func TestDiagSmokeWALStall(t *testing.T) {
+	defer faultpoint.Reset()
+	db, err := xsltdb.Open(xsltdb.WithDir(filepath.Join(t.TempDir(), "wal")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := sqlxml.SetupDeptEmp(db.Rel()); err != nil {
+		t.Fatal(err)
+	}
+
+	diagDir := t.TempDir()
+	s, err := New(Config{
+		DB: db, EnableEvents: true,
+		DiagDir: diagDir, DiagInterval: -1, DiagDebounce: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// First poll primes every trailing-state detector against the fsyncs
+	// setup already issued.
+	s.Monitor().Poll()
+
+	// Induce the stall: the next logged mutation's fsync sleeps 150ms —
+	// over the 100ms stall threshold, inside the 100ms..1s histogram bucket.
+	faultpoint.EnableSleep("wal.fsync", 150*time.Millisecond)
+	if err := db.Insert("dept", int64(999), "STALLED", "NOWHERE"); err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.Disable("wal.fsync")
+
+	s.Monitor().Poll()
+	assertBundle(t, diagDir, "wal-fsync-stall")
+
+	// Repeated evaluation inside the debounce window captures nothing new,
+	// even though another stall lands in the histogram.
+	faultpoint.EnableSleep("wal.fsync", 150*time.Millisecond)
+	if err := db.Insert("dept", int64(998), "STALLED2", "NOWHERE"); err != nil {
+		t.Fatal(err)
+	}
+	faultpoint.Disable("wal.fsync")
+	s.Monitor().Poll()
+	assertBundle(t, diagDir, "wal-fsync-stall") // still exactly one
+
+	// The anomaly surfaced on the console page too.
+	page := s.Monitor().Page(50)
+	found := false
+	for _, a := range page.Recent {
+		if a.Detector == "wal-fsync-stall" && a.Severity == diag.SeverityCritical {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("wal-fsync-stall anomaly not in monitor page: %+v", page.Recent)
+	}
+}
+
+// TestDiagSmokeLatencySpike floods the event stream with healthy latencies,
+// then an overload 40x slower, and asserts the latency-spike detector
+// captures exactly one bundle inside the debounce window.
+func TestDiagSmokeLatencySpike(t *testing.T) {
+	diagDir := t.TempDir()
+	_, s := newDeptServer(t, Config{
+		EnableEvents: true,
+		DiagDir:      diagDir, DiagInterval: -1, DiagDebounce: time.Minute,
+	})
+	defer s.Close()
+
+	m := s.Monitor()
+	// Healthy traffic: 2ms requests prime the trailing baseline. With a
+	// negative interval every Emit re-evaluates the detectors, so this is
+	// fully deterministic — no ticker involved.
+	for i := 0; i < 64; i++ {
+		m.Emit(obs.Event{TotalNS: int64(2 * time.Millisecond)})
+	}
+	if got := len(m.Anomalies(0)); got != 0 {
+		t.Fatalf("healthy traffic fired %d anomalies: %+v", got, m.Anomalies(0))
+	}
+	// Overload: 80ms requests push the window p95 far over 3x baseline and
+	// the 10ms floor.
+	for i := 0; i < 256; i++ {
+		m.Emit(obs.Event{TotalNS: int64(80 * time.Millisecond)})
+	}
+	assertBundle(t, diagDir, "latency-spike")
+}
+
+// TestDiagConsoleEndpoints drives /debug/anomalies and /debug/bundle over
+// HTTP: GET lists, POST captures on demand, and the bundle appears in the
+// next GET.
+func TestDiagConsoleEndpoints(t *testing.T) {
+	diagDir := t.TempDir()
+	_, s := newDeptServer(t, Config{
+		EnableEvents: true,
+		DiagDir:      diagDir, DiagInterval: -1,
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Console())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/debug/anomalies", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/anomalies status = %d", resp.StatusCode)
+	}
+	var page diag.AnomaliesPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatalf("/debug/anomalies not an AnomaliesPage: %v\n%s", err, body)
+	}
+	if len(page.Detectors) != 7 {
+		t.Errorf("detectors = %v, want the 7 standard rules", page.Detectors)
+	}
+
+	postResp, err := ts.Client().Post(ts.URL+"/debug/bundle", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/bundle status = %d", postResp.StatusCode)
+	}
+	assertBundle(t, diagDir, "manual")
+
+	resp, body = get(t, ts, "/debug/bundle", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "bundle-") {
+		t.Fatalf("GET /debug/bundle = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestEventsConsoleFilters drives the console /events page's ?tenant= and
+// ?trace= filters end to end: requests from two tenants, then filtered pulls.
+func TestEventsConsoleFilters(t *testing.T) {
+	d, s := newDeptServer(t, Config{
+		EnableEvents: true,
+		APIKeys:      map[string]string{"ka": "acme", "kb": "beta"},
+	})
+	defer s.Close()
+	d.RegisterTenant("acme", xsltdb.TenantLimits{})
+	d.RegisterTenant("beta", xsltdb.TenantLimits{})
+	api := httptest.NewServer(s.Handler())
+	defer api.Close()
+	console := httptest.NewServer(s.Console())
+	defer console.Close()
+
+	var betaTrace string
+	for i := 0; i < 3; i++ {
+		resp, _ := get(t, api, "/v1/transform/paper", map[string]string{"X-Api-Key": "ka"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("acme request status = %d", resp.StatusCode)
+		}
+	}
+	resp, _ := get(t, api, "/v1/transform/paper", map[string]string{"X-Api-Key": "kb"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("beta request status = %d", resp.StatusCode)
+	}
+	betaTrace = resp.Header.Get("X-Request-Id")
+	s.EventBus().Flush()
+
+	decode := func(body string) EventsPage {
+		t.Helper()
+		var page EventsPage
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			t.Fatalf("events page does not parse: %v\n%s", err, body)
+		}
+		return page
+	}
+
+	_, body := get(t, console, "/events?n=50", nil)
+	if got := len(decode(body).Recent); got != 4 {
+		t.Fatalf("unfiltered events = %d, want 4", got)
+	}
+	_, body = get(t, console, "/events?n=50&tenant=acme", nil)
+	page := decode(body)
+	if len(page.Recent) != 3 {
+		t.Fatalf("tenant=acme events = %d, want 3", len(page.Recent))
+	}
+	for _, ev := range page.Recent {
+		if ev.Tenant != "acme" {
+			t.Errorf("tenant filter leaked event %+v", ev)
+		}
+	}
+	_, body = get(t, console, "/events?n=50&trace="+betaTrace, nil)
+	page = decode(body)
+	if len(page.Recent) != 1 || page.Recent[0].Tenant != "beta" {
+		t.Fatalf("trace filter = %+v, want beta's one event", page.Recent)
+	}
+	_, body = get(t, console, "/events?n=50&tenant=acme&trace="+betaTrace, nil)
+	if got := len(decode(body).Recent); got != 0 {
+		t.Fatalf("conjunctive filter matched %d events, want 0", got)
+	}
+}
+
+// TestReadyz: /readyz is 503 until MarkReady, 200 after, 503 again while the
+// server sheds on latency — all while /healthz stays a pure liveness probe.
+func TestReadyz(t *testing.T) {
+	_, s := newDeptServer(t, Config{TargetP95: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := get(t, ts, "/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before ready = %d, want 200", resp.StatusCode)
+	}
+	resp, body := get(t, ts, "/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("readyz before MarkReady = %d %q, want 503 starting", resp.StatusCode, body)
+	}
+
+	s.MarkReady()
+	resp, _ = get(t, ts, "/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after MarkReady = %d, want 200", resp.StatusCode)
+	}
+
+	// Fill the latency window past its 8-sample floor; every request is
+	// slower than the 1ns target, so the server is now shedding — readiness
+	// drops while liveness holds.
+	for i := 0; i < 10; i++ {
+		get(t, ts, "/v1/transform/paper", nil)
+	}
+	resp, body = get(t, ts, "/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "shedding") {
+		t.Fatalf("readyz while shedding = %d %q, want 503 shedding", resp.StatusCode, body)
+	}
+	resp, _ = get(t, ts, "/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while shedding = %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+}
+
+// TestMetricNamingLint is the exposition-hygiene gate, run from the serve
+// package so every layer's instruments (engine, WAL, serving, diagnostics,
+// runtime) are registered on obs.Default when it looks: snake_case names
+// under the xsltdb_/xsltd_ prefix, non-empty HELP text, counters ending in
+// _total.
+func TestMetricNamingLint(t *testing.T) {
+	nameRE := regexp.MustCompile(`^(xsltdb|xsltd)_[a-z0-9]+(_[a-z0-9]+)*$`)
+	fams := obs.Default.Families()
+	if len(fams) < 30 {
+		t.Fatalf("only %d families registered — are all layers linked?", len(fams))
+	}
+	for _, f := range fams {
+		if !nameRE.MatchString(f.Name) {
+			t.Errorf("metric %q is not snake_case under the xsltdb_/xsltd_ prefix", f.Name)
+		}
+		if strings.TrimSpace(f.Help) == "" {
+			t.Errorf("metric %q has no HELP text", f.Name)
+		}
+		if f.Kind == "counter" && !strings.HasSuffix(f.Name, "_total") {
+			t.Errorf("counter %q does not end in _total", f.Name)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/obs/diag"
 )
 
 // Config wires a Server. DB is required; everything else defaults sanely.
@@ -83,6 +84,22 @@ type Config struct {
 	// SLOObjective is the fraction of requests that must meet the target
 	// (default 0.99).
 	SLOObjective float64
+
+	// DiagDir enables the diagnostics flight recorder: a detector monitor
+	// watches the process's own signals (latency p95 vs trailing baseline,
+	// SLO burn rate, circuit-breaker trips, WAL fsync stalls, snapshot-pin
+	// age, event-bus drops, goroutine count) and captures a diagnostic
+	// bundle under this directory when one fires. Empty = diagnostics off.
+	DiagDir string
+	// DiagMaxBundles bounds bundle retention (default 8).
+	DiagMaxBundles int
+	// DiagDebounce is the minimum gap between anomaly-triggered bundles
+	// (default 1m) — an anomaly storm costs one bundle.
+	DiagDebounce time.Duration
+	// DiagInterval is the detector evaluation period (default 5s). Negative
+	// disables the background ticker; detectors then run only on event
+	// publish or explicit polling — deterministic tests use this.
+	DiagInterval time.Duration
 }
 
 // Server serves registered transforms over HTTP. Create with New, register
@@ -101,6 +118,13 @@ type Server struct {
 	eventsRing   *obs.RingSink
 	slo          *sloTracker
 	telemetrySeq atomic.Uint64
+
+	// monitor/recorder are the diagnostics layer (nil = off); ready gates
+	// /readyz — flipped by MarkReady once startup (WAL replay, transform
+	// registration) is complete.
+	monitor  *diag.Monitor
+	recorder *diag.Recorder
+	ready    atomic.Bool
 
 	mu         sync.RWMutex
 	transforms map[string]*transformDef
@@ -181,9 +205,35 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight > 0 {
 		s.global = make(chan struct{}, cfg.MaxInFlight)
 	}
+	if cfg.DiagDir != "" {
+		rec, err := diag.NewRecorder(diag.RecorderConfig{
+			Dir:        cfg.DiagDir,
+			MaxBundles: cfg.DiagMaxBundles,
+			Debounce:   cfg.DiagDebounce,
+		}, s.diagSources())
+		if err != nil {
+			return nil, err
+		}
+		s.recorder = rec
+		s.monitor = diag.NewMonitor(diag.MonitorConfig{
+			Interval: cfg.DiagInterval,
+			OnAnomaly: func(a diag.Anomaly) {
+				rec.TryCapture(a.Detector)
+			},
+		}, diag.StandardDetectors(obs.Default, diag.DetectorOptions{
+			LatencyFloor: cfg.TargetP95,
+		})...)
+		s.monitor.Start()
+	}
 	if cfg.EnableEvents || len(cfg.EventSinks) > 0 {
 		s.eventsRing = obs.NewRingSink(0)
 		sinks := append(append([]obs.EventSink{}, cfg.EventSinks...), s.eventsRing)
+		if s.monitor != nil {
+			// The monitor rides the bus: every published event feeds the
+			// latency-spike window, and detectors re-evaluate at event
+			// speed (rate-limited to one pass per interval).
+			sinks = append(sinks, s.monitor)
+		}
 		s.events = obs.NewEventBus(cfg.EventBuffer, mEventsDropped.Inc, sinks...)
 	}
 	sloTarget := cfg.SLOTarget
@@ -194,11 +244,52 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close flushes and stops the wide-event pipeline. Requests may still be
-// served afterwards; their events are dropped and counted.
+// Close flushes and stops the wide-event pipeline and the diagnostics
+// monitor. Requests may still be served afterwards; their events are dropped
+// and counted.
 func (s *Server) Close() {
 	s.events.Close()
+	s.monitor.Close()
 }
+
+// diagSources wires the flight recorder's bundle sections to the layers
+// below: the shared metrics registry, the console event ring, run history,
+// the plan cache, the misestimate log, WAL/recovery state, and the anomaly
+// ring itself.
+func (s *Server) diagSources() diag.Sources {
+	return diag.Sources{
+		Registry: obs.Default,
+		Events:   func(n int) any { return s.EventsState(n) },
+		Runs: func() any {
+			a := s.db.RunHistory()
+			return map[string]any{"recent": a.Runs(50), "aggregates": a.Plans()}
+		},
+		Plans: func() any { return s.db.PlanCacheEntries() },
+		Misestimates: func() any {
+			c := s.db.Cardinality()
+			return map[string]any{"paths": c.Stats(), "log": c.Misestimates(50)}
+		},
+		WAL: func() any {
+			appends, fsyncs := xsltdb.WALCounters()
+			return map[string]any{
+				"appends": appends, "fsyncs": fsyncs,
+				"recovery": s.db.RecoveryStats(),
+			}
+		},
+		Anomalies: func() any { return s.monitor.Anomalies(100) },
+	}
+}
+
+// Monitor exposes the diagnostics monitor (nil when DiagDir is unset).
+func (s *Server) Monitor() *diag.Monitor { return s.monitor }
+
+// Recorder exposes the flight recorder (nil when DiagDir is unset).
+func (s *Server) Recorder() *diag.Recorder { return s.recorder }
+
+// MarkReady flips /readyz to 200. Call it when startup is complete: the
+// database open (and therefore WAL replay) finished and every transform is
+// registered. Liveness (/healthz) is independent and true from the start.
+func (s *Server) MarkReady() { s.ready.Store(true) }
 
 // EventBus exposes the server's event bus (nil when events are disabled) —
 // tests and shutdown paths use it to Flush deterministically.
@@ -214,10 +305,25 @@ type EventsPage struct {
 // EventsState snapshots the event pipeline for the console's /events page;
 // nil when events are disabled.
 func (s *Server) EventsState(n int) *EventsPage {
+	return s.EventsStateFiltered(n, "", "")
+}
+
+// EventsStateFiltered is EventsState restricted to one tenant and/or one
+// 32-hex trace ID (empty = no restriction) — the console's ?tenant= and
+// ?trace= query filters. The ring is scanned newest-first until n matching
+// events are found.
+func (s *Server) EventsStateFiltered(n int, tenant, trace string) *EventsPage {
 	if s.events == nil {
 		return nil
 	}
-	return &EventsPage{Bus: s.events.Stats(), Recent: s.eventsRing.Recent(n)}
+	var keep func(obs.Event) bool
+	if tenant != "" || trace != "" {
+		keep = func(ev obs.Event) bool {
+			return (tenant == "" || ev.Tenant == tenant) &&
+				(trace == "" || ev.TraceID == trace)
+		}
+	}
+	return &EventsPage{Bus: s.events.Stats(), Recent: s.eventsRing.RecentFiltered(n, keep)}
 }
 
 // RegisterTransform exposes stylesheet over view as /v1/transform/<name>.
@@ -247,26 +353,41 @@ func (s *Server) RegisterTransform(name, view, stylesheet string, opts ...xsltdb
 //	GET  /v1/transforms            registered transforms (JSON)
 //	GET  /v1/transform/<name>      run; p.<x>=v binds stylesheet param x,
 //	                               where=<xpath> adds a driving predicate
-//	GET  /healthz                  200 while the database accepts work
+//	GET  /healthz                  liveness: 200 while the process serves
+//	GET  /readyz                   readiness: 200 once MarkReady was called
+//	                               and the server is not shedding on latency
 //
 // Authentication: when Config.APIKeys is set, requests must carry a
 // configured key in the Authorization: Bearer or X-Api-Key header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/v1/transforms", s.handleList)
 	mux.HandleFunc("/v1/transform/", s.handleTransform)
 	return mux
 }
 
 // Console returns the engine debug console with the serving layer's
-// /tenants and /events sections attached.
+// /tenants and /events sections and — when diagnostics are on — the
+// /debug/anomalies and /debug/bundle endpoints attached.
 func (s *Server) Console() http.Handler {
-	var events func(n int) any
-	if s.events != nil {
-		events = func(n int) any { return s.EventsState(n) }
+	sections := xsltdb.ConsoleSections{
+		Tenants: func() any { return s.TenantsState() },
 	}
-	return s.db.ConsoleHandlerWithServing(func() any { return s.TenantsState() }, events)
+	if s.events != nil {
+		sections.Events = func(n int, tenant, trace string) any {
+			return s.EventsStateFiltered(n, tenant, trace)
+		}
+	}
+	if s.monitor != nil {
+		sections.Anomalies = func(n int) any { return s.monitor.Page(n) }
+	}
+	if s.recorder != nil {
+		sections.Bundles = func() any { return s.recorder.Bundles() }
+		sections.CaptureBundle = func() (string, error) { return s.recorder.Capture("manual") }
+	}
+	return s.db.ConsoleHandlerWith(sections)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -276,6 +397,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReady is /readyz — distinct from liveness: it answers "should this
+// process receive traffic", so it is 503 until MarkReady (startup, including
+// WAL replay, complete) and while the server is globally shedding on latency
+// (a load balancer should prefer a replica that is not over its p95 target).
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.db.Closed():
+		http.Error(w, "database closed", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "starting up", http.StatusServiceUnavailable)
+	case s.cfg.TargetP95 > 0 && s.window.p95() > s.cfg.TargetP95:
+		http.Error(w, "shedding load (p95 over target)", http.StatusServiceUnavailable)
+	default:
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
